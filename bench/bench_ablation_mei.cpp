@@ -1,0 +1,74 @@
+// Ablation (paper §4.2): MEI pre-calculation vs on-demand remote fetch.
+//
+// The paper argues that fetching remote reference blocks on demand is
+// inefficient: the decoder blocks for a round trip per remote reference, and
+// a dedicated server thread (to answer peers' requests) adds context
+// switches. Pre-calculated MEI exchanges hide all of that before decoding
+// starts. This bench quantifies the gap: the MEI system is simulated as
+// usual; the on-demand variant charges each remote macroblock a blocking
+// round trip (2x latency + transfer + server-side context switch) on the
+// decoding critical path.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/text_table.h"
+#include "core/config.h"
+
+using namespace pdw;
+
+int main() {
+  benchutil::print_banner(
+      "Ablation — MEI pre-calculation vs on-demand remote fetch",
+      "IPDPS'02 paper, Section 4.2",
+      "on-demand fetch pays a blocking round trip per remote macroblock plus "
+      "server-thread context switches; pre-calculation removes both");
+
+  const video::StreamSpec& spec = video::stream_by_id(8);
+  const auto es = benchutil::stream(8);
+  const sim::LinkModel link = benchutil::default_link();
+  constexpr double kContextSwitch = 5e-6;  // server thread wakeup per request
+
+  TextTable table({"config", "remote MBs/pic/dec", "fps(MEI)",
+                   "fps(on-demand)", "slowdown"});
+
+  for (auto [m, n] : {std::pair{2, 2}, {3, 3}, {4, 4}}) {
+    wall::TileGeometry geo(spec.width, spec.height, m, n, benchutil::kOverlap);
+    auto traces = benchutil::collect_traces(es, geo);
+    const auto costs = sim::measure_costs(traces);
+    sim::SimParams p;
+    p.two_level = true;
+    p.k = core::choose_k(costs.t_split, costs.t_decode);
+    p.link = link;
+    const auto r_mei = sim::simulate_cluster(traces, geo, p);
+
+    // On-demand variant: charge each remote macroblock a blocking round trip
+    // on the decode path; the serve work disappears (no pre-extraction) but
+    // every request interrupts the *serving* decoder too (context switch).
+    double remote_per_pic = 0;
+    auto traces_od = traces;
+    for (auto& tr : traces_od) {
+      for (size_t t = 0; t < tr.decode_s.size(); ++t) {
+        const double requests = double(tr.halo_mbs[t]);
+        remote_per_pic += requests;
+        const double rtt =
+            2 * link.latency_s +
+            link.transfer_s(sizeof(mpeg2::MacroblockPixels) + 24) +
+            2 * kContextSwitch;
+        tr.decode_s[t] += requests * rtt;
+        tr.serve_s[t] = requests * kContextSwitch;  // serving interruptions
+      }
+      std::fill(tr.exchange_bytes.begin(), tr.exchange_bytes.end(), 0);
+    }
+    remote_per_pic /= double(traces.size()) * geo.tiles();
+    const auto r_od = sim::simulate_cluster(traces_od, geo, p);
+
+    table.add_row({benchutil::config_name(p.k, m, n, true),
+                   format("%.1f", remote_per_pic), format("%.1f", r_mei.fps),
+                   format("%.1f", r_od.fps),
+                   format("%.2fx", r_mei.fps / r_od.fps)});
+  }
+  table.print(stdout);
+  std::printf("\nCSV:\n");
+  table.print_csv(stdout);
+  return 0;
+}

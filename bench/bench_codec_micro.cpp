@@ -1,0 +1,155 @@
+// Codec micro-benchmarks (google-benchmark): the per-primitive costs that
+// make up t_s and t_d — IDCT, forward DCT, DCT coefficient VLC decode,
+// half-pel motion compensation, start-code scanning, full-picture split and
+// full-picture decode.
+#include <benchmark/benchmark.h>
+
+#include "bitstream/start_code.h"
+#include "common/stats.h"
+#include "core/mb_splitter.h"
+#include "core/root_splitter.h"
+#include "enc/encoder.h"
+#include "mpeg2/decoder.h"
+#include "mpeg2/idct.h"
+#include "mpeg2/motion.h"
+#include "mpeg2/tables.h"
+#include "video/generator.h"
+#include "wall/geometry.h"
+
+namespace pdw {
+namespace {
+
+const std::vector<uint8_t>& test_stream() {
+  static const std::vector<uint8_t> es = [] {
+    enc::EncoderConfig cfg;
+    cfg.width = 1280;
+    cfg.height = 720;
+    cfg.target_bpp = 0.3;
+    const auto gen = video::make_scene(video::SceneKind::kMovingObjects, 1280,
+                                       720, 11);
+    enc::Mpeg2Encoder encoder(cfg);
+    return encoder.encode(12,
+                          [&](int i, mpeg2::Frame* f) { gen->render(i, f); });
+  }();
+  return es;
+}
+
+void BM_FastIdct(benchmark::State& state) {
+  SplitMix64 rng(1);
+  int16_t block[64];
+  for (auto& v : block) v = int16_t(int(rng.next_below(400)) - 200);
+  int16_t work[64];
+  for (auto _ : state) {
+    std::copy(std::begin(block), std::end(block), std::begin(work));
+    mpeg2::fast_idct_8x8(work);
+    benchmark::DoNotOptimize(work[0]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FastIdct);
+
+void BM_ForwardDct(benchmark::State& state) {
+  SplitMix64 rng(2);
+  int16_t pixels[64], coeff[64];
+  for (auto& v : pixels) v = int16_t(rng.next_below(256));
+  for (auto _ : state) {
+    mpeg2::forward_dct_8x8(pixels, coeff);
+    benchmark::DoNotOptimize(coeff[0]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ForwardDct);
+
+void BM_DctCoeffVlc(benchmark::State& state) {
+  // Encode a realistic run/level sequence once, decode it repeatedly.
+  BitWriter w;
+  SplitMix64 rng(3);
+  const int coeffs = 64;
+  bool first = true;
+  for (int i = 0; i < coeffs; ++i) {
+    mpeg2::encode_dct_coeff_b14(w, int(rng.next_below(4)),
+                                int(rng.next_below(12)) + 1, first);
+    first = false;
+  }
+  mpeg2::encode_eob_b14(w);
+  w.align_to_byte();
+  const auto bytes = w.take();
+  for (auto _ : state) {
+    BitReader r(bytes);
+    bool f = true;
+    int n = 0;
+    while (true) {
+      const auto c = mpeg2::decode_dct_coeff_b14(r, f);
+      f = false;
+      if (c.eob) break;
+      n += c.level;
+    }
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * coeffs);
+}
+BENCHMARK(BM_DctCoeffVlc);
+
+void BM_MotionCompensateHalfPel(benchmark::State& state) {
+  mpeg2::Frame ref(128, 128);
+  SplitMix64 rng(4);
+  for (int y = 0; y < 128; ++y)
+    for (int x = 0; x < 128; ++x) ref.y.set(x, y, uint8_t(rng.next()));
+  mpeg2::FrameRefSource src(ref);
+  mpeg2::Macroblock mb;
+  mb.flags = mpeg2::mb_flags::kMotionForward;
+  mb.mv[0][0] = 13;  // half-pel in both axes
+  mb.mv[0][1] = 7;
+  mpeg2::MacroblockPixels out;
+  for (auto _ : state) {
+    mpeg2::motion_compensate(mb, &src, nullptr, 2, 2, &out);
+    benchmark::DoNotOptimize(out.y[0]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MotionCompensateHalfPel);
+
+void BM_StartCodeScan(benchmark::State& state) {
+  const auto& es = test_stream();
+  for (auto _ : state) {
+    auto spans = scan_pictures(es);
+    benchmark::DoNotOptimize(spans.size());
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * int64_t(es.size()));
+}
+BENCHMARK(BM_StartCodeScan);
+
+void BM_MacroblockSplitPicture(benchmark::State& state) {
+  const auto& es = test_stream();
+  core::RootSplitter root(es);
+  wall::TileGeometry geo(1280, 720, int(state.range(0)), 2, 40);
+  core::MacroblockSplitter splitter(geo);
+  splitter.set_stream_info(root.stream_info());
+  int i = 0;
+  for (auto _ : state) {
+    auto result = splitter.split(root.picture(i), uint32_t(i));
+    benchmark::DoNotOptimize(result.stats.macroblocks);
+    i = (i + 1) % root.picture_count();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MacroblockSplitPicture)->Arg(2)->Arg(4);
+
+void BM_SerialDecodePicture(benchmark::State& state) {
+  const auto& es = test_stream();
+  for (auto _ : state) {
+    mpeg2::Mpeg2Decoder dec;
+    int frames = 0;
+    dec.decode(es, [&](const mpeg2::Frame&, const mpeg2::DecodedPictureInfo&) {
+      ++frames;
+    });
+    benchmark::DoNotOptimize(frames);
+  }
+  state.SetItemsProcessed(state.iterations() * 12);
+}
+BENCHMARK(BM_SerialDecodePicture)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pdw
+
+BENCHMARK_MAIN();

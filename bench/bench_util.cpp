@@ -1,0 +1,60 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/check.h"
+#include "common/text_table.h"
+
+namespace pdw::benchutil {
+
+int bench_frames() { return video::default_frame_count(); }
+
+std::vector<uint8_t> stream(int id) {
+  const video::StreamSpec& spec = video::stream_by_id(id);
+  std::fprintf(stderr, "[bench] stream %d (%s, %dx%d): generating/loading...\n",
+               id, spec.name.c_str(), spec.width, spec.height);
+  auto es = video::load_stream(spec, bench_frames());
+  PDW_CHECK(!es.empty());
+  return es;
+}
+
+std::vector<core::PictureTrace> collect_traces(
+    const std::vector<uint8_t>& es, const wall::TileGeometry& geo) {
+  {
+    // Warm-up: run a few pictures through a scratch pipeline so one-time
+    // costs (VLC lookup-table construction, first-touch page faults) do not
+    // contaminate the measured traces.
+    core::LockstepPipeline warmup(geo, 1, es);
+    warmup.run(nullptr, nullptr, 3);
+  }
+  core::LockstepPipeline pipeline(geo, 1, es);
+  std::vector<core::PictureTrace> traces;
+  int displayed = 0;
+  pipeline.run(
+      [&](int, const mpeg2::TileFrame&, const core::TileDisplayInfo&) {
+        ++displayed;
+      },
+      [&](const core::PictureTrace& tr) { traces.push_back(tr); });
+  PDW_CHECK_GT(displayed, 0);
+  return traces;
+}
+
+sim::LinkModel default_link() { return sim::LinkModel{}; }
+
+void print_banner(const std::string& title, const std::string& paper_ref,
+                  const std::string& expectation) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("Paper expectation: %s\n", expectation.c_str());
+  std::printf("Frames per stream: %d (paper: 240)\n", bench_frames());
+  std::printf("================================================================\n");
+}
+
+std::string config_name(int k, int m, int n, bool two_level) {
+  if (!two_level) return format("1-(%d,%d)", m, n);
+  return format("1-%d-(%d,%d)", k, m, n);
+}
+
+}  // namespace pdw::benchutil

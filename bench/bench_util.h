@@ -1,0 +1,45 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Every bench prints (a) the reproduced table/figure as an aligned text
+// table, (b) the same data as CSV for plotting, and (c) a short "paper
+// expectation" note so EXPERIMENTS.md comparisons are self-describing.
+//
+// Environment knobs:
+//   PDW_FRAMES     frames per generated stream (default 48; paper used 240)
+//   PDW_CACHE_DIR  where generated streams are cached
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/lockstep.h"
+#include "sim/cluster_sim.h"
+#include "video/catalog.h"
+#include "wall/geometry.h"
+
+namespace pdw::benchutil {
+
+// Frames used by benches (PDW_FRAMES override).
+int bench_frames();
+
+// Load (generate-or-cache) catalog stream `id` at bench_frames().
+std::vector<uint8_t> stream(int id);
+
+// Run the lockstep pipeline once and collect per-picture traces (the cluster
+// simulator's input). Also verifies decode liveness as a side effect.
+std::vector<core::PictureTrace> collect_traces(
+    const std::vector<uint8_t>& es, const wall::TileGeometry& geo);
+
+// The modeled interconnect: Myrinet-class defaults (see sim::LinkModel).
+sim::LinkModel default_link();
+
+// Projector overlap used throughout (the Princeton wall's ~40 px).
+inline constexpr int kOverlap = 40;
+
+// Banner with the paper reference for this experiment.
+void print_banner(const std::string& title, const std::string& paper_ref,
+                  const std::string& expectation);
+
+std::string config_name(int k, int m, int n, bool two_level);
+
+}  // namespace pdw::benchutil

@@ -1,0 +1,67 @@
+// Configuration assistant (paper §4.6 + the §6 future-work extension).
+//
+// Given a video stream and a target frame rate, determine the wall
+// configuration the way the paper prescribes — (m, n) by matching the video
+// resolution against the projector panels, k by measuring t_s and t_d on a
+// prefix of the stream — and report the predicted and simulated frame rates.
+//
+// Usage:
+//   configure_wall [stream_id=10] [target_fps=30]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/config.h"
+#include "core/lockstep.h"
+#include "sim/cluster_sim.h"
+#include "video/catalog.h"
+
+using namespace pdw;
+
+int main(int argc, char** argv) {
+  const int stream_id = argc > 1 ? std::atoi(argv[1]) : 10;
+  const double target_fps = argc > 2 ? std::atof(argv[2]) : 30.0;
+
+  const video::StreamSpec& spec = video::stream_by_id(stream_id);
+  std::printf("stream %d (%s), %dx%d, target %.1f fps\n", spec.id,
+              spec.name.c_str(), spec.width, spec.height, target_fps);
+
+  // Step 1: screen configuration from the panel geometry (§4.6).
+  core::WallPanel panel;  // 1024x768 projectors, 40 px blend overlap
+  int m = 0, n = 0;
+  core::choose_tiling(spec.width, spec.height, panel, &m, &n);
+  std::printf("panel %dx%d overlap %d -> screen configuration (%d,%d)\n",
+              panel.width, panel.height, panel.overlap, m, n);
+
+  // Step 2: measure t_s and t_d on a short prefix.
+  const auto es = video::load_stream(spec, video::default_frame_count());
+  wall::TileGeometry geo(spec.width, spec.height, m, n, panel.overlap);
+  core::LockstepPipeline pipeline(geo, 1, es);
+  std::vector<core::PictureTrace> traces;
+  pipeline.run(nullptr,
+               [&](const core::PictureTrace& tr) { traces.push_back(tr); },
+               /*max_pictures=*/24);
+  const auto costs = sim::measure_costs(traces);
+  std::printf("measured on %zu pictures: t_s = %.2f ms, t_d = %.2f ms\n",
+              traces.size(), costs.t_split * 1e3, costs.t_decode * 1e3);
+
+  // Step 3: k for the target rate (future-work auto-configuration) and the
+  // k that saturates the decoders.
+  const int k_full = core::choose_k(costs.t_split, costs.t_decode);
+  const int k_target =
+      core::choose_k_for_target_fps(target_fps, costs.t_split, costs.t_decode);
+  std::printf("decoder-saturating k* = %d (F = %.1f fps)\n", k_full,
+              core::predicted_fps(k_full, costs.t_split, costs.t_decode));
+  std::printf("k for %.1f fps target = %d (F = %.1f fps)\n", target_fps,
+              k_target,
+              core::predicted_fps(k_target, costs.t_split, costs.t_decode));
+
+  // Step 4: validate with the cluster simulator.
+  sim::SimParams p;
+  p.two_level = k_target > 0;
+  p.k = std::max(1, k_target);
+  const auto r = sim::simulate_cluster(traces, geo, p);
+  std::printf("simulated 1-%d-(%d,%d): %.1f fps on %d nodes -> %s\n", p.k, m,
+              n, r.fps, r.nodes,
+              r.fps >= target_fps ? "target met" : "decoder-limited");
+  return 0;
+}

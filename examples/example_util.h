@@ -1,0 +1,43 @@
+// Shared helpers for the example programs: YUV->RGB conversion and PPM
+// snapshot output so results are visually inspectable.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "mpeg2/frame.h"
+
+namespace pdw::examples {
+
+// BT.601 full-swing-ish conversion, adequate for snapshots.
+inline void yuv_to_rgb(int y, int cb, int cr, uint8_t* rgb) {
+  const double yd = y - 16.0;
+  const double u = cb - 128.0;
+  const double v = cr - 128.0;
+  auto clamp = [](double x) {
+    return uint8_t(x < 0 ? 0 : (x > 255 ? 255 : x));
+  };
+  rgb[0] = clamp(1.164 * yd + 1.596 * v);
+  rgb[1] = clamp(1.164 * yd - 0.392 * u - 0.813 * v);
+  rgb[2] = clamp(1.164 * yd + 2.017 * u);
+}
+
+// Write a frame as a binary PPM (4:2:0 chroma upsampled by replication).
+inline bool write_ppm(const mpeg2::Frame& f, const std::string& path) {
+  std::FILE* out = std::fopen(path.c_str(), "wb");
+  if (!out) return false;
+  std::fprintf(out, "P6\n%d %d\n255\n", f.width(), f.height());
+  std::vector<uint8_t> row(size_t(f.width()) * 3);
+  for (int y = 0; y < f.height(); ++y) {
+    const uint8_t* luma = f.y.row(y);
+    const uint8_t* cb = f.cb.row(y / 2);
+    const uint8_t* cr = f.cr.row(y / 2);
+    for (int x = 0; x < f.width(); ++x)
+      yuv_to_rgb(luma[x], cb[x / 2], cr[x / 2], &row[size_t(x) * 3]);
+    std::fwrite(row.data(), 1, row.size(), out);
+  }
+  std::fclose(out);
+  return true;
+}
+
+}  // namespace pdw::examples

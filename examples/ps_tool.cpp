@@ -1,0 +1,130 @@
+// System-layer tool: wrap a video elementary stream into an MPEG-2 program
+// stream (pack headers, PES packets, PTS/DTS) or transport stream (188-byte
+// packets, PAT/PMT, PCR), unwrap either, and print container structure.
+//
+//   ps_tool mux     <in.m2v> <out.mpg> [fps]     program stream
+//   ps_tool demux   <in.mpg> <out.m2v>
+//   ps_tool info    <in.mpg>
+//   ps_tool tsmux   <in.m2v> <out.ts> [fps]      transport stream
+//   ps_tool tsdemux <in.ts>  <out.m2v>
+//   ps_tool tsinfo  <in.ts>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "ps/program_stream.h"
+#include "ps/transport_stream.h"
+
+using namespace pdw;
+
+namespace {
+
+std::vector<uint8_t> read_file(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    std::exit(1);
+  }
+  return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+}
+
+void write_file(const char* path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            std::streamsize(bytes.size()));
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  %s mux   <in.m2v> <out.mpg> [fps]\n"
+               "  %s demux <in.mpg> <out.m2v>\n"
+               "  %s info  <in.mpg>\n"
+               "  %s tsmux   <in.m2v> <out.ts> [fps]\n"
+               "  %s tsdemux <in.ts> <out.m2v>\n"
+               "  %s tsinfo  <in.ts>\n",
+               argv0, argv0, argv0, argv0, argv0, argv0);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage(argv[0]);
+  const std::string mode = argv[1];
+
+  if (mode == "tsmux") {
+    if (argc < 4) return usage(argv[0]);
+    const auto es = read_file(argv[2]);
+    ps::TsMuxConfig cfg;
+    if (argc > 4) cfg.frame_rate = std::atof(argv[4]);
+    const auto ts = ps::mux_transport_stream(es, cfg);
+    write_file(argv[3], ts);
+    std::printf("muxed %zu ES bytes -> %zu TS bytes (%zu packets, %.1f%% overhead)\n",
+                es.size(), ts.size(), ts.size() / ps::kTsPacketSize,
+                100.0 * double(ts.size() - es.size()) / es.size());
+    return 0;
+  }
+  if (mode == "tsdemux" || mode == "tsinfo") {
+    const auto ts = read_file(argv[2]);
+    const auto d = ps::demux_transport_stream(ts);
+    if (mode == "tsdemux") {
+      if (argc < 4) return usage(argv[0]);
+      write_file(argv[3], d.video_es);
+      std::printf("extracted %zu video ES bytes from %d video packets\n",
+                  d.video_es.size(), d.video_packets);
+    } else {
+      std::printf("packets:        %d (video %d, PSI %d, ignored %d)\n",
+                  d.packets, d.video_packets, d.psi_packets,
+                  d.ignored_packets);
+      std::printf("video PID:      0x%04X\n", d.video_pid);
+      std::printf("continuity errors: %d\n", d.continuity_errors);
+      if (!d.pcr.empty())
+        std::printf("PCR range:      %.3f .. %.3f s\n",
+                    double(d.pcr.front()) / 27e6, double(d.pcr.back()) / 27e6);
+      std::printf("timestamped pictures: %zu\n", d.pts.size());
+    }
+    return 0;
+  }
+  if (mode == "mux") {
+    if (argc < 4) return usage(argv[0]);
+    const auto es = read_file(argv[2]);
+    ps::MuxConfig cfg;
+    if (argc > 4) cfg.frame_rate = std::atof(argv[4]);
+    const auto program = ps::mux_program_stream(es, cfg);
+    write_file(argv[3], program);
+    std::printf("muxed %zu ES bytes -> %zu PS bytes (%.1f%% overhead)\n",
+                es.size(), program.size(),
+                100.0 * double(program.size() - es.size()) / es.size());
+    return 0;
+  }
+
+  const auto program = read_file(argv[2]);
+  const auto d = ps::demux_program_stream(program);
+
+  if (mode == "demux") {
+    if (argc < 4) return usage(argv[0]);
+    write_file(argv[3], d.video_es);
+    std::printf("extracted %zu video ES bytes from %d PES packets\n",
+                d.video_es.size(), d.pes_packets);
+    return 0;
+  }
+
+  if (mode == "info") {
+    std::printf("packs:          %d\n", d.packs);
+    std::printf("video PES:      %d\n", d.pes_packets);
+    std::printf("other PES:      %d (skipped)\n", d.skipped_packets);
+    std::printf("video ES bytes: %zu\n", d.video_es.size());
+    if (!d.pts.empty()) {
+      std::printf("first PTS:      %.3f s\n", double(d.pts.front()) / 90000.0);
+      std::printf("last PTS:       %.3f s\n", double(d.pts.back()) / 90000.0);
+      std::printf("timestamped pictures: %zu\n", d.pts.size());
+    }
+    if (!d.scr.empty())
+      std::printf("SCR range:      %.3f .. %.3f s (27 MHz clock)\n",
+                  double(d.scr.front()) / 27e6, double(d.scr.back()) / 27e6);
+    return 0;
+  }
+  return usage(argv[0]);
+}

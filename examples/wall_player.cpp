@@ -1,0 +1,96 @@
+// Wall player: "play" one of the paper's 16 catalog streams on an m x n
+// display wall and report what the operator of the Princeton wall would see:
+// the simulated cluster frame rate, the per-node bandwidth, and snapshots of
+// the assembled wall image.
+//
+// Usage:
+//   wall_player [stream_id=16] [m] [n] [k] [frames]
+//
+// Defaults: the stream's Table-6 configuration, k from the measured t_s/t_d,
+// and PDW_FRAMES (48) frames.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "core/config.h"
+#include "core/lockstep.h"
+#include "examples/example_util.h"
+#include "sim/cluster_sim.h"
+#include "video/catalog.h"
+#include "wall/assembler.h"
+
+using namespace pdw;
+
+int main(int argc, char** argv) {
+  const int stream_id = argc > 1 ? std::atoi(argv[1]) : 16;
+  const video::StreamSpec& spec = video::stream_by_id(stream_id);
+  const int m = argc > 2 ? std::atoi(argv[2]) : spec.tiles_m;
+  const int n = argc > 3 ? std::atoi(argv[3]) : spec.tiles_n;
+  int k = argc > 4 ? std::atoi(argv[4]) : 0;  // 0 = auto
+  const int frames =
+      argc > 5 ? std::atoi(argv[5]) : video::default_frame_count();
+
+  std::printf("stream %d (%s): %dx%d \"%s\"\n", spec.id, spec.name.c_str(),
+              spec.width, spec.height, spec.note.c_str());
+  const auto es = video::load_stream(spec, frames);
+  std::printf("%d frames, %.2f MB (%.3f bpp)\n", frames,
+              double(es.size()) / 1e6,
+              double(es.size()) * 8 / (double(spec.pixels()) * frames));
+
+  wall::TileGeometry geo(spec.width, spec.height, m, n, 40);
+  core::LockstepPipeline pipeline(geo, 1, es);
+
+  // Play: decode every picture, assemble the wall, snapshot a few frames,
+  // and collect cost traces for the cluster simulation.
+  std::vector<core::PictureTrace> traces;
+  struct Pending {
+    std::unique_ptr<wall::WallAssembler> assembler;
+    int tiles = 0;
+  };
+  std::map<int, Pending> pending;
+  int assembled = 0;
+  pipeline.run(
+      [&](int tile, const mpeg2::TileFrame& tf,
+          const core::TileDisplayInfo& info) {
+        Pending& p = pending[info.display_index];
+        if (!p.assembler)
+          p.assembler = std::make_unique<wall::WallAssembler>(geo);
+        p.assembler->add_tile(tile, tf);
+        if (++p.tiles == geo.tiles()) {
+          p.assembler->check_coverage();
+          if (info.display_index % 16 == 0) {
+            char name[64];
+            std::snprintf(name, sizeof(name), "wall_s%02d_frame%03d.ppm",
+                          spec.id, info.display_index);
+            examples::write_ppm(
+                wall::crop_frame(p.assembler->frame(), geo.width(),
+                                 geo.height()),
+                name);
+            std::printf("wrote %s\n", name);
+          }
+          ++assembled;
+          pending.erase(info.display_index);
+        }
+      },
+      [&](const core::PictureTrace& tr) { traces.push_back(tr); });
+  std::printf("assembled %d wall frames (all tiles, coverage checked)\n",
+              assembled);
+
+  // Cluster performance on the modeled Myrinet.
+  const auto costs = sim::measure_costs(traces);
+  if (k <= 0) k = core::choose_k(costs.t_split, costs.t_decode);
+  sim::SimParams p;
+  p.two_level = true;
+  p.k = k;
+  const auto r = sim::simulate_cluster(traces, geo, p);
+  std::printf("\n1-%d-(%d,%d) on %d nodes: %.1f fps (t_s %.2f ms, t_d %.2f "
+              "ms, model %.1f fps)\n",
+              k, m, n, r.nodes, r.fps, costs.t_split * 1e3,
+              costs.t_decode * 1e3,
+              core::predicted_fps(k, costs.t_split, costs.t_decode));
+  double max_bw = 0;
+  for (int nid = 1; nid < r.nodes; ++nid)
+    max_bw = std::max(max_bw, r.send_bandwidth_Bps(nid));
+  std::printf("peak per-node send bandwidth: %.2f MB/s\n", max_bw / 1e6);
+  return 0;
+}

@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Plot the paper-reproduction figures from benchmark CSV output.
+
+Each bench binary prints its table twice: human-aligned and as a CSV block
+after a line reading "CSV:". This script extracts those CSV blocks and, when
+matplotlib is available, renders the paper's figures:
+
+  Figure 6 — frame rate vs node count, one-level vs two-level
+  Figure 7 — per-decoder runtime breakdown (stacked bars)
+  Figure 8 — pixel decoding rate vs node count
+  Figure 9 — per-node send/receive bandwidth (grouped bars)
+
+Usage:
+  bench/bench_table5_fig6_framerate > fig6.txt
+  scripts/plot_results.py fig6 fig6.txt out.png
+
+Without matplotlib the script still extracts and prints the CSV, so it can
+feed any other plotting tool.
+"""
+import csv
+import io
+import sys
+
+
+def extract_csv_blocks(text: str):
+    """Return the list of CSV blocks (each a list of rows) in the output."""
+    blocks, current, in_csv = [], [], False
+    for line in text.splitlines():
+        if line.strip() == "CSV:":
+            in_csv = True
+            current = []
+            continue
+        if in_csv:
+            if "," in line:
+                current.append(line)
+            else:
+                if current:
+                    blocks.append(list(csv.reader(io.StringIO("\n".join(current)))))
+                in_csv = False
+    if in_csv and current:
+        blocks.append(list(csv.reader(io.StringIO("\n".join(current)))))
+    return blocks
+
+
+def _plt():
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+
+        return plt
+    except ImportError:
+        return None
+
+
+def plot_fig6(blocks, out):
+    plt = _plt()
+    if plt is None:
+        return False
+    fig, ax = plt.subplots(figsize=(7, 5))
+    labels = ["stream 1", "stream 8"]
+    for i, block in enumerate(blocks[:2]):
+        head, rows = block[0], block[1:]
+        nodes1 = [int(r[head.index("nodes")]) for r in rows]
+        fps1 = [float(r[head.index("fps(1-level)")]) for r in rows]
+        nodes2 = [int(r[head.index("nodes2")]) for r in rows]
+        fps2 = [float(r[head.index("fps(2-level)")]) for r in rows]
+        ax.plot(nodes1, fps1, "--o", label=f"{labels[i]} one-level")
+        ax.plot(nodes2, fps2, "-s", label=f"{labels[i]} two-level")
+    ax.set_xlabel("number of nodes")
+    ax.set_ylabel("frames per second")
+    ax.set_title("Figure 6: one-level vs two-level frame rate")
+    ax.legend()
+    ax.grid(True, alpha=0.3)
+    fig.savefig(out, dpi=120, bbox_inches="tight")
+    return True
+
+
+def plot_fig7(blocks, out):
+    plt = _plt()
+    if plt is None:
+        return False
+    fig, axes = plt.subplots(1, len(blocks), figsize=(6 * len(blocks), 5))
+    if len(blocks) == 1:
+        axes = [axes]
+    cats = ["Work%", "Serve%", "Receive%", "Wait%", "Ack%"]
+    for ax, block in zip(axes, blocks):
+        head, rows = block[0], block[1:]
+        names = [r[0] for r in rows]
+        bottoms = [0.0] * len(rows)
+        for cat in cats:
+            vals = [float(r[head.index(cat)]) for r in rows]
+            ax.bar(names, vals, bottom=bottoms, label=cat)
+            bottoms = [b + v for b, v in zip(bottoms, vals)]
+        ax.set_ylabel("% of runtime")
+        ax.legend(fontsize=8)
+        ax.tick_params(axis="x", rotation=90, labelsize=7)
+    fig.suptitle("Figure 7: decoder runtime breakdown")
+    fig.savefig(out, dpi=120, bbox_inches="tight")
+    return True
+
+
+def plot_fig8(blocks, out):
+    plt = _plt()
+    if plt is None:
+        return False
+    head, rows = blocks[0][0], blocks[0][1:]
+    nodes = [int(r[head.index("nodes")]) for r in rows]
+    mpps = [float(r[head.index("Mpps")]) for r in rows]
+    fig, ax = plt.subplots(figsize=(7, 5))
+    ax.plot(nodes, mpps, "o")
+    ax.set_xlabel("number of nodes")
+    ax.set_ylabel("pixel decoding rate (Mpps)")
+    ax.set_title("Figure 8: resolution scalability")
+    ax.grid(True, alpha=0.3)
+    fig.savefig(out, dpi=120, bbox_inches="tight")
+    return True
+
+
+def plot_fig9(blocks, out):
+    plt = _plt()
+    if plt is None:
+        return False
+    head, rows = blocks[0][0], blocks[0][1:]
+    names = [r[head.index("role")] for r in rows]
+    send = [float(r[head.index("send MB/s")]) for r in rows]
+    recv = [float(r[head.index("recv MB/s")]) for r in rows]
+    x = range(len(names))
+    fig, ax = plt.subplots(figsize=(10, 5))
+    ax.bar([i - 0.2 for i in x], recv, width=0.4, label="receive")
+    ax.bar([i + 0.2 for i in x], send, width=0.4, label="send")
+    ax.set_xticks(list(x))
+    ax.set_xticklabels(names, rotation=90, fontsize=7)
+    ax.set_ylabel("MB/s")
+    ax.set_title("Figure 9: per-node bandwidth, 1-4-(4,4), stream 16")
+    ax.legend()
+    fig.savefig(out, dpi=120, bbox_inches="tight")
+    return True
+
+
+PLOTTERS = {"fig6": plot_fig6, "fig7": plot_fig7, "fig8": plot_fig8,
+            "fig9": plot_fig9}
+
+
+def main():
+    if len(sys.argv) < 3:
+        print(__doc__)
+        return 1
+    kind, path = sys.argv[1], sys.argv[2]
+    out = sys.argv[3] if len(sys.argv) > 3 else f"{kind}.png"
+    with open(path) as f:
+        blocks = extract_csv_blocks(f.read())
+    if not blocks:
+        print("no CSV blocks found in", path)
+        return 1
+    if kind in PLOTTERS and PLOTTERS[kind](blocks, out):
+        print("wrote", out)
+        return 0
+    # Fallback: dump the extracted CSV.
+    for block in blocks:
+        for row in block:
+            print(",".join(row))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

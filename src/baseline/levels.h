@@ -1,0 +1,71 @@
+// Baseline parallelization strategies (paper §3, Table 1).
+//
+// The paper motivates the hybrid hierarchy by comparing parallelization
+// granularities: sequence, GOP, picture, slice, and macroblock level. This
+// module turns that qualitative table into measured/modeled numbers for a
+// concrete stream and wall:
+//   * splitting cost      — measured (start-code scan vs full VLC parse);
+//   * inter-decoder comm  — measured from real motion vectors (remote
+//     reference traffic), or the reference-picture shipping a picture-level
+//     decoder needs;
+//   * pixel redistribution— computed from the display geometry (decoded
+//     pixels that end up on another node's projector);
+//   * frame rate          — modeled with the same link model as the cluster
+//     simulator, using measured decode/scan/split costs.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/cluster_sim.h"
+#include "wall/geometry.h"
+
+namespace pdw::baseline {
+
+enum class ParallelLevel {
+  kSequence,
+  kGop,
+  kPicture,
+  kSlice,
+  kMacroblock,       // one-level 1-(m,n)
+  kHierarchical,     // the paper's 1-k-(m,n)
+};
+
+const char* level_name(ParallelLevel level);
+
+struct LevelReport {
+  ParallelLevel level = ParallelLevel::kSequence;
+  double split_s_per_picture = 0;        // work at the splitting node
+  double interdecoder_bytes = 0;         // per picture, across all decoders
+  double redistribution_bytes = 0;       // per picture, across all decoders
+  double fps = 0;                        // modeled throughput
+  int k = 1;                             // splitters used (hierarchical only)
+  std::string notes;
+};
+
+// Measured per-stream facts shared by all level models.
+struct StreamMeasurements {
+  int pictures = 0;
+  int gops = 0;
+  int ip_pictures = 0;            // I + P count (the reference chain)
+  double t_scan = 0;              // start-code scan per picture
+  double t_full_decode = 0;       // serial decode per picture
+  double t_mb_split = 0;          // macroblock split per picture (m,n geo)
+  double t_tile_decode = 0;       // slowest tile decode per picture
+  double avg_picture_bytes = 0;
+  double frame_pixel_bytes = 0;   // decoded size: 1.5 * W * H
+  double mb_exchange_bytes = 0;   // per picture, (m,n) tiling
+  double band_exchange_bytes = 0; // per picture, (1,T) horizontal bands
+};
+
+StreamMeasurements measure_stream(std::span<const uint8_t> es,
+                                  const wall::TileGeometry& geo);
+
+// Evaluate every level of Table 1 (plus the paper's hierarchical system) for
+// one stream on the given wall and link.
+std::vector<LevelReport> compare_levels(std::span<const uint8_t> es,
+                                        const wall::TileGeometry& geo,
+                                        const sim::LinkModel& link);
+
+}  // namespace pdw::baseline

@@ -1,0 +1,105 @@
+#include "baseline/slice_pipeline.h"
+
+#include <map>
+
+#include "wall/assembler.h"
+
+namespace pdw::baseline {
+
+using core::TileDisplayInfo;
+using mpeg2::TileFrame;
+
+SlicePipeline::SlicePipeline(const wall::TileGeometry& display,
+                             std::span<const uint8_t> es)
+    : display_(display),
+      bands_(display.mb_width() * 16, display.mb_height() * 16, 1,
+             display.tiles(), 0),
+      es_(es) {
+  PDW_CHECK_GE(display.mb_height(), display.tiles())
+      << "need at least one macroblock row per band";
+}
+
+SlicePipelineStats SlicePipeline::run(const TileDisplayFn& on_display) {
+  SlicePipelineStats stats;
+  const int T = display_.tiles();
+
+  // Redistribution geometry is static: band b keeps its intersection with
+  // display tile b and ships the rest of its band; likewise it receives the
+  // remainder of tile b from the other bands. Count shipped bytes once.
+  double shipped_pixels = 0;
+  double kept_pixels = 0;
+  for (int b = 0; b < T; ++b) {
+    const wall::MbRect& band = bands_.tile_mbs(b);
+    const wall::PixelRect& own = display_.tile_pixels(b);
+    const int band_y0 = band.y0 * 16;
+    const int band_y1 = std::min(band.y1 * 16, display_.height());
+    const double band_pixels =
+        double(display_.width()) * double(band_y1 - band_y0);
+    const int ky0 = std::max(band_y0, own.y0);
+    const int ky1 = std::min(band_y1, std::min(own.y1, display_.height()));
+    const int kx1 = std::min(own.x1, display_.width());
+    const double kept =
+        ky1 > ky0 ? double(kx1 - own.x0) * double(ky1 - ky0) : 0.0;
+    shipped_pixels += band_pixels - kept;
+    kept_pixels += kept;
+  }
+  stats.redistribution_bytes_per_picture = shipped_pixels * 1.5;
+  stats.kept_fraction =
+      kept_pixels / (double(display_.width()) * display_.height());
+
+  // Decode bands with the existing machinery (one "tile" per band). The
+  // reference exchange between bands is the slice-level inter-decoder
+  // communication of Table 1.
+  core::LockstepPipeline pipeline(bands_, 1, es_);
+
+  // Reassemble full frames from the bands, then cut display tiles — the
+  // redistribution performed in data (byte counts accounted above).
+  struct Pending {
+    std::unique_ptr<wall::WallAssembler> assembler;
+    int bands = 0;
+  };
+  std::map<int, Pending> pending;
+
+  double exchange = 0;
+  int pictures = 0;
+  pipeline.run(
+      [&](int band, const TileFrame& tf, const TileDisplayInfo& info) {
+        Pending& p = pending[info.display_index];
+        if (!p.assembler)
+          p.assembler = std::make_unique<wall::WallAssembler>(bands_);
+        p.assembler->add_tile(band, tf);
+        if (++p.bands != T) return;
+        p.assembler->check_coverage();
+        const mpeg2::Frame& full = p.assembler->frame();
+        // Emit each display tile as a TileFrame cut from the full picture.
+        for (int t = 0; t < T; ++t) {
+          const wall::MbRect& rect = display_.tile_mbs(t);
+          TileFrame out(rect.x0, rect.y0, rect.x1, rect.y1);
+          for (int y = out.py0(); y < out.py1(); ++y)
+            std::memcpy(out.pixel(0, out.px0(), y), full.y.row(y) + out.px0(),
+                        size_t(out.px1() - out.px0()));
+          for (int y = out.py0() / 2; y < out.py1() / 2; ++y) {
+            std::memcpy(out.pixel(1, out.px0() / 2, y),
+                        full.cb.row(y) + out.px0() / 2,
+                        size_t((out.px1() - out.px0()) / 2));
+            std::memcpy(out.pixel(2, out.px0() / 2, y),
+                        full.cr.row(y) + out.px0() / 2,
+                        size_t((out.px1() - out.px0()) / 2));
+          }
+          if (on_display) on_display(t, out, info);
+        }
+        pending.erase(info.display_index);
+      },
+      [&](const core::PictureTrace& tr) {
+        for (uint64_t b : tr.exchange_bytes) exchange += double(b);
+        ++pictures;
+      });
+
+  PDW_CHECK(pending.empty()) << "incomplete band frames at end of stream";
+  stats.pictures = pictures;
+  if (pictures > 0)
+    stats.reference_exchange_bytes_per_picture = exchange / pictures;
+  return stats;
+}
+
+}  // namespace pdw::baseline

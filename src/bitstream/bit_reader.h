@@ -1,0 +1,122 @@
+// MSB-first bit reader over a borrowed byte buffer.
+//
+// This is the hot inner loop of both the decoder and the macroblock-level
+// splitter, so the design follows the usual codec idiom: a 64-bit cache
+// refilled byte-wise, with peek/skip split so VLC decoding can peek a fixed
+// window and then consume the matched length.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/check.h"
+
+namespace pdw {
+
+class BitReader {
+ public:
+  BitReader() = default;
+  explicit BitReader(std::span<const uint8_t> data) : data_(data) {}
+
+  // Construct positioned at an arbitrary bit offset (used when decoding
+  // sub-picture partial slices, whose payload starts mid-byte). O(1): jumps
+  // whole bytes directly.
+  BitReader(std::span<const uint8_t> data, size_t bit_offset)
+      : BitReader(data) {
+    byte_pos_ = bit_offset / 8;
+    skip(bit_offset % 8);
+  }
+
+  // Next `n` bits (n in [0,24]) left-aligned into the low bits, without
+  // consuming. Bits past the end of the buffer read as zero; callers detect
+  // overrun via overrun() / CHECK at a safe boundary.
+  uint32_t peek(int n) {
+    PDW_CHECK_LE(n, 24);
+    fill(n);
+    return n == 0 ? 0u : uint32_t(cache_ >> (kCacheBits - n));
+  }
+
+  void skip(size_t n) {
+    while (n > 24) {
+      consume(24);
+      n -= 24;
+    }
+    consume(int(n));
+  }
+
+  // Read and consume `n` bits, n in [0,24].
+  uint32_t read(int n) {
+    const uint32_t v = peek(n);
+    consume(n);
+    return v;
+  }
+
+  // Read a value wider than 24 bits (e.g. 32-bit start codes in tests).
+  uint64_t read_wide(int n) {
+    PDW_CHECK_LE(n, 64);
+    uint64_t v = 0;
+    while (n > 0) {
+      const int chunk = n > 24 ? 24 : n;
+      v = (v << chunk) | read(chunk);
+      n -= chunk;
+    }
+    return v;
+  }
+
+  bool read_bit() { return read(1) != 0; }
+
+  // Absolute position in bits from the start of the buffer.
+  size_t bit_pos() const { return byte_pos_ * 8 - size_t(cache_bits_); }
+
+  size_t size_bits() const { return data_.size() * 8; }
+  size_t bits_left() const {
+    const size_t pos = bit_pos();
+    return pos >= size_bits() ? 0 : size_bits() - pos;
+  }
+
+  // True if any read has consumed bits beyond the end of the buffer.
+  bool overrun() const { return bit_pos() > size_bits(); }
+
+  bool byte_aligned() const { return bit_pos() % 8 == 0; }
+
+  void align_to_byte() {
+    const size_t rem = bit_pos() % 8;
+    if (rem) skip(8 - rem);
+  }
+
+  // True if the aligned reader is looking at 0x000001 (a start code prefix).
+  // Only meaningful when byte_aligned().
+  bool at_start_code_prefix() {
+    return byte_aligned() && bits_left() >= 24 && peek(24) == 0x000001;
+  }
+
+  // MPEG-2 "next_start_code()": align, then true if the next bits are a start
+  // code prefix or the stream is exhausted.
+  std::span<const uint8_t> data() const { return data_; }
+
+ private:
+  static constexpr int kCacheBits = 64;
+
+  void fill(int n) {
+    while (cache_bits_ < n) {
+      const uint64_t byte =
+          byte_pos_ < data_.size() ? data_[byte_pos_] : 0;  // zero-pad past end
+      ++byte_pos_;
+      cache_ |= byte << (kCacheBits - 8 - cache_bits_);
+      cache_bits_ += 8;
+    }
+  }
+
+  void consume(int n) {
+    fill(n);
+    cache_ <<= n;
+    cache_bits_ -= n;
+  }
+
+  std::span<const uint8_t> data_;
+  size_t byte_pos_ = 0;  // next byte to load into the cache
+  uint64_t cache_ = 0;   // left-aligned
+  int cache_bits_ = 0;
+};
+
+}  // namespace pdw

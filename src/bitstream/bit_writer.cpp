@@ -1,0 +1,3 @@
+#include "bitstream/bit_writer.h"
+
+// Header-only today; this TU anchors the library target.

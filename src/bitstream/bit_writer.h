@@ -1,0 +1,67 @@
+// MSB-first bit writer appending to an owned byte vector.
+//
+// Used by the MPEG-2 encoder and by unit tests that synthesize bitstream
+// fragments. Unlike the reader this is not on the parallel-decoder critical
+// path, so it favours clarity over micro-optimization.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace pdw {
+
+class BitWriter {
+ public:
+  // Append the low `n` bits of `value`, MSB first. n in [0,32].
+  void put(uint32_t value, int n) {
+    PDW_CHECK_LE(n, 32);
+    if (n < 32) PDW_CHECK_LT(uint64_t(value), uint64_t(1) << n);
+    for (int i = n - 1; i >= 0; --i) put_bit((value >> i) & 1u);
+  }
+
+  void put_bit(uint32_t bit) {
+    cur_ = uint8_t((cur_ << 1) | (bit & 1u));
+    if (++nbits_ == 8) {
+      bytes_.push_back(cur_);
+      cur_ = 0;
+      nbits_ = 0;
+    }
+  }
+
+  // Pad with zero bits to the next byte boundary.
+  void align_to_byte() {
+    while (nbits_ != 0) put_bit(0);
+  }
+
+  // MPEG-2 start code: align, then 00 00 01 <code>.
+  void put_start_code(uint8_t code) {
+    align_to_byte();
+    bytes_.push_back(0x00);
+    bytes_.push_back(0x00);
+    bytes_.push_back(0x01);
+    bytes_.push_back(code);
+  }
+
+  size_t bit_pos() const { return bytes_.size() * 8 + size_t(nbits_); }
+  bool byte_aligned() const { return nbits_ == 0; }
+
+  // Hand out the completed buffer. Requires byte alignment.
+  std::vector<uint8_t> take() {
+    PDW_CHECK(byte_aligned());
+    std::vector<uint8_t> out = std::move(bytes_);
+    bytes_.clear();
+    return out;
+  }
+
+  // Borrow completed bytes without taking ownership (partial bits excluded).
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  uint8_t cur_ = 0;
+  int nbits_ = 0;
+};
+
+}  // namespace pdw

@@ -1,0 +1,76 @@
+// Little-endian byte-level serialization helpers for wire formats
+// (sub-pictures, MEI lists, stream info messages).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+
+namespace pdw {
+
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<uint8_t>* out) : out_(out) {}
+
+  void u8(uint8_t v) { out_->push_back(v); }
+  void u16(uint16_t v) { append(&v, 2); }
+  void u32(uint32_t v) { append(&v, 4); }
+  void u64(uint64_t v) { append(&v, 8); }
+  void i16(int16_t v) { append(&v, 2); }
+  void i32(int32_t v) { append(&v, 4); }
+  void f64(double v) { append(&v, 8); }
+
+  void bytes(std::span<const uint8_t> data) {
+    out_->insert(out_->end(), data.begin(), data.end());
+  }
+
+  size_t size() const { return out_->size(); }
+
+ private:
+  void append(const void* p, size_t n) {
+    const auto* b = static_cast<const uint8_t*>(p);
+    out_->insert(out_->end(), b, b + n);  // host is little-endian (x86/ARM LE)
+  }
+  std::vector<uint8_t>* out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> data) : data_(data) {}
+
+  uint8_t u8() { return read<uint8_t>(); }
+  uint16_t u16() { return read<uint16_t>(); }
+  uint32_t u32() { return read<uint32_t>(); }
+  uint64_t u64() { return read<uint64_t>(); }
+  int16_t i16() { return read<int16_t>(); }
+  int32_t i32() { return read<int32_t>(); }
+  double f64() { return read<double>(); }
+
+  std::span<const uint8_t> bytes(size_t n) {
+    PDW_CHECK_LE(pos_ + n, data_.size());
+    auto s = data_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  template <typename T>
+  T read() {
+    PDW_CHECK_LE(pos_ + sizeof(T), data_.size());
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace pdw

@@ -1,0 +1,13 @@
+#include "common/check.h"
+
+namespace pdw {
+
+void check_failed(const char* file, int line, const char* expr,
+                  const std::string& extra) {
+  std::ostringstream os;
+  os << "CHECK failed at " << file << ":" << line << ": " << expr;
+  if (!extra.empty()) os << " " << extra;
+  throw CheckError(os.str());
+}
+
+}  // namespace pdw

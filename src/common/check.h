@@ -1,0 +1,68 @@
+// Runtime invariant checking.
+//
+// CHECK(cond) aborts the current operation with a pdw::CheckError carrying
+// file:line and the failed expression. Used for programmer errors *and* for
+// bitstream conformance violations (a corrupt stream must never corrupt
+// memory; it must surface as a recoverable error at the picture boundary).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pdw {
+
+// Thrown on any failed CHECK. Derives from std::runtime_error so callers can
+// treat "stream malformed" and "internal bug" uniformly at the top level.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(std::string msg) : std::runtime_error(std::move(msg)) {}
+};
+
+[[noreturn]] void check_failed(const char* file, int line, const char* expr,
+                               const std::string& extra);
+
+namespace detail {
+
+// Stream-style message collector for CHECK(...) << "context".
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  [[noreturn]] ~CheckMessage() noexcept(false) {
+    check_failed(file_, line_, expr_, stream_.str());
+  }
+
+  template <typename T>
+  CheckMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+struct Voidify {
+  // Lowest-precedence operator so the macro's ternary works with <<.
+  void operator&&(const CheckMessage&) {}
+};
+
+}  // namespace detail
+}  // namespace pdw
+
+#define PDW_CHECK(cond)                  \
+  (cond) ? (void)0                       \
+         : ::pdw::detail::Voidify{} &&   \
+               ::pdw::detail::CheckMessage(__FILE__, __LINE__, #cond)
+
+#define PDW_CHECK_EQ(a, b) PDW_CHECK((a) == (b)) << " [" << (a) << " vs " << (b) << "] "
+#define PDW_CHECK_NE(a, b) PDW_CHECK((a) != (b)) << " [" << (a) << " vs " << (b) << "] "
+#define PDW_CHECK_LT(a, b) PDW_CHECK((a) < (b)) << " [" << (a) << " vs " << (b) << "] "
+#define PDW_CHECK_LE(a, b) PDW_CHECK((a) <= (b)) << " [" << (a) << " vs " << (b) << "] "
+#define PDW_CHECK_GT(a, b) PDW_CHECK((a) > (b)) << " [" << (a) << " vs " << (b) << "] "
+#define PDW_CHECK_GE(a, b) PDW_CHECK((a) >= (b)) << " [" << (a) << " vs " << (b) << "] "

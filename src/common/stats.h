@@ -1,0 +1,62 @@
+// Small numeric helpers: running statistics and deterministic RNG.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace pdw {
+
+// Welford running mean/variance with min/max tracking.
+class RunningStat {
+ public:
+  void add(double x);
+
+  int64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / double(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double sum() const { return sum_; }
+
+ private:
+  int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// SplitMix64: tiny deterministic PRNG. Every synthetic video generator and
+// property test derives its randomness from an explicit seed so that streams
+// (and therefore all benchmark numbers) are reproducible across runs.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound).
+  uint32_t next_below(uint32_t bound) {
+    return bound ? uint32_t(next() % bound) : 0;
+  }
+
+  // Uniform in [0, 1).
+  double next_double() { return double(next() >> 11) * 0x1.0p-53; }
+
+ private:
+  uint64_t state_;
+};
+
+// "12.3 MB", "456 KB", ... for human-readable bandwidth tables.
+std::string human_bytes(double bytes);
+
+}  // namespace pdw

@@ -1,0 +1,38 @@
+// Aligned text-table and CSV printer shared by all benchmark harnesses so
+// that every reproduced paper table/figure prints in a uniform format.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pdw {
+
+// Collects rows of strings and prints them as an aligned table and/or CSV.
+//
+//   TextTable t({"config", "fps", "Mpps"});
+//   t.add_row({"1-4-(4,4)", format("%.1f", fps), ...});
+//   t.print(stdout);
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Aligned human-readable table.
+  void print(std::FILE* out) const;
+
+  // Machine-readable CSV (for plotting scripts).
+  void print_csv(std::FILE* out) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// printf-style std::string formatter.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace pdw

@@ -1,0 +1,45 @@
+#include "core/config.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pdw::core {
+
+double predicted_fps(int k, double t_s, double t_d) {
+  PDW_CHECK_GT(t_s, 0.0);
+  PDW_CHECK_GT(t_d, 0.0);
+  return std::min(double(k) / t_s, 1.0 / t_d);
+}
+
+int choose_k(double t_s, double t_d) {
+  PDW_CHECK_GT(t_d, 0.0);
+  return std::max(1, int(std::ceil(t_s / t_d)));
+}
+
+void choose_tiling(int video_w, int video_h, const WallPanel& panel, int* m,
+                   int* n) {
+  PDW_CHECK_GT(panel.width, panel.overlap);
+  PDW_CHECK_GT(panel.height, panel.overlap);
+  // With m tiles across, usable width is m*panel - (m-1)*overlap; pick the
+  // smallest m whose usable width covers the video.
+  auto fit = [](int video, int panel_size, int overlap) {
+    int count = 1;
+    while (count * panel_size - (count - 1) * overlap < video) ++count;
+    return count;
+  };
+  *m = fit(video_w, panel.width, panel.overlap);
+  *n = fit(video_h, panel.height, panel.overlap);
+}
+
+int choose_k_for_target_fps(double target_fps, double t_s, double t_d) {
+  PDW_CHECK_GT(target_fps, 0.0);
+  // The decoders cap the rate at 1/t_d regardless of k; beyond that adding
+  // splitters is waste.
+  const int k_max = choose_k(t_s, t_d);
+  const int k_target = std::max(1, int(std::ceil(target_fps * t_s)));
+  return std::min(k_max, k_target);
+}
+
+}  // namespace pdw::core

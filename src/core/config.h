@@ -1,0 +1,34 @@
+// Configuration determination (paper §4.6): choosing the number of
+// second-level splitters k from the measured split and decode times, and the
+// frame-rate model F = min(k / t_s, 1 / t_d).
+#pragma once
+
+#include "wall/geometry.h"
+
+namespace pdw::core {
+
+// Overall frame rate of a 1-k-(m,n) system with per-picture split time t_s
+// and per-tile decode time t_d (seconds).
+double predicted_fps(int k, double t_s, double t_d);
+
+// Optimal k: smallest k with k/t_s >= 1/t_d, i.e. ceil(t_s / t_d). At 1 the
+// second level can be merged into the root (a 1-(m,n) system).
+int choose_k(double t_s, double t_d);
+
+// §4.6: pick the (m, n) screen configuration for a video resolution given
+// per-tile panel dimensions and projector overlap (the paper matches video
+// resolution to wall resolution, e.g. 3840x2912 -> 4x4 of 1024x768 panels).
+struct WallPanel {
+  int width = 1024;
+  int height = 768;
+  int overlap = 40;
+};
+void choose_tiling(int video_w, int video_h, const WallPanel& panel, int* m,
+                   int* n);
+
+// Future-work extension implemented here (paper §6): given a target frame
+// rate, pick the smallest k that reaches it, or the decoder-limited k if the
+// target is unreachable.
+int choose_k_for_target_fps(double target_fps, double t_s, double t_d);
+
+}  // namespace pdw::core

@@ -1,0 +1,73 @@
+// Lockstep (single-threaded) execution of the full 1-k-(m,n) pipeline.
+//
+// Runs root split -> second-level split -> MEI exchange -> tile decode for
+// every picture, in order, in one thread. Two jobs:
+//   1. Functional reference for the parallel system: the tile outputs it
+//      produces are what the threaded pipeline and the DES-driven cluster
+//      must also produce (bit-exact vs the serial decoder).
+//   2. Cost measurement: it times every operation of the Table-3 protocol on
+//      real data, producing the per-picture traces the discrete-event
+//      cluster simulator replays to obtain frame rates, runtime breakdowns
+//      and per-node bandwidth on a simulated Myrinet-class network.
+#pragma once
+
+#include <functional>
+
+#include "core/mb_splitter.h"
+#include "core/root_splitter.h"
+#include "core/tile_decoder.h"
+#include "wall/geometry.h"
+
+namespace pdw::core {
+
+// Measured trace of one picture's journey through the pipeline.
+struct PictureTrace {
+  uint32_t pic_index = 0;
+  mpeg2::PicType type = mpeg2::PicType::I;
+  size_t picture_bytes = 0;  // root -> splitter message size
+  double copy_s = 0;         // root: copy picture into the send buffer
+  double split_s = 0;        // second-level: parse + build SPs and MEIs
+  int splitter = 0;          // which second-level splitter handled it
+
+  // Per tile decoder:
+  std::vector<size_t> sp_msg_bytes;   // splitter -> decoder message size
+  std::vector<double> decode_s;       // decode + display ("Work")
+  std::vector<double> serve_s;        // executing SEND instructions ("Serve")
+  std::vector<int> halo_mbs;          // remote macroblocks received
+  // Exchange traffic matrix, bytes[src * tiles + dst].
+  std::vector<size_t> exchange_bytes;
+
+  SplitStats split_stats;
+};
+
+class LockstepPipeline {
+ public:
+  // `k` second-level splitters (round-robin), tiles from `geo`.
+  LockstepPipeline(const wall::TileGeometry& geo, int k,
+                   std::span<const uint8_t> es);
+  ~LockstepPipeline();
+
+  using TileDisplayFn =
+      std::function<void(int tile, const mpeg2::TileFrame&,
+                         const TileDisplayInfo&)>;
+  using TraceFn = std::function<void(const PictureTrace&)>;
+
+  // Process the stream (the first `max_pictures` pictures when >= 0).
+  // Either callback may be null. Note: stopping early leaves reference
+  // state mid-stream; used for warm-up passes only.
+  void run(const TileDisplayFn& on_display, const TraceFn& on_trace,
+           int max_pictures = -1);
+
+  const wall::TileGeometry& geometry() const { return geo_; }
+  const RootSplitter& root() const { return root_; }
+  int k() const { return k_; }
+
+ private:
+  const wall::TileGeometry& geo_;
+  int k_;
+  RootSplitter root_;
+  std::vector<std::unique_ptr<MacroblockSplitter>> splitters_;
+  std::vector<std::unique_ptr<TileDecoder>> decoders_;
+};
+
+}  // namespace pdw::core

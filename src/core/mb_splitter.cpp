@@ -1,0 +1,215 @@
+#include "core/mb_splitter.h"
+
+#include <unordered_set>
+
+#include "bitstream/start_code.h"
+#include "mpeg2/headers.h"
+#include "mpeg2/mb_parser.h"
+#include "mpeg2/motion.h"
+
+namespace pdw::core {
+
+using namespace mpeg2;
+
+MacroblockSplitter::MacroblockSplitter(const wall::TileGeometry& geo)
+    : geo_(geo) {}
+MacroblockSplitter::~MacroblockSplitter() = default;
+
+void MacroblockSplitter::set_stream_info(const StreamInfo& info) {
+  seq_ = info.seq;
+  have_seq_ = true;
+}
+
+// Sink that performs run building and MEI pre-calculation while the syntax
+// decoder scans the slice.
+struct MacroblockSplitter::SliceSplitter final : public MbSink {
+  SliceSplitter(const wall::TileGeometry& geo, const PictureContext& ctx,
+                std::span<const uint8_t> span, SplitResult* result)
+      : geo_(geo), ctx_(ctx), span_(span), result_(result) {
+    builders_.resize(size_t(geo.tiles()));
+    result_->stats.mbs_per_tile.assign(size_t(geo.tiles()), 0);
+  }
+
+  void on_macroblock(const Macroblock& mb, const MbState& before,
+                     size_t bit_begin, size_t bit_end) override {
+    const int mbw = ctx_.mb_width();
+    const int mbx = mb.mb_x(mbw);
+    const int mby = mb.mb_y(mbw);
+    ++result_->stats.macroblocks;
+    if (!mb.skipped) ++result_->stats.coded_macroblocks;
+
+    geo_.tiles_of_mb(mbx, mby, &tiles_scratch_);
+
+    // --- MEI pre-calculation ------------------------------------------------
+    if (!mb.intra() && ctx_.ph.type != PicType::I) {
+      const bool use_fwd =
+          mb.has_fwd() || (ctx_.ph.type == PicType::P && !mb.intra());
+      const bool use_bwd = mb.has_bwd();
+      for (int s = 0; s < 2; ++s) {
+        if (s == 0 ? !use_fwd : !use_bwd) continue;
+        const SrcWindow win = luma_source_window(mb, s, mbx, mby);
+        PDW_CHECK_GE(win.x0, 0) << "motion vector leaves picture";
+        PDW_CHECK_GE(win.y0, 0);
+        PDW_CHECK_LE(win.x1, geo_.mb_width() * 16);
+        PDW_CHECK_LE(win.y1, geo_.mb_height() * 16);
+        const int sx0 = win.x0 >> 4;
+        const int sy0 = win.y0 >> 4;
+        const int sx1 = (win.x1 - 1) >> 4;
+        const int sy1 = (win.y1 - 1) >> 4;
+        for (int t : tiles_scratch_) {
+          for (int sy = sy0; sy <= sy1; ++sy) {
+            for (int sx = sx0; sx <= sx1; ++sx) {
+              if (geo_.tile_has_mb(t, sx, sy)) continue;  // local reference
+              const uint64_t key = (uint64_t(t) << 42) | (uint64_t(s) << 40) |
+                                   (uint64_t(sy) << 20) | uint64_t(sx);
+              if (!exchange_seen_.insert(key).second) continue;
+              const int owner = geo_.owner_of_mb(sx, sy);
+              PDW_CHECK_NE(owner, t);
+              result_->mei[size_t(t)].push_back(
+                  {MeiOp::kRecv, uint8_t(s), uint16_t(sx), uint16_t(sy),
+                   uint16_t(owner)});
+              result_->mei[size_t(owner)].push_back(
+                  {MeiOp::kSend, uint8_t(s), uint16_t(sx), uint16_t(sy),
+                   uint16_t(t)});
+              ++result_->stats.exchange_pairs;
+            }
+          }
+        }
+      }
+    }
+
+    // --- Run building --------------------------------------------------------
+    for (int t : tiles_scratch_) {
+      ++result_->stats.mbs_per_tile[size_t(t)];
+      RunBuilder& rb = builders_[size_t(t)];
+      if (!rb.active) {
+        rb.active = true;
+        rb.entry_state = before;
+      }
+      if (mb.skipped) {
+        if (!rb.has_coded) {
+          if (rb.lead_skip_count == 0) rb.lead_skip_addr = uint32_t(mb.addr);
+          ++rb.lead_skip_count;
+        } else {
+          if (rb.pending_skip_count == 0)
+            rb.pending_skip_addr = uint32_t(mb.addr);
+          ++rb.pending_skip_count;
+        }
+      } else {
+        if (!rb.has_coded) {
+          rb.has_coded = true;
+          rb.first_coded_addr = uint32_t(mb.addr);
+          rb.first_bit = bit_begin;
+        }
+        // Skips between coded macroblocks of the same tile are interior:
+        // the decoder re-synthesizes them from the address increments that
+        // are already in the copied payload.
+        rb.pending_skip_count = 0;
+        ++rb.num_coded;
+        rb.last_bit_end = bit_end;
+      }
+    }
+  }
+
+  // Finalize all runs started in this slice.
+  void end_slice() {
+    for (int t = 0; t < geo_.tiles(); ++t) {
+      RunBuilder& rb = builders_[size_t(t)];
+      if (!rb.active) continue;
+      SpRun run;
+      run.state = rb.entry_state;
+      run.lead_skip_addr = rb.lead_skip_addr;
+      run.lead_skip_count = rb.lead_skip_count;
+      run.trail_skip_addr = rb.pending_skip_addr;
+      run.trail_skip_count = rb.pending_skip_count;
+      if (rb.has_coded) {
+        run.first_coded_addr = rb.first_coded_addr;
+        run.num_coded = rb.num_coded;
+        run.skip_bits = uint8_t(rb.first_bit % 8);
+        const size_t byte0 = rb.first_bit / 8;
+        const size_t byte1 = (rb.last_bit_end + 7) / 8;
+        PDW_CHECK_LE(byte1, span_.size());
+        // Verbatim copy — no bit realignment (paper §4.3 / Figure 4).
+        run.payload.assign(span_.begin() + std::ptrdiff_t(byte0),
+                           span_.begin() + std::ptrdiff_t(byte1));
+      }
+      result_->subpictures[size_t(t)].runs.push_back(std::move(run));
+      rb = RunBuilder{};
+    }
+  }
+
+ private:
+  struct RunBuilder {
+    bool active = false;
+    bool has_coded = false;
+    MbState entry_state;
+    size_t first_bit = 0;
+    size_t last_bit_end = 0;
+    uint32_t first_coded_addr = 0;
+    uint16_t num_coded = 0;
+    uint32_t lead_skip_addr = 0;
+    uint16_t lead_skip_count = 0;
+    uint32_t pending_skip_addr = 0;
+    uint16_t pending_skip_count = 0;
+  };
+
+  const wall::TileGeometry& geo_;
+  const PictureContext& ctx_;
+  std::span<const uint8_t> span_;
+  SplitResult* result_;
+  std::vector<RunBuilder> builders_;
+  std::vector<int> tiles_scratch_;
+  std::unordered_set<uint64_t> exchange_seen_;
+};
+
+SplitResult MacroblockSplitter::split(std::span<const uint8_t> picture_span,
+                                      uint32_t pic_index) {
+  ParsedPictureHeaders headers;
+  const size_t first_slice =
+      parse_picture_headers(picture_span, &seq_, &have_seq_, &headers);
+  PDW_CHECK(have_seq_) << "splitter has no sequence information";
+  PDW_CHECK_EQ(seq_.mb_width(), geo_.mb_width());
+  PDW_CHECK_EQ(seq_.mb_height(), geo_.mb_height());
+
+  PictureContext ctx;
+  ctx.seq = &seq_;
+  ctx.ph = headers.ph;
+  ctx.pce = headers.pce;
+
+  SplitResult result;
+  result.info = PicInfo::from(pic_index, headers.ph, headers.pce);
+  result.subpictures.resize(size_t(geo_.tiles()));
+  result.mei.resize(size_t(geo_.tiles()));
+  for (int t = 0; t < geo_.tiles(); ++t)
+    result.subpictures[size_t(t)].info = result.info;
+  result.stats.input_bytes = picture_span.size();
+
+  MbSyntaxDecoder syntax(ctx, ParseMode::kScan);
+  SliceSplitter sink(geo_, ctx, picture_span, &result);
+
+  size_t pos = first_slice;
+  while (true) {
+    const StartCodeHit hit = find_start_code(picture_span, pos);
+    if (hit.offset >= picture_span.size()) break;
+    pos = hit.offset + 4;
+    if (!start_code::is_slice(hit.code)) continue;
+    BitReader sr(picture_span.subspan(hit.offset + 4));
+    int mb_row = 0;
+    const int qscale = parse_slice_header(sr, seq_, hit.code, &mb_row);
+    // Run payload bit positions must be relative to the whole picture span:
+    // re-create the reader over the full span at the right offset.
+    const size_t base_bits = (hit.offset + 4) * 8 + sr.bit_pos();
+    BitReader body(picture_span, base_bits);
+    syntax.parse_slice_body(body, mb_row, qscale, sink);
+    sink.end_slice();
+  }
+
+  for (int t = 0; t < geo_.tiles(); ++t) {
+    result.stats.output_bytes += result.subpictures[size_t(t)].wire_bytes();
+    result.stats.output_bytes +=
+        4 + result.mei[size_t(t)].size() * kMeiWireBytes;
+  }
+  return result;
+}
+
+}  // namespace pdw::core

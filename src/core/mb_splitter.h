@@ -1,0 +1,65 @@
+// Second-level (macroblock) splitter (paper §4.1, Table 2/3).
+//
+// Parses one picture at macroblock level — the expensive splitting step the
+// hierarchy exists to parallelize — and produces, for each tile decoder:
+//   * a SubPicture: SPH-framed verbatim byte runs of the macroblocks that
+//     fall in the tile's screen rectangle (including projector overlap);
+//   * a MEI list: the remote-reference SEND/RECV pre-calculation.
+//
+// The parse uses ParseMode::kScan: all VLCs are consumed and predictor state
+// is tracked (the SPH needs it), but no dequantisation/IDCT/MC is done.
+// This is what makes t_s < t_d and the one-level splitter eventually the
+// bottleneck as decoders multiply (paper §5.3).
+#pragma once
+
+#include <memory>
+
+#include "core/mei.h"
+#include "core/subpicture.h"
+#include "mpeg2/types.h"
+#include "wall/geometry.h"
+
+namespace pdw::core {
+
+struct SplitStats {
+  int macroblocks = 0;          // total in the picture (coded + skipped)
+  int coded_macroblocks = 0;
+  int exchange_pairs = 0;       // deduplicated (tile, ref, mb) exchanges
+  size_t input_bytes = 0;       // coded picture size
+  size_t output_bytes = 0;      // sum of sub-picture + MEI wire bytes
+  std::vector<int> mbs_per_tile;
+};
+
+struct SplitResult {
+  PicInfo info;
+  std::vector<SubPicture> subpictures;            // one per tile
+  std::vector<std::vector<MeiInstruction>> mei;   // one per tile
+  SplitStats stats;
+};
+
+class MacroblockSplitter {
+ public:
+  // `geo` describes the wall; the splitter keeps its own sequence-header
+  // state, updated from headers embedded in picture spans.
+  explicit MacroblockSplitter(const wall::TileGeometry& geo);
+  ~MacroblockSplitter();
+
+  // Prime the sequence state (the root splitter distributes StreamInfo
+  // before the first picture; pictures whose span carries a sequence header
+  // update it again).
+  void set_stream_info(const StreamInfo& info);
+
+  // Split one picture-sized span (picture headers + slices).
+  SplitResult split(std::span<const uint8_t> picture_span, uint32_t pic_index);
+
+  const mpeg2::SequenceHeader& sequence() const { return seq_; }
+
+ private:
+  struct SliceSplitter;
+
+  const wall::TileGeometry& geo_;
+  mpeg2::SequenceHeader seq_;
+  bool have_seq_ = false;
+};
+
+}  // namespace pdw::core

@@ -1,0 +1,35 @@
+#include "core/mei.h"
+
+#include "common/bytes.h"
+
+namespace pdw::core {
+
+void serialize_mei(const std::vector<MeiInstruction>& list,
+                   std::vector<uint8_t>* out) {
+  ByteWriter w(out);
+  w.u32(uint32_t(list.size()));
+  for (const MeiInstruction& i : list) {
+    w.u8(uint8_t(i.op));
+    w.u8(i.ref);
+    w.u16(i.mb_x);
+    w.u16(i.mb_y);
+    w.u16(i.peer);
+  }
+}
+
+std::vector<MeiInstruction> deserialize_mei(std::span<const uint8_t> data) {
+  ByteReader r(data);
+  const uint32_t count = r.u32();
+  std::vector<MeiInstruction> out(count);
+  for (MeiInstruction& i : out) {
+    i.op = MeiOp(r.u8());
+    i.ref = r.u8();
+    i.mb_x = r.u16();
+    i.mb_y = r.u16();
+    i.peer = r.u16();
+  }
+  PDW_CHECK(r.done());
+  return out;
+}
+
+}  // namespace pdw::core

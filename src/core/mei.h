@@ -1,0 +1,37 @@
+// Macroblock Exchange Instructions (paper §4.2).
+//
+// The second-level splitter parses every motion vector, so it knows exactly
+// which decoder will need which remote reference macroblocks. For a
+// macroblock of tile i whose prediction window crosses into macroblocks
+// owned by tile j, the splitter appends SEND(x, y, i) to tile j's list and
+// RECV(x, y, j) to tile i's. Decoders execute all SENDs *before* decoding
+// the picture — the referenced data lives in already-decoded reference
+// frames — which removes on-demand fetch latency and any need for a server
+// thread, and doubles as a synchronization barrier.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pdw::core {
+
+enum class MeiOp : uint8_t { kSend = 0, kRecv = 1 };
+
+struct MeiInstruction {
+  MeiOp op = MeiOp::kSend;
+  uint8_t ref = 0;    // 0 = forward reference, 1 = backward reference
+  uint16_t mb_x = 0;  // macroblock coordinates of the reference block
+  uint16_t mb_y = 0;
+  uint16_t peer = 0;  // SEND: destination tile; RECV: source tile
+
+  friend bool operator==(const MeiInstruction&, const MeiInstruction&) = default;
+};
+
+inline constexpr size_t kMeiWireBytes = 8;
+
+void serialize_mei(const std::vector<MeiInstruction>& list,
+                   std::vector<uint8_t>* out);
+std::vector<MeiInstruction> deserialize_mei(std::span<const uint8_t> data);
+
+}  // namespace pdw::core

@@ -1,0 +1,332 @@
+#include "core/pipeline.h"
+
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/bytes.h"
+#include "common/timing.h"
+#include "core/mb_splitter.h"
+#include "core/root_splitter.h"
+
+namespace pdw::core {
+
+namespace {
+
+enum MsgType : int {
+  kPictureMsg = 1,
+  kSubPictureMsg = 2,
+  kAckMsg = 3,
+  kExchangeMsg = 4,
+  kEndMsg = 5,
+};
+
+// Exchange message payload: count, then entries {ref, mbx, mby, pixels}.
+struct ExchangeEntry {
+  MeiInstruction instr;
+  mpeg2::MacroblockPixels px;
+};
+
+void serialize_exchange(const std::vector<ExchangeEntry>& entries,
+                        std::vector<uint8_t>* out) {
+  ByteWriter w(out);
+  w.u32(uint32_t(entries.size()));
+  for (const ExchangeEntry& e : entries) {
+    w.u8(e.instr.ref);
+    w.u16(e.instr.mb_x);
+    w.u16(e.instr.mb_y);
+    w.bytes(std::span<const uint8_t>(
+        reinterpret_cast<const uint8_t*>(&e.px), sizeof(e.px)));
+  }
+}
+
+std::vector<ExchangeEntry> deserialize_exchange(
+    std::span<const uint8_t> data) {
+  ByteReader r(data);
+  std::vector<ExchangeEntry> out(r.u32());
+  for (ExchangeEntry& e : out) {
+    e.instr.op = MeiOp::kRecv;
+    e.instr.ref = r.u8();
+    e.instr.mb_x = r.u16();
+    e.instr.mb_y = r.u16();
+    auto bytes = r.bytes(sizeof(e.px));
+    std::memcpy(&e.px, bytes.data(), sizeof(e.px));
+  }
+  PDW_CHECK(r.done());
+  return out;
+}
+
+// Combined sub-picture + MEI payload of a splitter->decoder message.
+void serialize_sp_msg(const SubPicture& sp,
+                      const std::vector<MeiInstruction>& mei,
+                      std::vector<uint8_t>* out) {
+  std::vector<uint8_t> sp_bytes;
+  sp.serialize(&sp_bytes);
+  ByteWriter w(out);
+  w.u32(uint32_t(sp_bytes.size()));
+  w.bytes(sp_bytes);
+  serialize_mei(mei, out);
+}
+
+void deserialize_sp_msg(std::span<const uint8_t> data, SubPicture* sp,
+                        std::vector<MeiInstruction>* mei) {
+  ByteReader r(data);
+  const uint32_t sp_len = r.u32();
+  *sp = SubPicture::deserialize(r.bytes(sp_len));
+  *mei = deserialize_mei(data.subspan(4 + sp_len));
+}
+
+}  // namespace
+
+ClusterPipeline::ClusterPipeline(const wall::TileGeometry& geo, int k,
+                                 std::span<const uint8_t> es)
+    : geo_(geo), k_(k), es_(es) {
+  PDW_CHECK_GE(k, 1);
+}
+
+ClusterStats ClusterPipeline::run(const TileDisplayFn& on_display) {
+  RootSplitter root(es_);
+  const int tiles = geo_.tiles();
+  const int total_pictures = root.picture_count();
+  net::Fabric fabric(nodes());
+  std::mutex display_mu;
+
+  WallTimer timer;
+
+  // Setup: every bulk receiver posts its two receive buffers before the
+  // stream starts (in GM this happens during connection establishment).
+  for (int s = 0; s < k_; ++s) {
+    fabric.post_receive(splitter_node(s));
+    fabric.post_receive(splitter_node(s));
+  }
+  for (int t = 0; t < tiles; ++t) {
+    fabric.post_receive(decoder_node(t));
+    fabric.post_receive(decoder_node(t));
+  }
+
+  // --- Root splitter thread (Table 3, root) --------------------------------
+  std::thread root_thread([&] {
+    std::vector<uint8_t> send_buffer;
+    int a = 0;
+    for (int i = 0; i < total_pictures; ++i) {
+      const auto span = root.picture(i);
+      send_buffer.assign(span.begin(), span.end());  // "Copy P to send buffer"
+      if (i > 0) {
+        net::Message ack;
+        PDW_CHECK(fabric.receive(root_node(), &ack));
+        PDW_CHECK_EQ(ack.type, int(kAckMsg));
+      }
+      net::Message msg;
+      msg.type = kPictureMsg;
+      msg.seq = uint32_t(i);
+      msg.aux = uint16_t((a + 1) % k_);  // NSID
+      msg.bulk = true;
+      msg.payload = send_buffer;
+      fabric.send(root_node(), splitter_node(a), std::move(msg));
+      a = (a + 1) % k_;
+    }
+    for (int s = 0; s < k_; ++s) {
+      net::Message end;
+      end.type = kEndMsg;
+      fabric.send(root_node(), splitter_node(s), std::move(end));
+    }
+  });
+
+  // --- Second-level splitter threads (Table 3, splitter) -------------------
+  std::vector<std::thread> splitter_threads;
+  for (int s = 0; s < k_; ++s) {
+    splitter_threads.emplace_back([&, s] {
+      MacroblockSplitter splitter(geo_);
+      splitter.set_stream_info(root.stream_info());
+      const int self = splitter_node(s);
+      // Acks and pictures interleave in the mailbox; stash each kind while
+      // looking for the other.
+      std::deque<net::Message> stashed_acks;
+      std::deque<net::Message> stashed_pictures;
+
+      while (true) {
+        net::Message msg;
+        // Pull the next picture (or END), stashing acks.
+        bool got = false;
+        if (!stashed_pictures.empty()) {
+          msg = std::move(stashed_pictures.front());
+          stashed_pictures.pop_front();
+          got = true;
+        }
+        while (!got && fabric.receive(self, &msg)) {
+          if (msg.type == kPictureMsg || msg.type == kEndMsg) {
+            got = true;
+            break;
+          }
+          PDW_CHECK_EQ(msg.type, int(kAckMsg));
+          stashed_acks.push_back(std::move(msg));
+        }
+        PDW_CHECK(got) << "fabric shut down before END";
+        if (msg.type == kEndMsg) break;
+
+        fabric.post_receive(self);  // recycle the previous receive buffer
+        net::Message ack;
+        ack.type = kAckMsg;
+        fabric.send(self, root_node(), std::move(ack));  // go-ahead to root
+
+        const uint32_t i = msg.seq;
+        const int anid = msg.aux;  // NSID becomes the ANID we forward
+        SplitResult result = splitter.split(msg.payload, i);
+
+        // Wait for ACK from all decoders, except for the very first picture
+        // in the stream (those acks were redirected to us by the previous
+        // picture's ANID).
+        if (i != 0) {
+          int needed = tiles;
+          while (needed > 0 && !stashed_acks.empty()) {
+            stashed_acks.pop_front();
+            --needed;
+          }
+          while (needed > 0) {
+            net::Message m;
+            PDW_CHECK(fabric.receive(self, &m));
+            if (m.type == kAckMsg) {
+              --needed;
+            } else {
+              PDW_CHECK(m.type == kPictureMsg || m.type == kEndMsg);
+              stashed_pictures.push_back(std::move(m));
+            }
+          }
+        }
+
+        for (int d = 0; d < tiles; ++d) {
+          net::Message sp_msg;
+          sp_msg.type = kSubPictureMsg;
+          sp_msg.seq = i;
+          sp_msg.aux = uint16_t(anid);
+          sp_msg.bulk = true;
+          serialize_sp_msg(result.subpictures[size_t(d)],
+                           result.mei[size_t(d)], &sp_msg.payload);
+          fabric.send(self, decoder_node(d), std::move(sp_msg));
+        }
+      }
+    });
+  }
+
+  // --- Decoder threads (Table 3, decoder) -----------------------------------
+  std::vector<std::thread> decoder_threads;
+  for (int t = 0; t < tiles; ++t) {
+    decoder_threads.emplace_back([&, t] {
+      TileDecoder decoder(geo_, t, root.stream_info());
+      const int self = decoder_node(t);
+
+      // Exchange messages may arrive up to one picture early (the paper's
+      // "no two decoders are off by more than one frame"); stash by seq.
+      // Sub-pictures arriving while we wait for exchanges are stashed too.
+      std::unordered_map<uint32_t, std::vector<net::Message>> exchanges;
+      std::deque<net::Message> stashed_sps;
+
+      const auto display =
+          [&](const mpeg2::TileFrame& tf, const TileDisplayInfo& info) {
+            if (!on_display) return;
+            std::lock_guard<std::mutex> lock(display_mu);
+            on_display(t, tf, info);
+          };
+
+      for (int done = 0; done < total_pictures; ++done) {
+        // Receive the next sub-picture.
+        net::Message msg;
+        if (!stashed_sps.empty()) {
+          msg = std::move(stashed_sps.front());
+          stashed_sps.pop_front();
+        } else {
+          while (true) {
+            PDW_CHECK(fabric.receive(self, &msg)) << "fabric shutdown mid-stream";
+            if (msg.type == kSubPictureMsg) break;
+            PDW_CHECK_EQ(msg.type, int(kExchangeMsg));
+            exchanges[msg.seq].push_back(std::move(msg));
+          }
+        }
+        const uint32_t i = msg.seq;
+        PDW_CHECK_EQ(i, uint32_t(done)) << "out-of-order sub-picture";
+        fabric.post_receive(self);  // recycle
+
+        // Ack the splitter that owns the NEXT picture (ANID redirection).
+        net::Message ack;
+        ack.type = kAckMsg;
+        fabric.send(self, splitter_node(msg.aux % uint16_t(k_)),
+                    std::move(ack));
+
+        SubPicture sp;
+        std::vector<MeiInstruction> mei;
+        deserialize_sp_msg(msg.payload, &sp, &mei);
+
+        // Execute SEND instructions first (reference data is in already
+        // decoded pictures), batched per destination decoder.
+        std::unordered_map<int, std::vector<ExchangeEntry>> outgoing;
+        std::unordered_set<int> expected_sources;
+        for (const MeiInstruction& instr : mei) {
+          if (instr.op == MeiOp::kSend) {
+            ExchangeEntry e;
+            e.instr = instr;
+            e.px = decoder.extract_for_send(sp.info, instr);
+            outgoing[instr.peer].push_back(e);
+          } else {
+            expected_sources.insert(int(instr.peer));
+          }
+        }
+        for (auto& [peer, entries] : outgoing) {
+          net::Message ex;
+          ex.type = kExchangeMsg;
+          ex.seq = i;
+          serialize_exchange(entries, &ex.payload);
+          fabric.send(self, decoder_node(peer), std::move(ex));
+        }
+
+        // Collect the exchange messages this picture needs (one per source
+        // decoder that has SENDs for us).
+        auto& arrived = exchanges[i];
+        while (true) {
+          std::unordered_set<int> have;
+          for (const net::Message& m : arrived) {
+            // Node id -> tile index.
+            have.insert(m.src - (1 + k_));
+          }
+          bool complete = true;
+          for (int src : expected_sources)
+            if (!have.count(src)) complete = false;
+          if (complete) break;
+          net::Message m;
+          PDW_CHECK(fabric.receive(self, &m)) << "fabric shutdown awaiting exchange";
+          if (m.type == kExchangeMsg) {
+            exchanges[m.seq].push_back(std::move(m));
+          } else {
+            PDW_CHECK_EQ(m.type, int(kSubPictureMsg));
+            stashed_sps.push_back(std::move(m));
+          }
+        }
+        for (const net::Message& m : arrived)
+          for (const ExchangeEntry& e : deserialize_exchange(m.payload))
+            decoder.add_halo_mb(e.instr, e.px);
+        exchanges.erase(i);
+
+        decoder.decode(sp, display);
+      }
+      decoder.flush(display);
+    });
+  }
+
+  root_thread.join();
+  for (auto& th : splitter_threads) th.join();
+  for (auto& th : decoder_threads) th.join();
+  fabric.shutdown();
+
+  ClusterStats stats;
+  stats.pictures = total_pictures;
+  stats.wall_seconds = timer.seconds();
+  stats.fps = double(total_pictures) / stats.wall_seconds;
+  stats.nodes = nodes();
+  for (int nid = 0; nid < nodes(); ++nid)
+    stats.node_counters.push_back(fabric.counters(nid));
+  stats.traffic_matrix = fabric.traffic_matrix();
+  return stats;
+}
+
+}  // namespace pdw::core

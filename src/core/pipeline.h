@@ -1,0 +1,61 @@
+// Threaded cluster pipeline: the refined algorithms of the paper's Table 3
+// running on real concurrent nodes over the GM-like fabric.
+//
+// Node layout: node 0 is the root splitter (console PC), nodes 1..k the
+// second-level splitters, nodes k+1..k+m*n the tile decoders. The protocol:
+//   * two posted receive buffers per bulk receiver, recycled on receipt;
+//   * receivers ack after receiving so senders never overrun a buffer
+//     (the fabric CHECK-fails on overrun, so the test suite *proves* the
+//     flow control);
+//   * picture ordering via ANID redirection: a decoder acks not the sender
+//     of a sub-picture but the splitter responsible for the *next* picture,
+//     which therefore cannot send until every decoder consumed the current
+//     one — in-order delivery with no reorder queues;
+//   * NSID: the root tells each splitter who owns the next picture, keeping
+//     splitters unaware of each other (the count k can change freely).
+//
+// On this host the threads share one core, so this pipeline demonstrates
+// correctness and protocol liveness; scalability numbers come from the
+// discrete-event simulator (src/sim) replaying lockstep-measured costs.
+#pragma once
+
+#include <functional>
+
+#include "core/tile_decoder.h"
+#include "net/fabric.h"
+#include "wall/geometry.h"
+
+namespace pdw::core {
+
+struct ClusterStats {
+  int pictures = 0;
+  double wall_seconds = 0;
+  double fps = 0;
+  std::vector<net::NodeCounters> node_counters;  // by node id
+  std::vector<uint64_t> traffic_matrix;          // bytes[src * nodes + dst]
+  int nodes = 0;
+};
+
+class ClusterPipeline {
+ public:
+  ClusterPipeline(const wall::TileGeometry& geo, int k,
+                  std::span<const uint8_t> es);
+
+  // Thread-safe display callback (called with an internal mutex held).
+  using TileDisplayFn = std::function<void(
+      int tile, const mpeg2::TileFrame&, const TileDisplayInfo&)>;
+
+  ClusterStats run(const TileDisplayFn& on_display);
+
+  int nodes() const { return 1 + k_ + geo_.tiles(); }
+  int root_node() const { return 0; }
+  int splitter_node(int s) const { return 1 + s; }
+  int decoder_node(int t) const { return 1 + k_ + t; }
+
+ private:
+  const wall::TileGeometry& geo_;
+  int k_;
+  std::span<const uint8_t> es_;
+};
+
+}  // namespace pdw::core

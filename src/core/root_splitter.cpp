@@ -1,0 +1,31 @@
+#include "core/root_splitter.h"
+
+#include "common/timing.h"
+#include "mpeg2/headers.h"
+
+namespace pdw::core {
+
+RootSplitter::RootSplitter(std::span<const uint8_t> es) : es_(es) {
+  WallTimer timer;
+  spans_ = scan_pictures(es);
+  PDW_CHECK(!spans_.empty()) << "no pictures in stream";
+  scan_s_per_picture_ = timer.seconds() / double(spans_.size());
+
+  // Parse the leading sequence header for StreamInfo.
+  PDW_CHECK(spans_[0].has_sequence_header)
+      << "stream does not start with a sequence header";
+  const StartCodeHit hit = find_start_code(es, spans_[0].begin);
+  PDW_CHECK_EQ(int(hit.code), int(start_code::kSequenceHeader));
+  BitReader r(es.subspan(hit.offset + 4));
+  info_.seq = mpeg2::parse_sequence_header(r);
+  // Pick up the mandatory sequence extension that follows.
+  r.align_to_byte();
+  if (r.peek(24) == 0x000001) {
+    r.skip(24);
+    const uint8_t code = uint8_t(r.read(8));
+    if (code == start_code::kExtension)
+      mpeg2::parse_extension(r, &info_.seq, nullptr);
+  }
+}
+
+}  // namespace pdw::core

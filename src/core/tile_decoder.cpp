@@ -1,0 +1,203 @@
+#include "core/tile_decoder.h"
+
+#include <cstring>
+
+#include "bitstream/bit_reader.h"
+#include "mpeg2/mb_parser.h"
+#include "mpeg2/motion.h"
+#include "mpeg2/recon.h"
+
+namespace pdw::core {
+
+using namespace mpeg2;
+
+// RefSource over a tile-local reference frame plus its halo of remote
+// macroblocks. Gathers a prediction window that may straddle local/remote
+// macroblocks arbitrarily. Same pixel values as the serial decoder's full
+// frame => identical MC arithmetic => bit-exact reconstruction.
+class TileDecoder::TileRefSource final : public RefSource {
+ public:
+  TileRefSource(const TileFrame& tf, const HaloCache& halo)
+      : tf_(&tf), halo_(&halo) {}
+
+  void fetch(int c, int x, int y, int w, int h, uint8_t* dst,
+             int stride) const override {
+    const int mb_edge = c == 0 ? 16 : 8;  // macroblock edge in this plane
+    for (int r = 0; r < h; ++r) {
+      const int gy = y + r;
+      const int mby = gy / mb_edge;
+      int gx = x;
+      int out = 0;
+      while (out < w) {
+        const int mbx = gx / mb_edge;
+        // Columns remaining inside this macroblock's horizontal extent.
+        const int take = std::min(w - out, (mbx + 1) * mb_edge - gx);
+        const uint8_t* src;
+        if (tf_->contains_mb(mbx, mby)) {
+          src = tf_->pixel(c, gx, gy);
+        } else {
+          const MacroblockPixels* px = halo_->find(mbx, mby);
+          PDW_CHECK(px != nullptr)
+              << "missing halo macroblock (" << mbx << "," << mby
+              << ") plane " << c << " — MEI pre-calculation incomplete";
+          const int ox = gx - mbx * mb_edge;
+          const int oy = gy - mby * mb_edge;
+          const uint8_t* base = c == 0 ? px->y : (c == 1 ? px->cb : px->cr);
+          src = base + oy * mb_edge + ox;
+        }
+        std::memcpy(dst + size_t(r) * stride + out, src, size_t(take));
+        gx += take;
+        out += take;
+      }
+    }
+  }
+
+ private:
+  const TileFrame* tf_;
+  const HaloCache* halo_;
+};
+
+namespace {
+
+// Sink reconstructing macroblocks into the tile frame. Only macroblocks
+// inside the tile rect are materialized; the syntax decoder may synthesize
+// interior skips that belong to this tile by construction, so everything the
+// sink sees is in-rect (CHECKed).
+class TileReconSink final : public MbSink {
+ public:
+  TileReconSink(const PictureContext& ctx, const wall::MbRect& rect,
+                TileFrame* cur, const RefSource* fwd, const RefSource* bwd)
+      : ctx_(ctx), rect_(rect), cur_(cur), fwd_(fwd), bwd_(bwd) {}
+
+  void on_macroblock(const Macroblock& mb, const MbState&, size_t,
+                     size_t) override {
+    const int mbx = mb.mb_x(ctx_.mb_width());
+    const int mby = mb.mb_y(ctx_.mb_width());
+    PDW_CHECK(rect_.contains(mbx, mby))
+        << "sub-picture macroblock (" << mbx << "," << mby
+        << ") outside tile rect";
+    MacroblockPixels px;
+    reconstruct_mb(mb, fwd_, bwd_, mbx, mby, &px);
+    cur_->insert_mb(mbx, mby, px);
+    ++count_;
+  }
+
+  int count() const { return count_; }
+
+ private:
+  const PictureContext& ctx_;
+  const wall::MbRect& rect_;
+  TileFrame* cur_;
+  const RefSource* fwd_;
+  const RefSource* bwd_;
+  int count_ = 0;
+};
+
+}  // namespace
+
+TileDecoder::TileDecoder(const wall::TileGeometry& geo, int tile,
+                         const StreamInfo& info)
+    : geo_(geo), tile_(tile), seq_(info.seq), rect_(geo.tile_mbs(tile)) {
+  PDW_CHECK_EQ(seq_.mb_width(), geo.mb_width());
+  PDW_CHECK_EQ(seq_.mb_height(), geo.mb_height());
+}
+
+TileDecoder::~TileDecoder() = default;
+
+MacroblockPixels TileDecoder::extract_for_send(
+    const PicInfo& pic, const MeiInstruction& instr) const {
+  PDW_CHECK(instr.op == MeiOp::kSend);
+  // Map the instruction's logical reference to a physical frame for the
+  // picture about to be decoded: P uses (fwd = newest I/P); B uses
+  // (fwd = older, bwd = newest).
+  const TileFrame* src = nullptr;
+  if (pic.type == PicType::B)
+    src = instr.ref == 0 ? ref_old_.get() : ref_new_.get();
+  else
+    src = ref_new_.get();
+  PDW_CHECK(src != nullptr) << "SEND before reference frames exist";
+  return src->extract_mb(instr.mb_x, instr.mb_y);
+}
+
+void TileDecoder::add_halo_mb(const MeiInstruction& instr,
+                              const MacroblockPixels& px) {
+  PDW_CHECK_LE(int(instr.ref), 1);
+  halo_[instr.ref].insert(instr.mb_x, instr.mb_y, px);
+}
+
+void TileDecoder::decode(const SubPicture& sp, const DisplayFn& display) {
+  PictureContext ctx;
+  ctx.seq = &seq_;
+  ctx.ph.type = sp.info.type;
+  ctx.ph.temporal_reference = sp.info.temporal_reference;
+  ctx.pce = sp.info.to_pce();
+
+  if (!cur_)
+    cur_ = std::make_unique<TileFrame>(rect_.x0, rect_.y0, rect_.x1, rect_.y1);
+
+  std::unique_ptr<TileRefSource> fwd, bwd;
+  if (sp.info.type == PicType::P) {
+    PDW_CHECK(ref_new_) << "P picture without reference";
+    fwd = std::make_unique<TileRefSource>(*ref_new_, halo_[0]);
+  } else if (sp.info.type == PicType::B) {
+    PDW_CHECK(ref_old_ && ref_new_) << "B picture without two references";
+    fwd = std::make_unique<TileRefSource>(*ref_old_, halo_[0]);
+    bwd = std::make_unique<TileRefSource>(*ref_new_, halo_[1]);
+  }
+
+  MbSyntaxDecoder syntax(ctx, ParseMode::kFull);
+  TileReconSink sink(ctx, rect_, cur_.get(), fwd.get(), bwd.get());
+
+  for (const SpRun& run : sp.runs) {
+    syntax.load_state(run.state);
+    if (run.lead_skip_count > 0)
+      syntax.synthesize_skipped(int(run.lead_skip_addr),
+                                int(run.lead_skip_count), sink);
+    if (run.num_coded > 0) {
+      BitReader r(run.payload, run.skip_bits);
+      syntax.parse_run(r, int(run.first_coded_addr), int(run.num_coded), sink);
+    }
+    if (run.trail_skip_count > 0)
+      syntax.synthesize_skipped(int(run.trail_skip_addr),
+                                int(run.trail_skip_count), sink);
+  }
+
+  // Completeness: the whole tile rect must have been reconstructed.
+  PDW_CHECK_EQ(sink.count(), rect_.count())
+      << "tile " << tile_ << " picture " << sp.info.pic_index;
+  last_mb_count_ = sink.count();
+  last_halo_count_ = halo_[0].size() + halo_[1].size();
+  halo_[0].clear();
+  halo_[1].clear();
+
+  // Display-order emission, mirroring the serial decoder.
+  TileDisplayInfo info;
+  info.pic_index = sp.info.pic_index;
+  info.type = sp.info.type;
+  if (sp.info.type == PicType::B) {
+    info.display_index = display_index_++;
+    if (display) display(*cur_, info);
+  } else {
+    if (pending_ref_) {
+      pending_info_.display_index = display_index_++;
+      if (display) display(*ref_new_, pending_info_);
+    }
+    std::swap(ref_old_, ref_new_);
+    std::swap(ref_new_, cur_);
+    if (!cur_)
+      cur_ =
+          std::make_unique<TileFrame>(rect_.x0, rect_.y0, rect_.x1, rect_.y1);
+    pending_ref_ = true;
+    pending_info_ = info;
+  }
+}
+
+void TileDecoder::flush(const DisplayFn& display) {
+  if (pending_ref_) {
+    pending_info_.display_index = display_index_++;
+    if (display) display(*ref_new_, pending_info_);
+    pending_ref_ = false;
+  }
+}
+
+}  // namespace pdw::core

@@ -1,0 +1,99 @@
+// Tile decoder (paper's "decoder D" node).
+//
+// Decodes the sub-pictures for one screen tile. Holds reference frames for
+// its own tile region only; motion compensation that crosses the tile
+// boundary reads from a *halo* of remote macroblocks delivered through the
+// MEI exchanges before the picture is decoded. There is no on-demand remote
+// fetch path at all — the splitter's pre-calculation must be complete, and a
+// missing halo entry is a hard CHECK failure (tested invariant).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "core/mei.h"
+#include "core/subpicture.h"
+#include "mpeg2/frame.h"
+#include "wall/geometry.h"
+
+namespace pdw::core {
+
+// Remote macroblocks for one reference direction of the picture currently
+// being decoded, keyed by packed macroblock coordinates.
+class HaloCache {
+ public:
+  void insert(int mbx, int mby, const mpeg2::MacroblockPixels& px) {
+    map_[key(mbx, mby)] = px;
+  }
+  const mpeg2::MacroblockPixels* find(int mbx, int mby) const {
+    const auto it = map_.find(key(mbx, mby));
+    return it == map_.end() ? nullptr : &it->second;
+  }
+  void clear() { map_.clear(); }
+  size_t size() const { return map_.size(); }
+
+ private:
+  static uint64_t key(int mbx, int mby) {
+    return (uint64_t(mby) << 32) | uint32_t(mbx);
+  }
+  std::unordered_map<uint64_t, mpeg2::MacroblockPixels> map_;
+};
+
+struct TileDisplayInfo {
+  uint32_t pic_index = 0;   // decode order
+  int display_index = 0;    // per-tile display order
+  mpeg2::PicType type = mpeg2::PicType::I;
+};
+
+class TileDecoder {
+ public:
+  TileDecoder(const wall::TileGeometry& geo, int tile, const StreamInfo& info);
+  ~TileDecoder();
+
+  int tile() const { return tile_; }
+
+  // SEND execution: extract the requested reference macroblock from this
+  // decoder's local reference frames (instr.ref: 0 = forward reference of
+  // the picture about to be decoded, 1 = backward).
+  mpeg2::MacroblockPixels extract_for_send(const PicInfo& pic,
+                                           const MeiInstruction& instr) const;
+
+  // RECV delivery: store a remote macroblock into the halo for the upcoming
+  // picture.
+  void add_halo_mb(const MeiInstruction& instr,
+                   const mpeg2::MacroblockPixels& px);
+
+  // Decode one sub-picture. All halo entries for this picture must have been
+  // added. Calls `display` zero or more times (display-order reordering, as
+  // in the serial decoder). Halo is cleared afterwards.
+  using DisplayFn =
+      std::function<void(const mpeg2::TileFrame&, const TileDisplayInfo&)>;
+  void decode(const SubPicture& sp, const DisplayFn& display);
+
+  // Flush the pending reference tile at end of stream.
+  void flush(const DisplayFn& display);
+
+  // Statistics.
+  int macroblocks_decoded_last_picture() const { return last_mb_count_; }
+  size_t halo_mbs_last_picture() const { return last_halo_count_; }
+
+ private:
+  class TileRefSource;
+
+  const wall::TileGeometry& geo_;
+  int tile_;
+  mpeg2::SequenceHeader seq_;
+  wall::MbRect rect_;
+
+  std::unique_ptr<mpeg2::TileFrame> cur_, ref_old_, ref_new_;
+  HaloCache halo_[2];  // [0] forward, [1] backward for the upcoming picture
+
+  bool pending_ref_ = false;
+  TileDisplayInfo pending_info_;
+  int display_index_ = 0;
+  int last_mb_count_ = 0;
+  size_t last_halo_count_ = 0;
+};
+
+}  // namespace pdw::core

@@ -1,0 +1,681 @@
+#include "enc/encoder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <memory>
+
+#include "bitstream/bit_writer.h"
+#include "common/check.h"
+#include "enc/motion_est.h"
+#include "enc/rate_control.h"
+#include "mpeg2/headers.h"
+#include "mpeg2/idct.h"
+#include "mpeg2/motion.h"
+#include "mpeg2/quant.h"
+#include "mpeg2/recon.h"
+#include "mpeg2/tables.h"
+
+namespace pdw::enc {
+
+using namespace mpeg2;
+using namespace mpeg2::mb_flags;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Low-level syntax writers
+// ---------------------------------------------------------------------------
+
+void write_mv_component(BitWriter& w, int mv, int pred, int f_code) {
+  const int r_size = f_code - 1;
+  const int f = 1 << r_size;
+  const int range = 16 * f;
+  int delta = mv - pred;
+  if (delta < -range)
+    delta += 2 * range;
+  else if (delta >= range)
+    delta -= 2 * range;
+  PDW_CHECK_GE(delta, -range);
+  PDW_CHECK_LT(delta, range);
+  if (delta == 0) {
+    vlc_motion_code().encode(w, 0);
+    return;
+  }
+  const int a = std::abs(delta) - 1;
+  const int mag = a / f + 1;
+  const int residual = a % f;
+  PDW_CHECK_LE(mag, 16);
+  vlc_motion_code().encode(w, delta < 0 ? -mag : mag);
+  if (r_size > 0) w.put(uint32_t(residual), r_size);
+}
+
+// Write one motion vector (both components) for direction s and update the
+// predictors the way the decoder will.
+void write_motion_vector(BitWriter& w, MbState& st, const int16_t mv[2], int s,
+                         const PictureCodingExt& pce) {
+  for (int t = 0; t < 2; ++t) {
+    write_mv_component(w, mv[t], st.pmv[s][t], pce.f_code[s][t]);
+    st.pmv[s][t] = mv[t];
+  }
+}
+
+void write_block_intra(BitWriter& w, const int16_t qfs[64], int last, int cc,
+                       MbState& st) {
+  // DC: differential against the per-component predictor.
+  const int dc = qfs[0];
+  const int diff = dc - st.dc_pred[cc];
+  st.dc_pred[cc] = dc;
+  int size = 0;
+  for (int a = std::abs(diff); a != 0; a >>= 1) ++size;
+  PDW_CHECK_LE(size, 11);
+  const Vlc& size_vlc = cc == 0 ? vlc_dct_dc_size_luma() : vlc_dct_dc_size_chroma();
+  size_vlc.encode(w, size);
+  if (size > 0) {
+    const uint32_t bits =
+        diff > 0 ? uint32_t(diff) : uint32_t(diff + (1 << size) - 1);
+    w.put(bits, size);
+  }
+
+  // AC run/levels over scan positions 1..last.
+  int run = 0;
+  for (int n = 1; n <= last; ++n) {
+    if (qfs[n] == 0) {
+      ++run;
+      continue;
+    }
+    encode_dct_coeff_b14(w, run, qfs[n], /*first=*/false);
+    run = 0;
+  }
+  encode_eob_b14(w);
+}
+
+void write_block_inter(BitWriter& w, const int16_t qfs[64], int last) {
+  PDW_CHECK_GE(last, 0);
+  int run = 0;
+  bool first = true;
+  for (int n = 0; n <= last; ++n) {
+    if (qfs[n] == 0) {
+      ++run;
+      continue;
+    }
+    encode_dct_coeff_b14(w, run, qfs[n], first);
+    first = false;
+    run = 0;
+  }
+  encode_eob_b14(w);
+}
+
+// ---------------------------------------------------------------------------
+// Per-picture encoder
+// ---------------------------------------------------------------------------
+
+struct BlockData {
+  int16_t qfs[64];
+  int last;  // last nonzero scan index (-1: uncoded for inter)
+};
+
+class PictureEncoder {
+ public:
+  PictureEncoder(const EncoderConfig& cfg, const SequenceHeader& seq,
+                 const PictureCodingExt& pce, PicType type, const Frame& orig,
+                 const Frame* fwd, const Frame* bwd, Frame* recon,
+                 EncodeStats* stats)
+      : cfg_(cfg),
+        seq_(seq),
+        pce_(pce),
+        type_(type),
+        orig_(orig),
+        fwd_(fwd),
+        bwd_(bwd),
+        recon_(recon),
+        stats_(stats),
+        fwd_src_(fwd ? std::make_unique<FrameRefSource>(*fwd) : nullptr),
+        bwd_src_(bwd ? std::make_unique<FrameRefSource>(*bwd) : nullptr) {
+    me_.range_px = cfg.me_range;
+    me_.mv_limit = 16 * (1 << (pce.f_code[0][0] - 1)) - 2;
+  }
+
+  void encode_slices(BitWriter& w, int base_quant) {
+    base_quant_ = base_quant;
+    const int mbw = seq_.mb_width();
+    const int mbh = seq_.mb_height();
+    double act_sum = 0.0;
+    for (int row = 0; row < mbh; ++row) {
+      write_slice_header(w, seq_, row, base_quant_);
+      st_ = MbState{};
+      st_.reset_dc(pce_);
+      st_.quant_scale_code = uint8_t(base_quant_);
+      pending_skips_ = 0;
+
+      for (int mbx = 0; mbx < mbw; ++mbx)
+        act_sum += encode_macroblock(w, mbx, row);
+      PDW_CHECK_EQ(pending_skips_, 0) << "slice may not end in skipped MBs";
+      w.align_to_byte();
+    }
+    avg_activity_ = std::max(1.0, act_sum / (double(mbw) * mbh));
+  }
+
+  double average_activity() const { return avg_activity_; }
+  void seed_activity(double a) { prev_avg_activity_ = std::max(1.0, a); }
+
+ private:
+  // Copy a luma/chroma block of the original picture into an int16 buffer.
+  void load_block(const Plane& p, int x, int y, int16_t out[64]) const {
+    for (int r = 0; r < 8; ++r) {
+      const uint8_t* s = p.row(y + r) + x;
+      for (int c = 0; c < 8; ++c) out[r * 8 + c] = s[c];
+    }
+  }
+
+  void load_mb_blocks(int mbx, int mby, int16_t blocks[6][64]) const {
+    for (int b = 0; b < 4; ++b)
+      load_block(orig_.y, mbx * 16 + (b & 1) * 8, mby * 16 + (b >> 1) * 8,
+                 blocks[b]);
+    load_block(orig_.cb, mbx * 8, mby * 8, blocks[4]);
+    load_block(orig_.cr, mbx * 8, mby * 8, blocks[5]);
+  }
+
+  // Spatial activity of the original macroblock (mean absolute deviation of
+  // luma); drives intra/inter choice and adaptive quantisation.
+  double activity(int mbx, int mby) const {
+    int64_t sum = 0;
+    for (int r = 0; r < 16; ++r) {
+      const uint8_t* s = orig_.y.row(mby * 16 + r) + mbx * 16;
+      for (int c = 0; c < 16; ++c) sum += s[c];
+    }
+    const int mean = int(sum / 256);
+    int64_t dev = 0;
+    for (int r = 0; r < 16; ++r) {
+      const uint8_t* s = orig_.y.row(mby * 16 + r) + mbx * 16;
+      for (int c = 0; c < 16; ++c) dev += std::abs(int(s[c]) - mean);
+    }
+    return double(dev);
+  }
+
+  MacroblockPixels predict(uint8_t flags, const int16_t mvf[2],
+                           const int16_t mvb[2], int mbx, int mby) const {
+    Macroblock tmp;
+    tmp.flags = flags;
+    tmp.mv[0][0] = mvf[0];
+    tmp.mv[0][1] = mvf[1];
+    tmp.mv[1][0] = mvb[0];
+    tmp.mv[1][1] = mvb[1];
+    MacroblockPixels out;
+    motion_compensate(tmp, fwd_src_.get(), bwd_src_.get(), mbx, mby, &out);
+    return out;
+  }
+
+  uint32_t pred_sad(const MacroblockPixels& pred, int mbx, int mby) const {
+    uint32_t sad = 0;
+    for (int r = 0; r < 16; ++r) {
+      const uint8_t* a = orig_.y.row(mby * 16 + r) + mbx * 16;
+      const uint8_t* p = pred.y + r * 16;
+      for (int c = 0; c < 16; ++c) sad += uint32_t(std::abs(int(a[c]) - p[c]));
+    }
+    return sad;
+  }
+
+  // Quantise the six residual (or intra) blocks; returns cbp.
+  int quantise_blocks(const int16_t blocks[6][64], BlockData out[6],
+                      bool intra, int quant_code) {
+    const auto& scan = scan_table(pce_.alternate_scan);
+    const int scale = quantiser_scale(pce_.q_scale_type, quant_code);
+    int cbp = 0;
+    for (int b = 0; b < 6; ++b) {
+      int16_t f[64];
+      forward_dct_8x8(blocks[b], f);
+      if (intra) {
+        out[b].last = quant_intra(f, out[b].qfs, seq_.intra_quant.data(),
+                                  scale, pce_.intra_dc_mult(), scan.data());
+        cbp |= 0x20 >> b;
+      } else {
+        out[b].last = quant_non_intra(f, out[b].qfs,
+                                      seq_.non_intra_quant.data(), scale,
+                                      scan.data());
+        if (out[b].last >= 0) cbp |= 0x20 >> b;
+      }
+    }
+    return cbp;
+  }
+
+  // Reconstruct the macroblock exactly as a decoder would and store it into
+  // the reconstruction frame (reference pictures only).
+  void reconstruct(uint8_t flags, const int16_t mvf[2], const int16_t mvb[2],
+                   int cbp, const BlockData bd[6], int quant_code, int mbx,
+                   int mby) {
+    if (!recon_) return;
+    Macroblock mb;
+    mb.flags = flags;
+    mb.cbp = (flags & kIntra) ? 0x3F : cbp;
+    mb.mv[0][0] = mvf[0];
+    mb.mv[0][1] = mvf[1];
+    mb.mv[1][0] = mvb[0];
+    mb.mv[1][1] = mvb[1];
+    const auto& scan = scan_table(pce_.alternate_scan);
+    const int scale = quantiser_scale(pce_.q_scale_type, quant_code);
+    for (int b = 0; b < 6; ++b) {
+      if (!(mb.cbp & (0x20 >> b))) continue;
+      if (flags & kIntra)
+        dequant_intra(bd[b].qfs, mb.coeff[b], seq_.intra_quant.data(), scale,
+                      pce_.intra_dc_mult(), scan.data());
+      else
+        dequant_non_intra(bd[b].qfs, mb.coeff[b], seq_.non_intra_quant.data(),
+                          scale, scan.data());
+    }
+    MacroblockPixels px;
+    reconstruct_mb(mb, fwd_src_.get(), bwd_src_.get(), mbx, mby, &px);
+    store_mb(recon_, mbx, mby, px);
+  }
+
+  // Returns the macroblock activity (accumulated by the caller).
+  double encode_macroblock(BitWriter& w, int mbx, int mby) {
+    const int mbw = seq_.mb_width();
+    const int addr = mby * mbw + mbx;
+    const bool first_of_slice = mbx == 0;
+    const bool last_of_slice = mbx == mbw - 1;
+    const double act = activity(mbx, mby);
+
+    // ----- Mode decision ---------------------------------------------------
+    uint8_t flags = kIntra;
+    int16_t mvf[2] = {0, 0};
+    int16_t mvb[2] = {0, 0};
+    MacroblockPixels pred{};
+
+    if (type_ != PicType::I) {
+      const double intra_cost = act + 500.0;
+      if (type_ == PicType::P) {
+        const MotionResult m = estimate_motion(
+            orig_.y, fwd_->y, mbx, mby, st_.pmv[0][0], st_.pmv[0][1], me_);
+        if (double(m.sad) <= intra_cost) {
+          flags = kMotionForward;
+          mvf[0] = int16_t(m.mv_x);
+          mvf[1] = int16_t(m.mv_y);
+          pred = predict(flags, mvf, mvb, mbx, mby);
+        }
+      } else {
+        const MotionResult mf = estimate_motion(
+            orig_.y, fwd_->y, mbx, mby, st_.pmv[0][0], st_.pmv[0][1], me_);
+        const MotionResult mb_ = estimate_motion(
+            orig_.y, bwd_->y, mbx, mby, st_.pmv[1][0], st_.pmv[1][1], me_);
+        // Bidirectional candidate: average of the two best predictions.
+        const int16_t cf[2] = {int16_t(mf.mv_x), int16_t(mf.mv_y)};
+        const int16_t cb[2] = {int16_t(mb_.mv_x), int16_t(mb_.mv_y)};
+        const MacroblockPixels pbi =
+            predict(kMotionForward | kMotionBackward, cf, cb, mbx, mby);
+        const uint32_t sad_bi = pred_sad(pbi, mbx, mby);
+
+        uint32_t best = mf.sad;
+        uint8_t best_flags = kMotionForward;
+        if (mb_.sad < best) {
+          best = mb_.sad;
+          best_flags = kMotionBackward;
+        }
+        if (sad_bi + 64 < best) {
+          best = sad_bi;
+          best_flags = kMotionForward | kMotionBackward;
+        }
+        if (double(best) <= intra_cost) {
+          flags = best_flags;
+          if (flags & kMotionForward) {
+            mvf[0] = cf[0];
+            mvf[1] = cf[1];
+          }
+          if (flags & kMotionBackward) {
+            mvb[0] = cb[0];
+            mvb[1] = cb[1];
+          }
+          pred = (flags == (kMotionForward | kMotionBackward))
+                     ? pbi
+                     : predict(flags, mvf, mvb, mbx, mby);
+        }
+      }
+    }
+
+    // ----- Quantiser selection ---------------------------------------------
+    int quant_code = st_.quant_scale_code;
+    if (cfg_.adaptive_quant) {
+      // TM5-style activity modulation around the base quantiser.
+      const double a = act;
+      const double avg = prev_avg_activity_;
+      const double factor = (2.0 * a + avg) / (a + 2.0 * avg);
+      quant_code = std::clamp(int(std::lround(base_quant_ * factor)), 1, 31);
+    }
+
+    // ----- Residual / transform --------------------------------------------
+    int16_t blocks[6][64];
+    load_mb_blocks(mbx, mby, blocks);
+    if (!(flags & kIntra)) {
+      // Subtract prediction.
+      for (int b = 0; b < 4; ++b) {
+        const int bx = (b & 1) * 8;
+        const int by = (b >> 1) * 8;
+        for (int r = 0; r < 8; ++r)
+          for (int c = 0; c < 8; ++c)
+            blocks[b][r * 8 + c] =
+                int16_t(blocks[b][r * 8 + c] - pred.y[(by + r) * 16 + bx + c]);
+      }
+      for (int r = 0; r < 8; ++r)
+        for (int c = 0; c < 8; ++c) {
+          blocks[4][r * 8 + c] = int16_t(blocks[4][r * 8 + c] - pred.cb[r * 8 + c]);
+          blocks[5][r * 8 + c] = int16_t(blocks[5][r * 8 + c] - pred.cr[r * 8 + c]);
+        }
+    }
+    BlockData bd[6];
+    int cbp = quantise_blocks(blocks, bd, flags & kIntra, quant_code);
+
+    // ----- Skip decision ----------------------------------------------------
+    if (cfg_.allow_skip && !first_of_slice && !last_of_slice &&
+        !(flags & kIntra) && cbp == 0) {
+      bool can_skip = false;
+      if (type_ == PicType::P) {
+        can_skip = mvf[0] == 0 && mvf[1] == 0;
+      } else {
+        const uint8_t dirs = flags & (kMotionForward | kMotionBackward);
+        can_skip = dirs == st_.prev_motion_flags && dirs != 0;
+        if (can_skip && (dirs & kMotionForward))
+          can_skip = mvf[0] == st_.pmv[0][0] && mvf[1] == st_.pmv[0][1];
+        if (can_skip && (dirs & kMotionBackward))
+          can_skip = mvb[0] == st_.pmv[1][0] && mvb[1] == st_.pmv[1][1];
+      }
+      if (can_skip) {
+        ++pending_skips_;
+        if (stats_) ++stats_->skipped_mbs;
+        // Mirror the decoder's skip-time state updates.
+        if (type_ == PicType::P) st_.reset_pmv();
+        st_.reset_dc(pce_);
+        // Reconstruct the skip for reference pictures.
+        if (type_ == PicType::P && recon_) {
+          const int16_t zero[2] = {0, 0};
+          reconstruct(kMotionForward, zero, zero, 0, bd, quant_code, mbx, mby);
+        }
+        return act;
+      }
+    }
+
+    // ----- Type finalisation -------------------------------------------------
+    if (!(flags & kIntra)) {
+      if (cbp != 0) flags |= kPattern;
+      if (type_ == PicType::P && (flags & kMotionForward) && mvf[0] == 0 &&
+          mvf[1] == 0 && cbp != 0) {
+        // Prefer the cheaper "No MC, coded" type for zero vectors.
+        flags = kPattern;
+      }
+      if (type_ == PicType::P && !(flags & kMotionForward) && cbp == 0) {
+        // Forced coded macroblock (first/last of slice) that would have been
+        // a skip: encode as MC-not-coded with an explicit zero vector.
+        flags = kMotionForward;
+        mvf[0] = mvf[1] = 0;
+      }
+      if (type_ == PicType::B && cbp == 0 && flags == 0) {
+        // Cannot happen (B always has a direction when not intra).
+        PDW_CHECK(false);
+      }
+    }
+
+    // Quantiser update only representable when the chosen type has a
+    // kQuant variant (coded or intra macroblocks).
+    const bool can_carry_quant = (flags & kPattern) || (flags & kIntra);
+    if (quant_code != st_.quant_scale_code && can_carry_quant)
+      flags |= kQuant;
+    else
+      quant_code = st_.quant_scale_code;
+
+    // Re-quantise if the adaptive quantiser changed the step after the cbp
+    // decision. (quantise_blocks already used quant_code; cbp may only have
+    // been computed with the same code, so nothing to redo.)
+
+    // ----- Emission ----------------------------------------------------------
+    encode_address_increment(w, pending_skips_ + 1);
+    pending_skips_ = 0;
+    vlc_mb_type(type_).encode(w, flags);
+    if (flags & kQuant) {
+      w.put(uint32_t(quant_code), 5);
+      st_.quant_scale_code = uint8_t(quant_code);
+    }
+    if (flags & kMotionForward) write_motion_vector(w, st_, mvf, 0, pce_);
+    if (flags & kMotionBackward) write_motion_vector(w, st_, mvb, 1, pce_);
+    if (flags & kIntra) {
+      for (int b = 0; b < 6; ++b)
+        write_block_intra(w, bd[b].qfs, bd[b].last, b < 4 ? 0 : b - 3, st_);
+      st_.reset_pmv();
+      if (stats_) ++stats_->intra_mbs;
+    } else {
+      if (type_ == PicType::P && !(flags & kMotionForward)) st_.reset_pmv();
+      if (flags & kPattern) {
+        vlc_coded_block_pattern().encode(w, cbp);
+        for (int b = 0; b < 6; ++b)
+          if (cbp & (0x20 >> b)) write_block_inter(w, bd[b].qfs, bd[b].last);
+      }
+      st_.reset_dc(pce_);
+      if (stats_) ++stats_->inter_mbs;
+    }
+    st_.prev_motion_flags = uint8_t(flags & (kMotionForward | kMotionBackward));
+
+    reconstruct(flags, mvf, mvb, cbp, bd, st_.quant_scale_code, mbx, mby);
+    (void)addr;
+    return act;
+  }
+
+  const EncoderConfig& cfg_;
+  const SequenceHeader& seq_;
+  const PictureCodingExt& pce_;
+  PicType type_;
+  const Frame& orig_;
+  const Frame* fwd_;
+  const Frame* bwd_;
+  Frame* recon_;
+  EncodeStats* stats_;
+  std::unique_ptr<FrameRefSource> fwd_src_, bwd_src_;
+  MeParams me_;
+  MbState st_;
+  int pending_skips_ = 0;
+  int base_quant_ = 8;
+  double avg_activity_ = 400.0;
+  double prev_avg_activity_ = 400.0;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Stream-level encoder
+// ---------------------------------------------------------------------------
+
+Mpeg2Encoder::Mpeg2Encoder(const EncoderConfig& config) : config_(config) {
+  PDW_CHECK_GT(config.width, 0);
+  PDW_CHECK_GT(config.height, 0);
+  PDW_CHECK_EQ(config.width % 16, 0) << "width must be macroblock aligned";
+  PDW_CHECK_EQ(config.height % 16, 0) << "height must be macroblock aligned";
+  PDW_CHECK_GE(config.gop_size, 1);
+  PDW_CHECK_GE(config.b_frames, 0);
+
+  seq_.width = config.width;
+  seq_.height = config.height;
+  seq_.frame_rate_code = config.frame_rate_code;
+  seq_.intra_quant = kDefaultIntraQuant;
+  seq_.non_intra_quant = kDefaultNonIntraQuant;
+  seq_.progressive_sequence = true;
+
+  // Smallest f_code whose half-pel range covers the search radius.
+  const int need = 2 * config.me_range + 2;
+  f_code_ = 1;
+  while (16 * (1 << (f_code_ - 1)) < need) ++f_code_;
+  PDW_CHECK_LE(f_code_, 9);
+
+  pce_template_ = PictureCodingExt{};
+  pce_template_.intra_dc_precision = config.intra_dc_precision;
+  pce_template_.q_scale_type = config.q_scale_type;
+  pce_template_.alternate_scan = config.alternate_scan;
+}
+
+namespace {
+
+// A reference picture in the encode schedule.
+struct RefPoint {
+  int display = 0;       // display index
+  bool is_i = false;     // I (GOP start) vs P
+  int gop_base = 0;      // display index of the GOP's first displayed picture
+};
+
+// Build the reference schedule: closed GOPs restart the B cadence at every
+// GOP (self-contained), open GOPs keep references every (b_frames+1) frames
+// across GOP boundaries so a GOP's leading B pictures predict from the
+// previous GOP's last reference.
+std::vector<RefPoint> build_schedule(int num_frames, int gop_size, int m,
+                                     bool closed) {
+  std::vector<RefPoint> refs;
+  if (closed) {
+    int frame = 0;
+    while (frame < num_frames) {
+      const int gop_end = std::min(num_frames, frame + gop_size);
+      refs.push_back({frame, true, frame});
+      int prev = frame;
+      while (prev < gop_end - 1) {
+        const int next = std::min(prev + m, gop_end - 1);
+        refs.push_back({next, false, frame});
+        prev = next;
+      }
+      frame = gop_end;
+    }
+    return refs;
+  }
+  // Open: reference positions 0, m, 2m, ..., clamped to end at the last
+  // frame; a reference is an I whenever it crosses into a new gop_size bin.
+  std::vector<int> positions;
+  int d = 0;
+  while (true) {
+    positions.push_back(d);
+    if (d >= num_frames - 1) break;
+    d = std::min(d + m, num_frames - 1);
+  }
+  int gop_base = 0;
+  for (size_t j = 0; j < positions.size(); ++j) {
+    const int p = positions[j];
+    const bool is_i = j == 0 || p / gop_size > positions[j - 1] / gop_size;
+    if (is_i) gop_base = j == 0 ? 0 : positions[j - 1] + 1;
+    refs.push_back({p, is_i, gop_base});
+  }
+  return refs;
+}
+
+// Mean absolute luma difference, sampled on a grid (scene-cut metric).
+double frame_mad(const Frame& a, const Frame& b) {
+  int64_t sum = 0;
+  int64_t count = 0;
+  for (int y = 0; y < a.height(); y += 4) {
+    const uint8_t* pa = a.y.row(y);
+    const uint8_t* pb = b.y.row(y);
+    for (int x = 0; x < a.width(); x += 4) {
+      sum += std::abs(int(pa[x]) - int(pb[x]));
+      ++count;
+    }
+  }
+  return count ? double(sum) / double(count) : 0.0;
+}
+
+}  // namespace
+
+std::vector<uint8_t> Mpeg2Encoder::encode(int num_frames,
+                                          const FrameProducer& produce,
+                                          EncodeStats* stats) {
+  PDW_CHECK_GE(num_frames, 1);
+  BitWriter w;
+  RateControl rc(config_.width * config_.height, config_.target_bpp,
+                 config_.gop_size, config_.b_frames);
+
+  Frame ref_old(config_.width, config_.height);
+  Frame ref_new(config_.width, config_.height);
+  Frame orig_ref(config_.width, config_.height);
+  std::vector<Frame> orig_bs;
+  for (int i = 0; i < config_.b_frames; ++i)
+    orig_bs.emplace_back(config_.width, config_.height);
+
+  double rolling_activity = 400.0;
+
+  auto encode_one = [&](PicType type, int temporal_ref, const Frame& orig,
+                        const Frame* fwd, const Frame* bwd, Frame* out) {
+    const size_t before = w.bytes().size();
+
+    PictureHeader ph;
+    ph.temporal_reference = temporal_ref & 0x3FF;
+    ph.type = type;
+    write_picture_header(w, ph);
+
+    PictureCodingExt pce = pce_template_;
+    pce.f_code[0][0] = pce.f_code[0][1] =
+        type == PicType::I ? 15 : f_code_;
+    pce.f_code[1][0] = pce.f_code[1][1] =
+        type == PicType::B ? f_code_ : 15;
+    write_picture_coding_extension(w, pce);
+
+    const int quant = rc.pick_quant(type);
+    PictureEncoder pe(config_, seq_, pce, type, orig, fwd, bwd, out, stats);
+    pe.seed_activity(rolling_activity);
+    pe.encode_slices(w, quant);
+    rolling_activity = pe.average_activity();
+    w.align_to_byte();
+
+    const size_t bytes = w.bytes().size() - before;
+    rc.update(type, bytes * 8);
+    if (stats) {
+      ++stats->frames;
+      stats->picture_bytes.push_back(bytes);
+      if (type == PicType::I) ++stats->i_pictures;
+    }
+  };
+
+  const int m = config_.b_frames + 1;
+  const auto schedule = build_schedule(num_frames, config_.gop_size, m,
+                                       config_.closed_gops);
+
+  int last_ref_display = -1;
+  bool have_ref = false;
+  for (const RefPoint& ref : schedule) {
+    // Fetch the interval's originals in display order (B frames, then ref).
+    for (int d = last_ref_display + 1; d < ref.display; ++d)
+      produce(d, &orig_bs[size_t(d - last_ref_display - 1)]);
+    produce(ref.display, &orig_ref);
+
+    // Scene-cut promotion: a P whose source diverged sharply from its
+    // reference becomes an I (mid-GOP I pictures are legal; temporal
+    // numbering is unchanged).
+    bool as_i = ref.is_i;
+    if (!as_i && config_.scene_cut_threshold > 0.0 &&
+        frame_mad(orig_ref, ref_new) > config_.scene_cut_threshold) {
+      as_i = true;
+      if (stats) ++stats->scene_cuts;
+    }
+
+    // Stream-level headers at GOP starts.
+    if (ref.is_i) {
+      if (!have_ref || config_.repeat_sequence_header) {
+        write_sequence_header(w, seq_);
+        write_sequence_extension(w, seq_);
+      }
+      GopHeader gop;
+      // The very first GOP is closed either way (no leading B pictures).
+      gop.closed_gop = config_.closed_gops || !have_ref;
+      write_gop_header(w, gop);
+    }
+
+    // Code the reference first (coded order), then the interval's Bs.
+    std::swap(ref_old, ref_new);
+    encode_one(as_i ? PicType::I : PicType::P, ref.display - ref.gop_base,
+               orig_ref, as_i ? nullptr : &ref_old, nullptr, &ref_new);
+    for (int d = last_ref_display + 1; d < ref.display; ++d) {
+      PDW_CHECK(have_ref) << "schedule placed B pictures before any reference";
+      encode_one(PicType::B, d - ref.gop_base,
+                 orig_bs[size_t(d - last_ref_display - 1)], &ref_old, &ref_new,
+                 nullptr);
+    }
+    last_ref_display = ref.display;
+    have_ref = true;
+  }
+
+  write_sequence_end(w);
+  std::vector<uint8_t> out = w.take();
+  if (stats) stats->total_bytes = out.size();
+  return out;
+}
+
+}  // namespace pdw::enc

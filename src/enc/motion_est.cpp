@@ -1,0 +1,144 @@
+#include "enc/motion_est.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+namespace pdw::enc {
+
+using mpeg2::Plane;
+
+namespace {
+
+// Full-pel 16x16 SAD; returns UINT32_MAX when out of bounds or when the
+// running sum exceeds `best` (early exit).
+uint32_t sad_fullpel(const Plane& cur, const Plane& ref, int cx, int cy,
+                     int rx, int ry, uint32_t best) {
+  if (rx < 0 || ry < 0 || rx + 16 > ref.width() || ry + 16 > ref.height())
+    return std::numeric_limits<uint32_t>::max();
+  uint32_t sad = 0;
+  for (int r = 0; r < 16; ++r) {
+    const uint8_t* a = cur.row(cy + r) + cx;
+    const uint8_t* b = ref.row(ry + r) + rx;
+    for (int c = 0; c < 16; ++c) sad += uint32_t(std::abs(int(a[c]) - int(b[c])));
+    if (sad >= best) return std::numeric_limits<uint32_t>::max();
+  }
+  return sad;
+}
+
+}  // namespace
+
+uint32_t sad_halfpel(const Plane& cur, const Plane& ref, int mbx, int mby,
+                     int mv_x, int mv_y) {
+  const int cx = mbx * 16;
+  const int cy = mby * 16;
+  const int hx = mv_x & 1;
+  const int hy = mv_y & 1;
+  const int rx = cx + (mv_x >> 1);
+  const int ry = cy + (mv_y >> 1);
+  if (rx < 0 || ry < 0 || rx + 16 + hx > ref.width() ||
+      ry + 16 + hy > ref.height())
+    return std::numeric_limits<uint32_t>::max();
+  uint32_t sad = 0;
+  for (int r = 0; r < 16; ++r) {
+    const uint8_t* a = cur.row(cy + r) + cx;
+    const uint8_t* b0 = ref.row(ry + r) + rx;
+    const uint8_t* b1 = ref.row(ry + r + hy) + rx;
+    for (int c = 0; c < 16; ++c) {
+      int p;
+      if (!hx && !hy)
+        p = b0[c];
+      else if (hx && !hy)
+        p = (b0[c] + b0[c + 1] + 1) >> 1;
+      else if (!hx && hy)
+        p = (b0[c] + b1[c] + 1) >> 1;
+      else
+        p = (b0[c] + b0[c + 1] + b1[c] + b1[c + 1] + 2) >> 2;
+      sad += uint32_t(std::abs(int(a[c]) - p));
+    }
+  }
+  return sad;
+}
+
+MotionResult estimate_motion(const Plane& cur, const Plane& ref, int mbx,
+                             int mby, int pred_mv_x, int pred_mv_y,
+                             const MeParams& params) {
+  const int cx = mbx * 16;
+  const int cy = mby * 16;
+
+  // Full-pel bound implied by the half-pel mv limit (leave one sample of
+  // headroom so half-pel refinement stays in range).
+  const int limit_px = (params.mv_limit - 1) / 2;
+
+  auto clamp_candidate = [&](int& fx, int& fy) {
+    fx = std::clamp(fx, -limit_px, limit_px);
+    fy = std::clamp(fy, -limit_px, limit_px);
+  };
+
+  uint32_t best = std::numeric_limits<uint32_t>::max();
+  int bx = 0, by = 0;
+  auto consider = [&](int fx, int fy) {
+    const uint32_t s = sad_fullpel(cur, ref, cx, cy, cx + fx, cy + fy, best);
+    if (s < best) {
+      best = s;
+      bx = fx;
+      by = fy;
+    }
+  };
+
+  // Seeds: zero vector and the motion predictor.
+  consider(0, 0);
+  {
+    int sx = pred_mv_x >> 1, sy = pred_mv_y >> 1;
+    clamp_candidate(sx, sy);
+    if (sx != 0 || sy != 0) consider(sx, sy);
+  }
+  if (best == std::numeric_limits<uint32_t>::max()) {
+    // Even the zero vector was out of bounds (cannot happen for in-picture
+    // macroblocks); bail out with a zero vector.
+    return {0, 0, sad_halfpel(cur, ref, mbx, mby, 0, 0)};
+  }
+
+  // Large-diamond iterative search, shrinking step.
+  for (int step = std::min(8, params.range_px); step >= 1; step /= 2) {
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      const int ox = bx, oy = by;
+      static const int kDx[4] = {1, -1, 0, 0};
+      static const int kDy[4] = {0, 0, 1, -1};
+      for (int d = 0; d < 4; ++d) {
+        int fx = ox + kDx[d] * step;
+        int fy = oy + kDy[d] * step;
+        if (std::abs(fx) > params.range_px || std::abs(fy) > params.range_px)
+          continue;
+        clamp_candidate(fx, fy);
+        const uint32_t prev = best;
+        consider(fx, fy);
+        if (best < prev) improved = true;
+      }
+    }
+  }
+
+  // Half-pel refinement around the best full-pel position.
+  int best_hx = bx * 2, best_hy = by * 2;
+  uint32_t best_h = sad_halfpel(cur, ref, mbx, mby, best_hx, best_hy);
+  for (int dy = -1; dy <= 1; ++dy) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      if (dx == 0 && dy == 0) continue;
+      const int hx = bx * 2 + dx;
+      const int hy = by * 2 + dy;
+      if (std::abs(hx) > params.mv_limit || std::abs(hy) > params.mv_limit)
+        continue;
+      const uint32_t s = sad_halfpel(cur, ref, mbx, mby, hx, hy);
+      if (s < best_h) {
+        best_h = s;
+        best_hx = hx;
+        best_hy = hy;
+      }
+    }
+  }
+  return {best_hx, best_hy, best_h};
+}
+
+}  // namespace pdw::enc

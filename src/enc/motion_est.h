@@ -1,0 +1,35 @@
+// Block motion estimation for the MPEG-2 encoder: predictor-seeded diamond
+// search on full-pel positions followed by half-pel refinement against the
+// reconstructed reference (closed-loop encoding).
+#pragma once
+
+#include "mpeg2/frame.h"
+
+namespace pdw::enc {
+
+struct MotionResult {
+  int mv_x = 0;  // half-pel units
+  int mv_y = 0;
+  uint32_t sad = 0;  // 16x16 luma SAD at the chosen position
+};
+
+struct MeParams {
+  int range_px = 15;    // full-pel search radius
+  int mv_limit = 127;   // |mv| bound in half-pel units (from f_code)
+};
+
+// Estimate the motion of the 16x16 luma block at (mbx, mby) of `cur` within
+// `ref`. `pred_mv_{x,y}` (half-pel) seeds the search. Candidate windows are
+// constrained to lie fully inside the picture (MPEG-2 forbids out-of-picture
+// references), including the extra half-pel sample.
+MotionResult estimate_motion(const mpeg2::Plane& cur, const mpeg2::Plane& ref,
+                             int mbx, int mby, int pred_mv_x, int pred_mv_y,
+                             const MeParams& params);
+
+// 16x16 SAD between the current macroblock and the (half-pel) motion
+// compensated reference block; returns UINT32_MAX if the window leaves the
+// picture. Exposed for tests.
+uint32_t sad_halfpel(const mpeg2::Plane& cur, const mpeg2::Plane& ref, int mbx,
+                     int mby, int mv_x, int mv_y);
+
+}  // namespace pdw::enc

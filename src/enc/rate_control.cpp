@@ -1,0 +1,43 @@
+#include "enc/rate_control.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pdw::enc {
+
+RateControl::RateControl(int pixels, double target_bpp, int gop_size,
+                         int b_frames) {
+  // Bit-budget weights per picture type. With an N-picture GOP containing
+  // one I, (N / (b_frames+1) - 1) P and the rest B pictures, weights are
+  // normalised so the GOP average hits target_bpp.
+  const double wI = 3.0, wP = 1.6, wB = 0.7;
+  const int m = b_frames + 1;
+  const int n_ref = std::max(1, gop_size / m);  // I + P count
+  const int nI = 1;
+  const int nP = n_ref - 1;
+  const int nB = gop_size - n_ref;
+  const double avg_w = (nI * wI + nP * wP + nB * wB) / double(gop_size);
+  const double base = double(pixels) * target_bpp / avg_w;
+  target_bits_[0] = base * wI;
+  target_bits_[1] = base * wP;
+  target_bits_[2] = base * wB;
+}
+
+int RateControl::pick_quant(mpeg2::PicType type) const {
+  return std::clamp(int(std::lround(quant_[idx(type)])), 1, 31);
+}
+
+void RateControl::update(mpeg2::PicType type, size_t bits) {
+  const int i = idx(type);
+  const double ratio = double(bits) / target_bits_[i];
+  // Proportional adaptation with damping; clamp per-step change so one
+  // atypical picture cannot destabilise the quantiser.
+  const double step = std::clamp(std::sqrt(ratio), 0.7, 1.4);
+  quant_[i] = std::clamp(quant_[i] * step, 1.0, 31.0);
+}
+
+double RateControl::target_bits(mpeg2::PicType type) const {
+  return target_bits_[idx(type)];
+}
+
+}  // namespace pdw::enc

@@ -1,0 +1,33 @@
+// Simple reactive rate control: one quantiser per picture type, adapted by
+// the ratio of produced to target bits. This is not TM5 — the goal is only
+// to land streams near a target bits-per-pixel (the paper's test streams sit
+// at ~0.3 bpp) with stable quality.
+#pragma once
+
+#include "mpeg2/types.h"
+
+namespace pdw::enc {
+
+class RateControl {
+ public:
+  // `pixels` per picture; `target_bpp` average across the GOP pattern;
+  // `gop_size` / `b_frames` describe the pattern so per-type targets can be
+  // weighted (I pictures get more bits than P, P more than B).
+  RateControl(int pixels, double target_bpp, int gop_size, int b_frames);
+
+  // quantiser_scale_code (1..31) to use for the next picture of this type.
+  int pick_quant(mpeg2::PicType type) const;
+
+  // Report the actual size of an encoded picture to adapt the quantisers.
+  void update(mpeg2::PicType type, size_t bits);
+
+  double target_bits(mpeg2::PicType type) const;
+
+ private:
+  int idx(mpeg2::PicType t) const { return int(t) - 1; }
+
+  double target_bits_[3];  // per picture type
+  double quant_[3] = {8.0, 8.0, 10.0};
+};
+
+}  // namespace pdw::enc

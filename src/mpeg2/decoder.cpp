@@ -1,0 +1,162 @@
+#include "mpeg2/decoder.h"
+
+#include "bitstream/bit_reader.h"
+#include "mpeg2/headers.h"
+#include "mpeg2/mb_parser.h"
+#include "mpeg2/recon.h"
+
+namespace pdw::mpeg2 {
+
+namespace {
+
+// Slice sink that reconstructs each macroblock into the current frame.
+class ReconSink final : public MbSink {
+ public:
+  ReconSink(const PictureContext& ctx, Frame* cur, const Frame* fwd,
+            const Frame* bwd)
+      : ctx_(ctx),
+        cur_(cur),
+        fwd_src_(fwd ? std::make_unique<FrameRefSource>(*fwd) : nullptr),
+        bwd_src_(bwd ? std::make_unique<FrameRefSource>(*bwd) : nullptr) {}
+
+  void on_macroblock(const Macroblock& mb, const MbState&, size_t,
+                     size_t) override {
+    MacroblockPixels px;
+    reconstruct_mb(mb, fwd_src_.get(), bwd_src_.get(), mb.mb_x(ctx_.mb_width()),
+                   mb.mb_y(ctx_.mb_width()), &px);
+    store_mb(cur_, mb.mb_x(ctx_.mb_width()), mb.mb_y(ctx_.mb_width()), px);
+  }
+
+ private:
+  const PictureContext& ctx_;
+  Frame* cur_;
+  std::unique_ptr<FrameRefSource> fwd_src_, bwd_src_;
+};
+
+}  // namespace
+
+void Mpeg2Decoder::decode(std::span<const uint8_t> es,
+                          const FrameCallback& cb) {
+  const std::vector<PictureSpan> spans = scan_pictures(es);
+  for (const PictureSpan& ps : spans) {
+    if (policy_ == ErrorPolicy::kStrict) {
+      decode_picture_span(es, ps, cb);
+      continue;
+    }
+    try {
+      decode_picture_span(es, ps, cb);
+    } catch (const CheckError&) {
+      // Header-level damage: drop the whole picture and resync at the next
+      // picture start code (its content is repeated via the stale buffers).
+      ++concealed_;
+    }
+  }
+  flush(cb);
+}
+
+void Mpeg2Decoder::decode_picture_span(std::span<const uint8_t> es,
+                                       const PictureSpan& ps,
+                                       const FrameCallback& cb) {
+  BitReader r(es.subspan(ps.begin, ps.end - ps.begin));
+  decode_picture(r, es, ps.begin, ps.end, cb);
+}
+
+void Mpeg2Decoder::decode_picture(BitReader& r, std::span<const uint8_t> es,
+                                  size_t begin, size_t end,
+                                  const FrameCallback& cb) {
+  (void)es;
+  ParsedPictureHeaders headers;
+  const size_t first_slice =
+      parse_picture_headers(r.data(), &seq_, &have_seq_, &headers);
+  const PictureHeader& ph = headers.ph;
+
+  PictureContext ctx;
+  ctx.seq = &seq_;
+  ctx.ph = headers.ph;
+  ctx.pce = headers.pce;
+
+  const int w = seq_.mb_width() * kMbSize;
+  const int h = seq_.mb_height() * kMbSize;
+
+  // Frame buffer management.
+  const Frame* fwd = nullptr;
+  const Frame* bwd = nullptr;
+  if (ph.type == PicType::B) {
+    PDW_CHECK(ref_old_ && ref_new_) << "B picture without two references";
+    fwd = ref_old_.get();
+    bwd = ref_new_.get();
+  } else if (ph.type == PicType::P) {
+    PDW_CHECK(ref_new_) << "P picture without reference";
+    fwd = ref_new_.get();
+  }
+  if (!cur_ || cur_->width() != w || cur_->height() != h)
+    cur_ = std::make_unique<Frame>(w, h);
+
+  // Slice loop: walk the span's start codes from the first slice onward.
+  std::span<const uint8_t> span = r.data();
+  MbSyntaxDecoder syntax(ctx, ParseMode::kFull);
+  ReconSink sink(ctx, cur_.get(), fwd, bwd);
+  bool picture_had_error = false;
+  size_t pos = first_slice;
+  while (true) {
+    const StartCodeHit hit = find_start_code(span, pos);
+    if (hit.offset >= span.size()) break;
+    pos = hit.offset + 4;
+    if (!start_code::is_slice(hit.code)) continue;
+    BitReader sr(span.subspan(hit.offset + 4));
+    if (policy_ == ErrorPolicy::kStrict) {
+      int mb_row = 0;
+      const int qscale = parse_slice_header(sr, seq_, hit.code, &mb_row);
+      syntax.parse_slice_body(sr, mb_row, qscale, sink);
+    } else {
+      // Conceal: a corrupt slice is dropped (its macroblocks keep whatever
+      // the frame buffer held — the previous picture's samples, classic
+      // slice-level error concealment); decoding resyncs at the next start
+      // code, which the corrupt VLC data cannot emulate.
+      try {
+        int mb_row = 0;
+        const int qscale = parse_slice_header(sr, seq_, hit.code, &mb_row);
+        syntax.parse_slice_body(sr, mb_row, qscale, sink);
+      } catch (const CheckError&) {
+        ++dropped_slices_;
+        picture_had_error = true;
+      }
+    }
+  }
+  if (picture_had_error) ++concealed_;
+
+  const size_t coded_bytes = end - begin;
+  ++decode_index_;
+
+  // Display-order emission.
+  if (ph.type == PicType::B) {
+    emit(*cur_, ph.type, coded_bytes, cb);
+  } else {
+    if (pending_ref_) emit(*ref_new_, pending_ref_type_, pending_ref_bytes_, cb);
+    // Current becomes the newest reference.
+    std::swap(ref_old_, ref_new_);
+    std::swap(ref_new_, cur_);
+    pending_ref_ = true;
+    pending_ref_type_ = ph.type;
+    pending_ref_bytes_ = coded_bytes;
+  }
+}
+
+void Mpeg2Decoder::flush(const FrameCallback& cb) {
+  if (pending_ref_) {
+    emit(*ref_new_, pending_ref_type_, pending_ref_bytes_, cb);
+    pending_ref_ = false;
+  }
+}
+
+void Mpeg2Decoder::emit(const Frame& f, PicType type, size_t coded_bytes,
+                        const FrameCallback& cb) {
+  DecodedPictureInfo info;
+  info.decode_index = decode_index_;
+  info.display_index = display_index_++;
+  info.type = type;
+  info.coded_bytes = coded_bytes;
+  if (cb) cb(f, info);
+}
+
+}  // namespace pdw::mpeg2

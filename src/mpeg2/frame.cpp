@@ -1,0 +1,46 @@
+#include "mpeg2/frame.h"
+
+#include <cmath>
+
+namespace pdw::mpeg2 {
+
+double psnr(const Plane& a, const Plane& b) {
+  PDW_CHECK_EQ(a.width(), b.width());
+  PDW_CHECK_EQ(a.height(), b.height());
+  double sse = 0.0;
+  for (int y = 0; y < a.height(); ++y) {
+    const uint8_t* pa = a.row(y);
+    const uint8_t* pb = b.row(y);
+    for (int x = 0; x < a.width(); ++x) {
+      const double d = double(pa[x]) - double(pb[x]);
+      sse += d * d;
+    }
+  }
+  if (sse == 0.0) return 99.0;
+  const double mse = sse / (double(a.width()) * a.height());
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+MacroblockPixels TileFrame::extract_mb(int mbx, int mby) const {
+  PDW_CHECK(contains_mb(mbx, mby));
+  MacroblockPixels out;
+  for (int r = 0; r < 16; ++r)
+    std::memcpy(out.y + r * 16, pixel(0, mbx * 16, mby * 16 + r), 16);
+  for (int r = 0; r < 8; ++r) {
+    std::memcpy(out.cb + r * 8, pixel(1, mbx * 8, mby * 8 + r), 8);
+    std::memcpy(out.cr + r * 8, pixel(2, mbx * 8, mby * 8 + r), 8);
+  }
+  return out;
+}
+
+void TileFrame::insert_mb(int mbx, int mby, const MacroblockPixels& px) {
+  PDW_CHECK(contains_mb(mbx, mby));
+  for (int r = 0; r < 16; ++r)
+    std::memcpy(pixel(0, mbx * 16, mby * 16 + r), px.y + r * 16, 16);
+  for (int r = 0; r < 8; ++r) {
+    std::memcpy(pixel(1, mbx * 8, mby * 8 + r), px.cb + r * 8, 8);
+    std::memcpy(pixel(2, mbx * 8, mby * 8 + r), px.cr + r * 8, 8);
+  }
+}
+
+}  // namespace pdw::mpeg2

@@ -1,0 +1,286 @@
+#include "mpeg2/headers.h"
+
+#include "bitstream/start_code.h"
+#include "mpeg2/tables.h"
+
+namespace pdw::mpeg2 {
+
+namespace {
+// Extension identifiers (§6.3.1, Table 6-2).
+constexpr int kSequenceExtensionId = 1;
+constexpr int kSequenceDisplayExtensionId = 2;
+constexpr int kQuantMatrixExtensionId = 3;
+constexpr int kPictureCodingExtensionId = 8;
+}  // namespace
+
+SequenceHeader parse_sequence_header(BitReader& r) {
+  SequenceHeader seq;
+  seq.width = int(r.read(12));
+  seq.height = int(r.read(12));
+  seq.aspect_ratio_code = int(r.read(4));
+  seq.frame_rate_code = int(r.read(4));
+  seq.bit_rate_value = int(r.read_wide(18));
+  PDW_CHECK(r.read_bit()) << "marker bit";
+  seq.vbv_buffer_size = int(r.read(10));
+  r.read(1);  // constrained_parameters_flag
+  seq.loaded_intra_quant = r.read_bit();
+  if (seq.loaded_intra_quant) {
+    for (int i = 0; i < 64; ++i)
+      seq.intra_quant[kZigzagScan[i]] = uint8_t(r.read(8));
+  } else {
+    seq.intra_quant = kDefaultIntraQuant;
+  }
+  seq.loaded_non_intra_quant = r.read_bit();
+  if (seq.loaded_non_intra_quant) {
+    for (int i = 0; i < 64; ++i)
+      seq.non_intra_quant[kZigzagScan[i]] = uint8_t(r.read(8));
+  } else {
+    seq.non_intra_quant = kDefaultNonIntraQuant;
+  }
+  PDW_CHECK_GT(seq.width, 0);
+  PDW_CHECK_GT(seq.height, 0);
+  return seq;
+}
+
+void parse_extension(BitReader& r, SequenceHeader* seq,
+                     PictureCodingExt* pce) {
+  const int id = int(r.read(4));
+  switch (id) {
+    case kSequenceExtensionId: {
+      PDW_CHECK(seq != nullptr) << "sequence extension before sequence header";
+      seq->profile_and_level = int(r.read(8));
+      seq->progressive_sequence = r.read_bit();
+      const int chroma_format = int(r.read(2));
+      PDW_CHECK_EQ(chroma_format, 1) << "only 4:2:0 is supported";
+      const int h_ext = int(r.read(2));
+      const int v_ext = int(r.read(2));
+      seq->width |= h_ext << 12;
+      seq->height |= v_ext << 12;
+      const int bit_rate_ext = int(r.read(12));
+      seq->bit_rate_value |= bit_rate_ext << 18;
+      PDW_CHECK(r.read_bit()) << "marker bit";
+      r.read(8);  // vbv_buffer_size_extension
+      r.read(1);  // low_delay
+      r.read(2);  // frame_rate_extension_n
+      r.read(5);  // frame_rate_extension_d
+      break;
+    }
+    case kPictureCodingExtensionId: {
+      PDW_CHECK(pce != nullptr) << "picture coding extension outside picture";
+      for (int s = 0; s < 2; ++s)
+        for (int t = 0; t < 2; ++t) pce->f_code[s][t] = int(r.read(4));
+      pce->intra_dc_precision = int(r.read(2));
+      pce->picture_structure = int(r.read(2));
+      PDW_CHECK_EQ(pce->picture_structure, 3)
+          << "field pictures are not supported (see DESIGN.md scope)";
+      pce->top_field_first = r.read_bit();
+      pce->frame_pred_frame_dct = r.read_bit();
+      PDW_CHECK(pce->frame_pred_frame_dct)
+          << "field prediction / field DCT not supported";
+      pce->concealment_motion_vectors = r.read_bit();
+      PDW_CHECK(!pce->concealment_motion_vectors)
+          << "concealment motion vectors not supported";
+      pce->q_scale_type = r.read_bit();
+      pce->intra_vlc_format = r.read_bit();
+      PDW_CHECK(!pce->intra_vlc_format)
+          << "intra_vlc_format=1 (table B.15) not supported";
+      pce->alternate_scan = r.read_bit();
+      pce->repeat_first_field = r.read_bit();
+      pce->chroma_420_type = r.read_bit();
+      pce->progressive_frame = r.read_bit();
+      const bool composite = r.read_bit();
+      if (composite) r.skip(20);
+      break;
+    }
+    default:
+      // Skip unsupported extensions up to the next start code.
+      r.align_to_byte();
+      while (!r.at_start_code_prefix() && r.bits_left() >= 8) r.skip(8);
+      break;
+  }
+}
+
+GopHeader parse_gop_header(BitReader& r) {
+  GopHeader gop;
+  gop.time_code = uint32_t(r.read_wide(25));
+  gop.closed_gop = r.read_bit();
+  gop.broken_link = r.read_bit();
+  return gop;
+}
+
+PictureHeader parse_picture_header(BitReader& r) {
+  PictureHeader ph;
+  ph.temporal_reference = int(r.read(10));
+  const int type = int(r.read(3));
+  PDW_CHECK(type >= 1 && type <= 3) << "unsupported picture_coding_type " << type;
+  ph.type = PicType(type);
+  ph.vbv_delay = int(r.read(16));
+  if (ph.type == PicType::P || ph.type == PicType::B) {
+    r.read(1);  // full_pel_forward_vector (MPEG-1 legacy, must be 0)
+    r.read(3);  // forward_f_code (legacy, 7)
+  }
+  if (ph.type == PicType::B) {
+    r.read(1);  // full_pel_backward_vector
+    r.read(3);  // backward_f_code
+  }
+  while (r.read_bit()) r.skip(8);  // extra_information_picture
+  return ph;
+}
+
+int parse_slice_header(BitReader& r, const SequenceHeader& seq, int slice_code,
+                       int* mb_row) {
+  int vertical = slice_code;
+  if (seq.height > 2800) {
+    const int ext = int(r.read(3));
+    vertical = (ext << 7) + slice_code;
+  }
+  *mb_row = vertical - 1;
+  PDW_CHECK_GE(*mb_row, 0);
+  PDW_CHECK_LT(*mb_row, seq.mb_height());
+  const int quant = int(r.read(5));
+  PDW_CHECK_GE(quant, 1);
+  while (r.read_bit()) r.skip(8);  // extra_information_slice
+  return quant;
+}
+
+size_t parse_picture_headers(std::span<const uint8_t> span,
+                             SequenceHeader* seq, bool* have_seq,
+                             ParsedPictureHeaders* out) {
+  BitReader r(span);
+  bool have_ph = false;
+  while (true) {
+    r.align_to_byte();
+    PDW_CHECK_GE(r.bits_left(), 32u) << "picture span without slices";
+    PDW_CHECK(r.at_start_code_prefix()) << "expected start code in picture span";
+    const size_t offset = r.bit_pos() / 8;
+    r.skip(24);
+    const uint8_t code = uint8_t(r.read(8));
+    if (code == start_code::kSequenceHeader) {
+      *seq = parse_sequence_header(r);
+      *have_seq = true;
+      out->had_sequence_header = true;
+    } else if (code == start_code::kExtension) {
+      parse_extension(r, *have_seq ? seq : nullptr,
+                      have_ph ? &out->pce : nullptr);
+    } else if (code == start_code::kGroup) {
+      parse_gop_header(r);
+      out->had_gop_header = true;
+    } else if (code == start_code::kUserData) {
+      while (!r.at_start_code_prefix() && r.bits_left() >= 8) r.skip(8);
+    } else if (code == start_code::kPicture) {
+      PDW_CHECK(*have_seq) << "picture before sequence header";
+      out->ph = parse_picture_header(r);
+      have_ph = true;
+    } else if (start_code::is_slice(code)) {
+      PDW_CHECK(have_ph);
+      return offset;
+    } else {
+      PDW_CHECK(false) << "unexpected start code " << int(code);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+void write_sequence_header(BitWriter& w, const SequenceHeader& seq) {
+  w.put_start_code(start_code::kSequenceHeader);
+  w.put(uint32_t(seq.width) & 0xFFF, 12);
+  w.put(uint32_t(seq.height) & 0xFFF, 12);
+  w.put(uint32_t(seq.aspect_ratio_code), 4);
+  w.put(uint32_t(seq.frame_rate_code), 4);
+  w.put(uint32_t(seq.bit_rate_value) & 0x3FFFF, 18);
+  w.put_bit(1);  // marker
+  w.put(uint32_t(seq.vbv_buffer_size) & 0x3FF, 10);
+  w.put_bit(0);  // constrained_parameters_flag
+  w.put_bit(seq.loaded_intra_quant);
+  if (seq.loaded_intra_quant)
+    for (int i = 0; i < 64; ++i) w.put(seq.intra_quant[kZigzagScan[i]], 8);
+  w.put_bit(seq.loaded_non_intra_quant);
+  if (seq.loaded_non_intra_quant)
+    for (int i = 0; i < 64; ++i) w.put(seq.non_intra_quant[kZigzagScan[i]], 8);
+}
+
+void write_sequence_extension(BitWriter& w, const SequenceHeader& seq) {
+  w.put_start_code(start_code::kExtension);
+  w.put(kSequenceExtensionId, 4);
+  w.put(uint32_t(seq.profile_and_level), 8);
+  w.put_bit(seq.progressive_sequence);
+  w.put(1, 2);  // chroma_format = 4:2:0
+  w.put(uint32_t(seq.width) >> 12, 2);
+  w.put(uint32_t(seq.height) >> 12, 2);
+  w.put(uint32_t(seq.bit_rate_value) >> 18, 12);
+  w.put_bit(1);  // marker
+  w.put(0, 8);   // vbv_buffer_size_extension
+  w.put_bit(0);  // low_delay
+  w.put(0, 2);   // frame_rate_extension_n
+  w.put(0, 5);   // frame_rate_extension_d
+}
+
+void write_gop_header(BitWriter& w, const GopHeader& gop) {
+  w.put_start_code(start_code::kGroup);
+  w.put(gop.time_code & 0x1FFFFFF, 25);
+  w.put_bit(gop.closed_gop);
+  w.put_bit(gop.broken_link);
+}
+
+void write_picture_header(BitWriter& w, const PictureHeader& ph) {
+  w.put_start_code(start_code::kPicture);
+  w.put(uint32_t(ph.temporal_reference) & 0x3FF, 10);
+  w.put(uint32_t(ph.type), 3);
+  w.put(uint32_t(ph.vbv_delay) & 0xFFFF, 16);
+  if (ph.type == PicType::P || ph.type == PicType::B) {
+    w.put_bit(0);  // full_pel_forward_vector
+    w.put(7, 3);   // forward_f_code: 7 signals "see extension" in MPEG-2
+  }
+  if (ph.type == PicType::B) {
+    w.put_bit(0);
+    w.put(7, 3);
+  }
+  w.put_bit(0);  // extra_bit_picture
+}
+
+void write_picture_coding_extension(BitWriter& w, const PictureCodingExt& pce) {
+  w.put_start_code(start_code::kExtension);
+  w.put(kPictureCodingExtensionId, 4);
+  for (int s = 0; s < 2; ++s)
+    for (int t = 0; t < 2; ++t) w.put(uint32_t(pce.f_code[s][t]), 4);
+  w.put(uint32_t(pce.intra_dc_precision), 2);
+  w.put(uint32_t(pce.picture_structure), 2);
+  w.put_bit(pce.top_field_first);
+  w.put_bit(pce.frame_pred_frame_dct);
+  w.put_bit(pce.concealment_motion_vectors);
+  w.put_bit(pce.q_scale_type);
+  w.put_bit(pce.intra_vlc_format);
+  w.put_bit(pce.alternate_scan);
+  w.put_bit(pce.repeat_first_field);
+  w.put_bit(pce.chroma_420_type);
+  w.put_bit(pce.progressive_frame);
+  w.put_bit(0);  // composite_display_flag
+}
+
+void write_slice_header(BitWriter& w, const SequenceHeader& seq, int mb_row,
+                        int quant_scale_code) {
+  // For heights <= 2800 the slice start code byte is the vertical position
+  // (1..175). Taller pictures (the "ultra-high resolution" case this paper is
+  // about) add a 3-bit slice_vertical_position_extension:
+  //   mb_row = (extension << 7) + slice_code - 1, slice_code in [1, 128].
+  if (seq.height <= 2800) {
+    const int vertical = mb_row + 1;
+    PDW_CHECK_LE(vertical, 0xAF);
+    w.put_start_code(uint8_t(vertical));
+  } else {
+    const int low = (mb_row & 0x7F) + 1;
+    const int ext = mb_row >> 7;
+    PDW_CHECK_LE(ext, 7);
+    w.put_start_code(uint8_t(low));
+    w.put(uint32_t(ext), 3);
+  }
+  w.put(uint32_t(quant_scale_code), 5);
+  w.put_bit(0);  // extra_bit_slice
+}
+
+void write_sequence_end(BitWriter& w) {
+  w.put_start_code(start_code::kSequenceEnd);
+}
+
+}  // namespace pdw::mpeg2

@@ -1,0 +1,65 @@
+// Parsing and writing of the MPEG-2 video header layers above the slice:
+// sequence header + sequence extension, GOP header, picture header +
+// picture coding extension, and the slice header prefix.
+//
+// Readers are positioned just *after* the 4-byte start code; writers emit the
+// start code themselves.
+#pragma once
+
+#include <span>
+
+#include "bitstream/bit_reader.h"
+#include "bitstream/bit_writer.h"
+#include "mpeg2/types.h"
+
+namespace pdw::mpeg2 {
+
+// --- Parse -----------------------------------------------------------------
+
+// Sequence header (start code 0xB3 already consumed).
+SequenceHeader parse_sequence_header(BitReader& r);
+
+// Extension start code (0xB5) already consumed; dispatches on extension id.
+// Supported: sequence extension (updates `seq`), picture coding extension
+// (fills `pce`). Other extensions are skipped.
+void parse_extension(BitReader& r, SequenceHeader* seq, PictureCodingExt* pce);
+
+GopHeader parse_gop_header(BitReader& r);
+PictureHeader parse_picture_header(BitReader& r);
+
+// Slice header after the start code: returns the quantiser_scale_code and
+// sets *mb_row from the slice vertical position (handles the >2800-line
+// slice_vertical_position_extension needed by ultra-high-res walls).
+int parse_slice_header(BitReader& r, const SequenceHeader& seq, int slice_code,
+                       int* mb_row);
+
+// Walk the headers of one picture-sized span (as produced by scan_pictures):
+// sequence header (updates *seq, sets *have_seq), GOP header, picture header
+// and extensions. Returns the byte offset of the first slice start code in
+// `span`. Shared by the serial decoder and the macroblock-level splitter.
+struct ParsedPictureHeaders {
+  PictureHeader ph;
+  PictureCodingExt pce;
+  bool had_sequence_header = false;
+  bool had_gop_header = false;
+};
+size_t parse_picture_headers(std::span<const uint8_t> span,
+                             SequenceHeader* seq, bool* have_seq,
+                             ParsedPictureHeaders* out);
+
+// --- Write -----------------------------------------------------------------
+
+void write_sequence_header(BitWriter& w, const SequenceHeader& seq);
+void write_sequence_extension(BitWriter& w, const SequenceHeader& seq);
+void write_gop_header(BitWriter& w, const GopHeader& gop);
+void write_picture_header(BitWriter& w, const PictureHeader& ph);
+void write_picture_coding_extension(BitWriter& w, const PictureCodingExt& pce);
+
+// Writes the slice start code (with vertical position extension when needed)
+// and the quantiser_scale_code + extra_bit_slice.
+void write_slice_header(BitWriter& w, const SequenceHeader& seq, int mb_row,
+                        int quant_scale_code);
+
+void write_sequence_end(BitWriter& w);
+
+}  // namespace pdw::mpeg2

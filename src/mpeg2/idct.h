@@ -1,0 +1,27 @@
+// 8x8 inverse DCT.
+//
+// fast_idct_8x8 is the classic 32-bit fixed-point row/column IDCT
+// (Wang's factorization, as popularized by the mpeg2play/mpeg2dec decoders).
+// Every decode path in this project — serial reference decoder and tile
+// decoders alike — uses this one implementation, which is what makes the
+// parallel-vs-serial bit-exactness invariant (DESIGN.md §5.1) achievable.
+//
+// reference_idct_8x8 is a double-precision direct implementation used only
+// by accuracy unit tests (IEEE-1180-style comparison).
+#pragma once
+
+#include <cstdint>
+
+namespace pdw::mpeg2 {
+
+// In-place IDCT. Input: dequantized coefficients (raster order), output:
+// spatial residual values clamped to [-256, 255].
+void fast_idct_8x8(int16_t block[64]);
+
+// Double-precision reference (no clamping beyond [-256,255] rounding).
+void reference_idct_8x8(const int16_t in[64], double out[64]);
+
+// Forward DCT (double precision), used by the encoder and by tests.
+void forward_dct_8x8(const int16_t in[64], int16_t out[64]);
+
+}  // namespace pdw::mpeg2

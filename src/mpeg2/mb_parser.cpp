@@ -1,0 +1,251 @@
+#include "mpeg2/mb_parser.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "mpeg2/quant.h"
+#include "mpeg2/tables.h"
+
+namespace pdw::mpeg2 {
+
+using namespace mb_flags;
+
+MbSyntaxDecoder::MbSyntaxDecoder(const PictureContext& ctx, ParseMode mode)
+    : ctx_(ctx), mode_(mode) {
+  state_.reset_dc(ctx.pce);
+}
+
+int MbSyntaxDecoder::parse_slice_body(BitReader& r, int mb_row,
+                                      int quant_scale_code, MbSink& sink) {
+  // Slice start resets all predictors (§7.2.1, §7.6.3.4).
+  state_.reset_dc(ctx_.pce);
+  state_.reset_pmv();
+  state_.quant_scale_code = uint8_t(quant_scale_code);
+  state_.prev_motion_flags = 0;
+
+  const int row_base = mb_row * ctx_.mb_width();
+  int addr = row_base - 1;  // address of the "previous" macroblock
+
+  while (true) {
+    const size_t bit_begin = r.bit_pos();
+    const int increment = decode_address_increment(r);
+    // Skipped macroblocks between the previous coded macroblock and this
+    // one. (At slice start an increment > 1 is treated as leading skips,
+    // matching common decoder practice.)
+    for (int i = 1; i < increment; ++i) emit_skipped(addr + i, sink);
+    addr += increment;
+    PDW_CHECK_LT(addr, ctx_.mb_width() * ctx_.mb_height())
+        << "macroblock address beyond picture";
+    parse_coded(r, addr, bit_begin, sink);
+    PDW_CHECK(!r.overrun()) << "slice overruns picture data";
+    // End of slice: the next 23 bits are zero (§6.2.5).
+    if (r.peek(23) == 0) break;
+  }
+  return addr + 1;
+}
+
+void MbSyntaxDecoder::synthesize_skipped(int addr, int count, MbSink& sink) {
+  for (int i = 0; i < count; ++i) emit_skipped(addr + i, sink);
+}
+
+void MbSyntaxDecoder::parse_run(BitReader& r, int first_addr, int num_coded,
+                                MbSink& sink) {
+  int addr = first_addr - 1;  // so that the forced first MB lands on first_addr
+  for (int n = 0; n < num_coded; ++n) {
+    const size_t bit_begin = r.bit_pos();
+    const int increment = decode_address_increment(r);
+    if (n == 0) {
+      // The first increment was coded relative to a macroblock that belongs
+      // to another tile; SPH supplies the true address instead.
+      addr = first_addr;
+    } else {
+      for (int i = 1; i < increment; ++i) emit_skipped(addr + i, sink);
+      addr += increment;
+    }
+    parse_coded(r, addr, bit_begin, sink);
+    PDW_CHECK(!r.overrun()) << "sub-picture run overruns payload";
+  }
+}
+
+void MbSyntaxDecoder::emit_skipped(int addr, MbSink& sink) {
+  const MbState before = state_;
+  Macroblock& mb = scratch_;
+  mb.addr = addr;
+  mb.skipped = true;
+  mb.cbp = 0;
+  mb.quant_scale_code = state_.quant_scale_code;
+
+  switch (ctx_.ph.type) {
+    case PicType::P:
+      // P skip: motion-compensate from the forward reference with a zero
+      // vector; resets the motion vector predictors (§7.6.6).
+      mb.flags = kMotionForward;
+      mb.mv[0][0] = mb.mv[0][1] = 0;
+      mb.mv[1][0] = mb.mv[1][1] = 0;
+      state_.reset_pmv();
+      break;
+    case PicType::B:
+      // B skip: repeat the previous macroblock's prediction directions with
+      // the current predictor values; predictors are unchanged.
+      mb.flags = uint8_t(state_.prev_motion_flags & (kMotionForward | kMotionBackward));
+      PDW_CHECK(mb.flags != 0) << "B skipped macroblock after intra";
+      for (int s = 0; s < 2; ++s) {
+        mb.mv[s][0] = state_.pmv[s][0];
+        mb.mv[s][1] = state_.pmv[s][1];
+      }
+      break;
+    case PicType::I:
+      PDW_CHECK(false) << "skipped macroblock in I picture";
+  }
+  state_.reset_dc(ctx_.pce);  // DC predictors reset after a skip (§7.2.1)
+  sink.on_macroblock(mb, before, 0, 0);
+}
+
+void MbSyntaxDecoder::parse_coded(BitReader& r, int addr, size_t bit_begin,
+                                  MbSink& sink) {
+  const MbState before = state_;
+  Macroblock& mb = scratch_;
+  mb.addr = addr;
+  mb.skipped = false;
+  mb.flags = uint8_t(vlc_mb_type(ctx_.ph.type).decode(r));
+  mb.cbp = 0;
+
+  // frame_pred_frame_dct == 1 (enforced at parse) means no frame_motion_type
+  // or dct_type bits are present here.
+
+  if (mb.flags & kQuant) {
+    const int code = int(r.read(5));
+    PDW_CHECK_GE(code, 1);
+    state_.quant_scale_code = uint8_t(code);
+  }
+  mb.quant_scale_code = state_.quant_scale_code;
+
+  if (mb.flags & kMotionForward) parse_motion_vector(r, mb, 0);
+  if (mb.flags & kMotionBackward) parse_motion_vector(r, mb, 1);
+
+  if (mb.flags & kIntra) {
+    // Intra macroblocks reset the motion predictors (no concealment MVs).
+    state_.reset_pmv();
+    mb.mv[0][0] = mb.mv[0][1] = mb.mv[1][0] = mb.mv[1][1] = 0;
+    mb.cbp = 0x3F;  // all six blocks coded
+  } else {
+    if (ctx_.ph.type == PicType::P && !(mb.flags & kMotionForward)) {
+      // "No MC" macroblock: zero forward vector, predictors reset (§7.6.3.5).
+      state_.reset_pmv();
+      mb.mv[0][0] = mb.mv[0][1] = 0;
+    }
+    if (mb.flags & kPattern)
+      mb.cbp = vlc_coded_block_pattern().decode(r);
+    else
+      mb.cbp = 0;
+  }
+
+  // Copy unused-direction predictors so reconstruction can rely on mb.mv.
+  if (!(mb.flags & kIntra)) {
+    if (!(mb.flags & kMotionForward) && ctx_.ph.type == PicType::B) {
+      mb.mv[0][0] = state_.pmv[0][0];
+      mb.mv[0][1] = state_.pmv[0][1];
+    }
+    if (!(mb.flags & kMotionBackward)) {
+      mb.mv[1][0] = state_.pmv[1][0];
+      mb.mv[1][1] = state_.pmv[1][1];
+    }
+  }
+
+  // Blocks.
+  if (mode_ == ParseMode::kFull)
+    for (auto& block : mb.coeff) std::memset(block, 0, sizeof(block));
+  for (int b = 0; b < kBlocksPerMb; ++b)
+    if (mb.cbp & (0x20 >> b)) parse_block(r, mb, b);
+
+  // Post-macroblock state updates.
+  if (!(mb.flags & kIntra)) state_.reset_dc(ctx_.pce);
+  state_.prev_motion_flags = uint8_t(mb.flags & (kMotionForward | kMotionBackward));
+
+  sink.on_macroblock(mb, before, bit_begin, r.bit_pos());
+}
+
+void MbSyntaxDecoder::parse_motion_vector(BitReader& r, Macroblock& mb,
+                                          int s) {
+  for (int t = 0; t < 2; ++t) {
+    const int f_code = ctx_.pce.f_code[s][t];
+    PDW_CHECK_GE(f_code, 1);
+    PDW_CHECK_LE(f_code, 9);
+    const int r_size = f_code - 1;
+    const int f = 1 << r_size;
+
+    const int code = vlc_motion_code().decode(r);
+    int delta = 0;
+    if (code != 0) {
+      int residual = 0;
+      if (r_size > 0) residual = int(r.read(r_size));
+      delta = (std::abs(code) - 1) * f + residual + 1;
+      if (code < 0) delta = -delta;
+    }
+
+    const int range = 16 * f;  // half-sample units
+    int v = state_.pmv[s][t] + delta;
+    if (v < -range)
+      v += 2 * range;
+    else if (v >= range)
+      v -= 2 * range;
+    state_.pmv[s][t] = int16_t(v);
+    mb.mv[s][t] = int16_t(v);
+  }
+}
+
+void MbSyntaxDecoder::parse_block(BitReader& r, Macroblock& mb,
+                                  int block_index) {
+  int16_t qfs[64];
+  const bool full = mode_ == ParseMode::kFull;
+  if (full) std::memset(qfs, 0, sizeof(qfs));
+
+  int n;  // next scan position to fill
+  const bool intra = mb.flags & kIntra;
+  if (intra) {
+    // DC coefficient: size VLC + differential, predicted per component.
+    const int cc = block_index < 4 ? 0 : (block_index == 4 ? 1 : 2);
+    const Vlc& size_vlc =
+        block_index < 4 ? vlc_dct_dc_size_luma() : vlc_dct_dc_size_chroma();
+    const int size = size_vlc.decode(r);
+    int diff = 0;
+    if (size > 0) {
+      const int bits = int(r.read(size));
+      const int half = 1 << (size - 1);
+      diff = bits >= half ? bits : bits - (1 << size) + 1;
+    }
+    state_.dc_pred[cc] += diff;
+    if (full) qfs[0] = int16_t(state_.dc_pred[cc]);
+    n = 1;
+  } else {
+    n = 0;
+  }
+
+  // AC coefficients (and the first coefficient of non-intra blocks).
+  bool first = !intra;
+  while (true) {
+    const DctCoeff c = decode_dct_coeff_b14(r, first);
+    first = false;
+    if (c.eob) break;
+    n += c.run;
+    PDW_CHECK_LT(n, 64) << "DCT run beyond block";
+    if (full) qfs[n] = int16_t(c.level);
+    ++n;
+    PDW_CHECK(!r.overrun()) << "block data overruns buffer";
+  }
+
+  if (!full) return;
+
+  const auto& scan = scan_table(ctx_.pce.alternate_scan);
+  const int scale =
+      quantiser_scale(ctx_.pce.q_scale_type, state_.quant_scale_code);
+  if (intra) {
+    dequant_intra(qfs, mb.coeff[block_index], ctx_.seq->intra_quant.data(),
+                  scale, ctx_.pce.intra_dc_mult(), scan.data());
+  } else {
+    dequant_non_intra(qfs, mb.coeff[block_index],
+                      ctx_.seq->non_intra_quant.data(), scale, scan.data());
+  }
+}
+
+}  // namespace pdw::mpeg2

@@ -1,0 +1,83 @@
+// Macroblock-layer syntax decoder (§6.2.5/§6.3.17 + §7 reconstruction of
+// coefficients and motion vectors).
+//
+// This single state machine serves three distinct drivers:
+//   * the serial reference decoder — parse whole slices in kFull mode;
+//   * the second-level (macroblock) splitter — parse whole slices in kScan
+//     mode, which consumes the VLCs and tracks predictor state but skips the
+//     dequantisation and coefficient stores (this is what makes the split
+//     pass cheaper than a decode pass, the t_s < t_d the paper relies on);
+//   * tile decoders — parse sub-picture *runs*: a forced start address, a
+//     known count of coded macroblocks, and SPH-provided initial state.
+//
+// The driver receives every macroblock, coded or skipped, through MbSink in
+// picture order, along with the decode state *before* the macroblock and the
+// exact bit range its coded representation occupies (for payload extraction).
+#pragma once
+
+#include "bitstream/bit_reader.h"
+#include "mpeg2/types.h"
+
+namespace pdw::mpeg2 {
+
+enum class ParseMode {
+  kFull,  // reconstruct dequantised coefficients into Macroblock::coeff
+  kScan,  // consume syntax only (splitter's cheap pass)
+};
+
+class MbSink {
+ public:
+  virtual ~MbSink() = default;
+  // `bit_begin`/`bit_end` delimit the macroblock's bits (including its
+  // address increment) in the current reader; both are 0 for skipped
+  // macroblocks, which occupy no bits.
+  virtual void on_macroblock(const Macroblock& mb, const MbState& before,
+                             size_t bit_begin, size_t bit_end) = 0;
+};
+
+class MbSyntaxDecoder {
+ public:
+  MbSyntaxDecoder(const PictureContext& ctx, ParseMode mode);
+
+  MbState& state() { return state_; }
+  const MbState& state() const { return state_; }
+  const PictureContext& ctx() const { return ctx_; }
+
+  // --- Whole-slice driver (decoder / splitter) -----------------------------
+
+  // Parse one slice body. The reader is positioned after the slice header;
+  // `mb_row` and `quant_scale_code` come from the slice header. Emits every
+  // macroblock of the slice to `sink`. Returns the address one past the last
+  // macroblock of the slice.
+  int parse_slice_body(BitReader& r, int mb_row, int quant_scale_code,
+                       MbSink& sink);
+
+  // --- Sub-picture run driver (tile decoder) --------------------------------
+
+  // Install SPH-provided state.
+  void load_state(const MbState& s) { state_ = s; }
+
+  // Synthesize `count` skipped macroblocks starting at `addr`.
+  void synthesize_skipped(int addr, int count, MbSink& sink);
+
+  // Parse `num_coded` coded macroblocks from `r`. The first macroblock's
+  // address is forced to `first_addr` (its address increment is consumed but
+  // ignored, per the SPH partial-slice convention); later increments
+  // synthesize the interior skipped macroblocks normally.
+  void parse_run(BitReader& r, int first_addr, int num_coded, MbSink& sink);
+
+ private:
+  // Parse one coded macroblock at `addr`; updates state.
+  void parse_coded(BitReader& r, int addr, size_t bit_begin, MbSink& sink);
+
+  void parse_motion_vector(BitReader& r, Macroblock& mb, int s);
+  void parse_block(BitReader& r, Macroblock& mb, int block_index);
+  void emit_skipped(int addr, MbSink& sink);
+
+  const PictureContext& ctx_;
+  ParseMode mode_;
+  MbState state_;
+  Macroblock scratch_;  // reused to avoid 800-byte clears per macroblock
+};
+
+}  // namespace pdw::mpeg2

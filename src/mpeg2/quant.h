@@ -1,0 +1,43 @@
+// Inverse quantisation (§7.4) and the encoder-side forward quantiser.
+//
+// Decode-side arithmetic follows ISO/IEC 13818-2 exactly (including
+// saturation and mismatch control) because both the serial reference decoder
+// and the tile decoders share it — any deviation would still be internally
+// consistent, but we keep it conformant so third-party streams in scope
+// (MP, 4:2:0, frame pictures) decode correctly.
+#pragma once
+
+#include <cstdint>
+
+#include "mpeg2/types.h"
+
+namespace pdw::mpeg2 {
+
+// Dequantise an intra block.
+//   qfs:   quantised coefficients in *scan* order (QFS)
+//   out:   dequantised coefficients in *raster* order
+//   w:     intra quantiser matrix, raster order
+//   scale: quantiser_scale (already mapped from the 5-bit code)
+//   dc_mult: 8 >> intra_dc_precision
+//   scan:  scan-index -> raster-position table
+void dequant_intra(const int16_t qfs[64], int16_t out[64], const uint8_t w[64],
+                   int scale, int dc_mult, const uint8_t scan[64]);
+
+// Dequantise a non-intra block (adds the +/-1 "third" term, §7.4.2.3).
+void dequant_non_intra(const int16_t qfs[64], int16_t out[64],
+                       const uint8_t w[64], int scale,
+                       const uint8_t scan[64]);
+
+// --- Encoder side ----------------------------------------------------------
+
+// Quantise an intra block: coefficients (raster) -> QFS (scan order).
+// Returns the index of the last nonzero scan coefficient, or 0 if only DC.
+int quant_intra(const int16_t coeff[64], int16_t qfs[64], const uint8_t w[64],
+                int scale, int dc_mult, const uint8_t scan[64]);
+
+// Quantise a non-intra block. Returns the last nonzero scan index, or -1 if
+// the block quantises to all zeros (block then not coded).
+int quant_non_intra(const int16_t coeff[64], int16_t qfs[64],
+                    const uint8_t w[64], int scale, const uint8_t scan[64]);
+
+}  // namespace pdw::mpeg2

@@ -1,0 +1,78 @@
+#include "mpeg2/recon.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "mpeg2/idct.h"
+
+namespace pdw::mpeg2 {
+
+namespace {
+
+inline uint8_t clamp_pixel(int v) { return uint8_t(std::clamp(v, 0, 255)); }
+
+// Add an 8x8 residual block onto a prediction region (or write it directly
+// for intra macroblocks), clamping to [0, 255].
+void add_block(const int16_t* coeff, uint8_t* dst, int stride, bool intra) {
+  alignas(16) int16_t block[64];
+  std::memcpy(block, coeff, sizeof(block));
+  fast_idct_8x8(block);
+  if (intra) {
+    for (int r = 0; r < 8; ++r)
+      for (int c = 0; c < 8; ++c)
+        dst[size_t(r) * stride + c] = clamp_pixel(block[r * 8 + c]);
+  } else {
+    for (int r = 0; r < 8; ++r)
+      for (int c = 0; c < 8; ++c) {
+        uint8_t& d = dst[size_t(r) * stride + c];
+        d = clamp_pixel(int(d) + block[r * 8 + c]);
+      }
+  }
+}
+
+}  // namespace
+
+void reconstruct_mb(const Macroblock& mb, const RefSource* fwd,
+                    const RefSource* bwd, int mbx, int mby,
+                    MacroblockPixels* out) {
+  const bool intra = mb.intra();
+  if (!intra) {
+    motion_compensate(mb, fwd, bwd, mbx, mby, out);
+    if (mb.cbp == 0) return;  // pure prediction (skipped / not-coded)
+  }
+
+  // Luma blocks 0..3 tile the 16x16 region; block 4 = Cb, block 5 = Cr.
+  for (int b = 0; b < 4; ++b) {
+    if (!(mb.cbp & (0x20 >> b))) continue;
+    const int bx = (b & 1) * 8;
+    const int by = (b >> 1) * 8;
+    add_block(mb.coeff[b], out->y + by * 16 + bx, 16, intra);
+  }
+  if (mb.cbp & 0x02) add_block(mb.coeff[4], out->cb, 8, intra);
+  if (mb.cbp & 0x01) add_block(mb.coeff[5], out->cr, 8, intra);
+
+  // Intra blocks always have cbp 0x3F, so nothing is left unwritten; for
+  // non-intra macroblocks uncoded blocks keep the prediction.
+}
+
+void store_mb(Frame* frame, int mbx, int mby, const MacroblockPixels& px) {
+  for (int r = 0; r < 16; ++r)
+    std::memcpy(frame->y.row(mby * 16 + r) + mbx * 16, px.y + r * 16, 16);
+  for (int r = 0; r < 8; ++r) {
+    std::memcpy(frame->cb.row(mby * 8 + r) + mbx * 8, px.cb + r * 8, 8);
+    std::memcpy(frame->cr.row(mby * 8 + r) + mbx * 8, px.cr + r * 8, 8);
+  }
+}
+
+MacroblockPixels load_mb(const Frame& frame, int mbx, int mby) {
+  MacroblockPixels px;
+  for (int r = 0; r < 16; ++r)
+    std::memcpy(px.y + r * 16, frame.y.row(mby * 16 + r) + mbx * 16, 16);
+  for (int r = 0; r < 8; ++r) {
+    std::memcpy(px.cb + r * 8, frame.cb.row(mby * 8 + r) + mbx * 8, 8);
+    std::memcpy(px.cr + r * 8, frame.cr.row(mby * 8 + r) + mbx * 8, 8);
+  }
+  return px;
+}
+
+}  // namespace pdw::mpeg2

@@ -1,0 +1,25 @@
+// Macroblock reconstruction: IDCT of the dequantised residual, motion
+// compensation, clamp-and-add (§7.5/§7.6.8). Shared by the serial decoder
+// and the tile decoders (same arithmetic => bit-exact partitioned decode).
+#pragma once
+
+#include "mpeg2/frame.h"
+#include "mpeg2/motion.h"
+#include "mpeg2/types.h"
+
+namespace pdw::mpeg2 {
+
+// Reconstruct one macroblock (parsed in ParseMode::kFull) into `out`.
+// `fwd`/`bwd` may be null when the corresponding direction is unused
+// (I pictures, intra macroblocks).
+void reconstruct_mb(const Macroblock& mb, const RefSource* fwd,
+                    const RefSource* bwd, int mbx, int mby,
+                    MacroblockPixels* out);
+
+// Write a macroblock's pixels into a full frame at macroblock coordinates.
+void store_mb(Frame* frame, int mbx, int mby, const MacroblockPixels& px);
+
+// Read a macroblock's pixels from a full frame.
+MacroblockPixels load_mb(const Frame& frame, int mbx, int mby);
+
+}  // namespace pdw::mpeg2

@@ -1,0 +1,107 @@
+// MPEG-2 VLC tables (ISO/IEC 13818-2 Annex B), scan patterns and default
+// quantiser matrices, with both decode (BitReader) and encode (BitWriter)
+// entry points so the codec substrate is self-consistent end to end.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "bitstream/bit_reader.h"
+#include "bitstream/bit_writer.h"
+#include "mpeg2/types.h"
+
+namespace pdw::mpeg2 {
+
+// Scan patterns (§7.3): scan index -> raster position.
+extern const std::array<uint8_t, 64> kZigzagScan;     // alternate_scan = 0
+extern const std::array<uint8_t, 64> kAlternateScan;  // alternate_scan = 1
+
+inline const std::array<uint8_t, 64>& scan_table(bool alternate) {
+  return alternate ? kAlternateScan : kZigzagScan;
+}
+
+// Default quantiser matrices (§6.3.11), raster order.
+extern const std::array<uint8_t, 64> kDefaultIntraQuant;
+extern const std::array<uint8_t, 64> kDefaultNonIntraQuant;
+
+// ---------------------------------------------------------------------------
+// Generic canonical VLC with LUT decode.
+// ---------------------------------------------------------------------------
+
+struct VlcEntry {
+  uint32_t code;  // left-justified in `len` bits
+  uint8_t len;
+  int16_t value;
+};
+
+// Prefix-free code table with O(1) decode via a (1 << max_len) lookup table.
+// Tables here are tiny (max_len <= 11), so flat LUTs are the simple choice.
+class Vlc {
+ public:
+  Vlc(const VlcEntry* entries, size_t count);
+
+  // Decode the next symbol; CHECKs on an invalid code (stream error).
+  int decode(BitReader& r) const;
+
+  // Decode returning false on invalid code instead of throwing.
+  bool try_decode(BitReader& r, int* value) const;
+
+  // Encode `value`; CHECKs if the value has no code.
+  void encode(BitWriter& w, int value) const;
+
+  int max_len() const { return max_len_; }
+  const VlcEntry* find(int value) const;
+
+ private:
+  struct LutEntry {
+    int16_t value;
+    uint8_t len;  // 0 = invalid code
+  };
+  const VlcEntry* entries_;
+  size_t count_;
+  int max_len_ = 0;
+  std::vector<LutEntry> lut_;
+};
+
+// Annex B tables. Values:
+//   address increment: 1..33 (escape handled by callers via decode helpers)
+//   macroblock type:   mb_flags bitmask
+//   coded block pattern: 0..63
+//   motion code:       -16..16
+//   dct dc size:       0..11
+const Vlc& vlc_mb_address_increment();  // B.1 (without the escape code)
+const Vlc& vlc_mb_type(PicType type);   // B.2 / B.3 / B.4
+const Vlc& vlc_coded_block_pattern();   // B.9
+const Vlc& vlc_motion_code();           // B.10
+const Vlc& vlc_dct_dc_size_luma();      // B.12
+const Vlc& vlc_dct_dc_size_chroma();    // B.13
+
+// --- macroblock_address_increment with escapes --------------------------
+
+// Decode a full address increment (>= 1), consuming any number of
+// macroblock_escape codes (each adds 33).
+int decode_address_increment(BitReader& r);
+void encode_address_increment(BitWriter& w, int increment);
+
+// --- DCT coefficients, Table B.14 ----------------------------------------
+
+struct DctCoeff {
+  bool eob = false;
+  int run = 0;
+  int level = 0;  // signed
+};
+
+// Decode one run/level pair (or EOB). `first` selects the first-coefficient
+// convention for non-intra blocks (code '1s' instead of '11s').
+DctCoeff decode_dct_coeff_b14(BitReader& r, bool first);
+
+// Encode one run/level pair, using the table code when one exists and the
+// MPEG-2 escape (6-bit run + 12-bit signed level) otherwise.
+void encode_dct_coeff_b14(BitWriter& w, int run, int level, bool first);
+void encode_eob_b14(BitWriter& w);
+
+// True if (run, |level|) has a dedicated (non-escape) code in B.14.
+bool b14_has_code(int run, int level);
+
+}  // namespace pdw::mpeg2

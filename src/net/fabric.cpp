@@ -1,0 +1,78 @@
+#include "net/fabric.h"
+
+namespace pdw::net {
+
+Fabric::Fabric(int nodes) {
+  PDW_CHECK_GT(nodes, 0);
+  mailboxes_.reserve(size_t(nodes));
+  for (int i = 0; i < nodes; ++i)
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  traffic_.assign(size_t(nodes) * nodes, 0);
+}
+
+void Fabric::post_receive(int node) {
+  Mailbox& mb = box(node);
+  std::lock_guard<std::mutex> lock(mb.mu);
+  ++mb.credits;
+}
+
+void Fabric::send(int src, int dst, Message msg) {
+  msg.src = src;
+  const size_t bytes = msg.wire_bytes();
+  {
+    Mailbox& sender = box(src);
+    std::lock_guard<std::mutex> lock(sender.mu);
+    sender.counters.sent_bytes += bytes;
+    ++sender.counters.sent_messages;
+  }
+  {
+    std::lock_guard<std::mutex> lock(traffic_mu_);
+    traffic_[size_t(src) * size_t(nodes()) + size_t(dst)] += bytes;
+  }
+  Mailbox& mb = box(dst);
+  {
+    std::lock_guard<std::mutex> lock(mb.mu);
+    if (msg.bulk) {
+      PDW_CHECK_GT(mb.credits, 0)
+          << "bulk message to node " << dst
+          << " without a posted receive buffer (flow-control violation)";
+      --mb.credits;
+    }
+    mb.counters.recv_bytes += bytes;
+    ++mb.counters.recv_messages;
+    mb.queue.push_back(std::move(msg));
+  }
+  mb.cv.notify_one();
+}
+
+bool Fabric::receive(int node, Message* out) {
+  Mailbox& mb = box(node);
+  std::unique_lock<std::mutex> lock(mb.mu);
+  mb.cv.wait(lock, [&] { return !mb.queue.empty() || shutdown_.load(); });
+  if (mb.queue.empty()) return false;
+  *out = std::move(mb.queue.front());
+  mb.queue.pop_front();
+  return true;
+}
+
+NodeCounters Fabric::counters(int node) const {
+  const Mailbox& mb = *mailboxes_[size_t(node)];
+  std::lock_guard<std::mutex> lock(mb.mu);
+  return mb.counters;
+}
+
+std::vector<uint64_t> Fabric::traffic_matrix() const {
+  std::lock_guard<std::mutex> lock(traffic_mu_);
+  return traffic_;
+}
+
+void Fabric::shutdown() {
+  shutdown_.store(true);
+  for (auto& mb : mailboxes_) {
+    // Take each lock once so sleeping receivers observe the flag.
+    std::lock_guard<std::mutex> lock(mb->mu);
+  }
+  for (auto& mb : mailboxes_) mb->cv.notify_all();
+}
+
+}  // namespace pdw::net

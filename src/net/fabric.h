@@ -1,0 +1,95 @@
+// In-process message-passing fabric with GM/Myrinet-like semantics
+// (paper §4.4).
+//
+// GM's user-level API is connectionless reliable messaging where the
+// *receiver* must provide buffers: a sender may only transmit when it knows
+// the receiver has a receive buffer posted. The paper builds a two-buffer
+// credit scheme on top (post two buffers; after consuming a message, recycle
+// the buffer and send an ack/go-ahead). We model posted buffers as credits
+// and make overruns a hard CHECK failure: if the application protocol ever
+// sends a bulk message to a node without a posted buffer, that is a protocol
+// bug (the very bug the paper's ack design exists to prevent), not a
+// condition to paper over with blocking.
+//
+// Small control messages (acks, go-aheads, macroblock exchanges) flow
+// without credits, as GM programs typically reserve a pool of small buffers
+// for them.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "common/check.h"
+
+namespace pdw::net {
+
+struct Message {
+  int src = -1;
+  int type = 0;        // application-defined tag
+  uint32_t seq = 0;    // picture index / sequence number
+  uint16_t aux = 0;    // ANID / NSID field
+  bool bulk = false;   // true: consumes a posted receive buffer
+  std::vector<uint8_t> payload;
+
+  size_t wire_bytes() const { return payload.size() + kHeaderBytes; }
+  static constexpr size_t kHeaderBytes = 16;
+};
+
+struct NodeCounters {
+  uint64_t sent_bytes = 0;
+  uint64_t recv_bytes = 0;
+  uint64_t sent_messages = 0;
+  uint64_t recv_messages = 0;
+};
+
+class Fabric {
+ public:
+  explicit Fabric(int nodes);
+
+  int nodes() const { return int(mailboxes_.size()); }
+
+  // Post one receive buffer at `node` (a credit for one bulk message).
+  void post_receive(int node);
+
+  // Deliver a message to `dst`. Bulk messages consume a posted buffer;
+  // CHECK-fails if none is available (flow-control violation).
+  void send(int src, int dst, Message msg);
+
+  // Blocking receive at `node`. Returns false if the fabric was shut down
+  // and no message is pending.
+  bool receive(int node, Message* out);
+
+  // Per-node traffic counters and the pairwise traffic matrix
+  // (bytes[src * nodes + dst]).
+  NodeCounters counters(int node) const;
+  std::vector<uint64_t> traffic_matrix() const;
+
+  // Unblock all receivers (end of stream).
+  void shutdown();
+
+ private:
+  struct Mailbox {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+    int credits = 0;
+    NodeCounters counters;
+  };
+
+  Mailbox& box(int node) {
+    PDW_CHECK_GE(node, 0);
+    PDW_CHECK_LT(node, nodes());
+    return *mailboxes_[size_t(node)];
+  }
+
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<uint64_t> traffic_;  // src * nodes + dst, guarded by traffic_mu_
+  mutable std::mutex traffic_mu_;
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace pdw::net

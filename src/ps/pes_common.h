@@ -1,0 +1,57 @@
+// Internal helpers shared by the program-stream and transport-stream
+// multiplexers: PES packet construction and the 33-bit PTS/DTS timestamp
+// layout (4-bit prefix + 3x15 bits with marker bits).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+
+namespace pdw::ps::detail {
+
+inline void put_timestamp(std::vector<uint8_t>* out, int prefix, int64_t ts) {
+  const uint64_t t = uint64_t(ts) & 0x1FFFFFFFFull;
+  out->push_back(uint8_t((prefix << 4) | (int((t >> 30) & 7) << 1) | 1));
+  out->push_back(uint8_t(t >> 22));
+  out->push_back(uint8_t(((t >> 14) & 0xFE) | 1));
+  out->push_back(uint8_t(t >> 7));
+  out->push_back(uint8_t(((t << 1) & 0xFE) | 1));
+}
+
+inline int64_t read_timestamp(const uint8_t* p) {
+  int64_t t = int64_t(p[0] >> 1 & 0x07) << 30;
+  t |= int64_t(p[1]) << 22;
+  t |= int64_t(p[2] >> 1) << 15;
+  t |= int64_t(p[3]) << 7;
+  t |= int64_t(p[4] >> 1);
+  return t;
+}
+
+// One MPEG-2 PES packet with optional PTS+DTS (pts < 0 = unstamped
+// continuation packet). `stream_id` is typically 0xE0 (video stream 0).
+inline void write_pes_packet(std::vector<uint8_t>* out, uint8_t stream_id,
+                             std::span<const uint8_t> payload, int64_t pts,
+                             int64_t dts) {
+  out->push_back(0x00);
+  out->push_back(0x00);
+  out->push_back(0x01);
+  out->push_back(stream_id);
+  const bool stamped = pts >= 0;
+  const int header_data = stamped ? 10 : 0;
+  const size_t length = 3 + size_t(header_data) + payload.size();
+  PDW_CHECK_LE(length, 0xFFFF);
+  out->push_back(uint8_t(length >> 8));
+  out->push_back(uint8_t(length));
+  out->push_back(uint8_t(0x80 | (stamped ? 0x04 : 0x00)));  // '10', alignment
+  out->push_back(stamped ? 0xC0 : 0x00);                    // PTS_DTS_flags
+  out->push_back(uint8_t(header_data));
+  if (stamped) {
+    put_timestamp(out, 0b0011, pts);
+    put_timestamp(out, 0b0001, dts);
+  }
+  out->insert(out->end(), payload.begin(), payload.end());
+}
+
+}  // namespace pdw::ps::detail

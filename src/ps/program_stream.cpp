@@ -1,0 +1,226 @@
+#include "ps/program_stream.h"
+
+#include <algorithm>
+
+#include "bitstream/bit_reader.h"
+#include "bitstream/bit_writer.h"
+#include "bitstream/start_code.h"
+#include "common/check.h"
+#include "mpeg2/headers.h"
+#include "ps/pes_common.h"
+
+namespace pdw::ps {
+
+namespace {
+
+constexpr uint32_t kPackStartCode = 0x000001BA;
+constexpr uint32_t kSystemHeaderCode = 0x000001BB;
+constexpr uint32_t kProgramEndCode = 0x000001B9;
+
+void put_u32(std::vector<uint8_t>* out, uint32_t v) {
+  out->push_back(uint8_t(v >> 24));
+  out->push_back(uint8_t(v >> 16));
+  out->push_back(uint8_t(v >> 8));
+  out->push_back(uint8_t(v));
+}
+
+// Pack header with SCR (base 33 bits, extension 9 bits) and mux rate.
+void write_pack_header(std::vector<uint8_t>* out, int64_t scr_base,
+                       uint32_t mux_rate_50bps) {
+  put_u32(out, kPackStartCode);
+  BitWriter w;
+  w.put(0b01, 2);
+  w.put(uint32_t((scr_base >> 30) & 0x7), 3);
+  w.put_bit(1);
+  w.put(uint32_t((scr_base >> 15) & 0x7FFF), 15);
+  w.put_bit(1);
+  w.put(uint32_t(scr_base & 0x7FFF), 15);
+  w.put_bit(1);
+  w.put(0, 9);  // SCR extension
+  w.put_bit(1);
+  w.put(mux_rate_50bps & 0x3FFFFF, 22);
+  w.put_bit(1);
+  w.put_bit(1);
+  w.put(0x1F, 5);  // reserved
+  w.put(0, 3);     // pack_stuffing_length
+  const auto bytes = w.take();
+  out->insert(out->end(), bytes.begin(), bytes.end());
+}
+
+void write_system_header(std::vector<uint8_t>* out, uint32_t rate_bound) {
+  put_u32(out, kSystemHeaderCode);
+  BitWriter w;
+  w.put(9, 16);  // header_length: 6 fixed + 3 for the one stream entry
+  w.put_bit(1);
+  w.put(rate_bound & 0x3FFFFF, 22);
+  w.put_bit(1);
+  w.put(0, 6);   // audio_bound
+  w.put_bit(0);  // fixed_flag
+  w.put_bit(0);  // CSPS_flag
+  w.put_bit(1);  // system_audio_lock
+  w.put_bit(1);  // system_video_lock
+  w.put_bit(1);  // marker
+  w.put(1, 5);   // video_bound
+  w.put_bit(0);  // packet_rate_restriction
+  w.put(0x7F, 7);
+  // Stream entry: the video stream's P-STD buffer bound.
+  w.put(kVideoStreamId, 8);
+  w.put(0b11, 2);
+  w.put_bit(1);       // buffer_bound_scale (1024-byte units)
+  w.put(230, 13);     // ~235 KB VBV-class bound
+  const auto bytes = w.take();
+  out->insert(out->end(), bytes.begin(), bytes.end());
+}
+
+}  // namespace
+
+std::vector<uint8_t> mux_program_stream(std::span<const uint8_t> video_es,
+                                        const MuxConfig& config) {
+  PDW_CHECK_GT(config.frame_rate, 0.0);
+  PDW_CHECK_GE(config.pictures_per_pack, 1);
+  const auto spans = scan_pictures(video_es);
+  PDW_CHECK(!spans.empty()) << "no pictures in elementary stream";
+  const double period90 = k90kHz / config.frame_rate;
+  const uint32_t mux_rate_50 =
+      std::max<uint32_t>(1, config.mux_rate_bps / 8 / 50);
+
+  std::vector<uint8_t> out;
+  out.reserve(video_es.size() + video_es.size() / 16 + 64);
+
+  // Display-order bookkeeping: temporal_reference restarts per GOP.
+  int gop_base = 0;
+  int pictures_in_gop = 0;
+
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const PictureSpan& ps = spans[i];
+    const auto picture = video_es.subspan(ps.begin, ps.end - ps.begin);
+
+    // Parse headers to learn the display position (temporal_reference).
+    mpeg2::SequenceHeader seq;
+    bool have_seq = true;  // tolerate pictures without embedded seq headers
+    mpeg2::ParsedPictureHeaders headers;
+    mpeg2::parse_picture_headers(picture, &seq, &have_seq, &headers);
+    if (headers.had_gop_header) {
+      gop_base += pictures_in_gop;
+      pictures_in_gop = 0;
+    }
+    ++pictures_in_gop;
+    const int display_index = gop_base + headers.ph.temporal_reference;
+
+    // DTS in decode order with a one-period decode delay; PTS >= DTS thanks
+    // to the +2 reorder allowance.
+    const int64_t dts = int64_t((double(i) + 1.0) * period90);
+    const int64_t pts = int64_t((double(display_index) + 2.0) * period90);
+
+    if (int(i) % config.pictures_per_pack == 0) {
+      const int64_t scr = std::max<int64_t>(0, dts - int64_t(period90));
+      write_pack_header(&out, scr, mux_rate_50);
+      if (i == 0) write_system_header(&out, mux_rate_50);
+    }
+
+    // First chunk carries the timestamps; large pictures continue in
+    // unstamped PES packets.
+    size_t offset = 0;
+    bool first = true;
+    while (offset < picture.size()) {
+      const size_t chunk =
+          std::min(config.max_pes_payload, picture.size() - offset);
+      detail::write_pes_packet(&out, kVideoStreamId,
+                               picture.subspan(offset, chunk),
+                               first ? pts : -1, first ? dts : -1);
+      offset += chunk;
+      first = false;
+    }
+  }
+
+  // Trailing bytes beyond the last picture span (typically the
+  // sequence_end_code) ride in one final unstamped PES packet.
+  const size_t tail_begin = spans.back().end;
+  if (tail_begin < video_es.size())
+    detail::write_pes_packet(&out, kVideoStreamId,
+                             video_es.subspan(tail_begin), -1, -1);
+
+  put_u32(&out, kProgramEndCode);
+  return out;
+}
+
+DemuxResult demux_program_stream(std::span<const uint8_t> program) {
+  DemuxResult result;
+  size_t pos = 0;
+  const size_t n = program.size();
+
+  auto need = [&](size_t count) {
+    PDW_CHECK_LE(pos + count, n) << "truncated program stream structure";
+  };
+
+  while (pos + 4 <= n) {
+    // Resync: find the next start code prefix.
+    if (!(program[pos] == 0 && program[pos + 1] == 0 &&
+          program[pos + 2] == 1)) {
+      ++pos;
+      continue;
+    }
+    const uint8_t code = program[pos + 3];
+
+    if (code == 0xBA) {  // pack header
+      need(14);
+      PDW_CHECK_EQ(program[pos + 4] >> 6, 0b01)
+          << "MPEG-1 pack headers not supported";
+      // SCR base from the 48-bit field.
+      const uint8_t* p = program.data() + pos + 4;
+      int64_t scr = int64_t((p[0] >> 3) & 0x7) << 30;
+      scr |= int64_t(p[0] & 0x3) << 28;
+      scr |= int64_t(p[1]) << 20;
+      scr |= int64_t(p[2] >> 3) << 15;
+      scr |= int64_t(p[2] & 0x3) << 13;
+      scr |= int64_t(p[3]) << 5;
+      scr |= int64_t(p[4] >> 3);
+      result.scr.push_back(scr * 300);  // 27 MHz units
+      const int stuffing = program[pos + 13] & 0x7;
+      ++result.packs;
+      pos += 14 + size_t(stuffing);
+    } else if (code == 0xBB) {  // system header
+      need(6);
+      const size_t len =
+          (size_t(program[pos + 4]) << 8) | program[pos + 5];
+      pos += 6 + len;
+    } else if (code == 0xB9) {  // program end
+      pos += 4;
+      break;
+    } else if (code >= 0xBC) {  // PES packet family
+      need(6);
+      const size_t len = (size_t(program[pos + 4]) << 8) | program[pos + 5];
+      need(6 + len);
+      if (code >= 0xE0 && code <= 0xEF) {
+        // Video PES: parse the MPEG-2 PES header.
+        const uint8_t* p = program.data() + pos + 6;
+        PDW_CHECK_GE(len, 3u);
+        PDW_CHECK_EQ(p[0] >> 6, 0b10) << "not an MPEG-2 PES header";
+        const int flags = p[1] >> 6;  // PTS_DTS_flags
+        const size_t header_data = p[2];
+        PDW_CHECK_LE(3 + header_data, len);
+        if (flags & 0x2) {
+          result.pts.push_back(detail::read_timestamp(p + 3));
+          if (flags == 0x3)
+            result.dts.push_back(detail::read_timestamp(p + 8));
+        }
+        const uint8_t* payload = p + 3 + header_data;
+        const size_t payload_len = len - 3 - header_data;
+        result.video_es.insert(result.video_es.end(), payload,
+                               payload + payload_len);
+        ++result.pes_packets;
+      } else {
+        ++result.skipped_packets;  // audio, padding, private streams...
+      }
+      pos += 6 + len;
+    } else {
+      // A raw video start code outside any PES wrapper would indicate this
+      // is an elementary stream, not a program stream.
+      PDW_CHECK(false) << "unexpected start code 0x" << std::hex << int(code)
+                       << " at top level of program stream";
+    }
+  }
+  return result;
+}
+
+}  // namespace pdw::ps

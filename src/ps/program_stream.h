@@ -1,0 +1,55 @@
+// MPEG-2 Program Stream (ISO/IEC 13818-1) multiplex and demultiplex for a
+// single video elementary stream.
+//
+// The paper decodes MPEG-2 *video* elementary streams, but real material
+// (DVDs, broadcast captures — exactly the paper's test clips) arrives inside
+// the system layer: pack headers carrying the system clock reference, PES
+// packets carrying the video with PTS/DTS timestamps. This module provides
+// that substrate so streams can be stored/ingested in their native container:
+// the root splitter's input path is `demux -> scan_pictures`.
+//
+// Scope: one video stream (stream_id 0xE0), program stream only (no
+// transport stream), constant mux rate, PTS/DTS on every picture-initial PES
+// packet. That covers DVD-class material; audio streams present in a real PS
+// are skipped by the demultiplexer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pdw::ps {
+
+inline constexpr uint8_t kVideoStreamId = 0xE0;
+inline constexpr double k90kHz = 90000.0;
+
+struct MuxConfig {
+  double frame_rate = 30.0;       // for PTS/DTS generation
+  uint32_t mux_rate_bps = 15'000'000;  // program_mux_rate (rounded to 50-byte units)
+  size_t max_pes_payload = 60'000;     // split large pictures across PES packets
+  int pictures_per_pack = 1;           // pack header frequency
+};
+
+// Multiplex a video elementary stream into a program stream. Pictures are
+// located with the start-code scanner; each picture starts a new PES packet
+// with PTS/DTS derived from decode order and temporal_reference (display
+// order), using a 90 kHz clock and a fixed decode delay of one frame period.
+std::vector<uint8_t> mux_program_stream(std::span<const uint8_t> video_es,
+                                        const MuxConfig& config = {});
+
+struct DemuxResult {
+  std::vector<uint8_t> video_es;
+  int packs = 0;
+  int pes_packets = 0;
+  int skipped_packets = 0;         // non-video PES packets
+  std::vector<int64_t> pts;        // 90 kHz, one per timestamped PES packet
+  std::vector<int64_t> dts;
+  std::vector<int64_t> scr;        // one per pack header (base*300 + ext)
+};
+
+// Demultiplex a program stream, extracting the first video stream.
+// Tolerates unknown stream ids, padding streams and stuffing; throws
+// CheckError on structurally impossible input.
+DemuxResult demux_program_stream(std::span<const uint8_t> program);
+
+}  // namespace pdw::ps

@@ -1,0 +1,353 @@
+#include "ps/transport_stream.h"
+
+#include <algorithm>
+#include <map>
+
+#include "bitstream/start_code.h"
+#include "common/check.h"
+#include "mpeg2/headers.h"
+#include "ps/pes_common.h"
+#include "ps/program_stream.h"  // kVideoStreamId, k90kHz
+
+namespace pdw::ps {
+
+uint32_t mpeg_crc32(std::span<const uint8_t> data) {
+  uint32_t crc = 0xFFFFFFFFu;
+  for (uint8_t byte : data) {
+    crc ^= uint32_t(byte) << 24;
+    for (int bit = 0; bit < 8; ++bit)
+      crc = (crc & 0x80000000u) ? (crc << 1) ^ 0x04C11DB7u : crc << 1;
+  }
+  return crc;
+}
+
+namespace {
+
+// --- Packetizer --------------------------------------------------------------
+
+class TsWriter {
+ public:
+  explicit TsWriter(std::vector<uint8_t>* out) : out_(out) {}
+
+  // Emit TS packets carrying `payload` on `pid`; the first packet gets PUSI.
+  // `pcr` >= 0 attaches a PCR in the first packet's adaptation field.
+  void write_payload(uint16_t pid, std::span<const uint8_t> payload,
+                     int64_t pcr = -1) {
+    bool first = true;
+    size_t offset = 0;
+    while (offset < payload.size() || first) {
+      const size_t remaining = payload.size() - offset;
+      emit_packet(pid, first, payload.subspan(offset), first ? pcr : -1,
+                  &offset);
+      (void)remaining;
+      first = false;
+    }
+  }
+
+ private:
+  // Emit one 188-byte packet carrying as much of `rest` as fits; advances
+  // *offset by the number of payload bytes consumed.
+  void emit_packet(uint16_t pid, bool pusi, std::span<const uint8_t> rest,
+                   int64_t pcr, size_t* offset) {
+    uint8_t pkt[kTsPacketSize];
+    size_t pos = 0;
+    pkt[pos++] = kTsSyncByte;
+    pkt[pos++] = uint8_t((pusi ? 0x40 : 0x00) | ((pid >> 8) & 0x1F));
+    pkt[pos++] = uint8_t(pid & 0xFF);
+    uint8_t& afc_byte = pkt[pos];
+    const uint8_t cc = next_cc(pid);
+    pkt[pos++] = cc;  // afc bits patched below
+
+    // Adaptation field: needed for PCR and/or stuffing.
+    const size_t header = 4;
+    size_t af_len = 0;  // bytes after the af length byte
+    const bool want_pcr = pcr >= 0;
+    if (want_pcr) af_len = 1 + 6;  // flags + PCR
+    size_t capacity = kTsPacketSize - header - (af_len ? af_len + 1 : 0);
+    if (rest.size() < capacity) {
+      // Stuff the adaptation field so the payload exactly fills the packet.
+      const size_t need = capacity - rest.size();
+      if (af_len == 0 && need == 1) {
+        af_len = 0;  // single zero-length AF byte
+        capacity -= 1;
+      } else if (af_len == 0) {
+        af_len = need - 1;  // length byte + (need-1) AF bytes
+        capacity -= need;
+      } else {
+        af_len += need;
+        capacity -= need;
+      }
+    }
+    const bool have_af = want_pcr || capacity < kTsPacketSize - header;
+    afc_byte = uint8_t((have_af ? 0x30 : 0x10) | (cc & 0x0F));
+
+    if (have_af) {
+      pkt[pos++] = uint8_t(af_len);
+      if (af_len > 0) {
+        pkt[pos++] = want_pcr ? 0x10 : 0x00;  // flags (PCR_flag)
+        size_t used = 1;
+        if (want_pcr) {
+          const uint64_t base = uint64_t(pcr / 300) & 0x1FFFFFFFFull;
+          const uint32_t ext = uint32_t(pcr % 300);
+          pkt[pos++] = uint8_t(base >> 25);
+          pkt[pos++] = uint8_t(base >> 17);
+          pkt[pos++] = uint8_t(base >> 9);
+          pkt[pos++] = uint8_t(base >> 1);
+          pkt[pos++] = uint8_t(((base & 1) << 7) | 0x7E | ((ext >> 8) & 1));
+          pkt[pos++] = uint8_t(ext & 0xFF);
+          used += 6;
+        }
+        for (; used < af_len; ++used) pkt[pos++] = 0xFF;  // stuffing
+      }
+    }
+
+    const size_t take = std::min(rest.size(), kTsPacketSize - pos);
+    std::copy_n(rest.data(), take, pkt + pos);
+    pos += take;
+    PDW_CHECK_EQ(pos, kTsPacketSize);
+    out_->insert(out_->end(), pkt, pkt + kTsPacketSize);
+    *offset += take;
+  }
+
+  uint8_t next_cc(uint16_t pid) {
+    uint8_t& cc = cc_[pid];
+    const uint8_t value = cc;
+    cc = uint8_t((cc + 1) & 0x0F);
+    return value;
+  }
+
+  std::vector<uint8_t>* out_;
+  std::map<uint16_t, uint8_t> cc_;
+};
+
+// --- PSI sections -------------------------------------------------------------
+
+std::vector<uint8_t> build_section(uint8_t table_id, uint16_t id_field,
+                                   std::span<const uint8_t> body) {
+  // Common syntax: table_id, section_length, id, version 0, current, 0/0.
+  std::vector<uint8_t> sec;
+  sec.push_back(table_id);
+  const size_t section_length = 5 + body.size() + 4;  // header tail + CRC
+  sec.push_back(uint8_t(0xB0 | ((section_length >> 8) & 0x0F)));
+  sec.push_back(uint8_t(section_length & 0xFF));
+  sec.push_back(uint8_t(id_field >> 8));
+  sec.push_back(uint8_t(id_field & 0xFF));
+  sec.push_back(0xC1);  // reserved, version 0, current_next = 1
+  sec.push_back(0x00);  // section_number
+  sec.push_back(0x00);  // last_section_number
+  sec.insert(sec.end(), body.begin(), body.end());
+  const uint32_t crc = mpeg_crc32(sec);
+  sec.push_back(uint8_t(crc >> 24));
+  sec.push_back(uint8_t(crc >> 16));
+  sec.push_back(uint8_t(crc >> 8));
+  sec.push_back(uint8_t(crc));
+  return sec;
+}
+
+std::vector<uint8_t> build_pat(const TsMuxConfig& cfg) {
+  std::vector<uint8_t> body = {
+      uint8_t(cfg.program_number >> 8), uint8_t(cfg.program_number & 0xFF),
+      uint8_t(0xE0 | ((cfg.pmt_pid >> 8) & 0x1F)), uint8_t(cfg.pmt_pid & 0xFF)};
+  auto sec = build_section(0x00, /*transport_stream_id=*/1, body);
+  sec.insert(sec.begin(), 0x00);  // pointer_field
+  return sec;
+}
+
+std::vector<uint8_t> build_pmt(const TsMuxConfig& cfg) {
+  std::vector<uint8_t> body = {
+      uint8_t(0xE0 | ((cfg.video_pid >> 8) & 0x1F)),
+      uint8_t(cfg.video_pid & 0xFF),  // PCR PID = video PID
+      0xF0, 0x00,                     // program_info_length = 0
+      0x02,                           // stream_type: MPEG-2 video
+      uint8_t(0xE0 | ((cfg.video_pid >> 8) & 0x1F)),
+      uint8_t(cfg.video_pid & 0xFF),
+      0xF0, 0x00,                     // ES_info_length = 0
+  };
+  auto sec = build_section(0x02, cfg.program_number, body);
+  sec.insert(sec.begin(), 0x00);  // pointer_field
+  return sec;
+}
+
+}  // namespace
+
+std::vector<uint8_t> mux_transport_stream(std::span<const uint8_t> video_es,
+                                          const TsMuxConfig& config) {
+  PDW_CHECK_GT(config.frame_rate, 0.0);
+  const auto spans = scan_pictures(video_es);
+  PDW_CHECK(!spans.empty()) << "no pictures in elementary stream";
+  const double period90 = k90kHz / config.frame_rate;
+
+  std::vector<uint8_t> out;
+  out.reserve(video_es.size() + video_es.size() / 8 + 1024);
+  TsWriter writer(&out);
+
+  const auto pat = build_pat(config);
+  const auto pmt = build_pmt(config);
+
+  int gop_base = 0;
+  int pictures_in_gop = 0;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (int(i) % config.psi_interval_pictures == 0) {
+      writer.write_payload(kPatPid, pat);
+      writer.write_payload(config.pmt_pid, pmt);
+    }
+
+    const auto picture =
+        video_es.subspan(spans[i].begin, spans[i].end - spans[i].begin);
+    mpeg2::SequenceHeader seq;
+    bool have_seq = true;
+    mpeg2::ParsedPictureHeaders headers;
+    mpeg2::parse_picture_headers(picture, &seq, &have_seq, &headers);
+    if (headers.had_gop_header) {
+      gop_base += pictures_in_gop;
+      pictures_in_gop = 0;
+    }
+    ++pictures_in_gop;
+    const int display_index = gop_base + headers.ph.temporal_reference;
+    const int64_t dts = int64_t((double(i) + 1.0) * period90);
+    const int64_t pts = int64_t((double(display_index) + 2.0) * period90);
+
+    // Build the picture's PES packet(s) and hand them to the packetizer.
+    std::vector<uint8_t> pes;
+    size_t offset = 0;
+    bool first = true;
+    while (offset < picture.size()) {
+      const size_t chunk = std::min<size_t>(60000, picture.size() - offset);
+      pes.clear();
+      detail::write_pes_packet(&pes, kVideoStreamId,
+                               picture.subspan(offset, chunk),
+                               first ? pts : -1, first ? dts : -1);
+      const bool want_pcr =
+          first && int(i) % config.pcr_interval_pictures == 0;
+      writer.write_payload(config.video_pid, pes,
+                           want_pcr ? std::max<int64_t>(0, dts - int64_t(period90)) * 300
+                                    : -1);
+      offset += chunk;
+      first = false;
+    }
+  }
+
+  // Trailing bytes (sequence_end_code) in a final PES packet.
+  if (spans.back().end < video_es.size()) {
+    std::vector<uint8_t> pes;
+    detail::write_pes_packet(&pes, kVideoStreamId,
+                             video_es.subspan(spans.back().end), -1, -1);
+    writer.write_payload(config.video_pid, pes);
+  }
+  return out;
+}
+
+TsDemuxResult demux_transport_stream(std::span<const uint8_t> ts) {
+  TsDemuxResult result;
+  PDW_CHECK_EQ(ts.size() % kTsPacketSize, 0u)
+      << "transport stream must be a whole number of 188-byte packets";
+
+  uint16_t pmt_pid = 0xFFFF;
+  uint16_t video_pid = 0xFFFF;
+  std::map<uint16_t, int> last_cc;
+  std::vector<uint8_t> pes_buffer;  // concatenated video payloads
+
+  auto flush_pes = [&](std::span<const uint8_t> pes) {
+    if (pes.size() < 9) return;
+    PDW_CHECK_EQ(int(pes[0]), 0);
+    PDW_CHECK_EQ(int(pes[1]), 0);
+    PDW_CHECK_EQ(int(pes[2]), 1);
+    const uint8_t sid = pes[3];
+    if (sid < 0xE0 || sid > 0xEF) return;
+    PDW_CHECK_EQ(pes[6] >> 6, 0b10) << "not an MPEG-2 PES header";
+    const int flags = pes[7] >> 6;
+    const size_t header_data = pes[8];
+    if (flags & 0x2) result.pts.push_back(detail::read_timestamp(&pes[9]));
+    const size_t start = 9 + header_data;
+    PDW_CHECK_LE(start, pes.size());
+    result.video_es.insert(result.video_es.end(), pes.begin() + long(start),
+                           pes.end());
+  };
+
+  for (size_t pos = 0; pos + kTsPacketSize <= ts.size();
+       pos += kTsPacketSize) {
+    const uint8_t* p = ts.data() + pos;
+    PDW_CHECK_EQ(int(p[0]), int(kTsSyncByte)) << "lost TS sync";
+    ++result.packets;
+    const bool pusi = p[1] & 0x40;
+    const uint16_t pid = uint16_t(((p[1] & 0x1F) << 8) | p[2]);
+    const int afc = (p[3] >> 4) & 0x3;
+    const int cc = p[3] & 0x0F;
+
+    if (pid == 0x1FFF) {  // null packets
+      ++result.ignored_packets;
+      continue;
+    }
+
+    // Continuity check (packets with payload only).
+    if (afc & 0x1) {
+      const auto it = last_cc.find(pid);
+      if (it != last_cc.end() && ((it->second + 1) & 0x0F) != cc)
+        ++result.continuity_errors;
+      last_cc[pid] = cc;
+    }
+
+    size_t payload_off = 4;
+    if (afc & 0x2) {  // adaptation field present
+      const size_t af_len = p[4];
+      if (af_len >= 7 && (p[5] & 0x10)) {  // PCR flag
+        const uint8_t* q = p + 6;
+        const uint64_t base = (uint64_t(q[0]) << 25) | (uint64_t(q[1]) << 17) |
+                              (uint64_t(q[2]) << 9) | (uint64_t(q[3]) << 1) |
+                              (q[4] >> 7);
+        const uint32_t ext = uint32_t((q[4] & 1) << 8) | q[5];
+        result.pcr.push_back(int64_t(base) * 300 + ext);
+      }
+      payload_off += 1 + af_len;
+    }
+    if (!(afc & 0x1) || payload_off >= kTsPacketSize) continue;
+    const std::span<const uint8_t> payload(p + payload_off,
+                                           kTsPacketSize - payload_off);
+
+    if (pid == kPatPid || pid == pmt_pid) {
+      ++result.psi_packets;
+      // Section starts after pointer_field (assume it fits one packet).
+      const size_t ptr = payload[0];
+      const uint8_t* sec = payload.data() + 1 + ptr;
+      const uint8_t table_id = sec[0];
+      const size_t section_length = ((sec[1] & 0x0F) << 8) | sec[2];
+      const std::span<const uint8_t> full(sec, 3 + section_length);
+      PDW_CHECK_EQ(mpeg_crc32(full), 0u) << "PSI CRC mismatch";
+      if (pid == kPatPid && table_id == 0x00 && pmt_pid == 0xFFFF) {
+        // First program's PMT PID.
+        pmt_pid = uint16_t(((sec[10] & 0x1F) << 8) | sec[11]);
+      } else if (pid == pmt_pid && table_id == 0x02 && video_pid == 0xFFFF) {
+        const size_t program_info_len = ((sec[10] & 0x0F) << 8) | sec[11];
+        size_t off = 12 + program_info_len;
+        while (off + 5 <= 3 + section_length - 4) {
+          const uint8_t stream_type = sec[off];
+          const uint16_t epid = uint16_t(((sec[off + 1] & 0x1F) << 8) |
+                                         sec[off + 2]);
+          const size_t es_info = ((sec[off + 3] & 0x0F) << 8) | sec[off + 4];
+          if (stream_type == 0x01 || stream_type == 0x02) {
+            video_pid = epid;
+            break;
+          }
+          off += 5 + es_info;
+        }
+        result.video_pid = video_pid;
+      }
+      continue;
+    }
+
+    if (pid != video_pid) {
+      ++result.ignored_packets;
+      continue;
+    }
+    ++result.video_packets;
+    if (pusi) {
+      flush_pes(pes_buffer);
+      pes_buffer.clear();
+    }
+    pes_buffer.insert(pes_buffer.end(), payload.begin(), payload.end());
+  }
+  flush_pes(pes_buffer);
+  return result;
+}
+
+}  // namespace pdw::ps

@@ -1,0 +1,58 @@
+// MPEG-2 Transport Stream (ISO/IEC 13818-1) multiplex/demultiplex for a
+// single video program.
+//
+// The paper's broadcast captures (FOX 720p, NBC/CBS 1080i) arrive as
+// transport streams: fixed 188-byte packets with PIDs, PSI tables (PAT/PMT
+// with CRC-32), continuity counters, adaptation-field stuffing and PCR
+// clock recovery. This module provides that ingest path alongside the
+// program stream: mux wraps a video elementary stream as PES packets inside
+// TS packets with a one-program PAT/PMT; demux reassembles the video ES
+// from an arbitrary (possibly multi-program) TS, tolerating foreign PIDs
+// and flagging continuity errors.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pdw::ps {
+
+inline constexpr size_t kTsPacketSize = 188;
+inline constexpr uint8_t kTsSyncByte = 0x47;
+inline constexpr uint16_t kPatPid = 0x0000;
+
+struct TsMuxConfig {
+  double frame_rate = 30.0;
+  uint16_t pmt_pid = 0x0100;
+  uint16_t video_pid = 0x0101;
+  uint16_t program_number = 1;
+  int pcr_interval_pictures = 4;  // insert PCR every N pictures
+  int psi_interval_pictures = 8;  // repeat PAT/PMT every N pictures
+};
+
+// Wrap a video elementary stream into a single-program transport stream.
+std::vector<uint8_t> mux_transport_stream(std::span<const uint8_t> video_es,
+                                          const TsMuxConfig& config = {});
+
+struct TsDemuxResult {
+  std::vector<uint8_t> video_es;
+  int packets = 0;           // total TS packets seen
+  int video_packets = 0;     // packets on the video PID
+  int psi_packets = 0;       // PAT/PMT packets
+  int ignored_packets = 0;   // foreign PIDs / null packets
+  int continuity_errors = 0; // per-PID counter gaps
+  uint16_t video_pid = 0;    // resolved from PAT/PMT
+  std::vector<int64_t> pcr;  // 27 MHz program clock references
+  std::vector<int64_t> pts;  // 90 kHz, from the video PES headers
+};
+
+// Extract the first video stream (stream_type 0x01/0x02) advertised by the
+// first program in the PAT. Throws CheckError on structurally impossible
+// input (bad sync, truncated packet).
+TsDemuxResult demux_transport_stream(std::span<const uint8_t> ts);
+
+// MPEG-2/PSI CRC-32 (poly 0x04C11DB7, MSB-first, init 0xFFFFFFFF, no final
+// xor). Exposed for tests.
+uint32_t mpeg_crc32(std::span<const uint8_t> data);
+
+}  // namespace pdw::ps

@@ -1,0 +1,214 @@
+#include "sim/cluster_sim.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "net/fabric.h"
+
+namespace pdw::sim {
+
+using core::PictureTrace;
+
+namespace {
+constexpr double kAckBytes = double(net::Message::kHeaderBytes);
+constexpr double kMsgHeader = double(net::Message::kHeaderBytes);
+}  // namespace
+
+SimResult simulate_cluster(const std::vector<PictureTrace>& traces,
+                           const wall::TileGeometry& geo,
+                           const SimParams& params) {
+  PDW_CHECK(!traces.empty());
+  const int T = geo.tiles();
+  const int k = params.two_level ? params.k : 1;
+  PDW_CHECK_GE(k, 1);
+  const int N = int(traces.size());
+  const LinkModel& link = params.link;
+  const double scale = params.cpu_scale;
+
+  SimResult result;
+  result.pictures = N;
+  result.nodes = params.two_level ? 1 + k + T : 1 + T;
+  result.first_decoder_node = params.two_level ? 1 + k : 1;
+  result.decoders.assign(size_t(T), DecoderBreakdown{});
+  result.traffic.assign(size_t(result.nodes), NodeTraffic{});
+  result.splitter_busy_s.assign(size_t(k), 0.0);
+
+  auto splitter_node = [&](int s) { return params.two_level ? 1 + s : 0; };
+  auto decoder_node = [&](int t) { return result.first_decoder_node + t; };
+
+  // --- Root stage: when is picture i fully received by its splitter? -------
+  // (One-level mode: the console node both "is" the splitter and has the
+  // stream locally, so pictures are available immediately after the copy.)
+  std::vector<double> recv_at_splitter(size_t(N), 0.0);
+  std::vector<double> splitter_ack_at_root(size_t(N), 0.0);
+
+  if (params.two_level) {
+    double root_free = 0.0;
+    for (int i = 0; i < N; ++i) {
+      const PictureTrace& tr = traces[size_t(i)];
+      double t = root_free + tr.copy_s * scale;  // "Copy P to send buffer"
+      if (i > 0) {
+        // Wait for the ack/go-ahead of the previous picture ("wait for ACK
+        // from any splitter, except for the first picture").
+        t = std::max(t, splitter_ack_at_root[size_t(i - 1)]);
+      }
+      const double tx = link.transfer_s(tr.picture_bytes + size_t(kMsgHeader));
+      const double send_done = t + tx;
+      recv_at_splitter[size_t(i)] = send_done + link.latency_s;
+      // The splitter acks as soon as it has the picture.
+      splitter_ack_at_root[size_t(i)] = recv_at_splitter[size_t(i)] +
+                                        link.ack_cpu_s +
+                                        link.transfer_s(size_t(kAckBytes)) +
+                                        link.latency_s;
+      root_free = send_done;
+
+      result.traffic[0].sent_bytes += double(tr.picture_bytes) + kMsgHeader;
+      result.traffic[0].recv_bytes += kAckBytes;
+      // (The receiving splitter's share is attributed in the main loop once
+      // the schedule has chosen it.)
+    }
+  } else {
+    // One-level: the console scans locally; the copy is still real work.
+    double free_t = 0.0;
+    for (int i = 0; i < N; ++i) {
+      free_t += traces[size_t(i)].copy_s * scale;
+      recv_at_splitter[size_t(i)] = free_t;
+    }
+    // Not sequential with splitting here — splitting is gated below by
+    // splitter_free, which starts after this copy timeline anyway.
+  }
+
+  // --- Per-picture protocol forward pass -----------------------------------
+  std::vector<double> splitter_free(size_t(k), 0.0);
+  std::vector<double> decoder_free(size_t(T), 0.0);
+  // Ack arrival (at the next picture's splitter) for the previous picture,
+  // per decoder.
+  std::vector<double> prev_pic_dec_ack(size_t(T), 0.0);
+
+  std::vector<double> sp_arrival(size_t(T), 0.0);
+  std::vector<double> serve_end(size_t(T), 0.0);
+  std::vector<double> start(size_t(T), 0.0);
+
+  for (int i = 0; i < N; ++i) {
+    const PictureTrace& tr = traces[size_t(i)];
+    int s = 0;
+    if (params.two_level) {
+      if (params.schedule == RootSchedule::kRoundRobin) {
+        s = i % k;
+      } else {
+        // Least-loaded: the root tracks outstanding work and picks the
+        // splitter that will free up first (§6 future work).
+        for (int j = 1; j < k; ++j)
+          if (splitter_free[size_t(j)] < splitter_free[size_t(s)]) s = j;
+      }
+      result.traffic[size_t(splitter_node(s))].recv_bytes +=
+          double(tr.picture_bytes) + kMsgHeader;
+      result.traffic[size_t(splitter_node(s))].sent_bytes += kAckBytes;
+    }
+
+    // Split.
+    const double split_start =
+        std::max(recv_at_splitter[size_t(i)], splitter_free[size_t(s)]);
+    const double split_end = split_start + tr.split_s * scale;
+    result.splitter_busy_s[size_t(s)] += tr.split_s * scale;
+
+    // Gate on decoder acks for the previous picture (ANID redirection: those
+    // acks were addressed to *this* splitter).
+    double gate = split_end;
+    if (i > 0)
+      for (int t = 0; t < T; ++t)
+        gate = std::max(gate, prev_pic_dec_ack[size_t(t)]);
+
+    // Send SPs sequentially over the splitter's NIC.
+    double nic = gate;
+    for (int t = 0; t < T; ++t) {
+      const double bytes = double(tr.sp_msg_bytes[size_t(t)]) + kMsgHeader;
+      nic += link.transfer_s(size_t(bytes));
+      sp_arrival[size_t(t)] = nic + link.latency_s;
+      result.traffic[size_t(splitter_node(s))].sent_bytes += bytes;
+      result.traffic[size_t(decoder_node(t))].recv_bytes += bytes;
+      result.splitter_busy_s[size_t(s)] += link.transfer_s(size_t(bytes));
+    }
+    splitter_free[size_t(s)] = nic;
+
+    // Decoders: phase 1 — receive SP, ack, serve remote macroblocks.
+    for (int t = 0; t < T; ++t) {
+      DecoderBreakdown& bd = result.decoders[size_t(t)];
+      const double arr = sp_arrival[size_t(t)];
+      const double st = std::max(arr, decoder_free[size_t(t)]);
+      start[size_t(t)] = st;
+      bd.receive += std::max(0.0, arr - decoder_free[size_t(t)]);
+
+      // Ack to the next picture's splitter.
+      prev_pic_dec_ack[size_t(t)] = st + link.ack_cpu_s +
+                                    link.transfer_s(size_t(kAckBytes)) +
+                                    link.latency_s;
+      bd.ack += link.ack_cpu_s;
+      const int next_s = params.two_level ? (i + 1) % k : 0;
+      result.traffic[size_t(decoder_node(t))].sent_bytes += kAckBytes;
+      result.traffic[size_t(splitter_node(next_s))].recv_bytes += kAckBytes;
+
+      // Serve: extraction CPU plus NIC time for outgoing exchange messages.
+      double tx = 0.0;
+      for (int d = 0; d < T; ++d) {
+        const double bytes = double(tr.exchange_bytes[size_t(t) * T + d]);
+        if (bytes == 0.0) continue;
+        tx += link.transfer_s(size_t(bytes + kMsgHeader));
+        result.traffic[size_t(decoder_node(t))].sent_bytes +=
+            bytes + kMsgHeader;
+        result.traffic[size_t(decoder_node(d))].recv_bytes +=
+            bytes + kMsgHeader;
+      }
+      const double serve = tr.serve_s[size_t(t)] * scale + tx;
+      bd.serve += serve;
+      serve_end[size_t(t)] = st + link.ack_cpu_s + serve;
+    }
+
+    // Phase 2 — wait for remote macroblocks, then decode.
+    for (int t = 0; t < T; ++t) {
+      DecoderBreakdown& bd = result.decoders[size_t(t)];
+      double ready = serve_end[size_t(t)];
+      for (int src = 0; src < T; ++src) {
+        if (tr.exchange_bytes[size_t(src) * T + t] == 0) continue;
+        ready = std::max(ready, serve_end[size_t(src)] + link.latency_s);
+      }
+      bd.wait_remote += ready - serve_end[size_t(t)];
+      const double decode_end = ready + tr.decode_s[size_t(t)] * scale;
+      bd.work += tr.decode_s[size_t(t)] * scale;
+      decoder_free[size_t(t)] = decode_end;
+    }
+  }
+
+  double makespan = 0.0;
+  for (int t = 0; t < T; ++t)
+    makespan = std::max(makespan, decoder_free[size_t(t)]);
+  result.makespan_s = makespan;
+  result.fps = double(N) / makespan;
+  return result;
+}
+
+MeasuredCosts measure_costs(const std::vector<PictureTrace>& traces) {
+  MeasuredCosts costs;
+  if (traces.empty()) return costs;
+  double sum_split = 0, sum_copy = 0, sum_max_decode = 0, sum_decode = 0;
+  int64_t tile_samples = 0;
+  for (const PictureTrace& tr : traces) {
+    sum_split += tr.split_s;
+    sum_copy += tr.copy_s;
+    double mx = 0;
+    for (double d : tr.decode_s) {
+      mx = std::max(mx, d);
+      sum_decode += d;
+      ++tile_samples;
+    }
+    sum_max_decode += mx;
+  }
+  const double n = double(traces.size());
+  costs.t_split = sum_split / n;
+  costs.t_copy = sum_copy / n;
+  costs.t_decode = sum_max_decode / n;
+  costs.t_decode_mean = tile_samples ? sum_decode / double(tile_samples) : 0;
+  return costs;
+}
+
+}  // namespace pdw::sim

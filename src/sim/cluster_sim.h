@@ -1,0 +1,109 @@
+// Discrete-event cluster simulator.
+//
+// The host has a single CPU core, so the threaded pipeline cannot exhibit
+// real speedups. Instead, the lockstep pipeline measures the true cost of
+// every protocol operation on real data (split time, per-tile decode time,
+// serve time, every message size), and this simulator replays the paper's
+// Table-3 protocol on a modeled cluster: one node per PC, sequential compute
+// per node, and a Myrinet-class link model (per-node NIC serialization at a
+// configurable bandwidth plus a fixed per-message latency).
+//
+// The protocol's dependency structure is acyclic per picture (all SENDs
+// precede all remote-block consumption), so the "simulation" is an exact
+// forward pass over the dependency graph — equivalent to an event-queue DES
+// for this protocol, but simpler and deterministic.
+//
+// Outputs match the paper's evaluation quantities:
+//   * frame rate (Table 5/6, Figures 6/8),
+//   * per-decoder runtime breakdown Work/Serve/Receive/Wait/Ack (Figure 7),
+//   * per-node send/receive bandwidth (Figure 9).
+#pragma once
+
+#include <vector>
+
+#include "core/lockstep.h"
+#include "wall/geometry.h"
+
+namespace pdw::sim {
+
+struct LinkModel {
+  double bandwidth_bps = 160e6 * 8;  // Myrinet-class: ~160 MB/s per link
+  double latency_s = 10e-6;          // per-message one-way latency
+  double ack_cpu_s = 3e-6;           // CPU cost to emit an ack/go-ahead
+
+  double transfer_s(size_t bytes) const {
+    return double(bytes) * 8.0 / bandwidth_bps;
+  }
+};
+
+// How the root assigns pictures to second-level splitters. The paper uses
+// round-robin and names dynamic load balancing as future work (§6).
+enum class RootSchedule {
+  kRoundRobin,
+  kLeastLoaded,  // send to the splitter that will go idle first
+};
+
+struct SimParams {
+  int k = 1;              // second-level splitters
+  bool two_level = true;  // false: 1-(m,n), the root splits macroblocks itself
+  LinkModel link;
+  RootSchedule schedule = RootSchedule::kRoundRobin;
+  // Scale all measured compute times by this factor (1.0 = this host's
+  // speed). Exposed so experiments can model slower/faster node CPUs.
+  double cpu_scale = 1.0;
+};
+
+// Per-decoder accumulated runtime breakdown (Figure 7's five categories).
+struct DecoderBreakdown {
+  double work = 0;         // decode + display
+  double serve = 0;        // extracting/sending remote macroblocks
+  double receive = 0;      // waiting for the sub-picture from the splitter
+  double wait_remote = 0;  // waiting for remote macroblocks
+  double ack = 0;          // sending acks
+
+  double busy() const { return work + serve + ack; }
+  double total() const { return work + serve + receive + wait_remote + ack; }
+};
+
+struct NodeTraffic {
+  double sent_bytes = 0;
+  double recv_bytes = 0;
+};
+
+struct SimResult {
+  int pictures = 0;
+  double makespan_s = 0;
+  double fps = 0;
+
+  // Node indexing: 0 = root, 1..k = splitters, k+1.. = decoders.
+  // (For one-level mode, k = 0 and the root is the macroblock splitter.)
+  int nodes = 0;
+  int first_decoder_node = 0;
+  std::vector<DecoderBreakdown> decoders;   // per tile
+  std::vector<NodeTraffic> traffic;         // per node, bytes over the run
+  std::vector<double> splitter_busy_s;      // per second-level splitter
+
+  double send_bandwidth_Bps(int node) const {
+    return traffic[size_t(node)].sent_bytes / makespan_s;
+  }
+  double recv_bandwidth_Bps(int node) const {
+    return traffic[size_t(node)].recv_bytes / makespan_s;
+  }
+};
+
+// Replay `traces` (from LockstepPipeline::run) on the modeled cluster.
+SimResult simulate_cluster(const std::vector<core::PictureTrace>& traces,
+                           const wall::TileGeometry& geo,
+                           const SimParams& params);
+
+// Convenience: average split / per-tile decode seconds from traces (the t_s
+// and t_d of the paper's §4.6 model).
+struct MeasuredCosts {
+  double t_split = 0;       // mean split time per picture
+  double t_decode = 0;      // mean decode time per picture of the slowest tile
+  double t_decode_mean = 0; // mean across tiles
+  double t_copy = 0;        // root copy time
+};
+MeasuredCosts measure_costs(const std::vector<core::PictureTrace>& traces);
+
+}  // namespace pdw::sim

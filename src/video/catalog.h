@@ -1,0 +1,53 @@
+// The 16-stream test suite mirroring the paper's Table 4, with synthetic
+// content standing in for the original clips (see DESIGN.md §2).
+//
+// Streams are generated on demand by encoding a procedural scene at the
+// catalogued resolution and bit rate, and cached on disk keyed by the spec
+// and frame count so benchmark binaries share the work.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "video/generator.h"
+
+namespace pdw::video {
+
+struct StreamSpec {
+  int id = 0;               // 1..16, matching the paper's Table 4 rows
+  std::string name;         // paper's stream name
+  int width = 0;            // coded (macroblock-aligned) dimensions
+  int height = 0;
+  double fps = 30.0;        // nominal display rate (for bit-rate math)
+  double target_bpp = 0.3;  // paper: ~0.3 bpp except the DVD clips
+  SceneKind scene = SceneKind::kPanningTexture;
+  int tiles_m = 1;          // Table 6 screen configuration (m x n)
+  int tiles_n = 1;
+  std::string note;         // what the original content was
+
+  int pixels() const { return width * height; }
+};
+
+// All 16 streams in Table 4 order.
+const std::vector<StreamSpec>& stream_catalog();
+const StreamSpec& stream_by_id(int id);
+
+// Number of frames used by default for generated streams. Defaults to 48
+// (the paper trims each sequence to 240); override with PDW_FRAMES.
+int default_frame_count();
+
+// Generate (or load from cache) the elementary stream for `spec`.
+// The cache lives in $PDW_CACHE_DIR (default: <tmp>/pdw_stream_cache).
+std::vector<uint8_t> load_stream(const StreamSpec& spec, int frames);
+
+// Average coded frame size in bytes / bits-per-pixel of a generated stream.
+struct StreamMetrics {
+  double avg_frame_bytes = 0;
+  double bpp = 0;
+  double bit_rate_mbps = 0;  // at the nominal fps
+};
+StreamMetrics measure_stream(const StreamSpec& spec,
+                             const std::vector<uint8_t>& es, int frames);
+
+}  // namespace pdw::video

@@ -1,0 +1,400 @@
+#include "video/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace pdw::video {
+
+using mpeg2::Frame;
+using mpeg2::Plane;
+
+const char* scene_kind_name(SceneKind kind) {
+  switch (kind) {
+    case SceneKind::kPanningTexture: return "panning-texture";
+    case SceneKind::kMovingObjects: return "moving-objects";
+    case SceneKind::kAnimation: return "animation";
+    case SceneKind::kLocalizedDetail: return "localized-detail";
+  }
+  return "?";
+}
+
+namespace {
+
+// Periodic smooth value-noise texture sampled with bilinear interpolation.
+// All scenes build their imagery from one or more of these; the period keeps
+// pans seamless for arbitrarily long sequences.
+class NoiseTexture {
+ public:
+  NoiseTexture(int size, int octaves, uint64_t seed) : size_(size) {
+    PDW_CHECK((size & (size - 1)) == 0) << "texture size must be power of two";
+    data_.assign(size_t(size) * size, 0.f);
+    SplitMix64 rng(seed);
+    std::vector<float> lattice;
+    float amp = 1.0f;
+    float total = 0.0f;
+    for (int o = 0; o < octaves; ++o) {
+      const int cells = 4 << o;  // lattice resolution for this octave
+      lattice.assign(size_t(cells) * cells, 0.f);
+      for (float& v : lattice) v = float(rng.next_double()) * 2.f - 1.f;
+      const float step = float(cells) / float(size_);
+      for (int y = 0; y < size_; ++y) {
+        const float fy = y * step;
+        const int y0 = int(fy) % cells;
+        const int y1 = (y0 + 1) % cells;
+        const float ty = fy - std::floor(fy);
+        for (int x = 0; x < size_; ++x) {
+          const float fx = x * step;
+          const int x0 = int(fx) % cells;
+          const int x1 = (x0 + 1) % cells;
+          const float tx = fx - std::floor(fx);
+          const float v00 = lattice[size_t(y0) * cells + x0];
+          const float v01 = lattice[size_t(y0) * cells + x1];
+          const float v10 = lattice[size_t(y1) * cells + x0];
+          const float v11 = lattice[size_t(y1) * cells + x1];
+          const float v0 = v00 + (v01 - v00) * tx;
+          const float v1 = v10 + (v11 - v10) * tx;
+          data_[size_t(y) * size_ + x] += amp * (v0 + (v1 - v0) * ty);
+        }
+      }
+      total += amp;
+      amp *= 0.55f;
+    }
+    for (float& v : data_) v /= total;  // normalize to roughly [-1, 1]
+  }
+
+  // Bilinear periodic sample at continuous coordinates.
+  float sample(float x, float y) const {
+    const int mask = size_ - 1;
+    const float fx = x - std::floor(x / size_) * size_;
+    const float fy = y - std::floor(y / size_) * size_;
+    const int x0 = int(fx) & mask;
+    const int y0 = int(fy) & mask;
+    const int x1 = (x0 + 1) & mask;
+    const int y1 = (y0 + 1) & mask;
+    const float tx = fx - std::floor(fx);
+    const float ty = fy - std::floor(fy);
+    const float v00 = data_[size_t(y0) * size_ + x0];
+    const float v01 = data_[size_t(y0) * size_ + x1];
+    const float v10 = data_[size_t(y1) * size_ + x0];
+    const float v11 = data_[size_t(y1) * size_ + x1];
+    const float v0 = v00 + (v01 - v00) * tx;
+    const float v1 = v10 + (v11 - v10) * tx;
+    return v0 + (v1 - v0) * ty;
+  }
+
+ private:
+  int size_;
+  std::vector<float> data_;
+};
+
+uint8_t to_pixel(float v) {
+  return uint8_t(std::clamp(int(std::lround(v)), 0, 255));
+}
+
+// Deterministic per-pixel-per-frame "film grain". Real captures (the paper's
+// DVD rips, HDTV camera footage, rendered flybys with dithering) carry sensor
+// noise and grain that dominate the residual bit rate at ~0.3 bpp; purely
+// smooth synthetic scenes would compress far below that and make every
+// downstream bandwidth/time measurement unrealistically light.
+inline int grain(uint32_t x, uint32_t y, uint32_t t, int amp) {
+  uint32_t h = x * 0x9E3779B1u ^ (y + 1) * 0x85EBCA77u ^ (t + 1) * 0xC2B2AE3Du;
+  h ^= h >> 15;
+  h *= 0x2C1B3C6Du;
+  h ^= h >> 12;
+  return int(h % uint32_t(2 * amp + 1)) - amp;
+}
+
+// Fill a chroma plane with a slowly varying tint derived from a texture.
+void fill_chroma(Plane* plane, const NoiseTexture& tex, float ox, float oy,
+                 float scale, float amplitude) {
+  for (int y = 0; y < plane->height(); ++y) {
+    uint8_t* row = plane->row(y);
+    for (int x = 0; x < plane->width(); ++x)
+      row[x] = to_pixel(128.f + amplitude * tex.sample(ox + x * scale,
+                                                       oy + y * scale));
+  }
+}
+
+// --- Panning texture ---------------------------------------------------------
+
+class PanningTextureScene final : public SceneGenerator {
+ public:
+  PanningTextureScene(int w, int h, uint64_t seed)
+      : w_(w), h_(h), luma_(512, 5, seed), chroma_(256, 3, seed ^ 0x9e37) {}
+
+  void render(int frame_index, Frame* out) const override {
+    // Smooth diagonal pan with a slow sinusoidal drift, sub-pixel rates so
+    // half-pel motion estimation is exercised.
+    const float t = float(frame_index);
+    const float ox = 1.75f * t + 20.f * std::sin(t * 0.021f);
+    const float oy = 0.85f * t + 12.f * std::cos(t * 0.017f);
+    for (int y = 0; y < h_; ++y) {
+      uint8_t* row = out->y.row(y);
+      const float sy = (y + oy) * 0.35f;
+      for (int x = 0; x < w_; ++x)
+        row[x] = to_pixel(128.f + 96.f * luma_.sample((x + ox) * 0.35f, sy) +
+                          float(grain(uint32_t(x), uint32_t(y),
+                                      uint32_t(frame_index), 5)));
+    }
+    fill_chroma(&out->cb, chroma_, ox * 0.2f, oy * 0.2f, 0.12f, 28.f);
+    fill_chroma(&out->cr, chroma_, oy * 0.2f + 77.f, ox * 0.2f, 0.12f, 28.f);
+  }
+
+ private:
+  int w_, h_;
+  NoiseTexture luma_, chroma_;
+};
+
+// --- Moving objects ("fish tank") --------------------------------------------
+
+class MovingObjectsScene final : public SceneGenerator {
+ public:
+  MovingObjectsScene(int w, int h, uint64_t seed)
+      : w_(w), h_(h), background_(512, 4, seed), chroma_(256, 3, seed ^ 0x51) {
+    SplitMix64 rng(seed ^ 0xF15F);
+    const int count = std::max(6, w * h / 120000);
+    objects_.resize(size_t(count));
+    for (Object& o : objects_) {
+      o.x0 = rng.next_double() * w;
+      o.y0 = rng.next_double() * h;
+      o.vx = (rng.next_double() - 0.5) * 7.0;
+      o.vy = (rng.next_double() - 0.5) * 3.5;
+      o.rx = 14.0 + rng.next_double() * (w / 24.0);
+      o.ry = o.rx * (0.35 + rng.next_double() * 0.4);
+      o.luma = 60.f + float(rng.next_double()) * 170.f;
+      o.phase = float(rng.next_double()) * 6.28f;
+    }
+  }
+
+  void render(int frame_index, Frame* out) const override {
+    const float t = float(frame_index);
+    // Slowly drifting background (the "water").
+    for (int y = 0; y < h_; ++y) {
+      uint8_t* row = out->y.row(y);
+      const float sy = (y + 0.2f * t) * 0.22f;
+      for (int x = 0; x < w_; ++x)
+        row[x] = to_pixel(110.f + 55.f * background_.sample(x * 0.22f, sy) +
+                          float(grain(uint32_t(x), uint32_t(y),
+                                      uint32_t(frame_index), 4)));
+    }
+    fill_chroma(&out->cb, chroma_, 0.08f * t, 3.f, 0.1f, 22.f);
+    fill_chroma(&out->cr, chroma_, 50.f, 0.06f * t, 0.1f, 22.f);
+
+    // Objects: soft-edged ellipses on wrapped trajectories with gentle
+    // vertical bobbing — rigid translating bodies, ideal for block ME.
+    for (size_t i = 0; i < objects_.size(); ++i) {
+      const Object& o = objects_[i];
+      const double cx = wrap(o.x0 + o.vx * t, w_);
+      const double cy = wrap(o.y0 + o.vy * t + 9.0 * std::sin(0.05 * t + o.phase), h_);
+      draw_ellipse(out, cx, cy, o.rx, o.ry, o.luma, int(i));
+    }
+  }
+
+ private:
+  struct Object {
+    double x0, y0, vx, vy, rx, ry;
+    float luma;
+    float phase;
+  };
+
+  static double wrap(double v, int limit) {
+    const double m = std::fmod(v, double(limit));
+    return m < 0 ? m + limit : m;
+  }
+
+  void draw_ellipse(Frame* out, double cx, double cy, double rx, double ry,
+                    float luma, int index) const {
+    const int x0 = std::max(0, int(cx - rx - 1));
+    const int x1 = std::min(w_ - 1, int(cx + rx + 1));
+    const int y0 = std::max(0, int(cy - ry - 1));
+    const int y1 = std::min(h_ - 1, int(cy + ry + 1));
+    for (int y = y0; y <= y1; ++y) {
+      uint8_t* row = out->y.row(y);
+      for (int x = x0; x <= x1; ++x) {
+        const double dx = (x - cx) / rx;
+        const double dy = (y - cy) / ry;
+        const double d = dx * dx + dy * dy;
+        if (d >= 1.0) continue;
+        // Soft edge plus a little internal shading for texture.
+        const float edge = float(std::min(1.0, (1.0 - d) * 4.0));
+        const float shade = luma + 25.f * float(dx);
+        row[x] = to_pixel(row[x] + (shade - row[x]) * edge);
+      }
+    }
+    // Chroma tint over the object's bounding box.
+    const int tint = 110 + (index * 37) % 90;
+    for (int y = y0 / 2; y <= y1 / 2 && y < out->cb.height(); ++y) {
+      uint8_t* cbr = out->cb.row(y);
+      uint8_t* crr = out->cr.row(y);
+      for (int x = x0 / 2; x <= x1 / 2 && x < out->cb.width(); ++x) {
+        const double dx = (x * 2 - cx) / rx;
+        const double dy = (y * 2 - cy) / ry;
+        if (dx * dx + dy * dy >= 0.8) continue;
+        cbr[x] = uint8_t(tint);
+        crr[x] = uint8_t(255 - tint);
+      }
+    }
+  }
+
+  int w_, h_;
+  NoiseTexture background_, chroma_;
+  std::vector<Object> objects_;
+};
+
+// --- Animation ---------------------------------------------------------------
+
+class AnimationScene final : public SceneGenerator {
+ public:
+  AnimationScene(int w, int h, uint64_t seed) : w_(w), h_(h) {
+    SplitMix64 rng(seed ^ 0xA211);
+    const int count = std::max(8, w * h / 90000);
+    shapes_.resize(size_t(count));
+    for (Shape& s : shapes_) {
+      s.x0 = rng.next_double() * w;
+      s.y0 = rng.next_double() * h;
+      s.vx = (rng.next_double() - 0.5) * 9.0;
+      s.vy = (rng.next_double() - 0.5) * 5.0;
+      s.w = 24.0 + rng.next_double() * (w / 14.0);
+      s.h = 20.0 + rng.next_double() * (h / 14.0);
+      s.luma = uint8_t(40 + rng.next_below(200));
+      s.cb = uint8_t(64 + rng.next_below(128));
+      s.cr = uint8_t(64 + rng.next_below(128));
+    }
+  }
+
+  void render(int frame_index, Frame* out) const override {
+    // Flat background with a vertical ramp — cartoon-style, hard edges,
+    // plus light film grain (cartoons are telecined from film too).
+    for (int y = 0; y < h_; ++y) {
+      uint8_t* row = out->y.row(y);
+      const int v = 200 - (y * 60) / std::max(1, h_);
+      for (int x = 0; x < w_; ++x)
+        row[x] = to_pixel(float(
+            v + grain(uint32_t(x), uint32_t(y), uint32_t(frame_index), 3)));
+    }
+    out->cb.fill(118);
+    out->cr.fill(134);
+
+    const double t = frame_index;
+    for (const Shape& s : shapes_) {
+      const double cx = bounce(s.x0 + s.vx * t, w_);
+      const double cy = bounce(s.y0 + s.vy * t, h_);
+      const int x0 = std::max(0, int(cx - s.w / 2));
+      const int x1 = std::min(w_ - 1, int(cx + s.w / 2));
+      const int y0 = std::max(0, int(cy - s.h / 2));
+      const int y1 = std::min(h_ - 1, int(cy + s.h / 2));
+      for (int y = y0; y <= y1; ++y) {
+        uint8_t* row = out->y.row(y);
+        for (int x = x0; x <= x1; ++x) row[x] = s.luma;
+      }
+      for (int y = y0 / 2; y <= y1 / 2 && y < out->cb.height(); ++y) {
+        uint8_t* cbr = out->cb.row(y);
+        uint8_t* crr = out->cr.row(y);
+        for (int x = x0 / 2; x <= x1 / 2 && x < out->cb.width(); ++x) {
+          cbr[x] = s.cb;
+          crr[x] = s.cr;
+        }
+      }
+    }
+  }
+
+ private:
+  struct Shape {
+    double x0, y0, vx, vy, w, h;
+    uint8_t luma, cb, cr;
+  };
+
+  // Reflective "bounce" trajectory within [0, limit).
+  static double bounce(double v, int limit) {
+    const double period = 2.0 * limit;
+    double m = std::fmod(v, period);
+    if (m < 0) m += period;
+    return m < limit ? m : period - m - 1e-9;
+  }
+
+  int w_, h_;
+  std::vector<Shape> shapes_;
+};
+
+// --- Localized detail (nebula flyby) ------------------------------------------
+
+class LocalizedDetailScene final : public SceneGenerator {
+ public:
+  LocalizedDetailScene(int w, int h, uint64_t seed)
+      : w_(w),
+        h_(h),
+        detail_(512, 6, seed),
+        smooth_(256, 3, seed ^ 0xBEEF),
+        chroma_(256, 3, seed ^ 0xD00D) {}
+
+  void render(int frame_index, Frame* out) const override {
+    // The "nebula" occupies roughly the left 40% x top 60% of the frame and
+    // slowly zooms; the rest is a near-black smooth background. Bit-rate
+    // therefore concentrates on a subset of tiles — the imbalance the paper
+    // observes on the Orion streams.
+    const float t = float(frame_index);
+    const float zoom = 1.0f + 0.004f * t;
+    const float ox = 3.1f * t;
+    const float oy = 1.2f * t;
+    const float rx = 0.40f * w_;
+    const float ry = 0.60f * h_;
+    for (int y = 0; y < h_; ++y) {
+      uint8_t* row = out->y.row(y);
+      for (int x = 0; x < w_; ++x) {
+        const float base =
+            12.f + 10.f * smooth_.sample(x * 0.02f, y * 0.02f + 0.1f * t);
+        // Elliptical falloff of the detailed region.
+        const float dx = (x - rx * 0.8f) / rx;
+        const float dy = (y - ry * 0.6f) / ry;
+        const float mask = std::max(0.f, 1.0f - (dx * dx + dy * dy));
+        float v = base;
+        int g = grain(uint32_t(x), uint32_t(y), uint32_t(frame_index), 2);
+        // Sparse star field outside the nebula keeps the dark tiles from
+        // being empty (real renderings are dithered everywhere).
+        {
+          uint32_t h = uint32_t(x) * 0x45D9F3Bu ^ uint32_t(y) * 0x119DE1F3u;
+          h ^= h >> 16;
+          if ((h & 0x3FF) == 7) v += 60.f + float(h >> 24) * 0.3f;
+        }
+        if (mask > 0.f) {
+          const float d = detail_.sample((x * zoom + ox) * 0.9f,
+                                         (y * zoom + oy) * 0.9f);
+          v += mask * (95.f + 110.f * d);
+          g = grain(uint32_t(x), uint32_t(y), uint32_t(frame_index), 6);
+        }
+        row[x] = to_pixel(v + float(g));
+      }
+    }
+    fill_chroma(&out->cb, chroma_, ox * 0.3f, oy * 0.3f, 0.2f, 30.f);
+    fill_chroma(&out->cr, chroma_, oy * 0.3f + 31.f, ox * 0.3f, 0.2f, 30.f);
+  }
+
+ private:
+  int w_, h_;
+  NoiseTexture detail_, smooth_, chroma_;
+};
+
+}  // namespace
+
+std::unique_ptr<SceneGenerator> make_scene(SceneKind kind, int width,
+                                           int height, uint64_t seed) {
+  PDW_CHECK_EQ(width % 16, 0);
+  PDW_CHECK_EQ(height % 16, 0);
+  switch (kind) {
+    case SceneKind::kPanningTexture:
+      return std::make_unique<PanningTextureScene>(width, height, seed);
+    case SceneKind::kMovingObjects:
+      return std::make_unique<MovingObjectsScene>(width, height, seed);
+    case SceneKind::kAnimation:
+      return std::make_unique<AnimationScene>(width, height, seed);
+    case SceneKind::kLocalizedDetail:
+      return std::make_unique<LocalizedDetailScene>(width, height, seed);
+  }
+  PDW_CHECK(false);
+  __builtin_unreachable();
+}
+
+}  // namespace pdw::video

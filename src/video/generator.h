@@ -1,0 +1,42 @@
+// Procedural video generators.
+//
+// The paper's test material (movie clips, HDTV camera captures, Orion Nebula
+// visualization flybys) is unavailable, so each stream class is replaced by a
+// deterministic synthetic scene with the same *coding-relevant* properties:
+// smooth global motion (camera pans), independently moving objects (fish
+// tank / film), hard-edged flat regions (animation), and spatially localized
+// high-frequency detail (nebula flybys, which drive the per-tile load
+// imbalance discussed in the paper's §5.5).
+#pragma once
+
+#include <memory>
+
+#include "common/stats.h"
+#include "mpeg2/frame.h"
+
+namespace pdw::video {
+
+enum class SceneKind {
+  kPanningTexture,   // smooth noise texture under global pan/zoom
+  kMovingObjects,    // background + independently moving blobs ("fish tank")
+  kAnimation,        // flat-shaded shapes with hard edges
+  kLocalizedDetail,  // high-frequency detail concentrated in one region
+};
+
+const char* scene_kind_name(SceneKind kind);
+
+class SceneGenerator {
+ public:
+  virtual ~SceneGenerator() = default;
+
+  // Render the frame at `frame_index` (deterministic: same index => same
+  // pixels, so streams regenerate identically across runs and machines).
+  virtual void render(int frame_index, mpeg2::Frame* out) const = 0;
+};
+
+// Factory. `width`/`height` must be macroblock aligned; `seed` controls all
+// randomness in the scene layout.
+std::unique_ptr<SceneGenerator> make_scene(SceneKind kind, int width,
+                                           int height, uint64_t seed);
+
+}  // namespace pdw::video

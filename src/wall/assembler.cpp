@@ -1,0 +1,77 @@
+#include "wall/assembler.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace pdw::wall {
+
+using mpeg2::Frame;
+using mpeg2::TileFrame;
+
+WallAssembler::WallAssembler(const TileGeometry& geo)
+    : geo_(geo), frame_(geo.mb_width() * 16, geo.mb_height() * 16) {
+  covered_.assign(size_t(geo.width()) * geo.height(), 0);
+}
+
+void WallAssembler::reset() {
+  std::fill(covered_.begin(), covered_.end(), uint8_t(0));
+}
+
+void WallAssembler::add_tile(int t, const TileFrame& tile) {
+  const PixelRect& r = geo_.tile_pixels(t);
+  PDW_CHECK_GE(r.x0, tile.px0());
+  PDW_CHECK_GE(r.y0, tile.py0());
+  PDW_CHECK_LE(std::min(r.x1, geo_.width()), tile.px1());
+
+  // Luma: copy the display rect; where another tile already wrote (overlap
+  // bands), the data must agree — the physical wall blends the two
+  // projectors, which only looks right because both show identical pixels.
+  for (int y = r.y0; y < std::min(r.y1, geo_.height()); ++y) {
+    uint8_t* dst = frame_.y.row(y);
+    const uint8_t* src = tile.pixel(0, r.x0, y);
+    const int w = std::min(r.x1, geo_.width()) - r.x0;
+    for (int i = 0; i < w; ++i) {
+      uint8_t& cov = covered_[size_t(y) * geo_.width() + r.x0 + i];
+      if (cov) {
+        PDW_CHECK_EQ(int(dst[r.x0 + i]), int(src[i]))
+            << "overlap mismatch at (" << r.x0 + i << "," << y << ")";
+      }
+      dst[r.x0 + i] = src[i];
+      cov = 1;
+    }
+  }
+
+  // Chroma: half-resolution copy of the covering rect.
+  const int cx0 = r.x0 >> 1;
+  const int cy0 = r.y0 >> 1;
+  const int cx1 = std::min((r.x1 + 1) >> 1, geo_.width() >> 1);
+  const int cy1 = std::min((r.y1 + 1) >> 1, geo_.height() >> 1);
+  for (int y = cy0; y < cy1; ++y) {
+    std::memcpy(frame_.cb.row(y) + cx0, tile.pixel(1, cx0, y),
+                size_t(cx1 - cx0));
+    std::memcpy(frame_.cr.row(y) + cx0, tile.pixel(2, cx0, y),
+                size_t(cx1 - cx0));
+  }
+}
+
+void WallAssembler::check_coverage() const {
+  for (int y = 0; y < geo_.height(); ++y)
+    for (int x = 0; x < geo_.width(); ++x)
+      PDW_CHECK(covered_[size_t(y) * geo_.width() + x])
+          << "pixel (" << x << "," << y << ") not covered by any tile";
+}
+
+Frame crop_frame(const Frame& src, int width, int height) {
+  PDW_CHECK_EQ(width % 2, 0);
+  PDW_CHECK_EQ(height % 2, 0);
+  Frame out(width, height);
+  for (int y = 0; y < height; ++y)
+    std::memcpy(out.y.row(y), src.y.row(y), size_t(width));
+  for (int y = 0; y < height / 2; ++y) {
+    std::memcpy(out.cb.row(y), src.cb.row(y), size_t(width / 2));
+    std::memcpy(out.cr.row(y), src.cr.row(y), size_t(width / 2));
+  }
+  return out;
+}
+
+}  // namespace pdw::wall

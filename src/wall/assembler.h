@@ -1,0 +1,43 @@
+// Wall frame assembly: compose the tiles decoded by the cluster back into a
+// single picture for verification, snapshots, and the examples.
+//
+// On the physical wall no such composition exists — each PC drives its own
+// projector and the overlap bands are blended optically. Here composition is
+// the observable that lets tests assert the parallel decode is bit-exact.
+#pragma once
+
+#include "mpeg2/frame.h"
+#include "wall/geometry.h"
+
+namespace pdw::wall {
+
+class WallAssembler {
+ public:
+  explicit WallAssembler(const TileGeometry& geo);
+
+  // Insert tile t's decoded frame (macroblock-aligned TileFrame in global
+  // coordinates). Only the tile's display pixel rect is copied; overlap
+  // regions are written by every owning tile with identical data, which
+  // assert_consistent() verifies.
+  void add_tile(int t, const mpeg2::TileFrame& tile);
+
+  // The composed picture (crop of the macroblock-aligned decode to the
+  // display size happens here).
+  const mpeg2::Frame& frame() const { return frame_; }
+
+  // CHECK that every display pixel was covered by at least one tile.
+  void check_coverage() const;
+
+  void reset();
+
+ private:
+  const TileGeometry& geo_;
+  mpeg2::Frame frame_;
+  std::vector<uint8_t> covered_;  // per luma pixel
+};
+
+// Crop a macroblock-aligned full frame to the display size (for comparing
+// the serial decoder's output against the assembled wall).
+mpeg2::Frame crop_frame(const mpeg2::Frame& src, int width, int height);
+
+}  // namespace pdw::wall

@@ -1,0 +1,82 @@
+#include "wall/geometry.h"
+
+#include <algorithm>
+
+namespace pdw::wall {
+
+TileGeometry::TileGeometry(int width, int height, int m, int n, int overlap)
+    : width_(width),
+      height_(height),
+      m_(m),
+      n_(n),
+      overlap_(overlap),
+      mb_width_((width + 15) / 16),
+      mb_height_((height + 15) / 16) {
+  PDW_CHECK_GT(m, 0);
+  PDW_CHECK_GT(n, 0);
+  PDW_CHECK_GE(overlap, 0);
+  PDW_CHECK_GT(width, 0);
+  PDW_CHECK_GT(height, 0);
+  // Each tile must still be wider than the overlap bands it absorbs.
+  PDW_CHECK_GT(width / m, overlap) << "overlap too large for tile width";
+  PDW_CHECK_GT(height / n, overlap) << "overlap too large for tile height";
+
+  // Home grid: uniform partition (last tile absorbs the remainder).
+  auto home_edge = [](int size, int count, int i) {
+    return i >= count ? size : (size * i) / count;
+  };
+
+  pixels_.resize(size_t(m) * n);
+  mbs_.resize(size_t(m) * n);
+  for (int ty = 0; ty < n; ++ty) {
+    for (int tx = 0; tx < m; ++tx) {
+      PixelRect r;
+      r.x0 = home_edge(width, m, tx);
+      r.x1 = home_edge(width, m, tx + 1);
+      r.y0 = home_edge(height, n, ty);
+      r.y1 = home_edge(height, n, ty + 1);
+      // Widen interior edges by half the projector overlap each way.
+      if (tx > 0) r.x0 -= overlap / 2;
+      if (tx < m - 1) r.x1 += overlap - overlap / 2;
+      if (ty > 0) r.y0 -= overlap / 2;
+      if (ty < n - 1) r.y1 += overlap - overlap / 2;
+
+      const int t = tile_index(tx, ty);
+      pixels_[size_t(t)] = r;
+      MbRect mr;
+      mr.x0 = r.x0 / 16;
+      mr.y0 = r.y0 / 16;
+      mr.x1 = std::min(mb_width_, (r.x1 + 15) / 16);
+      mr.y1 = std::min(mb_height_, (r.y1 + 15) / 16);
+      mbs_[size_t(t)] = mr;
+    }
+  }
+
+  // Home lookup tables for owner_of_mb: a macroblock's owner is the tile of
+  // the home cell containing its top-left pixel.
+  col_home_.resize(size_t(width_));
+  row_home_.resize(size_t(height_));
+  for (int tx = 0; tx < m; ++tx)
+    for (int x = home_edge(width, m, tx); x < home_edge(width, m, tx + 1); ++x)
+      col_home_[size_t(x)] = tx;
+  for (int ty = 0; ty < n; ++ty)
+    for (int y = home_edge(height, n, ty); y < home_edge(height, n, ty + 1); ++y)
+      row_home_[size_t(y)] = ty;
+}
+
+void TileGeometry::tiles_of_mb(int mbx, int mby, std::vector<int>* out) const {
+  out->clear();
+  for (int t = 0; t < tiles(); ++t)
+    if (mbs_[size_t(t)].contains(mbx, mby)) out->push_back(t);
+}
+
+int TileGeometry::owner_of_mb(int mbx, int mby) const {
+  const int px = std::min(mbx * 16, width_ - 1);
+  const int py = std::min(mby * 16, height_ - 1);
+  const int t = tile_index(col_home_[size_t(px)], row_home_[size_t(py)]);
+  // The owner must itself decode the macroblock, or it could not serve it.
+  PDW_CHECK(mbs_[size_t(t)].contains(mbx, mby));
+  return t;
+}
+
+}  // namespace pdw::wall

@@ -1,0 +1,247 @@
+// Encoder extension tests: open GOPs, scene-cut detection, reference
+// schedules, rate-control behaviour over long runs.
+#include <gtest/gtest.h>
+
+#include "bitstream/start_code.h"
+#include "enc/encoder.h"
+#include "mpeg2/decoder.h"
+#include "mpeg2/headers.h"
+#include "video/generator.h"
+
+namespace pdw::enc {
+namespace {
+
+using mpeg2::Frame;
+
+struct StreamShape {
+  std::vector<mpeg2::PicType> coded_types;
+  std::vector<int> temporal_refs;
+  std::vector<bool> closed_flags;  // one per GOP header
+  int gops = 0;
+};
+
+StreamShape analyze(const std::vector<uint8_t>& es) {
+  StreamShape shape;
+  mpeg2::SequenceHeader seq;
+  bool have_seq = false;
+  for (const PictureSpan& ps : scan_pictures(es)) {
+    const auto span =
+        std::span<const uint8_t>(es).subspan(ps.begin, ps.end - ps.begin);
+    // GOP closed flag needs a direct parse.
+    if (ps.has_gop_header) {
+      ++shape.gops;
+      size_t pos = 0;
+      while (true) {
+        const StartCodeHit hit = find_start_code(span, pos);
+        if (hit.code == start_code::kGroup) {
+          BitReader r(span.subspan(hit.offset + 4));
+          const auto gop = mpeg2::parse_gop_header(r);
+          shape.closed_flags.push_back(gop.closed_gop);
+          break;
+        }
+        pos = hit.offset + 4;
+      }
+    }
+    mpeg2::ParsedPictureHeaders headers;
+    mpeg2::parse_picture_headers(span, &seq, &have_seq, &headers);
+    shape.coded_types.push_back(headers.ph.type);
+    shape.temporal_refs.push_back(headers.ph.temporal_reference);
+  }
+  return shape;
+}
+
+std::vector<uint8_t> encode_scene(const EncoderConfig& cfg, int frames,
+                                  const video::SceneGenerator& gen,
+                                  EncodeStats* stats = nullptr) {
+  Mpeg2Encoder encoder(cfg);
+  return encoder.encode(
+      frames, [&](int i, Frame* f) { gen.render(i, f); }, stats);
+}
+
+int count_decoded_in_order(const std::vector<uint8_t>& es,
+                           const video::SceneGenerator& gen,
+                           const EncoderConfig& cfg, double* min_psnr) {
+  mpeg2::Mpeg2Decoder dec;
+  Frame expected(cfg.width, cfg.height);
+  int n = 0;
+  *min_psnr = 1e9;
+  dec.decode(es, [&](const Frame& f, const mpeg2::DecodedPictureInfo& info) {
+    EXPECT_EQ(info.display_index, n);
+    gen.render(info.display_index, &expected);
+    *min_psnr = std::min(*min_psnr, mpeg2::psnr(f.y, expected.y));
+    ++n;
+  });
+  return n;
+}
+
+EncoderConfig small_config() {
+  EncoderConfig cfg;
+  cfg.width = 192;
+  cfg.height = 160;
+  cfg.gop_size = 6;
+  cfg.b_frames = 2;
+  cfg.target_bpp = 0.5;
+  return cfg;
+}
+
+TEST(OpenGop, LeadingBPicturesCrossGopBoundary) {
+  EncoderConfig cfg = small_config();
+  cfg.closed_gops = false;
+  const auto gen =
+      video::make_scene(video::SceneKind::kMovingObjects, 192, 160, 3);
+  const auto es = encode_scene(cfg, 14, *gen);
+  const auto shape = analyze(es);
+
+  // Open GOPs: I pictures appear mid-cadence and the GOP after the first is
+  // marked open (closed_gop = 0) with B pictures coded right after the I.
+  ASSERT_GE(shape.gops, 2);
+  EXPECT_TRUE(shape.closed_flags[0]);
+  EXPECT_FALSE(shape.closed_flags[1]);
+  bool b_follows_second_i = false;
+  int i_seen = 0;
+  for (size_t i = 0; i + 1 < shape.coded_types.size(); ++i) {
+    if (shape.coded_types[i] == mpeg2::PicType::I && ++i_seen == 2)
+      b_follows_second_i = shape.coded_types[i + 1] == mpeg2::PicType::B;
+  }
+  EXPECT_TRUE(b_follows_second_i)
+      << "open GOP must code leading B pictures after the I";
+}
+
+TEST(OpenGop, DecodesInDisplayOrderWithGoodQuality) {
+  EncoderConfig cfg = small_config();
+  cfg.closed_gops = false;
+  const auto gen =
+      video::make_scene(video::SceneKind::kPanningTexture, 192, 160, 4);
+  const auto es = encode_scene(cfg, 16, *gen);
+  double min_psnr = 0;
+  EXPECT_EQ(count_decoded_in_order(es, *gen, cfg, &min_psnr), 16);
+  EXPECT_GT(min_psnr, 24.0);
+}
+
+TEST(OpenGop, UsesFewerIPicturesThanClosedAtSameGopSize) {
+  // With gop_size not a multiple of the cadence, closed GOPs truncate the
+  // last interval; open GOPs keep every interval at full length, so the
+  // stream carries at least as many B pictures.
+  EncoderConfig closed = small_config();
+  closed.gop_size = 7;
+  EncoderConfig open = closed;
+  open.closed_gops = false;
+  const auto gen =
+      video::make_scene(video::SceneKind::kMovingObjects, 192, 160, 5);
+  const auto sc = analyze(encode_scene(closed, 21, *gen));
+  const auto so = analyze(encode_scene(open, 21, *gen));
+  auto count = [](const StreamShape& s, mpeg2::PicType t) {
+    int n = 0;
+    for (auto x : s.coded_types) n += x == t;
+    return n;
+  };
+  EXPECT_GE(count(so, mpeg2::PicType::B), count(sc, mpeg2::PicType::B));
+  EXPECT_EQ(count(sc, mpeg2::PicType::I), sc.gops);
+  EXPECT_EQ(count(so, mpeg2::PicType::I), so.gops);
+}
+
+// A scene wrapper that switches content abruptly at a given frame.
+class CutScene final : public video::SceneGenerator {
+ public:
+  CutScene(int w, int h, int cut_frame)
+      : cut_(cut_frame),
+        before_(video::make_scene(video::SceneKind::kMovingObjects, w, h, 1)),
+        after_(video::make_scene(video::SceneKind::kAnimation, w, h, 2)) {}
+  void render(int frame_index, Frame* out) const override {
+    if (frame_index < cut_)
+      before_->render(frame_index, out);
+    else
+      after_->render(frame_index, out);
+  }
+
+ private:
+  int cut_;
+  std::unique_ptr<video::SceneGenerator> before_, after_;
+};
+
+TEST(SceneCut, PromotesPToIAtTheCut) {
+  EncoderConfig cfg = small_config();
+  cfg.gop_size = 12;
+  cfg.scene_cut_threshold = 20.0;
+  const CutScene scene(192, 160, 7);
+  EncodeStats stats;
+  const auto es = encode_scene(cfg, 12, scene, &stats);
+  EXPECT_GE(stats.scene_cuts, 1);
+  // The shape shows a mid-GOP I (more I pictures than GOP headers).
+  const auto shape = analyze(es);
+  int i_count = 0;
+  for (auto t : shape.coded_types) i_count += t == mpeg2::PicType::I;
+  EXPECT_GT(i_count, shape.gops);
+  // And the stream still decodes cleanly in order.
+  double min_psnr = 0;
+  mpeg2::Mpeg2Decoder dec;
+  int n = 0;
+  Frame expected(cfg.width, cfg.height);
+  dec.decode(es, [&](const Frame& f, const mpeg2::DecodedPictureInfo& info) {
+    scene.render(info.display_index, &expected);
+    min_psnr = std::min(min_psnr == 0 ? 1e9 : min_psnr,
+                        mpeg2::psnr(f.y, expected.y));
+    ++n;
+  });
+  EXPECT_EQ(n, 12);
+  EXPECT_GT(min_psnr, 20.0);
+}
+
+TEST(SceneCut, DisabledByDefault) {
+  EncoderConfig cfg = small_config();
+  cfg.gop_size = 12;
+  const CutScene scene(192, 160, 7);
+  EncodeStats stats;
+  encode_scene(cfg, 12, scene, &stats);
+  EXPECT_EQ(stats.scene_cuts, 0);
+  EXPECT_EQ(stats.i_pictures, 1);
+}
+
+TEST(SceneCut, QuietContentTriggersNothing) {
+  EncoderConfig cfg = small_config();
+  cfg.scene_cut_threshold = 20.0;
+  const auto gen =
+      video::make_scene(video::SceneKind::kPanningTexture, 192, 160, 8);
+  EncodeStats stats;
+  encode_scene(cfg, 12, *gen, &stats);
+  EXPECT_EQ(stats.scene_cuts, 0);
+}
+
+TEST(Schedules, TemporalReferencesCoverEveryDisplaySlot) {
+  // For both GOP modes, the set {gop_base + temporal_reference} must be a
+  // permutation of 0..N-1 (every frame displayed exactly once).
+  for (bool closed : {true, false}) {
+    EncoderConfig cfg = small_config();
+    cfg.closed_gops = closed;
+    const auto gen =
+        video::make_scene(video::SceneKind::kMovingObjects, 192, 160, 9);
+    const auto es = encode_scene(cfg, 17, *gen);
+    double min_psnr = 0;
+    EXPECT_EQ(count_decoded_in_order(es, *gen, cfg, &min_psnr), 17)
+        << (closed ? "closed" : "open");
+  }
+}
+
+TEST(RateControl, LongRunStaysNearTarget) {
+  EncoderConfig cfg = small_config();
+  cfg.width = 320;
+  cfg.height = 240;
+  cfg.target_bpp = 0.3;
+  cfg.gop_size = 12;
+  const auto gen =
+      video::make_scene(video::SceneKind::kMovingObjects, 320, 240, 10);
+  EncodeStats stats;
+  encode_scene(cfg, 48, *gen, &stats);
+  // Steady-state (second half) within 25% of target.
+  size_t tail = 0;
+  for (size_t i = stats.picture_bytes.size() / 2;
+       i < stats.picture_bytes.size(); ++i)
+    tail += stats.picture_bytes[i];
+  const double bpp =
+      double(tail) * 8.0 /
+      (double(stats.picture_bytes.size() / 2) * 320 * 240);
+  EXPECT_NEAR(bpp, 0.3, 0.075);
+}
+
+}  // namespace
+}  // namespace pdw::enc

@@ -1,0 +1,170 @@
+// Failure-injection tests: corrupt elementary streams must never corrupt
+// memory; kStrict surfaces a CheckError, kConceal drops the damaged slices
+// and keeps playing.
+#include <gtest/gtest.h>
+
+#include "bitstream/start_code.h"
+#include "common/stats.h"
+#include "enc/encoder.h"
+#include "mpeg2/decoder.h"
+#include "video/generator.h"
+
+namespace pdw::mpeg2 {
+namespace {
+
+std::vector<uint8_t> make_stream(int frames = 9) {
+  enc::EncoderConfig cfg;
+  cfg.width = 192;
+  cfg.height = 160;
+  cfg.gop_size = 6;
+  cfg.b_frames = 2;
+  cfg.target_bpp = 0.5;
+  const auto gen =
+      video::make_scene(video::SceneKind::kMovingObjects, 192, 160, 77);
+  enc::Mpeg2Encoder encoder(cfg);
+  return encoder.encode(frames,
+                        [&](int i, Frame* f) { gen->render(i, f); });
+}
+
+// Find the byte offset of the n-th slice start code.
+size_t nth_slice_offset(const std::vector<uint8_t>& es, int n) {
+  int seen = 0;
+  for (const StartCodeHit& hit : find_all_start_codes(es)) {
+    if (!start_code::is_slice(hit.code)) continue;
+    if (seen++ == n) return hit.offset;
+  }
+  ADD_FAILURE() << "stream has fewer than " << n + 1 << " slices";
+  return 0;
+}
+
+int count_decoded(const std::vector<uint8_t>& es, Mpeg2Decoder& dec) {
+  int n = 0;
+  dec.decode(es, [&](const Frame&, const DecodedPictureInfo&) { ++n; });
+  return n;
+}
+
+TEST(ErrorResilience, CleanStreamHasNoConcealment) {
+  const auto es = make_stream();
+  Mpeg2Decoder dec(ErrorPolicy::kConceal);
+  EXPECT_EQ(count_decoded(es, dec), 9);
+  EXPECT_EQ(dec.concealed_pictures(), 0);
+  EXPECT_EQ(dec.dropped_slices(), 0);
+}
+
+TEST(ErrorResilience, StrictModeThrowsOnSliceDamage) {
+  auto es = make_stream();
+  // Stomp the payload of slice 3 with an invalid pattern (0xFFFF... makes
+  // the macroblock-type VLC fail quickly in I, or DCT codes in P/B).
+  const size_t off = nth_slice_offset(es, 3);
+  for (size_t i = off + 6; i < off + 14 && i < es.size(); ++i) es[i] = 0xFF;
+  Mpeg2Decoder dec;  // strict
+  EXPECT_THROW(count_decoded(es, dec), CheckError);
+}
+
+TEST(ErrorResilience, ConcealDropsDamagedSliceAndContinues) {
+  auto es = make_stream();
+  const size_t off = nth_slice_offset(es, 3);
+  for (size_t i = off + 6; i < off + 14 && i < es.size(); ++i) es[i] = 0xFF;
+  Mpeg2Decoder dec(ErrorPolicy::kConceal);
+  EXPECT_EQ(count_decoded(es, dec), 9) << "all pictures still display";
+  EXPECT_GE(dec.dropped_slices(), 1);
+  EXPECT_GE(dec.concealed_pictures(), 1);
+}
+
+TEST(ErrorResilience, RandomBitFlipsNeverCrashConcealingDecoder) {
+  const auto clean = make_stream();
+  SplitMix64 rng(404);
+  for (int trial = 0; trial < 30; ++trial) {
+    auto es = clean;
+    // Flip a handful of random bits anywhere in the stream.
+    for (int i = 0; i < 5; ++i) {
+      const size_t pos = size_t(rng.next() % es.size());
+      es[pos] ^= uint8_t(1u << rng.next_below(8));
+    }
+    Mpeg2Decoder dec(ErrorPolicy::kConceal);
+    int n = 0;
+    // Corruption may hit the sequence header itself, in which case even a
+    // concealing decoder can legitimately produce nothing — but it must
+    // never crash or corrupt memory.
+    try {
+      n = count_decoded(es, dec);
+    } catch (const CheckError&) {
+      // Damage before the first sequence header is unrecoverable by design.
+    }
+    EXPECT_LE(n, 9);
+  }
+}
+
+TEST(ErrorResilience, TruncatedStreamConcealsTail) {
+  const auto clean = make_stream();
+  for (double frac : {0.85, 0.5, 0.2}) {
+    std::vector<uint8_t> es(clean.begin(),
+                            clean.begin() + ptrdiff_t(clean.size() * frac));
+    Mpeg2Decoder dec(ErrorPolicy::kConceal);
+    int n = 0;
+    try {
+      n = count_decoded(es, dec);
+    } catch (const CheckError&) {
+      FAIL() << "concealing decoder must survive truncation at " << frac;
+    }
+    EXPECT_LT(n, 10);
+  }
+}
+
+TEST(ErrorResilience, GarbageInputProducesNothingButNoCrash) {
+  SplitMix64 rng(7);
+  std::vector<uint8_t> garbage(5000);
+  for (auto& b : garbage) b = uint8_t(rng.next());
+  Mpeg2Decoder dec(ErrorPolicy::kConceal);
+  int n = 0;
+  try {
+    n = count_decoded(garbage, dec);
+  } catch (const CheckError&) {
+  }
+  EXPECT_EQ(n, 0);
+}
+
+TEST(ErrorResilience, ConcealedPictureStillBitExactElsewhere) {
+  // Damage one slice of one B picture; every *other* displayed frame must
+  // stay bit-exact with the clean decode (errors must not leak).
+  const auto clean = make_stream();
+  std::vector<Frame> reference;
+  {
+    Mpeg2Decoder dec;
+    dec.decode(clean, [&](const Frame& f, const DecodedPictureInfo&) {
+      reference.push_back(f);
+    });
+  }
+
+  // Find a B picture's slice: B pictures are safe to damage without
+  // polluting the reference chain. In *coded* order the GOP is
+  // I P B B P B B ..., so coded index 2 is the first B picture.
+  const auto spans = scan_pictures(clean);
+  auto es = clean;
+  const PictureSpan& target = spans[2];
+  // Corrupt a slice inside that picture.
+  size_t slice_off = 0;
+  for (const StartCodeHit& hit : find_all_start_codes(clean)) {
+    if (hit.offset < target.begin || hit.offset >= target.end) continue;
+    if (start_code::is_slice(hit.code) && hit.code >= 0x04) {
+      slice_off = hit.offset;
+      break;
+    }
+  }
+  ASSERT_GT(slice_off, 0u);
+  for (size_t i = slice_off + 6; i < slice_off + 12; ++i) es[i] = 0xFF;
+
+  Mpeg2Decoder dec(ErrorPolicy::kConceal);
+  int index = 0;
+  int mismatched_frames = 0;
+  dec.decode(es, [&](const Frame& f, const DecodedPictureInfo&) {
+    if (!(f == reference[size_t(index)])) ++mismatched_frames;
+    ++index;
+  });
+  EXPECT_EQ(index, int(reference.size()));
+  EXPECT_LE(mismatched_frames, 1) << "only the damaged B frame may differ";
+  EXPECT_GE(dec.dropped_slices(), 1);
+}
+
+}  // namespace
+}  // namespace pdw::mpeg2

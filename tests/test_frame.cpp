@@ -1,0 +1,100 @@
+// Frame / TileFrame buffer tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "mpeg2/frame.h"
+#include "mpeg2/recon.h"
+
+namespace pdw::mpeg2 {
+namespace {
+
+TEST(Plane, RowAccessAndFill) {
+  Plane p(32, 16, 7);
+  EXPECT_EQ(p.at(0, 0), 7);
+  p.set(31, 15, 200);
+  EXPECT_EQ(p.at(31, 15), 200);
+  p.fill(3);
+  EXPECT_EQ(p.at(31, 15), 3);
+}
+
+TEST(Frame, ChromaIsHalfResolution) {
+  Frame f(64, 48);
+  EXPECT_EQ(f.y.width(), 64);
+  EXPECT_EQ(f.cb.width(), 32);
+  EXPECT_EQ(f.cr.height(), 24);
+}
+
+TEST(Psnr, IdenticalPlanesReport99) {
+  Plane a(16, 16, 100), b(16, 16, 100);
+  EXPECT_DOUBLE_EQ(psnr(a, b), 99.0);
+}
+
+TEST(Psnr, KnownMse) {
+  Plane a(16, 16, 100), b(16, 16, 110);  // MSE = 100
+  EXPECT_NEAR(psnr(a, b), 10.0 * std::log10(255.0 * 255.0 / 100.0), 1e-9);
+}
+
+TEST(FrameMbIo, StoreLoadRoundtrip) {
+  Frame f(64, 64);
+  MacroblockPixels px;
+  for (int i = 0; i < 256; ++i) px.y[i] = uint8_t(i);
+  for (int i = 0; i < 64; ++i) {
+    px.cb[i] = uint8_t(i + 1);
+    px.cr[i] = uint8_t(i + 2);
+  }
+  store_mb(&f, 2, 1, px);
+  const MacroblockPixels back = load_mb(f, 2, 1);
+  EXPECT_EQ(std::memcmp(&back, &px, sizeof(px)), 0);
+  EXPECT_EQ(f.y.at(2 * 16, 1 * 16), 0);
+  EXPECT_EQ(f.y.at(2 * 16 + 15, 1 * 16), 15);
+}
+
+TEST(TileFrame, GlobalCoordinateAccess) {
+  // Tile covering macroblocks [2,4) x [1,3) of some larger picture.
+  TileFrame t(2, 1, 4, 3);
+  EXPECT_EQ(t.px0(), 32);
+  EXPECT_EQ(t.py0(), 16);
+  EXPECT_EQ(t.y().width(), 32);
+  EXPECT_EQ(t.cb().width(), 16);
+  *t.pixel(0, 33, 17) = 42;
+  EXPECT_EQ(*t.pixel(0, 33, 17), 42);
+  EXPECT_EQ(t.y().at(1, 1), 42);
+  *t.pixel(1, 16, 8) = 9;  // chroma coordinates
+  EXPECT_EQ(t.cb().at(0, 0), 9);
+}
+
+TEST(TileFrame, ContainsChecks) {
+  TileFrame t(2, 1, 4, 3);
+  EXPECT_TRUE(t.contains_mb(2, 1));
+  EXPECT_TRUE(t.contains_mb(3, 2));
+  EXPECT_FALSE(t.contains_mb(4, 2));
+  EXPECT_FALSE(t.contains_mb(2, 0));
+  EXPECT_TRUE(t.contains_rect(0, 32, 16, 32, 32));
+  EXPECT_FALSE(t.contains_rect(0, 31, 16, 32, 32));
+  EXPECT_TRUE(t.contains_rect(1, 16, 8, 16, 16));   // full chroma extent
+  EXPECT_FALSE(t.contains_rect(1, 16, 8, 17, 16));
+}
+
+TEST(TileFrame, MacroblockExtractInsertRoundtrip) {
+  TileFrame a(2, 1, 4, 3), b(2, 1, 4, 3);
+  // Paint distinct values.
+  for (int y = 0; y < a.y().height(); ++y)
+    for (int x = 0; x < a.y().width(); ++x)
+      a.y().set(x, y, uint8_t((x * 7 + y * 13) & 0xFF));
+  for (int y = 0; y < a.cb().height(); ++y)
+    for (int x = 0; x < a.cb().width(); ++x) {
+      a.cb().set(x, y, uint8_t(x + y));
+      a.cr().set(x, y, uint8_t(x * y));
+    }
+  for (int mby = 1; mby < 3; ++mby)
+    for (int mbx = 2; mbx < 4; ++mbx)
+      b.insert_mb(mbx, mby, a.extract_mb(mbx, mby));
+  EXPECT_EQ(a.y(), b.y());
+  EXPECT_EQ(a.cb(), b.cb());
+  EXPECT_EQ(a.cr(), b.cr());
+}
+
+}  // namespace
+}  // namespace pdw::mpeg2

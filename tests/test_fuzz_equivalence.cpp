@@ -1,0 +1,131 @@
+// Randomized end-to-end property sweep: for randomly drawn encoder
+// configurations, scene kinds, wall geometries and splitter counts, the
+// hierarchical parallel decode must remain bit-exact with the serial decode.
+// This is the adversarial counterpart to the hand-picked configurations in
+// test_parallel_equivalence.cpp.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/stats.h"
+#include "common/text_table.h"
+#include "core/lockstep.h"
+#include "enc/encoder.h"
+#include "mpeg2/decoder.h"
+#include "video/generator.h"
+#include "wall/assembler.h"
+
+namespace pdw {
+namespace {
+
+using mpeg2::Frame;
+
+struct DrawnCase {
+  enc::EncoderConfig cfg;
+  video::SceneKind scene;
+  uint64_t scene_seed;
+  int frames;
+  int m, n, k, overlap;
+
+  std::string describe() const {
+    return format(
+        "%dx%d %s gop=%d b=%d bpp=%.2f me=%d q%d alt%d skip%d aq%d "
+        "closed%d -> 1-%d-(%d,%d) ov=%d frames=%d",
+        cfg.width, cfg.height, video::scene_kind_name(scene), cfg.gop_size,
+        cfg.b_frames, cfg.target_bpp, cfg.me_range, int(cfg.q_scale_type),
+        int(cfg.alternate_scan), int(cfg.allow_skip), int(cfg.adaptive_quant),
+        int(cfg.closed_gops), k, m, n, overlap, frames);
+  }
+};
+
+DrawnCase draw_case(uint64_t seed) {
+  SplitMix64 rng(seed * 0x9E3779B97F4A7C15ull + 1);
+  DrawnCase c;
+  // Dimensions: 4..20 macroblocks each axis.
+  c.cfg.width = 16 * int(4 + rng.next_below(17));
+  c.cfg.height = 16 * int(4 + rng.next_below(13));
+  c.cfg.gop_size = 1 + int(rng.next_below(10));
+  c.cfg.b_frames = int(rng.next_below(4));
+  c.cfg.target_bpp = 0.1 + rng.next_double() * 0.7;
+  c.cfg.me_range = 3 + int(rng.next_below(28));
+  c.cfg.q_scale_type = rng.next_below(2);
+  c.cfg.alternate_scan = rng.next_below(2);
+  c.cfg.allow_skip = rng.next_below(4) != 0;
+  c.cfg.adaptive_quant = rng.next_below(2);
+  c.cfg.closed_gops = rng.next_below(2);
+  c.cfg.intra_dc_precision = int(rng.next_below(3));
+  c.scene = video::SceneKind(rng.next_below(4));
+  c.scene_seed = rng.next();
+  c.frames = 4 + int(rng.next_below(8));
+  // Geometry: keep tiles at least 2 macroblocks wide/tall.
+  c.m = 1 + int(rng.next_below(4));
+  while (c.cfg.width / c.m < 48) c.m = std::max(1, c.m - 1);
+  c.n = 1 + int(rng.next_below(4));
+  while (c.cfg.height / c.n < 48) c.n = std::max(1, c.n - 1);
+  const int max_overlap =
+      std::max(0, std::min(c.cfg.width / c.m, c.cfg.height / c.n) - 17);
+  c.overlap = int(rng.next_below(uint32_t(std::min(40, max_overlap) + 1)));
+  c.k = 1 + int(rng.next_below(4));
+  return c;
+}
+
+class FuzzEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzEquivalence, ParallelMatchesSerial) {
+  const DrawnCase c = draw_case(uint64_t(GetParam()));
+  SCOPED_TRACE(c.describe());
+
+  const auto gen = video::make_scene(c.scene, c.cfg.width, c.cfg.height,
+                                     c.scene_seed);
+  enc::Mpeg2Encoder encoder(c.cfg);
+  const auto es = encoder.encode(
+      c.frames, [&](int i, Frame* f) { gen->render(i, f); });
+
+  // Serial reference.
+  std::vector<Frame> serial;
+  {
+    mpeg2::Mpeg2Decoder dec;
+    dec.decode(es, [&](const Frame& f, const mpeg2::DecodedPictureInfo&) {
+      serial.push_back(f);
+    });
+  }
+
+  // Parallel (lockstep), assembled per display index.
+  wall::TileGeometry geo(c.cfg.width, c.cfg.height, c.m, c.n, c.overlap);
+  core::LockstepPipeline pipeline(geo, c.k, es);
+  struct Pending {
+    std::unique_ptr<wall::WallAssembler> assembler;
+    int tiles = 0;
+  };
+  std::map<int, Pending> pending;
+  int verified = 0;
+  pipeline.run(
+      [&](int tile, const mpeg2::TileFrame& tf,
+          const core::TileDisplayInfo& info) {
+        Pending& p = pending[info.display_index];
+        if (!p.assembler)
+          p.assembler = std::make_unique<wall::WallAssembler>(geo);
+        p.assembler->add_tile(tile, tf);
+        if (++p.tiles == geo.tiles()) {
+          p.assembler->check_coverage();
+          ASSERT_LT(size_t(info.display_index), serial.size());
+          const Frame a = wall::crop_frame(serial[size_t(info.display_index)],
+                                           c.cfg.width, c.cfg.height);
+          const Frame b = wall::crop_frame(p.assembler->frame(), c.cfg.width,
+                                           c.cfg.height);
+          ASSERT_EQ(a.y, b.y) << "frame " << info.display_index;
+          ASSERT_EQ(a.cb, b.cb);
+          ASSERT_EQ(a.cr, b.cr);
+          ++verified;
+          pending.erase(info.display_index);
+        }
+      },
+      nullptr);
+  EXPECT_EQ(verified, c.frames);
+  EXPECT_TRUE(pending.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FuzzEquivalence, ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace pdw

@@ -1,0 +1,114 @@
+// Tile geometry tests: partitioning, overlap handling, macroblock ownership.
+#include <gtest/gtest.h>
+
+#include "wall/geometry.h"
+
+namespace pdw::wall {
+namespace {
+
+TEST(TileGeometry, SingleTileCoversEverything) {
+  TileGeometry g(720, 480, 1, 1);
+  EXPECT_EQ(g.tiles(), 1);
+  EXPECT_EQ(g.tile_pixels(0).width(), 720);
+  EXPECT_EQ(g.tile_mbs(0).count(), 45 * 30);
+  EXPECT_EQ(g.owner_of_mb(0, 0), 0);
+  EXPECT_EQ(g.owner_of_mb(44, 29), 0);
+}
+
+TEST(TileGeometry, UniformPartitionWithoutOverlap) {
+  TileGeometry g(1280, 720, 2, 1, 0);
+  EXPECT_EQ(g.tiles(), 2);
+  EXPECT_EQ(g.tile_pixels(0).x1, 640);
+  EXPECT_EQ(g.tile_pixels(1).x0, 640);
+  // Macroblock rects are disjoint when the boundary is MB aligned.
+  EXPECT_EQ(g.tile_mbs(0).x1, 40);
+  EXPECT_EQ(g.tile_mbs(1).x0, 40);
+}
+
+TEST(TileGeometry, OverlapDuplicatesBoundaryMacroblocks) {
+  TileGeometry g(1280, 720, 2, 1, 40);
+  // Interior edges widen by overlap/2 = 20px each way.
+  EXPECT_EQ(g.tile_pixels(0).x1, 660);
+  EXPECT_EQ(g.tile_pixels(1).x0, 620);
+  std::vector<int> tiles;
+  g.tiles_of_mb(39, 0, &tiles);  // pixel 624..639: in both tiles
+  EXPECT_EQ(tiles.size(), 2u);
+  g.tiles_of_mb(41, 0, &tiles);  // pixel 656..671: tile 1 only... but 656<660
+  // mb 41 covers 656..671, tile 0 pixels end at 660 -> still shared.
+  EXPECT_EQ(tiles.size(), 2u);
+  g.tiles_of_mb(0, 0, &tiles);
+  EXPECT_EQ(tiles.size(), 1u);
+  g.tiles_of_mb(79, 0, &tiles);
+  EXPECT_EQ(tiles.size(), 1u);
+}
+
+TEST(TileGeometry, OwnerIsUniqueAndOwnsTheMacroblock) {
+  for (int overlap : {0, 40}) {
+    TileGeometry g(1920, 1088, 4, 4, overlap);
+    for (int mby = 0; mby < g.mb_height(); ++mby) {
+      for (int mbx = 0; mbx < g.mb_width(); ++mbx) {
+        const int owner = g.owner_of_mb(mbx, mby);
+        EXPECT_TRUE(g.tile_has_mb(owner, mbx, mby));
+      }
+    }
+  }
+}
+
+TEST(TileGeometry, EveryMacroblockHasAtLeastOneTile) {
+  TileGeometry g(3840, 2912, 4, 4, 40);
+  std::vector<int> tiles;
+  int max_tiles = 0;
+  for (int mby = 0; mby < g.mb_height(); ++mby) {
+    for (int mbx = 0; mbx < g.mb_width(); ++mbx) {
+      g.tiles_of_mb(mbx, mby, &tiles);
+      ASSERT_GE(tiles.size(), 1u) << mbx << "," << mby;
+      max_tiles = std::max(max_tiles, int(tiles.size()));
+    }
+  }
+  // Corner overlap regions belong to up to 4 tiles.
+  EXPECT_LE(max_tiles, 4);
+  EXPECT_GE(max_tiles, 2);
+}
+
+TEST(TileGeometry, TilePixelsCoverTheWholePicture) {
+  TileGeometry g(1000, 700, 3, 2, 24);  // non-MB-aligned sizes allowed
+  std::vector<int> cover(size_t(1000) * 700, 0);
+  for (int t = 0; t < g.tiles(); ++t) {
+    const PixelRect& r = g.tile_pixels(t);
+    for (int y = r.y0; y < r.y1; ++y)
+      for (int x = r.x0; x < r.x1; ++x) ++cover[size_t(y) * 1000 + x];
+  }
+  for (size_t i = 0; i < cover.size(); ++i) ASSERT_GE(cover[i], 1) << i;
+}
+
+TEST(TileGeometry, MbRectCoversPixelRect) {
+  TileGeometry g(1280, 720, 3, 3, 40);
+  for (int t = 0; t < g.tiles(); ++t) {
+    const PixelRect& p = g.tile_pixels(t);
+    const MbRect& m = g.tile_mbs(t);
+    EXPECT_LE(m.x0 * 16, p.x0);
+    EXPECT_LE(m.y0 * 16, p.y0);
+    EXPECT_GE(m.x1 * 16, std::min(p.x1, 1280));
+    EXPECT_GE(m.y1 * 16, std::min(p.y1, 720));
+  }
+}
+
+TEST(TileGeometry, RejectsExcessiveOverlap) {
+  EXPECT_THROW(TileGeometry(320, 240, 4, 1, 100), CheckError);
+}
+
+TEST(TileGeometry, PaperConfigurations) {
+  // All screen configurations used in the paper's experiments.
+  const int configs[][2] = {{1, 1}, {2, 1}, {2, 2}, {3, 2},
+                            {3, 3}, {4, 3}, {4, 4}};
+  for (auto [m, n] : configs) {
+    TileGeometry g(3840, 2912, m, n, 40);
+    EXPECT_EQ(g.tiles(), m * n);
+    std::vector<int> tiles;
+    for (int t = 0; t < g.tiles(); ++t)
+      EXPECT_GT(g.tile_mbs(t).count(), 0);
+  }
+}
+
+}  // namespace
+}  // namespace pdw::wall

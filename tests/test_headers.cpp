@@ -1,0 +1,221 @@
+// Header write -> parse roundtrips for every header layer.
+#include <gtest/gtest.h>
+
+#include "bitstream/bit_reader.h"
+#include "bitstream/bit_writer.h"
+#include "mpeg2/headers.h"
+#include "mpeg2/tables.h"
+
+namespace pdw::mpeg2 {
+namespace {
+
+// Position a reader after the start code of `bytes` (which must begin with
+// one) and return the code.
+BitReader after_start_code(const std::vector<uint8_t>& bytes, uint8_t* code) {
+  BitReader r(bytes);
+  EXPECT_EQ(r.read(24), 0x000001u);
+  *code = uint8_t(r.read(8));
+  return r;
+}
+
+TEST(Headers, SequenceHeaderRoundtrip) {
+  SequenceHeader seq;
+  seq.width = 1920;
+  seq.height = 1088;
+  seq.frame_rate_code = 5;
+  seq.bit_rate_value = 12345;
+  seq.vbv_buffer_size = 112;
+  seq.intra_quant = kDefaultIntraQuant;
+  seq.non_intra_quant = kDefaultNonIntraQuant;
+
+  BitWriter w;
+  write_sequence_header(w, seq);
+  write_sequence_extension(w, seq);
+  w.align_to_byte();
+  auto bytes = w.take();
+
+  uint8_t code;
+  BitReader r = after_start_code(bytes, &code);
+  EXPECT_EQ(code, 0xB3);
+  SequenceHeader parsed = parse_sequence_header(r);
+  r.align_to_byte();
+  EXPECT_EQ(r.read(24), 0x000001u);
+  EXPECT_EQ(r.read(8), 0xB5u);
+  parse_extension(r, &parsed, nullptr);
+
+  EXPECT_EQ(parsed.width, 1920);
+  EXPECT_EQ(parsed.height, 1088);
+  EXPECT_EQ(parsed.frame_rate_code, 5);
+  EXPECT_EQ(parsed.bit_rate_value, 12345);
+  EXPECT_TRUE(parsed.progressive_sequence);
+  EXPECT_EQ(parsed.intra_quant, kDefaultIntraQuant);
+  EXPECT_EQ(parsed.non_intra_quant, kDefaultNonIntraQuant);
+}
+
+TEST(Headers, UltraHighResolutionUsesSizeExtensionBits) {
+  // 3840x2912 does not fit in the 12-bit sequence header fields alone...
+  // (it does: 4095 max) — but 4096+ would not. Check a >4095 width round
+  // trips through the 2-bit extension fields.
+  SequenceHeader seq;
+  seq.width = 4224;  // > 4095: needs horizontal_size_extension
+  seq.height = 3200;
+  BitWriter w;
+  write_sequence_header(w, seq);
+  write_sequence_extension(w, seq);
+  w.align_to_byte();
+  auto bytes = w.take();
+  uint8_t code;
+  BitReader r = after_start_code(bytes, &code);
+  SequenceHeader parsed = parse_sequence_header(r);
+  r.align_to_byte();
+  r.skip(32);
+  parse_extension(r, &parsed, nullptr);
+  EXPECT_EQ(parsed.width, 4224);
+  EXPECT_EQ(parsed.height, 3200);
+}
+
+TEST(Headers, CustomQuantMatricesRoundtrip) {
+  SequenceHeader seq;
+  seq.width = 720;
+  seq.height = 480;
+  seq.loaded_intra_quant = true;
+  seq.loaded_non_intra_quant = true;
+  for (int i = 0; i < 64; ++i) {
+    seq.intra_quant[i] = uint8_t(8 + i);
+    seq.non_intra_quant[i] = uint8_t(16 + i);
+  }
+  BitWriter w;
+  write_sequence_header(w, seq);
+  w.align_to_byte();
+  auto bytes = w.take();
+  uint8_t code;
+  BitReader r = after_start_code(bytes, &code);
+  SequenceHeader parsed = parse_sequence_header(r);
+  EXPECT_EQ(parsed.intra_quant, seq.intra_quant);
+  EXPECT_EQ(parsed.non_intra_quant, seq.non_intra_quant);
+}
+
+TEST(Headers, GopHeaderRoundtrip) {
+  GopHeader gop;
+  gop.time_code = 0x123456;
+  gop.closed_gop = true;
+  gop.broken_link = false;
+  BitWriter w;
+  write_gop_header(w, gop);
+  w.align_to_byte();
+  auto bytes = w.take();
+  uint8_t code;
+  BitReader r = after_start_code(bytes, &code);
+  EXPECT_EQ(code, 0xB8);
+  GopHeader parsed = parse_gop_header(r);
+  EXPECT_EQ(parsed.time_code, gop.time_code);
+  EXPECT_EQ(parsed.closed_gop, gop.closed_gop);
+  EXPECT_EQ(parsed.broken_link, gop.broken_link);
+}
+
+TEST(Headers, PictureHeaderRoundtripAllTypes) {
+  for (PicType type : {PicType::I, PicType::P, PicType::B}) {
+    PictureHeader ph;
+    ph.temporal_reference = 777;
+    ph.type = type;
+    BitWriter w;
+    write_picture_header(w, ph);
+    w.align_to_byte();
+  auto bytes = w.take();
+    uint8_t code;
+    BitReader r = after_start_code(bytes, &code);
+    EXPECT_EQ(code, 0x00);
+    PictureHeader parsed = parse_picture_header(r);
+    EXPECT_EQ(parsed.temporal_reference, 777);
+    EXPECT_EQ(parsed.type, type);
+  }
+}
+
+TEST(Headers, PictureCodingExtensionRoundtrip) {
+  PictureCodingExt pce;
+  pce.f_code[0][0] = 3;
+  pce.f_code[0][1] = 4;
+  pce.f_code[1][0] = 2;
+  pce.f_code[1][1] = 5;
+  pce.intra_dc_precision = 2;
+  pce.q_scale_type = true;
+  pce.alternate_scan = true;
+  BitWriter w;
+  write_picture_coding_extension(w, pce);
+  w.align_to_byte();
+  auto bytes = w.take();
+  uint8_t code;
+  BitReader r = after_start_code(bytes, &code);
+  EXPECT_EQ(code, 0xB5);
+  PictureCodingExt parsed;
+  parse_extension(r, nullptr, &parsed);
+  EXPECT_EQ(parsed.f_code[0][0], 3);
+  EXPECT_EQ(parsed.f_code[0][1], 4);
+  EXPECT_EQ(parsed.f_code[1][0], 2);
+  EXPECT_EQ(parsed.f_code[1][1], 5);
+  EXPECT_EQ(parsed.intra_dc_precision, 2);
+  EXPECT_TRUE(parsed.q_scale_type);
+  EXPECT_TRUE(parsed.alternate_scan);
+}
+
+TEST(Headers, SliceHeaderRoundtripNormalHeight) {
+  SequenceHeader seq;
+  seq.width = 1280;
+  seq.height = 720;
+  for (int row : {0, 1, 20, 44}) {
+    BitWriter w;
+    write_slice_header(w, seq, row, 13);
+    w.align_to_byte();
+  auto bytes = w.take();
+    uint8_t code;
+    BitReader r = after_start_code(bytes, &code);
+    int parsed_row = -1;
+    const int q = parse_slice_header(r, seq, code, &parsed_row);
+    EXPECT_EQ(parsed_row, row);
+    EXPECT_EQ(q, 13);
+  }
+}
+
+TEST(Headers, SliceHeaderUsesVerticalPositionExtensionAbove2800) {
+  // The ultra-high-resolution case this paper targets: >175 macroblock rows.
+  SequenceHeader seq;
+  seq.width = 3840;
+  seq.height = 2912;  // 182 macroblock rows
+  for (int row : {0, 126, 127, 128, 174, 175, 181}) {
+    BitWriter w;
+    write_slice_header(w, seq, row, 7);
+    w.align_to_byte();
+  auto bytes = w.take();
+    uint8_t code;
+    BitReader r = after_start_code(bytes, &code);
+    EXPECT_GE(code, 0x01);
+    EXPECT_LE(code, 0xAF);
+    int parsed_row = -1;
+    const int q = parse_slice_header(r, seq, code, &parsed_row);
+    EXPECT_EQ(parsed_row, row) << "row " << row;
+    EXPECT_EQ(q, 7);
+  }
+}
+
+TEST(Headers, IntraDcPrecisionHelpers) {
+  PictureCodingExt pce;
+  pce.intra_dc_precision = 0;
+  EXPECT_EQ(pce.intra_dc_mult(), 8);
+  EXPECT_EQ(pce.dc_reset_value(), 128);
+  pce.intra_dc_precision = 2;
+  EXPECT_EQ(pce.intra_dc_mult(), 2);
+  EXPECT_EQ(pce.dc_reset_value(), 512);
+}
+
+TEST(Headers, FrameRateCodeMapping) {
+  SequenceHeader seq;
+  seq.frame_rate_code = 5;
+  EXPECT_DOUBLE_EQ(seq.frame_rate(), 30.0);
+  seq.frame_rate_code = 8;
+  EXPECT_DOUBLE_EQ(seq.frame_rate(), 60.0);
+  seq.frame_rate_code = 2;
+  EXPECT_DOUBLE_EQ(seq.frame_rate(), 24.0);
+}
+
+}  // namespace
+}  // namespace pdw::mpeg2

@@ -1,0 +1,111 @@
+// IDCT accuracy tests (IEEE 1180-style statistical comparison against the
+// double-precision reference) and forward/inverse consistency.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "common/stats.h"
+#include "mpeg2/idct.h"
+
+namespace pdw::mpeg2 {
+namespace {
+
+TEST(Idct, DcOnlyBlockIsFlat) {
+  int16_t block[64] = {};
+  block[0] = 256;  // DC
+  fast_idct_8x8(block);
+  // Expected spatial value: 256 / 8 = 32 everywhere.
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(block[i], 32) << i;
+}
+
+TEST(Idct, ZeroBlockStaysZero) {
+  int16_t block[64] = {};
+  fast_idct_8x8(block);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(block[i], 0);
+}
+
+TEST(Idct, MatchesReferenceWithinIeee1180Tolerances) {
+  // Random coefficient blocks in the post-dequantisation range; the fast
+  // integer IDCT must stay within 1 of the rounded reference everywhere,
+  // with low mean error (IEEE 1180 criteria: peak 1, mean <= 0.0015).
+  SplitMix64 rng(42);
+  double err_sum = 0.0;
+  int64_t count = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    int16_t block[64];
+    // Realistic sparse blocks: a few significant low-frequency coefficients.
+    std::memset(block, 0, sizeof(block));
+    const int n = 1 + int(rng.next_below(12));
+    for (int i = 0; i < n; ++i) {
+      const int pos = int(rng.next_below(64));
+      block[pos] = int16_t(int(rng.next_below(601)) - 300);
+    }
+    double ref[64];
+    reference_idct_8x8(block, ref);
+    fast_idct_8x8(block);
+    for (int i = 0; i < 64; ++i) {
+      const double clamped =
+          double(std::lround(std::clamp(ref[i], -256.0, 255.0)));
+      const double e = std::abs(double(block[i]) - clamped);
+      EXPECT_LE(e, 1.0) << "trial " << trial << " index " << i;
+      err_sum += e;
+      ++count;
+    }
+  }
+  EXPECT_LE(err_sum / double(count), 0.06);
+}
+
+TEST(Idct, OutputIsClampedTo256Range) {
+  SplitMix64 rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    int16_t block[64];
+    for (int i = 0; i < 64; ++i)
+      block[i] = int16_t(int(rng.next_below(4096)) - 2048);
+    fast_idct_8x8(block);
+    for (int i = 0; i < 64; ++i) {
+      EXPECT_GE(block[i], -256);
+      EXPECT_LE(block[i], 255);
+    }
+  }
+}
+
+TEST(Dct, ForwardInverseRoundtripOnPixels) {
+  // fdct followed by idct must reproduce pixel blocks near-exactly.
+  SplitMix64 rng(99);
+  for (int trial = 0; trial < 300; ++trial) {
+    int16_t pixels[64], coeff[64];
+    for (int i = 0; i < 64; ++i) pixels[i] = int16_t(rng.next_below(256));
+    forward_dct_8x8(pixels, coeff);
+    int16_t recon[64];
+    std::memcpy(recon, coeff, sizeof(coeff));
+    fast_idct_8x8(recon);
+    for (int i = 0; i < 64; ++i)
+      EXPECT_NEAR(recon[i], pixels[i], 2) << "trial " << trial << " i=" << i;
+  }
+}
+
+TEST(Dct, FlatBlockHasOnlyDc) {
+  int16_t pixels[64];
+  for (int i = 0; i < 64; ++i) pixels[i] = 128;
+  int16_t coeff[64];
+  forward_dct_8x8(pixels, coeff);
+  EXPECT_EQ(coeff[0], 1024);  // 128 * 8
+  for (int i = 1; i < 64; ++i) EXPECT_EQ(coeff[i], 0) << i;
+}
+
+TEST(Dct, ParsevalEnergyPreserved) {
+  SplitMix64 rng(5);
+  int16_t pixels[64], coeff[64];
+  for (int i = 0; i < 64; ++i) pixels[i] = int16_t(rng.next_below(256));
+  forward_dct_8x8(pixels, coeff);
+  double ep = 0, ec = 0;
+  for (int i = 0; i < 64; ++i) {
+    ep += double(pixels[i]) * pixels[i];
+    ec += double(coeff[i]) * coeff[i];
+  }
+  EXPECT_NEAR(ec / ep, 1.0, 0.01);
+}
+
+}  // namespace
+}  // namespace pdw::mpeg2

@@ -1,0 +1,214 @@
+// Macroblock splitter tests: run structure, SPH state snapshots, macroblock
+// coverage, MEI symmetry/completeness — the structural properties behind the
+// bit-exactness results.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/mb_splitter.h"
+#include "core/root_splitter.h"
+#include "enc/encoder.h"
+#include "video/generator.h"
+
+namespace pdw::core {
+namespace {
+
+std::vector<uint8_t> make_stream(int w, int h, int frames,
+                                 double bpp = 0.35) {
+  enc::EncoderConfig cfg;
+  cfg.width = w;
+  cfg.height = h;
+  cfg.gop_size = 6;
+  cfg.b_frames = 2;
+  cfg.target_bpp = bpp;
+  const auto gen =
+      video::make_scene(video::SceneKind::kMovingObjects, w, h, 17);
+  enc::Mpeg2Encoder encoder(cfg);
+  return encoder.encode(frames,
+                        [&](int i, mpeg2::Frame* f) { gen->render(i, f); });
+}
+
+class MbSplitterTest : public ::testing::Test {
+ protected:
+  void split_all(const std::vector<uint8_t>& es, const wall::TileGeometry& geo,
+                 std::vector<SplitResult>* results) {
+    RootSplitter root(es);
+    MacroblockSplitter splitter(geo);
+    splitter.set_stream_info(root.stream_info());
+    for (int i = 0; i < root.picture_count(); ++i)
+      results->push_back(splitter.split(root.picture(i), uint32_t(i)));
+  }
+};
+
+TEST_F(MbSplitterTest, EveryMacroblockCoveredExactlyByItsTiles) {
+  const int w = 320, h = 240;
+  const auto es = make_stream(w, h, 6);
+  wall::TileGeometry geo(w, h, 2, 2, 32);
+  std::vector<SplitResult> results;
+  split_all(es, geo, &results);
+
+  for (const SplitResult& r : results) {
+    // Per tile: lead + coded(from header counts) + trail macroblocks of all
+    // runs equal at least the tile rect... exact equality holds only after
+    // interior skips are parsed, so check the stats-level invariant instead:
+    // the per-tile macroblock counts from the sink must each equal the
+    // tile's rect size.
+    for (int t = 0; t < geo.tiles(); ++t)
+      EXPECT_EQ(r.stats.mbs_per_tile[size_t(t)], geo.tile_mbs(t).count())
+          << "picture " << r.info.pic_index << " tile " << t;
+    // Total macroblock count matches the picture.
+    EXPECT_EQ(r.stats.macroblocks, geo.mb_width() * geo.mb_height());
+  }
+}
+
+TEST_F(MbSplitterTest, AtMostOneRunPerSlicePerTile) {
+  const int w = 320, h = 240;
+  const auto es = make_stream(w, h, 6);
+  wall::TileGeometry geo(w, h, 3, 2, 16);
+  std::vector<SplitResult> results;
+  split_all(es, geo, &results);
+  for (const SplitResult& r : results) {
+    for (int t = 0; t < geo.tiles(); ++t) {
+      const auto& runs = r.subpictures[size_t(t)].runs;
+      // Runs per tile == rows the tile spans (one slice per row, and the
+      // tile's share of a slice is contiguous => exactly one run).
+      const auto& rect = geo.tile_mbs(t);
+      EXPECT_EQ(int(runs.size()), rect.y1 - rect.y0);
+      // Runs arrive in row order with strictly increasing addresses.
+      int prev_addr = -1;
+      for (const auto& run : runs) {
+        const int addr = run.num_coded
+                             ? int(run.first_coded_addr)
+                             : int(run.lead_skip_addr);
+        EXPECT_GT(addr, prev_addr);
+        prev_addr = addr;
+      }
+    }
+  }
+}
+
+TEST_F(MbSplitterTest, MeiSendRecvAreSymmetric) {
+  const int w = 320, h = 240;
+  const auto es = make_stream(w, h, 9);
+  wall::TileGeometry geo(w, h, 2, 2, 0);
+  std::vector<SplitResult> results;
+  split_all(es, geo, &results);
+  for (const SplitResult& r : results) {
+    // Build multisets of (src, dst, ref, x, y) from both directions.
+    std::multiset<std::tuple<int, int, int, int, int>> sends, recvs;
+    for (int t = 0; t < geo.tiles(); ++t) {
+      for (const MeiInstruction& i : r.mei[size_t(t)]) {
+        if (i.op == MeiOp::kSend)
+          sends.insert({t, i.peer, i.ref, i.mb_x, i.mb_y});
+        else
+          recvs.insert({int(i.peer), t, i.ref, i.mb_x, i.mb_y});
+      }
+    }
+    EXPECT_EQ(sends, recvs) << "picture " << r.info.pic_index;
+  }
+}
+
+TEST_F(MbSplitterTest, MeiSendersOwnWhatTheySend) {
+  const int w = 320, h = 240;
+  const auto es = make_stream(w, h, 9);
+  wall::TileGeometry geo(w, h, 2, 2, 32);
+  std::vector<SplitResult> results;
+  split_all(es, geo, &results);
+  for (const SplitResult& r : results)
+    for (int t = 0; t < geo.tiles(); ++t)
+      for (const MeiInstruction& i : r.mei[size_t(t)]) {
+        if (i.op != MeiOp::kSend) continue;
+        EXPECT_TRUE(geo.tile_has_mb(t, i.mb_x, i.mb_y));
+        EXPECT_EQ(geo.owner_of_mb(i.mb_x, i.mb_y), t);
+        // Receivers only receive what they do NOT decode themselves.
+        EXPECT_FALSE(geo.tile_has_mb(i.peer, i.mb_x, i.mb_y));
+      }
+}
+
+TEST_F(MbSplitterTest, IntraPicturesNeedNoExchanges) {
+  enc::EncoderConfig cfg;
+  cfg.width = 320;
+  cfg.height = 240;
+  cfg.gop_size = 1;  // all-I stream
+  cfg.b_frames = 0;
+  const auto gen =
+      video::make_scene(video::SceneKind::kPanningTexture, 320, 240, 3);
+  enc::Mpeg2Encoder encoder(cfg);
+  const auto es = encoder.encode(
+      4, [&](int i, mpeg2::Frame* f) { gen->render(i, f); });
+
+  wall::TileGeometry geo(320, 240, 4, 4, 0);
+  std::vector<SplitResult> results;
+  split_all(es, geo, &results);
+  for (const SplitResult& r : results) {
+    EXPECT_EQ(r.stats.exchange_pairs, 0);
+    for (const auto& mei : r.mei) EXPECT_TRUE(mei.empty());
+  }
+}
+
+TEST_F(MbSplitterTest, SingleTileGetsWholePictureNoSph) {
+  const int w = 320, h = 240;
+  const auto es = make_stream(w, h, 3);
+  wall::TileGeometry geo(w, h, 1, 1, 0);
+  std::vector<SplitResult> results;
+  split_all(es, geo, &results);
+  for (const SplitResult& r : results) {
+    ASSERT_EQ(r.subpictures.size(), 1u);
+    const auto& sp = r.subpictures[0];
+    EXPECT_EQ(int(sp.runs.size()), geo.mb_height());  // one run per slice
+    for (const auto& run : sp.runs) {
+      // Whole slices: no lead/trail skips, and every payload starts with a
+      // coded macroblock at column 0 (our encoder codes slice-first MBs).
+      EXPECT_EQ(run.lead_skip_count, 0);
+      EXPECT_EQ(run.first_coded_addr % uint32_t(geo.mb_width()), 0u);
+    }
+    EXPECT_TRUE(r.mei[0].empty());
+  }
+}
+
+TEST_F(MbSplitterTest, SphStateSnapshotsHaveSliceResetAtRowStart) {
+  const int w = 320, h = 240;
+  const auto es = make_stream(w, h, 3);
+  wall::TileGeometry geo(w, h, 2, 1, 0);
+  std::vector<SplitResult> results;
+  split_all(es, geo, &results);
+  const mpeg2::PictureCodingExt pce;  // defaults: precision 8
+  for (const SplitResult& r : results) {
+    // Tile 0 starts at column 0 of every slice, so its run states must be
+    // exactly the fresh slice-start state (reset DC, zero PMV).
+    for (const auto& run : r.subpictures[0].runs) {
+      EXPECT_EQ(run.state.dc_pred[0], pce.dc_reset_value());
+      EXPECT_EQ(run.state.pmv[0][0], 0);
+      EXPECT_EQ(run.state.pmv[0][1], 0);
+    }
+  }
+}
+
+TEST_F(MbSplitterTest, OutputBytesAccountHeadersAndPayloads) {
+  const int w = 320, h = 240;
+  const auto es = make_stream(w, h, 3);
+  wall::TileGeometry geo(w, h, 2, 2, 0);
+  std::vector<SplitResult> results;
+  split_all(es, geo, &results);
+  for (const SplitResult& r : results) {
+    size_t expected = 0;
+    for (int t = 0; t < geo.tiles(); ++t) {
+      expected += r.subpictures[size_t(t)].wire_bytes();
+      expected += 4 + r.mei[size_t(t)].size() * kMeiWireBytes;
+    }
+    EXPECT_EQ(r.stats.output_bytes, expected);
+    EXPECT_GT(r.stats.output_bytes, r.stats.input_bytes / 2);
+  }
+}
+
+TEST_F(MbSplitterTest, RejectsGeometryMismatch) {
+  const auto es = make_stream(320, 240, 2);
+  wall::TileGeometry wrong(640, 480, 2, 2, 0);
+  RootSplitter root(es);
+  MacroblockSplitter splitter(wrong);
+  splitter.set_stream_info(root.stream_info());
+  EXPECT_THROW(splitter.split(root.picture(0), 0), CheckError);
+}
+
+}  // namespace
+}  // namespace pdw::core

@@ -1,0 +1,236 @@
+// THE core invariant of the whole system (DESIGN.md §5.1):
+// for every tiling configuration (m, n, k, overlap) and every stream class,
+// the assembled output of the hierarchical parallel decoder is bit-exact
+// with the serial reference decoder, frame by frame.
+//
+// This exercises the full chain: root picture split -> macroblock split with
+// SPH state propagation -> MEI remote-macroblock pre-calculation -> tile
+// decode with halo MC -> wall assembly.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/lockstep.h"
+#include "enc/encoder.h"
+#include "mpeg2/decoder.h"
+#include "video/generator.h"
+#include "wall/assembler.h"
+
+namespace pdw {
+namespace {
+
+using core::LockstepPipeline;
+using core::TileDisplayInfo;
+using mpeg2::Frame;
+using video::SceneKind;
+
+std::vector<uint8_t> make_stream(int w, int h, SceneKind scene, int frames,
+                                 const std::function<void(enc::EncoderConfig&)>&
+                                     tweak = nullptr,
+                                 uint64_t seed = 3) {
+  enc::EncoderConfig cfg;
+  cfg.width = w;
+  cfg.height = h;
+  cfg.gop_size = 8;
+  cfg.b_frames = 2;
+  cfg.target_bpp = 0.4;
+  cfg.me_range = 15;  // large vectors force cross-tile references
+  if (tweak) tweak(cfg);
+  const auto gen = video::make_scene(scene, w, h, seed);
+  enc::Mpeg2Encoder encoder(cfg);
+  return encoder.encode(frames,
+                        [&](int i, Frame* f) { gen->render(i, f); });
+}
+
+// Decode serially, returning frames in display order.
+std::vector<Frame> serial_decode(const std::vector<uint8_t>& es) {
+  std::vector<Frame> out;
+  mpeg2::Mpeg2Decoder dec;
+  dec.decode(es, [&](const Frame& f, const mpeg2::DecodedPictureInfo&) {
+    out.push_back(f);
+  });
+  return out;
+}
+
+// Run the lockstep parallel pipeline, assembling wall frames per display
+// index; verify coverage and overlap consistency along the way.
+std::vector<Frame> parallel_decode(const std::vector<uint8_t>& es,
+                                   const wall::TileGeometry& geo, int k) {
+  LockstepPipeline pipeline(geo, k, es);
+  // Collect tiles per display index; assemble when all tiles arrived.
+  struct Pending {
+    std::unique_ptr<wall::WallAssembler> assembler;
+    int tiles = 0;
+  };
+  std::map<int, Pending> pending;
+  std::vector<Frame> out;
+  std::map<int, Frame> finished;
+  int next_emit = 0;
+
+  pipeline.run(
+      [&](int tile, const mpeg2::TileFrame& tf, const TileDisplayInfo& info) {
+        Pending& p = pending[info.display_index];
+        if (!p.assembler)
+          p.assembler = std::make_unique<wall::WallAssembler>(geo);
+        p.assembler->add_tile(tile, tf);
+        if (++p.tiles == geo.tiles()) {
+          p.assembler->check_coverage();
+          finished.emplace(info.display_index, p.assembler->frame());
+          pending.erase(info.display_index);
+        }
+      },
+      nullptr);
+
+  EXPECT_TRUE(pending.empty()) << "incomplete wall frames";
+  while (finished.count(next_emit)) {
+    out.push_back(std::move(finished.at(next_emit)));
+    finished.erase(next_emit);
+    ++next_emit;
+  }
+  EXPECT_TRUE(finished.empty());
+  return out;
+}
+
+void expect_bit_exact(const std::vector<uint8_t>& es,
+                      const wall::TileGeometry& geo, int k) {
+  const std::vector<Frame> serial = serial_decode(es);
+  const std::vector<Frame> parallel = parallel_decode(es, geo, k);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    // Compare the display region (tiles only cover display pixels; the
+    // frames are MB-aligned so compare the crop).
+    const Frame a = wall::crop_frame(serial[i], geo.width(), geo.height());
+    const Frame b = wall::crop_frame(parallel[i], geo.width(), geo.height());
+    ASSERT_EQ(a.y, b.y) << "luma mismatch at display frame " << i;
+    ASSERT_EQ(a.cb, b.cb) << "cb mismatch at display frame " << i;
+    ASSERT_EQ(a.cr, b.cr) << "cr mismatch at display frame " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized sweep over screen configurations.
+// ---------------------------------------------------------------------------
+
+struct ConfigParam {
+  int m, n, k, overlap;
+};
+
+class ParallelEquivalence : public ::testing::TestWithParam<ConfigParam> {};
+
+TEST_P(ParallelEquivalence, MovingObjectsStreamBitExact) {
+  const ConfigParam p = GetParam();
+  const int w = 320, h = 240;
+  const auto es = make_stream(w, h, SceneKind::kMovingObjects, 10);
+  wall::TileGeometry geo(w, h, p.m, p.n, p.overlap);
+  expect_bit_exact(es, geo, p.k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ParallelEquivalence,
+    ::testing::Values(ConfigParam{1, 1, 1, 0}, ConfigParam{2, 1, 1, 0},
+                      ConfigParam{2, 2, 1, 0}, ConfigParam{2, 2, 2, 0},
+                      ConfigParam{3, 2, 2, 0}, ConfigParam{3, 3, 3, 32},
+                      ConfigParam{4, 4, 4, 0}, ConfigParam{2, 2, 1, 32},
+                      ConfigParam{4, 3, 5, 16}),
+    [](const auto& info) {
+      return "m" + std::to_string(info.param.m) + "n" +
+             std::to_string(info.param.n) + "k" + std::to_string(info.param.k) +
+             "ov" + std::to_string(info.param.overlap);
+    });
+
+// ---------------------------------------------------------------------------
+// Stream-class sweep at a fixed nontrivial configuration.
+// ---------------------------------------------------------------------------
+
+class SceneEquivalence : public ::testing::TestWithParam<SceneKind> {};
+
+TEST_P(SceneEquivalence, BitExactAt2x2WithOverlap) {
+  const int w = 320, h = 240;
+  const auto es = make_stream(w, h, GetParam(), 9);
+  wall::TileGeometry geo(w, h, 2, 2, 32);
+  expect_bit_exact(es, geo, 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenes, SceneEquivalence,
+                         ::testing::Values(SceneKind::kPanningTexture,
+                                           SceneKind::kMovingObjects,
+                                           SceneKind::kAnimation,
+                                           SceneKind::kLocalizedDetail),
+                         [](const auto& info) {
+                           std::string n = video::scene_kind_name(info.param);
+                           for (char& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+// ---------------------------------------------------------------------------
+// Encoder-option sweeps: skips, adaptive quant, alternate scan, B-frames.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelEquivalenceOptions, NoSkipsNoAdaptiveQuant) {
+  const auto es = make_stream(320, 240, SceneKind::kAnimation, 8,
+                              [](enc::EncoderConfig& c) {
+                                c.allow_skip = false;
+                                c.adaptive_quant = false;
+                              });
+  wall::TileGeometry geo(320, 240, 2, 2, 0);
+  expect_bit_exact(es, geo, 2);
+}
+
+TEST(ParallelEquivalenceOptions, ManySkips) {
+  // Static scene + B frames => lots of skipped macroblocks, including whole
+  // skipped tile rows (lead/trail skip synthesis paths).
+  const auto es = make_stream(320, 240, SceneKind::kAnimation, 10,
+                              [](enc::EncoderConfig& c) {
+                                c.target_bpp = 0.08;
+                                c.b_frames = 3;
+                                c.gop_size = 12;
+                              });
+  wall::TileGeometry geo(320, 240, 4, 2, 0);
+  expect_bit_exact(es, geo, 2);
+}
+
+TEST(ParallelEquivalenceOptions, NonLinearQuantAlternateScan) {
+  const auto es = make_stream(320, 240, SceneKind::kPanningTexture, 8,
+                              [](enc::EncoderConfig& c) {
+                                c.q_scale_type = true;
+                                c.alternate_scan = true;
+                              });
+  wall::TileGeometry geo(320, 240, 2, 2, 16);
+  expect_bit_exact(es, geo, 2);
+}
+
+TEST(ParallelEquivalenceOptions, LargeMotionRange) {
+  const auto es = make_stream(320, 240, SceneKind::kMovingObjects, 8,
+                              [](enc::EncoderConfig& c) { c.me_range = 40; });
+  wall::TileGeometry geo(320, 240, 3, 3, 0);
+  expect_bit_exact(es, geo, 3);
+}
+
+TEST(ParallelEquivalenceOptions, IntraOnlyStream) {
+  const auto es = make_stream(192, 160, SceneKind::kMovingObjects, 4,
+                              [](enc::EncoderConfig& c) {
+                                c.gop_size = 1;
+                                c.b_frames = 0;
+                              });
+  wall::TileGeometry geo(192, 160, 2, 2, 0);
+  expect_bit_exact(es, geo, 2);
+}
+
+TEST(ParallelEquivalenceOptions, POnlyStream) {
+  const auto es = make_stream(192, 160, SceneKind::kPanningTexture, 8,
+                              [](enc::EncoderConfig& c) { c.b_frames = 0; });
+  wall::TileGeometry geo(192, 160, 2, 2, 0);
+  expect_bit_exact(es, geo, 2);
+}
+
+TEST(ParallelEquivalenceOptions, TilesNotAlignedToMacroblocks) {
+  // 3 tiles across 320px: home boundaries at 106/213 — not MB aligned, so
+  // boundary macroblocks are shared even without overlap.
+  const auto es = make_stream(320, 240, SceneKind::kMovingObjects, 6);
+  wall::TileGeometry geo(320, 240, 3, 1, 0);
+  expect_bit_exact(es, geo, 2);
+}
+
+}  // namespace
+}  // namespace pdw

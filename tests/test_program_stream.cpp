@@ -1,0 +1,157 @@
+// Program-stream (system layer) tests: structural correctness, mux/demux
+// roundtrip, timestamps, tolerance of foreign packets, and end-to-end decode
+// from the container.
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "enc/encoder.h"
+#include "mpeg2/decoder.h"
+#include "ps/program_stream.h"
+#include "video/generator.h"
+
+namespace pdw::ps {
+namespace {
+
+std::vector<uint8_t> make_es(int frames = 9, int w = 192, int h = 160) {
+  enc::EncoderConfig cfg;
+  cfg.width = w;
+  cfg.height = h;
+  cfg.gop_size = 6;
+  cfg.b_frames = 2;
+  cfg.target_bpp = 0.5;
+  const auto gen =
+      video::make_scene(video::SceneKind::kMovingObjects, w, h, 55);
+  enc::Mpeg2Encoder encoder(cfg);
+  return encoder.encode(frames,
+                        [&](int i, mpeg2::Frame* f) { gen->render(i, f); });
+}
+
+TEST(ProgramStream, MuxDemuxRoundtripsElementaryStream) {
+  const auto es = make_es();
+  const auto program = mux_program_stream(es);
+  EXPECT_GT(program.size(), es.size());  // container adds overhead
+  const auto demuxed = demux_program_stream(program);
+  EXPECT_EQ(demuxed.video_es, es);
+  EXPECT_GT(demuxed.packs, 0);
+  EXPECT_GE(demuxed.pes_packets, 9);
+  EXPECT_EQ(demuxed.skipped_packets, 0);
+}
+
+TEST(ProgramStream, SmallPesPacketsSplitLargePictures) {
+  const auto es = make_es();
+  MuxConfig cfg;
+  cfg.max_pes_payload = 512;  // force continuation packets
+  const auto program = mux_program_stream(es, cfg);
+  const auto demuxed = demux_program_stream(program);
+  EXPECT_EQ(demuxed.video_es, es);
+  EXPECT_GT(demuxed.pes_packets, 9 * 2);
+  // Still exactly one timestamped packet per picture.
+  EXPECT_EQ(demuxed.pts.size(), 9u);
+}
+
+TEST(ProgramStream, TimestampsFollowMpegSemantics) {
+  const auto es = make_es(12);
+  MuxConfig cfg;
+  cfg.frame_rate = 30.0;
+  const auto program = mux_program_stream(es, cfg);
+  const auto d = demux_program_stream(program);
+  ASSERT_EQ(d.pts.size(), 12u);
+  ASSERT_EQ(d.dts.size(), 12u);
+  const double period = k90kHz / 30.0;
+  for (size_t i = 0; i < 12; ++i) {
+    EXPECT_GE(d.pts[i], d.dts[i]) << "PTS must not precede DTS";
+    // DTS advances by exactly one frame period in decode order.
+    if (i > 0) {
+      EXPECT_NEAR(double(d.dts[i] - d.dts[i - 1]), period, 1.0);
+    }
+  }
+  // PTS values, sorted, are consecutive display times.
+  auto pts = d.pts;
+  std::sort(pts.begin(), pts.end());
+  for (size_t i = 1; i < pts.size(); ++i)
+    EXPECT_NEAR(double(pts[i] - pts[i - 1]), period, 1.0);
+  // B-frame reordering means raw PTS order differs from decode order.
+  EXPECT_NE(pts, d.pts);
+}
+
+TEST(ProgramStream, ScrIsMonotoneAndBelowDts) {
+  const auto es = make_es(12);
+  MuxConfig cfg;
+  cfg.pictures_per_pack = 2;
+  const auto program = mux_program_stream(es, cfg);
+  const auto d = demux_program_stream(program);
+  EXPECT_EQ(d.packs, 6);
+  for (size_t i = 1; i < d.scr.size(); ++i)
+    EXPECT_GT(d.scr[i], d.scr[i - 1]);
+  // SCR (27 MHz) of the first pack precedes the first DTS (90 kHz).
+  EXPECT_LE(d.scr[0] / 300, d.dts[0]);
+}
+
+TEST(ProgramStream, DecodeFromContainerMatchesElementary) {
+  const auto es = make_es();
+  const auto program = mux_program_stream(es);
+  const auto demuxed = demux_program_stream(program);
+
+  std::vector<mpeg2::Frame> a, b;
+  mpeg2::Mpeg2Decoder d1, d2;
+  d1.decode(es, [&](const mpeg2::Frame& f, const mpeg2::DecodedPictureInfo&) {
+    a.push_back(f);
+  });
+  d2.decode(demuxed.video_es,
+            [&](const mpeg2::Frame& f, const mpeg2::DecodedPictureInfo&) {
+              b.push_back(f);
+            });
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(ProgramStream, SkipsForeignPesPackets) {
+  const auto es = make_es(3);
+  auto program = mux_program_stream(es);
+  // Splice an audio PES packet (stream id 0xC0) right after the system
+  // header — demux must skip it without losing video bytes.
+  std::vector<uint8_t> audio = {0x00, 0x00, 0x01, 0xC0, 0x00, 0x07,
+                                0x80, 0x00, 0x00, 0xAA, 0xBB, 0xCC, 0xDD};
+  // Find the first video PES and insert before it.
+  for (size_t i = 0; i + 4 < program.size(); ++i) {
+    const bool at_video = program[i] == 0 && program[i + 1] == 0 &&
+                          program[i + 2] == 1 &&
+                          program[i + 3] == kVideoStreamId;
+    if (at_video) {
+      program.insert(program.begin() + ptrdiff_t(i), audio.begin(),
+                     audio.end());
+      break;
+    }
+  }
+  const auto d = demux_program_stream(program);
+  EXPECT_EQ(d.video_es, es);
+  EXPECT_EQ(d.skipped_packets, 1);
+}
+
+TEST(ProgramStream, PaddingBeforeFirstPackIsIgnored) {
+  const auto es = make_es(3);
+  auto program = mux_program_stream(es);
+  program.insert(program.begin(), {0xFF, 0xFF, 0x00, 0x00});
+  const auto d = demux_program_stream(program);
+  EXPECT_EQ(d.video_es, es);
+}
+
+TEST(ProgramStream, TruncatedPesThrows) {
+  const auto es = make_es(3);
+  auto program = mux_program_stream(es);
+  program.resize(program.size() / 2);
+  // Truncation mid-PES must be detected as a structural error...
+  EXPECT_THROW(demux_program_stream(program), CheckError);
+}
+
+TEST(ProgramStream, RejectsBareElementaryStream) {
+  const auto es = make_es(2);
+  EXPECT_THROW(demux_program_stream(es), CheckError);
+}
+
+TEST(ProgramStream, MuxRejectsEmptyInput) {
+  EXPECT_THROW(mux_program_stream({}), CheckError);
+}
+
+}  // namespace
+}  // namespace pdw::ps

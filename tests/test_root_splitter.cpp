@@ -1,0 +1,124 @@
+// Root (picture-level) splitter tests: picture work units, header
+// attachment, stream info extraction, scan cost accounting.
+#include <gtest/gtest.h>
+
+#include "core/root_splitter.h"
+#include "enc/encoder.h"
+#include "mpeg2/decoder.h"
+#include "video/generator.h"
+
+namespace pdw::core {
+namespace {
+
+std::vector<uint8_t> make_stream(int frames, bool repeat_seq = true) {
+  enc::EncoderConfig cfg;
+  cfg.width = 192;
+  cfg.height = 160;
+  cfg.gop_size = 6;
+  cfg.b_frames = 2;
+  cfg.repeat_sequence_header = repeat_seq;
+  const auto gen =
+      video::make_scene(video::SceneKind::kPanningTexture, 192, 160, 44);
+  enc::Mpeg2Encoder encoder(cfg);
+  return encoder.encode(frames,
+                        [&](int i, mpeg2::Frame* f) { gen->render(i, f); });
+}
+
+TEST(RootSplitter, OnePictureUnitPerCodedPicture) {
+  const auto es = make_stream(13);
+  RootSplitter root(es);
+  EXPECT_EQ(root.picture_count(), 13);
+}
+
+TEST(RootSplitter, UnitsAreContiguousAndCoverAllPictureBytes) {
+  const auto es = make_stream(9);
+  RootSplitter root(es);
+  size_t expected_begin = 0;
+  for (int i = 0; i < root.picture_count(); ++i) {
+    const PictureSpan& s = root.span(i);
+    EXPECT_EQ(s.begin, expected_begin) << "picture " << i;
+    expected_begin = s.end;
+    EXPECT_GT(s.end, s.begin);
+  }
+  // Only the sequence_end_code remains after the last picture.
+  EXPECT_EQ(es.size() - expected_begin, 4u);
+}
+
+TEST(RootSplitter, HeadersTravelWithTheirPicture) {
+  const auto es = make_stream(13);
+  RootSplitter root(es);
+  // GOP size 6 with 13 frames => pictures 0, 6 and 12 start GOPs.
+  int with_seq = 0, with_gop = 0;
+  for (int i = 0; i < root.picture_count(); ++i) {
+    with_seq += root.span(i).has_sequence_header;
+    with_gop += root.span(i).has_gop_header;
+  }
+  EXPECT_EQ(with_gop, 3);
+  EXPECT_EQ(with_seq, 3);  // repeated sequence headers
+  EXPECT_TRUE(root.span(0).has_sequence_header);
+}
+
+TEST(RootSplitter, SingleSequenceHeaderMode) {
+  const auto es = make_stream(13, /*repeat_seq=*/false);
+  RootSplitter root(es);
+  int with_seq = 0;
+  for (int i = 0; i < root.picture_count(); ++i)
+    with_seq += root.span(i).has_sequence_header;
+  EXPECT_EQ(with_seq, 1);
+}
+
+TEST(RootSplitter, StreamInfoMatchesSequenceHeader) {
+  const auto es = make_stream(3);
+  RootSplitter root(es);
+  EXPECT_EQ(root.stream_info().seq.width, 192);
+  EXPECT_EQ(root.stream_info().seq.height, 160);
+  EXPECT_TRUE(root.stream_info().seq.progressive_sequence);
+}
+
+TEST(RootSplitter, PictureUnitsDecodeIndependentlyViaSpans) {
+  // Feeding the units one by one into a decoder reproduces a whole-stream
+  // decode — the property that makes picture-level splitting correct.
+  const auto es = make_stream(9);
+  RootSplitter root(es);
+
+  std::vector<mpeg2::Frame> whole, units;
+  {
+    mpeg2::Mpeg2Decoder dec;
+    dec.decode(es, [&](const mpeg2::Frame& f,
+                       const mpeg2::DecodedPictureInfo&) {
+      whole.push_back(f);
+    });
+  }
+  {
+    mpeg2::Mpeg2Decoder dec;
+    for (int i = 0; i < root.picture_count(); ++i)
+      dec.decode_picture_span(es, root.span(i),
+                              [&](const mpeg2::Frame& f,
+                                  const mpeg2::DecodedPictureInfo&) {
+                                units.push_back(f);
+                              });
+    dec.flush([&](const mpeg2::Frame& f, const mpeg2::DecodedPictureInfo&) {
+      units.push_back(f);
+    });
+  }
+  ASSERT_EQ(units.size(), whole.size());
+  for (size_t i = 0; i < whole.size(); ++i) EXPECT_EQ(units[i], whole[i]);
+}
+
+TEST(RootSplitter, ScanCostIsTiny) {
+  const auto es = make_stream(13);
+  RootSplitter root(es);
+  // Start-code scanning must be orders of magnitude below a millisecond per
+  // picture — the premise of cheap picture-level splitting.
+  EXPECT_LT(root.scan_seconds_per_picture(), 1e-3);
+}
+
+TEST(RootSplitter, RejectsStreamsWithoutPictures) {
+  const std::vector<uint8_t> empty;
+  EXPECT_THROW(RootSplitter{empty}, CheckError);
+  const std::vector<uint8_t> noise = {0x12, 0x34, 0x56, 0x78};
+  EXPECT_THROW(RootSplitter{noise}, CheckError);
+}
+
+}  // namespace
+}  // namespace pdw::core

@@ -1,0 +1,109 @@
+// Executable slice-level baseline tests: bit-exactness and the Table-1
+// communication profile (redistribution >> 0, unlike the macroblock system).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baseline/slice_pipeline.h"
+#include "enc/encoder.h"
+#include "mpeg2/decoder.h"
+#include "video/generator.h"
+#include "wall/assembler.h"
+
+namespace pdw::baseline {
+namespace {
+
+using mpeg2::Frame;
+
+std::vector<uint8_t> make_stream(int w, int h, int frames) {
+  enc::EncoderConfig cfg;
+  cfg.width = w;
+  cfg.height = h;
+  cfg.gop_size = 6;
+  cfg.b_frames = 2;
+  cfg.target_bpp = 0.4;
+  const auto gen =
+      video::make_scene(video::SceneKind::kMovingObjects, w, h, 61);
+  enc::Mpeg2Encoder encoder(cfg);
+  return encoder.encode(frames,
+                        [&](int i, Frame* f) { gen->render(i, f); });
+}
+
+TEST(SlicePipeline, BitExactAgainstSerial) {
+  const int w = 320, h = 256;
+  const auto es = make_stream(w, h, 8);
+  wall::TileGeometry display(w, h, 2, 2, 16);
+
+  std::vector<Frame> serial;
+  mpeg2::Mpeg2Decoder dec;
+  dec.decode(es, [&](const Frame& f, const mpeg2::DecodedPictureInfo&) {
+    serial.push_back(f);
+  });
+
+  SlicePipeline pipeline(display, es);
+  struct Pending {
+    std::unique_ptr<wall::WallAssembler> assembler;
+    int tiles = 0;
+  };
+  std::map<int, Pending> pending;
+  int verified = 0;
+  const auto stats = pipeline.run([&](int tile, const mpeg2::TileFrame& tf,
+                                      const core::TileDisplayInfo& info) {
+    Pending& p = pending[info.display_index];
+    if (!p.assembler)
+      p.assembler = std::make_unique<wall::WallAssembler>(display);
+    p.assembler->add_tile(tile, tf);
+    if (++p.tiles == display.tiles()) {
+      p.assembler->check_coverage();
+      const Frame a = wall::crop_frame(serial[size_t(info.display_index)], w, h);
+      const Frame b = wall::crop_frame(p.assembler->frame(), w, h);
+      ASSERT_EQ(a.y, b.y);
+      ASSERT_EQ(a.cb, b.cb);
+      ASSERT_EQ(a.cr, b.cr);
+      ++verified;
+      pending.erase(info.display_index);
+    }
+  });
+  EXPECT_EQ(verified, 8);
+  EXPECT_EQ(stats.pictures, 8);
+}
+
+TEST(SlicePipeline, RedistributionDominatesItsCommunication) {
+  const int w = 320, h = 256;
+  const auto es = make_stream(w, h, 6);
+  wall::TileGeometry display(w, h, 2, 2, 0);
+  SlicePipeline pipeline(display, es);
+  const auto stats = pipeline.run(nullptr);
+
+  // Each band keeps only its intersection with its own tile: with a 2x2
+  // wall and horizontal quarter-bands, a band overlaps its tile for half
+  // its height at half the width => kept fraction 1/4 of ... compute:
+  // kept = sum over bands of |band ∩ tile_b| = 4 * (w/2 * h/4 * 1/2)?
+  // Just assert the structural facts:
+  EXPECT_GE(stats.redistribution_bytes_per_picture, 0.5 * 1.5 * w * h);
+  EXPECT_LE(stats.kept_fraction, 0.5);
+  EXPECT_GT(stats.kept_fraction, 0.0);
+  // The macroblock-level system ships zero decoded pixels — that contrast
+  // is Table 1's headline. Reference exchange exists but is far smaller.
+  EXPECT_LT(stats.reference_exchange_bytes_per_picture,
+            stats.redistribution_bytes_per_picture);
+}
+
+TEST(SlicePipeline, SingleTileWallHasNoRedistribution) {
+  const int w = 192, h = 160;
+  const auto es = make_stream(w, h, 4);
+  wall::TileGeometry display(w, h, 1, 1, 0);
+  SlicePipeline pipeline(display, es);
+  const auto stats = pipeline.run(nullptr);
+  EXPECT_EQ(stats.redistribution_bytes_per_picture, 0.0);
+  EXPECT_DOUBLE_EQ(stats.kept_fraction, 1.0);
+}
+
+TEST(SlicePipeline, RejectsTooManyBands) {
+  const auto es = make_stream(192, 160, 2);  // 10 macroblock rows
+  wall::TileGeometry display(192, 160, 4, 3, 0);  // 12 bands > 10 rows
+  EXPECT_THROW(SlicePipeline(display, es), CheckError);
+}
+
+}  // namespace
+}  // namespace pdw::baseline

@@ -1,0 +1,150 @@
+// Transport-stream tests: packetization rules, PSI tables with CRC,
+// continuity counters, PCR, roundtrip, and multi-PID tolerance.
+#include <gtest/gtest.h>
+
+#include "enc/encoder.h"
+#include "mpeg2/decoder.h"
+#include "ps/transport_stream.h"
+#include "video/generator.h"
+
+namespace pdw::ps {
+namespace {
+
+std::vector<uint8_t> make_es(int frames = 9) {
+  enc::EncoderConfig cfg;
+  cfg.width = 192;
+  cfg.height = 160;
+  cfg.gop_size = 6;
+  cfg.b_frames = 2;
+  cfg.target_bpp = 0.5;
+  const auto gen =
+      video::make_scene(video::SceneKind::kMovingObjects, 192, 160, 66);
+  enc::Mpeg2Encoder encoder(cfg);
+  return encoder.encode(frames,
+                        [&](int i, mpeg2::Frame* f) { gen->render(i, f); });
+}
+
+TEST(Crc32, KnownVector) {
+  // CRC-32/MPEG-2 of "123456789" is 0x0376E6E7.
+  const uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(mpeg_crc32(data), 0x0376E6E7u);
+  // A section followed by its own CRC hashes to zero (the demux check).
+  std::vector<uint8_t> with_crc(data, data + 9);
+  const uint32_t crc = mpeg_crc32(data);
+  with_crc.push_back(uint8_t(crc >> 24));
+  with_crc.push_back(uint8_t(crc >> 16));
+  with_crc.push_back(uint8_t(crc >> 8));
+  with_crc.push_back(uint8_t(crc));
+  EXPECT_EQ(mpeg_crc32(with_crc), 0u);
+}
+
+TEST(TransportStream, PacketsAre188BytesWithSync) {
+  const auto es = make_es(3);
+  const auto ts = mux_transport_stream(es);
+  ASSERT_EQ(ts.size() % kTsPacketSize, 0u);
+  for (size_t i = 0; i < ts.size(); i += kTsPacketSize)
+    ASSERT_EQ(ts[i], kTsSyncByte) << "packet " << i / kTsPacketSize;
+}
+
+TEST(TransportStream, MuxDemuxRoundtripsElementaryStream) {
+  const auto es = make_es();
+  const auto ts = mux_transport_stream(es);
+  const auto d = demux_transport_stream(ts);
+  EXPECT_EQ(d.video_es, es);
+  EXPECT_EQ(d.continuity_errors, 0);
+  EXPECT_GT(d.psi_packets, 0);
+  EXPECT_EQ(d.video_pid, TsMuxConfig{}.video_pid);
+  EXPECT_EQ(d.pts.size(), 9u);
+}
+
+TEST(TransportStream, CustomPidsAreDiscoveredViaPsi) {
+  const auto es = make_es(3);
+  TsMuxConfig cfg;
+  cfg.pmt_pid = 0x0ABC;
+  cfg.video_pid = 0x0DEF & 0x1FFF;
+  cfg.program_number = 42;
+  const auto ts = mux_transport_stream(es, cfg);
+  const auto d = demux_transport_stream(ts);
+  EXPECT_EQ(d.video_pid, cfg.video_pid);
+  EXPECT_EQ(d.video_es, es);
+}
+
+TEST(TransportStream, PcrIsMonotoneAt27MHz) {
+  const auto es = make_es(12);
+  TsMuxConfig cfg;
+  cfg.pcr_interval_pictures = 2;
+  const auto ts = mux_transport_stream(es, cfg);
+  const auto d = demux_transport_stream(ts);
+  ASSERT_GE(d.pcr.size(), 5u);
+  for (size_t i = 1; i < d.pcr.size(); ++i)
+    EXPECT_GT(d.pcr[i], d.pcr[i - 1]);
+  // Consecutive PCRs are two frame periods apart (27 MHz clock, 30 fps).
+  const double expect = 2.0 * 27e6 / 30.0;
+  EXPECT_NEAR(double(d.pcr[2] - d.pcr[1]), expect, 27e6 / 30.0 * 0.1);
+}
+
+TEST(TransportStream, DecodesThroughTheContainer) {
+  const auto es = make_es();
+  const auto ts = mux_transport_stream(es);
+  const auto d = demux_transport_stream(ts);
+  int frames = 0;
+  mpeg2::Mpeg2Decoder dec;
+  dec.decode(d.video_es,
+             [&](const mpeg2::Frame&, const mpeg2::DecodedPictureInfo&) {
+               ++frames;
+             });
+  EXPECT_EQ(frames, 9);
+}
+
+TEST(TransportStream, IgnoresNullAndForeignPackets) {
+  const auto es = make_es(3);
+  auto ts = mux_transport_stream(es);
+  // Interleave a null packet and a foreign-PID packet after the first 10
+  // packets (not between a PES's packets... insert at a packet boundary
+  // after PSI; continuity per PID is untouched by foreign PIDs).
+  std::vector<uint8_t> null_pkt(kTsPacketSize, 0xFF);
+  null_pkt[0] = kTsSyncByte;
+  null_pkt[1] = 0x1F;
+  null_pkt[2] = 0xFF;
+  null_pkt[3] = 0x10;
+  std::vector<uint8_t> foreign(kTsPacketSize, 0xAA);
+  foreign[0] = kTsSyncByte;
+  foreign[1] = 0x05;  // PID 0x05xx: neither PAT, PMT nor video
+  foreign[2] = 0x55;
+  foreign[3] = 0x11;
+  ts.insert(ts.begin() + long(kTsPacketSize) * 2, foreign.begin(),
+            foreign.end());
+  ts.insert(ts.begin() + long(kTsPacketSize) * 2, null_pkt.begin(),
+            null_pkt.end());
+  const auto d = demux_transport_stream(ts);
+  EXPECT_EQ(d.video_es, es);
+  EXPECT_GE(d.ignored_packets, 2);
+  EXPECT_EQ(d.continuity_errors, 0);
+}
+
+TEST(TransportStream, DetectsContinuityGaps) {
+  const auto es = make_es(6);
+  auto ts = mux_transport_stream(es);
+  // Drop one mid-stream video packet (aligned removal keeps sync).
+  const size_t victim = (ts.size() / kTsPacketSize) / 2 * kTsPacketSize;
+  ts.erase(ts.begin() + long(victim), ts.begin() + long(victim + kTsPacketSize));
+  const auto d = demux_transport_stream(ts);
+  EXPECT_GE(d.continuity_errors, 1);
+}
+
+TEST(TransportStream, RejectsMisalignedInput) {
+  const auto es = make_es(2);
+  auto ts = mux_transport_stream(es);
+  ts.pop_back();
+  EXPECT_THROW(demux_transport_stream(ts), CheckError);
+}
+
+TEST(TransportStream, RejectsLostSync) {
+  const auto es = make_es(2);
+  auto ts = mux_transport_stream(es);
+  ts[kTsPacketSize * 3] = 0x00;  // clobber a sync byte
+  EXPECT_THROW(demux_transport_stream(ts), CheckError);
+}
+
+}  // namespace
+}  // namespace pdw::ps

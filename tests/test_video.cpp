@@ -1,0 +1,122 @@
+// Synthetic video generator and stream catalog tests.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "video/catalog.h"
+#include "video/generator.h"
+
+namespace pdw::video {
+namespace {
+
+TEST(Generators, DeterministicAcrossInstances) {
+  for (SceneKind kind :
+       {SceneKind::kPanningTexture, SceneKind::kMovingObjects,
+        SceneKind::kAnimation, SceneKind::kLocalizedDetail}) {
+    const auto a = make_scene(kind, 128, 96, 42);
+    const auto b = make_scene(kind, 128, 96, 42);
+    mpeg2::Frame fa(128, 96), fb(128, 96);
+    a->render(7, &fa);
+    b->render(7, &fb);
+    EXPECT_EQ(fa, fb) << scene_kind_name(kind);
+  }
+}
+
+TEST(Generators, SeedChangesContent) {
+  const auto a = make_scene(SceneKind::kMovingObjects, 128, 96, 1);
+  const auto b = make_scene(SceneKind::kMovingObjects, 128, 96, 2);
+  mpeg2::Frame fa(128, 96), fb(128, 96);
+  a->render(0, &fa);
+  b->render(0, &fb);
+  EXPECT_NE(fa.y, fb.y);
+}
+
+TEST(Generators, FramesChangeOverTime) {
+  for (SceneKind kind :
+       {SceneKind::kPanningTexture, SceneKind::kMovingObjects,
+        SceneKind::kAnimation, SceneKind::kLocalizedDetail}) {
+    const auto g = make_scene(kind, 128, 96, 9);
+    mpeg2::Frame f0(128, 96), f1(128, 96);
+    g->render(0, &f0);
+    g->render(1, &f1);
+    EXPECT_NE(f0.y, f1.y) << scene_kind_name(kind) << " must have motion";
+  }
+}
+
+TEST(Generators, MotionIsModerateBetweenFrames) {
+  // Mean absolute frame difference should be nonzero but far below full
+  // swing — otherwise motion estimation would be useless.
+  const auto g = make_scene(SceneKind::kPanningTexture, 128, 96, 5);
+  mpeg2::Frame f0(128, 96), f1(128, 96);
+  g->render(10, &f0);
+  g->render(11, &f1);
+  double diff = 0;
+  for (int y = 0; y < 96; ++y)
+    for (int x = 0; x < 128; ++x)
+      diff += std::abs(int(f0.y.at(x, y)) - int(f1.y.at(x, y)));
+  diff /= 128 * 96;
+  EXPECT_GT(diff, 0.5);
+  EXPECT_LT(diff, 40.0);
+}
+
+TEST(Generators, LocalizedDetailIsActuallyLocalized) {
+  const int w = 256, h = 192;
+  const auto g = make_scene(SceneKind::kLocalizedDetail, w, h, 3);
+  mpeg2::Frame f(w, h);
+  g->render(5, &f);
+  // High-frequency energy near the nebula centre (~0.32w, 0.36h) vs the
+  // opposite corner, which only carries faint grain and sparse stars.
+  auto energy = [&](int x0, int y0) {
+    double e = 0;
+    for (int y = y0; y < y0 + 64; ++y)
+      for (int x = x0; x < x0 + 63; ++x)
+        e += std::abs(int(f.y.at(x + 1, y)) - int(f.y.at(x, y)));
+    return e;
+  };
+  EXPECT_GT(energy(w / 4 - 16, h / 4 - 16), 2.0 * energy(w - 72, h - 72));
+}
+
+TEST(Generators, RejectsUnalignedDimensions) {
+  EXPECT_THROW(make_scene(SceneKind::kAnimation, 100, 96, 1), CheckError);
+}
+
+TEST(Catalog, HasSixteenStreamsMatchingTable4) {
+  const auto& cat = stream_catalog();
+  ASSERT_EQ(cat.size(), 16u);
+  for (size_t i = 0; i < cat.size(); ++i) {
+    EXPECT_EQ(cat[i].id, int(i) + 1);
+    EXPECT_EQ(cat[i].width % 16, 0);
+    EXPECT_EQ(cat[i].height % 16, 0);
+    EXPECT_GE(cat[i].tiles_m, 1);
+    EXPECT_GE(cat[i].tiles_n, 1);
+  }
+  EXPECT_EQ(stream_by_id(1).width, 720);   // DVD
+  EXPECT_EQ(stream_by_id(8).width, 1280);  // 720p HDTV
+  EXPECT_EQ(stream_by_id(16).width, 3840); // near-IMAX
+  EXPECT_EQ(stream_by_id(16).tiles_m, 4);
+  EXPECT_EQ(stream_by_id(16).tiles_n, 4);
+  // Resolutions are non-decreasing in pixel count from stream 4 onward.
+  for (size_t i = 4; i < cat.size(); ++i)
+    EXPECT_GE(cat[i].pixels(), cat[i - 1].pixels());
+}
+
+TEST(Catalog, StreamCacheRoundtrips) {
+  setenv("PDW_CACHE_DIR", "/tmp/pdw_test_cache", 1);
+  const StreamSpec& spec = stream_by_id(1);
+  const auto a = load_stream(spec, 4);
+  const auto b = load_stream(spec, 4);  // second load hits the cache
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.size(), 1000u);
+  unsetenv("PDW_CACHE_DIR");
+}
+
+TEST(Catalog, MetricsMath) {
+  const StreamSpec& spec = stream_by_id(5);  // 1280x720 @ 30
+  std::vector<uint8_t> es(size_t(30) * 34560);  // 0.3 bpp exactly
+  const auto m = measure_stream(spec, es, 30);
+  EXPECT_NEAR(m.bpp, 0.3, 1e-9);
+  EXPECT_NEAR(m.bit_rate_mbps, 0.3 * 1280 * 720 * 30 / 1e6, 1e-6);
+}
+
+}  // namespace
+}  // namespace pdw::video
