@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mei.dir/bench_ablation_mei.cpp.o"
+  "CMakeFiles/bench_ablation_mei.dir/bench_ablation_mei.cpp.o.d"
+  "bench_ablation_mei"
+  "bench_ablation_mei.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mei.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sph.dir/bench_ablation_sph.cpp.o"
+  "CMakeFiles/bench_ablation_sph.dir/bench_ablation_sph.cpp.o.d"
+  "bench_ablation_sph"
+  "bench_ablation_sph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig7_breakdown.cpp" "bench/CMakeFiles/bench_fig7_breakdown.dir/bench_fig7_breakdown.cpp.o" "gcc" "bench/CMakeFiles/bench_fig7_breakdown.dir/bench_fig7_breakdown.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/pdw_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pdw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pdw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pdw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/pdw_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/enc/CMakeFiles/pdw_enc.dir/DependInfo.cmake"
+  "/root/repo/build/src/wall/CMakeFiles/pdw_wall.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpeg2/CMakeFiles/pdw_mpeg2.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitstream/CMakeFiles/pdw_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pdw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_streams.dir/bench_table4_streams.cpp.o"
+  "CMakeFiles/bench_table4_streams.dir/bench_table4_streams.cpp.o.d"
+  "bench_table4_streams"
+  "bench_table4_streams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_fig6_framerate.dir/bench_table5_fig6_framerate.cpp.o"
+  "CMakeFiles/bench_table5_fig6_framerate.dir/bench_table5_fig6_framerate.cpp.o.d"
+  "bench_table5_fig6_framerate"
+  "bench_table5_fig6_framerate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_fig6_framerate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_fig8_resolution.dir/bench_table6_fig8_resolution.cpp.o"
+  "CMakeFiles/bench_table6_fig8_resolution.dir/bench_table6_fig8_resolution.cpp.o.d"
+  "bench_table6_fig8_resolution"
+  "bench_table6_fig8_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_fig8_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

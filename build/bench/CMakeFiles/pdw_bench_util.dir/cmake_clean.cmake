@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdw_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/pdw_bench_util.dir/bench_util.cpp.o.d"
+  "libpdw_bench_util.a"
+  "libpdw_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdw_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/configure_wall.dir/configure_wall.cpp.o"
+  "CMakeFiles/configure_wall.dir/configure_wall.cpp.o.d"
+  "configure_wall"
+  "configure_wall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/configure_wall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

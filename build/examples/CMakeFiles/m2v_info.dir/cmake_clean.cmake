@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2v_info.dir/m2v_info.cpp.o"
+  "CMakeFiles/m2v_info.dir/m2v_info.cpp.o.d"
+  "m2v_info"
+  "m2v_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2v_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/ps_tool.cpp" "examples/CMakeFiles/ps_tool.dir/ps_tool.cpp.o" "gcc" "examples/CMakeFiles/ps_tool.dir/ps_tool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ps/CMakeFiles/pdw_ps.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpeg2/CMakeFiles/pdw_mpeg2.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitstream/CMakeFiles/pdw_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pdw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

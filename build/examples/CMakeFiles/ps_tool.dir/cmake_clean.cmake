@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_tool.dir/ps_tool.cpp.o"
+  "CMakeFiles/ps_tool.dir/ps_tool.cpp.o.d"
+  "ps_tool"
+  "ps_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

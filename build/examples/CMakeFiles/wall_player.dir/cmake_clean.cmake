@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wall_player.dir/wall_player.cpp.o"
+  "CMakeFiles/wall_player.dir/wall_player.cpp.o.d"
+  "wall_player"
+  "wall_player.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wall_player.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

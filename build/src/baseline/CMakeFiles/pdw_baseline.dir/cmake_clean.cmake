@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdw_baseline.dir/levels.cpp.o"
+  "CMakeFiles/pdw_baseline.dir/levels.cpp.o.d"
+  "CMakeFiles/pdw_baseline.dir/slice_pipeline.cpp.o"
+  "CMakeFiles/pdw_baseline.dir/slice_pipeline.cpp.o.d"
+  "libpdw_baseline.a"
+  "libpdw_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdw_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdw_bitstream.dir/bit_writer.cpp.o"
+  "CMakeFiles/pdw_bitstream.dir/bit_writer.cpp.o.d"
+  "CMakeFiles/pdw_bitstream.dir/start_code.cpp.o"
+  "CMakeFiles/pdw_bitstream.dir/start_code.cpp.o.d"
+  "libpdw_bitstream.a"
+  "libpdw_bitstream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdw_bitstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

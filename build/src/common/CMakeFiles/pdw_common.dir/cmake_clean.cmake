@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdw_common.dir/check.cpp.o"
+  "CMakeFiles/pdw_common.dir/check.cpp.o.d"
+  "CMakeFiles/pdw_common.dir/stats.cpp.o"
+  "CMakeFiles/pdw_common.dir/stats.cpp.o.d"
+  "CMakeFiles/pdw_common.dir/text_table.cpp.o"
+  "CMakeFiles/pdw_common.dir/text_table.cpp.o.d"
+  "libpdw_common.a"
+  "libpdw_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdw_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

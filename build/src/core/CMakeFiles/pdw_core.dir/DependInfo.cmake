@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/pdw_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/pdw_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/lockstep.cpp" "src/core/CMakeFiles/pdw_core.dir/lockstep.cpp.o" "gcc" "src/core/CMakeFiles/pdw_core.dir/lockstep.cpp.o.d"
+  "/root/repo/src/core/mb_splitter.cpp" "src/core/CMakeFiles/pdw_core.dir/mb_splitter.cpp.o" "gcc" "src/core/CMakeFiles/pdw_core.dir/mb_splitter.cpp.o.d"
+  "/root/repo/src/core/mei.cpp" "src/core/CMakeFiles/pdw_core.dir/mei.cpp.o" "gcc" "src/core/CMakeFiles/pdw_core.dir/mei.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/pdw_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/pdw_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/root_splitter.cpp" "src/core/CMakeFiles/pdw_core.dir/root_splitter.cpp.o" "gcc" "src/core/CMakeFiles/pdw_core.dir/root_splitter.cpp.o.d"
+  "/root/repo/src/core/subpicture.cpp" "src/core/CMakeFiles/pdw_core.dir/subpicture.cpp.o" "gcc" "src/core/CMakeFiles/pdw_core.dir/subpicture.cpp.o.d"
+  "/root/repo/src/core/tile_decoder.cpp" "src/core/CMakeFiles/pdw_core.dir/tile_decoder.cpp.o" "gcc" "src/core/CMakeFiles/pdw_core.dir/tile_decoder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpeg2/CMakeFiles/pdw_mpeg2.dir/DependInfo.cmake"
+  "/root/repo/build/src/wall/CMakeFiles/pdw_wall.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pdw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pdw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitstream/CMakeFiles/pdw_bitstream.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

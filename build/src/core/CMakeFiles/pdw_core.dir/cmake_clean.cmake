@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdw_core.dir/config.cpp.o"
+  "CMakeFiles/pdw_core.dir/config.cpp.o.d"
+  "CMakeFiles/pdw_core.dir/lockstep.cpp.o"
+  "CMakeFiles/pdw_core.dir/lockstep.cpp.o.d"
+  "CMakeFiles/pdw_core.dir/mb_splitter.cpp.o"
+  "CMakeFiles/pdw_core.dir/mb_splitter.cpp.o.d"
+  "CMakeFiles/pdw_core.dir/mei.cpp.o"
+  "CMakeFiles/pdw_core.dir/mei.cpp.o.d"
+  "CMakeFiles/pdw_core.dir/pipeline.cpp.o"
+  "CMakeFiles/pdw_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/pdw_core.dir/root_splitter.cpp.o"
+  "CMakeFiles/pdw_core.dir/root_splitter.cpp.o.d"
+  "CMakeFiles/pdw_core.dir/subpicture.cpp.o"
+  "CMakeFiles/pdw_core.dir/subpicture.cpp.o.d"
+  "CMakeFiles/pdw_core.dir/tile_decoder.cpp.o"
+  "CMakeFiles/pdw_core.dir/tile_decoder.cpp.o.d"
+  "libpdw_core.a"
+  "libpdw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

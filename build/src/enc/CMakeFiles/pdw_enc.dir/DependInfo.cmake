@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/enc/encoder.cpp" "src/enc/CMakeFiles/pdw_enc.dir/encoder.cpp.o" "gcc" "src/enc/CMakeFiles/pdw_enc.dir/encoder.cpp.o.d"
+  "/root/repo/src/enc/motion_est.cpp" "src/enc/CMakeFiles/pdw_enc.dir/motion_est.cpp.o" "gcc" "src/enc/CMakeFiles/pdw_enc.dir/motion_est.cpp.o.d"
+  "/root/repo/src/enc/rate_control.cpp" "src/enc/CMakeFiles/pdw_enc.dir/rate_control.cpp.o" "gcc" "src/enc/CMakeFiles/pdw_enc.dir/rate_control.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpeg2/CMakeFiles/pdw_mpeg2.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitstream/CMakeFiles/pdw_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pdw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

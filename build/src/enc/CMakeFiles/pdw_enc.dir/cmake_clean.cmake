@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdw_enc.dir/encoder.cpp.o"
+  "CMakeFiles/pdw_enc.dir/encoder.cpp.o.d"
+  "CMakeFiles/pdw_enc.dir/motion_est.cpp.o"
+  "CMakeFiles/pdw_enc.dir/motion_est.cpp.o.d"
+  "CMakeFiles/pdw_enc.dir/rate_control.cpp.o"
+  "CMakeFiles/pdw_enc.dir/rate_control.cpp.o.d"
+  "libpdw_enc.a"
+  "libpdw_enc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdw_enc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

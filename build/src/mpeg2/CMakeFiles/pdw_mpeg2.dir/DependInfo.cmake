@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpeg2/decoder.cpp" "src/mpeg2/CMakeFiles/pdw_mpeg2.dir/decoder.cpp.o" "gcc" "src/mpeg2/CMakeFiles/pdw_mpeg2.dir/decoder.cpp.o.d"
+  "/root/repo/src/mpeg2/frame.cpp" "src/mpeg2/CMakeFiles/pdw_mpeg2.dir/frame.cpp.o" "gcc" "src/mpeg2/CMakeFiles/pdw_mpeg2.dir/frame.cpp.o.d"
+  "/root/repo/src/mpeg2/headers.cpp" "src/mpeg2/CMakeFiles/pdw_mpeg2.dir/headers.cpp.o" "gcc" "src/mpeg2/CMakeFiles/pdw_mpeg2.dir/headers.cpp.o.d"
+  "/root/repo/src/mpeg2/idct.cpp" "src/mpeg2/CMakeFiles/pdw_mpeg2.dir/idct.cpp.o" "gcc" "src/mpeg2/CMakeFiles/pdw_mpeg2.dir/idct.cpp.o.d"
+  "/root/repo/src/mpeg2/mb_parser.cpp" "src/mpeg2/CMakeFiles/pdw_mpeg2.dir/mb_parser.cpp.o" "gcc" "src/mpeg2/CMakeFiles/pdw_mpeg2.dir/mb_parser.cpp.o.d"
+  "/root/repo/src/mpeg2/motion.cpp" "src/mpeg2/CMakeFiles/pdw_mpeg2.dir/motion.cpp.o" "gcc" "src/mpeg2/CMakeFiles/pdw_mpeg2.dir/motion.cpp.o.d"
+  "/root/repo/src/mpeg2/quant.cpp" "src/mpeg2/CMakeFiles/pdw_mpeg2.dir/quant.cpp.o" "gcc" "src/mpeg2/CMakeFiles/pdw_mpeg2.dir/quant.cpp.o.d"
+  "/root/repo/src/mpeg2/recon.cpp" "src/mpeg2/CMakeFiles/pdw_mpeg2.dir/recon.cpp.o" "gcc" "src/mpeg2/CMakeFiles/pdw_mpeg2.dir/recon.cpp.o.d"
+  "/root/repo/src/mpeg2/tables.cpp" "src/mpeg2/CMakeFiles/pdw_mpeg2.dir/tables.cpp.o" "gcc" "src/mpeg2/CMakeFiles/pdw_mpeg2.dir/tables.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bitstream/CMakeFiles/pdw_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pdw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdw_mpeg2.dir/decoder.cpp.o"
+  "CMakeFiles/pdw_mpeg2.dir/decoder.cpp.o.d"
+  "CMakeFiles/pdw_mpeg2.dir/frame.cpp.o"
+  "CMakeFiles/pdw_mpeg2.dir/frame.cpp.o.d"
+  "CMakeFiles/pdw_mpeg2.dir/headers.cpp.o"
+  "CMakeFiles/pdw_mpeg2.dir/headers.cpp.o.d"
+  "CMakeFiles/pdw_mpeg2.dir/idct.cpp.o"
+  "CMakeFiles/pdw_mpeg2.dir/idct.cpp.o.d"
+  "CMakeFiles/pdw_mpeg2.dir/mb_parser.cpp.o"
+  "CMakeFiles/pdw_mpeg2.dir/mb_parser.cpp.o.d"
+  "CMakeFiles/pdw_mpeg2.dir/motion.cpp.o"
+  "CMakeFiles/pdw_mpeg2.dir/motion.cpp.o.d"
+  "CMakeFiles/pdw_mpeg2.dir/quant.cpp.o"
+  "CMakeFiles/pdw_mpeg2.dir/quant.cpp.o.d"
+  "CMakeFiles/pdw_mpeg2.dir/recon.cpp.o"
+  "CMakeFiles/pdw_mpeg2.dir/recon.cpp.o.d"
+  "CMakeFiles/pdw_mpeg2.dir/tables.cpp.o"
+  "CMakeFiles/pdw_mpeg2.dir/tables.cpp.o.d"
+  "libpdw_mpeg2.a"
+  "libpdw_mpeg2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdw_mpeg2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

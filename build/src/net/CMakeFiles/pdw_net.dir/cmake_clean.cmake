@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdw_net.dir/fabric.cpp.o"
+  "CMakeFiles/pdw_net.dir/fabric.cpp.o.d"
+  "libpdw_net.a"
+  "libpdw_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdw_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdw_ps.dir/program_stream.cpp.o"
+  "CMakeFiles/pdw_ps.dir/program_stream.cpp.o.d"
+  "CMakeFiles/pdw_ps.dir/transport_stream.cpp.o"
+  "CMakeFiles/pdw_ps.dir/transport_stream.cpp.o.d"
+  "libpdw_ps.a"
+  "libpdw_ps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdw_ps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

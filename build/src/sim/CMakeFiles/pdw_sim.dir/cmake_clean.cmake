@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdw_sim.dir/cluster_sim.cpp.o"
+  "CMakeFiles/pdw_sim.dir/cluster_sim.cpp.o.d"
+  "libpdw_sim.a"
+  "libpdw_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdw_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

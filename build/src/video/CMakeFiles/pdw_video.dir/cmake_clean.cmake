@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdw_video.dir/catalog.cpp.o"
+  "CMakeFiles/pdw_video.dir/catalog.cpp.o.d"
+  "CMakeFiles/pdw_video.dir/generator.cpp.o"
+  "CMakeFiles/pdw_video.dir/generator.cpp.o.d"
+  "libpdw_video.a"
+  "libpdw_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdw_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdw_wall.dir/assembler.cpp.o"
+  "CMakeFiles/pdw_wall.dir/assembler.cpp.o.d"
+  "CMakeFiles/pdw_wall.dir/geometry.cpp.o"
+  "CMakeFiles/pdw_wall.dir/geometry.cpp.o.d"
+  "libpdw_wall.a"
+  "libpdw_wall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdw_wall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

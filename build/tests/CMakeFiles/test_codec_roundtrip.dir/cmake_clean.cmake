@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_codec_roundtrip.dir/test_codec_roundtrip.cpp.o"
+  "CMakeFiles/test_codec_roundtrip.dir/test_codec_roundtrip.cpp.o.d"
+  "test_codec_roundtrip"
+  "test_codec_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_codec_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_error_resilience.dir/test_error_resilience.cpp.o"
+  "CMakeFiles/test_error_resilience.dir/test_error_resilience.cpp.o.d"
+  "test_error_resilience"
+  "test_error_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_error_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

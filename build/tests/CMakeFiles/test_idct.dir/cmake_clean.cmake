@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_idct.dir/test_idct.cpp.o"
+  "CMakeFiles/test_idct.dir/test_idct.cpp.o.d"
+  "test_idct"
+  "test_idct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_idct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

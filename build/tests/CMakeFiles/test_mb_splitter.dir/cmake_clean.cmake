@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mb_splitter.dir/test_mb_splitter.cpp.o"
+  "CMakeFiles/test_mb_splitter.dir/test_mb_splitter.cpp.o.d"
+  "test_mb_splitter"
+  "test_mb_splitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mb_splitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_program_stream.dir/test_program_stream.cpp.o"
+  "CMakeFiles/test_program_stream.dir/test_program_stream.cpp.o.d"
+  "test_program_stream"
+  "test_program_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_program_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

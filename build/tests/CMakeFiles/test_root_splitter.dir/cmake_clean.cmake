@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_root_splitter.dir/test_root_splitter.cpp.o"
+  "CMakeFiles/test_root_splitter.dir/test_root_splitter.cpp.o.d"
+  "test_root_splitter"
+  "test_root_splitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_root_splitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

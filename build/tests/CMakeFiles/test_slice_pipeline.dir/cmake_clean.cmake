@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slice_pipeline.dir/test_slice_pipeline.cpp.o"
+  "CMakeFiles/test_slice_pipeline.dir/test_slice_pipeline.cpp.o.d"
+  "test_slice_pipeline"
+  "test_slice_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slice_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subpicture.dir/test_subpicture.cpp.o"
+  "CMakeFiles/test_subpicture.dir/test_subpicture.cpp.o.d"
+  "test_subpicture"
+  "test_subpicture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subpicture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tile_decoder.dir/test_tile_decoder.cpp.o"
+  "CMakeFiles/test_tile_decoder.dir/test_tile_decoder.cpp.o.d"
+  "test_tile_decoder"
+  "test_tile_decoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tile_decoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

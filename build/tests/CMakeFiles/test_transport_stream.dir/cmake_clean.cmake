@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transport_stream.dir/test_transport_stream.cpp.o"
+  "CMakeFiles/test_transport_stream.dir/test_transport_stream.cpp.o.d"
+  "test_transport_stream"
+  "test_transport_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transport_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

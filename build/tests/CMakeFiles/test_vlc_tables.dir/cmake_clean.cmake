@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vlc_tables.dir/test_vlc_tables.cpp.o"
+  "CMakeFiles/test_vlc_tables.dir/test_vlc_tables.cpp.o.d"
+  "test_vlc_tables"
+  "test_vlc_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vlc_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
