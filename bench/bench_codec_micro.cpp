@@ -1,14 +1,22 @@
 // Codec micro-benchmarks (google-benchmark): the per-primitive costs that
 // make up t_s and t_d — IDCT, forward DCT, DCT coefficient VLC decode,
 // half-pel motion compensation, start-code scanning, full-picture split and
-// full-picture decode.
+// full-picture decode. The BM_Kernel* group runs each dispatched kernel at
+// every supported level (scalar/sse2/avx2), so the scalar-vs-SIMD speedup
+// per primitive reads directly off one report.
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
 
 #include "bitstream/start_code.h"
 #include "common/stats.h"
 #include "core/mb_splitter.h"
 #include "core/root_splitter.h"
 #include "enc/encoder.h"
+#include "kernels/kernels.h"
 #include "mpeg2/decoder.h"
 #include "mpeg2/idct.h"
 #include "mpeg2/motion.h"
@@ -149,7 +157,133 @@ void BM_SerialDecodePicture(benchmark::State& state) {
 }
 BENCHMARK(BM_SerialDecodePicture)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Per-level kernel benchmarks: the same primitive timed through each
+// compiled-in dispatch table the host supports. Registered from main() so
+// unsupported levels simply do not appear.
+// ---------------------------------------------------------------------------
+
+void bm_kernel_idct(benchmark::State& state, const kernels::KernelTable* t) {
+  SplitMix64 rng(1);
+  alignas(32) int16_t block[64];
+  for (auto& v : block) v = int16_t(int(rng.next_below(400)) - 200);
+  alignas(32) int16_t work[64];
+  for (auto _ : state) {
+    std::copy(std::begin(block), std::end(block), std::begin(work));
+    t->idct_8x8(work);
+    benchmark::DoNotOptimize(work[0]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void bm_kernel_interp(benchmark::State& state, const kernels::KernelTable* t) {
+  SplitMix64 rng(2);
+  uint8_t window[17 * 17];
+  for (auto& v : window) v = uint8_t(rng.next());
+  uint8_t dst[16 * 16];
+  for (auto _ : state) {
+    t->interp_halfpel(window, 17, dst, 16, 16, 1, 1);  // worst case: hx=hy=1
+    benchmark::DoNotOptimize(dst[0]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void bm_kernel_add_residual(benchmark::State& state,
+                            const kernels::KernelTable* t) {
+  SplitMix64 rng(3);
+  alignas(32) int16_t res[64];
+  for (auto& v : res) v = int16_t(int(rng.next_below(512)) - 256);
+  uint8_t dst[16 * 8];
+  for (auto& v : dst) v = uint8_t(rng.next());
+  for (auto _ : state) {
+    t->add_residual_8x8(res, dst, 16);
+    benchmark::DoNotOptimize(dst[0]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void bm_kernel_dequant(benchmark::State& state, const kernels::KernelTable* t) {
+  SplitMix64 rng(4);
+  int16_t qfs[64];
+  for (auto& v : qfs)
+    v = rng.next_below(3) == 0 ? 0 : int16_t(int(rng.next_below(600)) - 300);
+  const auto& scan = mpeg2::scan_table(false);
+  const auto& w = mpeg2::kDefaultIntraQuant;
+  int16_t out[64];
+  for (auto _ : state) {
+    t->dequant_intra(qfs, out, w.data(), 16, 4, scan.data());
+    benchmark::DoNotOptimize(out[0]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void bm_kernel_sad(benchmark::State& state, const kernels::KernelTable* t) {
+  SplitMix64 rng(5);
+  uint8_t a[64 * 16], b[64 * 17];
+  for (auto& v : a) v = uint8_t(rng.next());
+  for (auto& v : b) v = uint8_t(rng.next());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t->sad16x16(a, 64, b, 64, UINT32_MAX));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void register_kernel_benches() {
+  using benchmark::RegisterBenchmark;
+  for (int i = 0; i < kernels::kLevelCount; ++i) {
+    const auto level = kernels::Level(i);
+    const kernels::KernelTable* t = kernels::table_for(level);
+    if (t == nullptr) continue;
+    const std::string suffix = std::string("/") + kernels::level_name(level);
+    RegisterBenchmark(("BM_KernelIdct" + suffix).c_str(), bm_kernel_idct, t);
+    RegisterBenchmark(("BM_KernelInterpHalfpel" + suffix).c_str(),
+                      bm_kernel_interp, t);
+    RegisterBenchmark(("BM_KernelAddResidual" + suffix).c_str(),
+                      bm_kernel_add_residual, t);
+    RegisterBenchmark(("BM_KernelDequantIntra" + suffix).c_str(),
+                      bm_kernel_dequant, t);
+    RegisterBenchmark(("BM_KernelSad16x16" + suffix).c_str(), bm_kernel_sad, t);
+  }
+}
+
 }  // namespace
 }  // namespace pdw
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): (a) normalize the
+// --benchmark_min_time flag so both google-benchmark generations accept the
+// same invocation (1.8+ takes "0.2s"/"25x"; the 1.7 series only a plain
+// double — strip a trailing "s" when the rest parses as a number), and
+// (b) register the per-level kernel benchmarks for the levels this host
+// supports.
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  constexpr const char kMinTime[] = "--benchmark_min_time=";
+  for (auto& a : args) {
+    if (a.rfind(kMinTime, 0) == 0 && !a.empty() && a.back() == 's') {
+      std::string value = a.substr(sizeof(kMinTime) - 1);
+      value.pop_back();
+      char* end = nullptr;
+      std::strtod(value.c_str(), &end);
+      if (end != value.c_str() && *end == '\0')
+        a = kMinTime + value;  // "0.2s" -> "0.2"
+    }
+  }
+  std::vector<char*> cargs;
+  for (auto& a : args) cargs.push_back(a.data());
+  int cargc = int(cargs.size());
+
+  pdw::register_kernel_benches();
+  benchmark::Initialize(&cargc, cargs.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data())) return 1;
+  std::printf("active kernel level: %s\n",
+              pdw::kernels::level_name(pdw::kernels::active_level()));
+  // The library routes its context header (host info, warnings) to stderr;
+  // send everything to stdout so result files capture the full report and a
+  // clean run leaves stderr empty.
+  benchmark::ConsoleReporter reporter(benchmark::ConsoleReporter::OO_Tabular);
+  reporter.SetOutputStream(&std::cout);
+  reporter.SetErrorStream(&std::cout);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

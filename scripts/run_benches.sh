@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Build (Release) and run every benchmark binary, refreshing bench_results/.
+#
+# Each bench writes bench_results/NAME.txt (stdout); stderr goes to
+# bench_results/NAME.err only when non-empty, so a clean run leaves no .err
+# files behind. Streams are generated once and cached under PDW_CACHE_DIR
+# (default /tmp/pdw_stream_cache); the first run is much slower than later
+# ones.
+#
+# Usage: scripts/run_benches.sh [build_dir]
+#   PDW_FRAMES=N     frames per generated stream (default 48)
+#   PDW_KERNELS=...  force a kernel dispatch level (scalar|sse2|avx2)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build-bench}"
+results="$repo/bench_results"
+
+cmake -S "$repo" -B "$build" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build" -j"$(nproc)"
+
+mkdir -p "$results"
+
+benches=(
+  bench_codec_micro
+  bench_table1_levels
+  bench_table4_streams
+  bench_table5_fig6_framerate
+  bench_table6_fig8_resolution
+  bench_fig7_breakdown
+  bench_fig9_bandwidth
+  bench_ablation_mei
+  bench_ablation_sph
+  bench_ablation_zerocopy
+  bench_ablation_dynamic
+)
+
+for name in "${benches[@]}"; do
+  bin="$build/bench/$name"
+  [ -x "$bin" ] || { echo "missing $bin" >&2; exit 1; }
+  echo "=== $name ==="
+  args=()
+  if [ "$name" = bench_codec_micro ]; then
+    # Both google-benchmark generations accept this via the bench's own
+    # flag normalization (1.7 wants a plain double, 1.8+ the "s" suffix).
+    args+=(--benchmark_min_time=0.2s)
+  fi
+  rm -f "$results/$name.err"
+  if ! "$bin" "${args[@]}" > "$results/$name.txt" 2> "$results/$name.err"; then
+    echo "FAILED: $name (see $results/$name.err)" >&2
+    exit 1
+  fi
+  # Keep .err only if something was actually printed there.
+  [ -s "$results/$name.err" ] || rm -f "$results/$name.err"
+done
+
+echo "done: results in $results"

@@ -27,36 +27,37 @@ class BitReader {
     skip(bit_offset % 8);
   }
 
-  // Next `n` bits (n in [0,24]) left-aligned into the low bits, without
+  // Next `n` bits (n in [0,32]) left-aligned into the low bits, without
   // consuming. Bits past the end of the buffer read as zero; callers detect
   // overrun via overrun() / CHECK at a safe boundary.
   uint32_t peek(int n) {
-    PDW_CHECK_LE(n, 24);
+    PDW_CHECK_LE(n, 32);
     fill(n);
     return n == 0 ? 0u : uint32_t(cache_ >> (kCacheBits - n));
   }
 
   void skip(size_t n) {
-    while (n > 24) {
-      consume(24);
-      n -= 24;
+    while (n > 32) {
+      consume(32);
+      n -= 32;
     }
     consume(int(n));
   }
 
-  // Read and consume `n` bits, n in [0,24].
+  // Read and consume `n` bits, n in [0,32]. Wide enough for a whole start
+  // code (prefix + code byte) in one call.
   uint32_t read(int n) {
     const uint32_t v = peek(n);
     consume(n);
     return v;
   }
 
-  // Read a value wider than 24 bits (e.g. 32-bit start codes in tests).
+  // Read a value wider than 32 bits (e.g. 42-bit fields in tests).
   uint64_t read_wide(int n) {
     PDW_CHECK_LE(n, 64);
     uint64_t v = 0;
     while (n > 0) {
-      const int chunk = n > 24 ? 24 : n;
+      const int chunk = n > 32 ? 32 : n;
       v = (v << chunk) | read(chunk);
       n -= chunk;
     }

@@ -21,8 +21,7 @@ RootSplitter::RootSplitter(std::span<const uint8_t> es) : es_(es) {
   // Pick up the mandatory sequence extension that follows.
   r.align_to_byte();
   if (r.peek(24) == 0x000001) {
-    r.skip(24);
-    const uint8_t code = uint8_t(r.read(8));
+    const uint8_t code = uint8_t(r.read(32) & 0xFF);
     if (code == start_code::kExtension)
       mpeg2::parse_extension(r, &info_.seq, nullptr);
   }

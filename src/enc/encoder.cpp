@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <memory>
 
 #include "bitstream/bit_writer.h"
 #include "common/check.h"
+#include "kernels/kernels.h"
 #include "enc/motion_est.h"
 #include "enc/rate_control.h"
 #include "mpeg2/headers.h"
@@ -207,13 +209,9 @@ class PictureEncoder {
   }
 
   uint32_t pred_sad(const MacroblockPixels& pred, int mbx, int mby) const {
-    uint32_t sad = 0;
-    for (int r = 0; r < 16; ++r) {
-      const uint8_t* a = orig_.y.row(mby * 16 + r) + mbx * 16;
-      const uint8_t* p = pred.y + r * 16;
-      for (int c = 0; c < 16; ++c) sad += uint32_t(std::abs(int(a[c]) - p[c]));
-    }
-    return sad;
+    return kernels::active().sad16x16(orig_.y.row(mby * 16) + mbx * 16,
+                                      orig_.y.width(), pred.y, 16,
+                                      std::numeric_limits<uint32_t>::max());
   }
 
   // Quantise the six residual (or intra) blocks; returns cbp.

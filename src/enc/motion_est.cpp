@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <limits>
 
+#include "kernels/kernels.h"
+
 namespace pdw::enc {
 
 using mpeg2::Plane;
@@ -11,19 +13,14 @@ using mpeg2::Plane;
 namespace {
 
 // Full-pel 16x16 SAD; returns UINT32_MAX when out of bounds or when the
-// running sum exceeds `best` (early exit).
+// total meets/exceeds `best`. Bounds checks stay here; the pixel loop is a
+// dispatched kernel (psadbw under SSE2/AVX2).
 uint32_t sad_fullpel(const Plane& cur, const Plane& ref, int cx, int cy,
                      int rx, int ry, uint32_t best) {
   if (rx < 0 || ry < 0 || rx + 16 > ref.width() || ry + 16 > ref.height())
     return std::numeric_limits<uint32_t>::max();
-  uint32_t sad = 0;
-  for (int r = 0; r < 16; ++r) {
-    const uint8_t* a = cur.row(cy + r) + cx;
-    const uint8_t* b = ref.row(ry + r) + rx;
-    for (int c = 0; c < 16; ++c) sad += uint32_t(std::abs(int(a[c]) - int(b[c])));
-    if (sad >= best) return std::numeric_limits<uint32_t>::max();
-  }
-  return sad;
+  return kernels::active().sad16x16(cur.row(cy) + cx, cur.width(),
+                                    ref.row(ry) + rx, ref.width(), best);
 }
 
 }  // namespace
@@ -39,25 +36,9 @@ uint32_t sad_halfpel(const Plane& cur, const Plane& ref, int mbx, int mby,
   if (rx < 0 || ry < 0 || rx + 16 + hx > ref.width() ||
       ry + 16 + hy > ref.height())
     return std::numeric_limits<uint32_t>::max();
-  uint32_t sad = 0;
-  for (int r = 0; r < 16; ++r) {
-    const uint8_t* a = cur.row(cy + r) + cx;
-    const uint8_t* b0 = ref.row(ry + r) + rx;
-    const uint8_t* b1 = ref.row(ry + r + hy) + rx;
-    for (int c = 0; c < 16; ++c) {
-      int p;
-      if (!hx && !hy)
-        p = b0[c];
-      else if (hx && !hy)
-        p = (b0[c] + b0[c + 1] + 1) >> 1;
-      else if (!hx && hy)
-        p = (b0[c] + b1[c] + 1) >> 1;
-      else
-        p = (b0[c] + b0[c + 1] + b1[c] + b1[c + 1] + 2) >> 2;
-      sad += uint32_t(std::abs(int(a[c]) - p));
-    }
-  }
-  return sad;
+  return kernels::active().sad16x16_halfpel(cur.row(cy) + cx, cur.width(),
+                                            ref.row(ry) + rx, ref.width(), hx,
+                                            hy);
 }
 
 MotionResult estimate_motion(const Plane& cur, const Plane& ref, int mbx,

@@ -1,0 +1,132 @@
+// The 8x8 IDCT butterfly, lane-parallel, templated over a vector ops type.
+//
+// This is the *same* 32-bit fixed-point arithmetic as the scalar reference
+// (kernels_scalar.cpp), applied to vectors whose lanes are independent rows
+// (row pass) or columns (column pass). The scalar code's DC-only shortcut is
+// omitted because the general path provably produces identical values:
+//   row:  ((dc << 11) + 128) >> 8      == dc << 3  (exactly, all int16 dc)
+//   col:  ((dc << 8) + 8192) >> 14     == (dc + 32) >> 6
+// and with all-AC-zero inputs every cross term collapses to 0 before any
+// rounding shift, so lane-parallel execution is bit-exact by construction.
+//
+// Ops requirements (V is the vector of 8 (or 2x4) int32 lanes):
+//   V    add(V, V), sub(V, V)
+//   V    shl(V, int), sra(V, int)        — lane-wise shifts
+//   V    mulc(V, int32_t)                — low 32 bits of lane * constant
+//   V    splat(int32_t)
+//   V    trunc16(V)                      — sign-extend the low 16 bits
+//                                          (replicates the scalar int16 store)
+//   V    clamp256(V)                     — clamp lanes to [-256, 255]
+#pragma once
+
+#include <cstdint>
+
+namespace pdw::kernels {
+
+namespace idct_const {
+// Fixed-point constants: 2048 * sqrt(2) * cos(k*pi/16).
+inline constexpr int32_t W1 = 2841;
+inline constexpr int32_t W2 = 2676;
+inline constexpr int32_t W3 = 2408;
+inline constexpr int32_t W5 = 1609;
+inline constexpr int32_t W6 = 1108;
+inline constexpr int32_t W7 = 565;
+}  // namespace idct_const
+
+// Row pass: in[k] holds coefficient column k (one row per lane), 11-bit
+// fixed point; outputs are truncated to int16 as the scalar code stores them.
+template <typename O>
+inline void idct_rows_vec(typename O::V b[8]) {
+  using namespace idct_const;
+  typename O::V x1 = O::shl(b[4], 11);
+  typename O::V x2 = b[6];
+  typename O::V x3 = b[2];
+  typename O::V x4 = b[1];
+  typename O::V x5 = b[7];
+  typename O::V x6 = b[5];
+  typename O::V x7 = b[3];
+  typename O::V x0 = O::add(O::shl(b[0], 11), O::splat(128));
+
+  typename O::V x8 = O::mulc(O::add(x4, x5), W7);
+  x4 = O::add(x8, O::mulc(x4, W1 - W7));
+  x5 = O::sub(x8, O::mulc(x5, W1 + W7));
+  x8 = O::mulc(O::add(x6, x7), W3);
+  x6 = O::sub(x8, O::mulc(x6, W3 - W5));
+  x7 = O::sub(x8, O::mulc(x7, W3 + W5));
+
+  x8 = O::add(x0, x1);
+  x0 = O::sub(x0, x1);
+  x1 = O::mulc(O::add(x3, x2), W6);
+  x2 = O::sub(x1, O::mulc(x2, W2 + W6));
+  x3 = O::add(x1, O::mulc(x3, W2 - W6));
+  x1 = O::add(x4, x6);
+  x4 = O::sub(x4, x6);
+  x6 = O::add(x5, x7);
+  x5 = O::sub(x5, x7);
+
+  x7 = O::add(x8, x3);
+  x8 = O::sub(x8, x3);
+  x3 = O::add(x0, x2);
+  x0 = O::sub(x0, x2);
+  x2 = O::sra(O::add(O::mulc(O::add(x4, x5), 181), O::splat(128)), 8);
+  x4 = O::sra(O::add(O::mulc(O::sub(x4, x5), 181), O::splat(128)), 8);
+
+  b[0] = O::trunc16(O::sra(O::add(x7, x1), 8));
+  b[1] = O::trunc16(O::sra(O::add(x3, x2), 8));
+  b[2] = O::trunc16(O::sra(O::add(x0, x4), 8));
+  b[3] = O::trunc16(O::sra(O::add(x8, x6), 8));
+  b[4] = O::trunc16(O::sra(O::sub(x8, x6), 8));
+  b[5] = O::trunc16(O::sra(O::sub(x0, x4), 8));
+  b[6] = O::trunc16(O::sra(O::sub(x3, x2), 8));
+  b[7] = O::trunc16(O::sra(O::sub(x7, x1), 8));
+}
+
+// Column pass: in[j] holds row-pass output row j (one column per lane);
+// includes the final descale and clamp to [-256, 255].
+template <typename O>
+inline void idct_cols_vec(typename O::V b[8]) {
+  using namespace idct_const;
+  typename O::V x1 = O::shl(b[4], 8);
+  typename O::V x2 = b[6];
+  typename O::V x3 = b[2];
+  typename O::V x4 = b[1];
+  typename O::V x5 = b[7];
+  typename O::V x6 = b[5];
+  typename O::V x7 = b[3];
+  typename O::V x0 = O::add(O::shl(b[0], 8), O::splat(8192));
+
+  typename O::V x8 = O::add(O::mulc(O::add(x4, x5), W7), O::splat(4));
+  x4 = O::sra(O::add(x8, O::mulc(x4, W1 - W7)), 3);
+  x5 = O::sra(O::sub(x8, O::mulc(x5, W1 + W7)), 3);
+  x8 = O::add(O::mulc(O::add(x6, x7), W3), O::splat(4));
+  x6 = O::sra(O::sub(x8, O::mulc(x6, W3 - W5)), 3);
+  x7 = O::sra(O::sub(x8, O::mulc(x7, W3 + W5)), 3);
+
+  x8 = O::add(x0, x1);
+  x0 = O::sub(x0, x1);
+  x1 = O::add(O::mulc(O::add(x3, x2), W6), O::splat(4));
+  x2 = O::sra(O::sub(x1, O::mulc(x2, W2 + W6)), 3);
+  x3 = O::sra(O::add(x1, O::mulc(x3, W2 - W6)), 3);
+  x1 = O::add(x4, x6);
+  x4 = O::sub(x4, x6);
+  x6 = O::add(x5, x7);
+  x5 = O::sub(x5, x7);
+
+  x7 = O::add(x8, x3);
+  x8 = O::sub(x8, x3);
+  x3 = O::add(x0, x2);
+  x0 = O::sub(x0, x2);
+  x2 = O::sra(O::add(O::mulc(O::add(x4, x5), 181), O::splat(128)), 8);
+  x4 = O::sra(O::add(O::mulc(O::sub(x4, x5), 181), O::splat(128)), 8);
+
+  b[0] = O::clamp256(O::sra(O::add(x7, x1), 14));
+  b[1] = O::clamp256(O::sra(O::add(x3, x2), 14));
+  b[2] = O::clamp256(O::sra(O::add(x0, x4), 14));
+  b[3] = O::clamp256(O::sra(O::add(x8, x6), 14));
+  b[4] = O::clamp256(O::sra(O::sub(x8, x6), 14));
+  b[5] = O::clamp256(O::sra(O::sub(x0, x4), 14));
+  b[6] = O::clamp256(O::sra(O::sub(x3, x2), 14));
+  b[7] = O::clamp256(O::sra(O::sub(x7, x1), 14));
+}
+
+}  // namespace pdw::kernels

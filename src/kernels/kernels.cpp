@@ -1,0 +1,126 @@
+// Kernel dispatch: pick the best table the CPU supports, honouring the
+// PDW_KERNELS environment override, and expose per-level tables for tests.
+#include "kernels/kernels.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "kernels/kernels_internal.h"
+
+namespace pdw::kernels {
+
+namespace {
+
+bool cpu_supports(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return true;
+    case Level::kSse2:
+#if defined(__x86_64__)
+      return true;  // SSE2 is baseline x86-64
+#elif defined(__i386__)
+      return __builtin_cpu_supports("sse2");
+#else
+      return false;
+#endif
+    case Level::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx2");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool parse_level(const char* s, Level* out) {
+  if (std::strcmp(s, "scalar") == 0) {
+    *out = Level::kScalar;
+  } else if (std::strcmp(s, "sse2") == 0) {
+    *out = Level::kSse2;
+  } else if (std::strcmp(s, "avx2") == 0) {
+    *out = Level::kAvx2;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const KernelTable* select_initial() {
+  Level level = best_supported_level();
+  if (const char* env = std::getenv("PDW_KERNELS")) {
+    Level wanted;
+    if (!parse_level(env, &wanted)) {
+      std::fprintf(stderr,
+                   "[kernels] PDW_KERNELS=%s not recognised "
+                   "(scalar|sse2|avx2); using %s\n",
+                   env, level_name(level));
+    } else if (table_for(wanted) == nullptr) {
+      std::fprintf(stderr,
+                   "[kernels] PDW_KERNELS=%s unsupported on this host; "
+                   "using %s\n",
+                   env, level_name(level));
+    } else {
+      level = wanted;
+    }
+  }
+  return table_for(level);
+}
+
+std::atomic<const KernelTable*> g_active{nullptr};
+
+}  // namespace
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kSse2:
+      return "sse2";
+    case Level::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+const KernelTable* table_for(Level level) {
+  if (!cpu_supports(level)) return nullptr;
+  switch (level) {
+    case Level::kScalar:
+      return scalar_table();
+    case Level::kSse2:
+      return sse2_table();
+    case Level::kAvx2:
+      return avx2_table();
+  }
+  return nullptr;
+}
+
+Level best_supported_level() {
+  if (table_for(Level::kAvx2)) return Level::kAvx2;
+  if (table_for(Level::kSse2)) return Level::kSse2;
+  return Level::kScalar;
+}
+
+const KernelTable& active() {
+  const KernelTable* t = g_active.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    // Benign race: concurrent first uses compute the same table.
+    t = select_initial();
+    g_active.store(t, std::memory_order_release);
+  }
+  return *t;
+}
+
+Level active_level() { return active().level; }
+
+bool set_active_level(Level level) {
+  const KernelTable* t = table_for(level);
+  if (t == nullptr) return false;
+  g_active.store(t, std::memory_order_release);
+  return true;
+}
+
+}  // namespace pdw::kernels

@@ -1,0 +1,14 @@
+// Internal: per-level table accessors, one per translation unit. A level
+// that is not compiled in (non-x86 build) returns nullptr; the dispatcher
+// additionally gates sse2/avx2 on runtime CPU support.
+#pragma once
+
+#include "kernels/kernels.h"
+
+namespace pdw::kernels {
+
+const KernelTable* scalar_table();  // always available
+const KernelTable* sse2_table();    // nullptr unless built with SSE2
+const KernelTable* avx2_table();    // nullptr unless built with AVX2
+
+}  // namespace pdw::kernels

@@ -1,0 +1,69 @@
+// Shared 128-bit SIMD building blocks for the SSE2 and AVX2 kernel TUs.
+//
+// Everything here is `inline` and compiled separately in each including TU,
+// so the AVX2 TU gets VEX-encoded copies while the SSE2 TU stays within
+// baseline x86-64. Only included when __SSE2__ is available.
+#pragma once
+
+#if defined(__SSE2__)
+
+#include <emmintrin.h>
+
+#include <cstdint>
+
+namespace pdw::kernels::simd {
+// Anonymous namespace: compiled per-TU with different target flags; internal
+// linkage prevents cross-TU comdat folding (see kernels_m128_impl.h).
+namespace {
+
+// Low 32 bits of the lane-wise 32x32 product (SSE2 has no pmulld; the low
+// half of an unsigned widening multiply equals the signed low half).
+inline __m128i mul_lo32(__m128i a, __m128i b) {
+  const __m128i even = _mm_mul_epu32(a, b);
+  const __m128i odd =
+      _mm_mul_epu32(_mm_srli_si128(a, 4), _mm_srli_si128(b, 4));
+  const __m128i even_lo = _mm_shuffle_epi32(even, _MM_SHUFFLE(2, 0, 2, 0));
+  const __m128i odd_lo = _mm_shuffle_epi32(odd, _MM_SHUFFLE(2, 0, 2, 0));
+  return _mm_unpacklo_epi32(even_lo, odd_lo);
+}
+
+// Sign-extend the low / high four int16 lanes to int32.
+inline __m128i sext_lo16(__m128i v) {
+  return _mm_srai_epi32(_mm_unpacklo_epi16(v, v), 16);
+}
+inline __m128i sext_hi16(__m128i v) {
+  return _mm_srai_epi32(_mm_unpackhi_epi16(v, v), 16);
+}
+
+// 8x8 int16 transpose, in place over eight registers.
+inline void transpose8x8_epi16(__m128i r[8]) {
+  const __m128i b0 = _mm_unpacklo_epi16(r[0], r[1]);
+  const __m128i b1 = _mm_unpackhi_epi16(r[0], r[1]);
+  const __m128i b2 = _mm_unpacklo_epi16(r[2], r[3]);
+  const __m128i b3 = _mm_unpackhi_epi16(r[2], r[3]);
+  const __m128i b4 = _mm_unpacklo_epi16(r[4], r[5]);
+  const __m128i b5 = _mm_unpackhi_epi16(r[4], r[5]);
+  const __m128i b6 = _mm_unpacklo_epi16(r[6], r[7]);
+  const __m128i b7 = _mm_unpackhi_epi16(r[6], r[7]);
+  const __m128i c0 = _mm_unpacklo_epi32(b0, b2);
+  const __m128i c1 = _mm_unpackhi_epi32(b0, b2);
+  const __m128i c2 = _mm_unpacklo_epi32(b1, b3);
+  const __m128i c3 = _mm_unpackhi_epi32(b1, b3);
+  const __m128i c4 = _mm_unpacklo_epi32(b4, b6);
+  const __m128i c5 = _mm_unpackhi_epi32(b4, b6);
+  const __m128i c6 = _mm_unpacklo_epi32(b5, b7);
+  const __m128i c7 = _mm_unpackhi_epi32(b5, b7);
+  r[0] = _mm_unpacklo_epi64(c0, c4);
+  r[1] = _mm_unpackhi_epi64(c0, c4);
+  r[2] = _mm_unpacklo_epi64(c1, c5);
+  r[3] = _mm_unpackhi_epi64(c1, c5);
+  r[4] = _mm_unpacklo_epi64(c2, c6);
+  r[5] = _mm_unpackhi_epi64(c2, c6);
+  r[6] = _mm_unpacklo_epi64(c3, c7);
+  r[7] = _mm_unpackhi_epi64(c3, c7);
+}
+
+}  // namespace
+}  // namespace pdw::kernels::simd
+
+#endif  // __SSE2__

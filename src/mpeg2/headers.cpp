@@ -19,7 +19,7 @@ SequenceHeader parse_sequence_header(BitReader& r) {
   seq.height = int(r.read(12));
   seq.aspect_ratio_code = int(r.read(4));
   seq.frame_rate_code = int(r.read(4));
-  seq.bit_rate_value = int(r.read_wide(18));
+  seq.bit_rate_value = int(r.read(18));
   PDW_CHECK(r.read_bit()) << "marker bit";
   seq.vbv_buffer_size = int(r.read(10));
   r.read(1);  // constrained_parameters_flag
@@ -102,7 +102,7 @@ void parse_extension(BitReader& r, SequenceHeader* seq,
 
 GopHeader parse_gop_header(BitReader& r) {
   GopHeader gop;
-  gop.time_code = uint32_t(r.read_wide(25));
+  gop.time_code = r.read(25);
   gop.closed_gop = r.read_bit();
   gop.broken_link = r.read_bit();
   return gop;
@@ -153,8 +153,8 @@ size_t parse_picture_headers(std::span<const uint8_t> span,
     PDW_CHECK_GE(r.bits_left(), 32u) << "picture span without slices";
     PDW_CHECK(r.at_start_code_prefix()) << "expected start code in picture span";
     const size_t offset = r.bit_pos() / 8;
-    r.skip(24);
-    const uint8_t code = uint8_t(r.read(8));
+    // One 32-bit read takes the whole start code (prefix + code byte).
+    const uint8_t code = uint8_t(r.read(32) & 0xFF);
     if (code == start_code::kSequenceHeader) {
       *seq = parse_sequence_header(r);
       *have_seq = true;

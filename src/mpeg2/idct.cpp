@@ -3,131 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/kernels.h"
+
 namespace pdw::mpeg2 {
 
-namespace {
-
-// Fixed-point constants: 2048 * sqrt(2) * cos(k*pi/16).
-constexpr int32_t W1 = 2841;
-constexpr int32_t W2 = 2676;
-constexpr int32_t W3 = 2408;
-constexpr int32_t W5 = 1609;
-constexpr int32_t W6 = 1108;
-constexpr int32_t W7 = 565;
-
-inline int16_t clamp256(int32_t v) {
-  return int16_t(std::clamp(v, -256, 255));
-}
-
-// One row, 11-bit fixed point.
-void idct_row(int16_t* blk) {
-  int32_t x1 = int32_t(blk[4]) << 11;
-  int32_t x2 = blk[6];
-  int32_t x3 = blk[2];
-  int32_t x4 = blk[1];
-  int32_t x5 = blk[7];
-  int32_t x6 = blk[5];
-  int32_t x7 = blk[3];
-  if (!(x1 | x2 | x3 | x4 | x5 | x6 | x7)) {
-    const int16_t dc = int16_t(blk[0] << 3);
-    for (int i = 0; i < 8; ++i) blk[i] = dc;
-    return;
-  }
-  int32_t x0 = (int32_t(blk[0]) << 11) + 128;  // +128 for proper rounding
-
-  // First stage.
-  int32_t x8 = W7 * (x4 + x5);
-  x4 = x8 + (W1 - W7) * x4;
-  x5 = x8 - (W1 + W7) * x5;
-  x8 = W3 * (x6 + x7);
-  x6 = x8 - (W3 - W5) * x6;
-  x7 = x8 - (W3 + W5) * x7;
-
-  // Second stage.
-  x8 = x0 + x1;
-  x0 -= x1;
-  x1 = W6 * (x3 + x2);
-  x2 = x1 - (W2 + W6) * x2;
-  x3 = x1 + (W2 - W6) * x3;
-  x1 = x4 + x6;
-  x4 -= x6;
-  x6 = x5 + x7;
-  x5 -= x7;
-
-  // Third stage.
-  x7 = x8 + x3;
-  x8 -= x3;
-  x3 = x0 + x2;
-  x0 -= x2;
-  x2 = (181 * (x4 + x5) + 128) >> 8;
-  x4 = (181 * (x4 - x5) + 128) >> 8;
-
-  // Fourth stage.
-  blk[0] = int16_t((x7 + x1) >> 8);
-  blk[1] = int16_t((x3 + x2) >> 8);
-  blk[2] = int16_t((x0 + x4) >> 8);
-  blk[3] = int16_t((x8 + x6) >> 8);
-  blk[4] = int16_t((x8 - x6) >> 8);
-  blk[5] = int16_t((x0 - x4) >> 8);
-  blk[6] = int16_t((x3 - x2) >> 8);
-  blk[7] = int16_t((x7 - x1) >> 8);
-}
-
-// One column, with final descale and clamp.
-void idct_col(int16_t* blk) {
-  int32_t x1 = int32_t(blk[8 * 4]) << 8;
-  int32_t x2 = blk[8 * 6];
-  int32_t x3 = blk[8 * 2];
-  int32_t x4 = blk[8 * 1];
-  int32_t x5 = blk[8 * 7];
-  int32_t x6 = blk[8 * 5];
-  int32_t x7 = blk[8 * 3];
-  if (!(x1 | x2 | x3 | x4 | x5 | x6 | x7)) {
-    const int16_t dc = clamp256((blk[0] + 32) >> 6);
-    for (int i = 0; i < 8; ++i) blk[8 * i] = dc;
-    return;
-  }
-  int32_t x0 = (int32_t(blk[0]) << 8) + 8192;
-
-  int32_t x8 = W7 * (x4 + x5) + 4;
-  x4 = (x8 + (W1 - W7) * x4) >> 3;
-  x5 = (x8 - (W1 + W7) * x5) >> 3;
-  x8 = W3 * (x6 + x7) + 4;
-  x6 = (x8 - (W3 - W5) * x6) >> 3;
-  x7 = (x8 - (W3 + W5) * x7) >> 3;
-
-  x8 = x0 + x1;
-  x0 -= x1;
-  x1 = W6 * (x3 + x2) + 4;
-  x2 = (x1 - (W2 + W6) * x2) >> 3;
-  x3 = (x1 + (W2 - W6) * x3) >> 3;
-  x1 = x4 + x6;
-  x4 -= x6;
-  x6 = x5 + x7;
-  x5 -= x7;
-
-  x7 = x8 + x3;
-  x8 -= x3;
-  x3 = x0 + x2;
-  x0 -= x2;
-  x2 = (181 * (x4 + x5) + 128) >> 8;
-  x4 = (181 * (x4 - x5) + 128) >> 8;
-
-  blk[8 * 0] = clamp256((x7 + x1) >> 14);
-  blk[8 * 1] = clamp256((x3 + x2) >> 14);
-  blk[8 * 2] = clamp256((x0 + x4) >> 14);
-  blk[8 * 3] = clamp256((x8 + x6) >> 14);
-  blk[8 * 4] = clamp256((x8 - x6) >> 14);
-  blk[8 * 5] = clamp256((x0 - x4) >> 14);
-  blk[8 * 6] = clamp256((x3 - x2) >> 14);
-  blk[8 * 7] = clamp256((x7 - x1) >> 14);
-}
-
-}  // namespace
-
+// The fixed-point row/column IDCT lives in src/kernels (scalar reference in
+// kernels_scalar.cpp; bit-exact SSE2/AVX2 versions selected by CPU dispatch).
 void fast_idct_8x8(int16_t block[64]) {
-  for (int i = 0; i < 8; ++i) idct_row(block + 8 * i);
-  for (int i = 0; i < 8; ++i) idct_col(block + i);
+  kernels::active().idct_8x8(block);
 }
 
 void reference_idct_8x8(const int16_t in[64], double out[64]) {

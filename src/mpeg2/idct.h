@@ -2,8 +2,10 @@
 //
 // fast_idct_8x8 is the classic 32-bit fixed-point row/column IDCT
 // (Wang's factorization, as popularized by the mpeg2play/mpeg2dec decoders).
-// Every decode path in this project — serial reference decoder and tile
-// decoders alike — uses this one implementation, which is what makes the
+// It forwards to the dispatched kernel table (src/kernels): a scalar
+// reference plus bit-exact SSE2/AVX2 variants selected at startup, so every
+// decode path — serial reference decoder and tile decoders alike — computes
+// identical residuals at any dispatch level, which is what keeps the
 // parallel-vs-serial bit-exactness invariant (DESIGN.md §5.1) achievable.
 //
 // reference_idct_8x8 is a double-precision direct implementation used only

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "kernels/kernels.h"
+
 namespace pdw::mpeg2 {
 
 void FrameRefSource::fetch(int c, int x, int y, int w, int h, uint8_t* dst,
@@ -16,38 +18,6 @@ void FrameRefSource::fetch(int c, int x, int y, int w, int h, uint8_t* dst,
 }
 
 namespace {
-
-// Interpolate one SxS prediction block from a fetched source window.
-// hx/hy are the half-sample flags; src has (S+hx) x (S+hy) valid samples.
-void interpolate(const uint8_t* src, int src_stride, uint8_t* dst,
-                 int dst_stride, int S, int hx, int hy) {
-  if (!hx && !hy) {
-    for (int r = 0; r < S; ++r)
-      std::memcpy(dst + size_t(r) * dst_stride, src + size_t(r) * src_stride,
-                  size_t(S));
-  } else if (hx && !hy) {
-    for (int r = 0; r < S; ++r) {
-      const uint8_t* s = src + size_t(r) * src_stride;
-      uint8_t* d = dst + size_t(r) * dst_stride;
-      for (int c = 0; c < S; ++c) d[c] = uint8_t((s[c] + s[c + 1] + 1) >> 1);
-    }
-  } else if (!hx && hy) {
-    for (int r = 0; r < S; ++r) {
-      const uint8_t* s0 = src + size_t(r) * src_stride;
-      const uint8_t* s1 = s0 + src_stride;
-      uint8_t* d = dst + size_t(r) * dst_stride;
-      for (int c = 0; c < S; ++c) d[c] = uint8_t((s0[c] + s1[c] + 1) >> 1);
-    }
-  } else {
-    for (int r = 0; r < S; ++r) {
-      const uint8_t* s0 = src + size_t(r) * src_stride;
-      const uint8_t* s1 = s0 + src_stride;
-      uint8_t* d = dst + size_t(r) * dst_stride;
-      for (int c = 0; c < S; ++c)
-        d[c] = uint8_t((s0[c] + s0[c + 1] + s1[c] + s1[c + 1] + 2) >> 2);
-    }
-  }
-}
 
 // Predict all three planes of one macroblock for direction s.
 void predict_one_direction(const Macroblock& mb, int s, const RefSource* ref,
@@ -67,7 +37,7 @@ void predict_one_direction(const Macroblock& mb, int s, const RefSource* ref,
     const int y = S * mby + (mvy >> 1);
     ref->fetch(c, x, y, S + hx, S + hy, window, 17);
     uint8_t* dst = c == 0 ? out->y : (c == 1 ? out->cb : out->cr);
-    interpolate(window, 17, dst, S, S, hx, hy);
+    kernels::active().interp_halfpel(window, 17, dst, S, S, hx, hy);
   }
 }
 
@@ -82,12 +52,10 @@ void motion_compensate(const Macroblock& mb, const RefSource* fwd,
     MacroblockPixels back;
     predict_one_direction(mb, 0, fwd, mbx, mby, pred);
     predict_one_direction(mb, 1, bwd, mbx, mby, &back);
-    auto average = [](uint8_t* p, const uint8_t* q, size_t n) {
-      for (size_t i = 0; i < n; ++i) p[i] = uint8_t((p[i] + q[i] + 1) >> 1);
-    };
-    average(pred->y, back.y, sizeof(pred->y));
-    average(pred->cb, back.cb, sizeof(pred->cb));
-    average(pred->cr, back.cr, sizeof(pred->cr));
+    const auto& k = kernels::active();
+    k.avg_pixels(pred->y, back.y, sizeof(pred->y));
+    k.avg_pixels(pred->cb, back.cb, sizeof(pred->cb));
+    k.avg_pixels(pred->cr, back.cr, sizeof(pred->cr));
   } else if (b) {
     predict_one_direction(mb, 1, bwd, mbx, mby, pred);
   } else {

@@ -2,57 +2,22 @@
 
 #include <algorithm>
 
+#include "kernels/kernels.h"
+
 namespace pdw::mpeg2 {
 
-namespace {
-
-inline int16_t saturate(int32_t v) {
-  return int16_t(std::clamp(v, -2048, 2047));
-}
-
-// Mismatch control (§7.4.4): if the sum of all coefficients is even, toggle
-// the least significant bit of F[7][7].
-inline void mismatch_control(int16_t out[64], int32_t sum) {
-  if ((sum & 1) == 0) {
-    if (out[63] & 1)
-      out[63] = int16_t(out[63] - 1);
-    else
-      out[63] = int16_t(out[63] + 1);
-  }
-}
-
-}  // namespace
-
+// Decoder-side dequant lives in src/kernels (scalar reference plus bit-exact
+// SIMD variants selected at runtime). Encoder-side quantisation below stays
+// scalar: it runs once per block at encode time and is not a decode hot path.
 void dequant_intra(const int16_t qfs[64], int16_t out[64], const uint8_t w[64],
                    int scale, int dc_mult, const uint8_t scan[64]) {
-  for (int i = 0; i < 64; ++i) out[i] = 0;
-  out[0] = saturate(dc_mult * qfs[0]);
-  int32_t sum = out[0];
-  for (int i = 1; i < 64; ++i) {
-    if (qfs[i] == 0) continue;
-    const int pos = scan[i];
-    const int32_t v = (2 * int32_t(qfs[i]) * w[pos] * scale) / 32;
-    out[pos] = saturate(v);
-    sum += out[pos];
-  }
-  mismatch_control(out, sum);
+  kernels::active().dequant_intra(qfs, out, w, scale, dc_mult, scan);
 }
 
 void dequant_non_intra(const int16_t qfs[64], int16_t out[64],
                        const uint8_t w[64], int scale,
                        const uint8_t scan[64]) {
-  for (int i = 0; i < 64; ++i) out[i] = 0;
-  int32_t sum = 0;
-  for (int i = 0; i < 64; ++i) {
-    const int32_t qf = qfs[i];
-    if (qf == 0) continue;
-    const int pos = scan[i];
-    const int32_t third = qf > 0 ? 1 : -1;
-    const int32_t v = ((2 * qf + third) * w[pos] * scale) / 32;
-    out[pos] = saturate(v);
-    sum += out[pos];
-  }
-  mismatch_control(out, sum);
+  kernels::active().dequant_non_intra(qfs, out, w, scale, scan);
 }
 
 int quant_intra(const int16_t coeff[64], int16_t qfs[64], const uint8_t w[64],

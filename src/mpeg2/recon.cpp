@@ -3,30 +3,23 @@
 #include <algorithm>
 #include <cstring>
 
-#include "mpeg2/idct.h"
+#include "kernels/kernels.h"
 
 namespace pdw::mpeg2 {
 
 namespace {
 
-inline uint8_t clamp_pixel(int v) { return uint8_t(std::clamp(v, 0, 255)); }
-
 // Add an 8x8 residual block onto a prediction region (or write it directly
 // for intra macroblocks), clamping to [0, 255].
 void add_block(const int16_t* coeff, uint8_t* dst, int stride, bool intra) {
-  alignas(16) int16_t block[64];
+  const auto& k = kernels::active();
+  alignas(32) int16_t block[64];
   std::memcpy(block, coeff, sizeof(block));
-  fast_idct_8x8(block);
+  k.idct_8x8(block);
   if (intra) {
-    for (int r = 0; r < 8; ++r)
-      for (int c = 0; c < 8; ++c)
-        dst[size_t(r) * stride + c] = clamp_pixel(block[r * 8 + c]);
+    k.put_residual_8x8(block, dst, stride);
   } else {
-    for (int r = 0; r < 8; ++r)
-      for (int c = 0; c < 8; ++c) {
-        uint8_t& d = dst[size_t(r) * stride + c];
-        d = clamp_pixel(int(d) + block[r * 8 + c]);
-      }
+    k.add_residual_8x8(block, dst, stride);
   }
 }
 

@@ -89,6 +89,47 @@ TEST(BitReader, ReadWide) {
   EXPECT_EQ(r.read_wide(32), 0xDEADBEEFu);
 }
 
+TEST(BitReader, Full32BitReadAndPeek) {
+  // A whole start code (prefix + code byte) in one 32-bit access, including
+  // from an unaligned position.
+  const uint8_t data[] = {0x00, 0x00, 0x01, 0xB3, 0xCA, 0xFE, 0xBA, 0xBE};
+  BitReader r(data);
+  EXPECT_EQ(r.peek(32), 0x000001B3u);
+  EXPECT_EQ(r.bit_pos(), 0u);
+  EXPECT_EQ(r.read(32), 0x000001B3u);
+  EXPECT_EQ(r.read(32), 0xCAFEBABEu);
+  EXPECT_FALSE(r.overrun());
+
+  BitReader r2(data, 4);  // mid-byte start
+  EXPECT_EQ(r2.read(32), 0x00001B3Cu);
+}
+
+TEST(BitReader, SkipWiderThan32) {
+  const uint8_t data[] = {0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x5A};
+  BitReader r(data);
+  r.skip(56);
+  EXPECT_EQ(r.read(8), 0x5Au);
+}
+
+TEST(BitReader, Randomized32BitRoundtrip) {
+  SplitMix64 rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    BitWriter w;
+    std::vector<std::pair<uint32_t, int>> fields;
+    for (int i = 0; i < 100; ++i) {
+      const int len = 25 + int(rng.next_below(8));  // 25..32: the new range
+      const uint32_t v =
+          uint32_t(rng.next()) & uint32_t((uint64_t(1) << len) - 1);
+      fields.emplace_back(v, len);
+      w.put(v, len);
+    }
+    w.align_to_byte();
+    auto bytes = w.take();
+    BitReader r(bytes);
+    for (auto [v, len] : fields) EXPECT_EQ(r.read(len), v);
+  }
+}
+
 TEST(BitReader, RandomizedRoundtrip) {
   SplitMix64 rng(1234);
   for (int trial = 0; trial < 50; ++trial) {

@@ -1,73 +1,101 @@
 // IDCT accuracy tests (IEEE 1180-style statistical comparison against the
-// double-precision reference) and forward/inverse consistency.
+// double-precision reference) and forward/inverse consistency. The accuracy
+// checks run once per supported kernel dispatch level, so the SSE2 and AVX2
+// IDCTs must independently meet the same tolerances as the scalar reference.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <cstring>
+#include <vector>
 
 #include "common/stats.h"
+#include "kernels/kernels.h"
 #include "mpeg2/idct.h"
 
 namespace pdw::mpeg2 {
 namespace {
 
+// Runs `fn` once for every supported dispatch level, restoring the original
+// level afterwards. fast_idct_8x8 follows the active table, so this makes
+// the existing assertions cover each SIMD variant.
+template <typename Fn>
+void for_each_level(Fn&& fn) {
+  const kernels::Level original = kernels::active_level();
+  for (int i = 0; i < kernels::kLevelCount; ++i) {
+    const kernels::Level l = kernels::Level(i);
+    if (!kernels::level_supported(l)) continue;
+    ASSERT_TRUE(kernels::set_active_level(l));
+    SCOPED_TRACE(testing::Message() << "kernel level " << kernels::level_name(l));
+    fn();
+  }
+  ASSERT_TRUE(kernels::set_active_level(original));
+}
+
 TEST(Idct, DcOnlyBlockIsFlat) {
-  int16_t block[64] = {};
-  block[0] = 256;  // DC
-  fast_idct_8x8(block);
-  // Expected spatial value: 256 / 8 = 32 everywhere.
-  for (int i = 0; i < 64; ++i) EXPECT_EQ(block[i], 32) << i;
+  for_each_level([] {
+    int16_t block[64] = {};
+    block[0] = 256;  // DC
+    fast_idct_8x8(block);
+    // Expected spatial value: 256 / 8 = 32 everywhere.
+    for (int i = 0; i < 64; ++i) EXPECT_EQ(block[i], 32) << i;
+  });
 }
 
 TEST(Idct, ZeroBlockStaysZero) {
-  int16_t block[64] = {};
-  fast_idct_8x8(block);
-  for (int i = 0; i < 64; ++i) EXPECT_EQ(block[i], 0);
+  for_each_level([] {
+    int16_t block[64] = {};
+    fast_idct_8x8(block);
+    for (int i = 0; i < 64; ++i) EXPECT_EQ(block[i], 0);
+  });
 }
 
 TEST(Idct, MatchesReferenceWithinIeee1180Tolerances) {
   // Random coefficient blocks in the post-dequantisation range; the fast
   // integer IDCT must stay within 1 of the rounded reference everywhere,
   // with low mean error (IEEE 1180 criteria: peak 1, mean <= 0.0015).
-  SplitMix64 rng(42);
-  double err_sum = 0.0;
-  int64_t count = 0;
-  for (int trial = 0; trial < 2000; ++trial) {
-    int16_t block[64];
-    // Realistic sparse blocks: a few significant low-frequency coefficients.
-    std::memset(block, 0, sizeof(block));
-    const int n = 1 + int(rng.next_below(12));
-    for (int i = 0; i < n; ++i) {
-      const int pos = int(rng.next_below(64));
-      block[pos] = int16_t(int(rng.next_below(601)) - 300);
+  for_each_level([] {
+    SplitMix64 rng(42);
+    double err_sum = 0.0;
+    int64_t count = 0;
+    for (int trial = 0; trial < 2000; ++trial) {
+      int16_t block[64];
+      // Realistic sparse blocks: a few significant low-frequency coefficients.
+      std::memset(block, 0, sizeof(block));
+      const int n = 1 + int(rng.next_below(12));
+      for (int i = 0; i < n; ++i) {
+        const int pos = int(rng.next_below(64));
+        block[pos] = int16_t(int(rng.next_below(601)) - 300);
+      }
+      double ref[64];
+      reference_idct_8x8(block, ref);
+      fast_idct_8x8(block);
+      for (int i = 0; i < 64; ++i) {
+        const double clamped =
+            double(std::lround(std::clamp(ref[i], -256.0, 255.0)));
+        const double e = std::abs(double(block[i]) - clamped);
+        EXPECT_LE(e, 1.0) << "trial " << trial << " index " << i;
+        err_sum += e;
+        ++count;
+      }
     }
-    double ref[64];
-    reference_idct_8x8(block, ref);
-    fast_idct_8x8(block);
-    for (int i = 0; i < 64; ++i) {
-      const double clamped =
-          double(std::lround(std::clamp(ref[i], -256.0, 255.0)));
-      const double e = std::abs(double(block[i]) - clamped);
-      EXPECT_LE(e, 1.0) << "trial " << trial << " index " << i;
-      err_sum += e;
-      ++count;
-    }
-  }
-  EXPECT_LE(err_sum / double(count), 0.06);
+    EXPECT_LE(err_sum / double(count), 0.06);
+  });
 }
 
 TEST(Idct, OutputIsClampedTo256Range) {
-  SplitMix64 rng(7);
-  for (int trial = 0; trial < 200; ++trial) {
-    int16_t block[64];
-    for (int i = 0; i < 64; ++i)
-      block[i] = int16_t(int(rng.next_below(4096)) - 2048);
-    fast_idct_8x8(block);
-    for (int i = 0; i < 64; ++i) {
-      EXPECT_GE(block[i], -256);
-      EXPECT_LE(block[i], 255);
+  for_each_level([] {
+    SplitMix64 rng(7);
+    for (int trial = 0; trial < 200; ++trial) {
+      int16_t block[64];
+      for (int i = 0; i < 64; ++i)
+        block[i] = int16_t(int(rng.next_below(4096)) - 2048);
+      fast_idct_8x8(block);
+      for (int i = 0; i < 64; ++i) {
+        EXPECT_GE(block[i], -256);
+        EXPECT_LE(block[i], 255);
+      }
     }
-  }
+  });
 }
 
 TEST(Dct, ForwardInverseRoundtripOnPixels) {
