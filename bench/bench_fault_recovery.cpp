@@ -1,0 +1,164 @@
+// Fault injection and recovery — beyond the paper.
+//
+// The paper assumes a perfectly reliable Myrinet (§3); this bench measures
+// what the hardened runtime adds on an unreliable one:
+//   (a) DES drop-rate sweep: throughput cost of retransmission under
+//       increasing per-transmission loss;
+//   (b) DES crash-recovery sweep: recovery latency and residual frame rate
+//       for node death under both policies (tile adoption vs degraded mode)
+//       across health-monitor timeouts;
+//   (c) one threaded validation run: the real pipeline under the same kind
+//       of fault schedule, proving the protocol converges (nothing
+//       abandoned, nothing silently wrong) while the DES predicts its cost.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/check.h"
+#include "common/text_table.h"
+#include "core/pipeline.h"
+#include "net/fault.h"
+
+using namespace pdw;
+
+namespace {
+
+constexpr int kM = 2, kN = 2, kK = 2;
+
+void run_drop_sweep(const std::vector<core::PictureTrace>& traces,
+                    const wall::TileGeometry& geo) {
+  std::printf("\n--- (a) Drop-rate sweep (DES, 1-%d-(%d,%d)) ---\n", kK, kM,
+              kN);
+  sim::SimParams base;
+  base.k = kK;
+  base.link = benchutil::default_link();
+  const auto clean = sim::simulate_cluster(traces, geo, base);
+
+  TextTable table(
+      {"drop rate", "fps", "slowdown", "retransmits", "makespan (s)"});
+  const double rates[] = {0.0, 0.01, 0.05, 0.10, 0.20};
+  for (const double rate : rates) {
+    sim::SimParams p = base;
+    p.fault.seed = 42;
+    p.fault.drop_rate = rate;
+    const auto r = sim::simulate_cluster(traces, geo, p);
+    table.add_row({format("%.2f", rate), format("%.1f", r.fps),
+                   format("%.2fx", clean.fps / r.fps),
+                   format("%llu", (unsigned long long)r.retransmits),
+                   format("%.3f", r.makespan_s)});
+  }
+  table.print(stdout);
+  std::printf("\nCSV:\n");
+  table.print_csv(stdout);
+}
+
+void run_crash_sweep(const std::vector<core::PictureTrace>& traces,
+                     const wall::TileGeometry& geo) {
+  std::printf("\n--- (b) Crash recovery (DES, crash tile 3 mid-stream) ---\n");
+  sim::SimParams base;
+  base.k = kK;
+  base.link = benchutil::default_link();
+  const auto clean = sim::simulate_cluster(traces, geo, base);
+
+  TextTable table({"policy", "hb timeout (ms)", "detect (ms)", "resync pic",
+                   "recovery (ms)", "degraded frames", "fps", "fps vs clean"});
+  const double timeouts[] = {0.05, 0.10, 0.25, 0.50};
+  for (const bool adopt : {true, false}) {
+    for (const double hb : timeouts) {
+      sim::SimParams p = base;
+      p.fault.crash_tile = 3;
+      // A couple of pictures before mid-stream, so a closed-GOP resync
+      // point (every gop_size pictures) still exists downstream even at
+      // small PDW_FRAMES.
+      p.fault.crash_at_picture = int(traces.size()) / 2 - 2;
+      p.fault.hb_timeout_s = hb;
+      p.fault.adopt = adopt;
+      const auto r = sim::simulate_cluster(traces, geo, p);
+      PDW_CHECK_EQ(r.recoveries.size(), size_t(1));
+      const sim::SimRecovery& rec = r.recoveries[0];
+      table.add_row(
+          {adopt ? "adopt" : "degrade", format("%.0f", hb * 1e3),
+           format("%.1f", (rec.detect_time_s - rec.crash_time_s) * 1e3),
+           adopt ? format("%d", rec.resync_picture) : std::string("-"),
+           format("%.1f", rec.recovery_latency_s * 1e3),
+           format("%d", r.degraded_frames), format("%.1f", r.fps),
+           format("%.2f", r.fps / clean.fps)});
+    }
+  }
+  table.print(stdout);
+  std::printf("\nCSV:\n");
+  table.print_csv(stdout);
+}
+
+void run_threaded_validation(const std::vector<uint8_t>& es,
+                             const wall::TileGeometry& geo) {
+  std::printf(
+      "\n--- (c) Threaded validation (real pipeline, single host core) ---\n");
+  TextTable table({"schedule", "fps", "retransmits", "crc drops", "dup drops",
+                   "abandoned", "skipped", "recoveries", "detect (ms)"});
+
+  const auto run = [&](const char* name, const net::FaultInjector& inj,
+                       core::FtOptions ft) {
+    ft.injector = &inj;
+    core::ClusterPipeline pipeline(geo, kK, es, ft);
+    int frames = 0;
+    const auto stats = pipeline.run(
+        [&](int, const mpeg2::TileFrame&, const core::TileDisplayInfo&) {
+          ++frames;
+        });
+    PDW_CHECK_GT(frames, 0);
+    // The convergence guarantee the tests prove bit-exactly, asserted here
+    // at the protocol level: no reliable send may ever be given up on.
+    PDW_CHECK_EQ(stats.ft.transport.abandoned, uint64_t(0));
+    table.add_row(
+        {name, format("%.1f", stats.fps),
+         format("%llu", (unsigned long long)stats.ft.transport.retransmits),
+         format("%llu", (unsigned long long)stats.ft.transport.crc_drops),
+         format("%llu", (unsigned long long)stats.ft.transport.dup_drops),
+         format("%llu", (unsigned long long)stats.ft.transport.abandoned),
+         format("%llu", (unsigned long long)stats.ft.skipped_pictures),
+         format("%zu", stats.ft.recoveries.size()),
+         stats.ft.recoveries.empty()
+             ? std::string("-")
+             : format("%.0f", stats.ft.recoveries[0].detect_time_s * 1e3)});
+  };
+
+  const net::FaultInjector lossy(
+      7, net::FaultRates{.drop = 0.03, .dup = 0.03, .corrupt = 0.03});
+  run("drop+dup+corrupt 3%", lossy, {});
+
+  net::FaultInjector crash;
+  net::FaultEvent ev;
+  ev.kind = net::FaultEvent::Kind::kCrash;
+  ev.dst = 1 + kK + 3;  // tile 3's decoder node
+  ev.at_ordinal = 30;   // mid-stream (counted in deliveries to that node)
+  crash.add_event(ev);
+  core::FtOptions crash_ft;
+  crash_ft.protocol.heartbeat_interval_s = 0.01;
+  crash_ft.protocol.heartbeat_timeout_s = 0.25;
+  run("crash tile 3 + adopt", crash, crash_ft);
+
+  table.print(stdout);
+  std::printf("\nCSV:\n");
+  table.print_csv(stdout);
+}
+
+}  // namespace
+
+int main() {
+  benchutil::print_banner(
+      "Fault Injection & Recovery — beyond the paper",
+      "extends IPDPS'02 paper §3 (which assumes a reliable Myrinet)",
+      "retransmission keeps the wall bit-exact at a modest throughput cost; "
+      "after a node crash the wall recovers at the next closed GOP, with "
+      "recovery latency dominated by the health-monitor timeout");
+
+  const auto es = benchutil::stream(1);  // DVD-class 720x480
+  const video::StreamSpec& spec = video::stream_by_id(1);
+  wall::TileGeometry geo(spec.width, spec.height, kM, kN, benchutil::kOverlap);
+  const auto traces = benchutil::collect_traces(es, geo);
+
+  run_drop_sweep(traces, geo);
+  run_crash_sweep(traces, geo);
+  run_threaded_validation(es, geo);
+  return 0;
+}

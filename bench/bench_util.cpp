@@ -12,8 +12,9 @@ int bench_frames() { return video::default_frame_count(); }
 
 std::vector<uint8_t> stream(int id) {
   const video::StreamSpec& spec = video::stream_by_id(id);
-  std::fprintf(stderr, "[bench] stream %d (%s, %dx%d): generating/loading...\n",
-               id, spec.name.c_str(), spec.width, spec.height);
+  std::printf("[bench] stream %d (%s, %dx%d): generating/loading...\n",
+              id, spec.name.c_str(), spec.width, spec.height);
+  std::fflush(stdout);
   auto es = video::load_stream(spec, bench_frames());
   PDW_CHECK(!es.empty());
   return es;

@@ -33,6 +33,7 @@ benches=(
   bench_ablation_sph
   bench_ablation_zerocopy
   bench_ablation_dynamic
+  bench_fault_recovery
 )
 
 for name in "${benches[@]}"; do

@@ -48,6 +48,7 @@ void LockstepPipeline::run(const TileDisplayFn& on_display,
 
     const std::span<const uint8_t> span = root_.picture(i);
     trace.picture_bytes = span.size();
+    trace.has_gop_header = root_.span(i).has_gop_header;
 
     // Root: copy the picture into the (zero-copy posted) send buffer.
     {

@@ -24,6 +24,7 @@ namespace pdw::core {
 struct PictureTrace {
   uint32_t pic_index = 0;
   mpeg2::PicType type = mpeg2::PicType::I;
+  bool has_gop_header = false;  // picture starts a (closed) GOP — resync point
   size_t picture_bytes = 0;  // root -> splitter message size
   double copy_s = 0;         // root: copy picture into the send buffer
   double split_s = 0;        // second-level: parse + build SPs and MEIs

@@ -1,7 +1,12 @@
 #include "core/pipeline.h"
 
+#include <atomic>
 #include <deque>
+#include <map>
+#include <memory>
 #include <mutex>
+#include <set>
+#include <chrono>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
@@ -16,24 +21,42 @@ namespace pdw::core {
 namespace {
 
 enum MsgType : int {
-  kPictureMsg = 1,
-  kSubPictureMsg = 2,
-  kAckMsg = 3,
-  kExchangeMsg = 4,
-  kEndMsg = 5,
+  kPictureMsg = 1,     // root -> splitter, bulk
+  kSubPictureMsg = 2,  // splitter -> decoder, bulk (aux = tile)
+  kAckMsg = 3,         // decoder -> splitter / splitter -> root (seq = picture)
+  kExchangeMsg = 4,    // decoder -> decoder (aux = source tile)
+  kEndMsg = 5,         // root -> splitter
+  kHeartbeatMsg = 6,   // decoder -> root, fire-and-forget
+  kFinishedMsg = 7,    // decoder -> root: stream done, stop monitoring me
+  kNodeDeadMsg = 8,    // root -> everyone (aux = dead tile, seq = resync pic)
+  kSkipMsg = 9,        // splitter -> decoders: picture (aux=tile, seq) is lost
 };
 
-// Exchange message payload: count, then entries {ref, mbx, mby, pixels}.
+constexpr uint16_t kNoTile = 0xFFFF;
+
+// Key ordering state by (seq, tile) so everything at or below a picture
+// index can be erased with one lower_bound sweep.
+uint64_t tkey(int tile, uint32_t seq) {
+  return (uint64_t(seq) << 16) | uint16_t(tile);
+}
+
+// Exchange message payload: target tile, count, then entries
+// {tainted, ref, mbx, mby, pixels}. The tainted flag is how degradation
+// propagates across decoder boundaries: a peer that reconstructs from a
+// tainted halo macroblock marks its own frame degraded too.
 struct ExchangeEntry {
   MeiInstruction instr;
+  bool tainted = false;
   mpeg2::MacroblockPixels px;
 };
 
-void serialize_exchange(const std::vector<ExchangeEntry>& entries,
+void serialize_exchange(int dst_tile, const std::vector<ExchangeEntry>& entries,
                         std::vector<uint8_t>* out) {
   ByteWriter w(out);
+  w.u16(uint16_t(dst_tile));
   w.u32(uint32_t(entries.size()));
   for (const ExchangeEntry& e : entries) {
+    w.u8(e.tainted ? 1 : 0);
     w.u8(e.instr.ref);
     w.u16(e.instr.mb_x);
     w.u16(e.instr.mb_y);
@@ -42,11 +65,13 @@ void serialize_exchange(const std::vector<ExchangeEntry>& entries,
   }
 }
 
-std::vector<ExchangeEntry> deserialize_exchange(
-    std::span<const uint8_t> data) {
+std::vector<ExchangeEntry> deserialize_exchange(std::span<const uint8_t> data,
+                                                int* dst_tile) {
   ByteReader r(data);
+  *dst_tile = r.u16();
   std::vector<ExchangeEntry> out(r.u32());
   for (ExchangeEntry& e : out) {
+    e.tainted = r.u8() != 0;
     e.instr.op = MeiOp::kRecv;
     e.instr.ref = r.u8();
     e.instr.mb_x = r.u16();
@@ -56,6 +81,11 @@ std::vector<ExchangeEntry> deserialize_exchange(
   }
   PDW_CHECK(r.done());
   return out;
+}
+
+uint16_t peek_exchange_dst(std::span<const uint8_t> data) {
+  ByteReader r(data);
+  return r.u16();
 }
 
 // Combined sub-picture + MEI payload of a splitter->decoder message.
@@ -78,11 +108,43 @@ void deserialize_sp_msg(std::span<const uint8_t> data, SubPicture* sp,
   *mei = deserialize_mei(data.subspan(4 + sp_len));
 }
 
+void accumulate(net::ReliableStats* into, const net::ReliableStats& s) {
+  into->sent += s.sent;
+  into->retransmits += s.retransmits;
+  into->crc_drops += s.crc_drops;
+  into->dup_drops += s.dup_drops;
+  into->reordered += s.reordered;
+  into->abandoned += s.abandoned;
+  into->no_credit += s.no_credit;
+  into->holes += s.holes;
+}
+
+// What every node knows about a dead tile once the root's death notice
+// arrived: nobody serves its pictures before `resync`; from `resync` on the
+// adopter does (or nobody, in degraded mode).
+struct DeadTileInfo {
+  uint32_t resync = 0;
+  int adopter_tile = -1;
+};
+
+struct Shared {
+  std::mutex mu;  // guards recoveries
+  std::vector<RecoveryEvent> recoveries;
+  std::atomic<uint64_t> degraded{0};
+  std::atomic<uint64_t> skipped{0};
+  std::vector<net::ReliableStats> ep_stats;  // by node, written pre-join
+  std::atomic<bool> root_stop{false};
+  // Decoder threads done with their stream (finished or killed). They then
+  // stay resident t-acking peer retransmissions until fabric shutdown, so a
+  // slow retransmit to an already-finished node is never falsely abandoned.
+  std::atomic<int> decoders_done{0};
+};
+
 }  // namespace
 
 ClusterPipeline::ClusterPipeline(const wall::TileGeometry& geo, int k,
-                                 std::span<const uint8_t> es)
-    : geo_(geo), k_(k), es_(es) {
+                                 std::span<const uint8_t> es, FtOptions ft)
+    : geo_(geo), k_(k), es_(es), ft_(std::move(ft)) {
   PDW_CHECK_GE(k, 1);
 }
 
@@ -90,8 +152,12 @@ ClusterStats ClusterPipeline::run(const TileDisplayFn& on_display) {
   RootSplitter root(es_);
   const int tiles = geo_.tiles();
   const int total_pictures = root.picture_count();
+  const ProtocolConfig cfg = ft_.protocol;
   net::Fabric fabric(nodes());
+  if (ft_.injector) fabric.set_fault_injector(ft_.injector);
   std::mutex display_mu;
+  Shared shared;
+  shared.ep_stats.resize(size_t(nodes()));
 
   WallTimer timer;
 
@@ -106,32 +172,131 @@ ClusterStats ClusterPipeline::run(const TileDisplayFn& on_display) {
     fabric.post_receive(decoder_node(t));
   }
 
-  // --- Root splitter thread (Table 3, root) --------------------------------
+  // --- Root splitter thread (Table 3, root) + health monitor ---------------
   std::thread root_thread([&] {
+    net::ReliableEndpoint ep(&fabric, root_node(), cfg.reliable);
+    std::vector<double> last_hb(size_t(tiles), timer.seconds());
+    std::set<int> dead_nodes, finished_nodes;
+    std::vector<int> owner(size_t(tiles), -1);  // tile -> node now serving it
+    for (int t = 0; t < tiles; ++t) owner[size_t(t)] = decoder_node(t);
+    int64_t acks_seen = 0;  // go-aheads from splitters
+    int cursor = 0;         // next picture index to dispatch
+
+    const auto declare_dead = [&](int node) {
+      if (dead_nodes.count(node)) return;
+      dead_nodes.insert(node);
+      fabric.kill(node);  // fence: nothing more in or out of the corpse
+      ep.forget_peer(node);
+      // Resynchronization point: the first closed-GOP I picture the root has
+      // not yet dispatched. Every GOP starts with an I, and GOPs are closed,
+      // so decoding restarted there is bit-exact from that display slot on.
+      uint32_t resync = uint32_t(total_pictures);
+      for (int j = cursor; j < total_pictures; ++j) {
+        if (root.span(j).has_gop_header) {
+          resync = uint32_t(j);
+          break;
+        }
+      }
+      for (int t = 0; t < tiles; ++t) {
+        if (owner[size_t(t)] != node) continue;
+        int adopter_tile = -1;
+        if (ft_.recovery == RecoveryPolicy::kAdopt) {
+          for (int t2 = 0; t2 < tiles; ++t2) {
+            if (owner[size_t(t2)] != node && !dead_nodes.count(owner[size_t(t2)])) {
+              adopter_tile = t2;
+              break;
+            }
+          }
+        }
+        {
+          std::lock_guard<std::mutex> lock(shared.mu);
+          shared.recoveries.push_back(RecoveryEvent{
+              timer.seconds(), t, adopter_tile, resync, 0});
+        }
+        owner[size_t(t)] = adopter_tile >= 0 ? owner[size_t(adopter_tile)] : -1;
+        net::Message dm;
+        dm.type = kNodeDeadMsg;
+        dm.seq = resync;
+        dm.aux = uint16_t(t);
+        ByteWriter w(&dm.payload);
+        w.u16(adopter_tile >= 0 ? uint16_t(adopter_tile) : kNoTile);
+        for (int s = 0; s < k_; ++s) ep.send(splitter_node(s), dm);
+        for (int t2 = 0; t2 < tiles; ++t2) {
+          const int n2 = decoder_node(t2);
+          if (!dead_nodes.count(n2)) ep.send(n2, dm);
+        }
+      }
+    };
+
+    const auto monitor = [&] {
+      const double now = timer.seconds();
+      for (int t = 0; t < tiles; ++t) {
+        const int node = decoder_node(t);
+        if (dead_nodes.count(node) || finished_nodes.count(node)) continue;
+        if (now - last_hb[size_t(t)] > cfg.heartbeat_timeout_s)
+          declare_dead(node);
+      }
+    };
+
+    const auto pump = [&](double timeout) {
+      net::Message m;
+      if (ep.recv(&m, timeout) == net::ReliableEndpoint::Status::kMessage) {
+        switch (m.type) {
+          case kAckMsg:
+            ++acks_seen;
+            break;
+          case kHeartbeatMsg:
+            last_hb[size_t(m.src - (1 + k_))] = timer.seconds();
+            break;
+          case kFinishedMsg:
+            finished_nodes.insert(m.src);
+            break;
+          default:
+            break;
+        }
+      }
+      ep.take_abandoned();  // sends to nodes that died mid-broadcast
+      monitor();
+    };
+
     std::vector<uint8_t> send_buffer;
     int a = 0;
     for (int i = 0; i < total_pictures; ++i) {
+      cursor = i;
       const auto span = root.picture(i);
       send_buffer.assign(span.begin(), span.end());  // "Copy P to send buffer"
-      if (i > 0) {
-        net::Message ack;
-        PDW_CHECK(fabric.receive(root_node(), &ack));
-        PDW_CHECK_EQ(ack.type, int(kAckMsg));
-      }
+      while (acks_seen < i) pump(0.005);
       net::Message msg;
       msg.type = kPictureMsg;
       msg.seq = uint32_t(i);
       msg.aux = uint16_t((a + 1) % k_);  // NSID
       msg.bulk = true;
       msg.payload = send_buffer;
-      fabric.send(root_node(), splitter_node(a), std::move(msg));
+      ep.send(splitter_node(a), std::move(msg));
+      monitor();
       a = (a + 1) % k_;
     }
+    cursor = total_pictures;
     for (int s = 0; s < k_; ++s) {
       net::Message end;
       end.type = kEndMsg;
-      fabric.send(root_node(), splitter_node(s), std::move(end));
+      ep.send(splitter_node(s), std::move(end));
     }
+    // Phase B: keep the health monitor (and our transport) alive until every
+    // decoder thread has been joined — a decoder blocked on a dead peer is
+    // unblocked by a death notice that only this loop can produce. Exit only
+    // once every decoder is accounted for (finished or declared dead):
+    // leaving earlier would strand a decoder retransmitting its finished
+    // notice at a mailbox nobody reads.
+    const auto all_reported = [&] {
+      for (int t = 0; t < tiles; ++t) {
+        const int n = decoder_node(t);
+        if (!dead_nodes.count(n) && !finished_nodes.count(n)) return false;
+      }
+      return true;
+    };
+    while (!shared.root_stop.load() || !all_reported()) pump(0.01);
+    shared.ep_stats[size_t(root_node())] = ep.stats();
   });
 
   // --- Second-level splitter threads (Table 3, splitter) -------------------
@@ -141,182 +306,438 @@ ClusterStats ClusterPipeline::run(const TileDisplayFn& on_display) {
       MacroblockSplitter splitter(geo_);
       splitter.set_stream_info(root.stream_info());
       const int self = splitter_node(s);
-      // Acks and pictures interleave in the mailbox; stash each kind while
-      // looking for the other.
-      std::deque<net::Message> stashed_acks;
-      std::deque<net::Message> stashed_pictures;
+      net::ReliableEndpoint ep(&fabric, self, cfg.reliable);
 
-      while (true) {
-        net::Message msg;
-        // Pull the next picture (or END), stashing acks.
-        bool got = false;
-        if (!stashed_pictures.empty()) {
-          msg = std::move(stashed_pictures.front());
-          stashed_pictures.pop_front();
-          got = true;
-        }
-        while (!got && fabric.receive(self, &msg)) {
-          if (msg.type == kPictureMsg || msg.type == kEndMsg) {
-            got = true;
+      std::deque<net::Message> pictures;
+      std::map<uint32_t, std::set<int>> acked;  // picture -> decoder nodes
+      std::set<int> live;
+      struct Route {
+        int node = -1;
+        uint32_t valid_from = 0;  // only send pictures >= this index
+      };
+      std::vector<Route> route(size_t(tiles), Route{});
+      for (int t = 0; t < tiles; ++t) {
+        live.insert(decoder_node(t));
+        route[size_t(t)] = Route{decoder_node(t), 0};
+      }
+      bool ended = false;
+
+      const auto handle = [&](net::Message& m) {
+        switch (m.type) {
+          case kPictureMsg:
+            fabric.post_receive(self);  // recycle the receive buffer
+            pictures.push_back(std::move(m));
+            break;
+          case kAckMsg:
+            acked[m.seq].insert(m.src);
+            break;
+          case kNodeDeadMsg: {
+            const int dead_tile = m.aux;
+            ByteReader r(m.payload);
+            const uint16_t adopter_tile = r.u16();
+            const int dead_node = route[size_t(dead_tile)].node;
+            live.erase(dead_node);
+            ep.forget_peer(dead_node);
+            route[size_t(dead_tile)] = Route{
+                adopter_tile == kNoTile ? -1
+                                        : route[size_t(adopter_tile)].node,
+                m.seq};
             break;
           }
-          PDW_CHECK_EQ(msg.type, int(kAckMsg));
-          stashed_acks.push_back(std::move(msg));
+          case kEndMsg:
+            ended = true;
+            break;
+          default:
+            break;
         }
-        PDW_CHECK(got) << "fabric shut down before END";
-        if (msg.type == kEndMsg) break;
+      };
 
-        fabric.post_receive(self);  // recycle the previous receive buffer
-        net::Message ack;
-        ack.type = kAckMsg;
-        fabric.send(self, root_node(), std::move(ack));  // go-ahead to root
+      const auto pump = [&](double timeout) {
+        net::Message m;
+        if (ep.recv(&m, timeout) == net::ReliableEndpoint::Status::kMessage)
+          handle(m);
+        // A sub-picture we gave up delivering is a lost picture for that
+        // tile: tell every live decoder (the owner skips it; its neighbours
+        // conceal the halo data it would have sent them). A skip notice that
+        // is itself abandoned is resent to that one node — it is tiny and
+        // must eventually land, or the pipeline deadlocks waiting for a
+        // picture nobody will serve; if the node is truly dead the death
+        // notice removes it from `live` and ends the retrying.
+        for (const net::AbandonedSend& ab : ep.take_abandoned()) {
+          if (!live.count(ab.dst)) continue;
+          net::Message skip;
+          skip.type = kSkipMsg;
+          skip.seq = ab.seq;
+          skip.aux = ab.aux;  // tile
+          if (ab.type == kSubPictureMsg) {
+            for (int node : live) ep.send(node, skip);
+          } else if (ab.type == kSkipMsg) {
+            ep.send(ab.dst, std::move(skip));
+          }
+        }
+      };
+
+      while (true) {
+        while (pictures.empty() && !ended) pump(0.02);
+        if (pictures.empty()) break;
+        net::Message msg = std::move(pictures.front());
+        pictures.pop_front();
+
+        net::Message go_ahead;
+        go_ahead.type = kAckMsg;
+        go_ahead.seq = msg.seq;
+        ep.send(root_node(), std::move(go_ahead));
 
         const uint32_t i = msg.seq;
-        const int anid = msg.aux;  // NSID becomes the ANID we forward
         SplitResult result = splitter.split(msg.payload, i);
 
-        // Wait for ACK from all decoders, except for the very first picture
-        // in the stream (those acks were redirected to us by the previous
-        // picture's ANID).
+        // Wait for the previous picture's ack from every *live* decoder
+        // node (ANID redirection made them land here). Set semantics keep
+        // this correct through deaths and adoptions: a node that dies
+        // mid-wait is removed from `live` by the death notice.
         if (i != 0) {
-          int needed = tiles;
-          while (needed > 0 && !stashed_acks.empty()) {
-            stashed_acks.pop_front();
-            --needed;
-          }
-          while (needed > 0) {
-            net::Message m;
-            PDW_CHECK(fabric.receive(self, &m));
-            if (m.type == kAckMsg) {
-              --needed;
-            } else {
-              PDW_CHECK(m.type == kPictureMsg || m.type == kEndMsg);
-              stashed_pictures.push_back(std::move(m));
-            }
-          }
+          const auto satisfied = [&] {
+            const auto it = acked.find(i - 1);
+            for (int node : live)
+              if (it == acked.end() || !it->second.count(node)) return false;
+            return true;
+          };
+          while (!satisfied()) pump(0.02);
+          acked.erase(acked.begin(), acked.upper_bound(i - 1));
         }
 
         for (int d = 0; d < tiles; ++d) {
+          const Route& rt = route[size_t(d)];
+          if (rt.node < 0 || i < rt.valid_from) continue;
           net::Message sp_msg;
           sp_msg.type = kSubPictureMsg;
           sp_msg.seq = i;
-          sp_msg.aux = uint16_t(anid);
+          sp_msg.aux = uint16_t(d);
           sp_msg.bulk = true;
           serialize_sp_msg(result.subpictures[size_t(d)],
                            result.mei[size_t(d)], &sp_msg.payload);
-          fabric.send(self, decoder_node(d), std::move(sp_msg));
+          ep.send(rt.node, std::move(sp_msg));
         }
       }
+
+      // Drain: ack decoders' final picture acks and absorb stragglers until
+      // the main thread shuts the fabric down.
+      while (true) {
+        net::Message m;
+        const auto st = ep.recv(&m, 0.02);
+        if (st == net::ReliableEndpoint::Status::kShutdown ||
+            st == net::ReliableEndpoint::Status::kDead)
+          break;
+        if (st == net::ReliableEndpoint::Status::kMessage) handle(m);
+        ep.take_abandoned();
+      }
+      shared.ep_stats[size_t(self)] = ep.stats();
     });
   }
 
-  // --- Decoder threads (Table 3, decoder) -----------------------------------
+  // --- Decoder threads (Table 3, decoder) ----------------------------------
   std::vector<std::thread> decoder_threads;
   for (int t = 0; t < tiles; ++t) {
     decoder_threads.emplace_back([&, t] {
-      TileDecoder decoder(geo_, t, root.stream_info());
       const int self = decoder_node(t);
+      net::ReliableEndpoint ep(&fabric, self, cfg.reliable);
 
-      // Exchange messages may arrive up to one picture early (the paper's
-      // "no two decoders are off by more than one frame"); stash by seq.
-      // Sub-pictures arriving while we wait for exchanges are stashed too.
-      std::unordered_map<uint32_t, std::vector<net::Message>> exchanges;
-      std::deque<net::Message> stashed_sps;
+      struct TileState {
+        int tile;
+        uint32_t active_from;
+        std::unique_ptr<TileDecoder> dec;
+        // Per-picture scratch:
+        bool have_sp = false;
+        bool skip = false;
+        SubPicture sp;
+        std::vector<MeiInstruction> mei;
+        std::unordered_set<int> expected;  // source tiles with SENDs for us
+      };
+      std::vector<TileState> owned;
+      owned.reserve(size_t(tiles));  // references must survive adoption
+      owned.push_back(TileState{t, 0});
 
-      const auto display =
-          [&](const mpeg2::TileFrame& tf, const TileDisplayInfo& info) {
-            if (!on_display) return;
-            std::lock_guard<std::mutex> lock(display_mu);
-            on_display(t, tf, info);
-          };
+      std::map<uint64_t, net::Message> sps;  // tkey(tile, seq)
+      std::map<uint64_t, std::map<int, net::Message>> exchanges;
+      std::set<uint64_t> skips;
+      std::unordered_map<int, DeadTileInfo> dead_tiles;
+      std::vector<int> owner(size_t(tiles), -1);
+      for (int d = 0; d < tiles; ++d) owner[size_t(d)] = decoder_node(d);
+      double last_hb = -1e9;
+      bool gone = false;  // killed (or fabric torn down) — exit silently
 
-      for (int done = 0; done < total_pictures; ++done) {
-        // Receive the next sub-picture.
-        net::Message msg;
-        if (!stashed_sps.empty()) {
-          msg = std::move(stashed_sps.front());
-          stashed_sps.pop_front();
-        } else {
-          while (true) {
-            PDW_CHECK(fabric.receive(self, &msg)) << "fabric shutdown mid-stream";
-            if (msg.type == kSubPictureMsg) break;
-            PDW_CHECK_EQ(msg.type, int(kExchangeMsg));
-            exchanges[msg.seq].push_back(std::move(msg));
+      const auto display_fn = [&](int tile) {
+        return TileDecoder::DisplayFn(
+            [&, tile](const mpeg2::TileFrame& tf, const TileDisplayInfo& info) {
+              if (info.degraded)
+                shared.degraded.fetch_add(1, std::memory_order_relaxed);
+              if (!on_display) return;
+              std::lock_guard<std::mutex> lock(display_mu);
+              on_display(tile, tf, info);
+            });
+      };
+
+      const auto ensure_dec = [&](TileState& ts) {
+        if (!ts.dec)
+          ts.dec = std::make_unique<TileDecoder>(
+              geo_, ts.tile, root.stream_info(), HaloPolicy::kConceal);
+      };
+
+      const auto heartbeat = [&] {
+        const double now = timer.seconds();
+        if (now - last_hb < cfg.heartbeat_interval_s) return;
+        last_hb = now;
+        net::Message hb;
+        hb.type = kHeartbeatMsg;
+        ep.send_unreliable(root_node(), hb);
+      };
+
+      const auto process_death = [&](const net::Message& m) {
+        const int dead_tile = m.aux;
+        ByteReader r(m.payload);
+        const uint16_t adopter_tile = r.u16();
+        const uint32_t resync = m.seq;
+        dead_tiles[dead_tile] = DeadTileInfo{
+            resync, adopter_tile == kNoTile ? -1 : int(adopter_tile)};
+        const int dead_node = owner[size_t(dead_tile)];
+        owner[size_t(dead_tile)] =
+            adopter_tile == kNoTile ? -1 : owner[size_t(adopter_tile)];
+        if (dead_node >= 0) ep.forget_peer(dead_node);
+        if (adopter_tile == kNoTile || resync >= uint32_t(total_pictures))
+          return;
+        bool mine = false, already = false;
+        for (const TileState& ts : owned) {
+          mine |= ts.tile == int(adopter_tile);
+          already |= ts.tile == dead_tile;
+        }
+        if (mine && !already) {
+          owned.push_back(TileState{dead_tile, resync});
+          // Headroom for the second sub-picture stream.
+          fabric.post_receive(self);
+          fabric.post_receive(self);
+        }
+      };
+
+      // Pump the transport once; returns false when this node is dead.
+      const auto pump = [&](double timeout) {
+        net::Message m;
+        switch (ep.recv(&m, timeout)) {
+          case net::ReliableEndpoint::Status::kDead:
+          case net::ReliableEndpoint::Status::kShutdown:
+            gone = true;
+            return false;
+          case net::ReliableEndpoint::Status::kTimeout:
+            break;
+          case net::ReliableEndpoint::Status::kMessage:
+            switch (m.type) {
+              case kSubPictureMsg:
+                fabric.post_receive(self);  // recycle the receive buffer
+                sps[tkey(m.aux, m.seq)] = std::move(m);
+                break;
+              case kExchangeMsg:
+                exchanges[tkey(peek_exchange_dst(m.payload), m.seq)]
+                         [int(m.aux)] = std::move(m);
+                break;
+              case kSkipMsg:
+                skips.insert(tkey(m.aux, m.seq));
+                break;
+              case kNodeDeadMsg:
+                process_death(m);
+                break;
+              default:
+                break;
+            }
+            break;
+        }
+        ep.take_abandoned();
+        heartbeat();
+        return true;
+      };
+
+      // Where to send halo data for `tile` at picture i (-1: nobody serves
+      // that picture — the tile is dead and i precedes its resync point).
+      const auto exchange_dst = [&](int tile, uint32_t i) {
+        const auto it = dead_tiles.find(tile);
+        if (it != dead_tiles.end()) {
+          if (it->second.adopter_tile < 0 || i < it->second.resync) return -1;
+        }
+        return owner[size_t(tile)];
+      };
+
+      for (uint32_t i = 0; i < uint32_t(total_pictures) && !gone; ++i) {
+        // Phase 1: obtain this picture's sub-picture for every active tile
+        // and execute its MEI SENDs, so no owned tile's decode can starve
+        // another tile hosted on this same node.
+        for (size_t x = 0; x < owned.size(); ++x) {
+          TileState& ts = owned[x];
+          ts.have_sp = ts.skip = false;
+          ts.expected.clear();
+          if (ts.active_from > i) continue;
+          const uint64_t key = tkey(ts.tile, i);
+          while (!gone) {
+            if (const auto it = sps.find(key); it != sps.end()) {
+              deserialize_sp_msg(it->second.payload, &ts.sp, &ts.mei);
+              sps.erase(it);
+              ts.have_sp = true;
+              break;
+            }
+            if (skips.count(key)) {
+              ts.skip = true;
+              break;
+            }
+            if (!pump(cfg.heartbeat_interval_s)) break;
+          }
+          if (gone || ts.skip) continue;
+          ensure_dec(ts);
+
+          std::map<int, std::vector<ExchangeEntry>> outgoing;
+          for (const MeiInstruction& instr : ts.mei) {
+            if (instr.op == MeiOp::kSend) {
+              ExchangeEntry e;
+              e.instr = instr;
+              e.px = ts.dec->try_extract_for_send(ts.sp.info, instr,
+                                                  &e.tainted);
+              outgoing[int(instr.peer)].push_back(e);
+            } else {
+              ts.expected.insert(int(instr.peer));
+            }
+          }
+          // Tiles hosted on this very node exchange halos in memory.
+          for (const TileState& ts2 : owned)
+            if (ts2.active_from <= i) ts.expected.erase(ts2.tile);
+
+          for (auto& [peer, entries] : outgoing) {
+            const int dst_node = exchange_dst(peer, i);
+            if (dst_node < 0) continue;
+            if (dst_node == self) {
+              for (TileState& ts2 : owned) {
+                if (ts2.tile != peer || ts2.active_from > i) continue;
+                ensure_dec(ts2);
+                for (const ExchangeEntry& e : entries)
+                  ts2.dec->add_halo_mb(e.instr, e.px, e.tainted);
+              }
+              continue;
+            }
+            net::Message ex;
+            ex.type = kExchangeMsg;
+            ex.seq = i;
+            ex.aux = uint16_t(ts.tile);
+            serialize_exchange(peer, entries, &ex.payload);
+            ep.send(dst_node, std::move(ex));
           }
         }
-        const uint32_t i = msg.seq;
-        PDW_CHECK_EQ(i, uint32_t(done)) << "out-of-order sub-picture";
-        fabric.post_receive(self);  // recycle
+        if (gone) break;
+
+        // Phase 2: collect the halos each tile still expects, then decode.
+        for (size_t x = 0; x < owned.size(); ++x) {
+          TileState& ts = owned[x];
+          if (ts.active_from > i) continue;
+          if (!ts.have_sp) {
+            if (ts.skip) {
+              shared.skipped.fetch_add(1, std::memory_order_relaxed);
+              ensure_dec(ts);
+              ts.dec->skip_picture(i, display_fn(ts.tile));
+            }
+            continue;
+          }
+          const uint64_t key = tkey(ts.tile, i);
+          const auto serviceable = [&](int src_tile) {
+            if (skips.count(tkey(src_tile, i))) return false;
+            const auto it = dead_tiles.find(src_tile);
+            if (it == dead_tiles.end()) return true;
+            if (it->second.adopter_tile < 0) return false;
+            return i >= it->second.resync;
+          };
+          while (!gone) {
+            bool complete = true;
+            const auto& got = exchanges[key];
+            for (int src : ts.expected) {
+              if (!got.count(src) && serviceable(src)) {
+                complete = false;
+                break;
+              }
+            }
+            if (complete) break;
+            if (!pump(cfg.heartbeat_interval_s)) break;
+          }
+          if (gone) break;
+          for (auto& [src, m] : exchanges[key]) {
+            int dst_tile = -1;
+            for (const ExchangeEntry& e :
+                 deserialize_exchange(m.payload, &dst_tile))
+              ts.dec->add_halo_mb(e.instr, e.px, e.tainted);
+            PDW_CHECK_EQ(dst_tile, ts.tile);
+          }
+          ts.dec->decode(ts.sp, display_fn(ts.tile));
+          if (ts.tile != t && i == ts.active_from) {
+            // First adopted picture decoded: stamp the recovery latency.
+            std::lock_guard<std::mutex> lock(shared.mu);
+            for (RecoveryEvent& ev : shared.recoveries)
+              if (ev.dead_tile == ts.tile && ev.resync_time_s == 0)
+                ev.resync_time_s = timer.seconds();
+          }
+        }
+        if (gone) break;
+
+        sps.erase(sps.begin(), sps.lower_bound(tkey(0, i + 1)));
+        exchanges.erase(exchanges.begin(),
+                        exchanges.lower_bound(tkey(0, i + 1)));
+        skips.erase(skips.begin(), skips.lower_bound(tkey(0, i + 1)));
 
         // Ack the splitter that owns the NEXT picture (ANID redirection).
         net::Message ack;
         ack.type = kAckMsg;
-        fabric.send(self, splitter_node(msg.aux % uint16_t(k_)),
-                    std::move(ack));
-
-        SubPicture sp;
-        std::vector<MeiInstruction> mei;
-        deserialize_sp_msg(msg.payload, &sp, &mei);
-
-        // Execute SEND instructions first (reference data is in already
-        // decoded pictures), batched per destination decoder.
-        std::unordered_map<int, std::vector<ExchangeEntry>> outgoing;
-        std::unordered_set<int> expected_sources;
-        for (const MeiInstruction& instr : mei) {
-          if (instr.op == MeiOp::kSend) {
-            ExchangeEntry e;
-            e.instr = instr;
-            e.px = decoder.extract_for_send(sp.info, instr);
-            outgoing[instr.peer].push_back(e);
-          } else {
-            expected_sources.insert(int(instr.peer));
-          }
-        }
-        for (auto& [peer, entries] : outgoing) {
-          net::Message ex;
-          ex.type = kExchangeMsg;
-          ex.seq = i;
-          serialize_exchange(entries, &ex.payload);
-          fabric.send(self, decoder_node(peer), std::move(ex));
-        }
-
-        // Collect the exchange messages this picture needs (one per source
-        // decoder that has SENDs for us).
-        auto& arrived = exchanges[i];
-        while (true) {
-          std::unordered_set<int> have;
-          for (const net::Message& m : arrived) {
-            // Node id -> tile index.
-            have.insert(m.src - (1 + k_));
-          }
-          bool complete = true;
-          for (int src : expected_sources)
-            if (!have.count(src)) complete = false;
-          if (complete) break;
-          net::Message m;
-          PDW_CHECK(fabric.receive(self, &m)) << "fabric shutdown awaiting exchange";
-          if (m.type == kExchangeMsg) {
-            exchanges[m.seq].push_back(std::move(m));
-          } else {
-            PDW_CHECK_EQ(m.type, int(kSubPictureMsg));
-            stashed_sps.push_back(std::move(m));
-          }
-        }
-        for (const net::Message& m : arrived)
-          for (const ExchangeEntry& e : deserialize_exchange(m.payload))
-            decoder.add_halo_mb(e.instr, e.px);
-        exchanges.erase(i);
-
-        decoder.decode(sp, display);
+        ack.seq = i;
+        ep.send(splitter_node(int((i + 1) % uint32_t(k_))), std::move(ack));
       }
-      decoder.flush(display);
+
+      if (!gone) {
+        for (TileState& ts : owned)
+          if (ts.dec) ts.dec->flush(display_fn(ts.tile));
+        net::Message fin;
+        fin.type = kFinishedMsg;
+        ep.send(root_node(), std::move(fin));
+      }
+      shared.decoders_done.fetch_add(1, std::memory_order_release);
+      // Stay resident until fabric shutdown: retransmit our own unacked
+      // tail (last ack, finished notice, trailing exchanges) and keep
+      // t-acking peers' retransmissions — a peer whose ack to us was lost
+      // would otherwise retry into a dead mailbox and falsely abandon.
+      while (!gone) {
+        net::Message m;
+        const auto st = ep.recv(&m, 0.02);
+        if (st == net::ReliableEndpoint::Status::kDead ||
+            st == net::ReliableEndpoint::Status::kShutdown)
+          break;
+        ep.take_abandoned();
+        // Keep heartbeating until the finished notice is acked (the root
+        // received it and exempted us from monitoring); then fall silent so
+        // the fabric can reach quiescence for an orderly teardown.
+        if (ep.unacked() > 0) heartbeat();
+      }
+      shared.ep_stats[size_t(self)] = ep.stats();
     });
   }
 
+  // Decoders stay resident (t-acking) after finishing, so completion is
+  // signalled by a counter rather than join: every decoder thread counts
+  // itself done exactly once, whether it finished the stream or was killed.
+  while (shared.decoders_done.load(std::memory_order_acquire) < tiles)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  shared.root_stop.store(true);
   root_thread.join();
-  for (auto& th : splitter_threads) th.join();
-  for (auto& th : decoder_threads) th.join();
+  // The root consumed every finished notice before exiting; what remains in
+  // flight is the tail of transport acks. Give those a bounded window to be
+  // consumed so shutdown discards nothing (keeps traffic accounting
+  // conserved); fault-delayed messages may legitimately never drain.
+  const auto drain_start = std::chrono::steady_clock::now();
+  while (!fabric.quiescent() &&
+         std::chrono::steady_clock::now() - drain_start <
+             std::chrono::milliseconds(250))
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
   fabric.shutdown();
+  for (auto& th : decoder_threads) th.join();
+  for (auto& th : splitter_threads) th.join();
 
   ClusterStats stats;
   stats.pictures = total_pictures;
@@ -326,6 +747,14 @@ ClusterStats ClusterPipeline::run(const TileDisplayFn& on_display) {
   for (int nid = 0; nid < nodes(); ++nid)
     stats.node_counters.push_back(fabric.counters(nid));
   stats.traffic_matrix = fabric.traffic_matrix();
+  for (const net::ReliableStats& s : shared.ep_stats)
+    accumulate(&stats.ft.transport, s);
+  stats.ft.degraded_frames = shared.degraded.load();
+  stats.ft.skipped_pictures = shared.skipped.load();
+  {
+    std::lock_guard<std::mutex> lock(shared.mu);
+    stats.ft.recoveries = shared.recoveries;
+  }
   return stats;
 }
 

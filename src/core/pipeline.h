@@ -1,18 +1,30 @@
 // Threaded cluster pipeline: the refined algorithms of the paper's Table 3
-// running on real concurrent nodes over the GM-like fabric.
+// running on real concurrent nodes over the GM-like fabric, hardened for
+// fault tolerance.
 //
 // Node layout: node 0 is the root splitter (console PC), nodes 1..k the
 // second-level splitters, nodes k+1..k+m*n the tile decoders. The protocol:
 //   * two posted receive buffers per bulk receiver, recycled on receipt;
-//   * receivers ack after receiving so senders never overrun a buffer
-//     (the fabric CHECK-fails on overrun, so the test suite *proves* the
-//     flow control);
-//   * picture ordering via ANID redirection: a decoder acks not the sender
-//     of a sub-picture but the splitter responsible for the *next* picture,
-//     which therefore cannot send until every decoder consumed the current
-//     one — in-order delivery with no reorder queues;
-//   * NSID: the root tells each splitter who owns the next picture, keeping
-//     splitters unaware of each other (the count k can change freely).
+//   * every application message rides net::ReliableEndpoint — per-link
+//     sequence numbers + CRC framing, ack/retransmit with capped exponential
+//     backoff, duplicate suppression and in-order delivery — so a lossy,
+//     reordering, corrupting fabric still presents each node with the
+//     fault-free message sequence and the decoded wall stays bit-exact;
+//   * picture ordering via ack redirection (the paper's ANID): a decoder
+//     acks not the sender of a sub-picture but the splitter responsible for
+//     the *next* picture, which therefore cannot send until every live
+//     decoder consumed the current one;
+//   * go-ahead acks gate the root to one picture ahead of the splitters
+//     (NSID tells each splitter who owns the next picture);
+//   * decoders heartbeat the root (fire-and-forget); the root's health
+//     monitor declares a decoder dead after heartbeat_timeout_s of silence,
+//     fences it off (Fabric::kill) and broadcasts a death notice carrying
+//     the *resynchronization picture*: the first closed-GOP I picture the
+//     root has not yet dispatched. Splitters reroute the dead tile's
+//     sub-pictures to the adopter from that picture on (RecoveryPolicy::
+//     kAdopt) or drop them (kDegrade); peers conceal the dead tile's halo
+//     contributions before it. Because GOPs are closed, everything from the
+//     resync picture's display slot onward is bit-exact again.
 //
 // On this host the threads share one core, so this pipeline demonstrates
 // correctness and protocol liveness; scalability numbers come from the
@@ -23,9 +35,26 @@
 
 #include "core/tile_decoder.h"
 #include "net/fabric.h"
+#include "net/reliable.h"
 #include "wall/geometry.h"
 
 namespace pdw::core {
+
+// One node-death recovery, as observed by the runtime.
+struct RecoveryEvent {
+  double detect_time_s = 0;  // root declared the node dead (since run start)
+  int dead_tile = -1;
+  int adopter_tile = -1;     // -1: degraded mode (tile frozen, not adopted)
+  uint32_t resync_pic = 0;   // first closed-GOP I not yet dispatched
+  double resync_time_s = 0;  // adopter decoded resync_pic (0 if never)
+};
+
+struct FtStats {
+  net::ReliableStats transport;   // aggregated over every node's endpoint
+  uint64_t degraded_frames = 0;   // emissions flagged non-bit-exact
+  uint64_t skipped_pictures = 0;  // per-tile pictures lost to abandoned sends
+  std::vector<RecoveryEvent> recoveries;
+};
 
 struct ClusterStats {
   int pictures = 0;
@@ -34,12 +63,30 @@ struct ClusterStats {
   std::vector<net::NodeCounters> node_counters;  // by node id
   std::vector<uint64_t> traffic_matrix;          // bytes[src * nodes + dst]
   int nodes = 0;
+  FtStats ft;
+};
+
+struct ProtocolConfig {
+  net::ReliableConfig reliable;
+  double heartbeat_interval_s = 0.02;
+  // Default is "effectively never": a fault-free run must not declare
+  // anything dead no matter how badly the scheduler (or a sanitizer)
+  // stalls a thread. Fault tests override with something small.
+  double heartbeat_timeout_s = 1e9;
+};
+
+enum class RecoveryPolicy { kAdopt, kDegrade };
+
+struct FtOptions {
+  ProtocolConfig protocol;
+  const net::FaultInjector* injector = nullptr;  // borrowed; may be null
+  RecoveryPolicy recovery = RecoveryPolicy::kAdopt;
 };
 
 class ClusterPipeline {
  public:
   ClusterPipeline(const wall::TileGeometry& geo, int k,
-                  std::span<const uint8_t> es);
+                  std::span<const uint8_t> es, FtOptions ft = {});
 
   // Thread-safe display callback (called with an internal mutex held).
   using TileDisplayFn = std::function<void(
@@ -56,6 +103,7 @@ class ClusterPipeline {
   const wall::TileGeometry& geo_;
   int k_;
   std::span<const uint8_t> es_;
+  FtOptions ft_;
 };
 
 }  // namespace pdw::core

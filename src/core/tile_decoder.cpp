@@ -11,17 +11,37 @@ namespace pdw::core {
 
 using namespace mpeg2;
 
+namespace {
+
+MacroblockPixels gray_mb() {
+  MacroblockPixels px;
+  std::memset(px.y, 128, sizeof(px.y));
+  std::memset(px.cb, 128, sizeof(px.cb));
+  std::memset(px.cr, 128, sizeof(px.cr));
+  return px;
+}
+
+}  // namespace
+
 // RefSource over a tile-local reference frame plus its halo of remote
 // macroblocks. Gathers a prediction window that may straddle local/remote
 // macroblocks arbitrarily. Same pixel values as the serial decoder's full
 // frame => identical MC arithmetic => bit-exact reconstruction.
+//
+// Under HaloPolicy::kConceal a missing halo macroblock is filled with
+// mid-gray instead of aborting, and the source records that it concealed;
+// reading a tainted halo entry also marks the source. The decoder folds
+// these flags (together with whether the source was read at all) into the
+// reconstructed frame's taint bit.
 class TileDecoder::TileRefSource final : public RefSource {
  public:
-  TileRefSource(const TileFrame& tf, const HaloCache& halo)
-      : tf_(&tf), halo_(&halo) {}
+  TileRefSource(const TileFrame& tf, const HaloCache& halo, HaloPolicy policy,
+                bool ref_tainted)
+      : tf_(&tf), halo_(&halo), policy_(policy), ref_tainted_(ref_tainted) {}
 
   void fetch(int c, int x, int y, int w, int h, uint8_t* dst,
              int stride) const override {
+    read_ = true;
     const int mb_edge = c == 0 ? 16 : 8;  // macroblock edge in this plane
     for (int r = 0; r < h; ++r) {
       const int gy = y + r;
@@ -32,17 +52,28 @@ class TileDecoder::TileRefSource final : public RefSource {
         const int mbx = gx / mb_edge;
         // Columns remaining inside this macroblock's horizontal extent.
         const int take = std::min(w - out, (mbx + 1) * mb_edge - gx);
-        const uint8_t* src;
+        const uint8_t* src = nullptr;
         if (tf_->contains_mb(mbx, mby)) {
           src = tf_->pixel(c, gx, gy);
         } else {
-          const MacroblockPixels* px = halo_->find(mbx, mby);
-          PDW_CHECK(px != nullptr)
-              << "missing halo macroblock (" << mbx << "," << mby
-              << ") plane " << c << " — MEI pre-calculation incomplete";
+          const HaloCache::Entry* e = halo_->find(mbx, mby);
+          if (e == nullptr) {
+            if (policy_ == HaloPolicy::kStrict) {
+              PDW_CHECK(e != nullptr)
+                  << "missing halo macroblock (" << mbx << "," << mby
+                  << ") plane " << c << " — MEI pre-calculation incomplete";
+            }
+            concealed_ = true;
+            std::memset(dst + size_t(r) * stride + out, 128, size_t(take));
+            gx += take;
+            out += take;
+            continue;
+          }
+          if (e->tainted) concealed_ = true;
           const int ox = gx - mbx * mb_edge;
           const int oy = gy - mby * mb_edge;
-          const uint8_t* base = c == 0 ? px->y : (c == 1 ? px->cb : px->cr);
+          const uint8_t* base =
+              c == 0 ? e->px.y : (c == 1 ? e->px.cb : e->px.cr);
           src = base + oy * mb_edge + ox;
         }
         std::memcpy(dst + size_t(r) * stride + out, src, size_t(take));
@@ -52,9 +83,37 @@ class TileDecoder::TileRefSource final : public RefSource {
     }
   }
 
+  bool read() const { return read_; }
+  // True if this source delivered any pixels that are not bit-exact: a
+  // concealed/tainted halo entry, or any read of a tainted reference frame.
+  bool tainted() const { return concealed_ || (read_ && ref_tainted_); }
+
  private:
   const TileFrame* tf_;
   const HaloCache* halo_;
+  HaloPolicy policy_;
+  bool ref_tainted_;
+  mutable bool read_ = false;
+  mutable bool concealed_ = false;
+};
+
+// Stand-in for a reference frame that does not exist (lost to a skip or a
+// fresh adoption). All-gray; any actual read taints the output. If the
+// syntax never reads it (e.g. backward-only B pictures right after a
+// closed-GOP I), the output stays bit-exact — exactly the property the
+// recovery invariant relies on.
+class TileDecoder::GrayRefSource final : public RefSource {
+ public:
+  void fetch(int, int, int, int w, int h, uint8_t* dst,
+             int stride) const override {
+    read_ = true;
+    for (int r = 0; r < h; ++r)
+      std::memset(dst + size_t(r) * stride, 128, size_t(w));
+  }
+  bool read() const { return read_; }
+
+ private:
+  mutable bool read_ = false;
 };
 
 namespace {
@@ -96,8 +155,12 @@ class TileReconSink final : public MbSink {
 }  // namespace
 
 TileDecoder::TileDecoder(const wall::TileGeometry& geo, int tile,
-                         const StreamInfo& info)
-    : geo_(geo), tile_(tile), seq_(info.seq), rect_(geo.tile_mbs(tile)) {
+                         const StreamInfo& info, HaloPolicy policy)
+    : geo_(geo),
+      tile_(tile),
+      seq_(info.seq),
+      rect_(geo.tile_mbs(tile)),
+      policy_(policy) {
   PDW_CHECK_EQ(seq_.mb_width(), geo.mb_width());
   PDW_CHECK_EQ(seq_.mb_height(), geo.mb_height());
 }
@@ -119,10 +182,59 @@ MacroblockPixels TileDecoder::extract_for_send(
   return src->extract_mb(instr.mb_x, instr.mb_y);
 }
 
+MacroblockPixels TileDecoder::try_extract_for_send(const PicInfo& pic,
+                                                   const MeiInstruction& instr,
+                                                   bool* degraded) const {
+  PDW_CHECK(instr.op == MeiOp::kSend);
+  const TileFrame* src = nullptr;
+  bool taint = false;
+  if (pic.type == PicType::B) {
+    src = instr.ref == 0 ? ref_old_.get() : ref_new_.get();
+    taint = instr.ref == 0 ? taint_old_ : taint_new_;
+  } else {
+    src = ref_new_.get();
+    taint = taint_new_;
+  }
+  if (src == nullptr) {
+    *degraded = true;
+    return gray_mb();
+  }
+  *degraded = taint;
+  return src->extract_mb(instr.mb_x, instr.mb_y);
+}
+
 void TileDecoder::add_halo_mb(const MeiInstruction& instr,
-                              const MacroblockPixels& px) {
+                              const MacroblockPixels& px, bool tainted) {
   PDW_CHECK_LE(int(instr.ref), 1);
-  halo_[instr.ref].insert(instr.mb_x, instr.mb_y, px);
+  halo_[instr.ref].insert(instr.mb_x, instr.mb_y, px, tainted);
+}
+
+void TileDecoder::emit(const TileFrame& frame, const TileDisplayInfo& info,
+                       const DisplayFn& display) {
+  if (info.display_index < 0) return;  // slot before this decoder's stream
+  if (!last_shown_)
+    last_shown_ = std::make_unique<TileFrame>(frame);
+  else
+    *last_shown_ = frame;
+  if (display) display(frame, info);
+}
+
+void TileDecoder::emit_frozen(int slot, const DisplayFn& display) {
+  if (slot < 0) return;
+  if (!last_shown_) {
+    // Nothing was ever shown: freeze to mid-gray.
+    last_shown_ =
+        std::make_unique<TileFrame>(rect_.x0, rect_.y0, rect_.x1, rect_.y1);
+    last_shown_->y().fill(128);
+    last_shown_->cb().fill(128);
+    last_shown_->cr().fill(128);
+  }
+  TileDisplayInfo info;
+  info.pic_index = uint32_t(slot + 1);
+  info.display_index = slot;
+  info.type = PicType::P;
+  info.degraded = true;
+  if (display) display(*last_shown_, info);
 }
 
 void TileDecoder::decode(const SubPicture& sp, const DisplayFn& display) {
@@ -135,18 +247,42 @@ void TileDecoder::decode(const SubPicture& sp, const DisplayFn& display) {
   if (!cur_)
     cur_ = std::make_unique<TileFrame>(rect_.x0, rect_.y0, rect_.x1, rect_.y1);
 
+  // Build reference sources. Under kConceal a missing reference frame is
+  // replaced by an all-gray stand-in instead of aborting.
   std::unique_ptr<TileRefSource> fwd, bwd;
+  GrayRefSource gray_fwd, gray_bwd;
+  const RefSource* fwd_src = nullptr;
+  const RefSource* bwd_src = nullptr;
   if (sp.info.type == PicType::P) {
-    PDW_CHECK(ref_new_) << "P picture without reference";
-    fwd = std::make_unique<TileRefSource>(*ref_new_, halo_[0]);
+    if (policy_ == HaloPolicy::kStrict) PDW_CHECK(ref_new_) << "P without ref";
+    if (ref_new_) {
+      fwd = std::make_unique<TileRefSource>(*ref_new_, halo_[0], policy_,
+                                            taint_new_);
+      fwd_src = fwd.get();
+    } else {
+      fwd_src = &gray_fwd;
+    }
   } else if (sp.info.type == PicType::B) {
-    PDW_CHECK(ref_old_ && ref_new_) << "B picture without two references";
-    fwd = std::make_unique<TileRefSource>(*ref_old_, halo_[0]);
-    bwd = std::make_unique<TileRefSource>(*ref_new_, halo_[1]);
+    if (policy_ == HaloPolicy::kStrict)
+      PDW_CHECK(ref_old_ && ref_new_) << "B without two references";
+    if (ref_old_) {
+      fwd = std::make_unique<TileRefSource>(*ref_old_, halo_[0], policy_,
+                                            taint_old_);
+      fwd_src = fwd.get();
+    } else {
+      fwd_src = &gray_fwd;
+    }
+    if (ref_new_) {
+      bwd = std::make_unique<TileRefSource>(*ref_new_, halo_[1], policy_,
+                                            taint_new_);
+      bwd_src = bwd.get();
+    } else {
+      bwd_src = &gray_bwd;
+    }
   }
 
   MbSyntaxDecoder syntax(ctx, ParseMode::kFull);
-  TileReconSink sink(ctx, rect_, cur_.get(), fwd.get(), bwd.get());
+  TileReconSink sink(ctx, rect_, cur_.get(), fwd_src, bwd_src);
 
   for (const SpRun& run : sp.runs) {
     syntax.load_state(run.state);
@@ -170,20 +306,37 @@ void TileDecoder::decode(const SubPicture& sp, const DisplayFn& display) {
   halo_[0].clear();
   halo_[1].clear();
 
-  // Display-order emission, mirroring the serial decoder.
+  // Taint of the frame just reconstructed: anything concealed, plus any
+  // actual read of a missing (gray) or tainted reference.
+  bool tainted = false;
+  if (fwd) tainted |= fwd->tainted();
+  if (bwd) tainted |= bwd->tainted();
+  tainted |= gray_fwd.read() || gray_bwd.read();
+
+  last_pic_index_ = int64_t(sp.info.pic_index);
+
+  // Display-order emission, mirroring the serial decoder but with stateless
+  // slots: anything this picture triggers displays at slot pic_index - 1.
+  const int slot = int(sp.info.pic_index) - 1;
   TileDisplayInfo info;
   info.pic_index = sp.info.pic_index;
   info.type = sp.info.type;
+  info.degraded = tainted;
   if (sp.info.type == PicType::B) {
-    info.display_index = display_index_++;
-    if (display) display(*cur_, info);
+    info.display_index = slot;
+    emit(*cur_, info, display);
   } else {
     if (pending_ref_) {
-      pending_info_.display_index = display_index_++;
-      if (display) display(*ref_new_, pending_info_);
+      pending_info_.display_index = slot;
+      emit(*ref_new_, pending_info_, display);
+    } else if (pending_hole_) {
+      emit_frozen(slot, display);
     }
+    pending_hole_ = false;
     std::swap(ref_old_, ref_new_);
+    std::swap(taint_old_, taint_new_);
     std::swap(ref_new_, cur_);
+    taint_new_ = tainted;
     if (!cur_)
       cur_ =
           std::make_unique<TileFrame>(rect_.x0, rect_.y0, rect_.x1, rect_.y1);
@@ -192,11 +345,34 @@ void TileDecoder::decode(const SubPicture& sp, const DisplayFn& display) {
   }
 }
 
-void TileDecoder::flush(const DisplayFn& display) {
+void TileDecoder::skip_picture(uint32_t pic_index, const DisplayFn& display) {
+  last_pic_index_ = int64_t(pic_index);
+  halo_[0].clear();  // any halo staged for the lost picture is stale
+  halo_[1].clear();
+  const int slot = int(pic_index) - 1;
   if (pending_ref_) {
-    pending_info_.display_index = display_index_++;
-    if (display) display(*ref_new_, pending_info_);
+    pending_info_.display_index = slot;
+    pending_info_.degraded = true;  // displaced into the lost picture's slot
+    emit(*ref_new_, pending_info_, display);
     pending_ref_ = false;
+    pending_hole_ = true;
+  } else {
+    emit_frozen(slot, display);
+  }
+  // The lost picture may have been a reference; everything predicted from
+  // here is suspect until the next I picture re-anchors the taint state.
+  taint_old_ = taint_new_ = true;
+}
+
+void TileDecoder::flush(const DisplayFn& display) {
+  const int slot = int(last_pic_index_);
+  if (pending_ref_) {
+    pending_info_.display_index = slot;
+    emit(*ref_new_, pending_info_, display);
+    pending_ref_ = false;
+  } else if (pending_hole_) {
+    emit_frozen(slot, display);
+    pending_hole_ = false;
   }
 }
 

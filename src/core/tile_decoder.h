@@ -4,8 +4,23 @@
 // its own tile region only; motion compensation that crosses the tile
 // boundary reads from a *halo* of remote macroblocks delivered through the
 // MEI exchanges before the picture is decoded. There is no on-demand remote
-// fetch path at all — the splitter's pre-calculation must be complete, and a
-// missing halo entry is a hard CHECK failure (tested invariant).
+// fetch path at all — the splitter's pre-calculation must be complete.
+//
+// Two halo policies:
+//  * kStrict  — a missing halo entry is a hard CHECK failure (the lockstep
+//               decoder's tested invariant: pre-calculation is complete).
+//  * kConceal — a missing halo entry (or a missing reference frame) is
+//               concealed with mid-gray pixels and the reconstructed frame
+//               is marked *tainted*. The fault-tolerant cluster runtime uses
+//               this so a decoder can keep the wall alive through message
+//               loss and node death, while taint tracking guarantees that
+//               any frame NOT flagged degraded is bit-exact.
+//
+// Taint propagates like pixels do: a frame is tainted if reconstruction
+// concealed anything, or if it actually read a tainted (or missing)
+// reference frame or a tainted halo entry. I pictures read nothing, so
+// taint self-clears at the next I — the paper's GOP structure is what makes
+// degraded-mode recovery converge.
 #pragma once
 
 #include <functional>
@@ -19,14 +34,24 @@
 
 namespace pdw::core {
 
+enum class HaloPolicy { kStrict, kConceal };
+
 // Remote macroblocks for one reference direction of the picture currently
-// being decoded, keyed by packed macroblock coordinates.
+// being decoded, keyed by packed macroblock coordinates. Entries remember
+// whether the sender's reference was itself degraded, so taint crosses
+// decoder boundaries.
 class HaloCache {
  public:
-  void insert(int mbx, int mby, const mpeg2::MacroblockPixels& px) {
-    map_[key(mbx, mby)] = px;
+  struct Entry {
+    mpeg2::MacroblockPixels px;
+    bool tainted = false;
+  };
+
+  void insert(int mbx, int mby, const mpeg2::MacroblockPixels& px,
+              bool tainted = false) {
+    map_[key(mbx, mby)] = Entry{px, tainted};
   }
-  const mpeg2::MacroblockPixels* find(int mbx, int mby) const {
+  const Entry* find(int mbx, int mby) const {
     const auto it = map_.find(key(mbx, mby));
     return it == map_.end() ? nullptr : &it->second;
   }
@@ -37,39 +62,62 @@ class HaloCache {
   static uint64_t key(int mbx, int mby) {
     return (uint64_t(mby) << 32) | uint32_t(mbx);
   }
-  std::unordered_map<uint64_t, mpeg2::MacroblockPixels> map_;
+  std::unordered_map<uint64_t, Entry> map_;
 };
 
 struct TileDisplayInfo {
-  uint32_t pic_index = 0;   // decode order
-  int display_index = 0;    // per-tile display order
+  uint32_t pic_index = 0;   // decode order of the picture (or its trigger)
+  int display_index = 0;    // display slot (global, not per-tile)
   mpeg2::PicType type = mpeg2::PicType::I;
+  bool degraded = false;    // concealed/frozen content; bit-exact iff false
 };
 
 class TileDecoder {
  public:
-  TileDecoder(const wall::TileGeometry& geo, int tile, const StreamInfo& info);
+  TileDecoder(const wall::TileGeometry& geo, int tile, const StreamInfo& info,
+              HaloPolicy policy = HaloPolicy::kStrict);
   ~TileDecoder();
 
   int tile() const { return tile_; }
 
   // SEND execution: extract the requested reference macroblock from this
   // decoder's local reference frames (instr.ref: 0 = forward reference of
-  // the picture about to be decoded, 1 = backward).
+  // the picture about to be decoded, 1 = backward). CHECK-fails if the
+  // reference does not exist (lockstep invariant).
   mpeg2::MacroblockPixels extract_for_send(const PicInfo& pic,
                                            const MeiInstruction& instr) const;
+
+  // Fault-tolerant SEND: a missing reference yields mid-gray pixels and
+  // *degraded = true; a tainted reference yields its (wrong but valid)
+  // pixels and *degraded = true.
+  mpeg2::MacroblockPixels try_extract_for_send(const PicInfo& pic,
+                                               const MeiInstruction& instr,
+                                               bool* degraded) const;
 
   // RECV delivery: store a remote macroblock into the halo for the upcoming
   // picture.
   void add_halo_mb(const MeiInstruction& instr,
-                   const mpeg2::MacroblockPixels& px);
+                   const mpeg2::MacroblockPixels& px, bool tainted = false);
 
   // Decode one sub-picture. All halo entries for this picture must have been
   // added. Calls `display` zero or more times (display-order reordering, as
   // in the serial decoder). Halo is cleared afterwards.
+  //
+  // Display slots are *stateless*: every emission triggered by the picture
+  // at decode index j lands at display slot j - 1, and flush() emits at the
+  // last decoded index. This is what makes mid-stream adoption and skipped
+  // pictures compose: a decoder that starts at picture c, or skips picture
+  // s, still puts every frame it does produce in the right wall slot.
   using DisplayFn =
       std::function<void(const mpeg2::TileFrame&, const TileDisplayInfo&)>;
   void decode(const SubPicture& sp, const DisplayFn& display);
+
+  // The picture at decode index `pic_index` was lost (undeliverable after
+  // retries). Emits exactly one degraded frame at slot pic_index - 1 (the
+  // pending reference if one exists, else a frozen copy of the last shown
+  // frame), and poisons the reference state until the next I picture —
+  // the decoder cannot know whether the lost picture was a reference.
+  void skip_picture(uint32_t pic_index, const DisplayFn& display);
 
   // Flush the pending reference tile at end of stream.
   void flush(const DisplayFn& display);
@@ -80,18 +128,29 @@ class TileDecoder {
 
  private:
   class TileRefSource;
+  class GrayRefSource;
+
+  void emit(const mpeg2::TileFrame& frame, const TileDisplayInfo& info,
+            const DisplayFn& display);
+  void emit_frozen(int slot, const DisplayFn& display);
 
   const wall::TileGeometry& geo_;
   int tile_;
   mpeg2::SequenceHeader seq_;
   wall::MbRect rect_;
+  HaloPolicy policy_;
 
   std::unique_ptr<mpeg2::TileFrame> cur_, ref_old_, ref_new_;
+  bool taint_old_ = false, taint_new_ = false;
   HaloCache halo_[2];  // [0] forward, [1] backward for the upcoming picture
 
   bool pending_ref_ = false;
   TileDisplayInfo pending_info_;
-  int display_index_ = 0;
+  bool pending_hole_ = false;  // a skip consumed the pending reference; the
+                               // next reference trigger must emit a frozen
+                               // frame to keep one-emission-per-slot
+  int64_t last_pic_index_ = -1;
+  std::unique_ptr<mpeg2::TileFrame> last_shown_;
   int last_mb_count_ = 0;
   size_t last_halo_count_ = 0;
 };

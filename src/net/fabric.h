@@ -5,36 +5,51 @@
 // *receiver* must provide buffers: a sender may only transmit when it knows
 // the receiver has a receive buffer posted. The paper builds a two-buffer
 // credit scheme on top (post two buffers; after consuming a message, recycle
-// the buffer and send an ack/go-ahead). We model posted buffers as credits
-// and make overruns a hard CHECK failure: if the application protocol ever
-// sends a bulk message to a node without a posted buffer, that is a protocol
-// bug (the very bug the paper's ack design exists to prevent), not a
-// condition to paper over with blocking.
+// the buffer and send an ack/go-ahead). We model posted buffers as credits.
+// A bulk send without a posted buffer is *not* a hard abort any more: it
+// returns SendStatus::kNoCredit so the reliable transport (net/reliable.h)
+// can back off and retry, and so tests can exercise the overrun path.
 //
-// Small control messages (acks, go-aheads, macroblock exchanges) flow
-// without credits, as GM programs typically reserve a pool of small buffers
-// for them.
+// Small control messages (acks, go-aheads, heartbeats) flow without
+// credits, as GM programs typically reserve a pool of small buffers for
+// them.
+//
+// Unlike the paper's fabric, this one can be *unreliable on demand*: an
+// attached FaultInjector may drop, delay (reorder), duplicate or corrupt
+// any message, or crash a node outright. Delayed messages are parked in the
+// destination mailbox and released after `hold` later deliveries — or when
+// a receiver times out waiting, which models late arrival and guarantees
+// liveness. A killed node loses its queue; sends to it succeed silently
+// (the network does not tell a sender its peer died) and receives at it
+// report RecvStatus::kDead so the node's thread can exit.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <vector>
 
 #include "common/check.h"
+#include "net/fault.h"
 
 namespace pdw::net {
 
 struct Message {
   int src = -1;
-  int type = 0;        // application-defined tag
+  int type = 0;        // application-defined tag (< 0 reserved for transport)
   uint32_t seq = 0;    // picture index / sequence number
-  uint16_t aux = 0;    // ANID / NSID field
+  uint16_t aux = 0;    // ANID / NSID / tile field
   bool bulk = false;   // true: consumes a posted receive buffer
+  uint32_t tseq = 0;   // transport sequence number (stamped by ReliableEndpoint)
+  uint32_t crc = 0;    // payload CRC-32 (stamped by ReliableEndpoint)
   std::vector<uint8_t> payload;
 
+  // Wire size. The 16-byte header models GM's small-message header and is
+  // kept unchanged from the reliable-fabric era: seq/crc framing replaces
+  // padding rather than growing the header.
   size_t wire_bytes() const { return payload.size() + kHeaderBytes; }
   static constexpr size_t kHeaderBytes = 16;
 };
@@ -44,6 +59,20 @@ struct NodeCounters {
   uint64_t recv_bytes = 0;
   uint64_t sent_messages = 0;
   uint64_t recv_messages = 0;
+  uint64_t dropped_messages = 0;  // lost to injected faults on this dst
+};
+
+enum class SendStatus {
+  kOk,        // delivered (or silently dropped by a fault — sender can't tell)
+  kNoCredit,  // bulk message, no posted receive buffer (flow-control overrun)
+  kSrcDead,   // the sending node was killed
+};
+
+enum class RecvStatus {
+  kOk,
+  kTimeout,
+  kShutdown,  // fabric shut down and queue drained
+  kDead,      // this node was killed
 };
 
 class Fabric {
@@ -52,31 +81,59 @@ class Fabric {
 
   int nodes() const { return int(mailboxes_.size()); }
 
+  // Attach a fault injector (borrowed; must outlive the fabric). Call before
+  // concurrent use.
+  void set_fault_injector(const FaultInjector* injector) {
+    injector_ = injector;
+  }
+
   // Post one receive buffer at `node` (a credit for one bulk message).
   void post_receive(int node);
 
   // Deliver a message to `dst`. Bulk messages consume a posted buffer;
-  // CHECK-fails if none is available (flow-control violation).
-  void send(int src, int dst, Message msg);
+  // returns kNoCredit (message not delivered) if none is available.
+  SendStatus send(int src, int dst, Message msg);
 
   // Blocking receive at `node`. Returns false if the fabric was shut down
-  // and no message is pending.
+  // (and the queue drained) or the node was killed.
   bool receive(int node, Message* out);
+
+  // Timed receive. On kTimeout, any fault-delayed messages parked at this
+  // node are released (they arrive "late"), so a later call will see them.
+  RecvStatus receive_for(int node, double timeout_s, Message* out);
+
+  // Kill a node: its queue is lost, receives at it return kDead, sends to it
+  // vanish silently. Idempotent.
+  void kill(int node);
+  bool is_dead(int node) const;
 
   // Per-node traffic counters and the pairwise traffic matrix
   // (bytes[src * nodes + dst]).
   NodeCounters counters(int node) const;
   std::vector<uint64_t> traffic_matrix() const;
 
+  // True when no live node has queued or fault-delayed messages — i.e. every
+  // sent message has been consumed. Lets an orderly teardown wait for the
+  // last in-flight acks before shutdown() discards whatever remains.
+  bool quiescent() const;
+
   // Unblock all receivers (end of stream).
   void shutdown();
 
  private:
+  struct Delayed {
+    Message msg;
+    int hold = 0;  // deliveries remaining before release
+  };
+
   struct Mailbox {
     mutable std::mutex mu;
     std::condition_variable cv;
     std::deque<Message> queue;
+    std::vector<Delayed> delayed;
     int credits = 0;
+    bool dead = false;
+    uint64_t deliveries = 0;  // messages ever delivered to this node
     NodeCounters counters;
   };
 
@@ -86,10 +143,17 @@ class Fabric {
     return *mailboxes_[size_t(node)];
   }
 
+  // Must hold mb.mu. Move delayed messages whose hold expired into the queue.
+  static void release_delayed(Mailbox& mb, bool force);
+  // Must hold mb.mu. Enqueue one already-fault-processed message.
+  static bool enqueue(Mailbox& mb, Message msg);
+
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
-  std::vector<uint64_t> traffic_;  // src * nodes + dst, guarded by traffic_mu_
+  std::vector<uint64_t> traffic_;       // src * nodes + dst
+  std::vector<uint64_t> link_ordinal_;  // per-link send counter
   mutable std::mutex traffic_mu_;
   std::atomic<bool> shutdown_{false};
+  const FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace pdw::net

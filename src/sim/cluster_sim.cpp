@@ -1,6 +1,7 @@
 #include "sim/cluster_sim.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/check.h"
 #include "net/fabric.h"
@@ -12,6 +13,7 @@ using core::PictureTrace;
 namespace {
 constexpr double kAckBytes = double(net::Message::kHeaderBytes);
 constexpr double kMsgHeader = double(net::Message::kHeaderBytes);
+constexpr double kInf = std::numeric_limits<double>::infinity();
 }  // namespace
 
 SimResult simulate_cluster(const std::vector<PictureTrace>& traces,
@@ -24,6 +26,7 @@ SimResult simulate_cluster(const std::vector<PictureTrace>& traces,
   const int N = int(traces.size());
   const LinkModel& link = params.link;
   const double scale = params.cpu_scale;
+  const SimFaultModel& fm = params.fault;
 
   SimResult result;
   result.pictures = N;
@@ -35,6 +38,38 @@ SimResult simulate_cluster(const std::vector<PictureTrace>& traces,
 
   auto splitter_node = [&](int s) { return params.two_level ? 1 + s : 0; };
   auto decoder_node = [&](int t) { return result.first_decoder_node + t; };
+
+  // Lossy-link model: each bulk transfer re-rolls FaultInjector's drop
+  // decision per transmission (same SplitMix64 stream as the real fabric, so
+  // a given seed produces one schedule). A drop costs the sender one
+  // retransmit timeout (exponential backoff, capped) plus a repeat transfer.
+  const net::FaultInjector inj(fm.seed, net::FaultRates{.drop = fm.drop_rate});
+  std::vector<uint64_t> link_ord(size_t(result.nodes) * result.nodes, 0);
+  auto xfer = [&](int src, int dst, size_t bytes) -> double {
+    double t = link.transfer_s(bytes);
+    if (fm.drop_rate <= 0) return t;
+    uint64_t& ord = link_ord[size_t(src) * result.nodes + dst];
+    double rto = fm.rto_s;
+    while (inj.decide(src, dst, ord++, 0, bytes).drop) {
+      t += rto + link.transfer_s(bytes);
+      rto = std::min(rto * 2, fm.rto_max_s);
+      ++result.retransmits;
+    }
+    return t;
+  };
+
+  // Crash schedule: the decoder node owning fm.crash_tile dies right after
+  // decoding picture fm.crash_at_picture. Until the heartbeat timeout
+  // expires the splitters still gate on its acks (pipeline stalls); then the
+  // root broadcasts the death and either an adopter takes the tile over from
+  // the next closed-GOP picture, or the tile stays frozen (degraded mode).
+  const bool crash_on = fm.crash_tile >= 0 && fm.crash_tile < T &&
+                        fm.crash_at_picture >= 0 && fm.crash_at_picture < N - 1;
+  bool dead = false;      // the node is down
+  bool informed = false;  // the death has been detected and broadcast
+  double crash_time = kInf, detect_time = kInf;
+  int resync_pic = -1;  // first adopted picture (-1: none / degraded)
+  int adopter = -1;
 
   // --- Root stage: when is picture i fully received by its splitter? -------
   // (One-level mode: the console node both "is" the splitter and has the
@@ -52,7 +87,8 @@ SimResult simulate_cluster(const std::vector<PictureTrace>& traces,
         // from any splitter, except for the first picture").
         t = std::max(t, splitter_ack_at_root[size_t(i - 1)]);
       }
-      const double tx = link.transfer_s(tr.picture_bytes + size_t(kMsgHeader));
+      const double tx = xfer(0, splitter_node(i % k),
+                             tr.picture_bytes + size_t(kMsgHeader));
       const double send_done = t + tx;
       recv_at_splitter[size_t(i)] = send_done + link.latency_s;
       // The splitter acks as soon as it has the picture.
@@ -91,6 +127,7 @@ SimResult simulate_cluster(const std::vector<PictureTrace>& traces,
 
   for (int i = 0; i < N; ++i) {
     const PictureTrace& tr = traces[size_t(i)];
+
     int s = 0;
     if (params.two_level) {
       if (params.schedule == RootSchedule::kRoundRobin) {
@@ -116,28 +153,90 @@ SimResult simulate_cluster(const std::vector<PictureTrace>& traces,
     // acks were addressed to *this* splitter).
     double gate = split_end;
     if (i > 0)
-      for (int t = 0; t < T; ++t)
+      for (int t = 0; t < T; ++t) {
+        if (dead && t == fm.crash_tile) {
+          if (informed) continue;  // death known: gate over live nodes only
+          if (i - 1 > fm.crash_at_picture) {
+            // The dead node never acked picture i-1: the pipeline stalls
+            // until the heartbeat timeout declares it dead. This is the
+            // detection event — pick the resync picture (first closed-GOP
+            // picture the splitters have not yet routed) and an adopter.
+            gate = std::max(gate, detect_time);
+            informed = true;
+            for (int j = i; j < N; ++j)
+              if (traces[size_t(j)].has_gop_header) {
+                resync_pic = j;
+                break;
+              }
+            if (!fm.adopt || T < 2) resync_pic = -1;
+            if (resync_pic >= 0)
+              for (int t2 = 0; t2 < T; ++t2)
+                if (t2 != fm.crash_tile) {
+                  adopter = t2;
+                  break;
+                }
+            if (adopter < 0) resync_pic = -1;  // nobody left to adopt
+            SimRecovery rec;
+            rec.tile = fm.crash_tile;
+            rec.adopter_tile = adopter;
+            rec.resync_picture = resync_pic;
+            rec.crash_time_s = crash_time;
+            rec.detect_time_s = detect_time;
+            result.recoveries.push_back(rec);
+            continue;
+          }
+        }
         gate = std::max(gate, prev_pic_dec_ack[size_t(t)]);
+      }
 
-    // Send SPs sequentially over the splitter's NIC.
+    // Is the dead tile decoded this picture, and by whom? Decided after the
+    // gate loop: detection happens in there, and adoption must take effect
+    // at the resync picture itself, not one picture later.
+    // host == -1: nobody (frozen frame); host == adopter: adopted.
+    const bool tile_lost = dead && i > fm.crash_at_picture;
+    const int dead_host =
+        tile_lost ? (resync_pic >= 0 && i >= resync_pic ? adopter : -1)
+                  : fm.crash_tile;
+    auto active = [&](int t) {
+      return !(tile_lost && t == fm.crash_tile && dead_host < 0);
+    };
+    if (tile_lost && dead_host < 0) ++result.degraded_frames;
+
+    // Send SPs sequentially over the splitter's NIC. A lost tile's SP is not
+    // sent; an adopted tile's SP goes to the adopter's node.
     double nic = gate;
     for (int t = 0; t < T; ++t) {
+      if (!active(t)) continue;
+      const int host = (t == fm.crash_tile) ? dead_host : t;
       const double bytes = double(tr.sp_msg_bytes[size_t(t)]) + kMsgHeader;
-      nic += link.transfer_s(size_t(bytes));
+      nic += xfer(splitter_node(s), decoder_node(host), size_t(bytes));
       sp_arrival[size_t(t)] = nic + link.latency_s;
       result.traffic[size_t(splitter_node(s))].sent_bytes += bytes;
-      result.traffic[size_t(decoder_node(t))].recv_bytes += bytes;
+      result.traffic[size_t(decoder_node(host))].recv_bytes += bytes;
       result.splitter_busy_s[size_t(s)] += link.transfer_s(size_t(bytes));
     }
     splitter_free[size_t(s)] = nic;
 
-    // Decoders: phase 1 — receive SP, ack, serve remote macroblocks.
-    for (int t = 0; t < T; ++t) {
-      DecoderBreakdown& bd = result.decoders[size_t(t)];
+    // Decoders: phase 1 — receive SP, ack, serve remote macroblocks. An
+    // adopting node handles its own tile first, then the adopted tile
+    // (sequential compute on one CPU) — so the adopted tile goes last.
+    std::vector<int> order;
+    order.reserve(size_t(T));
+    for (int t = 0; t < T; ++t)
+      if (t != fm.crash_tile || !tile_lost) order.push_back(t);
+    if (tile_lost && dead_host >= 0) order.push_back(fm.crash_tile);
+
+    for (const int t : order) {
+      if (!active(t)) continue;
+      const int host = (t == fm.crash_tile) ? dead_host : t;
+      const bool merged = host != t;  // adopted tile rides the host's CPU
+      DecoderBreakdown& bd = result.decoders[size_t(host)];
       const double arr = sp_arrival[size_t(t)];
-      const double st = std::max(arr, decoder_free[size_t(t)]);
+      const double host_free =
+          merged ? serve_end[size_t(host)] : decoder_free[size_t(t)];
+      const double st = std::max(arr, host_free);
       start[size_t(t)] = st;
-      bd.receive += std::max(0.0, arr - decoder_free[size_t(t)]);
+      bd.receive += std::max(0.0, arr - host_free);
 
       // Ack to the next picture's splitter.
       prev_pic_dec_ack[size_t(t)] = st + link.ack_cpu_s +
@@ -145,18 +244,22 @@ SimResult simulate_cluster(const std::vector<PictureTrace>& traces,
                                     link.latency_s;
       bd.ack += link.ack_cpu_s;
       const int next_s = params.two_level ? (i + 1) % k : 0;
-      result.traffic[size_t(decoder_node(t))].sent_bytes += kAckBytes;
+      result.traffic[size_t(decoder_node(host))].sent_bytes += kAckBytes;
       result.traffic[size_t(splitter_node(next_s))].recv_bytes += kAckBytes;
 
       // Serve: extraction CPU plus NIC time for outgoing exchange messages.
       double tx = 0.0;
       for (int d = 0; d < T; ++d) {
+        if (!active(d)) continue;
         const double bytes = double(tr.exchange_bytes[size_t(t) * T + d]);
         if (bytes == 0.0) continue;
-        tx += link.transfer_s(size_t(bytes + kMsgHeader));
-        result.traffic[size_t(decoder_node(t))].sent_bytes +=
+        const int dh = (d == fm.crash_tile) ? dead_host : d;
+        if (dh == host) continue;  // co-hosted tiles exchange locally
+        tx += xfer(decoder_node(host), decoder_node(dh),
+                   size_t(bytes + kMsgHeader));
+        result.traffic[size_t(decoder_node(host))].sent_bytes +=
             bytes + kMsgHeader;
-        result.traffic[size_t(decoder_node(d))].recv_bytes +=
+        result.traffic[size_t(decoder_node(dh))].recv_bytes +=
             bytes + kMsgHeader;
       }
       const double serve = tr.serve_s[size_t(t)] * scale + tx;
@@ -164,20 +267,44 @@ SimResult simulate_cluster(const std::vector<PictureTrace>& traces,
       serve_end[size_t(t)] = st + link.ack_cpu_s + serve;
     }
 
-    // Phase 2 — wait for remote macroblocks, then decode.
-    for (int t = 0; t < T; ++t) {
-      DecoderBreakdown& bd = result.decoders[size_t(t)];
-      double ready = serve_end[size_t(t)];
+    // Phase 2 — wait for remote macroblocks, then decode. The adopted tile
+    // decodes after the host's own tile on the same CPU.
+    for (const int t : order) {
+      if (!active(t)) continue;
+      const int host = (t == fm.crash_tile) ? dead_host : t;
+      DecoderBreakdown& bd = result.decoders[size_t(host)];
+      double ready =
+          host != t ? decoder_free[size_t(host)] : serve_end[size_t(t)];
       for (int src = 0; src < T; ++src) {
         if (tr.exchange_bytes[size_t(src) * T + t] == 0) continue;
+        if (!active(src)) continue;  // concealed: dead tile sends nothing
         ready = std::max(ready, serve_end[size_t(src)] + link.latency_s);
       }
-      bd.wait_remote += ready - serve_end[size_t(t)];
+      bd.wait_remote += std::max(0.0, ready - serve_end[size_t(t)]);
       const double decode_end = ready + tr.decode_s[size_t(t)] * scale;
       bd.work += tr.decode_s[size_t(t)] * scale;
-      decoder_free[size_t(t)] = decode_end;
+      decoder_free[size_t(host)] = decode_end;
+      if (host != t) decoder_free[size_t(t)] = decode_end;
+
+      if (crash_on && !dead && t == fm.crash_tile &&
+          i == fm.crash_at_picture) {
+        dead = true;
+        crash_time = decode_end;
+        detect_time = crash_time + fm.hb_timeout_s;
+      }
+      if (!result.recoveries.empty() && resync_pic == i &&
+          t == fm.crash_tile) {
+        SimRecovery& rec = result.recoveries.back();
+        rec.resync_time_s = decode_end;
+        rec.recovery_latency_s = decode_end - rec.crash_time_s;
+      }
     }
   }
+
+  // Degraded mode (or no adopter): the wall stalls only until detection.
+  for (SimRecovery& rec : result.recoveries)
+    if (rec.resync_picture < 0)
+      rec.recovery_latency_s = rec.detect_time_s - rec.crash_time_s;
 
   double makespan = 0.0;
   for (int t = 0; t < T; ++t)

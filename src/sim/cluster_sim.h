@@ -43,6 +43,46 @@ enum class RootSchedule {
   kLeastLoaded,  // send to the splitter that will go idle first
 };
 
+// Fault schedule replayed by the DES — mirrors the threaded runtime's fault
+// handling (net/fault.h + core/pipeline.h) on the modeled cluster, so
+// recovery latency and fps-under-faults can be predicted without running
+// the real pipeline.
+struct SimFaultModel {
+  uint64_t seed = 0;
+  // Per-transmission drop probability on bulk links (picture, sub-picture
+  // and exchange messages). Each drop costs the sender one retransmit
+  // timeout (exponential backoff, capped) plus a repeat transfer —
+  // identical decisions to FaultInjector for the same seed.
+  double drop_rate = 0;
+  double rto_s = 0.004;
+  double rto_max_s = 0.064;
+
+  // Kill the decoder node owning `crash_tile` right after it finishes
+  // decoding picture `crash_at_picture` (-1 = no crash).
+  int crash_tile = -1;
+  int crash_at_picture = 0;
+  // The root declares the node dead this long after its last heartbeat;
+  // until then the pipeline stalls on the dead node's acks (exactly like
+  // the threaded runtime's health monitor).
+  double hb_timeout_s = 0.25;
+  // true: the surviving decoder with the smallest tile adopts the dead
+  // tile from the resync picture on (decoding both serially). false:
+  // degraded mode — the dead tile stays frozen for the rest of the run.
+  bool adopt = true;
+};
+
+// One recovery as replayed by the DES.
+struct SimRecovery {
+  int tile = -1;
+  int adopter_tile = -1;      // -1 in degraded mode
+  int resync_picture = -1;    // first closed-GOP picture after detection
+  double crash_time_s = 0;
+  double detect_time_s = 0;   // crash + heartbeat timeout
+  double resync_time_s = 0;   // dead tile's slot is exact again (adopt mode)
+  // Wall-clock from crash to full recovery (detection in degraded mode).
+  double recovery_latency_s = 0;
+};
+
 struct SimParams {
   int k = 1;              // second-level splitters
   bool two_level = true;  // false: 1-(m,n), the root splits macroblocks itself
@@ -51,6 +91,7 @@ struct SimParams {
   // Scale all measured compute times by this factor (1.0 = this host's
   // speed). Exposed so experiments can model slower/faster node CPUs.
   double cpu_scale = 1.0;
+  SimFaultModel fault;
 };
 
 // Per-decoder accumulated runtime breakdown (Figure 7's five categories).
@@ -82,6 +123,11 @@ struct SimResult {
   std::vector<DecoderBreakdown> decoders;   // per tile
   std::vector<NodeTraffic> traffic;         // per node, bytes over the run
   std::vector<double> splitter_busy_s;      // per second-level splitter
+
+  // Fault-schedule outcomes (empty / zero on a clean run).
+  std::vector<SimRecovery> recoveries;
+  int degraded_frames = 0;    // display frames with a frozen dead tile
+  uint64_t retransmits = 0;   // drop-induced repeat transmissions
 
   double send_bandwidth_Bps(int node) const {
     return traffic[size_t(node)].sent_bytes / makespan_s;

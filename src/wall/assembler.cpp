@@ -10,55 +10,106 @@ using mpeg2::TileFrame;
 
 WallAssembler::WallAssembler(const TileGeometry& geo)
     : geo_(geo), frame_(geo.mb_width() * 16, geo.mb_height() * 16) {
-  covered_.assign(size_t(geo.width()) * geo.height(), 0);
+  covered_.assign(size_t(geo.width()) * geo.height(), kHole);
+  covered_c_.assign(size_t(geo.width() >> 1) * (geo.height() >> 1), kHole);
 }
 
 void WallAssembler::reset() {
-  std::fill(covered_.begin(), covered_.end(), uint8_t(0));
+  std::fill(covered_.begin(), covered_.end(), uint8_t(kHole));
+  std::fill(covered_c_.begin(), covered_c_.end(), uint8_t(kHole));
 }
 
-void WallAssembler::add_tile(int t, const TileFrame& tile) {
+void WallAssembler::add_tile(int t, const TileFrame& tile, bool exact) {
   const PixelRect& r = geo_.tile_pixels(t);
   PDW_CHECK_GE(r.x0, tile.px0());
   PDW_CHECK_GE(r.y0, tile.py0());
   PDW_CHECK_LE(std::min(r.x1, geo_.width()), tile.px1());
 
-  // Luma: copy the display rect; where another tile already wrote (overlap
-  // bands), the data must agree — the physical wall blends the two
-  // projectors, which only looks right because both show identical pixels.
+  // Luma: copy the display rect; where another tile already wrote exact data
+  // (overlap bands), exact data must agree — the physical wall blends the
+  // two projectors, which only looks right because both show identical
+  // pixels. Degraded data fills holes and degraded pixels but never
+  // overwrites exact ones.
   for (int y = r.y0; y < std::min(r.y1, geo_.height()); ++y) {
     uint8_t* dst = frame_.y.row(y);
     const uint8_t* src = tile.pixel(0, r.x0, y);
     const int w = std::min(r.x1, geo_.width()) - r.x0;
     for (int i = 0; i < w; ++i) {
       uint8_t& cov = covered_[size_t(y) * geo_.width() + r.x0 + i];
-      if (cov) {
-        PDW_CHECK_EQ(int(dst[r.x0 + i]), int(src[i]))
-            << "overlap mismatch at (" << r.x0 + i << "," << y << ")";
+      if (exact) {
+        if (cov == kExact) {
+          PDW_CHECK_EQ(int(dst[r.x0 + i]), int(src[i]))
+              << "overlap mismatch at (" << r.x0 + i << "," << y << ")";
+        }
+        dst[r.x0 + i] = src[i];
+        cov = kExact;
+      } else if (cov != kExact) {
+        dst[r.x0 + i] = src[i];
+        cov = kDegraded;
       }
-      dst[r.x0 + i] = src[i];
-      cov = 1;
     }
   }
 
-  // Chroma: half-resolution copy of the covering rect.
+  // Chroma: half-resolution copy with the same coverage policy.
+  const int cw = geo_.width() >> 1;
   const int cx0 = r.x0 >> 1;
   const int cy0 = r.y0 >> 1;
-  const int cx1 = std::min((r.x1 + 1) >> 1, geo_.width() >> 1);
+  const int cx1 = std::min((r.x1 + 1) >> 1, cw);
   const int cy1 = std::min((r.y1 + 1) >> 1, geo_.height() >> 1);
   for (int y = cy0; y < cy1; ++y) {
-    std::memcpy(frame_.cb.row(y) + cx0, tile.pixel(1, cx0, y),
-                size_t(cx1 - cx0));
-    std::memcpy(frame_.cr.row(y) + cx0, tile.pixel(2, cx0, y),
-                size_t(cx1 - cx0));
+    const uint8_t* scb = tile.pixel(1, cx0, y);
+    const uint8_t* scr = tile.pixel(2, cx0, y);
+    uint8_t* dcb = frame_.cb.row(y);
+    uint8_t* dcr = frame_.cr.row(y);
+    for (int i = 0; i < cx1 - cx0; ++i) {
+      uint8_t& cov = covered_c_[size_t(y) * cw + cx0 + i];
+      if (exact || cov != kExact) {
+        dcb[cx0 + i] = scb[i];
+        dcr[cx0 + i] = scr[i];
+        cov = exact ? kExact : kDegraded;
+      }
+    }
   }
 }
 
 void WallAssembler::check_coverage() const {
   for (int y = 0; y < geo_.height(); ++y)
     for (int x = 0; x < geo_.width(); ++x)
-      PDW_CHECK(covered_[size_t(y) * geo_.width() + x])
+      PDW_CHECK(covered_[size_t(y) * geo_.width() + x] != kHole)
           << "pixel (" << x << "," << y << ") not covered by any tile";
+}
+
+bool WallAssembler::coverage_complete() const {
+  return std::find(covered_.begin(), covered_.end(), uint8_t(kHole)) ==
+             covered_.end() &&
+         std::find(covered_c_.begin(), covered_c_.end(), uint8_t(kHole)) ==
+             covered_c_.end();
+}
+
+void WallAssembler::fill_uncovered(const Frame* prev) {
+  for (int y = 0; y < geo_.height(); ++y) {
+    uint8_t* dst = frame_.y.row(y);
+    const uint8_t* src = prev ? prev->y.row(y) : nullptr;
+    for (int x = 0; x < geo_.width(); ++x) {
+      uint8_t& cov = covered_[size_t(y) * geo_.width() + x];
+      if (cov != kHole) continue;
+      dst[x] = src ? src[x] : 128;
+      cov = kDegraded;
+    }
+  }
+  const int cw = geo_.width() >> 1;
+  const int ch = geo_.height() >> 1;
+  for (int y = 0; y < ch; ++y) {
+    uint8_t* dcb = frame_.cb.row(y);
+    uint8_t* dcr = frame_.cr.row(y);
+    for (int x = 0; x < cw; ++x) {
+      uint8_t& cov = covered_c_[size_t(y) * cw + x];
+      if (cov != kHole) continue;
+      dcb[x] = prev ? prev->cb.row(y)[x] : 128;
+      dcr[x] = prev ? prev->cr.row(y)[x] : 128;
+      cov = kDegraded;
+    }
+  }
 }
 
 Frame crop_frame(const Frame& src, int width, int height) {

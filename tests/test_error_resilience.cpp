@@ -168,3 +168,165 @@ TEST(ErrorResilience, ConcealedPictureStillBitExactElsewhere) {
 
 }  // namespace
 }  // namespace pdw::mpeg2
+
+// ---------------------------------------------------------------------------
+// Transport-level corruption: sub-picture (SPH) and MEI payloads damaged in
+// flight must be caught by the reliable transport's CRC — retransmitted when
+// possible, skipped (with concealment until the next closed-GOP I picture)
+// when persistent — and NEVER silently decoded as valid data.
+
+#include <map>
+#include <memory>
+
+#include "core/pipeline.h"
+#include "net/fault.h"
+#include "wall/assembler.h"
+
+namespace pdw {
+namespace {
+
+using core::TileDisplayInfo;
+using mpeg2::Frame;
+
+struct WallRun {
+  std::vector<Frame> frames;
+  std::vector<bool> degraded;
+  core::ClusterStats stats;
+};
+
+WallRun wall_decode(const std::vector<uint8_t>& es,
+                    const wall::TileGeometry& geo, int k, core::FtOptions ft) {
+  core::ClusterPipeline pipeline(geo, k, es, ft);
+  struct Slot {
+    std::unique_ptr<wall::WallAssembler> assembler;
+    bool degraded = false;
+  };
+  std::map<int, Slot> slots;
+  WallRun run;
+  run.stats = pipeline.run([&](int tile, const mpeg2::TileFrame& tf,
+                               const TileDisplayInfo& info) {
+    Slot& s = slots[info.display_index];
+    if (!s.assembler) s.assembler = std::make_unique<wall::WallAssembler>(geo);
+    s.assembler->add_tile(tile, tf, /*exact=*/!info.degraded);
+    s.degraded = s.degraded || info.degraded;
+  });
+  run.frames.reserve(slots.size());
+  const Frame* prev = nullptr;
+  for (auto& [index, s] : slots) {
+    if (!s.assembler->coverage_complete()) {
+      s.assembler->fill_uncovered(prev);
+      s.degraded = true;
+    }
+    run.frames.push_back(s.assembler->frame());
+    run.degraded.push_back(s.degraded);
+    prev = &run.frames.back();
+  }
+  return run;
+}
+
+// gop_size 4: closed-GOP resync points at coded pictures 0, 4, 8.
+std::vector<uint8_t> make_gop4_stream(int w, int h, int frames) {
+  enc::EncoderConfig cfg;
+  cfg.width = w;
+  cfg.height = h;
+  cfg.gop_size = 4;
+  cfg.b_frames = 2;
+  cfg.target_bpp = 0.5;
+  const auto gen =
+      video::make_scene(video::SceneKind::kMovingObjects, w, h, 77);
+  enc::Mpeg2Encoder encoder(cfg);
+  return encoder.encode(frames,
+                        [&](int i, Frame* f) { gen->render(i, f); });
+}
+
+std::vector<Frame> serial_decode(const std::vector<uint8_t>& es) {
+  std::vector<Frame> out;
+  mpeg2::Mpeg2Decoder dec;
+  dec.decode(es, [&](const Frame& f, const mpeg2::DecodedPictureInfo&) {
+    out.push_back(f);
+  });
+  return out;
+}
+
+// Corrupt every transmission (including retransmissions) on the first
+// splitter -> first decoder link for ordinals [from, to).
+net::FaultInjector sp_link_corruptor(int k, uint64_t from, uint64_t to) {
+  net::FaultInjector inj;
+  for (uint64_t ord = from; ord < to; ++ord) {
+    net::FaultEvent ev;
+    ev.kind = net::FaultEvent::Kind::kCorrupt;
+    ev.src = 1;          // splitter 0's node
+    ev.dst = 1 + k + 0;  // tile 0's decoder node
+    ev.at_ordinal = ord;
+    inj.add_event(ev);
+  }
+  return inj;
+}
+
+TEST(TransportCrc, CorruptedSubPictureIsRetransmittedNotDecoded) {
+  const int w = 192, h = 160, k = 2;
+  const auto es = make_gop4_stream(w, h, 9);
+  const auto serial = serial_decode(es);
+  wall::TileGeometry geo(w, h, 2, 2, 16);
+
+  // A burst of corruption, but each transmission retries often enough that
+  // an intact copy always gets through: the wall stays bit-exact and the
+  // damage is visible only in the CRC-drop counter.
+  const auto injector = sp_link_corruptor(k, 2, 8);
+  core::FtOptions ft;
+  ft.injector = &injector;
+  const WallRun run = wall_decode(es, geo, k, ft);
+
+  EXPECT_GT(run.stats.ft.transport.crc_drops, 0u);
+  EXPECT_EQ(run.stats.ft.transport.abandoned, 0u);
+  EXPECT_EQ(run.stats.ft.skipped_pictures, 0u);
+  ASSERT_EQ(run.frames.size(), serial.size());
+  for (size_t i = 0; i < run.frames.size(); ++i) {
+    EXPECT_FALSE(run.degraded[i]) << "slot " << i;
+    const Frame a = wall::crop_frame(serial[i], w, h);
+    const Frame b = wall::crop_frame(run.frames[i], w, h);
+    EXPECT_TRUE(a.y == b.y && a.cb == b.cb && a.cr == b.cr) << "slot " << i;
+  }
+}
+
+TEST(TransportCrc, PersistentCorruptionSkipsPictureAndResyncsAtNextGop) {
+  const int w = 192, h = 160, k = 2;
+  const auto es = make_gop4_stream(w, h, 12);
+  const auto serial = serial_decode(es);
+  wall::TileGeometry geo(w, h, 2, 2, 16);
+
+  // Corrupt a long stretch of the link with a tiny retry budget: some
+  // sub-picture exhausts its retries, the splitter broadcasts a skip, the
+  // tile conceals (freeze + taint) until the next closed-GOP I picture.
+  const auto injector = sp_link_corruptor(k, 4, 16);
+  core::FtOptions ft;
+  ft.injector = &injector;
+  ft.protocol.reliable.max_retries = 2;
+  const WallRun run = wall_decode(es, geo, k, ft);
+
+  EXPECT_GT(run.stats.ft.transport.crc_drops, 0u);
+  EXPECT_GT(run.stats.ft.transport.abandoned, 0u);
+  EXPECT_GE(run.stats.ft.skipped_pictures, 1u);
+  EXPECT_GT(run.stats.ft.degraded_frames, 0u);
+  EXPECT_TRUE(run.stats.ft.recoveries.empty()) << "no node died here";
+
+  // Every display slot exists; none is silently wrong; and by the final
+  // closed GOP (coded picture 8 on) the wall is bit-exact again.
+  ASSERT_EQ(run.frames.size(), serial.size());
+  int degraded_slots = 0;
+  for (size_t i = 0; i < run.frames.size(); ++i) {
+    const Frame a = wall::crop_frame(serial[i], w, h);
+    const Frame b = wall::crop_frame(run.frames[i], w, h);
+    const bool exact = a.y == b.y && a.cb == b.cb && a.cr == b.cr;
+    EXPECT_TRUE(run.degraded[i] || exact) << "slot " << i << " silently wrong";
+    if (i >= 8) {
+      EXPECT_TRUE(exact) << "slot " << i << " not resynced";
+      EXPECT_FALSE(run.degraded[i]) << "slot " << i;
+    }
+    degraded_slots += run.degraded[i] ? 1 : 0;
+  }
+  EXPECT_GT(degraded_slots, 0);
+}
+
+}  // namespace
+}  // namespace pdw

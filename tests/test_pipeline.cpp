@@ -146,10 +146,13 @@ TEST(ThreadedPipelineStats, RootSendsOnlyToSplitters) {
   ClusterPipeline pipeline(geo, 2, es);
   const auto stats = pipeline.run(nullptr);
   const int nodes = stats.nodes;
-  // Root (node 0) must not talk to decoders directly.
+  // Root (node 0) must not send application traffic to decoders directly.
+  // The reliable transport does ack each decoder's "finished" report with a
+  // single header-only transport ack, so allow at most that.
   for (int t = 0; t < geo.tiles(); ++t) {
     const int d = pipeline.decoder_node(t);
-    EXPECT_EQ(stats.traffic_matrix[size_t(0) * nodes + d], 0u);
+    EXPECT_LE(stats.traffic_matrix[size_t(0) * nodes + d],
+              uint64_t(net::Message::kHeaderBytes));
   }
   // Both splitters carry picture traffic (round-robin balance).
   EXPECT_GT(stats.traffic_matrix[size_t(0) * nodes + 1], 0u);
