@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
   std::map<mpeg2::PicType, int> type_count;
   std::map<mpeg2::PicType, size_t> type_bytes;
   int gops = 0;
+  int damaged = 0;
 
   TextTable table({"#", "type", "tref", "bytes", "f_code", "q_type", "scan",
                    "seq", "gop"});
@@ -64,7 +65,16 @@ int main(int argc, char** argv) {
     mpeg2::ParsedPictureHeaders headers;
     const auto span = std::span<const uint8_t>(es).subspan(ps.begin,
                                                            ps.end - ps.begin);
-    mpeg2::parse_picture_headers(span, &seq, &have_seq, &headers);
+    const DecodeStatus hs =
+        mpeg2::parse_picture_headers(span, &seq, &have_seq, &headers);
+    if (!hs.ok()) {
+      ++damaged;
+      if (i < 40)
+        table.add_row({format("%zu", i), "??", "", format("%zu", ps.end - ps.begin),
+                       "", "", "", ps.has_sequence_header ? "*" : "",
+                       ps.has_gop_header ? "*" : ""});
+      continue;
+    }
     if (headers.had_gop_header) ++gops;
     ++type_count[headers.ph.type];
     type_bytes[headers.ph.type] += ps.end - ps.begin;
@@ -86,7 +96,10 @@ int main(int argc, char** argv) {
                 seq.progressive_sequence ? "progressive" : "interlaced",
                 seq.loaded_intra_quant ? "custom" : "default");
   }
-  std::printf("pictures: %zu in %d GOPs\n\n", spans.size(), gops);
+  std::printf("pictures: %zu in %d GOPs\n", spans.size(), gops);
+  if (damaged > 0)
+    std::printf("damaged pictures (undecodable headers): %d\n", damaged);
+  std::printf("\n");
   table.print(stdout);
   if (spans.size() > 40)
     std::printf("... (%zu more pictures)\n", spans.size() - 40);

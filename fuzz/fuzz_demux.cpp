@@ -1,0 +1,21 @@
+// Fuzz target: the system layer. Program-stream and transport-stream demux
+// take bytes straight off disk or the wire, so their contract is the
+// strictest of all: they NEVER throw — damage is reported in
+// DemuxResult/TsDemuxResult status fields and the demux resynchronizes and
+// carries on. No try/catch here: any exception is a finding.
+#include <cstdint>
+#include <span>
+
+#include "ps/program_stream.h"
+#include "ps/transport_stream.h"
+
+using namespace pdw;
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::span<const uint8_t> bytes(data, size);
+  const ps::DemuxResult d = ps::demux_program_stream(bytes);
+  (void)d;
+  const ps::TsDemuxResult t = ps::demux_transport_stream(bytes);
+  (void)t;
+  return 0;
+}

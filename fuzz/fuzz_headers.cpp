@@ -1,0 +1,68 @@
+// Fuzz target: the header layer. Arbitrary bytes through the picture scan,
+// the combined picture-header parse, and every individual header parser.
+// The contract under test: header parsing reports damage through
+// DecodeStatus — it must not crash, loop, or trip a sanitizer on any input.
+// BitstreamError is tolerated only from scan-level entry points that
+// document it (none here); InternalError or a signal is a finding.
+#include <cstdint>
+#include <span>
+
+#include "bitstream/bit_reader.h"
+#include "bitstream/start_code.h"
+#include "mpeg2/headers.h"
+
+using namespace pdw;
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::span<const uint8_t> es(data, size);
+
+  // Picture-level scan + combined header parse, exactly as the root splitter
+  // and the serial decoder front-end use it.
+  {
+    mpeg2::SequenceHeader seq;
+    bool have_seq = false;
+    for (const PictureSpan& ps : scan_pictures(es)) {
+      mpeg2::ParsedPictureHeaders headers;
+      (void)mpeg2::parse_picture_headers(es.subspan(ps.begin, ps.end - ps.begin),
+                                         &seq, &have_seq, &headers);
+    }
+  }
+
+  // Each parser straight from byte 0 — exercises truncation and garbage in
+  // positions the scan would normally filter out.
+  {
+    BitReader r(es);
+    mpeg2::SequenceHeader seq;
+    (void)mpeg2::parse_sequence_header(r, &seq);
+  }
+  {
+    BitReader r(es);
+    mpeg2::GopHeader gop;
+    (void)mpeg2::parse_gop_header(r, &gop);
+  }
+  {
+    BitReader r(es);
+    mpeg2::PictureHeader ph;
+    (void)mpeg2::parse_picture_header(r, &ph);
+  }
+  {
+    BitReader r(es);
+    mpeg2::SequenceHeader seq;
+    mpeg2::PictureCodingExt pce;
+    (void)mpeg2::parse_extension(r, &seq, &pce);
+  }
+  {
+    // Slice headers against both a normal and an ultra-high picture (the
+    // vertical-position extension path).
+    for (int height : {480, 2912}) {
+      mpeg2::SequenceHeader seq;
+      seq.width = 1920;
+      seq.height = height;
+      const uint8_t code = size ? uint8_t(1 + data[0] % 0xAF) : uint8_t(1);
+      BitReader r(es);
+      int row = -1, q = -1;
+      (void)mpeg2::parse_slice_header(r, seq, code, &row, &q);
+    }
+  }
+  return 0;
+}

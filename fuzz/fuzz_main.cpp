@@ -1,0 +1,154 @@
+// Standalone fuzz driver.
+//
+// Each harness defines LLVMFuzzerTestOneInput (the libFuzzer entry point).
+// When the toolchain has libFuzzer (clang -fsanitize=fuzzer) the harness can
+// link against it directly by compiling with -DPDW_LIBFUZZER. GCC ships no
+// libFuzzer, so this file provides a main() that reproduces the essential
+// loop: replay a seed corpus, then run deterministic random mutations of it
+// for a bounded number of iterations. Combined with -fsanitize=address,
+// undefined this gives the same "no crash, no UB on arbitrary bytes"
+// guarantee in plain CI.
+//
+//   fuzz_x [--runs N] [--seed S] [--max-len L] [corpus file|dir]...
+//
+// With no corpus arguments a handful of synthetic seeds (empty input, bare
+// start codes, random bytes) are used. Exit code 0 means every input was
+// processed without crashing; sanitizers abort the process on findings.
+#ifndef PDW_LIBFUZZER
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+// xorshift64* — deterministic across platforms, no libc rand() state.
+struct Rng {
+  uint64_t s;
+  explicit Rng(uint64_t seed) : s(seed ? seed : 0x9E3779B97F4A7C15ull) {}
+  uint64_t next() {
+    s ^= s >> 12;
+    s ^= s << 25;
+    s ^= s >> 27;
+    return s * 0x2545F4914F6CDD1Dull;
+  }
+  // Uniform in [0, n).
+  uint64_t below(uint64_t n) { return n ? next() % n : 0; }
+};
+
+std::vector<uint8_t> read_file(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+}
+
+void add_input(const std::filesystem::path& p,
+               std::vector<std::vector<uint8_t>>* corpus) {
+  std::error_code ec;
+  if (std::filesystem::is_directory(p, ec)) {
+    for (const auto& e : std::filesystem::directory_iterator(p, ec))
+      if (e.is_regular_file()) corpus->push_back(read_file(e.path()));
+  } else {
+    corpus->push_back(read_file(p));
+  }
+}
+
+// One random structure-aware-ish mutation in place.
+void mutate(Rng& rng, std::vector<uint8_t>* data, size_t max_len) {
+  switch (rng.below(6)) {
+    case 0: {  // flip a bit
+      if (data->empty()) break;
+      const size_t i = size_t(rng.below(data->size()));
+      (*data)[i] ^= uint8_t(1u << rng.below(8));
+      break;
+    }
+    case 1: {  // overwrite a byte
+      if (data->empty()) break;
+      (*data)[size_t(rng.below(data->size()))] = uint8_t(rng.next());
+      break;
+    }
+    case 2: {  // truncate
+      if (data->empty()) break;
+      data->resize(size_t(rng.below(data->size())));
+      break;
+    }
+    case 3: {  // duplicate a chunk
+      if (data->empty() || data->size() >= max_len) break;
+      const size_t from = size_t(rng.below(data->size()));
+      const size_t len =
+          std::min(size_t(rng.below(64)) + 1, data->size() - from);
+      std::vector<uint8_t> chunk(data->begin() + long(from),
+                                 data->begin() + long(from + len));
+      const size_t at = size_t(rng.below(data->size() + 1));
+      data->insert(data->begin() + long(at), chunk.begin(), chunk.end());
+      break;
+    }
+    case 4: {  // splice in a start code prefix with a random code
+      if (data->size() + 4 > max_len) break;
+      const uint8_t sc[4] = {0, 0, 1, uint8_t(rng.next())};
+      const size_t at = size_t(rng.below(data->size() + 1));
+      data->insert(data->begin() + long(at), sc, sc + 4);
+      break;
+    }
+    default: {  // overwrite a short run with one value
+      if (data->empty()) break;
+      const size_t from = size_t(rng.below(data->size()));
+      const size_t len =
+          std::min(size_t(rng.below(16)) + 1, data->size() - from);
+      std::memset(data->data() + from, int(uint8_t(rng.next())), len);
+      break;
+    }
+  }
+  if (data->size() > max_len) data->resize(max_len);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t runs = 1000, seed = 1, max_len = 1u << 20;
+  std::vector<std::vector<uint8_t>> corpus;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--runs") && i + 1 < argc)
+      runs = std::strtoull(argv[++i], nullptr, 10);
+    else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc)
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    else if (!std::strcmp(argv[i], "--max-len") && i + 1 < argc)
+      max_len = std::strtoull(argv[++i], nullptr, 10);
+    else
+      add_input(argv[i], &corpus);
+  }
+  if (corpus.empty()) {
+    corpus.push_back({});                          // empty input
+    corpus.push_back({0x00, 0x00, 0x01, 0xB3});    // bare sequence header
+    corpus.push_back({0x00, 0x00, 0x01, 0x00});    // bare picture header
+    std::vector<uint8_t> noise(512);
+    Rng r(seed ^ 0xA5A5A5A5ull);
+    for (auto& b : noise) b = uint8_t(r.next());
+    corpus.push_back(std::move(noise));
+  }
+
+  // Replay every seed verbatim first — corpus regressions reproduce directly.
+  for (const auto& input : corpus)
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+
+  Rng rng(seed);
+  for (uint64_t run = 0; run < runs; ++run) {
+    std::vector<uint8_t> data = corpus[size_t(rng.below(corpus.size()))];
+    const uint64_t n_mut = 1 + rng.below(8);
+    for (uint64_t m = 0; m < n_mut; ++m) mutate(rng, &data, max_len);
+    LLVMFuzzerTestOneInput(data.data(), data.size());
+    if ((run + 1) % 10000 == 0)
+      std::fprintf(stderr, "#%llu\n", (unsigned long long)(run + 1));
+  }
+  std::fprintf(stderr, "done: %zu seeds + %llu mutated runs, no findings\n",
+               corpus.size(), (unsigned long long)runs);
+  return 0;
+}
+
+#endif  // PDW_LIBFUZZER

@@ -1,0 +1,72 @@
+// Fuzz target: the macroblock-layer VLC parser — the hottest attack surface,
+// since slice payloads are the bulk of any stream and every bit pattern is
+// reachable. The first bytes pick a picture configuration; the rest is fed
+// to the parser as a slice body and as a forced sub-picture run. The parser
+// must latch a DecodeStatus on damage: no exception on the per-macroblock
+// path, no out-of-bounds coefficient or motion state, no runaway loop.
+#include <cstdint>
+#include <span>
+
+#include "bitstream/bit_reader.h"
+#include "mpeg2/mb_parser.h"
+
+using namespace pdw;
+
+namespace {
+
+struct CountSink : mpeg2::MbSink {
+  int count = 0;
+  void on_macroblock(const mpeg2::Macroblock&, const mpeg2::MbState&, size_t,
+                     size_t) override {
+    ++count;
+  }
+};
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size < 4) return 0;
+
+  mpeg2::SequenceHeader seq;
+  seq.width = 64;  // 4x4 macroblocks: big enough for skips, small enough to
+  seq.height = 64; // make address overruns one bit flip away
+  mpeg2::PictureContext ctx;
+  ctx.seq = &seq;
+  switch (data[0] % 3) {
+    case 0: ctx.ph.type = mpeg2::PicType::I; break;
+    case 1: ctx.ph.type = mpeg2::PicType::P; break;
+    default: ctx.ph.type = mpeg2::PicType::B; break;
+  }
+  for (int s = 0; s < 2; ++s)
+    for (int t = 0; t < 2; ++t)
+      ctx.pce.f_code[s][t] = uint8_t(1 + ((data[1] >> (2 * s + t)) & 3));
+  ctx.pce.intra_dc_precision = data[2] & 3;
+  ctx.pce.q_scale_type = (data[2] & 4) != 0;
+  const mpeg2::ParseMode mode =
+      (data[2] & 8) ? mpeg2::ParseMode::kScan : mpeg2::ParseMode::kFull;
+  const int row = data[3] & 3;
+  // quant_scale_code's contract is "comes from a slice header": a 5-bit
+  // field validated to 1..31 (parse_slice_header rejects 0). Stay in range.
+  const int quant = 1 + int(data[3] >> 3) % 31;
+
+  const std::span<const uint8_t> payload(data + 4, size - 4);
+  {
+    mpeg2::MbSyntaxDecoder dec(ctx, mode);
+    CountSink sink;
+    BitReader r(payload);
+    (void)dec.parse_slice_body(r, row, quant, sink);
+  }
+  {
+    // Sub-picture run driver with a forced first address, as the tile
+    // decoders drive it.
+    mpeg2::MbSyntaxDecoder dec(ctx, mode);
+    mpeg2::MbState st;
+    st.reset_dc(ctx.pce);
+    st.quant_scale_code = quant;
+    dec.load_state(st);
+    CountSink sink;
+    BitReader r(payload);
+    (void)dec.parse_run(r, row * 4, 1 + (data[0] & 3), sink);
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Fuzz target: the splitter hierarchy front-end. Arbitrary bytes through the
+// root splitter's picture scan and the macroblock splitter's slice-level
+// split, on a 2x2 wall derived from whatever sequence header survives.
+// Contract: hopeless streams throw BitstreamError from the RootSplitter
+// constructor (documented); per-picture damage must come back as a failed
+// SplitResult::status — never an InternalError, sanitizer report or hang.
+#include <cstdint>
+#include <span>
+
+#include "common/check.h"
+#include "core/mb_splitter.h"
+#include "core/root_splitter.h"
+
+using namespace pdw;
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::span<const uint8_t> es(data, size);
+  try {
+    core::RootSplitter root(es);
+    const mpeg2::SequenceHeader& seq = root.stream_info().seq;
+    // An operator can only build a 2x2 wall from a stream at least 2 pixels
+    // in each dimension; TileGeometry CHECKs that (operator misconfiguration
+    // is an InternalError by design). Streams advertising smaller dimensions
+    // are valid MPEG-2 but can't host this wall — skip, don't misconfigure.
+    if (seq.width < 2 || seq.height < 2) return 0;
+    wall::TileGeometry geo(seq.width, seq.height, 2, 2, 0);
+    core::MacroblockSplitter splitter(geo);
+    splitter.set_stream_info(root.stream_info());
+    for (int i = 0; i < root.picture_count(); ++i) {
+      const core::SplitResult r = splitter.split(root.picture(i), uint32_t(i));
+      (void)r;
+    }
+  } catch (const BitstreamError&) {
+    // No pictures / no usable sequence header: rejected streams are fine.
+  }
+  return 0;
+}

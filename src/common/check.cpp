@@ -7,7 +7,15 @@ void check_failed(const char* file, int line, const char* expr,
   std::ostringstream os;
   os << "CHECK failed at " << file << ":" << line << ": " << expr;
   if (!extra.empty()) os << " " << extra;
-  throw CheckError(os.str());
+  throw InternalError(os.str());
+}
+
+void bitstream_check_failed(const char* file, int line, const char* expr,
+                            const std::string& extra) {
+  std::ostringstream os;
+  os << "bitstream check failed at " << file << ":" << line << ": " << expr;
+  if (!extra.empty()) os << " " << extra;
+  throw BitstreamError(os.str());
 }
 
 }  // namespace pdw

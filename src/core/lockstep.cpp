@@ -78,13 +78,32 @@ void LockstepPipeline::run(const TileDisplayFn& on_display,
     trace.type = result.info.type;
     trace.split_stats = result.stats;
 
+    // A picture whose headers are undecodable cannot be split at all: every
+    // tile skips it in lockstep (the threaded pipeline broadcasts the same
+    // decision), keeping the one-emission-per-slot display invariant.
+    if (!result.status.ok()) {
+      for (int d = 0; d < tiles; ++d)
+        decoders_[size_t(d)]->skip_picture(
+            uint32_t(i),
+            [&](const mpeg2::TileFrame& tf, const TileDisplayInfo& info) {
+              if (on_display) on_display(d, tf, info);
+            });
+      if (on_trace) on_trace(trace);
+      continue;
+    }
+
     // Decoders: execute SEND instructions (serve phase). All sends complete
     // before any decode starts — in the real system the ack protocol and the
-    // "reference data is already decoded" property guarantee this.
+    // "reference data is already decoded" property guarantee this. CONCEAL
+    // instructions are staged on their own tile for the decode phase.
     for (int d = 0; d < tiles; ++d) {
       const auto mei = deserialize_mei(mei_wire[size_t(d)]);
       WallTimer t;
       for (const MeiInstruction& instr : mei) {
+        if (instr.op == MeiOp::kConceal) {
+          decoders_[size_t(d)]->stage_conceal(instr);
+          continue;
+        }
         if (instr.op != MeiOp::kSend) continue;
         const mpeg2::MacroblockPixels px =
             decoders_[size_t(d)]->extract_for_send(result.info, instr);

@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "bitstream/start_code.h"
+#include "mpeg2/conceal.h"
 #include "mpeg2/headers.h"
 #include "mpeg2/mb_parser.h"
 #include "mpeg2/motion.h"
@@ -16,6 +17,10 @@ MacroblockSplitter::MacroblockSplitter(const wall::TileGeometry& geo)
 MacroblockSplitter::~MacroblockSplitter() = default;
 
 void MacroblockSplitter::set_stream_info(const StreamInfo& info) {
+  PDW_CHECK_EQ(info.seq.mb_width(), geo_.mb_width())
+      << "stream geometry does not match the wall";
+  PDW_CHECK_EQ(info.seq.mb_height(), geo_.mb_height())
+      << "stream geometry does not match the wall";
   seq_ = info.seq;
   have_seq_ = true;
 }
@@ -24,8 +29,9 @@ void MacroblockSplitter::set_stream_info(const StreamInfo& info) {
 // decoder scans the slice.
 struct MacroblockSplitter::SliceSplitter final : public MbSink {
   SliceSplitter(const wall::TileGeometry& geo, const PictureContext& ctx,
-                std::span<const uint8_t> span, SplitResult* result)
-      : geo_(geo), ctx_(ctx), span_(span), result_(result) {
+                std::span<const uint8_t> span, ConcealPlanner* planner,
+                SplitResult* result)
+      : geo_(geo), ctx_(ctx), span_(span), planner_(planner), result_(result) {
     builders_.resize(size_t(geo.tiles()));
     result_->stats.mbs_per_tile.assign(size_t(geo.tiles()), 0);
   }
@@ -37,6 +43,7 @@ struct MacroblockSplitter::SliceSplitter final : public MbSink {
     const int mby = mb.mb_y(mbw);
     ++result_->stats.macroblocks;
     if (!mb.skipped) ++result_->stats.coded_macroblocks;
+    planner_->mark(mb.addr);
 
     geo_.tiles_of_mb(mbx, mby, &tiles_scratch_);
 
@@ -156,6 +163,7 @@ struct MacroblockSplitter::SliceSplitter final : public MbSink {
   const wall::TileGeometry& geo_;
   const PictureContext& ctx_;
   std::span<const uint8_t> span_;
+  ConcealPlanner* planner_;
   SplitResult* result_;
   std::vector<RunBuilder> builders_;
   std::vector<int> tiles_scratch_;
@@ -164,30 +172,50 @@ struct MacroblockSplitter::SliceSplitter final : public MbSink {
 
 SplitResult MacroblockSplitter::split(std::span<const uint8_t> picture_span,
                                       uint32_t pic_index) {
+  SplitResult result;
+  result.stats.input_bytes = picture_span.size();
+
+  // A damaged embedded sequence header must not poison the geometry for
+  // every following picture: snapshot, and restore on any picture-level
+  // failure.
+  const SequenceHeader seq_snapshot = seq_;
+  const bool have_seq_snapshot = have_seq_;
+
   ParsedPictureHeaders headers;
-  const size_t first_slice =
+  DecodeStatus hs =
       parse_picture_headers(picture_span, &seq_, &have_seq_, &headers);
-  PDW_CHECK(have_seq_) << "splitter has no sequence information";
-  PDW_CHECK_EQ(seq_.mb_width(), geo_.mb_width());
-  PDW_CHECK_EQ(seq_.mb_height(), geo_.mb_height());
+  if (hs.ok() && (seq_.mb_width() != geo_.mb_width() ||
+                  seq_.mb_height() != geo_.mb_height())) {
+    // The span's embedded sequence header disagrees with the wall geometry:
+    // either stream damage or a mid-stream dimension change, and a fixed
+    // m*n wall can render neither. Drop the picture.
+    hs = DecodeStatus::error(DecodeErr::kBadStructure, DecodeSeverity::kPicture,
+                             0);
+  }
+  if (!hs.ok()) {
+    seq_ = seq_snapshot;
+    have_seq_ = have_seq_snapshot;
+    result.status = hs.escalate(DecodeSeverity::kPicture);
+    return result;
+  }
 
   PictureContext ctx;
   ctx.seq = &seq_;
   ctx.ph = headers.ph;
   ctx.pce = headers.pce;
 
-  SplitResult result;
   result.info = PicInfo::from(pic_index, headers.ph, headers.pce);
   result.subpictures.resize(size_t(geo_.tiles()));
   result.mei.resize(size_t(geo_.tiles()));
   for (int t = 0; t < geo_.tiles(); ++t)
     result.subpictures[size_t(t)].info = result.info;
-  result.stats.input_bytes = picture_span.size();
 
   MbSyntaxDecoder syntax(ctx, ParseMode::kScan);
-  SliceSplitter sink(geo_, ctx, picture_span, &result);
+  ConcealPlanner planner;
+  planner.begin(seq_.mb_width(), seq_.mb_height(), ctx.pce);
+  SliceSplitter sink(geo_, ctx, picture_span, &planner, &result);
 
-  size_t pos = first_slice;
+  size_t pos = headers.first_slice_offset;
   while (true) {
     const StartCodeHit hit = find_start_code(picture_span, pos);
     if (hit.offset >= picture_span.size()) break;
@@ -195,13 +223,38 @@ SplitResult MacroblockSplitter::split(std::span<const uint8_t> picture_span,
     if (!start_code::is_slice(hit.code)) continue;
     BitReader sr(picture_span.subspan(hit.offset + 4));
     int mb_row = 0;
-    const int qscale = parse_slice_header(sr, seq_, hit.code, &mb_row);
+    int qscale = 0;
+    DecodeStatus ss = parse_slice_header(sr, seq_, hit.code, &mb_row, &qscale);
+    if (!ss.ok()) {
+      // Slice header damage: resync at the next slice start code. The
+      // missing macroblocks stay unmarked and become CONCEAL instructions.
+      ++result.stats.dropped_slices;
+      continue;
+    }
     // Run payload bit positions must be relative to the whole picture span:
     // re-create the reader over the full span at the right offset.
     const size_t base_bits = (hit.offset + 4) * 8 + sr.bit_pos();
     BitReader body(picture_span, base_bits);
-    syntax.parse_slice_body(body, mb_row, qscale, sink);
+    const MbSyntaxDecoder::SliceResult res =
+        syntax.parse_slice_body(body, mb_row, qscale, sink);
+    // Flush even a partially built slice: the macroblocks emitted before
+    // the damage are valid and the serial concealing decoder keeps them too.
     sink.end_slice();
+    if (!res.status.ok()) ++result.stats.dropped_slices;
+  }
+
+  // Concealment plan: every macroblock no slice delivered becomes a CONCEAL
+  // instruction on every tile whose rectangle (including projector overlap)
+  // contains it — the exact plan a serial concealing decoder executes.
+  if (planner.covered_count() < planner.total()) {
+    std::vector<int> tiles_of_mb;
+    for (const ConcealSpec& spec : planner.finish()) {
+      geo_.tiles_of_mb(spec.mb_x, spec.mb_y, &tiles_of_mb);
+      for (int t : tiles_of_mb)
+        result.mei[size_t(t)].push_back(make_conceal(
+            spec.mb_x, spec.mb_y, spec.fill_y, spec.fill_cb, spec.fill_cr));
+      ++result.stats.concealed_macroblocks;
+    }
   }
 
   for (int t = 0; t < geo_.tiles(); ++t) {

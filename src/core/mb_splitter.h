@@ -14,6 +14,7 @@
 
 #include <memory>
 
+#include "common/decode_status.h"
 #include "core/mei.h"
 #include "core/subpicture.h"
 #include "mpeg2/types.h"
@@ -25,12 +26,19 @@ struct SplitStats {
   int macroblocks = 0;          // total in the picture (coded + skipped)
   int coded_macroblocks = 0;
   int exchange_pairs = 0;       // deduplicated (tile, ref, mb) exchanges
+  int dropped_slices = 0;       // slices abandoned due to bitstream damage
+  int concealed_macroblocks = 0;  // CONCEAL instructions emitted (pre-overlap)
   size_t input_bytes = 0;       // coded picture size
   size_t output_bytes = 0;      // sum of sub-picture + MEI wire bytes
   std::vector<int> mbs_per_tile;
 };
 
 struct SplitResult {
+  // !ok() => the picture is undecodable (damaged headers); subpictures/mei
+  // are empty and the caller drops the picture (skip-broadcast to tiles).
+  // Slice-level damage does NOT fail the split: the affected macroblocks
+  // arrive as CONCEAL instructions in `mei` instead.
+  DecodeStatus status;
   PicInfo info;
   std::vector<SubPicture> subpictures;            // one per tile
   std::vector<std::vector<MeiInstruction>> mei;   // one per tile
@@ -46,7 +54,8 @@ class MacroblockSplitter {
 
   // Prime the sequence state (the root splitter distributes StreamInfo
   // before the first picture; pictures whose span carries a sequence header
-  // update it again).
+  // update it again). CHECKs that the stream geometry matches the wall —
+  // mismatched configuration is a deployment bug, not stream damage.
   void set_stream_info(const StreamInfo& info);
 
   // Split one picture-sized span (picture headers + slices).

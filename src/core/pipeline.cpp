@@ -406,6 +406,21 @@ ClusterStats ClusterPipeline::run(const TileDisplayFn& on_display) {
           acked.erase(acked.begin(), acked.upper_bound(i - 1));
         }
 
+        if (!result.status.ok()) {
+          // The picture's headers are undecodable: nobody can split or
+          // decode it. Broadcast a skip notice for every tile — the same
+          // machinery that covers a lost sub-picture — so owners emit their
+          // frozen frame and neighbours stop waiting for halo data.
+          for (int d = 0; d < tiles; ++d) {
+            net::Message skip;
+            skip.type = kSkipMsg;
+            skip.seq = i;
+            skip.aux = uint16_t(d);
+            for (int node : live) ep.send(node, skip);
+          }
+          continue;
+        }
+
         for (int d = 0; d < tiles; ++d) {
           const Route& rt = route[size_t(d)];
           if (rt.node < 0 || i < rt.valid_from) continue;
@@ -598,8 +613,12 @@ ClusterStats ClusterPipeline::run(const TileDisplayFn& on_display) {
               e.px = ts.dec->try_extract_for_send(ts.sp.info, instr,
                                                   &e.tainted);
               outgoing[int(instr.peer)].push_back(e);
-            } else {
+            } else if (instr.op == MeiOp::kRecv) {
               ts.expected.insert(int(instr.peer));
+            } else if (instr.op == MeiOp::kConceal) {
+              // Damaged-slice macroblock: stage for the decode phase (the
+              // peer field carries fill bytes, not a tile).
+              ts.dec->stage_conceal(instr);
             }
           }
           // Tiles hosted on this very node exchange halos in memory.

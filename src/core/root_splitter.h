@@ -17,7 +17,10 @@ namespace pdw::core {
 
 class RootSplitter {
  public:
-  // Scans `es` (borrowed; must outlive the splitter).
+  // Scans `es` (borrowed; must outlive the splitter). Pictures that precede
+  // the first decodable sequence header are dropped (they cannot be split
+  // without geometry). Throws BitstreamError if the stream contains no
+  // pictures or no usable sequence header at all.
   explicit RootSplitter(std::span<const uint8_t> es);
 
   // Sequence-level info parsed from the first sequence header, distributed
@@ -36,11 +39,16 @@ class RootSplitter {
   // simulator's cost model.
   double scan_seconds_per_picture() const { return scan_s_per_picture_; }
 
+  // Pictures discarded because they preceded the first decodable sequence
+  // header.
+  int dropped_leading_pictures() const { return dropped_leading_; }
+
  private:
   std::span<const uint8_t> es_;
   std::vector<PictureSpan> spans_;
   StreamInfo info_;
   double scan_s_per_picture_ = 0;
+  int dropped_leading_ = 0;
 };
 
 }  // namespace pdw::core

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "bitstream/bit_reader.h"
+#include "mpeg2/conceal.h"
 #include "mpeg2/mb_parser.h"
 #include "mpeg2/motion.h"
 #include "mpeg2/recon.h"
@@ -138,7 +139,16 @@ class TileReconSink final : public MbSink {
     MacroblockPixels px;
     reconstruct_mb(mb, fwd_, bwd_, mbx, mby, &px);
     cur_->insert_mb(mbx, mby, px);
-    ++count_;
+    // Unique-position count: a damaged slice header can re-claim a row that
+    // an earlier slice already delivered. The serial decoder just overwrites
+    // (last slice wins), so the tile does too, and completeness is about
+    // coverage, not delivery count.
+    const size_t idx = size_t(mby - rect_.y0) * size_t(rect_.x1 - rect_.x0) +
+                       size_t(mbx - rect_.x0);
+    if (!seen_[idx]) {
+      seen_[idx] = true;
+      ++count_;
+    }
   }
 
   int count() const { return count_; }
@@ -149,6 +159,7 @@ class TileReconSink final : public MbSink {
   TileFrame* cur_;
   const RefSource* fwd_;
   const RefSource* bwd_;
+  std::vector<bool> seen_ = std::vector<bool>(size_t(rect_.count()), false);
   int count_ = 0;
 };
 
@@ -207,6 +218,14 @@ void TileDecoder::add_halo_mb(const MeiInstruction& instr,
                               const MacroblockPixels& px, bool tainted) {
   PDW_CHECK_LE(int(instr.ref), 1);
   halo_[instr.ref].insert(instr.mb_x, instr.mb_y, px, tainted);
+}
+
+void TileDecoder::stage_conceal(const MeiInstruction& instr) {
+  PDW_CHECK(instr.op == MeiOp::kConceal);
+  PDW_CHECK(rect_.contains(instr.mb_x, instr.mb_y))
+      << "CONCEAL (" << instr.mb_x << "," << instr.mb_y
+      << ") outside tile rect";
+  staged_conceals_.push_back(instr);
 }
 
 void TileDecoder::emit(const TileFrame& frame, const TileDisplayInfo& info,
@@ -284,22 +303,46 @@ void TileDecoder::decode(const SubPicture& sp, const DisplayFn& display) {
   MbSyntaxDecoder syntax(ctx, ParseMode::kFull);
   TileReconSink sink(ctx, rect_, cur_.get(), fwd_src, bwd_src);
 
+  // The splitter scan-validated exactly these bits: a parse failure here is
+  // an internal invariant violation (splitter/decoder divergence), not
+  // stream damage, so it stays a hard CHECK.
   for (const SpRun& run : sp.runs) {
     syntax.load_state(run.state);
     if (run.lead_skip_count > 0)
-      syntax.synthesize_skipped(int(run.lead_skip_addr),
-                                int(run.lead_skip_count), sink);
+      PDW_CHECK(syntax.synthesize_skipped(int(run.lead_skip_addr),
+                                          int(run.lead_skip_count), sink));
     if (run.num_coded > 0) {
       BitReader r(run.payload, run.skip_bits);
-      syntax.parse_run(r, int(run.first_coded_addr), int(run.num_coded), sink);
+      const DecodeStatus st =
+          syntax.parse_run(r, int(run.first_coded_addr), int(run.num_coded),
+                           sink);
+      PDW_CHECK(st.ok()) << "sub-picture run failed to parse: " << st;
     }
     if (run.trail_skip_count > 0)
-      syntax.synthesize_skipped(int(run.trail_skip_addr),
-                                int(run.trail_skip_count), sink);
+      PDW_CHECK(syntax.synthesize_skipped(int(run.trail_skip_addr),
+                                          int(run.trail_skip_count), sink));
   }
 
-  // Completeness: the whole tile rect must have been reconstructed.
-  PDW_CHECK_EQ(sink.count(), rect_.count())
+  // Execute the concealment plan for macroblocks no slice delivered. The
+  // zero-MV window is the macroblock's own footprint, inside the tile rect,
+  // so concealment never needs halo pixels.
+  for (const MeiInstruction& instr : staged_conceals_) {
+    ConcealSpec spec;
+    spec.mb_x = instr.mb_x;
+    spec.mb_y = instr.mb_y;
+    spec.fill_y = conceal_fill_y(instr);
+    spec.fill_cb = conceal_fill_cb(instr);
+    spec.fill_cr = conceal_fill_cr(instr);
+    MacroblockPixels px;
+    conceal_mb(sp.info.type, fwd_src, spec, &px);
+    cur_->insert_mb(spec.mb_x, spec.mb_y, px);
+  }
+  last_conceal_count_ = int(staged_conceals_.size());
+  staged_conceals_.clear();
+
+  // Completeness: the whole tile rect must have been reconstructed, whether
+  // from parsed syntax or from the concealment plan.
+  PDW_CHECK_EQ(sink.count() + last_conceal_count_, rect_.count())
       << "tile " << tile_ << " picture " << sp.info.pic_index;
   last_mb_count_ = sink.count();
   last_halo_count_ = halo_[0].size() + halo_[1].size();
@@ -347,8 +390,9 @@ void TileDecoder::decode(const SubPicture& sp, const DisplayFn& display) {
 
 void TileDecoder::skip_picture(uint32_t pic_index, const DisplayFn& display) {
   last_pic_index_ = int64_t(pic_index);
-  halo_[0].clear();  // any halo staged for the lost picture is stale
+  halo_[0].clear();  // any halo/conceal staged for the lost picture is stale
   halo_[1].clear();
+  staged_conceals_.clear();
   const int slot = int(pic_index) - 1;
   if (pending_ref_) {
     pending_info_.display_index = slot;

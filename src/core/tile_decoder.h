@@ -99,6 +99,13 @@ class TileDecoder {
   void add_halo_mb(const MeiInstruction& instr,
                    const mpeg2::MacroblockPixels& px, bool tainted = false);
 
+  // CONCEAL delivery: the splitter determined that no slice produced this
+  // macroblock (bitstream damage). Staged like halo entries and executed
+  // during the next decode(); concealed macroblocks count toward the tile's
+  // completeness invariant. The identical plan runs in the serial concealing
+  // decoder, so concealed frames stay bit-exact across the wall.
+  void stage_conceal(const MeiInstruction& instr);
+
   // Decode one sub-picture. All halo entries for this picture must have been
   // added. Calls `display` zero or more times (display-order reordering, as
   // in the serial decoder). Halo is cleared afterwards.
@@ -125,6 +132,7 @@ class TileDecoder {
   // Statistics.
   int macroblocks_decoded_last_picture() const { return last_mb_count_; }
   size_t halo_mbs_last_picture() const { return last_halo_count_; }
+  int concealed_mbs_last_picture() const { return last_conceal_count_; }
 
  private:
   class TileRefSource;
@@ -143,6 +151,9 @@ class TileDecoder {
   std::unique_ptr<mpeg2::TileFrame> cur_, ref_old_, ref_new_;
   bool taint_old_ = false, taint_new_ = false;
   HaloCache halo_[2];  // [0] forward, [1] backward for the upcoming picture
+
+  std::vector<MeiInstruction> staged_conceals_;
+  int last_conceal_count_ = 0;
 
   bool pending_ref_ = false;
   TileDisplayInfo pending_info_;

@@ -1,0 +1,77 @@
+// Macroblock concealment for damaged slices.
+//
+// When slice parsing fails, every macroblock the slice should have produced
+// but did not is *concealed*: replaced by the zero-motion-vector prediction
+// from the forward reference (P/B pictures) or by a flat mid-grey fill
+// (I pictures, or when no reference exists yet). Both the serial concealing
+// decoder and the tile decoders run the exact same plan through the exact
+// same executor, which is what keeps an m*n-tile wall bit-identical to the
+// serial decoder on damaged input.
+//
+// The plan is computed by ConcealPlanner from slice-parse coverage alone —
+// no pixel data — so the macroblock-level splitter (which only scans) can
+// derive the identical plan and ship it to tiles as CONCEAL instructions
+// alongside the MEI SEND/RECV lists.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpeg2/frame.h"
+#include "mpeg2/motion.h"
+#include "mpeg2/types.h"
+
+namespace pdw::mpeg2 {
+
+// One macroblock to conceal, with the flat fill to use when no reference
+// prediction is possible. The fill is carried explicitly (rather than
+// re-derived at the tile) so the wire format stays self-contained.
+struct ConcealSpec {
+  int mb_x = 0;
+  int mb_y = 0;
+  uint8_t fill_y = 128;
+  uint8_t fill_cb = 128;
+  uint8_t fill_cr = 128;
+
+  friend bool operator==(const ConcealSpec&, const ConcealSpec&) = default;
+};
+
+// The flat fill for concealed macroblocks without a usable reference: the
+// reconstruction of an intra block whose DC predictors are at their §7.2.1
+// reset value and whose AC coefficients are all zero. For every
+// intra_dc_precision this works out to mid-grey ((reset * mult + 4) >> 3 ==
+// 128), but deriving it keeps the rule honest if the profile subset grows.
+uint8_t conceal_fill_value(const PictureCodingExt& pce);
+
+// Tracks which macroblocks of the current picture were actually delivered
+// by slice parsing; everything else gets concealed. Identical inputs (the
+// same parse over the same bits) yield an identical plan, whether driven by
+// the serial decoder or by the splitter's scan pass.
+class ConcealPlanner {
+ public:
+  void begin(int mb_width, int mb_height, const PictureCodingExt& pce);
+
+  // A macroblock (coded or skipped) was successfully parsed at `addr`.
+  void mark(int addr);
+
+  int covered_count() const { return covered_count_; }
+  int total() const { return int(covered_.size()); }
+
+  // Concealment specs for every uncovered macroblock, in raster order.
+  std::vector<ConcealSpec> finish() const;
+
+ private:
+  int mb_width_ = 0;
+  int covered_count_ = 0;
+  uint8_t fill_ = 128;
+  std::vector<bool> covered_;
+};
+
+// Conceal one macroblock into `out`: zero-MV copy from `fwd` when the
+// picture type allows prediction and a reference exists, flat fill
+// otherwise. The zero-MV window is the macroblock's own footprint, so a
+// tile never needs halo pixels to conceal.
+void conceal_mb(PicType type, const RefSource* fwd, const ConcealSpec& spec,
+                MacroblockPixels* out);
+
+}  // namespace pdw::mpeg2

@@ -13,6 +13,7 @@
 
 #include "bitstream/bit_reader.h"
 #include "bitstream/start_code.h"
+#include "common/decode_status.h"
 #include "mpeg2/frame.h"
 #include "mpeg2/types.h"
 
@@ -28,9 +29,10 @@ struct DecodedPictureInfo {
 
 // What to do when a picture's bitstream is malformed.
 enum class ErrorPolicy {
-  kStrict,   // propagate the CheckError (default; tests want loud failures)
-  kConceal,  // drop the picture's remaining slices, repeat the last good
-             // content, resync at the next picture — broadcast-style
+  kStrict,   // throw BitstreamError (default; tests want loud failures)
+  kConceal,  // resync at the next slice start code and conceal the damaged
+             // macroblocks (zero-MV copy from the forward reference for P/B,
+             // flat DC fill for I); undecodable pictures are dropped whole
 };
 
 class Mpeg2Decoder {
@@ -67,10 +69,15 @@ class Mpeg2Decoder {
   int concealed_pictures() const { return concealed_; }
   // Number of slices dropped due to errors (kConceal mode).
   int dropped_slices() const { return dropped_slices_; }
+  // Number of macroblocks replaced by concealment (kConceal mode).
+  int concealed_macroblocks() const { return concealed_mbs_; }
+  // Number of pictures dropped whole because their headers were undecodable
+  // (kConceal mode).
+  int dropped_pictures() const { return dropped_pictures_; }
 
  private:
-  void decode_picture(BitReader& r, std::span<const uint8_t> es, size_t begin,
-                      size_t end, const FrameCallback& cb);
+  DecodeStatus decode_picture(BitReader& r, size_t begin, size_t end,
+                              const FrameCallback& cb);
   void emit(const Frame& f, PicType type, size_t coded_bytes,
             const FrameCallback& cb);
 
@@ -88,6 +95,8 @@ class Mpeg2Decoder {
   ErrorPolicy policy_ = ErrorPolicy::kStrict;
   int concealed_ = 0;
   int dropped_slices_ = 0;
+  int concealed_mbs_ = 0;
+  int dropped_pictures_ = 0;
 };
 
 }  // namespace pdw::mpeg2

@@ -1,5 +1,7 @@
 #include "mpeg2/headers.h"
 
+#include <cstdio>
+
 #include "bitstream/start_code.h"
 #include "mpeg2/tables.h"
 
@@ -13,52 +15,74 @@ constexpr int kQuantMatrixExtensionId = 3;
 constexpr int kPictureCodingExtensionId = 8;
 }  // namespace
 
-SequenceHeader parse_sequence_header(BitReader& r) {
-  SequenceHeader seq;
-  seq.width = int(r.read(12));
-  seq.height = int(r.read(12));
-  seq.aspect_ratio_code = int(r.read(4));
-  seq.frame_rate_code = int(r.read(4));
-  seq.bit_rate_value = int(r.read(18));
-  PDW_CHECK(r.read_bit()) << "marker bit";
-  seq.vbv_buffer_size = int(r.read(10));
-  r.read(1);  // constrained_parameters_flag
-  seq.loaded_intra_quant = r.read_bit();
-  if (seq.loaded_intra_quant) {
-    for (int i = 0; i < 64; ++i)
-      seq.intra_quant[kZigzagScan[i]] = uint8_t(r.read(8));
-  } else {
-    seq.intra_quant = kDefaultIntraQuant;
-  }
-  seq.loaded_non_intra_quant = r.read_bit();
-  if (seq.loaded_non_intra_quant) {
-    for (int i = 0; i < 64; ++i)
-      seq.non_intra_quant[kZigzagScan[i]] = uint8_t(r.read(8));
-  } else {
-    seq.non_intra_quant = kDefaultNonIntraQuant;
-  }
-  PDW_CHECK_GT(seq.width, 0);
-  PDW_CHECK_GT(seq.height, 0);
-  return seq;
+namespace {
+
+DecodeStatus bad(BitReader& r, DecodeErr code, DecodeSeverity severity) {
+  return DecodeStatus::error(code, severity, r.bit_pos());
 }
 
-void parse_extension(BitReader& r, SequenceHeader* seq,
-                     PictureCodingExt* pce) {
+// Upper bound on either picture dimension. MPEG-2 syntax allows 16383, but
+// accepting it verbatim lets a single damaged sequence header demand
+// multi-gigabyte frame buffers; 8192 comfortably covers the ultra-high-res
+// walls this decoder targets (see DESIGN.md scope).
+constexpr int kMaxDimension = 8192;
+
+}  // namespace
+
+DecodeStatus parse_sequence_header(BitReader& r, SequenceHeader* seq) {
+  seq->width = int(r.read(12));
+  seq->height = int(r.read(12));
+  seq->aspect_ratio_code = int(r.read(4));
+  seq->frame_rate_code = int(r.read(4));
+  seq->bit_rate_value = int(r.read(18));
+  if (!r.read_bit())
+    return bad(r, DecodeErr::kBadValue, DecodeSeverity::kPicture);  // marker
+  seq->vbv_buffer_size = int(r.read(10));
+  r.read(1);  // constrained_parameters_flag
+  seq->loaded_intra_quant = r.read_bit();
+  if (seq->loaded_intra_quant) {
+    for (int i = 0; i < 64; ++i)
+      seq->intra_quant[kZigzagScan[i]] = uint8_t(r.read(8));
+  } else {
+    seq->intra_quant = kDefaultIntraQuant;
+  }
+  seq->loaded_non_intra_quant = r.read_bit();
+  if (seq->loaded_non_intra_quant) {
+    for (int i = 0; i < 64; ++i)
+      seq->non_intra_quant[kZigzagScan[i]] = uint8_t(r.read(8));
+  } else {
+    seq->non_intra_quant = kDefaultNonIntraQuant;
+  }
+  if (seq->width <= 0 || seq->height <= 0 || seq->width > kMaxDimension ||
+      seq->height > kMaxDimension)
+    return bad(r, DecodeErr::kBadValue, DecodeSeverity::kPicture);
+  if (r.overrun())
+    return bad(r, DecodeErr::kTruncated, DecodeSeverity::kPicture);
+  return DecodeStatus::success();
+}
+
+DecodeStatus parse_extension(BitReader& r, SequenceHeader* seq,
+                             PictureCodingExt* pce) {
   const int id = int(r.read(4));
   switch (id) {
     case kSequenceExtensionId: {
-      PDW_CHECK(seq != nullptr) << "sequence extension before sequence header";
+      if (seq == nullptr)  // sequence extension before sequence header
+        return bad(r, DecodeErr::kBadStructure, DecodeSeverity::kPicture);
       seq->profile_and_level = int(r.read(8));
       seq->progressive_sequence = r.read_bit();
       const int chroma_format = int(r.read(2));
-      PDW_CHECK_EQ(chroma_format, 1) << "only 4:2:0 is supported";
+      if (chroma_format != 1)  // only 4:2:0 is supported
+        return bad(r, DecodeErr::kUnsupported, DecodeSeverity::kPicture);
       const int h_ext = int(r.read(2));
       const int v_ext = int(r.read(2));
       seq->width |= h_ext << 12;
       seq->height |= v_ext << 12;
+      if (seq->width > kMaxDimension || seq->height > kMaxDimension)
+        return bad(r, DecodeErr::kBadValue, DecodeSeverity::kPicture);
       const int bit_rate_ext = int(r.read(12));
       seq->bit_rate_value |= bit_rate_ext << 18;
-      PDW_CHECK(r.read_bit()) << "marker bit";
+      if (!r.read_bit())  // marker bit
+        return bad(r, DecodeErr::kBadValue, DecodeSeverity::kPicture);
       r.read(8);  // vbv_buffer_size_extension
       r.read(1);  // low_delay
       r.read(2);  // frame_rate_extension_n
@@ -66,24 +90,25 @@ void parse_extension(BitReader& r, SequenceHeader* seq,
       break;
     }
     case kPictureCodingExtensionId: {
-      PDW_CHECK(pce != nullptr) << "picture coding extension outside picture";
+      if (pce == nullptr)  // picture coding extension outside picture
+        return bad(r, DecodeErr::kBadStructure, DecodeSeverity::kPicture);
       for (int s = 0; s < 2; ++s)
         for (int t = 0; t < 2; ++t) pce->f_code[s][t] = int(r.read(4));
       pce->intra_dc_precision = int(r.read(2));
       pce->picture_structure = int(r.read(2));
-      PDW_CHECK_EQ(pce->picture_structure, 3)
-          << "field pictures are not supported (see DESIGN.md scope)";
+      if (pce->picture_structure != 3)  // field pictures not supported
+        return bad(r, DecodeErr::kUnsupported, DecodeSeverity::kPicture);
       pce->top_field_first = r.read_bit();
       pce->frame_pred_frame_dct = r.read_bit();
-      PDW_CHECK(pce->frame_pred_frame_dct)
-          << "field prediction / field DCT not supported";
+      if (!pce->frame_pred_frame_dct)  // field prediction / field DCT
+        return bad(r, DecodeErr::kUnsupported, DecodeSeverity::kPicture);
       pce->concealment_motion_vectors = r.read_bit();
-      PDW_CHECK(!pce->concealment_motion_vectors)
-          << "concealment motion vectors not supported";
+      if (pce->concealment_motion_vectors)
+        return bad(r, DecodeErr::kUnsupported, DecodeSeverity::kPicture);
       pce->q_scale_type = r.read_bit();
       pce->intra_vlc_format = r.read_bit();
-      PDW_CHECK(!pce->intra_vlc_format)
-          << "intra_vlc_format=1 (table B.15) not supported";
+      if (pce->intra_vlc_format)  // table B.15 not supported
+        return bad(r, DecodeErr::kUnsupported, DecodeSeverity::kPicture);
       pce->alternate_scan = r.read_bit();
       pce->repeat_first_field = r.read_bit();
       pce->chroma_420_type = r.read_bit();
@@ -98,84 +123,122 @@ void parse_extension(BitReader& r, SequenceHeader* seq,
       while (!r.at_start_code_prefix() && r.bits_left() >= 8) r.skip(8);
       break;
   }
+  if (r.overrun())
+    return bad(r, DecodeErr::kTruncated, DecodeSeverity::kPicture);
+  return DecodeStatus::success();
 }
 
-GopHeader parse_gop_header(BitReader& r) {
-  GopHeader gop;
-  gop.time_code = r.read(25);
-  gop.closed_gop = r.read_bit();
-  gop.broken_link = r.read_bit();
-  return gop;
+DecodeStatus parse_gop_header(BitReader& r, GopHeader* gop) {
+  gop->time_code = r.read(25);
+  gop->closed_gop = r.read_bit();
+  gop->broken_link = r.read_bit();
+  if (r.overrun())
+    return bad(r, DecodeErr::kTruncated, DecodeSeverity::kPicture);
+  return DecodeStatus::success();
 }
 
-PictureHeader parse_picture_header(BitReader& r) {
-  PictureHeader ph;
-  ph.temporal_reference = int(r.read(10));
+DecodeStatus parse_picture_header(BitReader& r, PictureHeader* ph) {
+  ph->temporal_reference = int(r.read(10));
   const int type = int(r.read(3));
-  PDW_CHECK(type >= 1 && type <= 3) << "unsupported picture_coding_type " << type;
-  ph.type = PicType(type);
-  ph.vbv_delay = int(r.read(16));
-  if (ph.type == PicType::P || ph.type == PicType::B) {
+  if (type < 1 || type > 3)  // D pictures and reserved types
+    return bad(r, DecodeErr::kUnsupported, DecodeSeverity::kPicture);
+  ph->type = PicType(type);
+  ph->vbv_delay = int(r.read(16));
+  if (ph->type == PicType::P || ph->type == PicType::B) {
     r.read(1);  // full_pel_forward_vector (MPEG-1 legacy, must be 0)
     r.read(3);  // forward_f_code (legacy, 7)
   }
-  if (ph.type == PicType::B) {
+  if (ph->type == PicType::B) {
     r.read(1);  // full_pel_backward_vector
     r.read(3);  // backward_f_code
   }
   while (r.read_bit()) r.skip(8);  // extra_information_picture
-  return ph;
+  if (r.overrun())
+    return bad(r, DecodeErr::kTruncated, DecodeSeverity::kPicture);
+  return DecodeStatus::success();
 }
 
-int parse_slice_header(BitReader& r, const SequenceHeader& seq, int slice_code,
-                       int* mb_row) {
+DecodeStatus parse_slice_header(BitReader& r, const SequenceHeader& seq,
+                                int slice_code, int* mb_row,
+                                int* quant_scale_code) {
   int vertical = slice_code;
   if (seq.height > 2800) {
     const int ext = int(r.read(3));
     vertical = (ext << 7) + slice_code;
   }
   *mb_row = vertical - 1;
-  PDW_CHECK_GE(*mb_row, 0);
-  PDW_CHECK_LT(*mb_row, seq.mb_height());
+  if (*mb_row < 0 || *mb_row >= seq.mb_height())
+    return bad(r, DecodeErr::kBadValue, DecodeSeverity::kSlice);
   const int quant = int(r.read(5));
-  PDW_CHECK_GE(quant, 1);
+  if (quant < 1) return bad(r, DecodeErr::kBadValue, DecodeSeverity::kSlice);
+  *quant_scale_code = quant;
   while (r.read_bit()) r.skip(8);  // extra_information_slice
-  return quant;
+  if (r.overrun()) return bad(r, DecodeErr::kTruncated, DecodeSeverity::kSlice);
+  return DecodeStatus::success();
 }
 
-size_t parse_picture_headers(std::span<const uint8_t> span,
-                             SequenceHeader* seq, bool* have_seq,
-                             ParsedPictureHeaders* out) {
+static size_t warn_skipped_start_code(uint8_t code) {
+  // Rate-limited so a fuzz run or a badly damaged stream cannot flood
+  // stderr: warn once per process, count the rest silently.
+  static bool warned = false;
+  if (!warned) {
+    warned = true;
+    std::fprintf(stderr,
+                 "pdw: skipping unknown start code 0x%02x in picture span "
+                 "(further occurrences counted silently)\n",
+                 code);
+  }
+  return 1;
+}
+
+DecodeStatus parse_picture_headers(std::span<const uint8_t> span,
+                                   SequenceHeader* seq, bool* have_seq,
+                                   ParsedPictureHeaders* out) {
   BitReader r(span);
   bool have_ph = false;
   while (true) {
     r.align_to_byte();
-    PDW_CHECK_GE(r.bits_left(), 32u) << "picture span without slices";
-    PDW_CHECK(r.at_start_code_prefix()) << "expected start code in picture span";
+    // After a header parse we should land on the next start code. If we do
+    // not (trailing stuffing, or a header whose bit layout was damaged in a
+    // way its parser did not notice), scan forward to the next prefix — the
+    // start-code scan is the resync mechanism of every MPEG-2 decoder.
+    while (!r.at_start_code_prefix() && r.bits_left() >= 8) r.skip(8);
+    if (r.bits_left() < 32)  // picture span without slices
+      return bad(r, DecodeErr::kTruncated, DecodeSeverity::kPicture);
     const size_t offset = r.bit_pos() / 8;
     // One 32-bit read takes the whole start code (prefix + code byte).
     const uint8_t code = uint8_t(r.read(32) & 0xFF);
     if (code == start_code::kSequenceHeader) {
-      *seq = parse_sequence_header(r);
+      DecodeStatus s = parse_sequence_header(r, seq);
+      if (!s.ok()) return s;
       *have_seq = true;
       out->had_sequence_header = true;
     } else if (code == start_code::kExtension) {
-      parse_extension(r, *have_seq ? seq : nullptr,
-                      have_ph ? &out->pce : nullptr);
+      DecodeStatus s = parse_extension(r, *have_seq ? seq : nullptr,
+                                       have_ph ? &out->pce : nullptr);
+      if (!s.ok()) return s;
     } else if (code == start_code::kGroup) {
-      parse_gop_header(r);
+      GopHeader gop;
+      DecodeStatus s = parse_gop_header(r, &gop);
+      if (!s.ok()) return s;
       out->had_gop_header = true;
     } else if (code == start_code::kUserData) {
       while (!r.at_start_code_prefix() && r.bits_left() >= 8) r.skip(8);
     } else if (code == start_code::kPicture) {
-      PDW_CHECK(*have_seq) << "picture before sequence header";
-      out->ph = parse_picture_header(r);
+      if (!*have_seq)  // picture before sequence header
+        return bad(r, DecodeErr::kBadStructure, DecodeSeverity::kPicture);
+      DecodeStatus s = parse_picture_header(r, &out->ph);
+      if (!s.ok()) return s;
       have_ph = true;
     } else if (start_code::is_slice(code)) {
-      PDW_CHECK(have_ph);
-      return offset;
+      if (!have_ph)  // slice data before any picture header
+        return bad(r, DecodeErr::kBadStructure, DecodeSeverity::kPicture);
+      out->first_slice_offset = offset;
+      return DecodeStatus::success();
     } else {
-      PDW_CHECK(false) << "unexpected start code " << int(code);
+      // Unknown / reserved start code (e.g. sequence_end mid-span, system
+      // codes leaked into an ES): skip it and scan on. Not fatal.
+      out->skipped_start_codes += int(warn_skipped_start_code(code));
     }
   }
 }

@@ -10,42 +10,56 @@
 
 #include "bitstream/bit_reader.h"
 #include "bitstream/bit_writer.h"
+#include "common/decode_status.h"
 #include "mpeg2/types.h"
 
 namespace pdw::mpeg2 {
 
 // --- Parse -----------------------------------------------------------------
+//
+// All parse functions return a DecodeStatus instead of throwing: a corrupt
+// header is input damage, not a program bug. On failure the out-params may
+// be partially written and the reader position is unspecified — the caller
+// restores its own snapshot and contains the damage at the boundary named
+// by the status severity.
 
 // Sequence header (start code 0xB3 already consumed).
-SequenceHeader parse_sequence_header(BitReader& r);
+DecodeStatus parse_sequence_header(BitReader& r, SequenceHeader* seq);
 
 // Extension start code (0xB5) already consumed; dispatches on extension id.
 // Supported: sequence extension (updates `seq`), picture coding extension
 // (fills `pce`). Other extensions are skipped.
-void parse_extension(BitReader& r, SequenceHeader* seq, PictureCodingExt* pce);
+DecodeStatus parse_extension(BitReader& r, SequenceHeader* seq,
+                             PictureCodingExt* pce);
 
-GopHeader parse_gop_header(BitReader& r);
-PictureHeader parse_picture_header(BitReader& r);
+DecodeStatus parse_gop_header(BitReader& r, GopHeader* gop);
+DecodeStatus parse_picture_header(BitReader& r, PictureHeader* ph);
 
-// Slice header after the start code: returns the quantiser_scale_code and
-// sets *mb_row from the slice vertical position (handles the >2800-line
+// Slice header after the start code: fills *quant_scale_code and sets
+// *mb_row from the slice vertical position (handles the >2800-line
 // slice_vertical_position_extension needed by ultra-high-res walls).
-int parse_slice_header(BitReader& r, const SequenceHeader& seq, int slice_code,
-                       int* mb_row);
+DecodeStatus parse_slice_header(BitReader& r, const SequenceHeader& seq,
+                                int slice_code, int* mb_row,
+                                int* quant_scale_code);
 
 // Walk the headers of one picture-sized span (as produced by scan_pictures):
 // sequence header (updates *seq, sets *have_seq), GOP header, picture header
-// and extensions. Returns the byte offset of the first slice start code in
-// `span`. Shared by the serial decoder and the macroblock-level splitter.
+// and extensions. On success `out->first_slice_offset` is the byte offset of
+// the first slice start code in `span`. Unknown start codes (user data we
+// don't parse, reserved codes) are skipped and counted, not fatal. Shared by
+// the serial decoder and the macroblock-level splitter, so both resync
+// identically on the same damage.
 struct ParsedPictureHeaders {
   PictureHeader ph;
   PictureCodingExt pce;
   bool had_sequence_header = false;
   bool had_gop_header = false;
+  size_t first_slice_offset = 0;
+  int skipped_start_codes = 0;  // unknown codes skipped (not an error)
 };
-size_t parse_picture_headers(std::span<const uint8_t> span,
-                             SequenceHeader* seq, bool* have_seq,
-                             ParsedPictureHeaders* out);
+DecodeStatus parse_picture_headers(std::span<const uint8_t> span,
+                                   SequenceHeader* seq, bool* have_seq,
+                                   ParsedPictureHeaders* out);
 
 // --- Write -----------------------------------------------------------------
 

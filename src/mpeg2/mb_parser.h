@@ -16,6 +16,7 @@
 #pragma once
 
 #include "bitstream/bit_reader.h"
+#include "common/decode_status.h"
 #include "mpeg2/types.h"
 
 namespace pdw::mpeg2 {
@@ -45,38 +46,59 @@ class MbSyntaxDecoder {
 
   // --- Whole-slice driver (decoder / splitter) -----------------------------
 
+  // Result of parsing one slice body. No exceptions are thrown for damaged
+  // input on this path: damage is reported in `status` and the caller
+  // conceals from `end_addr` (one past the last macroblock delivered to the
+  // sink) to the slice resync point.
+  struct SliceResult {
+    DecodeStatus status;
+    int end_addr = 0;
+  };
+
   // Parse one slice body. The reader is positioned after the slice header;
   // `mb_row` and `quant_scale_code` come from the slice header. Emits every
-  // macroblock of the slice to `sink`. Returns the address one past the last
-  // macroblock of the slice.
-  int parse_slice_body(BitReader& r, int mb_row, int quant_scale_code,
-                       MbSink& sink);
+  // successfully parsed macroblock of the slice to `sink` (on failure the
+  // damaged macroblock itself is never emitted).
+  SliceResult parse_slice_body(BitReader& r, int mb_row, int quant_scale_code,
+                               MbSink& sink);
 
   // --- Sub-picture run driver (tile decoder) --------------------------------
+  //
+  // Sub-picture payloads were already validated by the splitter's scan pass
+  // over the same bits, so a failure here means the split machinery (not the
+  // stream) is broken; callers CHECK the returned status.
 
   // Install SPH-provided state.
   void load_state(const MbState& s) { state_ = s; }
 
-  // Synthesize `count` skipped macroblocks starting at `addr`.
-  void synthesize_skipped(int addr, int count, MbSink& sink);
+  // Synthesize `count` skipped macroblocks starting at `addr`. Returns false
+  // on an impossible skip (skip in an I picture, B skip after intra).
+  [[nodiscard]] bool synthesize_skipped(int addr, int count, MbSink& sink);
 
   // Parse `num_coded` coded macroblocks from `r`. The first macroblock's
   // address is forced to `first_addr` (its address increment is consumed but
   // ignored, per the SPH partial-slice convention); later increments
   // synthesize the interior skipped macroblocks normally.
-  void parse_run(BitReader& r, int first_addr, int num_coded, MbSink& sink);
+  [[nodiscard]] DecodeStatus parse_run(BitReader& r, int first_addr,
+                                       int num_coded, MbSink& sink);
 
  private:
-  // Parse one coded macroblock at `addr`; updates state.
-  void parse_coded(BitReader& r, int addr, size_t bit_begin, MbSink& sink);
+  // Parse one coded macroblock at `addr`; updates state. Returns false on
+  // damaged syntax (the macroblock is not emitted; error_ is latched).
+  bool parse_coded(BitReader& r, int addr, size_t bit_begin, MbSink& sink);
 
-  void parse_motion_vector(BitReader& r, Macroblock& mb, int s);
-  void parse_block(BitReader& r, Macroblock& mb, int block_index);
-  void emit_skipped(int addr, MbSink& sink);
+  bool parse_motion_vector(BitReader& r, Macroblock& mb, int s);
+  bool parse_block(BitReader& r, Macroblock& mb, int block_index);
+  bool emit_skipped(int addr, MbSink& sink);
+
+  // Latch a slice-severity error at the reader's position; returns false so
+  // parse helpers can `return fail(...)`.
+  bool fail(DecodeErr code, const BitReader& r);
 
   const PictureContext& ctx_;
   ParseMode mode_;
   MbState state_;
+  DecodeStatus error_;  // first damage seen in the current slice/run
   Macroblock scratch_;  // reused to avoid 800-byte clears per macroblock
 };
 

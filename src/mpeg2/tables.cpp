@@ -123,12 +123,24 @@ const Vlc& vlc_mb_address_increment() {
 
 int decode_address_increment(BitReader& r) {
   int increment = 0;
+  PDW_CHECK(try_decode_address_increment(r, &increment))
+      << "invalid macroblock_address_increment";
+  return increment;
+}
+
+bool try_decode_address_increment(BitReader& r, int* increment) {
+  int escapes = 0;
   while (r.peek(kAddrEscapeLen) == kAddrEscapeCode) {
     r.skip(kAddrEscapeLen);
-    increment += 33;
-    PDW_CHECK_LT(increment, 1 << 20) << "runaway macroblock_escape";
+    escapes += 33;
+    // A zero-filled overrun region peeks as all-zero bits, which matches the
+    // escape code forever; bound the loop so a truncated slice terminates.
+    if (escapes >= 1 << 20 || r.overrun()) return false;
   }
-  return increment + vlc_mb_address_increment().decode(r);
+  int base = 0;
+  if (!vlc_mb_address_increment().try_decode(r, &base)) return false;
+  *increment = escapes + base;
+  return true;
 }
 
 void encode_address_increment(BitWriter& w, int increment) {
@@ -453,25 +465,38 @@ const std::unordered_map<int, const B14Entry*>& b14_encode_map() {
 }  // namespace
 
 DctCoeff decode_dct_coeff_b14(BitReader& r, bool first) {
+  DctCoeff c;
+  PDW_CHECK(try_decode_dct_coeff_b14(r, first, &c))
+      << "invalid DCT coefficient code";
+  return c;
+}
+
+bool try_decode_dct_coeff_b14(BitReader& r, bool first, DctCoeff* out) {
   if (first && r.peek(1) == 1) {
     // First coefficient of a non-intra block: '1s'.
     r.skip(1);
-    return {false, 0, r.read_bit() ? -1 : 1};
+    *out = {false, 0, r.read_bit() ? -1 : 1};
+    return true;
   }
   const DctLut e = dct_lut()[r.peek(16)];
-  PDW_CHECK(e.run != -3) << "invalid DCT coefficient code";
+  if (e.run == -3) return false;  // invalid code
   r.skip(e.len);
-  if (e.run == -1) return {true, 0, 0};
+  if (e.run == -1) {
+    *out = {true, 0, 0};
+    return true;
+  }
   if (e.run == -2) {
     // MPEG-2 escape: 6-bit run, 12-bit two's complement level.
     const int run = int(r.read(6));
     int level = int(r.read(12));
     if (level >= 2048) level -= 4096;
-    PDW_CHECK(level != 0 && level != -2048) << "forbidden escape level";
-    return {false, run, level};
+    if (level == 0 || level == -2048) return false;  // forbidden
+    *out = {false, run, level};
+    return true;
   }
   const bool negative = r.read_bit();
-  return {false, e.run, negative ? -int(e.level) : int(e.level)};
+  *out = {false, e.run, negative ? -int(e.level) : int(e.level)};
+  return true;
 }
 
 bool b14_has_code(int run, int level) {

@@ -82,6 +82,9 @@ const Vlc& vlc_dct_dc_size_chroma();    // B.13
 // Decode a full address increment (>= 1), consuming any number of
 // macroblock_escape codes (each adds 33).
 int decode_address_increment(BitReader& r);
+// Non-throwing variant for the error-resilient parse path: returns false on
+// an invalid code or a runaway escape sequence.
+bool try_decode_address_increment(BitReader& r, int* increment);
 void encode_address_increment(BitWriter& w, int increment);
 
 // --- DCT coefficients, Table B.14 ----------------------------------------
@@ -95,6 +98,9 @@ struct DctCoeff {
 // Decode one run/level pair (or EOB). `first` selects the first-coefficient
 // convention for non-intra blocks (code '1s' instead of '11s').
 DctCoeff decode_dct_coeff_b14(BitReader& r, bool first);
+// Non-throwing variant: returns false on an invalid code or a forbidden
+// escape level.
+bool try_decode_dct_coeff_b14(BitReader& r, bool first, DctCoeff* out);
 
 // Encode one run/level pair, using the table code when one exists and the
 // MPEG-2 escape (6-bit run + 12-bit signed level) otherwise.

@@ -99,7 +99,10 @@ std::vector<uint8_t> mux_program_stream(std::span<const uint8_t> video_es,
     mpeg2::SequenceHeader seq;
     bool have_seq = true;  // tolerate pictures without embedded seq headers
     mpeg2::ParsedPictureHeaders headers;
-    mpeg2::parse_picture_headers(picture, &seq, &have_seq, &headers);
+    const DecodeStatus hs =
+        mpeg2::parse_picture_headers(picture, &seq, &have_seq, &headers);
+    PDW_BITSTREAM_CHECK(hs.ok())
+        << "cannot mux picture " << i << " with undecodable headers";
     if (headers.had_gop_header) {
       gop_base += pictures_in_gop;
       pictures_in_gop = 0;
@@ -149,8 +152,17 @@ DemuxResult demux_program_stream(std::span<const uint8_t> program) {
   size_t pos = 0;
   const size_t n = program.size();
 
-  auto need = [&](size_t count) {
-    PDW_CHECK_LE(pos + count, n) << "truncated program stream structure";
+  // First damage wins; later errors are already inside a poisoned region.
+  const auto fail = [&](DecodeErr code, DecodeSeverity sev) {
+    if (result.status.ok())
+      result.status = DecodeStatus::error(code, sev, pos * 8);
+  };
+  // A structure announced more bytes than the buffer holds: keep everything
+  // recovered so far and stop (whatever follows is inside the hole).
+  const auto truncated = [&](size_t count) {
+    if (pos + count <= n) return false;
+    fail(DecodeErr::kTruncated, DecodeSeverity::kStream);
+    return true;
   };
 
   while (pos + 4 <= n) {
@@ -163,9 +175,14 @@ DemuxResult demux_program_stream(std::span<const uint8_t> program) {
     const uint8_t code = program[pos + 3];
 
     if (code == 0xBA) {  // pack header
-      need(14);
-      PDW_CHECK_EQ(program[pos + 4] >> 6, 0b01)
-          << "MPEG-1 pack headers not supported";
+      if (truncated(14)) break;
+      if (program[pos + 4] >> 6 != 0b01) {
+        // MPEG-1 pack header (or damage mimicking one): not our profile.
+        fail(DecodeErr::kUnsupported, DecodeSeverity::kStream);
+        ++result.bad_packets;
+        pos += 4;  // resync at the next start code
+        continue;
+      }
       // SCR base from the 48-bit field.
       const uint8_t* p = program.data() + pos + 4;
       int64_t scr = int64_t((p[0] >> 3) & 0x7) << 30;
@@ -180,7 +197,7 @@ DemuxResult demux_program_stream(std::span<const uint8_t> program) {
       ++result.packs;
       pos += 14 + size_t(stuffing);
     } else if (code == 0xBB) {  // system header
-      need(6);
+      if (truncated(6)) break;
       const size_t len =
           (size_t(program[pos + 4]) << 8) | program[pos + 5];
       pos += 6 + len;
@@ -188,17 +205,22 @@ DemuxResult demux_program_stream(std::span<const uint8_t> program) {
       pos += 4;
       break;
     } else if (code >= 0xBC) {  // PES packet family
-      need(6);
+      if (truncated(6)) break;
       const size_t len = (size_t(program[pos + 4]) << 8) | program[pos + 5];
-      need(6 + len);
+      if (truncated(6 + len)) break;
       if (code >= 0xE0 && code <= 0xEF) {
-        // Video PES: parse the MPEG-2 PES header.
+        // Video PES: parse the MPEG-2 PES header. A malformed header makes
+        // the packet's payload untrustworthy; skip the whole packet (its
+        // length field is still usable for resync).
         const uint8_t* p = program.data() + pos + 6;
-        PDW_CHECK_GE(len, 3u);
-        PDW_CHECK_EQ(p[0] >> 6, 0b10) << "not an MPEG-2 PES header";
+        if (len < 3u || p[0] >> 6 != 0b10 || 3 + size_t(p[2]) > len) {
+          fail(DecodeErr::kBadStructure, DecodeSeverity::kPicture);
+          ++result.bad_packets;
+          pos += 6 + len;
+          continue;
+        }
         const int flags = p[1] >> 6;  // PTS_DTS_flags
         const size_t header_data = p[2];
-        PDW_CHECK_LE(3 + header_data, len);
         if (flags & 0x2) {
           result.pts.push_back(detail::read_timestamp(p + 3));
           if (flags == 0x3)
@@ -214,10 +236,12 @@ DemuxResult demux_program_stream(std::span<const uint8_t> program) {
       }
       pos += 6 + len;
     } else {
-      // A raw video start code outside any PES wrapper would indicate this
-      // is an elementary stream, not a program stream.
-      PDW_CHECK(false) << "unexpected start code 0x" << std::hex << int(code)
-                       << " at top level of program stream";
+      // A raw video start code outside any PES wrapper: this is an
+      // elementary stream (or PES framing was destroyed). Record and scan
+      // on — any intact PES packets further along are still recovered.
+      fail(DecodeErr::kBadStructure, DecodeSeverity::kStream);
+      ++result.bad_packets;
+      pos += 4;
     }
   }
   return result;

@@ -18,6 +18,8 @@
 #include <span>
 #include <vector>
 
+#include "common/decode_status.h"
+
 namespace pdw::ps {
 
 inline constexpr uint8_t kVideoStreamId = 0xE0;
@@ -38,18 +40,24 @@ std::vector<uint8_t> mux_program_stream(std::span<const uint8_t> video_es,
                                         const MuxConfig& config = {});
 
 struct DemuxResult {
+  // First damage encountered (kOk on clean input). Truncation stops the
+  // demux with the bytes recovered so far; other structural damage is
+  // skipped over (byte-wise resync) and only recorded here.
+  DecodeStatus status;
   std::vector<uint8_t> video_es;
   int packs = 0;
   int pes_packets = 0;
   int skipped_packets = 0;         // non-video PES packets
+  int bad_packets = 0;             // malformed structures skipped by resync
   std::vector<int64_t> pts;        // 90 kHz, one per timestamped PES packet
   std::vector<int64_t> dts;
   std::vector<int64_t> scr;        // one per pack header (base*300 + ext)
 };
 
 // Demultiplex a program stream, extracting the first video stream.
-// Tolerates unknown stream ids, padding streams and stuffing; throws
-// CheckError on structurally impossible input.
+// Tolerates unknown stream ids, padding streams and stuffing. Never throws
+// on damaged input: structural errors are reported in `result.status`, with
+// whatever video payload preceded the damage preserved.
 DemuxResult demux_program_stream(std::span<const uint8_t> program);
 
 }  // namespace pdw::ps

@@ -197,7 +197,10 @@ std::vector<uint8_t> mux_transport_stream(std::span<const uint8_t> video_es,
     mpeg2::SequenceHeader seq;
     bool have_seq = true;
     mpeg2::ParsedPictureHeaders headers;
-    mpeg2::parse_picture_headers(picture, &seq, &have_seq, &headers);
+    const DecodeStatus hs =
+        mpeg2::parse_picture_headers(picture, &seq, &have_seq, &headers);
+    PDW_BITSTREAM_CHECK(hs.ok())
+        << "cannot mux picture " << i << " with undecodable headers";
     if (headers.had_gop_header) {
       gop_base += pictures_in_gop;
       pictures_in_gop = 0;
@@ -239,8 +242,15 @@ std::vector<uint8_t> mux_transport_stream(std::span<const uint8_t> video_es,
 
 TsDemuxResult demux_transport_stream(std::span<const uint8_t> ts) {
   TsDemuxResult result;
-  PDW_CHECK_EQ(ts.size() % kTsPacketSize, 0u)
-      << "transport stream must be a whole number of 188-byte packets";
+
+  const auto fail = [&](DecodeErr code, DecodeSeverity sev, size_t byte_pos) {
+    if (result.status.ok())
+      result.status = DecodeStatus::error(code, sev, byte_pos * 8);
+  };
+  // A trailing partial packet (capture cut mid-packet) is dropped.
+  if (ts.size() % kTsPacketSize != 0)
+    fail(DecodeErr::kTruncated, DecodeSeverity::kPicture,
+         ts.size() - ts.size() % kTsPacketSize);
 
   uint16_t pmt_pid = 0xFFFF;
   uint16_t video_pid = 0xFFFF;
@@ -249,26 +259,43 @@ TsDemuxResult demux_transport_stream(std::span<const uint8_t> ts) {
 
   auto flush_pes = [&](std::span<const uint8_t> pes) {
     if (pes.size() < 9) return;
-    PDW_CHECK_EQ(int(pes[0]), 0);
-    PDW_CHECK_EQ(int(pes[1]), 0);
-    PDW_CHECK_EQ(int(pes[2]), 1);
+    if (!(pes[0] == 0 && pes[1] == 0 && pes[2] == 1)) {
+      // PUSI pointed at something that is not a PES packet start.
+      fail(DecodeErr::kBadStructure, DecodeSeverity::kPicture, 0);
+      ++result.bad_packets;
+      return;
+    }
     const uint8_t sid = pes[3];
     if (sid < 0xE0 || sid > 0xEF) return;
-    PDW_CHECK_EQ(pes[6] >> 6, 0b10) << "not an MPEG-2 PES header";
     const int flags = pes[7] >> 6;
     const size_t header_data = pes[8];
-    if (flags & 0x2) result.pts.push_back(detail::read_timestamp(&pes[9]));
     const size_t start = 9 + header_data;
-    PDW_CHECK_LE(start, pes.size());
+    if (pes[6] >> 6 != 0b10 || start > pes.size()) {
+      fail(DecodeErr::kBadStructure, DecodeSeverity::kPicture, 0);
+      ++result.bad_packets;
+      return;
+    }
+    if ((flags & 0x2) && header_data >= 5 && pes.size() >= 14)
+      result.pts.push_back(detail::read_timestamp(&pes[9]));
     result.video_es.insert(result.video_es.end(), pes.begin() + long(start),
                            pes.end());
   };
 
-  for (size_t pos = 0; pos + kTsPacketSize <= ts.size();
-       pos += kTsPacketSize) {
+  size_t pos = 0;
+  while (pos + kTsPacketSize <= ts.size()) {
     const uint8_t* p = ts.data() + pos;
-    PDW_CHECK_EQ(int(p[0]), int(kTsSyncByte)) << "lost TS sync";
+    if (p[0] != kTsSyncByte) {
+      // Lost sync: hunt byte-wise for the next sync byte. Intact packets
+      // beyond the damage are recovered; the hole is reported once.
+      fail(DecodeErr::kBadStructure, DecodeSeverity::kPicture, pos);
+      ++result.sync_losses;
+      do {
+        ++pos;
+      } while (pos + kTsPacketSize <= ts.size() && ts[pos] != kTsSyncByte);
+      continue;
+    }
     ++result.packets;
+    pos += kTsPacketSize;  // all `continue`s below go to the next packet
     const bool pusi = p[1] & 0x40;
     const uint16_t pid = uint16_t(((p[1] & 0x1F) << 8) | p[2]);
     const int afc = (p[3] >> 4) & 0x3;
@@ -308,13 +335,30 @@ TsDemuxResult demux_transport_stream(std::span<const uint8_t> ts) {
       ++result.psi_packets;
       // Section starts after pointer_field (assume it fits one packet).
       const size_t ptr = payload[0];
+      if (1 + ptr + 3 > payload.size()) {
+        fail(DecodeErr::kTruncated, DecodeSeverity::kPicture, pos);
+        ++result.bad_packets;
+        continue;
+      }
       const uint8_t* sec = payload.data() + 1 + ptr;
       const uint8_t table_id = sec[0];
       const size_t section_length = ((sec[1] & 0x0F) << 8) | sec[2];
+      // Minimum section: 5 header-tail bytes + CRC-32. Anything shorter (or
+      // spilling past the packet) is damage, not a section.
+      if (section_length < 9 ||
+          1 + ptr + 3 + section_length > payload.size()) {
+        fail(DecodeErr::kTruncated, DecodeSeverity::kPicture, pos);
+        ++result.bad_packets;
+        continue;
+      }
       const std::span<const uint8_t> full(sec, 3 + section_length);
-      PDW_CHECK_EQ(mpeg_crc32(full), 0u) << "PSI CRC mismatch";
+      if (mpeg_crc32(full) != 0u) {
+        fail(DecodeErr::kBadValue, DecodeSeverity::kPicture, pos);
+        ++result.crc_errors;
+        continue;
+      }
       if (pid == kPatPid && table_id == 0x00 && pmt_pid == 0xFFFF) {
-        // First program's PMT PID.
+        // First program's PMT PID (section_length >= 9 covers sec[10..11]).
         pmt_pid = uint16_t(((sec[10] & 0x1F) << 8) | sec[11]);
       } else if (pid == pmt_pid && table_id == 0x02 && video_pid == 0xFFFF) {
         const size_t program_info_len = ((sec[10] & 0x0F) << 8) | sec[11];

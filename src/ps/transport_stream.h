@@ -15,6 +15,8 @@
 #include <span>
 #include <vector>
 
+#include "common/decode_status.h"
+
 namespace pdw::ps {
 
 inline constexpr size_t kTsPacketSize = 188;
@@ -35,20 +37,28 @@ std::vector<uint8_t> mux_transport_stream(std::span<const uint8_t> video_es,
                                           const TsMuxConfig& config = {});
 
 struct TsDemuxResult {
+  // First damage encountered (kOk on clean input). Damage never aborts the
+  // demux: lost sync hunts byte-wise for the next sync byte, malformed
+  // PSI/PES structures are dropped, and a trailing partial packet is
+  // ignored — whatever intact video payload exists is still recovered.
+  DecodeStatus status;
   std::vector<uint8_t> video_es;
   int packets = 0;           // total TS packets seen
   int video_packets = 0;     // packets on the video PID
   int psi_packets = 0;       // PAT/PMT packets
   int ignored_packets = 0;   // foreign PIDs / null packets
   int continuity_errors = 0; // per-PID counter gaps
+  int sync_losses = 0;       // byte-wise resync hunts
+  int bad_packets = 0;       // malformed PES/PSI structures dropped
+  int crc_errors = 0;        // PSI sections failing CRC-32
   uint16_t video_pid = 0;    // resolved from PAT/PMT
   std::vector<int64_t> pcr;  // 27 MHz program clock references
   std::vector<int64_t> pts;  // 90 kHz, from the video PES headers
 };
 
 // Extract the first video stream (stream_type 0x01/0x02) advertised by the
-// first program in the PAT. Throws CheckError on structurally impossible
-// input (bad sync, truncated packet).
+// first program in the PAT. Never throws on damaged input: structural
+// damage is reported in `result.status` and the counters above.
 TsDemuxResult demux_transport_stream(std::span<const uint8_t> ts);
 
 // MPEG-2/PSI CRC-32 (poly 0x04C11DB7, MSB-first, init 0xFFFFFFFF, no final

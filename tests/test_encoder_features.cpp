@@ -35,7 +35,8 @@ StreamShape analyze(const std::vector<uint8_t>& es) {
         const StartCodeHit hit = find_start_code(span, pos);
         if (hit.code == start_code::kGroup) {
           BitReader r(span.subspan(hit.offset + 4));
-          const auto gop = mpeg2::parse_gop_header(r);
+          mpeg2::GopHeader gop;
+          PDW_CHECK(mpeg2::parse_gop_header(r, &gop).ok());
           shape.closed_flags.push_back(gop.closed_gop);
           break;
         }
@@ -43,7 +44,7 @@ StreamShape analyze(const std::vector<uint8_t>& es) {
       }
     }
     mpeg2::ParsedPictureHeaders headers;
-    mpeg2::parse_picture_headers(span, &seq, &have_seq, &headers);
+    PDW_CHECK(mpeg2::parse_picture_headers(span, &seq, &have_seq, &headers).ok());
     shape.coded_types.push_back(headers.ph.type);
     shape.temporal_refs.push_back(headers.ph.temporal_reference);
   }

@@ -37,11 +37,12 @@ TEST(Headers, SequenceHeaderRoundtrip) {
   uint8_t code;
   BitReader r = after_start_code(bytes, &code);
   EXPECT_EQ(code, 0xB3);
-  SequenceHeader parsed = parse_sequence_header(r);
+  SequenceHeader parsed;
+  EXPECT_TRUE(parse_sequence_header(r, &parsed).ok());
   r.align_to_byte();
   EXPECT_EQ(r.read(24), 0x000001u);
   EXPECT_EQ(r.read(8), 0xB5u);
-  parse_extension(r, &parsed, nullptr);
+  EXPECT_TRUE(parse_extension(r, &parsed, nullptr).ok());
 
   EXPECT_EQ(parsed.width, 1920);
   EXPECT_EQ(parsed.height, 1088);
@@ -66,10 +67,11 @@ TEST(Headers, UltraHighResolutionUsesSizeExtensionBits) {
   auto bytes = w.take();
   uint8_t code;
   BitReader r = after_start_code(bytes, &code);
-  SequenceHeader parsed = parse_sequence_header(r);
+  SequenceHeader parsed;
+  EXPECT_TRUE(parse_sequence_header(r, &parsed).ok());
   r.align_to_byte();
   r.skip(32);
-  parse_extension(r, &parsed, nullptr);
+  EXPECT_TRUE(parse_extension(r, &parsed, nullptr).ok());
   EXPECT_EQ(parsed.width, 4224);
   EXPECT_EQ(parsed.height, 3200);
 }
@@ -90,7 +92,8 @@ TEST(Headers, CustomQuantMatricesRoundtrip) {
   auto bytes = w.take();
   uint8_t code;
   BitReader r = after_start_code(bytes, &code);
-  SequenceHeader parsed = parse_sequence_header(r);
+  SequenceHeader parsed;
+  EXPECT_TRUE(parse_sequence_header(r, &parsed).ok());
   EXPECT_EQ(parsed.intra_quant, seq.intra_quant);
   EXPECT_EQ(parsed.non_intra_quant, seq.non_intra_quant);
 }
@@ -107,7 +110,8 @@ TEST(Headers, GopHeaderRoundtrip) {
   uint8_t code;
   BitReader r = after_start_code(bytes, &code);
   EXPECT_EQ(code, 0xB8);
-  GopHeader parsed = parse_gop_header(r);
+  GopHeader parsed;
+  EXPECT_TRUE(parse_gop_header(r, &parsed).ok());
   EXPECT_EQ(parsed.time_code, gop.time_code);
   EXPECT_EQ(parsed.closed_gop, gop.closed_gop);
   EXPECT_EQ(parsed.broken_link, gop.broken_link);
@@ -125,7 +129,8 @@ TEST(Headers, PictureHeaderRoundtripAllTypes) {
     uint8_t code;
     BitReader r = after_start_code(bytes, &code);
     EXPECT_EQ(code, 0x00);
-    PictureHeader parsed = parse_picture_header(r);
+    PictureHeader parsed;
+    EXPECT_TRUE(parse_picture_header(r, &parsed).ok());
     EXPECT_EQ(parsed.temporal_reference, 777);
     EXPECT_EQ(parsed.type, type);
   }
@@ -148,7 +153,7 @@ TEST(Headers, PictureCodingExtensionRoundtrip) {
   BitReader r = after_start_code(bytes, &code);
   EXPECT_EQ(code, 0xB5);
   PictureCodingExt parsed;
-  parse_extension(r, nullptr, &parsed);
+  EXPECT_TRUE(parse_extension(r, nullptr, &parsed).ok());
   EXPECT_EQ(parsed.f_code[0][0], 3);
   EXPECT_EQ(parsed.f_code[0][1], 4);
   EXPECT_EQ(parsed.f_code[1][0], 2);
@@ -170,7 +175,8 @@ TEST(Headers, SliceHeaderRoundtripNormalHeight) {
     uint8_t code;
     BitReader r = after_start_code(bytes, &code);
     int parsed_row = -1;
-    const int q = parse_slice_header(r, seq, code, &parsed_row);
+    int q = -1;
+    EXPECT_TRUE(parse_slice_header(r, seq, code, &parsed_row, &q).ok());
     EXPECT_EQ(parsed_row, row);
     EXPECT_EQ(q, 13);
   }
@@ -191,7 +197,8 @@ TEST(Headers, SliceHeaderUsesVerticalPositionExtensionAbove2800) {
     EXPECT_GE(code, 0x01);
     EXPECT_LE(code, 0xAF);
     int parsed_row = -1;
-    const int q = parse_slice_header(r, seq, code, &parsed_row);
+    int q = -1;
+    EXPECT_TRUE(parse_slice_header(r, seq, code, &parsed_row, &q).ok());
     EXPECT_EQ(parsed_row, row) << "row " << row;
     EXPECT_EQ(q, 7);
   }

@@ -148,14 +148,16 @@ TEST_F(MbParserTest, IntraSliceDcPrediction) {
 TEST_F(MbParserTest, PSliceSkippedMacroblocks) {
   ctx_.ph.type = PicType::P;
   MbWriter w(ctx_);
-  // MB0 coded with a motion vector, MBs 1-2 skipped, MB3 coded.
+  // MB0 coded with a motion vector, MBs 1-2 skipped, MB3 coded. Vectors are
+  // chosen so every referenced window stays inside the 64x32 picture (the
+  // parser rejects out-of-picture prediction as bitstream damage).
   w.increment(1);
   w.type(kMotionForward);
-  w.mv(0, 5, -3);
+  w.mv(0, 5, 3);
   w.increment(3);  // skip two
   w.reset_pmv();   // decoder resets PMV across P-skips; mirror it
   w.type(kMotionForward);
-  w.mv(0, 1, 1);
+  w.mv(0, -2, 2);
   const auto bytes = w.take();
 
   MbSyntaxDecoder dec(ctx_, ParseMode::kFull);
@@ -166,7 +168,7 @@ TEST_F(MbParserTest, PSliceSkippedMacroblocks) {
   ASSERT_EQ(sink.items.size(), 4u);
   EXPECT_FALSE(sink.items[0].mb.skipped);
   EXPECT_EQ(sink.items[0].mb.mv[0][0], 5);
-  EXPECT_EQ(sink.items[0].mb.mv[0][1], -3);
+  EXPECT_EQ(sink.items[0].mb.mv[0][1], 3);
   // The two skipped macroblocks use zero vectors.
   for (int i : {1, 2}) {
     EXPECT_TRUE(sink.items[size_t(i)].mb.skipped);
@@ -175,7 +177,7 @@ TEST_F(MbParserTest, PSliceSkippedMacroblocks) {
     EXPECT_TRUE(sink.items[size_t(i)].mb.has_fwd());
   }
   // P-skip resets PMV, so MB3's vector decodes against (0,0).
-  EXPECT_EQ(sink.items[3].mb.mv[0][0], 1);
+  EXPECT_EQ(sink.items[3].mb.mv[0][0], -2);
   EXPECT_EQ(sink.items[3].before.pmv[0][0], 0);
 }
 
@@ -184,12 +186,12 @@ TEST_F(MbParserTest, BSkipRepeatsPreviousPrediction) {
   MbWriter w(ctx_);
   w.increment(1);
   w.type(kMotionForward | kMotionBackward);
-  w.mv(0, 4, 2);
-  w.mv(1, -6, 0);
+  w.mv(0, 4, 0);
+  w.mv(1, 6, 0);
   w.increment(2);  // one skipped in between
   w.type(kMotionForward | kMotionBackward);
-  w.mv(0, 4, 2);   // same vectors (delta 0) so the skip is representative
-  w.mv(1, -6, 0);
+  w.mv(0, 4, 0);   // same vectors (delta 0) so the skip is representative
+  w.mv(1, 6, 0);
   const auto bytes = w.take();
 
   MbSyntaxDecoder dec(ctx_, ParseMode::kFull);
@@ -204,7 +206,7 @@ TEST_F(MbParserTest, BSkipRepeatsPreviousPrediction) {
   EXPECT_TRUE(skip.mb.has_fwd());
   EXPECT_TRUE(skip.mb.has_bwd());
   EXPECT_EQ(skip.mb.mv[0][0], 4);
-  EXPECT_EQ(skip.mb.mv[1][0], -6);
+  EXPECT_EQ(skip.mb.mv[1][0], 6);
 }
 
 TEST_F(MbParserTest, QuantUpdatePropagates) {
@@ -309,7 +311,7 @@ TEST_F(MbParserTest, RunDriverForcesFirstAddress) {
   // Written as if mid-slice: increment of 2 whose meaning the run ignores.
   w.increment(2);
   w.type(kMotionForward);
-  w.mv(0, 3, 1);
+  w.mv(0, -3, -1);
   const auto bytes = w.take();
 
   MbSyntaxDecoder dec(ctx_, ParseMode::kFull);
@@ -319,10 +321,10 @@ TEST_F(MbParserTest, RunDriverForcesFirstAddress) {
   dec.load_state(st);
   CollectSink sink;
   BitReader r(bytes);
-  dec.parse_run(r, /*first_addr=*/7, /*num_coded=*/1, sink);
+  EXPECT_TRUE(dec.parse_run(r, /*first_addr=*/7, /*num_coded=*/1, sink).ok());
   ASSERT_EQ(sink.items.size(), 1u);
   EXPECT_EQ(sink.items[0].mb.addr, 7);  // forced, increment ignored
-  EXPECT_EQ(sink.items[0].mb.mv[0][0], 3);
+  EXPECT_EQ(sink.items[0].mb.mv[0][0], -3);
 }
 
 TEST_F(MbParserTest, RunDriverSynthesizesInteriorSkips) {
@@ -334,7 +336,7 @@ TEST_F(MbParserTest, RunDriverSynthesizesInteriorSkips) {
   w.increment(3);  // two interior skips
   w.reset_pmv();
   w.type(kMotionForward);
-  w.mv(0, 2, 0);
+  w.mv(0, -2, 0);
   const auto bytes = w.take();
 
   MbSyntaxDecoder dec(ctx_, ParseMode::kFull);
@@ -343,7 +345,7 @@ TEST_F(MbParserTest, RunDriverSynthesizesInteriorSkips) {
   dec.load_state(st);
   CollectSink sink;
   BitReader r(bytes);
-  dec.parse_run(r, 4, 2, sink);
+  EXPECT_TRUE(dec.parse_run(r, 4, 2, sink).ok());
   ASSERT_EQ(sink.items.size(), 4u);
   EXPECT_EQ(sink.items[0].mb.addr, 4);
   EXPECT_TRUE(sink.items[1].mb.skipped);
@@ -363,11 +365,11 @@ TEST_F(MbParserTest, SynthesizeSkippedStandalone) {
   st.pmv[0][1] = -7;
   dec.load_state(st);
   CollectSink sink;
-  dec.synthesize_skipped(10, 3, sink);
+  EXPECT_TRUE(dec.synthesize_skipped(4, 3, sink));
   ASSERT_EQ(sink.items.size(), 3u);
   for (int i = 0; i < 3; ++i) {
     EXPECT_TRUE(sink.items[size_t(i)].mb.skipped);
-    EXPECT_EQ(sink.items[size_t(i)].mb.addr, 10 + i);
+    EXPECT_EQ(sink.items[size_t(i)].mb.addr, 4 + i);
     EXPECT_EQ(sink.items[size_t(i)].mb.mv[0][0], 11);
     EXPECT_EQ(sink.items[size_t(i)].mb.mv[0][1], -7);
     EXPECT_FALSE(sink.items[size_t(i)].mb.has_bwd());

@@ -206,8 +206,13 @@ TEST_F(MbSplitterTest, RejectsGeometryMismatch) {
   wall::TileGeometry wrong(640, 480, 2, 2, 0);
   RootSplitter root(es);
   MacroblockSplitter splitter(wrong);
-  splitter.set_stream_info(root.stream_info());
-  EXPECT_THROW(splitter.split(root.picture(0), 0), CheckError);
+  // A mismatched deployment configuration is a bug, caught at setup time.
+  EXPECT_THROW(splitter.set_stream_info(root.stream_info()), CheckError);
+  // A stream whose embedded sequence header disagrees with the wall is
+  // per-picture damage: the split fails with a status, not a throw.
+  const SplitResult r = splitter.split(root.picture(0), 0);
+  EXPECT_FALSE(r.status.ok());
+  EXPECT_TRUE(r.subpictures.empty());
 }
 
 }  // namespace

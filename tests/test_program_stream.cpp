@@ -136,17 +136,31 @@ TEST(ProgramStream, PaddingBeforeFirstPackIsIgnored) {
   EXPECT_EQ(d.video_es, es);
 }
 
-TEST(ProgramStream, TruncatedPesThrows) {
+TEST(ProgramStream, TruncatedPesReportsStatusAndKeepsPrefix) {
   const auto es = make_es(3);
   auto program = mux_program_stream(es);
-  program.resize(program.size() / 2);
-  // Truncation mid-PES must be detected as a structural error...
-  EXPECT_THROW(demux_program_stream(program), CheckError);
+  // Cut inside the final PES packet (the one carrying the sequence end
+  // code), past the program end code. Truncation mid-PES is recoverable
+  // damage: demux stops with a status and keeps every complete packet it
+  // saw, instead of throwing.
+  program.resize(program.size() - 8);
+  const auto d = demux_program_stream(program);
+  EXPECT_FALSE(d.status.ok());
+  EXPECT_EQ(d.status.code, DecodeErr::kTruncated);
+  ASSERT_FALSE(d.video_es.empty());
+  ASSERT_LT(d.video_es.size(), es.size());
+  EXPECT_TRUE(std::equal(d.video_es.begin(), d.video_es.end(), es.begin()));
 }
 
-TEST(ProgramStream, RejectsBareElementaryStream) {
+TEST(ProgramStream, BareElementaryStreamReportsBadStructure) {
   const auto es = make_es(2);
-  EXPECT_THROW(demux_program_stream(es), CheckError);
+  // An ES has picture/sequence start codes at the top level where pack
+  // headers belong; the demux records the structural damage and scans on.
+  const auto d = demux_program_stream(es);
+  EXPECT_FALSE(d.status.ok());
+  EXPECT_EQ(d.status.code, DecodeErr::kBadStructure);
+  EXPECT_TRUE(d.video_es.empty());
+  EXPECT_EQ(d.packs, 0);
 }
 
 TEST(ProgramStream, MuxRejectsEmptyInput) {

@@ -132,18 +132,30 @@ TEST(TransportStream, DetectsContinuityGaps) {
   EXPECT_GE(d.continuity_errors, 1);
 }
 
-TEST(TransportStream, RejectsMisalignedInput) {
+TEST(TransportStream, MisalignedInputReportsTruncation) {
   const auto es = make_es(2);
   auto ts = mux_transport_stream(es);
   ts.pop_back();
-  EXPECT_THROW(demux_transport_stream(ts), CheckError);
+  // A torn final packet is recorded as truncation; every whole packet before
+  // it still demuxes, so the recovered video is a prefix of the original.
+  const auto d = demux_transport_stream(ts);
+  EXPECT_FALSE(d.status.ok());
+  EXPECT_EQ(d.status.code, DecodeErr::kTruncated);
+  ASSERT_FALSE(d.video_es.empty());
+  ASSERT_LE(d.video_es.size(), es.size());
+  EXPECT_TRUE(std::equal(d.video_es.begin(), d.video_es.end(), es.begin()));
 }
 
-TEST(TransportStream, RejectsLostSync) {
+TEST(TransportStream, ResynchronizesAfterLostSync) {
   const auto es = make_es(2);
   auto ts = mux_transport_stream(es);
   ts[kTsPacketSize * 3] = 0x00;  // clobber a sync byte
-  EXPECT_THROW(demux_transport_stream(ts), CheckError);
+  const auto d = demux_transport_stream(ts);
+  // The demux hunts byte-wise for the next sync byte instead of giving up.
+  EXPECT_GE(d.sync_losses, 1);
+  // Exactly one packet is lost; the stream after it demuxes normally.
+  EXPECT_GT(d.packets, 0);
+  EXPECT_FALSE(d.video_es.empty());
 }
 
 }  // namespace
