@@ -57,7 +57,7 @@ int main() {
         tr.decode_s[t] += requests * rtt;
         tr.serve_s[t] = requests * kContextSwitch;  // serving interruptions
       }
-      std::fill(tr.exchange_bytes.begin(), tr.exchange_bytes.end(), 0);
+      tr.exchange_bytes.reset(geo.tiles());
     }
     remote_per_pic /= double(traces.size()) * geo.tiles();
     const auto r_od = sim::simulate_cluster(traces_od, geo, p);

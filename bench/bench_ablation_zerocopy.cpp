@@ -75,8 +75,8 @@ int main() {
       for (int t = 0; t < T; ++t) {
         double exch = 0;
         for (int d = 0; d < T; ++d)
-          exch += double(tr.exchange_bytes[size_t(t) * T + d]) +
-                  double(tr.exchange_bytes[size_t(d) * T + t]);
+          exch += double(tr.exchange_bytes.at(t, d)) +
+                  double(tr.exchange_bytes.at(d, t));
         tr.decode_s[size_t(t)] +=
             (double(tr.sp_msg_bytes[size_t(t)]) + exch) / bw;
       }

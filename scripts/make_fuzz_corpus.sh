@@ -16,15 +16,16 @@ BUILD="${1:-build}"
 OUT="${2:-fuzz/corpus}"
 TRANSCODE="$BUILD/examples/transcode_tool"
 PSTOOL="$BUILD/examples/ps_tool"
+WIRESEED="$BUILD/examples/wire_seed_tool"
 
-for tool in "$TRANSCODE" "$PSTOOL"; do
+for tool in "$TRANSCODE" "$PSTOOL" "$WIRESEED"; do
   if [ ! -x "$tool" ]; then
-    echo "error: $tool not built (cmake --build $BUILD --target transcode_tool ps_tool)" >&2
+    echo "error: $tool not built (cmake --build $BUILD --target transcode_tool ps_tool wire_seed_tool)" >&2
     exit 1
   fi
 done
 
-mkdir -p "$OUT/es" "$OUT/container"
+mkdir -p "$OUT/es" "$OUT/container" "$OUT/wire"
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
@@ -41,6 +42,9 @@ done
 "$PSTOOL" mux "$TMP/seed_0.m2v" "$OUT/container/seed.mpg" > /dev/null
 "$PSTOOL" tsmux "$TMP/seed_0.m2v" "$OUT/container/seed.ts" > /dev/null
 
+# Typed protocol message bodies (one per wire message type) for fuzz_wire.
+"$WIRESEED" "$OUT/wire"
+
 # Deterministic bit-flip variants: flip one bit at several byte offsets
 # spread over each seed. Python is only used as a portable byte editor.
 flip_variants() {
@@ -50,6 +54,14 @@ import sys
 src, prefix = sys.argv[1], sys.argv[2]
 data = bytearray(open(src, "rb").read())
 n = len(data)
+# Seeds too small to skip a 4-byte prefix (tiny wire bodies): flip within
+# whatever is there instead.
+if n < 6:
+    for k in range(min(8, n * 8)):
+        flipped = bytearray(data)
+        flipped[k % n] ^= 1 << (k // n)
+        open(f"{prefix}_flip{k}.bin", "wb").write(flipped)
+    sys.exit(0)
 # 8 positions spread over the file, skipping the first 4 bytes so the
 # top-level start code survives and the parse goes deep.
 for k in range(8):
@@ -66,6 +78,9 @@ for f in "$OUT"/es/*.m2v; do
 done
 for f in "$OUT/container/seed.mpg" "$OUT/container/seed.ts"; do
   flip_variants "$f" "${f%.*}_$(basename "${f##*.}")"
+done
+for f in "$OUT"/wire/*.wire; do
+  flip_variants "$f" "${f%.wire}"
 done
 
 echo "corpus written to $OUT:"

@@ -1,0 +1,73 @@
+// Pairwise byte-traffic bookkeeping shared by the threaded pipeline, the
+// lockstep reference and the cluster simulator.
+//
+// Everything that used to be a raw `std::vector<uint64_t>` with manual
+// `src * n + dst` indexing (Fabric's traffic matrix, ClusterStats,
+// PictureTrace::exchange_bytes) goes through this helper instead, so the
+// indexing convention lives in exactly one place.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace pdw {
+
+class TrafficMatrix {
+ public:
+  TrafficMatrix() = default;
+  explicit TrafficMatrix(int nodes) { reset(nodes); }
+
+  void reset(int nodes) {
+    PDW_CHECK_GE(nodes, 0);
+    nodes_ = nodes;
+    bytes_.assign(size_t(nodes) * size_t(nodes), 0);
+  }
+
+  int nodes() const { return nodes_; }
+  bool empty() const { return bytes_.empty(); }
+
+  void add(int src, int dst, uint64_t bytes) { at(src, dst) += bytes; }
+
+  uint64_t& at(int src, int dst) {
+    PDW_CHECK_GE(src, 0);
+    PDW_CHECK_LT(src, nodes_);
+    PDW_CHECK_GE(dst, 0);
+    PDW_CHECK_LT(dst, nodes_);
+    return bytes_[size_t(src) * size_t(nodes_) + size_t(dst)];
+  }
+  uint64_t at(int src, int dst) const {
+    return const_cast<TrafficMatrix*>(this)->at(src, dst);
+  }
+
+  // Bytes sent by / received at one node.
+  uint64_t sent_by(int src) const {
+    uint64_t sum = 0;
+    for (int d = 0; d < nodes_; ++d) sum += at(src, d);
+    return sum;
+  }
+  uint64_t received_by(int dst) const {
+    uint64_t sum = 0;
+    for (int s = 0; s < nodes_; ++s) sum += at(s, dst);
+    return sum;
+  }
+  uint64_t total() const {
+    uint64_t sum = 0;
+    for (uint64_t b : bytes_) sum += b;
+    return sum;
+  }
+
+  // Flat row-major view (src-major), for iteration and serialization.
+  const std::vector<uint64_t>& flat() const { return bytes_; }
+  auto begin() const { return bytes_.begin(); }
+  auto end() const { return bytes_.end(); }
+
+  friend bool operator==(const TrafficMatrix&, const TrafficMatrix&) = default;
+
+ private:
+  int nodes_ = 0;
+  std::vector<uint64_t> bytes_;
+};
+
+}  // namespace pdw

@@ -1,143 +1,34 @@
 #include "core/lockstep.h"
 
 #include <algorithm>
-#include <cstring>
 
-#include "common/timing.h"
+#include "common/check.h"
 
 namespace pdw::core {
 
-namespace {
-// Wire overhead of one macroblock-exchange message entry: the pixel payload
-// plus the instruction header identifying it.
-constexpr size_t kExchangeEntryBytes =
-    sizeof(mpeg2::MacroblockPixels) + kMeiWireBytes;
-}  // namespace
-
 LockstepPipeline::LockstepPipeline(const wall::TileGeometry& geo, int k,
                                    std::span<const uint8_t> es)
-    : geo_(geo), k_(k), root_(es) {
+    : geo_(geo), k_(k), es_(es) {
   PDW_CHECK_GE(k, 1);
-  for (int i = 0; i < k; ++i) {
-    splitters_.push_back(std::make_unique<MacroblockSplitter>(geo));
-    splitters_.back()->set_stream_info(root_.stream_info());
-  }
-  for (int t = 0; t < geo.tiles(); ++t)
-    decoders_.push_back(
-        std::make_unique<TileDecoder>(geo, t, root_.stream_info()));
+  stream_ = std::make_unique<proto::SerialStream>(geo_, k_, es_);
 }
 
 LockstepPipeline::~LockstepPipeline() = default;
 
+void LockstepPipeline::reset() {
+  stream_ = std::make_unique<proto::SerialStream>(geo_, k_, es_);
+  ran_ = false;
+}
+
 void LockstepPipeline::run(const TileDisplayFn& on_display,
                            const TraceFn& on_trace, int max_pictures) {
-  const int tiles = geo_.tiles();
-  std::vector<uint8_t> copy_buffer;
-
+  PDW_CHECK(!ran_) << "run() called twice without reset()";
+  ran_ = true;
   const int limit = max_pictures >= 0
-                        ? std::min(max_pictures, root_.picture_count())
-                        : root_.picture_count();
-  for (int i = 0; i < limit; ++i) {
-    PictureTrace trace;
-    trace.pic_index = uint32_t(i);
-    trace.sp_msg_bytes.assign(size_t(tiles), 0);
-    trace.decode_s.assign(size_t(tiles), 0.0);
-    trace.serve_s.assign(size_t(tiles), 0.0);
-    trace.halo_mbs.assign(size_t(tiles), 0);
-    trace.exchange_bytes.assign(size_t(tiles) * tiles, 0);
-
-    const std::span<const uint8_t> span = root_.picture(i);
-    trace.picture_bytes = span.size();
-    trace.has_gop_header = root_.span(i).has_gop_header;
-
-    // Root: copy the picture into the (zero-copy posted) send buffer.
-    {
-      WallTimer t;
-      copy_buffer.assign(span.begin(), span.end());
-      trace.copy_s = t.seconds();
-    }
-
-    // Second-level splitter (round-robin, as in Table 3).
-    const int s = i % k_;
-    trace.splitter = s;
-    SplitResult result;
-    std::vector<std::vector<uint8_t>> sp_wire(static_cast<size_t>(tiles));
-    std::vector<std::vector<uint8_t>> mei_wire(static_cast<size_t>(tiles));
-    {
-      WallTimer t;
-      result = splitters_[size_t(s)]->split(copy_buffer, uint32_t(i));
-      // Serializing SPs and MEIs into network messages is splitter work.
-      for (int d = 0; d < tiles; ++d) {
-        result.subpictures[size_t(d)].serialize(&sp_wire[size_t(d)]);
-        serialize_mei(result.mei[size_t(d)], &mei_wire[size_t(d)]);
-        trace.sp_msg_bytes[size_t(d)] =
-            sp_wire[size_t(d)].size() + mei_wire[size_t(d)].size();
-      }
-      trace.split_s = t.seconds();
-    }
-    trace.type = result.info.type;
-    trace.split_stats = result.stats;
-
-    // A picture whose headers are undecodable cannot be split at all: every
-    // tile skips it in lockstep (the threaded pipeline broadcasts the same
-    // decision), keeping the one-emission-per-slot display invariant.
-    if (!result.status.ok()) {
-      for (int d = 0; d < tiles; ++d)
-        decoders_[size_t(d)]->skip_picture(
-            uint32_t(i),
-            [&](const mpeg2::TileFrame& tf, const TileDisplayInfo& info) {
-              if (on_display) on_display(d, tf, info);
-            });
-      if (on_trace) on_trace(trace);
-      continue;
-    }
-
-    // Decoders: execute SEND instructions (serve phase). All sends complete
-    // before any decode starts — in the real system the ack protocol and the
-    // "reference data is already decoded" property guarantee this. CONCEAL
-    // instructions are staged on their own tile for the decode phase.
-    for (int d = 0; d < tiles; ++d) {
-      const auto mei = deserialize_mei(mei_wire[size_t(d)]);
-      WallTimer t;
-      for (const MeiInstruction& instr : mei) {
-        if (instr.op == MeiOp::kConceal) {
-          decoders_[size_t(d)]->stage_conceal(instr);
-          continue;
-        }
-        if (instr.op != MeiOp::kSend) continue;
-        const mpeg2::MacroblockPixels px =
-            decoders_[size_t(d)]->extract_for_send(result.info, instr);
-        MeiInstruction recv = instr;
-        recv.op = MeiOp::kRecv;
-        recv.peer = uint16_t(d);
-        decoders_[size_t(instr.peer)]->add_halo_mb(recv, px);
-        trace.exchange_bytes[size_t(d) * tiles + instr.peer] +=
-            kExchangeEntryBytes;
-      }
-      trace.serve_s[size_t(d)] = t.seconds();
-    }
-
-    // Decode each tile's sub-picture.
-    for (int d = 0; d < tiles; ++d) {
-      WallTimer t;
-      const SubPicture sp = SubPicture::deserialize(sp_wire[size_t(d)]);
-      decoders_[size_t(d)]->decode(
-          sp, [&](const mpeg2::TileFrame& tf, const TileDisplayInfo& info) {
-            if (on_display) on_display(d, tf, info);
-          });
-      trace.decode_s[size_t(d)] = t.seconds();
-      trace.halo_mbs[size_t(d)] =
-          int(decoders_[size_t(d)]->halo_mbs_last_picture());
-    }
-
-    if (on_trace) on_trace(trace);
-  }
-
-  for (int d = 0; d < tiles; ++d)
-    decoders_[size_t(d)]->flush(
-        [&](const mpeg2::TileFrame& tf, const TileDisplayInfo& info) {
-          if (on_display) on_display(d, tf, info);
-        });
+                        ? std::min(max_pictures, stream_->picture_count())
+                        : stream_->picture_count();
+  for (int i = 0; i < limit; ++i) stream_->step(on_display, on_trace);
+  stream_->finish(on_display);
 }
 
 }  // namespace pdw::core

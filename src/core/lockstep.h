@@ -1,10 +1,13 @@
 // Lockstep (single-threaded) execution of the full 1-k-(m,n) pipeline.
 //
 // Runs root split -> second-level split -> MEI exchange -> tile decode for
-// every picture, in order, in one thread. Two jobs:
+// every picture, in order, in one thread, by driving the proto/ node state
+// machines (proto::SerialStream) with a serial scheduler. Two jobs:
 //   1. Functional reference for the parallel system: the tile outputs it
 //      produces are what the threaded pipeline and the DES-driven cluster
-//      must also produce (bit-exact vs the serial decoder).
+//      must also produce (bit-exact vs the serial decoder) — and because the
+//      protocol decisions come from the same state machines the threaded
+//      pipeline pumps, the engines cannot drift apart.
 //   2. Cost measurement: it times every operation of the Table-3 protocol on
 //      real data, producing the per-picture traces the discrete-event
 //      cluster simulator replays to obtain frame rates, runtime breakdowns
@@ -12,34 +15,18 @@
 #pragma once
 
 #include <functional>
+#include <memory>
+#include <span>
 
-#include "core/mb_splitter.h"
 #include "core/root_splitter.h"
-#include "core/tile_decoder.h"
+#include "proto/session.h"
 #include "wall/geometry.h"
 
 namespace pdw::core {
 
-// Measured trace of one picture's journey through the pipeline.
-struct PictureTrace {
-  uint32_t pic_index = 0;
-  mpeg2::PicType type = mpeg2::PicType::I;
-  bool has_gop_header = false;  // picture starts a (closed) GOP — resync point
-  size_t picture_bytes = 0;  // root -> splitter message size
-  double copy_s = 0;         // root: copy picture into the send buffer
-  double split_s = 0;        // second-level: parse + build SPs and MEIs
-  int splitter = 0;          // which second-level splitter handled it
-
-  // Per tile decoder:
-  std::vector<size_t> sp_msg_bytes;   // splitter -> decoder message size
-  std::vector<double> decode_s;       // decode + display ("Work")
-  std::vector<double> serve_s;        // executing SEND instructions ("Serve")
-  std::vector<int> halo_mbs;          // remote macroblocks received
-  // Exchange traffic matrix, bytes[src * tiles + dst].
-  std::vector<size_t> exchange_bytes;
-
-  SplitStats split_stats;
-};
+// The per-picture trace is produced by the proto serial host; core aliases
+// it so existing consumers (sim, benches, baselines) keep their spelling.
+using PictureTrace = proto::PictureTrace;
 
 class LockstepPipeline {
  public:
@@ -48,27 +35,35 @@ class LockstepPipeline {
                    std::span<const uint8_t> es);
   ~LockstepPipeline();
 
-  using TileDisplayFn =
-      std::function<void(int tile, const mpeg2::TileFrame&,
-                         const TileDisplayInfo&)>;
-  using TraceFn = std::function<void(const PictureTrace&)>;
+  using TileDisplayFn = proto::SerialStream::DisplayFn;
+  using TraceFn = proto::SerialStream::TraceFn;
 
-  // Process the stream (the first `max_pictures` pictures when >= 0).
-  // Either callback may be null. Note: stopping early leaves reference
-  // state mid-stream; used for warm-up passes only.
+  // Process the stream (the first `max_pictures` pictures when >= 0), then
+  // flush the decoders and run the end-of-stream handshake. One run per
+  // reset: a second run() without an intervening reset() CHECK-fails
+  // instead of silently replaying from mid-stream reference state.
   void run(const TileDisplayFn& on_display, const TraceFn& on_trace,
            int max_pictures = -1);
 
+  // Rebuild every splitter, decoder and state machine for a fresh run.
+  void reset();
+
   const wall::TileGeometry& geometry() const { return geo_; }
-  const RootSplitter& root() const { return root_; }
+  const RootSplitter& root() const { return stream_->root(); }
   int k() const { return k_; }
+
+  // Protocol-level traffic of the last run (heartbeats excluded) — directly
+  // comparable with the threaded pipeline's accounting.
+  const proto::WireAccounting& accounting() const {
+    return stream_->accounting();
+  }
 
  private:
   const wall::TileGeometry& geo_;
   int k_;
-  RootSplitter root_;
-  std::vector<std::unique_ptr<MacroblockSplitter>> splitters_;
-  std::vector<std::unique_ptr<TileDecoder>> decoders_;
+  std::span<const uint8_t> es_;
+  std::unique_ptr<proto::SerialStream> stream_;
+  bool ran_ = false;
 };
 
 }  // namespace pdw::core

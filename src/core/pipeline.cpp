@@ -1,112 +1,26 @@
 #include "core/pipeline.h"
 
 #include <atomic>
-#include <deque>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <mutex>
-#include <set>
-#include <chrono>
+#include <optional>
 #include <thread>
-#include <unordered_map>
-#include <unordered_set>
+#include <utility>
+#include <vector>
 
-#include "common/bytes.h"
 #include "common/timing.h"
 #include "core/mb_splitter.h"
 #include "core/root_splitter.h"
+#include "proto/wire.h"
 
 namespace pdw::core {
 
 namespace {
 
-enum MsgType : int {
-  kPictureMsg = 1,     // root -> splitter, bulk
-  kSubPictureMsg = 2,  // splitter -> decoder, bulk (aux = tile)
-  kAckMsg = 3,         // decoder -> splitter / splitter -> root (seq = picture)
-  kExchangeMsg = 4,    // decoder -> decoder (aux = source tile)
-  kEndMsg = 5,         // root -> splitter
-  kHeartbeatMsg = 6,   // decoder -> root, fire-and-forget
-  kFinishedMsg = 7,    // decoder -> root: stream done, stop monitoring me
-  kNodeDeadMsg = 8,    // root -> everyone (aux = dead tile, seq = resync pic)
-  kSkipMsg = 9,        // splitter -> decoders: picture (aux=tile, seq) is lost
-};
-
-constexpr uint16_t kNoTile = 0xFFFF;
-
-// Key ordering state by (seq, tile) so everything at or below a picture
-// index can be erased with one lower_bound sweep.
-uint64_t tkey(int tile, uint32_t seq) {
-  return (uint64_t(seq) << 16) | uint16_t(tile);
-}
-
-// Exchange message payload: target tile, count, then entries
-// {tainted, ref, mbx, mby, pixels}. The tainted flag is how degradation
-// propagates across decoder boundaries: a peer that reconstructs from a
-// tainted halo macroblock marks its own frame degraded too.
-struct ExchangeEntry {
-  MeiInstruction instr;
-  bool tainted = false;
-  mpeg2::MacroblockPixels px;
-};
-
-void serialize_exchange(int dst_tile, const std::vector<ExchangeEntry>& entries,
-                        std::vector<uint8_t>* out) {
-  ByteWriter w(out);
-  w.u16(uint16_t(dst_tile));
-  w.u32(uint32_t(entries.size()));
-  for (const ExchangeEntry& e : entries) {
-    w.u8(e.tainted ? 1 : 0);
-    w.u8(e.instr.ref);
-    w.u16(e.instr.mb_x);
-    w.u16(e.instr.mb_y);
-    w.bytes(std::span<const uint8_t>(
-        reinterpret_cast<const uint8_t*>(&e.px), sizeof(e.px)));
-  }
-}
-
-std::vector<ExchangeEntry> deserialize_exchange(std::span<const uint8_t> data,
-                                                int* dst_tile) {
-  ByteReader r(data);
-  *dst_tile = r.u16();
-  std::vector<ExchangeEntry> out(r.u32());
-  for (ExchangeEntry& e : out) {
-    e.tainted = r.u8() != 0;
-    e.instr.op = MeiOp::kRecv;
-    e.instr.ref = r.u8();
-    e.instr.mb_x = r.u16();
-    e.instr.mb_y = r.u16();
-    auto bytes = r.bytes(sizeof(e.px));
-    std::memcpy(&e.px, bytes.data(), sizeof(e.px));
-  }
-  PDW_CHECK(r.done());
-  return out;
-}
-
-uint16_t peek_exchange_dst(std::span<const uint8_t> data) {
-  ByteReader r(data);
-  return r.u16();
-}
-
-// Combined sub-picture + MEI payload of a splitter->decoder message.
-void serialize_sp_msg(const SubPicture& sp,
-                      const std::vector<MeiInstruction>& mei,
-                      std::vector<uint8_t>* out) {
-  std::vector<uint8_t> sp_bytes;
-  sp.serialize(&sp_bytes);
-  ByteWriter w(out);
-  w.u32(uint32_t(sp_bytes.size()));
-  w.bytes(sp_bytes);
-  serialize_mei(mei, out);
-}
-
-void deserialize_sp_msg(std::span<const uint8_t> data, SubPicture* sp,
-                        std::vector<MeiInstruction>* mei) {
-  ByteReader r(data);
-  const uint32_t sp_len = r.u32();
-  *sp = SubPicture::deserialize(r.bytes(sp_len));
-  *mei = deserialize_mei(data.subspan(4 + sp_len));
-}
+using proto::AnyMsg;
+using proto::Outgoing;
 
 void accumulate(net::ReliableStats* into, const net::ReliableStats& s) {
   into->sent += s.sent;
@@ -119,14 +33,6 @@ void accumulate(net::ReliableStats* into, const net::ReliableStats& s) {
   into->holes += s.holes;
 }
 
-// What every node knows about a dead tile once the root's death notice
-// arrived: nobody serves its pictures before `resync`; from `resync` on the
-// adopter does (or nobody, in degraded mode).
-struct DeadTileInfo {
-  uint32_t resync = 0;
-  int adopter_tile = -1;
-};
-
 struct Shared {
   std::mutex mu;  // guards recoveries
   std::vector<RecoveryEvent> recoveries;
@@ -138,13 +44,430 @@ struct Shared {
   // stay resident t-acking peer retransmissions until fabric shutdown, so a
   // slow retransmit to an already-finished node is never falsely abandoned.
   std::atomic<int> decoders_done{0};
+  std::mutex acct_mu;  // guards acct
+  proto::WireAccounting acct;
+};
+
+// Map a state-machine emission onto the transport and record it.
+void emit(net::ReliableEndpoint& ep, Shared& shared, int src, Outgoing o) {
+  {
+    std::lock_guard<std::mutex> lock(shared.acct_mu);
+    shared.acct.record(src, o.dst, o.msg.type, o.msg.body.size());
+  }
+  net::Message m;
+  m.type = int(o.msg.type);
+  m.seq = o.msg.seq;
+  m.aux = o.msg.aux;
+  m.bulk = o.msg.bulk;
+  m.payload = std::move(o.msg.body);
+  if (o.reliable)
+    ep.send(o.dst, std::move(m));
+  else
+    ep.send_unreliable(o.dst, std::move(m));
+}
+
+// Exchanges are built by the host (they carry extracted pixels), so they
+// are recorded with their typed form to feed the per-picture matrices.
+void emit_exchange(net::ReliableEndpoint& ep, Shared& shared, int src,
+                   int dst, const proto::ExchangeMsg& msg) {
+  {
+    std::lock_guard<std::mutex> lock(shared.acct_mu);
+    shared.acct.record_exchange(src, dst, msg);
+  }
+  proto::Packed p = proto::pack(msg);
+  net::Message m;
+  m.type = int(p.type);
+  m.seq = p.seq;
+  m.aux = p.aux;
+  m.bulk = p.bulk;
+  m.payload = std::move(p.body);
+  ep.send(dst, std::move(m));
+}
+
+// Decode a received wire body. The transport CRC-verified it, so a decode
+// failure is a local protocol bug, not damage — crash loudly.
+AnyMsg decode_trusted(const net::Message& m) {
+  std::optional<AnyMsg> msg = proto::decode_any(m.payload);
+  PDW_CHECK(msg.has_value()) << " undecodable wire message type " << m.type;
+  return std::move(*msg);
+}
+
+// --- Root host (Table 3, root) + health monitor ----------------------------
+
+struct RootHost {
+  net::Fabric& fabric;
+  Shared& shared;
+  const WallTimer& timer;
+  const RootSplitter& root;
+  proto::Topology topo;
+  net::ReliableEndpoint ep;
+  proto::RootNode node;
+
+  RootHost(net::Fabric* f, Shared* sh, const WallTimer* t,
+           const RootSplitter* r, const proto::Topology& tp,
+           const net::ReliableConfig& rc, const proto::RootNode::Options& ro,
+           std::vector<proto::PictureMeta> metas)
+      : fabric(*f),
+        shared(*sh),
+        timer(*t),
+        root(*r),
+        topo(tp),
+        ep(f, tp.root(), rc),
+        node(tp, ro, std::move(metas), t->seconds()) {}
+
+  void apply(proto::RootNode::Step step) {
+    for (const proto::RootNode::Death& d : step.deaths) {
+      fabric.kill(d.node);  // fence: nothing more in or out of the corpse
+      ep.forget_peer(d.node);
+      std::lock_guard<std::mutex> lock(shared.mu);
+      shared.recoveries.push_back(RecoveryEvent{
+          timer.seconds(), d.dead_tile, d.adopter_tile, d.resync_pic, 0});
+    }
+    for (Outgoing& o : step.send) emit(ep, shared, topo.root(), std::move(o));
+  }
+
+  void pump(double timeout) {
+    net::Message m;
+    if (ep.recv(&m, timeout) == net::ReliableEndpoint::Status::kMessage)
+      apply(node.on_message(m.src, decode_trusted(m), timer.seconds()));
+    ep.take_abandoned();  // sends to nodes that died mid-broadcast
+    apply(node.on_tick(timer.seconds()));
+  }
+
+  void run() {
+    std::vector<uint8_t> send_buffer;
+    while (!node.stream_done()) {
+      const auto span = root.picture(int(node.cursor()));
+      send_buffer.assign(span.begin(), span.end());  // "Copy P to send buffer"
+      while (!node.may_dispatch()) pump(0.005);
+      emit(ep, shared, topo.root(), node.dispatch(send_buffer));
+      apply(node.on_tick(timer.seconds()));
+    }
+    for (Outgoing& o : node.end_of_stream())
+      emit(ep, shared, topo.root(), std::move(o));
+    // Phase B: keep the health monitor (and our transport) alive until every
+    // decoder thread has been joined — a decoder blocked on a dead peer is
+    // unblocked by a death notice that only this loop can produce. Exit only
+    // once every decoder is accounted for (finished or declared dead).
+    while (!shared.root_stop.load() || !node.all_reported()) pump(0.01);
+    shared.ep_stats[size_t(topo.root())] = ep.stats();
+  }
+};
+
+// --- Splitter host (Table 3, splitter) -------------------------------------
+
+struct SplitterHost {
+  net::Fabric& fabric;
+  Shared& shared;
+  proto::Topology topo;
+  int index;
+  net::ReliableEndpoint ep;
+  proto::SplitterNode node;
+  MacroblockSplitter splitter;
+
+  SplitterHost(net::Fabric* f, Shared* sh, const proto::Topology& tp, int s,
+               const net::ReliableConfig& rc, const wall::TileGeometry& geo,
+               const StreamInfo& info)
+      : fabric(*f),
+        shared(*sh),
+        topo(tp),
+        index(s),
+        ep(f, tp.splitter(s), rc),
+        node(tp, s),
+        splitter(geo) {
+    splitter.set_stream_info(info);
+  }
+
+  int self() const { return topo.splitter(index); }
+
+  void apply(proto::SplitterNode::Step step) {
+    for (int n : step.forget) ep.forget_peer(n);
+    for (Outgoing& o : step.send) emit(ep, shared, self(), std::move(o));
+  }
+
+  void handle(net::Message& m) {
+    if (m.bulk) fabric.post_receive(self());  // recycle the receive buffer
+    apply(node.on_message(m.src, decode_trusted(m), 0.0));
+  }
+
+  void pump(double timeout) {
+    net::Message m;
+    if (ep.recv(&m, timeout) == net::ReliableEndpoint::Status::kMessage)
+      handle(m);
+    for (const net::AbandonedSend& ab : ep.take_abandoned())
+      apply(node.on_send_failure(proto::SendFailure{
+          ab.dst, proto::MsgType(ab.type), ab.seq, ab.aux}));
+  }
+
+  void run() {
+    while (true) {
+      while (!node.has_picture() && !node.ended()) pump(0.02);
+      if (!node.has_picture()) break;
+      Outgoing go_ahead;
+      proto::PictureMsg pic = node.pop_picture(&go_ahead);
+      emit(ep, shared, self(), std::move(go_ahead));
+      const uint32_t i = pic.pic_index;
+
+      SplitResult result = splitter.split(pic.coded, i);
+
+      // ANID gating: wait for the previous picture's ack from every live
+      // decoder (redirection made them land here).
+      while (!node.prev_acked(i)) pump(0.02);
+
+      if (!result.status.ok()) {
+        // Undecodable headers: nobody can split or decode the picture.
+        apply({node.skip_picture(i), {}});
+        continue;
+      }
+      for (const proto::SplitterNode::SpRoute& rt : node.routes(i)) {
+        proto::SpMsg sp;
+        sp.pic_index = i;
+        sp.tile = uint16_t(rt.tile);
+        result.subpictures[size_t(rt.tile)].serialize(&sp.subpicture);
+        sp.mei = std::move(result.mei[size_t(rt.tile)]);
+        emit(ep, shared, self(),
+             Outgoing{rt.dst_node, true, proto::pack(sp)});
+      }
+    }
+
+    // Drain: ack decoders' final picture acks and absorb stragglers until
+    // the main thread shuts the fabric down.
+    while (true) {
+      net::Message m;
+      const auto st = ep.recv(&m, 0.02);
+      if (st == net::ReliableEndpoint::Status::kShutdown ||
+          st == net::ReliableEndpoint::Status::kDead)
+        break;
+      if (st == net::ReliableEndpoint::Status::kMessage) handle(m);
+      ep.take_abandoned();
+    }
+    shared.ep_stats[size_t(self())] = ep.stats();
+  }
+};
+
+// --- Decoder host (Table 3, decoder) ---------------------------------------
+
+struct DecoderHost {
+  net::Fabric& fabric;
+  Shared& shared;
+  const WallTimer& timer;
+  proto::Topology topo;
+  int home_tile;
+  const wall::TileGeometry& geo;
+  const StreamInfo& info;
+  const ClusterPipeline::TileDisplayFn& on_display;
+  std::mutex& display_mu;
+  double heartbeat_interval_s;
+  net::ReliableEndpoint ep;
+  proto::DecoderNode node;
+  std::map<int, std::unique_ptr<TileDecoder>> decs;  // by tile
+  std::map<int, SubPicture> subs;  // current picture's sub-picture, by tile
+  bool gone = false;  // killed (or fabric torn down) — exit silently
+
+  DecoderHost(net::Fabric* f, Shared* sh, const WallTimer* t,
+              const proto::Topology& tp, int tile,
+              const net::ReliableConfig& rc, const wall::TileGeometry& g,
+              const StreamInfo& si,
+              const ClusterPipeline::TileDisplayFn& display, std::mutex* dmu,
+              const proto::DecoderNode::Options& dopts)
+      : fabric(*f),
+        shared(*sh),
+        timer(*t),
+        topo(tp),
+        home_tile(tile),
+        geo(g),
+        info(si),
+        on_display(display),
+        display_mu(*dmu),
+        heartbeat_interval_s(dopts.heartbeat_interval_s),
+        ep(f, tp.decoder(tile), rc),
+        node(tp, tile, dopts) {}
+
+  int self() const { return topo.decoder(home_tile); }
+
+  TileDecoder::DisplayFn display_fn(int tile) {
+    return TileDecoder::DisplayFn(
+        [this, tile](const mpeg2::TileFrame& tf, const TileDisplayInfo& di) {
+          if (di.degraded)
+            shared.degraded.fetch_add(1, std::memory_order_relaxed);
+          if (!on_display) return;
+          std::lock_guard<std::mutex> lock(display_mu);
+          on_display(tile, tf, di);
+        });
+  }
+
+  TileDecoder& dec(int tile) {
+    auto& slot = decs[tile];
+    if (!slot)
+      slot = std::make_unique<TileDecoder>(geo, tile, info,
+                                           HaloPolicy::kConceal);
+    return *slot;
+  }
+
+  void apply(proto::DecoderNode::Step step) {
+    for (int n : step.forget) ep.forget_peer(n);
+    if (step.adopt_tile.has_value()) {
+      // Headroom for the adopted tile's second sub-picture stream.
+      fabric.post_receive(self());
+      fabric.post_receive(self());
+    }
+    for (Outgoing& o : step.send) emit(ep, shared, self(), std::move(o));
+  }
+
+  // Pump the transport once; returns false when this node is dead.
+  bool pump(double timeout) {
+    net::Message m;
+    switch (ep.recv(&m, timeout)) {
+      case net::ReliableEndpoint::Status::kDead:
+      case net::ReliableEndpoint::Status::kShutdown:
+        gone = true;
+        return false;
+      case net::ReliableEndpoint::Status::kTimeout:
+        break;
+      case net::ReliableEndpoint::Status::kMessage:
+        if (m.bulk) fabric.post_receive(self());  // recycle the buffer
+        apply(node.on_message(m.src, decode_trusted(m), timer.seconds()));
+        break;
+    }
+    ep.take_abandoned();
+    for (Outgoing& o : node.on_tick(timer.seconds()))
+      emit(ep, shared, self(), std::move(o));  // heartbeat when due
+    return true;
+  }
+
+  // Phase 1 for one tile: resolve the sub-picture and execute its MEI SENDs.
+  void serve(const proto::DecoderNode::OwnedTile& ot, uint32_t i) {
+    proto::DecoderNode::SpState st;
+    while ((st = node.poll_sp(ot.tile, i)) ==
+               proto::DecoderNode::SpState::kPending &&
+           pump(heartbeat_interval_s)) {
+    }
+    if (gone || st != proto::DecoderNode::SpState::kReady) return;
+    TileDecoder& d = dec(ot.tile);
+    const proto::SpMsg& sp = node.sp(ot.tile);
+    subs[ot.tile] = SubPicture::deserialize(sp.subpicture);
+    const PicInfo& pic_info = subs[ot.tile].info;
+
+    std::map<int, proto::ExchangeMsg> outgoing;  // by destination tile
+    for (const MeiInstruction& instr : sp.mei) {
+      if (instr.op == MeiOp::kSend) {
+        proto::ExchangeEntry e;
+        e.px = d.try_extract_for_send(pic_info, instr, &e.tainted);
+        e.instr = instr;
+        e.instr.op = MeiOp::kRecv;
+        e.instr.peer = uint16_t(ot.tile);
+        proto::ExchangeMsg& m = outgoing[int(instr.peer)];
+        if (m.entries.empty()) {
+          m.pic_index = i;
+          m.src_tile = uint16_t(ot.tile);
+          m.dst_tile = instr.peer;
+        }
+        m.entries.push_back(std::move(e));
+      } else if (instr.op == MeiOp::kConceal) {
+        // Damaged-slice macroblock: stage for the decode phase (the peer
+        // field carries fill bytes, not a tile).
+        d.stage_conceal(instr);
+      }
+    }
+    for (auto& [peer, m] : outgoing) {
+      const proto::DecoderNode::ExchangeRoute rt = node.route_exchange(peer, i);
+      switch (rt.kind) {
+        case proto::DecoderNode::ExchangeRoute::Kind::kDrop:
+          break;  // nobody serves that picture
+        case proto::DecoderNode::ExchangeRoute::Kind::kLocal:
+          // Tiles hosted on this very node exchange halos in memory.
+          for (const proto::DecoderNode::OwnedTile& ot2 : node.owned()) {
+            if (ot2.tile != peer || !node.tile_active(ot2, i)) continue;
+            TileDecoder& d2 = dec(ot2.tile);
+            for (const proto::ExchangeEntry& e : m.entries)
+              d2.add_halo_mb(e.instr, e.px, e.tainted);
+          }
+          break;
+        case proto::DecoderNode::ExchangeRoute::Kind::kRemote:
+          emit_exchange(ep, shared, self(), rt.dst_node, m);
+          break;
+      }
+    }
+  }
+
+  // Phase 2 for one tile: collect the halos it still expects, then decode.
+  void work(const proto::DecoderNode::OwnedTile& ot, uint32_t i) {
+    if (!node.have_sp(ot.tile)) {
+      if (node.skipped(ot.tile)) {
+        shared.skipped.fetch_add(1, std::memory_order_relaxed);
+        dec(ot.tile).skip_picture(i, display_fn(ot.tile));
+      }
+      return;
+    }
+    while (!node.halos_complete(ot.tile, i) && pump(heartbeat_interval_s)) {
+    }
+    if (gone) return;
+    for (const proto::ExchangeMsg& m : node.take_exchanges(ot.tile, i))
+      for (const proto::ExchangeEntry& e : m.entries)
+        dec(ot.tile).add_halo_mb(e.instr, e.px, e.tainted);
+    dec(ot.tile).decode(subs.at(ot.tile), display_fn(ot.tile));
+    if (ot.tile != home_tile && i == ot.active_from) {
+      // First adopted picture decoded: stamp the recovery latency.
+      std::lock_guard<std::mutex> lock(shared.mu);
+      for (RecoveryEvent& ev : shared.recoveries)
+        if (ev.dead_tile == ot.tile && ev.resync_time_s == 0)
+          ev.resync_time_s = timer.seconds();
+    }
+  }
+
+  void run(uint32_t total_pictures) {
+    for (uint32_t i = 0; i < total_pictures && !gone; ++i) {
+      // Phase 1 first for every owned tile, so no owned tile's decode can
+      // starve another tile hosted on this same node. Indexed loops:
+      // adoption may grow owned() mid-picture.
+      for (size_t x = 0; x < node.owned().size() && !gone; ++x) {
+        const proto::DecoderNode::OwnedTile ot = node.owned()[x];
+        if (node.tile_active(ot, i)) serve(ot, i);
+      }
+      if (gone) break;
+      for (size_t x = 0; x < node.owned().size() && !gone; ++x) {
+        const proto::DecoderNode::OwnedTile ot = node.owned()[x];
+        if (node.tile_active(ot, i)) work(ot, i);
+      }
+      if (gone) break;
+      // Buffer GC plus the ack to the splitter owning the NEXT picture
+      // (ANID redirection).
+      apply({node.finish_picture(i), {}, std::nullopt});
+    }
+
+    if (!gone) {
+      for (const proto::DecoderNode::OwnedTile& ot : node.owned())
+        if (decs.count(ot.tile)) dec(ot.tile).flush(display_fn(ot.tile));
+      apply({node.finished(), {}, std::nullopt});
+    }
+    shared.decoders_done.fetch_add(1, std::memory_order_release);
+    // Stay resident until fabric shutdown: retransmit our own unacked tail
+    // (last ack, finished notice, trailing exchanges) and keep t-acking
+    // peers' retransmissions — a peer whose ack to us was lost would
+    // otherwise retry into a dead mailbox and falsely abandon.
+    while (!gone) {
+      net::Message m;
+      const auto st = ep.recv(&m, 0.02);
+      if (st == net::ReliableEndpoint::Status::kDead ||
+          st == net::ReliableEndpoint::Status::kShutdown)
+        break;
+      ep.take_abandoned();
+      // Keep heartbeating until the finished notice is acked (the root
+      // received it and exempted us from monitoring); then fall silent so
+      // the fabric can reach quiescence for an orderly teardown.
+      if (ep.unacked() > 0)
+        for (Outgoing& o : node.on_tick(timer.seconds()))
+          emit(ep, shared, self(), std::move(o));
+    }
+    shared.ep_stats[size_t(self())] = ep.stats();
+  }
 };
 
 }  // namespace
 
 ClusterPipeline::ClusterPipeline(const wall::TileGeometry& geo, int k,
                                  std::span<const uint8_t> es, FtOptions ft)
-    : geo_(geo), k_(k), es_(es), ft_(std::move(ft)) {
+    : geo_(geo), k_(k), topo_{k, geo.tiles()}, es_(es), ft_(std::move(ft)) {
   PDW_CHECK_GE(k, 1);
 }
 
@@ -158,6 +481,8 @@ ClusterStats ClusterPipeline::run(const TileDisplayFn& on_display) {
   std::mutex display_mu;
   Shared shared;
   shared.ep_stats.resize(size_t(nodes()));
+  shared.acct.reset(nodes());
+  if (ft_.per_picture_exchange) shared.acct.per_picture_tiles = tiles;
 
   WallTimer timer;
 
@@ -172,569 +497,37 @@ ClusterStats ClusterPipeline::run(const TileDisplayFn& on_display) {
     fabric.post_receive(decoder_node(t));
   }
 
-  // --- Root splitter thread (Table 3, root) + health monitor ---------------
+  std::vector<proto::PictureMeta> metas(static_cast<size_t>(total_pictures));
+  for (int i = 0; i < total_pictures; ++i)
+    metas[size_t(i)].has_gop_header = root.span(i).has_gop_header;
+
   std::thread root_thread([&] {
-    net::ReliableEndpoint ep(&fabric, root_node(), cfg.reliable);
-    std::vector<double> last_hb(size_t(tiles), timer.seconds());
-    std::set<int> dead_nodes, finished_nodes;
-    std::vector<int> owner(size_t(tiles), -1);  // tile -> node now serving it
-    for (int t = 0; t < tiles; ++t) owner[size_t(t)] = decoder_node(t);
-    int64_t acks_seen = 0;  // go-aheads from splitters
-    int cursor = 0;         // next picture index to dispatch
-
-    const auto declare_dead = [&](int node) {
-      if (dead_nodes.count(node)) return;
-      dead_nodes.insert(node);
-      fabric.kill(node);  // fence: nothing more in or out of the corpse
-      ep.forget_peer(node);
-      // Resynchronization point: the first closed-GOP I picture the root has
-      // not yet dispatched. Every GOP starts with an I, and GOPs are closed,
-      // so decoding restarted there is bit-exact from that display slot on.
-      uint32_t resync = uint32_t(total_pictures);
-      for (int j = cursor; j < total_pictures; ++j) {
-        if (root.span(j).has_gop_header) {
-          resync = uint32_t(j);
-          break;
-        }
-      }
-      for (int t = 0; t < tiles; ++t) {
-        if (owner[size_t(t)] != node) continue;
-        int adopter_tile = -1;
-        if (ft_.recovery == RecoveryPolicy::kAdopt) {
-          for (int t2 = 0; t2 < tiles; ++t2) {
-            if (owner[size_t(t2)] != node && !dead_nodes.count(owner[size_t(t2)])) {
-              adopter_tile = t2;
-              break;
-            }
-          }
-        }
-        {
-          std::lock_guard<std::mutex> lock(shared.mu);
-          shared.recoveries.push_back(RecoveryEvent{
-              timer.seconds(), t, adopter_tile, resync, 0});
-        }
-        owner[size_t(t)] = adopter_tile >= 0 ? owner[size_t(adopter_tile)] : -1;
-        net::Message dm;
-        dm.type = kNodeDeadMsg;
-        dm.seq = resync;
-        dm.aux = uint16_t(t);
-        ByteWriter w(&dm.payload);
-        w.u16(adopter_tile >= 0 ? uint16_t(adopter_tile) : kNoTile);
-        for (int s = 0; s < k_; ++s) ep.send(splitter_node(s), dm);
-        for (int t2 = 0; t2 < tiles; ++t2) {
-          const int n2 = decoder_node(t2);
-          if (!dead_nodes.count(n2)) ep.send(n2, dm);
-        }
-      }
-    };
-
-    const auto monitor = [&] {
-      const double now = timer.seconds();
-      for (int t = 0; t < tiles; ++t) {
-        const int node = decoder_node(t);
-        if (dead_nodes.count(node) || finished_nodes.count(node)) continue;
-        if (now - last_hb[size_t(t)] > cfg.heartbeat_timeout_s)
-          declare_dead(node);
-      }
-    };
-
-    const auto pump = [&](double timeout) {
-      net::Message m;
-      if (ep.recv(&m, timeout) == net::ReliableEndpoint::Status::kMessage) {
-        switch (m.type) {
-          case kAckMsg:
-            ++acks_seen;
-            break;
-          case kHeartbeatMsg:
-            last_hb[size_t(m.src - (1 + k_))] = timer.seconds();
-            break;
-          case kFinishedMsg:
-            finished_nodes.insert(m.src);
-            break;
-          default:
-            break;
-        }
-      }
-      ep.take_abandoned();  // sends to nodes that died mid-broadcast
-      monitor();
-    };
-
-    std::vector<uint8_t> send_buffer;
-    int a = 0;
-    for (int i = 0; i < total_pictures; ++i) {
-      cursor = i;
-      const auto span = root.picture(i);
-      send_buffer.assign(span.begin(), span.end());  // "Copy P to send buffer"
-      while (acks_seen < i) pump(0.005);
-      net::Message msg;
-      msg.type = kPictureMsg;
-      msg.seq = uint32_t(i);
-      msg.aux = uint16_t((a + 1) % k_);  // NSID
-      msg.bulk = true;
-      msg.payload = send_buffer;
-      ep.send(splitter_node(a), std::move(msg));
-      monitor();
-      a = (a + 1) % k_;
-    }
-    cursor = total_pictures;
-    for (int s = 0; s < k_; ++s) {
-      net::Message end;
-      end.type = kEndMsg;
-      ep.send(splitter_node(s), std::move(end));
-    }
-    // Phase B: keep the health monitor (and our transport) alive until every
-    // decoder thread has been joined — a decoder blocked on a dead peer is
-    // unblocked by a death notice that only this loop can produce. Exit only
-    // once every decoder is accounted for (finished or declared dead):
-    // leaving earlier would strand a decoder retransmitting its finished
-    // notice at a mailbox nobody reads.
-    const auto all_reported = [&] {
-      for (int t = 0; t < tiles; ++t) {
-        const int n = decoder_node(t);
-        if (!dead_nodes.count(n) && !finished_nodes.count(n)) return false;
-      }
-      return true;
-    };
-    while (!shared.root_stop.load() || !all_reported()) pump(0.01);
-    shared.ep_stats[size_t(root_node())] = ep.stats();
+    proto::RootNode::Options ro;
+    ro.heartbeat_timeout_s = cfg.heartbeat_timeout_s;
+    ro.recovery = ft_.recovery;
+    RootHost host(&fabric, &shared, &timer, &root, topo_, cfg.reliable, ro,
+                  std::move(metas));
+    host.run();
   });
 
-  // --- Second-level splitter threads (Table 3, splitter) -------------------
   std::vector<std::thread> splitter_threads;
   for (int s = 0; s < k_; ++s) {
     splitter_threads.emplace_back([&, s] {
-      MacroblockSplitter splitter(geo_);
-      splitter.set_stream_info(root.stream_info());
-      const int self = splitter_node(s);
-      net::ReliableEndpoint ep(&fabric, self, cfg.reliable);
-
-      std::deque<net::Message> pictures;
-      std::map<uint32_t, std::set<int>> acked;  // picture -> decoder nodes
-      std::set<int> live;
-      struct Route {
-        int node = -1;
-        uint32_t valid_from = 0;  // only send pictures >= this index
-      };
-      std::vector<Route> route(size_t(tiles), Route{});
-      for (int t = 0; t < tiles; ++t) {
-        live.insert(decoder_node(t));
-        route[size_t(t)] = Route{decoder_node(t), 0};
-      }
-      bool ended = false;
-
-      const auto handle = [&](net::Message& m) {
-        switch (m.type) {
-          case kPictureMsg:
-            fabric.post_receive(self);  // recycle the receive buffer
-            pictures.push_back(std::move(m));
-            break;
-          case kAckMsg:
-            acked[m.seq].insert(m.src);
-            break;
-          case kNodeDeadMsg: {
-            const int dead_tile = m.aux;
-            ByteReader r(m.payload);
-            const uint16_t adopter_tile = r.u16();
-            const int dead_node = route[size_t(dead_tile)].node;
-            live.erase(dead_node);
-            ep.forget_peer(dead_node);
-            route[size_t(dead_tile)] = Route{
-                adopter_tile == kNoTile ? -1
-                                        : route[size_t(adopter_tile)].node,
-                m.seq};
-            break;
-          }
-          case kEndMsg:
-            ended = true;
-            break;
-          default:
-            break;
-        }
-      };
-
-      const auto pump = [&](double timeout) {
-        net::Message m;
-        if (ep.recv(&m, timeout) == net::ReliableEndpoint::Status::kMessage)
-          handle(m);
-        // A sub-picture we gave up delivering is a lost picture for that
-        // tile: tell every live decoder (the owner skips it; its neighbours
-        // conceal the halo data it would have sent them). A skip notice that
-        // is itself abandoned is resent to that one node — it is tiny and
-        // must eventually land, or the pipeline deadlocks waiting for a
-        // picture nobody will serve; if the node is truly dead the death
-        // notice removes it from `live` and ends the retrying.
-        for (const net::AbandonedSend& ab : ep.take_abandoned()) {
-          if (!live.count(ab.dst)) continue;
-          net::Message skip;
-          skip.type = kSkipMsg;
-          skip.seq = ab.seq;
-          skip.aux = ab.aux;  // tile
-          if (ab.type == kSubPictureMsg) {
-            for (int node : live) ep.send(node, skip);
-          } else if (ab.type == kSkipMsg) {
-            ep.send(ab.dst, std::move(skip));
-          }
-        }
-      };
-
-      while (true) {
-        while (pictures.empty() && !ended) pump(0.02);
-        if (pictures.empty()) break;
-        net::Message msg = std::move(pictures.front());
-        pictures.pop_front();
-
-        net::Message go_ahead;
-        go_ahead.type = kAckMsg;
-        go_ahead.seq = msg.seq;
-        ep.send(root_node(), std::move(go_ahead));
-
-        const uint32_t i = msg.seq;
-        SplitResult result = splitter.split(msg.payload, i);
-
-        // Wait for the previous picture's ack from every *live* decoder
-        // node (ANID redirection made them land here). Set semantics keep
-        // this correct through deaths and adoptions: a node that dies
-        // mid-wait is removed from `live` by the death notice.
-        if (i != 0) {
-          const auto satisfied = [&] {
-            const auto it = acked.find(i - 1);
-            for (int node : live)
-              if (it == acked.end() || !it->second.count(node)) return false;
-            return true;
-          };
-          while (!satisfied()) pump(0.02);
-          acked.erase(acked.begin(), acked.upper_bound(i - 1));
-        }
-
-        if (!result.status.ok()) {
-          // The picture's headers are undecodable: nobody can split or
-          // decode it. Broadcast a skip notice for every tile — the same
-          // machinery that covers a lost sub-picture — so owners emit their
-          // frozen frame and neighbours stop waiting for halo data.
-          for (int d = 0; d < tiles; ++d) {
-            net::Message skip;
-            skip.type = kSkipMsg;
-            skip.seq = i;
-            skip.aux = uint16_t(d);
-            for (int node : live) ep.send(node, skip);
-          }
-          continue;
-        }
-
-        for (int d = 0; d < tiles; ++d) {
-          const Route& rt = route[size_t(d)];
-          if (rt.node < 0 || i < rt.valid_from) continue;
-          net::Message sp_msg;
-          sp_msg.type = kSubPictureMsg;
-          sp_msg.seq = i;
-          sp_msg.aux = uint16_t(d);
-          sp_msg.bulk = true;
-          serialize_sp_msg(result.subpictures[size_t(d)],
-                           result.mei[size_t(d)], &sp_msg.payload);
-          ep.send(rt.node, std::move(sp_msg));
-        }
-      }
-
-      // Drain: ack decoders' final picture acks and absorb stragglers until
-      // the main thread shuts the fabric down.
-      while (true) {
-        net::Message m;
-        const auto st = ep.recv(&m, 0.02);
-        if (st == net::ReliableEndpoint::Status::kShutdown ||
-            st == net::ReliableEndpoint::Status::kDead)
-          break;
-        if (st == net::ReliableEndpoint::Status::kMessage) handle(m);
-        ep.take_abandoned();
-      }
-      shared.ep_stats[size_t(self)] = ep.stats();
+      SplitterHost host(&fabric, &shared, topo_, s, cfg.reliable, geo_,
+                        root.stream_info());
+      host.run();
     });
   }
 
-  // --- Decoder threads (Table 3, decoder) ----------------------------------
   std::vector<std::thread> decoder_threads;
   for (int t = 0; t < tiles; ++t) {
     decoder_threads.emplace_back([&, t] {
-      const int self = decoder_node(t);
-      net::ReliableEndpoint ep(&fabric, self, cfg.reliable);
-
-      struct TileState {
-        int tile;
-        uint32_t active_from;
-        std::unique_ptr<TileDecoder> dec;
-        // Per-picture scratch:
-        bool have_sp = false;
-        bool skip = false;
-        SubPicture sp;
-        std::vector<MeiInstruction> mei;
-        std::unordered_set<int> expected;  // source tiles with SENDs for us
-      };
-      std::vector<TileState> owned;
-      owned.reserve(size_t(tiles));  // references must survive adoption
-      owned.push_back(TileState{t, 0});
-
-      std::map<uint64_t, net::Message> sps;  // tkey(tile, seq)
-      std::map<uint64_t, std::map<int, net::Message>> exchanges;
-      std::set<uint64_t> skips;
-      std::unordered_map<int, DeadTileInfo> dead_tiles;
-      std::vector<int> owner(size_t(tiles), -1);
-      for (int d = 0; d < tiles; ++d) owner[size_t(d)] = decoder_node(d);
-      double last_hb = -1e9;
-      bool gone = false;  // killed (or fabric torn down) — exit silently
-
-      const auto display_fn = [&](int tile) {
-        return TileDecoder::DisplayFn(
-            [&, tile](const mpeg2::TileFrame& tf, const TileDisplayInfo& info) {
-              if (info.degraded)
-                shared.degraded.fetch_add(1, std::memory_order_relaxed);
-              if (!on_display) return;
-              std::lock_guard<std::mutex> lock(display_mu);
-              on_display(tile, tf, info);
-            });
-      };
-
-      const auto ensure_dec = [&](TileState& ts) {
-        if (!ts.dec)
-          ts.dec = std::make_unique<TileDecoder>(
-              geo_, ts.tile, root.stream_info(), HaloPolicy::kConceal);
-      };
-
-      const auto heartbeat = [&] {
-        const double now = timer.seconds();
-        if (now - last_hb < cfg.heartbeat_interval_s) return;
-        last_hb = now;
-        net::Message hb;
-        hb.type = kHeartbeatMsg;
-        ep.send_unreliable(root_node(), hb);
-      };
-
-      const auto process_death = [&](const net::Message& m) {
-        const int dead_tile = m.aux;
-        ByteReader r(m.payload);
-        const uint16_t adopter_tile = r.u16();
-        const uint32_t resync = m.seq;
-        dead_tiles[dead_tile] = DeadTileInfo{
-            resync, adopter_tile == kNoTile ? -1 : int(adopter_tile)};
-        const int dead_node = owner[size_t(dead_tile)];
-        owner[size_t(dead_tile)] =
-            adopter_tile == kNoTile ? -1 : owner[size_t(adopter_tile)];
-        if (dead_node >= 0) ep.forget_peer(dead_node);
-        if (adopter_tile == kNoTile || resync >= uint32_t(total_pictures))
-          return;
-        bool mine = false, already = false;
-        for (const TileState& ts : owned) {
-          mine |= ts.tile == int(adopter_tile);
-          already |= ts.tile == dead_tile;
-        }
-        if (mine && !already) {
-          owned.push_back(TileState{dead_tile, resync});
-          // Headroom for the second sub-picture stream.
-          fabric.post_receive(self);
-          fabric.post_receive(self);
-        }
-      };
-
-      // Pump the transport once; returns false when this node is dead.
-      const auto pump = [&](double timeout) {
-        net::Message m;
-        switch (ep.recv(&m, timeout)) {
-          case net::ReliableEndpoint::Status::kDead:
-          case net::ReliableEndpoint::Status::kShutdown:
-            gone = true;
-            return false;
-          case net::ReliableEndpoint::Status::kTimeout:
-            break;
-          case net::ReliableEndpoint::Status::kMessage:
-            switch (m.type) {
-              case kSubPictureMsg:
-                fabric.post_receive(self);  // recycle the receive buffer
-                sps[tkey(m.aux, m.seq)] = std::move(m);
-                break;
-              case kExchangeMsg:
-                exchanges[tkey(peek_exchange_dst(m.payload), m.seq)]
-                         [int(m.aux)] = std::move(m);
-                break;
-              case kSkipMsg:
-                skips.insert(tkey(m.aux, m.seq));
-                break;
-              case kNodeDeadMsg:
-                process_death(m);
-                break;
-              default:
-                break;
-            }
-            break;
-        }
-        ep.take_abandoned();
-        heartbeat();
-        return true;
-      };
-
-      // Where to send halo data for `tile` at picture i (-1: nobody serves
-      // that picture — the tile is dead and i precedes its resync point).
-      const auto exchange_dst = [&](int tile, uint32_t i) {
-        const auto it = dead_tiles.find(tile);
-        if (it != dead_tiles.end()) {
-          if (it->second.adopter_tile < 0 || i < it->second.resync) return -1;
-        }
-        return owner[size_t(tile)];
-      };
-
-      for (uint32_t i = 0; i < uint32_t(total_pictures) && !gone; ++i) {
-        // Phase 1: obtain this picture's sub-picture for every active tile
-        // and execute its MEI SENDs, so no owned tile's decode can starve
-        // another tile hosted on this same node.
-        for (size_t x = 0; x < owned.size(); ++x) {
-          TileState& ts = owned[x];
-          ts.have_sp = ts.skip = false;
-          ts.expected.clear();
-          if (ts.active_from > i) continue;
-          const uint64_t key = tkey(ts.tile, i);
-          while (!gone) {
-            if (const auto it = sps.find(key); it != sps.end()) {
-              deserialize_sp_msg(it->second.payload, &ts.sp, &ts.mei);
-              sps.erase(it);
-              ts.have_sp = true;
-              break;
-            }
-            if (skips.count(key)) {
-              ts.skip = true;
-              break;
-            }
-            if (!pump(cfg.heartbeat_interval_s)) break;
-          }
-          if (gone || ts.skip) continue;
-          ensure_dec(ts);
-
-          std::map<int, std::vector<ExchangeEntry>> outgoing;
-          for (const MeiInstruction& instr : ts.mei) {
-            if (instr.op == MeiOp::kSend) {
-              ExchangeEntry e;
-              e.instr = instr;
-              e.px = ts.dec->try_extract_for_send(ts.sp.info, instr,
-                                                  &e.tainted);
-              outgoing[int(instr.peer)].push_back(e);
-            } else if (instr.op == MeiOp::kRecv) {
-              ts.expected.insert(int(instr.peer));
-            } else if (instr.op == MeiOp::kConceal) {
-              // Damaged-slice macroblock: stage for the decode phase (the
-              // peer field carries fill bytes, not a tile).
-              ts.dec->stage_conceal(instr);
-            }
-          }
-          // Tiles hosted on this very node exchange halos in memory.
-          for (const TileState& ts2 : owned)
-            if (ts2.active_from <= i) ts.expected.erase(ts2.tile);
-
-          for (auto& [peer, entries] : outgoing) {
-            const int dst_node = exchange_dst(peer, i);
-            if (dst_node < 0) continue;
-            if (dst_node == self) {
-              for (TileState& ts2 : owned) {
-                if (ts2.tile != peer || ts2.active_from > i) continue;
-                ensure_dec(ts2);
-                for (const ExchangeEntry& e : entries)
-                  ts2.dec->add_halo_mb(e.instr, e.px, e.tainted);
-              }
-              continue;
-            }
-            net::Message ex;
-            ex.type = kExchangeMsg;
-            ex.seq = i;
-            ex.aux = uint16_t(ts.tile);
-            serialize_exchange(peer, entries, &ex.payload);
-            ep.send(dst_node, std::move(ex));
-          }
-        }
-        if (gone) break;
-
-        // Phase 2: collect the halos each tile still expects, then decode.
-        for (size_t x = 0; x < owned.size(); ++x) {
-          TileState& ts = owned[x];
-          if (ts.active_from > i) continue;
-          if (!ts.have_sp) {
-            if (ts.skip) {
-              shared.skipped.fetch_add(1, std::memory_order_relaxed);
-              ensure_dec(ts);
-              ts.dec->skip_picture(i, display_fn(ts.tile));
-            }
-            continue;
-          }
-          const uint64_t key = tkey(ts.tile, i);
-          const auto serviceable = [&](int src_tile) {
-            if (skips.count(tkey(src_tile, i))) return false;
-            const auto it = dead_tiles.find(src_tile);
-            if (it == dead_tiles.end()) return true;
-            if (it->second.adopter_tile < 0) return false;
-            return i >= it->second.resync;
-          };
-          while (!gone) {
-            bool complete = true;
-            const auto& got = exchanges[key];
-            for (int src : ts.expected) {
-              if (!got.count(src) && serviceable(src)) {
-                complete = false;
-                break;
-              }
-            }
-            if (complete) break;
-            if (!pump(cfg.heartbeat_interval_s)) break;
-          }
-          if (gone) break;
-          for (auto& [src, m] : exchanges[key]) {
-            int dst_tile = -1;
-            for (const ExchangeEntry& e :
-                 deserialize_exchange(m.payload, &dst_tile))
-              ts.dec->add_halo_mb(e.instr, e.px, e.tainted);
-            PDW_CHECK_EQ(dst_tile, ts.tile);
-          }
-          ts.dec->decode(ts.sp, display_fn(ts.tile));
-          if (ts.tile != t && i == ts.active_from) {
-            // First adopted picture decoded: stamp the recovery latency.
-            std::lock_guard<std::mutex> lock(shared.mu);
-            for (RecoveryEvent& ev : shared.recoveries)
-              if (ev.dead_tile == ts.tile && ev.resync_time_s == 0)
-                ev.resync_time_s = timer.seconds();
-          }
-        }
-        if (gone) break;
-
-        sps.erase(sps.begin(), sps.lower_bound(tkey(0, i + 1)));
-        exchanges.erase(exchanges.begin(),
-                        exchanges.lower_bound(tkey(0, i + 1)));
-        skips.erase(skips.begin(), skips.lower_bound(tkey(0, i + 1)));
-
-        // Ack the splitter that owns the NEXT picture (ANID redirection).
-        net::Message ack;
-        ack.type = kAckMsg;
-        ack.seq = i;
-        ep.send(splitter_node(int((i + 1) % uint32_t(k_))), std::move(ack));
-      }
-
-      if (!gone) {
-        for (TileState& ts : owned)
-          if (ts.dec) ts.dec->flush(display_fn(ts.tile));
-        net::Message fin;
-        fin.type = kFinishedMsg;
-        ep.send(root_node(), std::move(fin));
-      }
-      shared.decoders_done.fetch_add(1, std::memory_order_release);
-      // Stay resident until fabric shutdown: retransmit our own unacked
-      // tail (last ack, finished notice, trailing exchanges) and keep
-      // t-acking peers' retransmissions — a peer whose ack to us was lost
-      // would otherwise retry into a dead mailbox and falsely abandon.
-      while (!gone) {
-        net::Message m;
-        const auto st = ep.recv(&m, 0.02);
-        if (st == net::ReliableEndpoint::Status::kDead ||
-            st == net::ReliableEndpoint::Status::kShutdown)
-          break;
-        ep.take_abandoned();
-        // Keep heartbeating until the finished notice is acked (the root
-        // received it and exempted us from monitoring); then fall silent so
-        // the fabric can reach quiescence for an orderly teardown.
-        if (ep.unacked() > 0) heartbeat();
-      }
-      shared.ep_stats[size_t(self)] = ep.stats();
+      proto::DecoderNode::Options dopts;
+      dopts.heartbeat_interval_s = cfg.heartbeat_interval_s;
+      dopts.total_pictures = uint32_t(total_pictures);
+      DecoderHost host(&fabric, &shared, &timer, topo_, t, cfg.reliable, geo_,
+                       root.stream_info(), on_display, &display_mu, dopts);
+      host.run(uint32_t(total_pictures));
     });
   }
 
@@ -773,6 +566,10 @@ ClusterStats ClusterPipeline::run(const TileDisplayFn& on_display) {
   {
     std::lock_guard<std::mutex> lock(shared.mu);
     stats.ft.recoveries = shared.recoveries;
+  }
+  {
+    std::lock_guard<std::mutex> lock(shared.acct_mu);
+    stats.wire = std::move(shared.acct);
   }
   return stats;
 }

@@ -2,29 +2,27 @@
 // running on real concurrent nodes over the GM-like fabric, hardened for
 // fault tolerance.
 //
-// Node layout: node 0 is the root splitter (console PC), nodes 1..k the
-// second-level splitters, nodes k+1..k+m*n the tile decoders. The protocol:
+// Every protocol decision — round-robin dispatch and NSID stamping, ANID
+// ack redirection, one-picture-ahead go-ahead gating, heartbeat monitoring,
+// death detection, resynchronization-picture selection, adopt-vs-degrade
+// rerouting, skip broadcasts — lives in the proto/ node state machines
+// (proto/nodes.h). This file only *hosts* them: one thread per node pumps a
+// net::ReliableEndpoint, decodes incoming wire messages, feeds them to its
+// state machine and transmits whatever the machine returns, running the
+// actual compute (splitting, pixel extraction, tile decoding) when the
+// machine says the inputs are complete. The lockstep reference and the
+// discrete-event simulator drive the very same machines, which keeps the
+// three engines protocol-identical by construction.
+//
+// Transport properties (net/):
 //   * two posted receive buffers per bulk receiver, recycled on receipt;
 //   * every application message rides net::ReliableEndpoint — per-link
 //     sequence numbers + CRC framing, ack/retransmit with capped exponential
 //     backoff, duplicate suppression and in-order delivery — so a lossy,
 //     reordering, corrupting fabric still presents each node with the
 //     fault-free message sequence and the decoded wall stays bit-exact;
-//   * picture ordering via ack redirection (the paper's ANID): a decoder
-//     acks not the sender of a sub-picture but the splitter responsible for
-//     the *next* picture, which therefore cannot send until every live
-//     decoder consumed the current one;
-//   * go-ahead acks gate the root to one picture ahead of the splitters
-//     (NSID tells each splitter who owns the next picture);
-//   * decoders heartbeat the root (fire-and-forget); the root's health
-//     monitor declares a decoder dead after heartbeat_timeout_s of silence,
-//     fences it off (Fabric::kill) and broadcasts a death notice carrying
-//     the *resynchronization picture*: the first closed-GOP I picture the
-//     root has not yet dispatched. Splitters reroute the dead tile's
-//     sub-pictures to the adopter from that picture on (RecoveryPolicy::
-//     kAdopt) or drop them (kDegrade); peers conceal the dead tile's halo
-//     contributions before it. Because GOPs are closed, everything from the
-//     resync picture's display slot onward is bit-exact again.
+//   * a node the root declares dead is fenced off (Fabric::kill) and dropped
+//     from every endpoint's retransmit queues (forget_peer).
 //
 // On this host the threads share one core, so this pipeline demonstrates
 // correctness and protocol liveness; scalability numbers come from the
@@ -32,10 +30,13 @@
 #pragma once
 
 #include <functional>
+#include <span>
 
+#include "common/traffic_matrix.h"
 #include "core/tile_decoder.h"
 #include "net/fabric.h"
 #include "net/reliable.h"
+#include "proto/nodes.h"
 #include "wall/geometry.h"
 
 namespace pdw::core {
@@ -61,7 +62,11 @@ struct ClusterStats {
   double wall_seconds = 0;
   double fps = 0;
   std::vector<net::NodeCounters> node_counters;  // by node id
-  std::vector<uint64_t> traffic_matrix;          // bytes[src * nodes + dst]
+  // Transport-level bytes (includes retransmits and transport acks).
+  TrafficMatrix traffic_matrix;
+  // Protocol-level emissions (heartbeats and retransmits excluded) —
+  // directly comparable with LockstepPipeline::accounting().
+  proto::WireAccounting wire;
   int nodes = 0;
   FtStats ft;
 };
@@ -75,12 +80,17 @@ struct ProtocolConfig {
   double heartbeat_timeout_s = 1e9;
 };
 
-enum class RecoveryPolicy { kAdopt, kDegrade };
+// The policy enum lives with the rest of the protocol; core keeps the
+// spelling for existing callers.
+using RecoveryPolicy = proto::RecoveryPolicy;
 
 struct FtOptions {
   ProtocolConfig protocol;
   const net::FaultInjector* injector = nullptr;  // borrowed; may be null
   RecoveryPolicy recovery = RecoveryPolicy::kAdopt;
+  // Also record per-picture tile x tile exchange matrices in stats.wire
+  // (test_parallel_equivalence compares them against the lockstep traces).
+  bool per_picture_exchange = false;
 };
 
 class ClusterPipeline {
@@ -94,14 +104,15 @@ class ClusterPipeline {
 
   ClusterStats run(const TileDisplayFn& on_display);
 
-  int nodes() const { return 1 + k_ + geo_.tiles(); }
-  int root_node() const { return 0; }
-  int splitter_node(int s) const { return 1 + s; }
-  int decoder_node(int t) const { return 1 + k_ + t; }
+  int nodes() const { return topo_.nodes(); }
+  int root_node() const { return topo_.root(); }
+  int splitter_node(int s) const { return topo_.splitter(s); }
+  int decoder_node(int t) const { return topo_.decoder(t); }
 
  private:
   const wall::TileGeometry& geo_;
   int k_;
+  proto::Topology topo_;
   std::span<const uint8_t> es_;
   FtOptions ft_;
 };

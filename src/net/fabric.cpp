@@ -9,7 +9,7 @@ Fabric::Fabric(int nodes) {
   mailboxes_.reserve(size_t(nodes));
   for (int i = 0; i < nodes; ++i)
     mailboxes_.push_back(std::make_unique<Mailbox>());
-  traffic_.assign(size_t(nodes) * nodes, 0);
+  traffic_.reset(nodes);
   link_ordinal_.assign(size_t(nodes) * nodes, 0);
 }
 
@@ -60,7 +60,7 @@ SendStatus Fabric::send(int src, int dst, Message msg) {
   uint64_t link_ordinal;
   {
     std::lock_guard<std::mutex> lock(traffic_mu_);
-    traffic_[size_t(src) * size_t(nodes()) + size_t(dst)] += bytes;
+    traffic_.add(src, dst, bytes);
     link_ordinal = link_ordinal_[size_t(src) * size_t(nodes()) + size_t(dst)]++;
   }
 
@@ -100,7 +100,7 @@ SendStatus Fabric::send(int src, int dst, Message msg) {
       }
       {
         std::lock_guard<std::mutex> tl(traffic_mu_);
-        traffic_[size_t(src) * size_t(nodes()) + size_t(dst)] -= bytes;
+        traffic_.at(src, dst) -= bytes;
       }
       return SendStatus::kNoCredit;
     }
@@ -186,7 +186,7 @@ NodeCounters Fabric::counters(int node) const {
   return mb.counters;
 }
 
-std::vector<uint64_t> Fabric::traffic_matrix() const {
+TrafficMatrix Fabric::traffic_matrix() const {
   std::lock_guard<std::mutex> lock(traffic_mu_);
   return traffic_;
 }

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/traffic_matrix.h"
 #include "net/fault.h"
 
 namespace pdw::net {
@@ -107,10 +108,9 @@ class Fabric {
   void kill(int node);
   bool is_dead(int node) const;
 
-  // Per-node traffic counters and the pairwise traffic matrix
-  // (bytes[src * nodes + dst]).
+  // Per-node traffic counters and the pairwise traffic matrix.
   NodeCounters counters(int node) const;
-  std::vector<uint64_t> traffic_matrix() const;
+  TrafficMatrix traffic_matrix() const;
 
   // True when no live node has queued or fault-delayed messages — i.e. every
   // sent message has been consumed. Lets an orderly teardown wait for the
@@ -149,7 +149,7 @@ class Fabric {
   static bool enqueue(Mailbox& mb, Message msg);
 
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
-  std::vector<uint64_t> traffic_;       // src * nodes + dst
+  TrafficMatrix traffic_;
   std::vector<uint64_t> link_ordinal_;  // per-link send counter
   mutable std::mutex traffic_mu_;
   std::atomic<bool> shutdown_{false};

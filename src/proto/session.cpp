@@ -1,0 +1,318 @@
+#include "proto/session.h"
+
+#include <map>
+#include <utility>
+
+#include "common/check.h"
+#include "common/timing.h"
+#include "core/mei.h"
+#include "core/subpicture.h"
+
+namespace pdw::proto {
+
+// One decoder node plus the tile decoders it hosts (one per owned tile;
+// serial streams never adopt, so in practice exactly the home tile).
+struct SerialStream::DecoderHost {
+  DecoderNode node;
+  std::map<int, std::unique_ptr<core::TileDecoder>> decs;
+
+  DecoderHost(const Topology& topo, int tile, const DecoderNode::Options& o)
+      : node(topo, tile, o) {}
+
+  core::TileDecoder& dec(int tile, const wall::TileGeometry& geo,
+                         const core::StreamInfo& info) {
+    auto& slot = decs[tile];
+    if (!slot) slot = std::make_unique<core::TileDecoder>(geo, tile, info);
+    return *slot;
+  }
+};
+
+SerialStream::SerialStream(const wall::TileGeometry& geo, int k,
+                           std::span<const uint8_t> es, uint8_t stream_id)
+    : geo_(geo),
+      topo_{k, geo.tiles()},
+      stream_id_(stream_id),
+      root_(es) {
+  PDW_CHECK_GE(k, 1);
+  for (int s = 0; s < k; ++s) {
+    splitters_.push_back(std::make_unique<core::MacroblockSplitter>(geo));
+    splitters_.back()->set_stream_info(root_.stream_info());
+    splitter_nodes_.push_back(
+        std::make_unique<SplitterNode>(topo_, s, stream_id));
+  }
+  DecoderNode::Options dopts;
+  dopts.total_pictures = uint32_t(root_.picture_count());
+  dopts.stream = stream_id;
+  for (int t = 0; t < topo_.tiles; ++t)
+    decoders_.push_back(std::make_unique<DecoderHost>(topo_, t, dopts));
+
+  std::vector<PictureMeta> metas(size_t(root_.picture_count()));
+  for (int i = 0; i < root_.picture_count(); ++i)
+    metas[size_t(i)].has_gop_header = root_.span(i).has_gop_header;
+  RootNode::Options ropts;
+  ropts.stream = stream_id;
+  root_node_ =
+      std::make_unique<RootNode>(topo_, ropts, std::move(metas), /*now=*/0.0);
+
+  acct_.reset(topo_.nodes());
+  acct_.per_picture_tiles = topo_.tiles;
+}
+
+SerialStream::~SerialStream() = default;
+
+int SerialStream::picture_count() const { return root_.picture_count(); }
+
+void SerialStream::deliver(int src, const Outgoing& o) {
+  acct_.record(src, o.dst, o.msg.type, o.msg.body.size());
+  std::optional<AnyMsg> msg = decode_any(o.msg.body);
+  PDW_CHECK(msg.has_value());  // we packed it ourselves
+  dispatch(src, o.dst, std::move(*msg));
+}
+
+void SerialStream::deliver_sp(int src, int dst, SpMsg msg) {
+  acct_.record(src, dst, MsgType::kSubPicture,
+               sp_msg_wire_bytes(msg.subpicture.size(), msg.mei.size()));
+  dispatch(src, dst, AnyMsg(std::move(msg)));
+}
+
+void SerialStream::deliver_exchange(int src, int dst, ExchangeMsg msg) {
+  acct_.record_exchange(src, dst, msg);
+  dispatch(src, dst, AnyMsg(std::move(msg)));
+}
+
+void SerialStream::dispatch(int src, int dst, AnyMsg msg) {
+  // The serial bus is lossless and instantaneous: nothing ever times out,
+  // dies, or gets adopted, which the PDW_CHECKs below pin down.
+  if (dst == topo_.root()) {
+    RootNode::Step step = root_node_->on_message(src, msg, /*now=*/0.0);
+    PDW_CHECK(step.deaths.empty());
+    for (const Outgoing& o : step.send) deliver(dst, o);
+    return;
+  }
+  if (!topo_.is_decoder(dst)) {
+    SplitterNode::Step step =
+        splitter_nodes_[size_t(dst - 1)]->on_message(src, std::move(msg), 0.0);
+    PDW_CHECK(step.forget.empty());
+    for (const Outgoing& o : step.send) deliver(dst, o);
+    return;
+  }
+  DecoderNode::Step step = decoders_[size_t(topo_.tile_of(dst))]->node
+                               .on_message(src, std::move(msg), 0.0);
+  PDW_CHECK(step.forget.empty());
+  PDW_CHECK(!step.adopt_tile.has_value());
+  for (const Outgoing& o : step.send) deliver(dst, o);
+}
+
+void SerialStream::step(const DisplayFn& on_display, const TraceFn& on_trace) {
+  PDW_CHECK(!finished_);
+  PDW_CHECK(!done());
+  const int tiles = topo_.tiles;
+  const uint32_t i = cursor_++;
+
+  PictureTrace tr;
+  tr.pic_index = i;
+  tr.sp_msg_bytes.assign(size_t(tiles), 0);
+  tr.decode_s.assign(size_t(tiles), 0.0);
+  tr.serve_s.assign(size_t(tiles), 0.0);
+  tr.halo_mbs.assign(size_t(tiles), 0);
+  tr.exchange_bytes.reset(tiles);
+
+  const std::span<const uint8_t> span = root_.picture(int(i));
+  tr.picture_bytes = span.size();
+  tr.has_gop_header = root_.span(int(i)).has_gop_header;
+
+  // Root: copy the picture into the (zero-copy posted) send buffer, then
+  // dispatch it to the round-robin splitter.
+  std::vector<uint8_t> copy_buffer;
+  {
+    WallTimer t;
+    copy_buffer.assign(span.begin(), span.end());
+    tr.copy_s = t.seconds();
+  }
+  PDW_CHECK(root_node_->may_dispatch());
+  deliver(topo_.root(), root_node_->dispatch(std::move(copy_buffer)));
+
+  // Splitter: dequeue (go-ahead back to the root), split, gate on the
+  // ANID-redirected acks of picture i-1, route the sub-pictures.
+  const int s = topo_.splitter_for_picture(i);
+  tr.splitter = s;
+  SplitterNode& sn = *splitter_nodes_[size_t(s)];
+  PDW_CHECK(sn.has_picture());
+  Outgoing go_ahead;
+  PictureMsg pic = sn.pop_picture(&go_ahead);
+  PDW_CHECK_EQ(pic.pic_index, i);
+  deliver(topo_.splitter(s), go_ahead);
+
+  core::SplitResult result;
+  std::vector<SpMsg> sp_msgs(static_cast<size_t>(tiles));
+  {
+    WallTimer t;
+    result = splitters_[size_t(s)]->split(pic.coded, i);
+    if (result.status.ok()) {
+      // Serializing SPs and MEIs into wire messages is splitter work.
+      for (int d = 0; d < tiles; ++d) {
+        SpMsg& m = sp_msgs[size_t(d)];
+        m.pic_index = i;
+        m.tile = uint16_t(d);
+        m.stream = stream_id_;
+        result.subpictures[size_t(d)].serialize(&m.subpicture);
+        m.mei = std::move(result.mei[size_t(d)]);
+        tr.sp_msg_bytes[size_t(d)] =
+            sp_msg_wire_bytes(m.subpicture.size(), m.mei.size());
+      }
+    }
+    tr.split_s = t.seconds();
+  }
+  tr.type = result.info.type;
+  tr.split_stats = result.stats;
+
+  PDW_CHECK(sn.prev_acked(i));
+  if (!result.status.ok()) {
+    // Undecodable headers: nobody can split or decode the picture. The skip
+    // broadcast keeps the one-emission-per-slot display invariant.
+    for (const Outgoing& o : sn.skip_picture(i)) deliver(topo_.splitter(s), o);
+  } else {
+    for (const SplitterNode::SpRoute& rt : sn.routes(i))
+      deliver_sp(topo_.splitter(s), rt.dst_node,
+                 std::move(sp_msgs[size_t(rt.tile)]));
+  }
+
+  // Serve phase: every tile executes its SEND instructions and the halo
+  // exchanges flow, all before any decode starts (in the real system the ack
+  // protocol guarantees reference data is already decoded).
+  for (int d = 0; d < tiles; ++d) {
+    DecoderHost& h = *decoders_[size_t(d)];
+    const DecoderNode::SpState st = h.node.poll_sp(d, i);
+    if (st == DecoderNode::SpState::kSkipped) continue;
+    PDW_CHECK(st == DecoderNode::SpState::kReady);  // the bus never lags
+    core::TileDecoder& dec = h.dec(d, geo_, root_.stream_info());
+    const SpMsg& sp = h.node.sp(d);
+    std::map<int, ExchangeMsg> out;  // by destination tile
+    WallTimer t;
+    for (const core::MeiInstruction& instr : sp.mei) {
+      if (instr.op == core::MeiOp::kConceal) {
+        dec.stage_conceal(instr);
+        continue;
+      }
+      if (instr.op != core::MeiOp::kSend) continue;
+      ExchangeEntry e;
+      e.px = dec.extract_for_send(result.info, instr);
+      e.instr = instr;
+      e.instr.op = core::MeiOp::kRecv;
+      e.instr.peer = uint16_t(d);
+      ExchangeMsg& m = out[int(instr.peer)];
+      if (m.entries.empty()) {
+        m.pic_index = i;
+        m.src_tile = uint16_t(d);
+        m.dst_tile = instr.peer;
+        m.stream = stream_id_;
+      }
+      m.entries.push_back(std::move(e));
+    }
+    for (auto& [peer, m] : out) {
+      const DecoderNode::ExchangeRoute rt = h.node.route_exchange(peer, i);
+      PDW_CHECK(rt.kind == DecoderNode::ExchangeRoute::Kind::kRemote);
+      tr.exchange_bytes.add(d, peer,
+                            m.entries.size() * kExchangeEntryWireBytes);
+      deliver_exchange(topo_.decoder(d), rt.dst_node, std::move(m));
+    }
+    tr.serve_s[size_t(d)] = t.seconds();
+  }
+
+  // Decode phase.
+  for (int d = 0; d < tiles; ++d) {
+    DecoderHost& h = *decoders_[size_t(d)];
+    core::TileDecoder& dec = h.dec(d, geo_, root_.stream_info());
+    const auto display = [&](const mpeg2::TileFrame& tf,
+                             const core::TileDisplayInfo& info) {
+      if (on_display) on_display(d, tf, info);
+    };
+    if (h.node.skipped(d)) {
+      dec.skip_picture(i, display);
+      continue;
+    }
+    PDW_CHECK(h.node.have_sp(d));
+    PDW_CHECK(h.node.halos_complete(d, i));
+    for (const ExchangeMsg& m : h.node.take_exchanges(d, i))
+      for (const ExchangeEntry& e : m.entries)
+        dec.add_halo_mb(e.instr, e.px, e.tainted);
+    WallTimer t;
+    const core::SubPicture sub =
+        core::SubPicture::deserialize(h.node.sp(d).subpicture);
+    dec.decode(sub, display);
+    tr.decode_s[size_t(d)] = t.seconds();
+    tr.halo_mbs[size_t(d)] = int(dec.halo_mbs_last_picture());
+  }
+
+  // Per-picture epilogue: buffer GC plus the ANID-redirected ack.
+  for (int d = 0; d < tiles; ++d)
+    for (const Outgoing& o : decoders_[size_t(d)]->node.finish_picture(i))
+      deliver(topo_.decoder(d), o);
+
+  if (on_trace) on_trace(tr);
+}
+
+void SerialStream::finish(const DisplayFn& on_display) {
+  PDW_CHECK(!finished_);
+  finished_ = true;
+  for (const Outgoing& o : root_node_->end_of_stream())
+    deliver(topo_.root(), o);
+  for (int d = 0; d < topo_.tiles; ++d) {
+    DecoderHost& h = *decoders_[size_t(d)];
+    h.dec(d, geo_, root_.stream_info())
+        .flush([&](const mpeg2::TileFrame& tf,
+                   const core::TileDisplayInfo& info) {
+          if (on_display) on_display(d, tf, info);
+        });
+    for (const Outgoing& o : h.node.finished())
+      deliver(topo_.decoder(d), o);
+  }
+  PDW_CHECK(root_node_->all_reported());
+}
+
+StreamSession::StreamSession(const wall::TileGeometry& geo, int k)
+    : geo_(geo), k_(k) {}
+
+StreamSession::~StreamSession() = default;
+
+int StreamSession::add_stream(std::span<const uint8_t> es) {
+  PDW_CHECK_LT(int(streams_.size()), 256);  // the wire `stream` tag is a byte
+  const int id = int(streams_.size());
+  streams_.push_back(std::make_unique<SerialStream>(geo_, k_, es, uint8_t(id)));
+  return id;
+}
+
+StreamSession::Result StreamSession::run(const DisplayFn& on_display) {
+  Result r;
+  r.streams = streams();
+  r.stream_pictures.assign(streams_.size(), 0);
+  WallTimer timer;
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (size_t sidx = 0; sidx < streams_.size(); ++sidx) {
+      SerialStream& ss = *streams_[sidx];
+      if (ss.done()) continue;
+      ss.step(
+          [&](int tile, const mpeg2::TileFrame& tf,
+              const core::TileDisplayInfo& info) {
+            if (on_display) on_display(int(sidx), tile, tf, info);
+          },
+          /*on_trace=*/nullptr);
+      ++r.stream_pictures[sidx];
+      ++r.pictures;
+      progressed = true;
+    }
+  }
+  for (size_t sidx = 0; sidx < streams_.size(); ++sidx)
+    streams_[sidx]->finish([&](int tile, const mpeg2::TileFrame& tf,
+                               const core::TileDisplayInfo& info) {
+      if (on_display) on_display(int(sidx), tile, tf, info);
+    });
+  r.wall_seconds = timer.seconds();
+  r.aggregate_fps =
+      r.wall_seconds > 0 ? double(r.pictures) / r.wall_seconds : 0.0;
+  return r;
+}
+
+}  // namespace pdw::proto

@@ -1,0 +1,134 @@
+// Serial hosting of the protocol state machines, and multi-stream sessions.
+//
+// SerialStream is one elementary stream's full 1-k-(m,n) pipeline —
+// RootNode, k SplitterNodes, one DecoderNode per tile, plus the compute they
+// orchestrate — advanced one picture at a time by a serial scheduler. Every
+// message still flows through the proto wire layer and every protocol
+// decision is made by the same state machines the threaded pipeline pumps,
+// so the lockstep reference (core::LockstepPipeline wraps a SerialStream)
+// cannot drift from the cluster runtime. It also times every operation on
+// real data, producing the per-picture PictureTraces the discrete-event
+// simulator replays.
+//
+// StreamSession is the multi-stream layer the wire format's `stream` byte
+// exists for: N independent elementary streams decoded through one wall,
+// pictures interleaved round-robin across streams (the paper's Table-4
+// catalog served concurrently). Each stream keeps its own protocol machines
+// and reference state, tagged with its stream id; bench_multistream measures
+// aggregate fps as N grows.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+
+#include "core/mb_splitter.h"
+#include "core/root_splitter.h"
+#include "core/tile_decoder.h"
+#include "proto/nodes.h"
+#include "wall/geometry.h"
+
+namespace pdw::proto {
+
+// Measured trace of one picture's journey through the pipeline (replayed by
+// sim::simulate_cluster). core::PictureTrace aliases this.
+struct PictureTrace {
+  uint32_t pic_index = 0;
+  mpeg2::PicType type = mpeg2::PicType::I;
+  bool has_gop_header = false;  // picture starts a (closed) GOP — resync point
+  size_t picture_bytes = 0;  // root -> splitter message size
+  double copy_s = 0;         // root: copy picture into the send buffer
+  double split_s = 0;        // second-level: parse + build SPs and MEIs
+  int splitter = 0;          // which second-level splitter handled it
+
+  // Per tile decoder:
+  std::vector<size_t> sp_msg_bytes;   // splitter -> decoder wire body size
+  std::vector<double> decode_s;       // decode + display ("Work")
+  std::vector<double> serve_s;        // executing SEND instructions ("Serve")
+  std::vector<int> halo_mbs;          // remote macroblocks received
+  TrafficMatrix exchange_bytes;       // tile x tile exchange wire bytes
+
+  core::SplitStats split_stats;
+};
+
+class SerialStream {
+ public:
+  using DisplayFn = std::function<void(
+      int tile, const mpeg2::TileFrame&, const core::TileDisplayInfo&)>;
+  using TraceFn = std::function<void(const PictureTrace&)>;
+
+  // `es` is borrowed and must outlive the stream. `stream_id` tags every
+  // wire message (0 for single-stream engines).
+  SerialStream(const wall::TileGeometry& geo, int k,
+               std::span<const uint8_t> es, uint8_t stream_id = 0);
+  ~SerialStream();
+
+  int picture_count() const;
+  uint32_t next_picture() const { return cursor_; }
+  bool done() const { return int(cursor_) >= picture_count(); }
+
+  // Advance one picture end to end: dispatch -> split -> serve/exchange ->
+  // decode -> ack. Either callback may be null.
+  void step(const DisplayFn& on_display, const TraceFn& on_trace);
+
+  // End-of-stream protocol: flush every tile decoder and run the
+  // finished-notice handshake. Call once, after the last step().
+  void finish(const DisplayFn& on_display);
+
+  const core::RootSplitter& root() const { return root_; }
+  const WireAccounting& accounting() const { return acct_; }
+
+ private:
+  struct DecoderHost;
+
+  void deliver(int src, const Outgoing& o);
+  void deliver_sp(int src, int dst, SpMsg msg);
+  void deliver_exchange(int src, int dst, ExchangeMsg msg);
+  void dispatch(int src, int dst, AnyMsg msg);
+
+  const wall::TileGeometry& geo_;
+  Topology topo_;
+  uint8_t stream_id_;
+  core::RootSplitter root_;
+  std::vector<std::unique_ptr<core::MacroblockSplitter>> splitters_;
+  std::vector<std::unique_ptr<DecoderHost>> decoders_;
+  std::unique_ptr<RootNode> root_node_;
+  std::vector<std::unique_ptr<SplitterNode>> splitter_nodes_;
+  WireAccounting acct_;
+  uint32_t cursor_ = 0;
+  bool finished_ = false;
+};
+
+// N independent elementary streams through one wall, one picture per stream
+// per round.
+class StreamSession {
+ public:
+  StreamSession(const wall::TileGeometry& geo, int k);
+  ~StreamSession();
+
+  // Returns the stream id (also the wire `stream` tag). `es` is borrowed.
+  int add_stream(std::span<const uint8_t> es);
+  int streams() const { return int(streams_.size()); }
+
+  using DisplayFn =
+      std::function<void(int stream, int tile, const mpeg2::TileFrame&,
+                         const core::TileDisplayInfo&)>;
+
+  struct Result {
+    int streams = 0;
+    uint64_t pictures = 0;  // total across streams
+    double wall_seconds = 0;
+    double aggregate_fps = 0;  // pictures / wall_seconds
+    std::vector<uint64_t> stream_pictures;
+  };
+
+  // Decode every stream to completion, interleaving pictures round-robin.
+  Result run(const DisplayFn& on_display);
+
+ private:
+  const wall::TileGeometry& geo_;
+  int k_;
+  std::vector<std::unique_ptr<SerialStream>> streams_;
+};
+
+}  // namespace pdw::proto

@@ -1,0 +1,368 @@
+#include "proto/wire.h"
+
+#include <cstring>
+
+#include "common/bytes.h"
+
+namespace pdw::proto {
+
+namespace {
+
+// Defensive little-endian reader: every accessor reports failure instead of
+// CHECK-crashing, so decode() survives arbitrary bytes (fuzz_wire.cpp).
+class TryReader {
+ public:
+  explicit TryReader(std::span<const uint8_t> data) : data_(data) {}
+
+  bool u8(uint8_t* v) { return read(v); }
+  bool u16(uint16_t* v) { return read(v); }
+  bool u32(uint32_t* v) { return read(v); }
+
+  bool bytes(size_t n, std::span<const uint8_t>* out) {
+    if (n > data_.size() - pos_) return false;
+    *out = data_.subspan(pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  template <typename T>
+  bool read(T* v) {
+    if (sizeof(T) > data_.size() - pos_) return false;
+    std::memcpy(v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+// Every body begins [version][type][stream].
+void put_prefix(ByteWriter* w, MsgType type, uint8_t stream) {
+  w->u8(kWireVersion);
+  w->u8(uint8_t(type));
+  w->u8(stream);
+}
+
+bool take_prefix(TryReader* r, MsgType want, uint8_t* stream) {
+  uint8_t version = 0, type = 0;
+  if (!r->u8(&version) || !r->u8(&type) || !r->u8(stream)) return false;
+  return version == kWireVersion && type == uint8_t(want);
+}
+
+constexpr size_t kEntryBytes = kExchangeEntryWireBytes;
+static_assert(kEntryBytes == 392);
+
+// An exchange entry rides the 8-byte MEI instruction framing; the tainted
+// flag lives in the op byte's high bit so the entry cost stays exactly
+// kExchangeEntryWireBytes.
+void put_entry(ByteWriter* w, const ExchangeEntry& e) {
+  w->u8(uint8_t(uint8_t(core::MeiOp::kRecv) | (e.tainted ? 0x80 : 0)));
+  w->u8(e.instr.ref);
+  w->u16(e.instr.mb_x);
+  w->u16(e.instr.mb_y);
+  w->u16(e.instr.peer);
+  w->bytes(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(&e.px), sizeof(e.px)));
+}
+
+bool take_entry(TryReader* r, ExchangeEntry* e) {
+  uint8_t op = 0;
+  if (!r->u8(&op)) return false;
+  e->tainted = (op & 0x80) != 0;
+  if ((op & 0x7F) != uint8_t(core::MeiOp::kRecv)) return false;
+  e->instr.op = core::MeiOp::kRecv;
+  std::span<const uint8_t> px;
+  if (!r->u8(&e->instr.ref) || !r->u16(&e->instr.mb_x) ||
+      !r->u16(&e->instr.mb_y) || !r->u16(&e->instr.peer) ||
+      !r->bytes(sizeof(e->px), &px))
+    return false;
+  std::memcpy(&e->px, px.data(), sizeof(e->px));
+  return true;
+}
+
+}  // namespace
+
+const char* msg_type_name(MsgType t) {
+  switch (t) {
+    case MsgType::kPicture: return "picture";
+    case MsgType::kSubPicture: return "sub-picture";
+    case MsgType::kGoAheadAck: return "go-ahead/ack";
+    case MsgType::kExchange: return "exchange";
+    case MsgType::kEndOfStream: return "end-of-stream";
+    case MsgType::kHeartbeat: return "heartbeat";
+    case MsgType::kFinished: return "finished";
+    case MsgType::kDeathNotice: return "death-notice";
+    case MsgType::kSkipBroadcast: return "skip";
+  }
+  return "unknown";
+}
+
+// --- PictureMsg ------------------------------------------------------------
+
+Packed pack(const PictureMsg& m) {
+  Packed p;
+  p.type = MsgType::kPicture;
+  p.stream = m.stream;
+  p.seq = m.pic_index;
+  p.aux = m.nsid;
+  p.bulk = true;
+  ByteWriter w(&p.body);
+  put_prefix(&w, MsgType::kPicture, m.stream);
+  w.u32(m.pic_index);
+  w.u16(m.nsid);
+  w.u32(uint32_t(m.coded.size()));
+  w.bytes(m.coded);
+  return p;
+}
+
+bool decode(std::span<const uint8_t> data, PictureMsg* out) {
+  TryReader r(data);
+  uint32_t len = 0;
+  std::span<const uint8_t> coded;
+  if (!take_prefix(&r, MsgType::kPicture, &out->stream) ||
+      !r.u32(&out->pic_index) || !r.u16(&out->nsid) || !r.u32(&len) ||
+      len != r.remaining() || !r.bytes(len, &coded))
+    return false;
+  out->coded.assign(coded.begin(), coded.end());
+  return r.done();
+}
+
+// --- SpMsg -----------------------------------------------------------------
+
+Packed pack(const SpMsg& m) {
+  Packed p;
+  p.type = MsgType::kSubPicture;
+  p.stream = m.stream;
+  p.seq = m.pic_index;
+  p.aux = m.tile;
+  p.bulk = true;
+  ByteWriter w(&p.body);
+  put_prefix(&w, MsgType::kSubPicture, m.stream);
+  w.u32(m.pic_index);
+  w.u16(m.tile);
+  w.u32(uint32_t(m.subpicture.size()));
+  w.bytes(m.subpicture);
+  w.u32(uint32_t(m.mei.size()));
+  for (const core::MeiInstruction& i : m.mei) {
+    w.u8(uint8_t(i.op));
+    w.u8(i.ref);
+    w.u16(i.mb_x);
+    w.u16(i.mb_y);
+    w.u16(i.peer);
+  }
+  return p;
+}
+
+bool decode(std::span<const uint8_t> data, SpMsg* out) {
+  TryReader r(data);
+  uint32_t sp_len = 0, mei_count = 0;
+  std::span<const uint8_t> sp;
+  if (!take_prefix(&r, MsgType::kSubPicture, &out->stream) ||
+      !r.u32(&out->pic_index) || !r.u16(&out->tile) || !r.u32(&sp_len) ||
+      !r.bytes(sp_len, &sp) || !r.u32(&mei_count) ||
+      size_t(mei_count) * core::kMeiWireBytes != r.remaining())
+    return false;
+  out->subpicture.assign(sp.begin(), sp.end());
+  out->mei.resize(mei_count);
+  for (core::MeiInstruction& i : out->mei) {
+    uint8_t op = 0;
+    if (!r.u8(&op) || op > uint8_t(core::MeiOp::kConceal)) return false;
+    i.op = core::MeiOp(op);
+    if (!r.u8(&i.ref) || !r.u16(&i.mb_x) || !r.u16(&i.mb_y) || !r.u16(&i.peer))
+      return false;
+  }
+  return r.done();
+}
+
+size_t sp_msg_wire_bytes(size_t subpicture_bytes, size_t mei_count) {
+  return 3 /*prefix*/ + 4 /*pic*/ + 2 /*tile*/ + 4 + subpicture_bytes + 4 +
+         mei_count * core::kMeiWireBytes;
+}
+
+size_t picture_msg_wire_bytes(size_t coded_bytes) {
+  return 3 /*prefix*/ + 4 /*pic*/ + 2 /*nsid*/ + 4 + coded_bytes;
+}
+
+size_t exchange_msg_wire_bytes(size_t entry_count) {
+  return 3 /*prefix*/ + 4 /*pic*/ + 2 /*src*/ + 2 /*dst*/ + 4 +
+         entry_count * kExchangeEntryWireBytes;
+}
+
+// --- GoAheadAck ------------------------------------------------------------
+
+Packed pack(const GoAheadAck& m) {
+  Packed p;
+  p.type = MsgType::kGoAheadAck;
+  p.stream = m.stream;
+  p.seq = m.pic_index;
+  ByteWriter w(&p.body);
+  put_prefix(&w, MsgType::kGoAheadAck, m.stream);
+  w.u32(m.pic_index);
+  return p;
+}
+
+bool decode(std::span<const uint8_t> data, GoAheadAck* out) {
+  TryReader r(data);
+  return take_prefix(&r, MsgType::kGoAheadAck, &out->stream) &&
+         r.u32(&out->pic_index) && r.done();
+}
+
+// --- ExchangeMsg -----------------------------------------------------------
+
+Packed pack(const ExchangeMsg& m) {
+  Packed p;
+  p.type = MsgType::kExchange;
+  p.stream = m.stream;
+  p.seq = m.pic_index;
+  p.aux = m.src_tile;
+  ByteWriter w(&p.body);
+  put_prefix(&w, MsgType::kExchange, m.stream);
+  w.u32(m.pic_index);
+  w.u16(m.src_tile);
+  w.u16(m.dst_tile);
+  w.u32(uint32_t(m.entries.size()));
+  for (const ExchangeEntry& e : m.entries) put_entry(&w, e);
+  return p;
+}
+
+bool decode(std::span<const uint8_t> data, ExchangeMsg* out) {
+  TryReader r(data);
+  uint32_t count = 0;
+  if (!take_prefix(&r, MsgType::kExchange, &out->stream) ||
+      !r.u32(&out->pic_index) || !r.u16(&out->src_tile) ||
+      !r.u16(&out->dst_tile) || !r.u32(&count) ||
+      size_t(count) * kEntryBytes != r.remaining())
+    return false;
+  out->entries.resize(count);
+  for (ExchangeEntry& e : out->entries)
+    if (!take_entry(&r, &e)) return false;
+  return r.done();
+}
+
+// --- EndOfStream -----------------------------------------------------------
+
+Packed pack(const EndOfStream& m) {
+  Packed p;
+  p.type = MsgType::kEndOfStream;
+  p.stream = m.stream;
+  ByteWriter w(&p.body);
+  put_prefix(&w, MsgType::kEndOfStream, m.stream);
+  return p;
+}
+
+bool decode(std::span<const uint8_t> data, EndOfStream* out) {
+  TryReader r(data);
+  return take_prefix(&r, MsgType::kEndOfStream, &out->stream) && r.done();
+}
+
+// --- Heartbeat -------------------------------------------------------------
+
+Packed pack(const Heartbeat& m) {
+  Packed p;
+  p.type = MsgType::kHeartbeat;
+  p.stream = m.stream;
+  p.aux = m.tile;
+  ByteWriter w(&p.body);
+  put_prefix(&w, MsgType::kHeartbeat, m.stream);
+  w.u16(m.tile);
+  return p;
+}
+
+bool decode(std::span<const uint8_t> data, Heartbeat* out) {
+  TryReader r(data);
+  return take_prefix(&r, MsgType::kHeartbeat, &out->stream) &&
+         r.u16(&out->tile) && r.done();
+}
+
+// --- Finished --------------------------------------------------------------
+
+Packed pack(const Finished& m) {
+  Packed p;
+  p.type = MsgType::kFinished;
+  p.stream = m.stream;
+  p.aux = m.tile;
+  ByteWriter w(&p.body);
+  put_prefix(&w, MsgType::kFinished, m.stream);
+  w.u16(m.tile);
+  return p;
+}
+
+bool decode(std::span<const uint8_t> data, Finished* out) {
+  TryReader r(data);
+  return take_prefix(&r, MsgType::kFinished, &out->stream) &&
+         r.u16(&out->tile) && r.done();
+}
+
+// --- DeathNotice -----------------------------------------------------------
+
+Packed pack(const DeathNotice& m) {
+  Packed p;
+  p.type = MsgType::kDeathNotice;
+  p.stream = m.stream;
+  p.seq = m.resync_pic;
+  p.aux = m.dead_tile;
+  ByteWriter w(&p.body);
+  put_prefix(&w, MsgType::kDeathNotice, m.stream);
+  w.u16(m.dead_tile);
+  w.u16(m.adopter_tile);
+  w.u32(m.resync_pic);
+  return p;
+}
+
+bool decode(std::span<const uint8_t> data, DeathNotice* out) {
+  TryReader r(data);
+  return take_prefix(&r, MsgType::kDeathNotice, &out->stream) &&
+         r.u16(&out->dead_tile) && r.u16(&out->adopter_tile) &&
+         r.u32(&out->resync_pic) && r.done();
+}
+
+// --- SkipBroadcast ---------------------------------------------------------
+
+Packed pack(const SkipBroadcast& m) {
+  Packed p;
+  p.type = MsgType::kSkipBroadcast;
+  p.stream = m.stream;
+  p.seq = m.pic_index;
+  p.aux = m.tile;
+  ByteWriter w(&p.body);
+  put_prefix(&w, MsgType::kSkipBroadcast, m.stream);
+  w.u32(m.pic_index);
+  w.u16(m.tile);
+  return p;
+}
+
+bool decode(std::span<const uint8_t> data, SkipBroadcast* out) {
+  TryReader r(data);
+  return take_prefix(&r, MsgType::kSkipBroadcast, &out->stream) &&
+         r.u32(&out->pic_index) && r.u16(&out->tile) && r.done();
+}
+
+// --- decode_any ------------------------------------------------------------
+
+std::optional<AnyMsg> decode_any(std::span<const uint8_t> data) {
+  if (data.size() < 2) return std::nullopt;
+  const auto type = MsgType(data[1]);
+  const auto try_decode = [&](auto msg) -> std::optional<AnyMsg> {
+    if (!decode(data, &msg)) return std::nullopt;
+    return AnyMsg(std::move(msg));
+  };
+  switch (type) {
+    case MsgType::kPicture: return try_decode(PictureMsg{});
+    case MsgType::kSubPicture: return try_decode(SpMsg{});
+    case MsgType::kGoAheadAck: return try_decode(GoAheadAck{});
+    case MsgType::kExchange: return try_decode(ExchangeMsg{});
+    case MsgType::kEndOfStream: return try_decode(EndOfStream{});
+    case MsgType::kHeartbeat: return try_decode(Heartbeat{});
+    case MsgType::kFinished: return try_decode(Finished{});
+    case MsgType::kDeathNotice: return try_decode(DeathNotice{});
+    case MsgType::kSkipBroadcast: return try_decode(SkipBroadcast{});
+  }
+  return std::nullopt;
+}
+
+}  // namespace pdw::proto

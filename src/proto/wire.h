@@ -1,0 +1,217 @@
+// Versioned typed wire codec for the Table-3 display-wall protocol.
+//
+// Every message that crosses a node boundary — in the threaded pipeline, the
+// lockstep reference and the discrete-event simulator alike — is one of the
+// typed structs below. Each encodes to a self-describing body
+// ([version][type][stream][fields...]) and decodes defensively: decode()
+// returns false on truncated, oversized, version-skewed or otherwise
+// malformed bytes and never crashes (fuzz/fuzz_wire.cpp holds it to that).
+//
+// The `stream` byte is the StreamSession multiplexing tag (proto/session.h):
+// one wall can interleave pictures from several independent elementary
+// streams, and every protocol message names the stream it belongs to.
+// Single-stream engines use stream 0 throughout.
+//
+// Transport mapping: a packed message also carries envelope fields (type,
+// seq, aux, bulk) mirroring what transports key on — net::Message for the
+// threaded fabric, the serial bus for lockstep, modeled transfers for the
+// DES. pack() derives the envelope from the typed fields, so the two can
+// never disagree.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "core/mei.h"
+#include "mpeg2/frame.h"
+
+namespace pdw::proto {
+
+inline constexpr uint8_t kWireVersion = 1;
+
+// Tile field value meaning "no tile" (e.g. a death notice with no adopter).
+inline constexpr uint16_t kNoTile = 0xFFFF;
+
+enum class MsgType : uint8_t {
+  kPicture = 1,        // root -> splitter, bulk (coded picture + NSID)
+  kSubPicture = 2,     // splitter -> decoder, bulk (sub-picture + MEI)
+  kGoAheadAck = 3,     // decoder -> splitter (ANID) / splitter -> root
+  kExchange = 4,       // decoder -> decoder (halo macroblocks)
+  kEndOfStream = 5,    // root -> splitter
+  kHeartbeat = 6,      // decoder -> root, fire-and-forget
+  kFinished = 7,       // decoder -> root: stream done, stop monitoring me
+  kDeathNotice = 8,    // root -> everyone (dead tile, adopter, resync)
+  kSkipBroadcast = 9,  // splitter -> decoders: picture (tile, seq) is lost
+};
+
+const char* msg_type_name(MsgType t);
+
+// --- Typed messages --------------------------------------------------------
+
+// Root -> splitter: one coded picture, plus the NSID telling the splitter
+// which of its peers owns the *next* picture (ack-redirection target).
+struct PictureMsg {
+  uint32_t pic_index = 0;
+  uint16_t nsid = 0;  // (pic_index + 1) % k
+  uint8_t stream = 0;
+  std::vector<uint8_t> coded;  // verbatim picture span from the ES
+
+  friend bool operator==(const PictureMsg&, const PictureMsg&) = default;
+};
+
+// Splitter -> decoder: the tile's sub-picture plus its MEI list. The
+// sub-picture travels as its own serialized bytes (core::SubPicture wire
+// format); the codec validates framing, not sub-picture internals.
+struct SpMsg {
+  uint32_t pic_index = 0;
+  uint16_t tile = 0;
+  uint8_t stream = 0;
+  std::vector<uint8_t> subpicture;  // core::SubPicture::serialize bytes
+  std::vector<core::MeiInstruction> mei;
+
+  friend bool operator==(const SpMsg&, const SpMsg&) = default;
+};
+
+// Decoder -> splitter (ANID redirection) and splitter -> root (go-ahead):
+// "picture pic_index is consumed; the next one may flow".
+struct GoAheadAck {
+  uint32_t pic_index = 0;
+  uint8_t stream = 0;
+
+  friend bool operator==(const GoAheadAck&, const GoAheadAck&) = default;
+};
+
+// One halo macroblock in an exchange message. `tainted` is how degradation
+// propagates across decoder boundaries: a peer that reconstructs from a
+// tainted halo macroblock marks its own frame degraded too.
+struct ExchangeEntry {
+  core::MeiInstruction instr;  // op is kRecv on the wire
+  bool tainted = false;
+  mpeg2::MacroblockPixels px{};
+
+  friend bool operator==(const ExchangeEntry& a, const ExchangeEntry& b) {
+    return a.instr == b.instr && a.tainted == b.tainted &&
+           std::memcmp(&a.px, &b.px, sizeof(a.px)) == 0;
+  }
+};
+
+// Decoder -> decoder: the halo macroblocks `src_tile` serves to `dst_tile`
+// for one picture (the MEI SEND executions, batched per destination).
+struct ExchangeMsg {
+  uint32_t pic_index = 0;
+  uint16_t src_tile = 0;
+  uint16_t dst_tile = 0;
+  uint8_t stream = 0;
+  std::vector<ExchangeEntry> entries;
+
+  friend bool operator==(const ExchangeMsg&, const ExchangeMsg&) = default;
+};
+
+struct EndOfStream {
+  uint8_t stream = 0;
+
+  friend bool operator==(const EndOfStream&, const EndOfStream&) = default;
+};
+
+// Decoder -> root, fire-and-forget liveness beacon.
+struct Heartbeat {
+  uint16_t tile = 0;
+  uint8_t stream = 0;
+
+  friend bool operator==(const Heartbeat&, const Heartbeat&) = default;
+};
+
+// Decoder -> root: this node consumed the whole stream.
+struct Finished {
+  uint16_t tile = 0;
+  uint8_t stream = 0;
+
+  friend bool operator==(const Finished&, const Finished&) = default;
+};
+
+// Root -> everyone: `dead_tile`'s node is gone. Nobody serves its pictures
+// before `resync_pic`; from there on `adopter_tile`'s node does (kNoTile:
+// degraded mode, the tile stays frozen).
+struct DeathNotice {
+  uint16_t dead_tile = 0;
+  uint16_t adopter_tile = kNoTile;
+  uint32_t resync_pic = 0;
+  uint8_t stream = 0;
+
+  friend bool operator==(const DeathNotice&, const DeathNotice&) = default;
+};
+
+// Splitter -> decoders: picture `pic_index` of `tile` is lost (undeliverable
+// or undecodable). The owner emits a frozen frame; neighbours conceal the
+// halo data it would have sent.
+struct SkipBroadcast {
+  uint32_t pic_index = 0;
+  uint16_t tile = 0;
+  uint8_t stream = 0;
+
+  friend bool operator==(const SkipBroadcast&, const SkipBroadcast&) = default;
+};
+
+// --- Packing ---------------------------------------------------------------
+
+// An encoded protocol message plus the envelope fields transports key on.
+// seq/aux/bulk are derived from the typed message at pack() time — the
+// envelope can never disagree with the body.
+struct Packed {
+  MsgType type = MsgType::kHeartbeat;
+  uint8_t stream = 0;
+  uint32_t seq = 0;   // picture index (0 when not applicable)
+  uint16_t aux = 0;   // tile / NSID (0 when not applicable)
+  bool bulk = false;  // consumes a posted receive buffer
+  std::vector<uint8_t> body;
+
+  size_t wire_bytes() const { return body.size() + kEnvelopeBytes; }
+  // Models GM's small-message header (same figure net::Message uses).
+  static constexpr size_t kEnvelopeBytes = 16;
+};
+
+Packed pack(const PictureMsg& m);
+Packed pack(const SpMsg& m);
+Packed pack(const GoAheadAck& m);
+Packed pack(const ExchangeMsg& m);
+Packed pack(const EndOfStream& m);
+Packed pack(const Heartbeat& m);
+Packed pack(const Finished& m);
+Packed pack(const DeathNotice& m);
+Packed pack(const SkipBroadcast& m);
+
+// Strict typed decode: false on malformed input, never crashes. `data` is
+// the body produced by pack() (including the version/type prefix).
+bool decode(std::span<const uint8_t> data, PictureMsg* out);
+bool decode(std::span<const uint8_t> data, SpMsg* out);
+bool decode(std::span<const uint8_t> data, GoAheadAck* out);
+bool decode(std::span<const uint8_t> data, ExchangeMsg* out);
+bool decode(std::span<const uint8_t> data, EndOfStream* out);
+bool decode(std::span<const uint8_t> data, Heartbeat* out);
+bool decode(std::span<const uint8_t> data, Finished* out);
+bool decode(std::span<const uint8_t> data, DeathNotice* out);
+bool decode(std::span<const uint8_t> data, SkipBroadcast* out);
+
+using AnyMsg =
+    std::variant<PictureMsg, SpMsg, GoAheadAck, ExchangeMsg, EndOfStream,
+                 Heartbeat, Finished, DeathNotice, SkipBroadcast>;
+
+// Dispatch on the body's type byte. nullopt on malformed input.
+std::optional<AnyMsg> decode_any(std::span<const uint8_t> data);
+
+// Accounting constants shared with the lockstep trace / DES cost model: the
+// per-entry wire cost of a halo macroblock exchange (pixels + the 8-byte MEI
+// instruction framing, as serialized by core::serialize_mei).
+inline constexpr size_t kExchangeEntryWireBytes =
+    sizeof(mpeg2::MacroblockPixels) + core::kMeiWireBytes;
+
+// Body sizes of the bulk messages without building them (the serial engines
+// deliver typed messages in memory and size them for accounting).
+size_t sp_msg_wire_bytes(size_t subpicture_bytes, size_t mei_count);
+size_t picture_msg_wire_bytes(size_t coded_bytes);
+size_t exchange_msg_wire_bytes(size_t entry_count);
+
+}  // namespace pdw::proto

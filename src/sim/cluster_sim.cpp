@@ -1,10 +1,12 @@
 #include "sim/cluster_sim.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "common/check.h"
 #include "net/fabric.h"
+#include "proto/nodes.h"
 
 namespace pdw::sim {
 
@@ -36,8 +38,20 @@ SimResult simulate_cluster(const std::vector<PictureTrace>& traces,
   result.traffic.assign(size_t(result.nodes), NodeTraffic{});
   result.splitter_busy_s.assign(size_t(k), 0.0);
 
+  // Table-3 node numbering and ordering arithmetic (round-robin splitter
+  // choice, NSID ack targets) come from the shared protocol layer; the
+  // one-level mode folds the root and the single splitter into node 0.
+  const proto::Topology topo{k, T};
   auto splitter_node = [&](int s) { return params.two_level ? 1 + s : 0; };
   auto decoder_node = [&](int t) { return result.first_decoder_node + t; };
+
+  // Per-picture protocol metadata and the tile -> node map the shared
+  // recovery-policy helpers operate on.
+  std::vector<proto::PictureMeta> metas(static_cast<size_t>(N));
+  for (int i = 0; i < N; ++i)
+    metas[size_t(i)].has_gop_header = traces[size_t(i)].has_gop_header;
+  std::vector<int> tile_owner(static_cast<size_t>(T));
+  for (int t = 0; t < T; ++t) tile_owner[size_t(t)] = topo.decoder(t);
 
   // Lossy-link model: each bulk transfer re-rolls FaultInjector's drop
   // decision per transmission (same SplitMix64 stream as the real fabric, so
@@ -87,7 +101,7 @@ SimResult simulate_cluster(const std::vector<PictureTrace>& traces,
         // from any splitter, except for the first picture").
         t = std::max(t, splitter_ack_at_root[size_t(i - 1)]);
       }
-      const double tx = xfer(0, splitter_node(i % k),
+      const double tx = xfer(0, splitter_node(topo.splitter_for_picture(uint32_t(i))),
                              tr.picture_bytes + size_t(kMsgHeader));
       const double send_done = t + tx;
       recv_at_splitter[size_t(i)] = send_done + link.latency_s;
@@ -131,7 +145,7 @@ SimResult simulate_cluster(const std::vector<PictureTrace>& traces,
     int s = 0;
     if (params.two_level) {
       if (params.schedule == RootSchedule::kRoundRobin) {
-        s = i % k;
+        s = topo.splitter_for_picture(uint32_t(i));
       } else {
         // Least-loaded: the root tracks outstanding work and picks the
         // splitter that will free up first (§6 future work).
@@ -163,19 +177,19 @@ SimResult simulate_cluster(const std::vector<PictureTrace>& traces,
             // picture the splitters have not yet routed) and an adopter.
             gate = std::max(gate, detect_time);
             informed = true;
-            for (int j = i; j < N; ++j)
-              if (traces[size_t(j)].has_gop_header) {
-                resync_pic = j;
-                break;
-              }
-            if (!fm.adopt || T < 2) resync_pic = -1;
-            if (resync_pic >= 0)
-              for (int t2 = 0; t2 < T; ++t2)
-                if (t2 != fm.crash_tile) {
-                  adopter = t2;
-                  break;
-                }
-            if (adopter < 0) resync_pic = -1;  // nobody left to adopt
+            // Resync point and adopter come from the shared protocol layer
+            // (the same helpers RootNode calls in the runtime engines).
+            const uint32_t r = proto::pick_resync_picture(metas, i);
+            resync_pic = r < uint32_t(N) ? int(r) : -1;
+            adopter = proto::pick_adopter_tile(
+                tile_owner, {topo.decoder(fm.crash_tile)},
+                topo.decoder(fm.crash_tile),
+                fm.adopt ? proto::RecoveryPolicy::kAdopt
+                         : proto::RecoveryPolicy::kDegrade);
+            if (resync_pic < 0 || adopter < 0) {  // nobody (or nowhere) to adopt
+              resync_pic = -1;
+              adopter = -1;
+            }
             SimRecovery rec;
             rec.tile = fm.crash_tile;
             rec.adopter_tile = adopter;
@@ -243,7 +257,7 @@ SimResult simulate_cluster(const std::vector<PictureTrace>& traces,
                                     link.transfer_s(size_t(kAckBytes)) +
                                     link.latency_s;
       bd.ack += link.ack_cpu_s;
-      const int next_s = params.two_level ? (i + 1) % k : 0;
+      const int next_s = params.two_level ? int(topo.nsid(uint32_t(i))) : 0;
       result.traffic[size_t(decoder_node(host))].sent_bytes += kAckBytes;
       result.traffic[size_t(splitter_node(next_s))].recv_bytes += kAckBytes;
 
@@ -251,7 +265,7 @@ SimResult simulate_cluster(const std::vector<PictureTrace>& traces,
       double tx = 0.0;
       for (int d = 0; d < T; ++d) {
         if (!active(d)) continue;
-        const double bytes = double(tr.exchange_bytes[size_t(t) * T + d]);
+        const double bytes = double(tr.exchange_bytes.at(t, d));
         if (bytes == 0.0) continue;
         const int dh = (d == fm.crash_tile) ? dead_host : d;
         if (dh == host) continue;  // co-hosted tiles exchange locally
@@ -276,7 +290,7 @@ SimResult simulate_cluster(const std::vector<PictureTrace>& traces,
       double ready =
           host != t ? decoder_free[size_t(host)] : serve_end[size_t(t)];
       for (int src = 0; src < T; ++src) {
-        if (tr.exchange_bytes[size_t(src) * T + t] == 0) continue;
+        if (tr.exchange_bytes.at(src, t) == 0) continue;
         if (!active(src)) continue;  // concealed: dead tile sends nothing
         ready = std::max(ready, serve_end[size_t(src)] + link.latency_s);
       }
@@ -291,6 +305,11 @@ SimResult simulate_cluster(const std::vector<PictureTrace>& traces,
         dead = true;
         crash_time = decode_end;
         detect_time = crash_time + fm.hb_timeout_s;
+        // Rounding guard: the reported detection latency
+        // (detect_time - crash_time) must never fall below the configured
+        // timeout just because the sum rounded down.
+        while (detect_time - crash_time < fm.hb_timeout_s)
+          detect_time = std::nextafter(detect_time, kInf);
       }
       if (!result.recoveries.empty() && resync_pic == i &&
           t == fm.crash_tile) {

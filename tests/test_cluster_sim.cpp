@@ -28,12 +28,11 @@ std::vector<PictureTrace> uniform_traces(int n, int tiles, double split_s,
     tr.decode_s.assign(size_t(tiles), decode_s);
     tr.serve_s.assign(size_t(tiles), exchange_bytes ? 50e-6 : 0.0);
     tr.halo_mbs.assign(size_t(tiles), 0);
-    tr.exchange_bytes.assign(size_t(tiles) * tiles, 0);
+    tr.exchange_bytes.reset(tiles);
     if (exchange_bytes && tiles > 1 && i % 3 != 0) {
       // Ring exchange between adjacent tiles on P/B pictures.
       for (int t = 0; t < tiles; ++t)
-        tr.exchange_bytes[size_t(t) * tiles + (t + 1) % tiles] =
-            exchange_bytes;
+        tr.exchange_bytes.at(t, (t + 1) % tiles) = exchange_bytes;
     }
   }
   return traces;

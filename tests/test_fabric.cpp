@@ -86,8 +86,8 @@ TEST(Fabric, TrafficMatrix) {
   m.payload.resize(84);  // 100 bytes on the wire
   f.send(0, 2, std::move(m));
   const auto traffic = f.traffic_matrix();
-  EXPECT_EQ(traffic[0 * 3 + 2], 100u);
-  EXPECT_EQ(traffic[2 * 3 + 0], 0u);
+  EXPECT_EQ(traffic.at(0, 2), 100u);
+  EXPECT_EQ(traffic.at(2, 0), 0u);
 }
 
 TEST(Fabric, ConservationOfBytes) {

@@ -11,6 +11,7 @@
 #include <map>
 
 #include "core/lockstep.h"
+#include "core/pipeline.h"
 #include "enc/encoder.h"
 #include "mpeg2/decoder.h"
 #include "video/generator.h"
@@ -230,6 +231,61 @@ TEST(ParallelEquivalenceOptions, TilesNotAlignedToMacroblocks) {
   const auto es = make_stream(320, 240, SceneKind::kMovingObjects, 6);
   wall::TileGeometry geo(320, 240, 3, 1, 0);
   expect_bit_exact(es, geo, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol equivalence: the threaded pipeline and the lockstep reference run
+// the same proto/ state machines, so a fault-free run must emit the *same*
+// protocol messages — identical per-type counts, identical node x node wire
+// traffic, and identical per-picture tile x tile exchange matrices.
+// (Heartbeats and transport-level retransmits/acks are excluded from
+// WireAccounting by design; they are the only timing-dependent traffic.)
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolEquivalence, ThreadedMatchesLockstepWireForWire) {
+  const int w = 256, h = 192, k = 2;
+  const auto es = make_stream(w, h, SceneKind::kMovingObjects, 8);
+  wall::TileGeometry geo(w, h, 2, 2, 0);
+
+  LockstepPipeline lockstep(geo, k, es);
+  std::map<uint32_t, TrafficMatrix> trace_exchange;
+  lockstep.run(nullptr, [&](const core::PictureTrace& tr) {
+    if (tr.exchange_bytes.total() > 0)
+      trace_exchange.emplace(tr.pic_index, tr.exchange_bytes);
+  });
+  const proto::WireAccounting& serial = lockstep.accounting();
+
+  core::FtOptions ft;
+  ft.per_picture_exchange = true;
+  core::ClusterPipeline threaded(geo, k, es, ft);
+  const core::ClusterStats stats = threaded.run(nullptr);
+
+  // Message counts per type, exactly.
+  ASSERT_EQ(stats.wire.counts.size(), serial.counts.size());
+  for (const auto& [type, n] : serial.counts) {
+    const auto it = stats.wire.counts.find(type);
+    ASSERT_NE(it, stats.wire.counts.end()) << proto::msg_type_name(type);
+    EXPECT_EQ(it->second, n) << proto::msg_type_name(type);
+  }
+
+  // Node x node protocol bytes, exactly.
+  EXPECT_TRUE(stats.wire.traffic == serial.traffic);
+
+  // Per-picture exchange matrices: threaded == lockstep accounting ==
+  // lockstep per-picture traces.
+  EXPECT_TRUE(stats.wire.exchange_by_picture == serial.exchange_by_picture);
+  EXPECT_EQ(serial.exchange_by_picture.size(), trace_exchange.size());
+  for (const auto& [pic, tm] : serial.exchange_by_picture) {
+    const auto it = trace_exchange.find(pic);
+    ASSERT_NE(it, trace_exchange.end()) << "picture " << pic;
+    EXPECT_TRUE(it->second == tm) << "picture " << pic;
+  }
+
+  // Sanity: the run did real work through every message type.
+  EXPECT_GT(serial.counts.at(proto::MsgType::kPicture), 0u);
+  EXPECT_GT(serial.counts.at(proto::MsgType::kSubPicture), 0u);
+  EXPECT_GT(serial.counts.at(proto::MsgType::kExchange), 0u);
+  EXPECT_GT(serial.counts.at(proto::MsgType::kGoAheadAck), 0u);
 }
 
 }  // namespace

@@ -131,8 +131,8 @@ TEST(ThreadedPipelineStats, TrafficAccountingIsConserved) {
   for (int n = 0; n < nodes; ++n) {
     uint64_t row = 0, col = 0;
     for (int d = 0; d < nodes; ++d) {
-      row += run.stats.traffic_matrix[size_t(n) * nodes + d];
-      col += run.stats.traffic_matrix[size_t(d) * nodes + n];
+      row += run.stats.traffic_matrix.at(n, d);
+      col += run.stats.traffic_matrix.at(d, n);
     }
     EXPECT_EQ(row, run.stats.node_counters[size_t(n)].sent_bytes);
     EXPECT_EQ(col, run.stats.node_counters[size_t(n)].recv_bytes);
@@ -145,18 +145,17 @@ TEST(ThreadedPipelineStats, RootSendsOnlyToSplitters) {
   wall::TileGeometry geo(w, h, 2, 1, 0);
   ClusterPipeline pipeline(geo, 2, es);
   const auto stats = pipeline.run(nullptr);
-  const int nodes = stats.nodes;
   // Root (node 0) must not send application traffic to decoders directly.
   // The reliable transport does ack each decoder's "finished" report with a
   // single header-only transport ack, so allow at most that.
   for (int t = 0; t < geo.tiles(); ++t) {
     const int d = pipeline.decoder_node(t);
-    EXPECT_LE(stats.traffic_matrix[size_t(0) * nodes + d],
+    EXPECT_LE(stats.traffic_matrix.at(0, d),
               uint64_t(net::Message::kHeaderBytes));
   }
   // Both splitters carry picture traffic (round-robin balance).
-  EXPECT_GT(stats.traffic_matrix[size_t(0) * nodes + 1], 0u);
-  EXPECT_GT(stats.traffic_matrix[size_t(0) * nodes + 2], 0u);
+  EXPECT_GT(stats.traffic_matrix.at(0, 1), 0u);
+  EXPECT_GT(stats.traffic_matrix.at(0, 2), 0u);
 }
 
 TEST(ThreadedPipelineStats, SplitterSendOverheadIsModest) {

@@ -1,0 +1,241 @@
+// Round-trip and rejection tests for the typed wire codec (proto/wire.h).
+// Every message type must survive pack() -> decode() bit-exactly, the
+// envelope must agree with the typed fields, and malformed bodies must be
+// rejected by returning false — never by crashing.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "proto/wire.h"
+
+namespace pdw::proto {
+namespace {
+
+PictureMsg sample_picture() {
+  PictureMsg m;
+  m.pic_index = 41;
+  m.nsid = 2;
+  m.stream = 3;
+  m.coded = {0x00, 0x00, 0x01, 0x00, 0xAB, 0xCD};
+  return m;
+}
+
+SpMsg sample_sp() {
+  SpMsg m;
+  m.pic_index = 7;
+  m.tile = 5;
+  m.stream = 1;
+  m.subpicture = {1, 2, 3, 4, 5};
+  core::MeiInstruction send;
+  send.op = core::MeiOp::kSend;
+  send.ref = 1;
+  send.mb_x = 10;
+  send.mb_y = 20;
+  send.peer = 3;
+  m.mei.push_back(send);
+  m.mei.push_back(core::make_conceal(4, 6, 0x80, 0x70, 0x60));
+  return m;
+}
+
+ExchangeMsg sample_exchange() {
+  ExchangeMsg m;
+  m.pic_index = 9;
+  m.src_tile = 1;
+  m.dst_tile = 2;
+  m.stream = 0;
+  ExchangeEntry e;
+  e.instr.op = core::MeiOp::kRecv;
+  e.instr.ref = 0;
+  e.instr.mb_x = 11;
+  e.instr.mb_y = 13;
+  e.instr.peer = 1;
+  e.tainted = true;
+  for (size_t i = 0; i < sizeof(e.px.y); ++i) e.px.y[i] = uint8_t(i * 7);
+  m.entries.push_back(e);
+  e.tainted = false;
+  e.instr.mb_x = 12;
+  m.entries.push_back(e);
+  return m;
+}
+
+template <typename T>
+T roundtrip(const T& in) {
+  const Packed p = pack(in);
+  T out;
+  EXPECT_TRUE(decode(p.body, &out));
+  return out;
+}
+
+TEST(WireRoundtrip, Picture) {
+  const PictureMsg m = sample_picture();
+  EXPECT_EQ(roundtrip(m), m);
+  const Packed p = pack(m);
+  EXPECT_EQ(p.type, MsgType::kPicture);
+  EXPECT_EQ(p.seq, m.pic_index);
+  EXPECT_EQ(p.aux, m.nsid);
+  EXPECT_EQ(p.stream, m.stream);
+  EXPECT_TRUE(p.bulk);
+  EXPECT_EQ(p.body.size(), picture_msg_wire_bytes(m.coded.size()));
+}
+
+TEST(WireRoundtrip, SubPicture) {
+  const SpMsg m = sample_sp();
+  EXPECT_EQ(roundtrip(m), m);
+  const Packed p = pack(m);
+  EXPECT_EQ(p.type, MsgType::kSubPicture);
+  EXPECT_EQ(p.seq, m.pic_index);
+  EXPECT_EQ(p.aux, m.tile);
+  EXPECT_TRUE(p.bulk);
+  EXPECT_EQ(p.body.size(),
+            sp_msg_wire_bytes(m.subpicture.size(), m.mei.size()));
+}
+
+TEST(WireRoundtrip, GoAheadAck) {
+  GoAheadAck m;
+  m.pic_index = 123456;
+  m.stream = 2;
+  EXPECT_EQ(roundtrip(m), m);
+  const Packed p = pack(m);
+  EXPECT_EQ(p.type, MsgType::kGoAheadAck);
+  EXPECT_EQ(p.seq, m.pic_index);
+  EXPECT_FALSE(p.bulk);
+}
+
+TEST(WireRoundtrip, Exchange) {
+  const ExchangeMsg m = sample_exchange();
+  EXPECT_EQ(roundtrip(m), m);
+  const Packed p = pack(m);
+  EXPECT_EQ(p.type, MsgType::kExchange);
+  EXPECT_EQ(p.seq, m.pic_index);
+  EXPECT_EQ(p.aux, m.src_tile);
+  EXPECT_EQ(p.body.size(), exchange_msg_wire_bytes(m.entries.size()));
+}
+
+TEST(WireRoundtrip, ControlMessages) {
+  EndOfStream eos;
+  eos.stream = 4;
+  EXPECT_EQ(roundtrip(eos), eos);
+  EXPECT_EQ(pack(eos).type, MsgType::kEndOfStream);
+
+  Heartbeat hb;
+  hb.tile = 6;
+  EXPECT_EQ(roundtrip(hb), hb);
+  EXPECT_EQ(pack(hb).aux, hb.tile);
+
+  Finished fin;
+  fin.tile = 2;
+  fin.stream = 1;
+  EXPECT_EQ(roundtrip(fin), fin);
+  EXPECT_EQ(pack(fin).type, MsgType::kFinished);
+
+  DeathNotice dn;
+  dn.dead_tile = 3;
+  dn.adopter_tile = kNoTile;  // degraded mode
+  dn.resync_pic = 15;
+  EXPECT_EQ(roundtrip(dn), dn);
+  EXPECT_EQ(pack(dn).seq, dn.resync_pic);
+  EXPECT_EQ(pack(dn).aux, dn.dead_tile);
+
+  SkipBroadcast sk;
+  sk.pic_index = 8;
+  sk.tile = 1;
+  EXPECT_EQ(roundtrip(sk), sk);
+  EXPECT_EQ(pack(sk).seq, sk.pic_index);
+}
+
+TEST(WireRoundtrip, DecodeAnyDispatchesEveryType) {
+  const auto check = [](const auto& msg) {
+    const auto any = decode_any(pack(msg).body);
+    ASSERT_TRUE(any.has_value());
+    using T = std::decay_t<decltype(msg)>;
+    const T* typed = std::get_if<T>(&*any);
+    ASSERT_NE(typed, nullptr) << msg_type_name(pack(msg).type);
+    EXPECT_EQ(*typed, msg);
+  };
+  check(sample_picture());
+  check(sample_sp());
+  check(GoAheadAck{77, 0});
+  check(sample_exchange());
+  check(EndOfStream{});
+  check(Heartbeat{3, 0});
+  check(Finished{1, 2});
+  check(DeathNotice{2, 0, 30, 0});
+  check(SkipBroadcast{5, 3, 0});
+}
+
+TEST(WireReject, EmptyAndTruncated) {
+  PictureMsg out;
+  EXPECT_FALSE(decode(std::span<const uint8_t>{}, &out));
+  EXPECT_FALSE(decode_any(std::span<const uint8_t>{}).has_value());
+
+  const Packed p = pack(sample_picture());
+  // Every proper prefix of a valid body must be rejected.
+  for (size_t n = 0; n < p.body.size(); ++n) {
+    EXPECT_FALSE(decode(std::span<const uint8_t>(p.body.data(), n), &out))
+        << "accepted a " << n << "-byte prefix";
+  }
+}
+
+TEST(WireReject, TrailingGarbage) {
+  Packed p = pack(GoAheadAck{1, 0});
+  p.body.push_back(0xEE);
+  GoAheadAck out;
+  EXPECT_FALSE(decode(p.body, &out));
+}
+
+TEST(WireReject, VersionSkew) {
+  Packed p = pack(sample_sp());
+  p.body[0] = uint8_t(kWireVersion + 1);
+  SpMsg out;
+  EXPECT_FALSE(decode(p.body, &out));
+  EXPECT_FALSE(decode_any(p.body).has_value());
+}
+
+TEST(WireReject, WrongTypeByte) {
+  // A valid heartbeat body must not decode as any other message type.
+  const Packed hb = pack(Heartbeat{1, 0});
+  PictureMsg pic;
+  SpMsg sp;
+  ExchangeMsg ex;
+  EXPECT_FALSE(decode(hb.body, &pic));
+  EXPECT_FALSE(decode(hb.body, &sp));
+  EXPECT_FALSE(decode(hb.body, &ex));
+}
+
+TEST(WireReject, UnknownTypeByte) {
+  Packed p = pack(Heartbeat{1, 0});
+  p.body[1] = 0xFE;
+  EXPECT_FALSE(decode_any(p.body).has_value());
+}
+
+TEST(WireReject, ExchangeCountOverflow) {
+  // An entry count larger than the actual payload must not be trusted.
+  const ExchangeMsg m = sample_exchange();
+  Packed p = pack(m);
+  ExchangeMsg out;
+  ASSERT_TRUE(decode(p.body, &out));
+  // The count field lives in the fixed prelude; force it huge.
+  for (size_t i = 2; i + 4 <= p.body.size() && i < 16; ++i) {
+    Packed corrupt = p;
+    corrupt.body[i] = 0xFF;
+    // Either rejected or decoded to something self-consistent — never a
+    // crash or an out-of-bounds read (ASan-checked in CI).
+    ExchangeMsg dummy;
+    (void)decode(corrupt.body, &dummy);
+  }
+}
+
+TEST(WireSizes, AccountingHelpersMatchPackedBodies) {
+  EXPECT_EQ(kExchangeEntryWireBytes,
+            sizeof(mpeg2::MacroblockPixels) + core::kMeiWireBytes);
+  const ExchangeMsg ex = sample_exchange();
+  EXPECT_EQ(pack(ex).body.size(), exchange_msg_wire_bytes(ex.entries.size()));
+  const SpMsg sp = sample_sp();
+  EXPECT_EQ(pack(sp).body.size(),
+            sp_msg_wire_bytes(sp.subpicture.size(), sp.mei.size()));
+  const PictureMsg pic = sample_picture();
+  EXPECT_EQ(pack(pic).body.size(), picture_msg_wire_bytes(pic.coded.size()));
+}
+
+}  // namespace
+}  // namespace pdw::proto
