@@ -51,6 +51,8 @@ int main() {
     table.add_row({format("%d%s", k, k == k_opt ? " (=k*)" : ""),
                    format("%.1f", rr.fps), format("%.1f", ll.fps),
                    format("%+.1f%%", 100.0 * (ll.fps / rr.fps - 1.0))});
+    benchutil::json_metric(format("ablation_dynamic_k%d_gain", k),
+                           100.0 * (ll.fps / rr.fps - 1.0), "%");
   }
   table.print(stdout);
   std::printf("\nCSV:\n");

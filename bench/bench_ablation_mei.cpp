@@ -66,6 +66,8 @@ int main() {
                    format("%.1f", remote_per_pic), format("%.1f", r_mei.fps),
                    format("%.1f", r_od.fps),
                    format("%.2fx", r_mei.fps / r_od.fps)});
+    benchutil::json_metric(format("ablation_mei_%dx%d_speedup", m, n),
+                           r_mei.fps / r_od.fps, "x");
   }
   table.print(stdout);
   std::printf("\nCSV:\n");

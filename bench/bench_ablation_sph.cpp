@@ -101,6 +101,8 @@ int main() {
          format("%.0f", sph_bytes), format("%.0f", payload_bytes),
          format("%.1f%%", 100 * sph_bytes / payload_bytes),
          format("%.1f", r_verbatim.fps), format("%.1f", r_realign.fps)});
+    benchutil::json_metric(format("ablation_sph_%s_overhead", spec.name.c_str()),
+                           100 * sph_bytes / payload_bytes, "%");
     (void)realigned_total;
   }
   table.print(stdout);

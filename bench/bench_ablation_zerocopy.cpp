@@ -88,6 +88,9 @@ int main() {
                    format("%.1f", bw / 1e9),
                    format("%.1f", r_zero.fps), format("%.1f", r_copy.fps),
                    format("%.2fx", r_zero.fps / r_copy.fps)});
+    benchutil::json_metric(
+        format("ablation_zerocopy_%s_speedup", spec.name.c_str()),
+        r_zero.fps / r_copy.fps, "x");
   }
   table.print(stdout);
   std::printf(

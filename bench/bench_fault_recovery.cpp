@@ -45,6 +45,8 @@ void run_drop_sweep(const std::vector<core::PictureTrace>& traces,
                    format("%.2fx", clean.fps / r.fps),
                    format("%llu", (unsigned long long)r.retransmits),
                    format("%.3f", r.makespan_s)});
+    benchutil::json_metric(format("fault_drop%.0f_fps", rate * 100), r.fps,
+                           "fps");
   }
   table.print(stdout);
   std::printf("\nCSV:\n");
@@ -82,6 +84,10 @@ void run_crash_sweep(const std::vector<core::PictureTrace>& traces,
            format("%.1f", rec.recovery_latency_s * 1e3),
            format("%d", r.degraded_frames), format("%.1f", r.fps),
            format("%.2f", r.fps / clean.fps)});
+      benchutil::json_metric(
+          format("fault_%s_hb%.0fms_recovery_ms", adopt ? "adopt" : "degrade",
+                 hb * 1e3),
+          rec.recovery_latency_s * 1e3, "ms");
     }
   }
   table.print(stdout);

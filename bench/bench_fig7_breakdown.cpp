@@ -7,11 +7,19 @@
 // observation: decoding is ~80% of runtime on the 2x2 wall but only ~40% on
 // 4x4, because with smaller tiles a larger fraction of motion vectors cross
 // tile boundaries.
+//
+// The breakdown is recomputed from the span tracer, not from bespoke
+// accumulators: the DES emits its per-stage schedule as canonical spans
+// (decode_sp / serve_sp / recv_sp / wait_halo / ack_pic), and
+// obs::fig7_breakdown() reduces the trace to the five stage shares — the
+// same reduction one can run on a PDW_TRACE capture of any engine.
 #include <cstdio>
 
 #include "bench/bench_util.h"
 #include "common/text_table.h"
 #include "core/config.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 
 using namespace pdw;
 
@@ -26,40 +34,55 @@ void run_config(const std::vector<uint8_t>& es,
   p.two_level = true;
   p.k = core::choose_k(costs.t_split, costs.t_decode);
   p.link = benchutil::default_link();
-  const auto r = sim::simulate_cluster(traces, geo, p);
 
-  std::printf("\n--- %s, stream %d (%s): per-decoder runtime breakdown ---\n",
+  // Trace the simulated schedule; the stage shares below come entirely from
+  // the recorded spans.
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.enable();
+  const auto r = sim::simulate_cluster(traces, geo, p);
+  tracer.disable();
+  const auto shares = obs::fig7_breakdown(
+      tracer, sim::kSimTracePidBase + r.first_decoder_node,
+      sim::kSimTracePidBase + r.nodes - 1);
+
+  std::printf("\n--- %s, stream %d (%s): per-decoder runtime breakdown "
+              "(traced) ---\n",
               benchutil::config_name(p.k, m, n, true).c_str(), spec.id,
               spec.name.c_str());
   TextTable table({"decoder", "Work%", "Serve%", "Receive%", "Wait%", "Ack%",
                    "ms/frame"});
-  sim::DecoderBreakdown avg;
+  obs::StageShare avg;
   const int N = r.pictures;
-  for (size_t d = 0; d < r.decoders.size(); ++d) {
-    const auto& bd = r.decoders[d];
-    const double tot = bd.total();
-    table.add_row({format("D%zu", d), format("%.1f", 100 * bd.work / tot),
-                   format("%.1f", 100 * bd.serve / tot),
-                   format("%.1f", 100 * bd.receive / tot),
-                   format("%.1f", 100 * bd.wait_remote / tot),
-                   format("%.2f", 100 * bd.ack / tot),
-                   format("%.2f", tot / N * 1e3)});
-    avg.work += bd.work;
-    avg.serve += bd.serve;
-    avg.receive += bd.receive;
-    avg.wait_remote += bd.wait_remote;
-    avg.ack += bd.ack;
+  for (const auto& [pid, sh] : shares) {
+    const int d = pid - sim::kSimTracePidBase - r.first_decoder_node;
+    table.add_row({format("D%d", d), format("%.1f", 100 * sh.work),
+                   format("%.1f", 100 * sh.serve),
+                   format("%.1f", 100 * sh.receive),
+                   format("%.1f", 100 * sh.wait),
+                   format("%.2f", 100 * sh.ack),
+                   format("%.2f", double(sh.total_ns) / N / 1e6)});
+    avg.work += sh.work * double(sh.total_ns);
+    avg.serve += sh.serve * double(sh.total_ns);
+    avg.receive += sh.receive * double(sh.total_ns);
+    avg.wait += sh.wait * double(sh.total_ns);
+    avg.ack += sh.ack * double(sh.total_ns);
+    avg.total_ns += sh.total_ns;
   }
-  const double tot = avg.total();
+  const double tot = double(avg.total_ns);
   table.add_row({"Avg", format("%.1f", 100 * avg.work / tot),
                  format("%.1f", 100 * avg.serve / tot),
                  format("%.1f", 100 * avg.receive / tot),
-                 format("%.1f", 100 * avg.wait_remote / tot),
+                 format("%.1f", 100 * avg.wait / tot),
                  format("%.2f", 100 * avg.ack / tot),
-                 format("%.2f", tot / double(r.decoders.size()) / N * 1e3)});
+                 format("%.2f",
+                        tot / double(shares.size()) / N / 1e6)});
   table.print(stdout);
-  std::printf("fps = %.1f, average Work share = %.1f%%\n", r.fps,
-              100 * avg.work / tot);
+  std::printf("fps = %.1f, average Work share = %.1f%% (from %zu traced "
+              "spans)\n",
+              r.fps, 100 * avg.work / tot, tracer.collect().size());
+  benchutil::json_metric(
+      format("fig7_work_share_%dx%d", m, n), 100 * avg.work / tot, "%");
+  benchutil::json_metric(format("fig7_fps_%dx%d", m, n), r.fps, "fps");
   std::printf("\nCSV:\n");
   table.print_csv(stdout);
 }

@@ -7,6 +7,7 @@
 // stream's detail is localized, and (c) a splitter's send bandwidth exceeds
 // its receive bandwidth by ~20% — the SPH framing overhead.
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "common/stats.h"
@@ -67,6 +68,20 @@ int main() {
   std::printf("splitter send/recv ratio = %.2f (SPH overhead %.0f%%)\n",
               splitter_send / splitter_recv,
               100.0 * (splitter_send / splitter_recv - 1.0));
+
+  // The full node x node byte matrix behind the bandwidth figures.
+  auto node_name = [&](int nid) {
+    if (nid == 0) return std::string("root");
+    if (nid < 1 + p.k) return "S" + std::to_string(nid);
+    return "D" + std::to_string(nid);
+  };
+  std::printf("\nnode x node traffic matrix:\n");
+  r.traffic_matrix.to_table(node_name).print(stdout);
+
+  benchutil::json_metric("fig9_fps", r.fps, "fps");
+  benchutil::json_metric("fig9_decoder_send_mean", dec_send.mean(), "MB/s");
+  benchutil::json_metric("fig9_splitter_send_recv_ratio",
+                         splitter_send / splitter_recv, "ratio");
   std::printf("\nCSV:\n");
   table.print_csv(stdout);
   return 0;

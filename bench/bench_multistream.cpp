@@ -69,6 +69,8 @@ int main() {
                    format("%.3f", r.wall_seconds),
                    format("%.1f", r.aggregate_fps),
                    format("%.1f", r.aggregate_fps / n)});
+    benchutil::json_metric(format("multistream_%d_aggregate_fps", n),
+                           r.aggregate_fps, "fps");
   }
   table.print(stdout);
   std::printf("\nCSV:\n");

@@ -42,6 +42,8 @@ int main() {
                    human_bytes(r.interdecoder_bytes),
                    human_bytes(r.redistribution_bytes), format("%.1f", r.fps),
                    r.notes});
+    benchutil::json_metric(
+        format("table1_%s_fps", baseline::level_name(r.level)), r.fps, "fps");
   }
   table.print(stdout);
   std::printf("\nStream: %d (%s, %dx%d) on a 4x4 wall, %d frames\n", spec.id,

@@ -33,6 +33,7 @@ int main() {
                    format("%.0f", m.avg_frame_bytes),
                    format("%.3f", m.bpp),
                    format("%.1f", m.bit_rate_mbps)});
+    benchutil::json_metric(format("table4_s%d_bpp", spec.id), m.bpp, "bpp");
   }
   table.print(stdout);
   std::printf("\nCSV:\n");

@@ -61,6 +61,12 @@ void run_stream(int stream_id) {
          format("%.1f", core::predicted_fps(k, costs.t_split, costs.t_decode)),
          format("%.2f", costs.t_split * 1e3),
          format("%.2f", costs.t_decode * 1e3)});
+    benchutil::json_metric(
+        format("table5_s%d_%dx%d_fps_1level", stream_id, c.m, c.n), r1.fps,
+        "fps");
+    benchutil::json_metric(
+        format("table5_s%d_%dx%d_fps_2level", stream_id, c.m, c.n), r2.fps,
+        "fps");
   }
   table.print(stdout);
   std::printf("\nCSV:\n");

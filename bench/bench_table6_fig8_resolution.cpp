@@ -53,6 +53,8 @@ int main() {
                    format("%.2f", costs.t_decode * 1e3),
                    format("%.2f", costs.t_decode_mean * 1e3),
                    format("%.2f", imbalance)});
+    benchutil::json_metric(format("table6_s%d_fps", spec.id), r.fps, "fps");
+    benchutil::json_metric(format("table6_s%d_mpps", spec.id), mpps, "Mpps");
   }
   table.print(stdout);
   std::printf(

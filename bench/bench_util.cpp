@@ -58,4 +58,12 @@ std::string config_name(int k, int m, int n, bool two_level) {
   return format("1-%d-(%d,%d)", k, m, n);
 }
 
+void json_metric(const std::string& name, double value,
+                 const std::string& unit) {
+  // %.17g round-trips doubles; names/units are controlled identifiers (no
+  // JSON escaping needed).
+  std::printf("##json {\"name\": \"%s\", \"value\": %.17g, \"unit\": \"%s\"}\n",
+              name.c_str(), value, unit.c_str());
+}
+
 }  // namespace pdw::benchutil

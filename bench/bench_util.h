@@ -42,4 +42,10 @@ void print_banner(const std::string& title, const std::string& paper_ref,
 
 std::string config_name(int k, int m, int n, bool two_level);
 
+// Machine-readable result line:  ##json {"name":...,"value":...,"unit":...}
+// scripts/run_benches.sh greps these lines out of every bench's stdout and
+// assembles the consolidated BENCH_RESULTS.json.
+void json_metric(const std::string& name, double value,
+                 const std::string& unit);
+
 }  // namespace pdw::benchutil

@@ -8,13 +8,23 @@
 //
 // Defaults: the stream's Table-6 configuration, k from the measured t_s/t_d,
 // and PDW_FRAMES (48) frames.
+//
+// PDW_TRACE=out.json enables the span tracer for the whole run: the lockstep
+// decode and the simulated cluster schedule land in out.json (Chrome
+// trace-event JSON, Perfetto-loadable), a metrics snapshot lands next to it
+// in out.metrics.json, and the traced Fig. 7 stage shares plus the Fig. 9
+// node x node byte matrix print at the end.
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <string>
 
 #include "core/config.h"
 #include "core/lockstep.h"
 #include "examples/example_util.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/cluster_sim.h"
 #include "video/catalog.h"
 #include "wall/assembler.h"
@@ -36,6 +46,9 @@ int main(int argc, char** argv) {
   std::printf("%d frames, %.2f MB (%.3f bpp)\n", frames,
               double(es.size()) / 1e6,
               double(es.size()) * 8 / (double(spec.pixels()) * frames));
+
+  const char* trace_path = std::getenv("PDW_TRACE");
+  if (trace_path && *trace_path) obs::Tracer::global().enable();
 
   wall::TileGeometry geo(spec.width, spec.height, m, n, 40);
   core::LockstepPipeline pipeline(geo, 1, es);
@@ -92,5 +105,46 @@ int main(int argc, char** argv) {
   for (int nid = 1; nid < r.nodes; ++nid)
     max_bw = std::max(max_bw, r.send_bandwidth_Bps(nid));
   std::printf("peak per-node send bandwidth: %.2f MB/s\n", max_bw / 1e6);
+
+  if (trace_path && *trace_path) {
+    obs::Tracer& tracer = obs::Tracer::global();
+    tracer.disable();
+
+    // Fig. 7 from the traced spans of the simulated decoders.
+    const auto shares = obs::fig7_breakdown(
+        tracer, sim::kSimTracePidBase + r.first_decoder_node,
+        sim::kSimTracePidBase + r.nodes - 1);
+    std::printf("\ntraced Fig. 7 stage shares (simulated decoders):\n");
+    obs::print_fig7(shares, stdout, sim::kSimTracePidBase);
+
+    // Fig. 9: node x node byte matrix of the simulated cluster.
+    auto node_name = [&](int nid) {
+      if (nid == 0) return std::string("root");
+      if (nid < r.first_decoder_node) return "S" + std::to_string(nid);
+      return "D" + std::to_string(nid);
+    };
+    std::printf("\ntraced Fig. 9 traffic matrix (simulated cluster):\n");
+    r.traffic_matrix.to_table(node_name).print(stdout);
+
+    auto pid_name = [&](int pid) {
+      if (pid >= sim::kSimTracePidBase)
+        return "sim/" + node_name(pid - sim::kSimTracePidBase);
+      return "lockstep/node" + std::to_string(pid);
+    };
+    if (obs::write_chrome_trace(tracer, trace_path, pid_name))
+      std::printf("\nwrote %s (%zu events, %llu dropped)\n", trace_path,
+                  tracer.collect().size(),
+                  (unsigned long long)tracer.dropped());
+    else
+      std::fprintf(stderr, "failed to write %s\n", trace_path);
+
+    std::string mpath = trace_path;
+    if (mpath.ends_with(".json")) mpath.resize(mpath.size() - 5);
+    mpath += ".metrics.json";
+    const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+    if (obs::write_metrics_json(snap, mpath))
+      std::printf("wrote %s\n", mpath.c_str());
+    obs::metrics_report(snap, stdout);
+  }
   return 0;
 }

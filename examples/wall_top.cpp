@@ -1,0 +1,153 @@
+// wall_top: live "top"-style dashboard over the unified metrics registry.
+//
+// Synthesizes a short stream, runs the threaded 1-k-(m,n) cluster pipeline
+// in a background thread, and — while the cluster is decoding — polls
+// obs::MetricsRegistry::global().snapshot() every refresh interval and
+// redraws a per-node table: pictures through each stage, live queue depths,
+// exchange traffic, transport retransmits and heartbeats. This is exactly
+// the live-observability path the bespoke stats structs could not provide:
+// the registry is safe to snapshot mid-run, so the dashboard needs no
+// cooperation from the pipeline. The full metrics report prints at the end.
+//
+// Usage:
+//   wall_top [m] [n] [k] [frames] [refresh_ms]
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/text_table.h"
+#include "core/pipeline.h"
+#include "enc/encoder.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "video/generator.h"
+
+using namespace pdw;
+
+namespace {
+
+int64_t gauge_value(const obs::MetricsSnapshot& snap, std::string_view family,
+                    obs::Labels labels) {
+  for (const obs::MetricValue& v : snap.values)
+    if (v.kind == obs::MetricKind::kGauge && v.family == family &&
+        v.labels == labels)
+      return v.gauge;
+  return 0;
+}
+
+void draw(const obs::MetricsSnapshot& snap, int k, int tiles, bool ansi,
+          double elapsed_s) {
+  if (ansi) std::printf("\x1b[H\x1b[J");
+  const uint64_t decoded =
+      snap.counter_total(obs::family::kPicturesDecoded);
+  std::printf("pdw wall_top — %.1fs — %llu tile-pictures decoded, "
+              "%llu retransmits, %llu heartbeats\n\n",
+              elapsed_s, (unsigned long long)decoded,
+              (unsigned long long)snap.counter_total(obs::family::kRetransmits),
+              (unsigned long long)
+                  snap.counter_total(obs::family::kHeartbeatsSent));
+
+  TextTable table({"node", "role", "pics", "queue", "sp KiB", "exch KiB s/r",
+                   "acks", "retr"});
+  const int nodes = 1 + k + tiles;
+  for (int nid = 0; nid < nodes; ++nid) {
+    const obs::Labels eng{nid, 0};   // engine counters
+    const obs::Labels net{nid, -1};  // transport counters
+    std::string role, pics, queue, sp, exch, acks;
+    if (nid == 0) {
+      role = "root";
+      pics = format(
+          "%llu",
+          (unsigned long long)snap.counter_value(
+              obs::family::kPicturesDispatched, eng));
+      acks = format("%llu", (unsigned long long)snap.counter_value(
+                                obs::family::kGoAheadsSeen, eng));
+    } else if (nid <= k) {
+      role = "splitter";
+      pics = format("%llu", (unsigned long long)snap.counter_value(
+                                obs::family::kPicturesSplit, eng));
+      queue = format("%lld", (long long)gauge_value(
+                                 snap, obs::family::kQueueDepth, eng));
+      sp = format("%.1f", double(snap.counter_value(obs::family::kSpBytesSent,
+                                                    eng)) /
+                              1024.0);
+      acks = format("%llu", (unsigned long long)snap.counter_value(
+                                obs::family::kAcksRecv, eng));
+    } else {
+      role = "decoder";
+      pics = format("%llu", (unsigned long long)snap.counter_value(
+                                obs::family::kPicturesDecoded, eng));
+      queue = format("%lld", (long long)gauge_value(
+                                 snap, obs::family::kQueueDepth, eng));
+      exch = format(
+          "%.1f/%.1f",
+          double(snap.counter_value(obs::family::kExchangeBytesSent, eng)) /
+              1024.0,
+          double(snap.counter_value(obs::family::kExchangeBytesRecv, eng)) /
+              1024.0);
+      acks = format("%llu", (unsigned long long)snap.counter_value(
+                                obs::family::kAcksSent, eng));
+    }
+    const std::string retr =
+        format("%llu", (unsigned long long)snap.counter_value(
+                           obs::family::kRetransmits, net));
+    table.add_row({format("%d", nid), role, pics, queue, sp, exch, acks,
+                   retr});
+  }
+  table.print(stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int m = argc > 1 ? std::atoi(argv[1]) : 2;
+  const int n = argc > 2 ? std::atoi(argv[2]) : 2;
+  const int k = argc > 3 ? std::atoi(argv[3]) : 2;
+  const int frames = argc > 4 ? std::atoi(argv[4]) : 96;
+  const int refresh_ms = argc > 5 ? std::atoi(argv[5]) : 200;
+
+  const int width = 640, height = 480;
+  enc::EncoderConfig cfg;
+  cfg.width = width;
+  cfg.height = height;
+  cfg.target_bpp = 0.35;
+  const auto scene =
+      video::make_scene(video::SceneKind::kMovingObjects, width, height, 7);
+  enc::Mpeg2Encoder encoder(cfg);
+  const std::vector<uint8_t> es = encoder.encode(
+      frames, [&](int i, mpeg2::Frame* f) { scene->render(i, f); });
+  std::printf("encoded %d frames (%zu bytes); 1-%d-(%d,%d) wall\n", frames,
+              es.size(), k, m, n);
+
+  wall::TileGeometry geo(width, height, m, n, /*overlap=*/40);
+  core::ClusterPipeline pipeline(geo, k, es);
+
+  std::atomic<bool> done{false};
+  core::ClusterStats stats;
+  std::thread runner([&] {
+    stats = pipeline.run(nullptr);
+    done.store(true);
+  });
+
+  const bool ansi = isatty(fileno(stdout)) != 0;
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  double elapsed = 0;
+  while (!done.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(refresh_ms));
+    elapsed += double(refresh_ms) / 1e3;
+    draw(reg.snapshot(), k, geo.tiles(), ansi, elapsed);
+  }
+  runner.join();
+
+  draw(reg.snapshot(), k, geo.tiles(), ansi, elapsed);
+  std::printf("\nrun finished: %d pictures, %.2f s, %.1f fps\n\n",
+              stats.pictures, stats.wall_seconds, stats.fps);
+  obs::metrics_report(reg.snapshot(), stdout);
+  return 0;
+}

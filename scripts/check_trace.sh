@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Traced 2x2-wall smoke: run wall_player with PDW_TRACE on the smallest
+# catalog stream, then validate the emitted Chrome trace-event JSON against
+# scripts/trace_schema.jq and require a non-empty metrics snapshot.
+#
+# Usage: scripts/check_trace.sh [build_dir] [out_dir]
+set -euo pipefail
+
+build="$(cd "${1:-build}" && pwd)"
+out="${2:-trace_smoke}"
+here="$(cd "$(dirname "$0")" && pwd)"
+mkdir -p "$out"
+
+trace="$out/wall_2x2.json"
+metrics="${trace%.json}.metrics.json"
+
+# Run from $out so the player's wall snapshots land there too.
+(cd "$out" && PDW_TRACE="$(basename "$trace")" \
+  "$build/examples/wall_player" 1 2 2 2 16) \
+  | tee "$out/wall_player.log"
+
+test -s "$trace" || { echo "FAIL: $trace missing or empty" >&2; exit 1; }
+test -s "$metrics" || { echo "FAIL: $metrics missing or empty" >&2; exit 1; }
+
+jq -e -f "$here/trace_schema.jq" "$trace" > /dev/null \
+  || { echo "FAIL: $trace violates trace_schema.jq" >&2; exit 1; }
+echo "trace ok: $trace ($(jq '.traceEvents | length' "$trace") events," \
+  "$(jq '.otherData.droppedEvents' "$trace") dropped)"
+
+jq -e '.metrics | type == "array" and length > 0' "$metrics" > /dev/null \
+  || { echo "FAIL: $metrics has an empty metrics set" >&2; exit 1; }
+echo "metrics ok: $metrics ($(jq '.metrics | length' "$metrics") series)"

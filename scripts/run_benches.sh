@@ -7,6 +7,11 @@
 # (default /tmp/pdw_stream_cache); the first run is much slower than later
 # ones.
 #
+# After the run, every "##json {...}" line the benches printed (see
+# benchutil::json_metric) plus bench_codec_micro's google-benchmark JSON is
+# consolidated into bench_results/BENCH_RESULTS.json: one flat list of
+# {name, value, unit} records stamped with the git sha and date.
+#
 # Usage: scripts/run_benches.sh [build_dir]
 #   PDW_FRAMES=N     frames per generated stream (default 48)
 #   PDW_KERNELS=...  force a kernel dispatch level (scalar|sse2|avx2)
@@ -45,6 +50,8 @@ for name in "${benches[@]}"; do
     # Both google-benchmark generations accept this via the bench's own
     # flag normalization (1.7 wants a plain double, 1.8+ the "s" suffix).
     args+=(--benchmark_min_time=0.2s)
+    args+=(--benchmark_out="$results/$name.json"
+           --benchmark_out_format=json)
   fi
   rm -f "$results/$name.err"
   if ! "$bin" "${args[@]}" > "$results/$name.txt" 2> "$results/$name.err"; then
@@ -54,5 +61,59 @@ for name in "${benches[@]}"; do
   # Keep .err only if something was actually printed there.
   [ -s "$results/$name.err" ] || rm -f "$results/$name.err"
 done
+
+# Consolidate every bench's ##json lines (plus the google-benchmark JSON from
+# bench_codec_micro, reduced to ns/op per kernel) into one machine-readable
+# file keyed by the exact source revision.
+python3 - "$results" <<'PY'
+import json, os, subprocess, sys
+from datetime import datetime, timezone
+
+results = sys.argv[1]
+metrics = []
+for name in sorted(os.listdir(results)):
+    if not name.endswith('.txt'):
+        continue
+    bench = name[:-4]
+    with open(os.path.join(results, name)) as f:
+        for line in f:
+            if not line.startswith('##json '):
+                continue
+            rec = json.loads(line[len('##json '):])
+            rec['bench'] = bench
+            metrics.append(rec)
+
+micro = os.path.join(results, 'bench_codec_micro.json')
+if os.path.exists(micro):
+    with open(micro) as f:
+        for b in json.load(f).get('benchmarks', []):
+            if b.get('run_type') == 'aggregate':
+                continue
+            metrics.append({
+                'name': b['name'],
+                'value': b['real_time'],
+                'unit': b.get('time_unit', 'ns') + '/op',
+                'bench': 'bench_codec_micro',
+            })
+
+def git(*args):
+    try:
+        return subprocess.check_output(('git',) + args, text=True).strip()
+    except Exception:
+        return 'unknown'
+
+out = {
+    'git_sha': git('rev-parse', 'HEAD'),
+    'git_branch': git('rev-parse', '--abbrev-ref', 'HEAD'),
+    'date': datetime.now(timezone.utc).isoformat(timespec='seconds'),
+    'frames': int(os.environ.get('PDW_FRAMES', '48')),
+    'metrics': metrics,
+}
+path = os.path.join(results, 'BENCH_RESULTS.json')
+with open(path, 'w') as f:
+    json.dump(out, f, indent=1)
+    f.write('\n')
+print(f'wrote {path}: {len(metrics)} metrics @ {out["git_sha"][:12]}')
+PY
 
 echo "done: results in $results"

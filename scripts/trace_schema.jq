@@ -1,0 +1,19 @@
+# Chrome trace-event schema gate for traced wall runs
+# (driven by scripts/check_trace.sh, jq -e so a false/null result fails).
+#
+# A trace passes only if:
+#   * traceEvents is a non-empty array;
+#   * every event carries name/ph/pid, and every span ('X') and instant
+#     ('i') event also carries ts (metadata 'M' events have no timestamp);
+#   * every complete span has a non-negative dur;
+#   * every protocol stage emits at least one span — an engine change that
+#     silently stops tracing a stage fails here, not in a viewer later.
+def spans: [.traceEvents[] | select(.ph == "X") | .name] | unique;
+
+(.traceEvents | type == "array" and length > 0)
+and ([.traceEvents[] | has("name") and has("ph") and has("pid")] | all)
+and ([.traceEvents[] | select(.ph == "X" or .ph == "i")
+      | has("ts") and has("tid")] | all)
+and ([.traceEvents[] | select(.ph == "X") | .dur >= 0] | all)
+and ((["copy_pic", "split_pic", "route_sp", "recv_sp", "serve_sp",
+       "wait_halo", "decode_sp", "ack_pic"] - spans) == [])

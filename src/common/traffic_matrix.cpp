@@ -1,0 +1,41 @@
+#include "common/traffic_matrix.h"
+
+namespace pdw {
+namespace {
+
+std::string kib(uint64_t bytes) {
+  if (bytes == 0) return ".";
+  return format("%.1f", double(bytes) / 1024.0);
+}
+
+}  // namespace
+
+TextTable TrafficMatrix::to_table(
+    const std::function<std::string(int)>& node_name) const {
+  auto name = [&](int n) {
+    return node_name ? node_name(n) : format("%d", n);
+  };
+
+  std::vector<std::string> header;
+  header.push_back("KiB src\\dst");
+  for (int d = 0; d < nodes_; ++d) header.push_back(name(d));
+  header.push_back("SEND");
+  TextTable t(std::move(header));
+
+  for (int s = 0; s < nodes_; ++s) {
+    std::vector<std::string> row;
+    row.push_back(name(s));
+    for (int d = 0; d < nodes_; ++d) row.push_back(kib(at(s, d)));
+    row.push_back(kib(sent_by(s)));
+    t.add_row(std::move(row));
+  }
+
+  std::vector<std::string> recv;
+  recv.push_back("RECV");
+  for (int d = 0; d < nodes_; ++d) recv.push_back(kib(received_by(d)));
+  recv.push_back(kib(total()));
+  t.add_row(std::move(recv));
+  return t;
+}
+
+}  // namespace pdw

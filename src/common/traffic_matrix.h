@@ -8,9 +8,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "common/check.h"
+#include "common/text_table.h"
 
 namespace pdw {
 
@@ -57,6 +60,12 @@ class TrafficMatrix {
     for (uint64_t b : bytes_) sum += b;
     return sum;
   }
+
+  // Render as an aligned src×dst table with per-node SEND/RECV totals — the
+  // paper's Fig. 9 layout. `node_name` maps a node id to a row/column label
+  // (defaults to the bare id). Zero cells print as ".".
+  TextTable to_table(
+      const std::function<std::string(int)>& node_name = {}) const;
 
   // Flat row-major view (src-major), for iteration and serialization.
   const std::vector<uint64_t>& flat() const { return bytes_; }

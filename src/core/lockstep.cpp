@@ -7,16 +7,19 @@
 namespace pdw::core {
 
 LockstepPipeline::LockstepPipeline(const wall::TileGeometry& geo, int k,
-                                   std::span<const uint8_t> es)
-    : geo_(geo), k_(k), es_(es) {
+                                   std::span<const uint8_t> es,
+                                   obs::MetricsRegistry* metrics)
+    : geo_(geo), k_(k), es_(es), metrics_(metrics) {
   PDW_CHECK_GE(k, 1);
-  stream_ = std::make_unique<proto::SerialStream>(geo_, k_, es_);
+  stream_ =
+      std::make_unique<proto::SerialStream>(geo_, k_, es_, 0, metrics_);
 }
 
 LockstepPipeline::~LockstepPipeline() = default;
 
 void LockstepPipeline::reset() {
-  stream_ = std::make_unique<proto::SerialStream>(geo_, k_, es_);
+  stream_ =
+      std::make_unique<proto::SerialStream>(geo_, k_, es_, 0, metrics_);
   ran_ = false;
 }
 

@@ -30,9 +30,12 @@ using PictureTrace = proto::PictureTrace;
 
 class LockstepPipeline {
  public:
-  // `k` second-level splitters (round-robin), tiles from `geo`.
+  // `k` second-level splitters (round-robin), tiles from `geo`. `metrics`
+  // selects the registry telemetry lands in (nullptr: the process-global
+  // one).
   LockstepPipeline(const wall::TileGeometry& geo, int k,
-                   std::span<const uint8_t> es);
+                   std::span<const uint8_t> es,
+                   obs::MetricsRegistry* metrics = nullptr);
   ~LockstepPipeline();
 
   using TileDisplayFn = proto::SerialStream::DisplayFn;
@@ -62,6 +65,7 @@ class LockstepPipeline {
   const wall::TileGeometry& geo_;
   int k_;
   std::span<const uint8_t> es_;
+  obs::MetricsRegistry* metrics_ = nullptr;
   std::unique_ptr<proto::SerialStream> stream_;
   bool ran_ = false;
 };

@@ -13,6 +13,8 @@
 #include "common/timing.h"
 #include "core/mb_splitter.h"
 #include "core/root_splitter.h"
+#include "obs/instruments.h"
+#include "obs/trace.h"
 #include "proto/wire.h"
 
 namespace pdw::core {
@@ -103,17 +105,23 @@ struct RootHost {
   net::ReliableEndpoint ep;
   proto::RootNode node;
 
+  obs::RootInstruments inst;
+
   RootHost(net::Fabric* f, Shared* sh, const WallTimer* t,
            const RootSplitter* r, const proto::Topology& tp,
            const net::ReliableConfig& rc, const proto::RootNode::Options& ro,
-           std::vector<proto::PictureMeta> metas)
+           std::vector<proto::PictureMeta> metas,
+           obs::MetricsRegistry* metrics)
       : fabric(*f),
         shared(*sh),
         timer(*t),
         root(*r),
         topo(tp),
         ep(f, tp.root(), rc),
-        node(tp, ro, std::move(metas), t->seconds()) {}
+        node(tp, ro, std::move(metas), t->seconds()) {
+    node.set_metrics(metrics);
+    inst.resolve(obs::registry_or_global(metrics), tp.root(), 0);
+  }
 
   void apply(proto::RootNode::Step step) {
     for (const proto::RootNode::Death& d : step.deaths) {
@@ -137,9 +145,19 @@ struct RootHost {
   void run() {
     std::vector<uint8_t> send_buffer;
     while (!node.stream_done()) {
-      const auto span = root.picture(int(node.cursor()));
-      send_buffer.assign(span.begin(), span.end());  // "Copy P to send buffer"
-      while (!node.may_dispatch()) pump(0.005);
+      const uint32_t pic = node.cursor();
+      const auto span = root.picture(int(pic));
+      {
+        PDW_TRACE_SPAN(obs::span::kCopyPic, topo.root(), pic);
+        send_buffer.assign(span.begin(), span.end());  // "Copy P to send buf"
+      }
+      {
+        PDW_TRACE_SPAN(obs::span::kGoAheadWait, topo.root(), pic);
+        WallTimer wait;
+        while (!node.may_dispatch()) pump(0.005);
+        if (inst.go_ahead_wait_ns)
+          inst.go_ahead_wait_ns->observe(uint64_t(wait.seconds() * 1e9));
+      }
       emit(ep, shared, topo.root(), node.dispatch(send_buffer));
       apply(node.on_tick(timer.seconds()));
     }
@@ -165,9 +183,12 @@ struct SplitterHost {
   proto::SplitterNode node;
   MacroblockSplitter splitter;
 
+  obs::SplitterInstruments inst;
+  obs::Gauge* queue_depth = nullptr;
+
   SplitterHost(net::Fabric* f, Shared* sh, const proto::Topology& tp, int s,
                const net::ReliableConfig& rc, const wall::TileGeometry& geo,
-               const StreamInfo& info)
+               const StreamInfo& info, obs::MetricsRegistry* metrics)
       : fabric(*f),
         shared(*sh),
         topo(tp),
@@ -176,6 +197,11 @@ struct SplitterHost {
         node(tp, s),
         splitter(geo) {
     splitter.set_stream_info(info);
+    node.set_metrics(metrics);
+    obs::MetricsRegistry& r = obs::registry_or_global(metrics);
+    inst.resolve(r, self(), 0);
+    queue_depth =
+        &r.gauge(obs::family::kQueueDepth, obs::Labels{self(), 0});
   }
 
   int self() const { return topo.splitter(index); }
@@ -202,29 +228,46 @@ struct SplitterHost {
   void run() {
     while (true) {
       while (!node.has_picture() && !node.ended()) pump(0.02);
+      queue_depth->set(node.queue_depth());
       if (!node.has_picture()) break;
       Outgoing go_ahead;
       proto::PictureMsg pic = node.pop_picture(&go_ahead);
       emit(ep, shared, self(), std::move(go_ahead));
       const uint32_t i = pic.pic_index;
 
-      SplitResult result = splitter.split(pic.coded, i);
+      SplitResult result;
+      {
+        PDW_TRACE_SPAN(obs::span::kSplitPic, self(), i);
+        WallTimer split_timer;
+        result = splitter.split(pic.coded, i);
+        if (inst.split_ns)
+          inst.split_ns->observe(uint64_t(split_timer.seconds() * 1e9));
+      }
+      if (result.status.ok() && inst.pictures_split)
+        inst.pictures_split->add();
 
       // ANID gating: wait for the previous picture's ack from every live
       // decoder (redirection made them land here).
-      while (!node.prev_acked(i)) pump(0.02);
+      {
+        PDW_TRACE_SPAN(obs::span::kAnidWait, self(), i);
+        while (!node.prev_acked(i)) pump(0.02);
+      }
 
       if (!result.status.ok()) {
         // Undecodable headers: nobody can split or decode the picture.
         apply({node.skip_picture(i), {}});
         continue;
       }
+      PDW_TRACE_SPAN(obs::span::kRouteSp, self(), i);
       for (const proto::SplitterNode::SpRoute& rt : node.routes(i)) {
         proto::SpMsg sp;
         sp.pic_index = i;
         sp.tile = uint16_t(rt.tile);
         result.subpictures[size_t(rt.tile)].serialize(&sp.subpicture);
         sp.mei = std::move(result.mei[size_t(rt.tile)]);
+        if (inst.sp_bytes_sent)
+          inst.sp_bytes_sent->add(
+              proto::sp_msg_wire_bytes(sp.subpicture.size(), sp.mei.size()));
         emit(ep, shared, self(),
              Outgoing{rt.dst_node, true, proto::pack(sp)});
       }
@@ -264,12 +307,16 @@ struct DecoderHost {
   std::map<int, SubPicture> subs;  // current picture's sub-picture, by tile
   bool gone = false;  // killed (or fabric torn down) — exit silently
 
+  obs::DecoderInstruments inst;
+  obs::Gauge* queue_depth = nullptr;
+
   DecoderHost(net::Fabric* f, Shared* sh, const WallTimer* t,
               const proto::Topology& tp, int tile,
               const net::ReliableConfig& rc, const wall::TileGeometry& g,
               const StreamInfo& si,
               const ClusterPipeline::TileDisplayFn& display, std::mutex* dmu,
-              const proto::DecoderNode::Options& dopts)
+              const proto::DecoderNode::Options& dopts,
+              obs::MetricsRegistry* metrics)
       : fabric(*f),
         shared(*sh),
         timer(*t),
@@ -281,7 +328,13 @@ struct DecoderHost {
         display_mu(*dmu),
         heartbeat_interval_s(dopts.heartbeat_interval_s),
         ep(f, tp.decoder(tile), rc),
-        node(tp, tile, dopts) {}
+        node(tp, tile, dopts) {
+    node.set_metrics(metrics);
+    obs::MetricsRegistry& r = obs::registry_or_global(metrics);
+    inst.resolve(r, self(), 0);
+    queue_depth =
+        &r.gauge(obs::family::kQueueDepth, obs::Labels{self(), 0});
+  }
 
   int self() const { return topo.decoder(home_tile); }
 
@@ -338,11 +391,16 @@ struct DecoderHost {
   // Phase 1 for one tile: resolve the sub-picture and execute its MEI SENDs.
   void serve(const proto::DecoderNode::OwnedTile& ot, uint32_t i) {
     proto::DecoderNode::SpState st;
-    while ((st = node.poll_sp(ot.tile, i)) ==
-               proto::DecoderNode::SpState::kPending &&
-           pump(heartbeat_interval_s)) {
+    {
+      PDW_TRACE_SPAN(obs::span::kRecvSp, self(), i);
+      while ((st = node.poll_sp(ot.tile, i)) ==
+                 proto::DecoderNode::SpState::kPending &&
+             pump(heartbeat_interval_s)) {
+      }
     }
     if (gone || st != proto::DecoderNode::SpState::kReady) return;
+    PDW_TRACE_SPAN(obs::span::kServeSp, self(), i);
+    WallTimer serve_timer;
     TileDecoder& d = dec(ot.tile);
     const proto::SpMsg& sp = node.sp(ot.tile);
     subs[ot.tile] = SubPicture::deserialize(sp.subpicture);
@@ -384,10 +442,15 @@ struct DecoderHost {
           }
           break;
         case proto::DecoderNode::ExchangeRoute::Kind::kRemote:
+          if (inst.exchange_bytes_sent)
+            inst.exchange_bytes_sent->add(
+                proto::exchange_msg_wire_bytes(m.entries.size()));
           emit_exchange(ep, shared, self(), rt.dst_node, m);
           break;
       }
     }
+    if (inst.serve_ns)
+      inst.serve_ns->observe(uint64_t(serve_timer.seconds() * 1e9));
   }
 
   // Phase 2 for one tile: collect the halos it still expects, then decode.
@@ -395,17 +458,35 @@ struct DecoderHost {
     if (!node.have_sp(ot.tile)) {
       if (node.skipped(ot.tile)) {
         shared.skipped.fetch_add(1, std::memory_order_relaxed);
+        if (inst.pictures_skipped) inst.pictures_skipped->add();
         dec(ot.tile).skip_picture(i, display_fn(ot.tile));
       }
       return;
     }
-    while (!node.halos_complete(ot.tile, i) && pump(heartbeat_interval_s)) {
+    {
+      PDW_TRACE_SPAN(obs::span::kWaitHalo, self(), i);
+      while (!node.halos_complete(ot.tile, i) && pump(heartbeat_interval_s)) {
+      }
     }
     if (gone) return;
-    for (const proto::ExchangeMsg& m : node.take_exchanges(ot.tile, i))
+    for (const proto::ExchangeMsg& m : node.take_exchanges(ot.tile, i)) {
+      if (inst.exchange_bytes_recv)
+        inst.exchange_bytes_recv->add(
+            proto::exchange_msg_wire_bytes(m.entries.size()));
       for (const proto::ExchangeEntry& e : m.entries)
         dec(ot.tile).add_halo_mb(e.instr, e.px, e.tainted);
-    dec(ot.tile).decode(subs.at(ot.tile), display_fn(ot.tile));
+    }
+    {
+      PDW_TRACE_SPAN(obs::span::kDecodeSp, self(), i);
+      WallTimer decode_timer;
+      dec(ot.tile).decode(subs.at(ot.tile), display_fn(ot.tile));
+      if (inst.decode_ns)
+        inst.decode_ns->observe(uint64_t(decode_timer.seconds() * 1e9));
+    }
+    if (inst.pictures_decoded) inst.pictures_decoded->add();
+    if (inst.concealed_mbs)
+      inst.concealed_mbs->add(
+          uint64_t(dec(ot.tile).concealed_mbs_last_picture()));
     if (ot.tile != home_tile && i == ot.active_from) {
       // First adopted picture decoded: stamp the recovery latency.
       std::lock_guard<std::mutex> lock(shared.mu);
@@ -432,7 +513,11 @@ struct DecoderHost {
       if (gone) break;
       // Buffer GC plus the ack to the splitter owning the NEXT picture
       // (ANID redirection).
-      apply({node.finish_picture(i), {}, std::nullopt});
+      {
+        PDW_TRACE_SPAN(obs::span::kAckPic, self(), i);
+        apply({node.finish_picture(i), {}, std::nullopt});
+      }
+      queue_depth->set(node.pending_sps());
     }
 
     if (!gone) {
@@ -506,7 +591,7 @@ ClusterStats ClusterPipeline::run(const TileDisplayFn& on_display) {
     ro.heartbeat_timeout_s = cfg.heartbeat_timeout_s;
     ro.recovery = ft_.recovery;
     RootHost host(&fabric, &shared, &timer, &root, topo_, cfg.reliable, ro,
-                  std::move(metas));
+                  std::move(metas), ft_.metrics);
     host.run();
   });
 
@@ -514,7 +599,7 @@ ClusterStats ClusterPipeline::run(const TileDisplayFn& on_display) {
   for (int s = 0; s < k_; ++s) {
     splitter_threads.emplace_back([&, s] {
       SplitterHost host(&fabric, &shared, topo_, s, cfg.reliable, geo_,
-                        root.stream_info());
+                        root.stream_info(), ft_.metrics);
       host.run();
     });
   }
@@ -526,7 +611,8 @@ ClusterStats ClusterPipeline::run(const TileDisplayFn& on_display) {
       dopts.heartbeat_interval_s = cfg.heartbeat_interval_s;
       dopts.total_pictures = uint32_t(total_pictures);
       DecoderHost host(&fabric, &shared, &timer, topo_, t, cfg.reliable, geo_,
-                       root.stream_info(), on_display, &display_mu, dopts);
+                       root.stream_info(), on_display, &display_mu, dopts,
+                       ft_.metrics);
       host.run(uint32_t(total_pictures));
     });
   }
@@ -571,6 +657,11 @@ ClusterStats ClusterPipeline::run(const TileDisplayFn& on_display) {
     std::lock_guard<std::mutex> lock(shared.acct_mu);
     stats.wire = std::move(shared.acct);
   }
+  // Control-plane overhead (heartbeat bytes) as a registry family, so a
+  // live dashboard sees it without digging into WireAccounting.
+  obs::registry_or_global(ft_.metrics)
+      .counter(obs::family::kControlBytes)
+      .add(stats.wire.control.total());
   return stats;
 }
 

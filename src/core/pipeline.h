@@ -35,6 +35,7 @@
 #include "common/traffic_matrix.h"
 #include "core/tile_decoder.h"
 #include "net/fabric.h"
+#include "obs/metrics.h"
 #include "net/reliable.h"
 #include "proto/nodes.h"
 #include "wall/geometry.h"
@@ -91,6 +92,8 @@ struct FtOptions {
   // Also record per-picture tile x tile exchange matrices in stats.wire
   // (test_parallel_equivalence compares them against the lockstep traces).
   bool per_picture_exchange = false;
+  // Registry telemetry lands in (nullptr: the process-global one).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class ClusterPipeline {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/trace.h"
+
 namespace pdw::net {
 
 namespace {
@@ -28,6 +30,11 @@ ReliableEndpoint::ReliableEndpoint(Fabric* fabric, int self, ReliableConfig cfg)
     }
     cfg_.hole_timeout_s = 4 * span + 0.1;
   }
+  obs::MetricsRegistry& reg = obs::registry_or_global(cfg_.metrics);
+  const obs::Labels l{self_, -1};
+  m_retransmits_ = &reg.counter(obs::family::kRetransmits, l);
+  m_abandoned_ = &reg.counter(obs::family::kAbandonedSends, l);
+  m_crc_drops_ = &reg.counter(obs::family::kCrcDrops, l);
 }
 
 double ReliableEndpoint::now() const {
@@ -85,12 +92,18 @@ double ReliableEndpoint::service_deadlines() {
     }
     if (p.tries > cfg_.max_retries) {
       ++stats_.abandoned;
+      m_abandoned_->add();
+      PDW_TRACE_INSTANT(obs::span::kAbandon, self_, p.msg.seq);
       abandoned_.push_back(
           AbandonedSend{p.dst, p.msg.type, p.msg.seq, p.msg.aux});
       it = pending_.erase(it);
       continue;
     }
-    if (p.tries > 0) ++stats_.retransmits;
+    if (p.tries > 0) {
+      ++stats_.retransmits;
+      m_retransmits_->add();
+      PDW_TRACE_INSTANT(obs::span::kRetransmit, self_, p.msg.seq);
+    }
     transmit(p);
     next = std::min(next, p.deadline);
     ++it;
@@ -107,6 +120,7 @@ bool ReliableEndpoint::handle(Message msg) {
     // Fire-and-forget: CRC-screen and deliver out of band.
     if (crc32(msg.payload) != msg.crc) {
       ++stats_.crc_drops;
+      m_crc_drops_->add();
       return false;
     }
     ready_.push_back(std::move(msg));
@@ -117,6 +131,7 @@ bool ReliableEndpoint::handle(Message msg) {
   // will retransmit an intact copy.
   if (crc32(msg.payload) != msg.crc) {
     ++stats_.crc_drops;
+    m_crc_drops_->add();
     if (msg.bulk) fabric_->post_receive(self_);  // return the consumed buffer
     return false;
   }

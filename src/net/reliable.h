@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "net/fabric.h"
+#include "obs/metrics.h"
 
 namespace pdw::net {
 
@@ -45,6 +46,9 @@ struct ReliableConfig {
   // off rtos), or a merely slow message gets declared dead and lost — 0
   // (default) derives a safe value from the three fields above.
   double hole_timeout_s = 0;
+  // Registry the endpoint mirrors its retransmit / abandon / CRC-drop
+  // counters into (nullptr: the process-global one).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct ReliableStats {
@@ -135,6 +139,11 @@ class ReliableEndpoint {
   std::deque<Message> ready_;              // in-order app messages
   std::vector<AbandonedSend> abandoned_;
   ReliableStats stats_;
+
+  // Cached registry instruments (labels: {node = self}).
+  obs::Counter* m_retransmits_ = nullptr;
+  obs::Counter* m_abandoned_ = nullptr;
+  obs::Counter* m_crc_drops_ = nullptr;
 };
 
 }  // namespace pdw::net

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace pdw::proto {
 
@@ -38,13 +39,24 @@ RootNode::RootNode(const Topology& topo, const Options& opts,
   for (int t = 0; t < topo_.tiles; ++t) owner_[size_t(t)] = topo_.decoder(t);
 }
 
+void RootNode::set_metrics(obs::MetricsRegistry* reg) {
+  obs::MetricsRegistry& r = obs::registry_or_global(reg);
+  const obs::Labels l{topo_.root(), int(opts_.stream)};
+  m_dispatched_ = &r.counter(obs::family::kPicturesDispatched, l);
+  m_go_aheads_ = &r.counter(obs::family::kGoAheadsSeen, l);
+  m_hb_recv_ = &r.counter(obs::family::kHeartbeatsRecv, l);
+  m_deaths_ = &r.counter(obs::family::kDeathsDeclared, l);
+}
+
 RootNode::Step RootNode::on_message(int src, const AnyMsg& msg, double now) {
   (void)src;
   Step step;
   if (std::holds_alternative<GoAheadAck>(msg)) {
     ++acks_seen_;
+    if (m_go_aheads_) m_go_aheads_->add();
   } else if (const auto* hb = std::get_if<Heartbeat>(&msg)) {
     last_hb_[size_t(hb->tile)] = now;
+    if (m_hb_recv_) m_hb_recv_->add();
   } else if (const auto* fin = std::get_if<Finished>(&msg)) {
     finished_nodes_.insert(topo_.decoder(int(fin->tile)));
   }
@@ -65,6 +77,8 @@ RootNode::Step RootNode::on_tick(double now) {
 void RootNode::declare_dead(int node, Step* step) {
   if (dead_nodes_.count(node)) return;
   dead_nodes_.insert(node);
+  if (m_deaths_) m_deaths_->add();
+  PDW_TRACE_INSTANT(obs::span::kDeath, topo_.root());
   const uint32_t resync = pick_resync_picture(pictures_, int(cursor_));
   for (int t = 0; t < topo_.tiles; ++t) {
     if (owner_[size_t(t)] != node) continue;
@@ -103,6 +117,7 @@ Outgoing RootNode::dispatch(std::vector<uint8_t> coded) {
   m.coded = std::move(coded);
   const int dst = topo_.splitter(topo_.splitter_for_picture(cursor_));
   ++cursor_;
+  if (m_dispatched_) m_dispatched_->add();
   return Outgoing{dst, true, pack(m)};
 }
 
@@ -133,6 +148,13 @@ SplitterNode::SplitterNode(const Topology& topo, int index, uint8_t stream)
   }
 }
 
+void SplitterNode::set_metrics(obs::MetricsRegistry* reg) {
+  obs::MetricsRegistry& r = obs::registry_or_global(reg);
+  const obs::Labels l{topo_.splitter(index_), int(stream_)};
+  m_acks_recv_ = &r.counter(obs::family::kAcksRecv, l);
+  m_skips_ = &r.counter(obs::family::kSkipBroadcasts, l);
+}
+
 SplitterNode::Step SplitterNode::on_message(int src, AnyMsg msg, double now) {
   (void)now;
   Step step;
@@ -140,6 +162,7 @@ SplitterNode::Step SplitterNode::on_message(int src, AnyMsg msg, double now) {
     pictures_.push_back(std::move(*pic));
   } else if (const auto* ack = std::get_if<GoAheadAck>(&msg)) {
     acked_[ack->pic_index].insert(src);
+    if (m_acks_recv_) m_acks_recv_->add();
   } else if (const auto* dn = std::get_if<DeathNotice>(&msg)) {
     const int dead_node = route_[size_t(dn->dead_tile)].node;
     live_.erase(dead_node);
@@ -168,6 +191,7 @@ SplitterNode::Step SplitterNode::on_send_failure(const SendFailure& f) {
   } else if (f.type == MsgType::kSkipBroadcast) {
     step.send.push_back(Outgoing{f.dst, true, pack(skip)});
   }
+  if (m_skips_) m_skips_->add(step.send.size());
   return step;
 }
 
@@ -210,6 +234,7 @@ std::vector<Outgoing> SplitterNode::skip_picture(uint32_t pic) const {
     skip.stream = stream_;
     for (int node : live_) out.push_back(Outgoing{node, true, pack(skip)});
   }
+  if (m_skips_) m_skips_->add(out.size());
   return out;
 }
 
@@ -225,6 +250,14 @@ DecoderNode::DecoderNode(const Topology& topo, int home_tile,
   owned_.reserve(size_t(topo_.tiles));
   owned_.push_back(OwnedTile{home_tile, 0});
   for (int d = 0; d < topo_.tiles; ++d) owner_[size_t(d)] = topo_.decoder(d);
+}
+
+void DecoderNode::set_metrics(obs::MetricsRegistry* reg) {
+  obs::MetricsRegistry& r = obs::registry_or_global(reg);
+  const obs::Labels l{self_, int(opts_.stream)};
+  m_hb_sent_ = &r.counter(obs::family::kHeartbeatsSent, l);
+  m_acks_sent_ = &r.counter(obs::family::kAcksSent, l);
+  m_adoptions_ = &r.counter(obs::family::kAdoptions, l);
 }
 
 DecoderNode::Step DecoderNode::on_message(int src, AnyMsg msg, double now) {
@@ -257,6 +290,8 @@ DecoderNode::Step DecoderNode::on_message(int src, AnyMsg msg, double now) {
     if (mine && !already) {
       owned_.push_back(OwnedTile{dead_tile, dn->resync_pic});
       step.adopt_tile = dead_tile;
+      if (m_adoptions_) m_adoptions_->add();
+      PDW_TRACE_INSTANT(obs::span::kAdopt, self_, dn->resync_pic);
     }
   }
   return step;
@@ -270,6 +305,7 @@ std::vector<Outgoing> DecoderNode::on_tick(double now) {
   hb.tile = uint16_t(home_tile_);
   hb.stream = opts_.stream;
   out.push_back(Outgoing{topo_.root(), false, pack(hb)});
+  if (m_hb_sent_) m_hb_sent_->add();
   return out;
 }
 
@@ -373,6 +409,7 @@ std::vector<Outgoing> DecoderNode::finish_picture(uint32_t pic) {
   GoAheadAck ack;
   ack.pic_index = pic;
   ack.stream = opts_.stream;
+  if (m_acks_sent_) m_acks_sent_->add();
   return {Outgoing{topo_.ack_target(pic), true, pack(ack)}};
 }
 

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "common/traffic_matrix.h"
+#include "obs/metrics.h"
 #include "proto/wire.h"
 
 namespace pdw::proto {
@@ -95,13 +96,20 @@ struct SendFailure {
 
 // Protocol-level traffic accounting, recorded once per emitted protocol
 // message (retransmits are a transport concern and do not appear here).
-// Heartbeats are excluded: their cadence is wall-clock driven, so their count
-// is the one thing that legitimately differs between a threaded run and a
-// serial one. Everything else a fault-free run emits is deterministic, which
-// is what test_parallel_equivalence asserts across engines.
+// Heartbeats are kept out of `traffic`/`counts`: their cadence is wall-clock
+// driven, so their count is the one thing that legitimately differs between
+// a threaded run and a serial one — and everything else a fault-free run
+// emits is deterministic, which is what test_parallel_equivalence asserts
+// across engines. They are NOT dropped, though: control-plane overhead is
+// tallied separately in `control` / `control_msgs` so it stays visible.
 struct WireAccounting {
   TrafficMatrix traffic;  // body + envelope bytes, node x node
   std::map<MsgType, uint64_t> counts;
+
+  // Control-plane (heartbeat) bytes, node x node. Deliberately separate from
+  // `traffic` so engine-equivalence comparisons stay exact.
+  TrafficMatrix control;
+  uint64_t control_msgs = 0;
 
   // > 0: also keep a per-picture tile x tile matrix of exchange body bytes
   // (what PictureTrace::exchange_bytes records on the lockstep side).
@@ -111,11 +119,18 @@ struct WireAccounting {
   void reset(int nodes) {
     traffic.reset(nodes);
     counts.clear();
+    control.reset(nodes);
+    control_msgs = 0;
     exchange_by_picture.clear();
   }
 
   void record(int src, int dst, MsgType type, size_t body_bytes) {
-    if (type == MsgType::kHeartbeat) return;
+    if (type == MsgType::kHeartbeat) {
+      if (!control.empty())
+        control.add(src, dst, body_bytes + Packed::kEnvelopeBytes);
+      ++control_msgs;
+      return;
+    }
     traffic.add(src, dst, body_bytes + Packed::kEnvelopeBytes);
     ++counts[type];
   }
@@ -180,6 +195,10 @@ class RootNode {
   RootNode(const Topology& topo, const Options& opts,
            std::vector<PictureMeta> pictures, double now);
 
+  // Resolve and cache this node's metric instruments in `reg` (nullptr: the
+  // process-global registry). Optional — machines without it skip telemetry.
+  void set_metrics(obs::MetricsRegistry* reg);
+
   Step on_message(int src, const AnyMsg& msg, double now);
   // Health-monitor sweep; call at every pump.
   Step on_tick(double now);
@@ -212,6 +231,11 @@ class RootNode {
   std::vector<int> owner_;        // tile -> node now serving it
   int64_t acks_seen_ = 0;         // go-aheads from splitters
   uint32_t cursor_ = 0;           // next picture index to dispatch
+
+  obs::Counter* m_dispatched_ = nullptr;
+  obs::Counter* m_go_aheads_ = nullptr;
+  obs::Counter* m_hb_recv_ = nullptr;
+  obs::Counter* m_deaths_ = nullptr;
 };
 
 // --- SplitterNode ----------------------------------------------------------
@@ -225,6 +249,9 @@ class SplitterNode {
 
   SplitterNode(const Topology& topo, int index, uint8_t stream = 0);
 
+  // See RootNode::set_metrics.
+  void set_metrics(obs::MetricsRegistry* reg);
+
   Step on_message(int src, AnyMsg msg, double now);
   // A reliable send was abandoned: a lost sub-picture becomes a skip
   // broadcast to every live decoder; a lost skip is resent to its target
@@ -233,6 +260,8 @@ class SplitterNode {
   Step on_send_failure(const SendFailure& f);
 
   bool has_picture() const { return !pictures_.empty(); }
+  // Pictures queued and not yet popped (the queue_depth gauge).
+  int queue_depth() const { return int(pictures_.size()); }
   bool ended() const { return ended_; }
   // Dequeue the next picture; `go_ahead` is the ack that releases the root
   // to send one more.
@@ -268,6 +297,9 @@ class SplitterNode {
   };
   std::vector<Route> route_;  // by tile
   bool ended_ = false;
+
+  obs::Counter* m_acks_recv_ = nullptr;
+  obs::Counter* m_skips_ = nullptr;
 };
 
 // --- DecoderNode -----------------------------------------------------------
@@ -288,6 +320,9 @@ class DecoderNode {
 
   DecoderNode(const Topology& topo, int home_tile, const Options& opts);
 
+  // See RootNode::set_metrics.
+  void set_metrics(obs::MetricsRegistry* reg);
+
   Step on_message(int src, AnyMsg msg, double now);
   // Heartbeat emission when due; call at every pump.
   std::vector<Outgoing> on_tick(double now);
@@ -307,6 +342,8 @@ class DecoderNode {
   // registers the MEI RECV expectations, minus tiles co-hosted here.
   enum class SpState { kPending, kReady, kSkipped };
   SpState poll_sp(int tile, uint32_t pic);
+  // Sub-pictures buffered and not yet consumed (the queue_depth gauge).
+  int pending_sps() const { return int(sps_.size()); }
   const SpMsg& sp(int tile) const;
   bool have_sp(int tile) const;
   bool skipped(int tile) const;
@@ -370,6 +407,10 @@ class DecoderNode {
   std::vector<int> owner_;  // tile -> node now serving it
   std::map<int, Scratch> scratch_;  // by tile
   double last_hb_ = -1e9;
+
+  obs::Counter* m_hb_sent_ = nullptr;
+  obs::Counter* m_acks_sent_ = nullptr;
+  obs::Counter* m_adoptions_ = nullptr;
 };
 
 }  // namespace pdw::proto

@@ -7,6 +7,7 @@
 #include "common/timing.h"
 #include "core/mei.h"
 #include "core/subpicture.h"
+#include "obs/trace.h"
 
 namespace pdw::proto {
 
@@ -28,23 +29,32 @@ struct SerialStream::DecoderHost {
 };
 
 SerialStream::SerialStream(const wall::TileGeometry& geo, int k,
-                           std::span<const uint8_t> es, uint8_t stream_id)
+                           std::span<const uint8_t> es, uint8_t stream_id,
+                           obs::MetricsRegistry* metrics)
     : geo_(geo),
       topo_{k, geo.tiles()},
       stream_id_(stream_id),
       root_(es) {
   PDW_CHECK_GE(k, 1);
+  obs::MetricsRegistry& mreg = obs::registry_or_global(metrics);
   for (int s = 0; s < k; ++s) {
     splitters_.push_back(std::make_unique<core::MacroblockSplitter>(geo));
     splitters_.back()->set_stream_info(root_.stream_info());
     splitter_nodes_.push_back(
         std::make_unique<SplitterNode>(topo_, s, stream_id));
+    splitter_nodes_.back()->set_metrics(metrics);
+    sm_.emplace_back();
+    sm_.back().resolve(mreg, topo_.splitter(s), int(stream_id));
   }
   DecoderNode::Options dopts;
   dopts.total_pictures = uint32_t(root_.picture_count());
   dopts.stream = stream_id;
-  for (int t = 0; t < topo_.tiles; ++t)
+  for (int t = 0; t < topo_.tiles; ++t) {
     decoders_.push_back(std::make_unique<DecoderHost>(topo_, t, dopts));
+    decoders_.back()->node.set_metrics(metrics);
+    dm_.emplace_back();
+    dm_.back().resolve(mreg, topo_.decoder(t), int(stream_id));
+  }
 
   std::vector<PictureMeta> metas(size_t(root_.picture_count()));
   for (int i = 0; i < root_.picture_count(); ++i)
@@ -53,6 +63,7 @@ SerialStream::SerialStream(const wall::TileGeometry& geo, int k,
   ropts.stream = stream_id;
   root_node_ =
       std::make_unique<RootNode>(topo_, ropts, std::move(metas), /*now=*/0.0);
+  root_node_->set_metrics(metrics);
 
   acct_.reset(topo_.nodes());
   acct_.per_picture_tiles = topo_.tiles;
@@ -125,6 +136,7 @@ void SerialStream::step(const DisplayFn& on_display, const TraceFn& on_trace) {
   // dispatch it to the round-robin splitter.
   std::vector<uint8_t> copy_buffer;
   {
+    PDW_TRACE_SPAN(obs::span::kCopyPic, topo_.root(), i);
     WallTimer t;
     copy_buffer.assign(span.begin(), span.end());
     tr.copy_s = t.seconds();
@@ -146,6 +158,7 @@ void SerialStream::step(const DisplayFn& on_display, const TraceFn& on_trace) {
   core::SplitResult result;
   std::vector<SpMsg> sp_msgs(static_cast<size_t>(tiles));
   {
+    PDW_TRACE_SPAN(obs::span::kSplitPic, topo_.splitter(s), i);
     WallTimer t;
     result = splitters_[size_t(s)]->split(pic.coded, i);
     if (result.status.ok()) {
@@ -165,6 +178,10 @@ void SerialStream::step(const DisplayFn& on_display, const TraceFn& on_trace) {
   }
   tr.type = result.info.type;
   tr.split_stats = result.stats;
+  if (result.status.ok() && sm_[size_t(s)].pictures_split)
+    sm_[size_t(s)].pictures_split->add();
+  if (sm_[size_t(s)].split_ns)
+    sm_[size_t(s)].split_ns->observe(uint64_t(tr.split_s * 1e9));
 
   PDW_CHECK(sn.prev_acked(i));
   if (!result.status.ok()) {
@@ -172,9 +189,13 @@ void SerialStream::step(const DisplayFn& on_display, const TraceFn& on_trace) {
     // broadcast keeps the one-emission-per-slot display invariant.
     for (const Outgoing& o : sn.skip_picture(i)) deliver(topo_.splitter(s), o);
   } else {
-    for (const SplitterNode::SpRoute& rt : sn.routes(i))
+    PDW_TRACE_SPAN(obs::span::kRouteSp, topo_.splitter(s), i);
+    for (const SplitterNode::SpRoute& rt : sn.routes(i)) {
+      if (sm_[size_t(s)].sp_bytes_sent)
+        sm_[size_t(s)].sp_bytes_sent->add(tr.sp_msg_bytes[size_t(rt.tile)]);
       deliver_sp(topo_.splitter(s), rt.dst_node,
                  std::move(sp_msgs[size_t(rt.tile)]));
+    }
   }
 
   // Serve phase: every tile executes its SEND instructions and the halo
@@ -188,6 +209,7 @@ void SerialStream::step(const DisplayFn& on_display, const TraceFn& on_trace) {
     core::TileDecoder& dec = h.dec(d, geo_, root_.stream_info());
     const SpMsg& sp = h.node.sp(d);
     std::map<int, ExchangeMsg> out;  // by destination tile
+    PDW_TRACE_SPAN(obs::span::kServeSp, topo_.decoder(d), i);
     WallTimer t;
     for (const core::MeiInstruction& instr : sp.mei) {
       if (instr.op == core::MeiOp::kConceal) {
@@ -214,9 +236,14 @@ void SerialStream::step(const DisplayFn& on_display, const TraceFn& on_trace) {
       PDW_CHECK(rt.kind == DecoderNode::ExchangeRoute::Kind::kRemote);
       tr.exchange_bytes.add(d, peer,
                             m.entries.size() * kExchangeEntryWireBytes);
+      if (dm_[size_t(d)].exchange_bytes_sent)
+        dm_[size_t(d)].exchange_bytes_sent->add(
+            exchange_msg_wire_bytes(m.entries.size()));
       deliver_exchange(topo_.decoder(d), rt.dst_node, std::move(m));
     }
     tr.serve_s[size_t(d)] = t.seconds();
+    if (dm_[size_t(d)].serve_ns)
+      dm_[size_t(d)].serve_ns->observe(uint64_t(tr.serve_s[size_t(d)] * 1e9));
   }
 
   // Decode phase.
@@ -229,25 +256,40 @@ void SerialStream::step(const DisplayFn& on_display, const TraceFn& on_trace) {
     };
     if (h.node.skipped(d)) {
       dec.skip_picture(i, display);
+      if (dm_[size_t(d)].pictures_skipped)
+        dm_[size_t(d)].pictures_skipped->add();
       continue;
     }
     PDW_CHECK(h.node.have_sp(d));
     PDW_CHECK(h.node.halos_complete(d, i));
-    for (const ExchangeMsg& m : h.node.take_exchanges(d, i))
+    for (const ExchangeMsg& m : h.node.take_exchanges(d, i)) {
+      if (dm_[size_t(d)].exchange_bytes_recv)
+        dm_[size_t(d)].exchange_bytes_recv->add(
+            exchange_msg_wire_bytes(m.entries.size()));
       for (const ExchangeEntry& e : m.entries)
         dec.add_halo_mb(e.instr, e.px, e.tainted);
+    }
+    PDW_TRACE_SPAN(obs::span::kDecodeSp, topo_.decoder(d), i);
     WallTimer t;
     const core::SubPicture sub =
         core::SubPicture::deserialize(h.node.sp(d).subpicture);
     dec.decode(sub, display);
     tr.decode_s[size_t(d)] = t.seconds();
     tr.halo_mbs[size_t(d)] = int(dec.halo_mbs_last_picture());
+    if (dm_[size_t(d)].pictures_decoded) dm_[size_t(d)].pictures_decoded->add();
+    if (dm_[size_t(d)].decode_ns)
+      dm_[size_t(d)].decode_ns->observe(uint64_t(tr.decode_s[size_t(d)] * 1e9));
+    if (dm_[size_t(d)].concealed_mbs)
+      dm_[size_t(d)].concealed_mbs->add(
+          uint64_t(dec.concealed_mbs_last_picture()));
   }
 
   // Per-picture epilogue: buffer GC plus the ANID-redirected ack.
-  for (int d = 0; d < tiles; ++d)
+  for (int d = 0; d < tiles; ++d) {
+    PDW_TRACE_SPAN(obs::span::kAckPic, topo_.decoder(d), i);
     for (const Outgoing& o : decoders_[size_t(d)]->node.finish_picture(i))
       deliver(topo_.decoder(d), o);
+  }
 
   if (on_trace) on_trace(tr);
 }

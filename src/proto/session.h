@@ -25,6 +25,7 @@
 #include "core/mb_splitter.h"
 #include "core/root_splitter.h"
 #include "core/tile_decoder.h"
+#include "obs/instruments.h"
 #include "proto/nodes.h"
 #include "wall/geometry.h"
 
@@ -58,9 +59,11 @@ class SerialStream {
   using TraceFn = std::function<void(const PictureTrace&)>;
 
   // `es` is borrowed and must outlive the stream. `stream_id` tags every
-  // wire message (0 for single-stream engines).
+  // wire message (0 for single-stream engines). `metrics` selects the
+  // registry telemetry lands in (nullptr: the process-global one).
   SerialStream(const wall::TileGeometry& geo, int k,
-               std::span<const uint8_t> es, uint8_t stream_id = 0);
+               std::span<const uint8_t> es, uint8_t stream_id = 0,
+               obs::MetricsRegistry* metrics = nullptr);
   ~SerialStream();
 
   int picture_count() const;
@@ -97,6 +100,10 @@ class SerialStream {
   WireAccounting acct_;
   uint32_t cursor_ = 0;
   bool finished_ = false;
+
+  // Cached telemetry instruments, resolved once at construction.
+  std::vector<obs::SplitterInstruments> sm_;  // by splitter index
+  std::vector<obs::DecoderInstruments> dm_;   // by tile
 };
 
 // N independent elementary streams through one wall, one picture per stream

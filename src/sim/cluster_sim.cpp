@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "net/fabric.h"
+#include "obs/trace.h"
 #include "proto/nodes.h"
 
 namespace pdw::sim {
@@ -36,7 +37,22 @@ SimResult simulate_cluster(const std::vector<PictureTrace>& traces,
   result.first_decoder_node = params.two_level ? 1 + k : 1;
   result.decoders.assign(size_t(T), DecoderBreakdown{});
   result.traffic.assign(size_t(result.nodes), NodeTraffic{});
+  result.traffic_matrix.reset(result.nodes);
   result.splitter_busy_s.assign(size_t(k), 0.0);
+
+  // Virtual-time trace emission: every modeled stage lands in the global
+  // tracer as a completed span (same canonical names the runtime engines
+  // record), pid-offset so Perfetto shows the modeled cluster as its own
+  // process group. `tid` is the tile lane, so an adopting node's two tiles
+  // stay distinguishable.
+  obs::Tracer& tracer = obs::Tracer::global();
+  const bool tracing = tracer.enabled();
+  auto span = [&](const char* name, int node, int tid, double start,
+                  double end, uint32_t pic) {
+    if (tracing && end > start)
+      tracer.add_complete(name, kSimTracePidBase + node, tid, start,
+                          end - start, pic);
+  };
 
   // Table-3 node numbering and ordering arithmetic (round-robin splitter
   // choice, NSID ack targets) come from the shared protocol layer; the
@@ -96,10 +112,13 @@ SimResult simulate_cluster(const std::vector<PictureTrace>& traces,
     for (int i = 0; i < N; ++i) {
       const PictureTrace& tr = traces[size_t(i)];
       double t = root_free + tr.copy_s * scale;  // "Copy P to send buffer"
+      span(obs::span::kCopyPic, 0, 0, root_free, t, uint32_t(i));
       if (i > 0) {
         // Wait for the ack/go-ahead of the previous picture ("wait for ACK
         // from any splitter, except for the first picture").
+        const double copy_end = t;
         t = std::max(t, splitter_ack_at_root[size_t(i - 1)]);
+        span(obs::span::kGoAheadWait, 0, 0, copy_end, t, uint32_t(i));
       }
       const double tx = xfer(0, splitter_node(topo.splitter_for_picture(uint32_t(i))),
                              tr.picture_bytes + size_t(kMsgHeader));
@@ -121,7 +140,9 @@ SimResult simulate_cluster(const std::vector<PictureTrace>& traces,
     // One-level: the console scans locally; the copy is still real work.
     double free_t = 0.0;
     for (int i = 0; i < N; ++i) {
+      const double copy_start = free_t;
       free_t += traces[size_t(i)].copy_s * scale;
+      span(obs::span::kCopyPic, 0, 0, copy_start, free_t, uint32_t(i));
       recv_at_splitter[size_t(i)] = free_t;
     }
     // Not sequential with splitting here — splitting is gated below by
@@ -155,12 +176,17 @@ SimResult simulate_cluster(const std::vector<PictureTrace>& traces,
       result.traffic[size_t(splitter_node(s))].recv_bytes +=
           double(tr.picture_bytes) + kMsgHeader;
       result.traffic[size_t(splitter_node(s))].sent_bytes += kAckBytes;
+      result.traffic_matrix.add(0, splitter_node(s),
+                                tr.picture_bytes + size_t(kMsgHeader));
+      result.traffic_matrix.add(splitter_node(s), 0, uint64_t(kAckBytes));
     }
 
     // Split.
     const double split_start =
         std::max(recv_at_splitter[size_t(i)], splitter_free[size_t(s)]);
     const double split_end = split_start + tr.split_s * scale;
+    span(obs::span::kSplitPic, splitter_node(s), 0, split_start, split_end,
+         uint32_t(i));
     result.splitter_busy_s[size_t(s)] += tr.split_s * scale;
 
     // Gate on decoder acks for the previous picture (ANID redirection: those
@@ -202,6 +228,8 @@ SimResult simulate_cluster(const std::vector<PictureTrace>& traces,
         }
         gate = std::max(gate, prev_pic_dec_ack[size_t(t)]);
       }
+    span(obs::span::kAnidWait, splitter_node(s), 0, split_end, gate,
+         uint32_t(i));
 
     // Is the dead tile decoded this picture, and by whom? Decided after the
     // gate loop: detection happens in there, and adoption must take effect
@@ -227,8 +255,11 @@ SimResult simulate_cluster(const std::vector<PictureTrace>& traces,
       sp_arrival[size_t(t)] = nic + link.latency_s;
       result.traffic[size_t(splitter_node(s))].sent_bytes += bytes;
       result.traffic[size_t(decoder_node(host))].recv_bytes += bytes;
+      result.traffic_matrix.add(splitter_node(s), decoder_node(host),
+                                uint64_t(bytes));
       result.splitter_busy_s[size_t(s)] += link.transfer_s(size_t(bytes));
     }
+    span(obs::span::kRouteSp, splitter_node(s), 0, gate, nic, uint32_t(i));
     splitter_free[size_t(s)] = nic;
 
     // Decoders: phase 1 — receive SP, ack, serve remote macroblocks. An
@@ -251,15 +282,21 @@ SimResult simulate_cluster(const std::vector<PictureTrace>& traces,
       const double st = std::max(arr, host_free);
       start[size_t(t)] = st;
       bd.receive += std::max(0.0, arr - host_free);
+      span(obs::span::kRecvSp, decoder_node(host), t, host_free, arr,
+           uint32_t(i));
 
       // Ack to the next picture's splitter.
       prev_pic_dec_ack[size_t(t)] = st + link.ack_cpu_s +
                                     link.transfer_s(size_t(kAckBytes)) +
                                     link.latency_s;
       bd.ack += link.ack_cpu_s;
+      span(obs::span::kAckPic, decoder_node(host), t, st,
+           st + link.ack_cpu_s, uint32_t(i));
       const int next_s = params.two_level ? int(topo.nsid(uint32_t(i))) : 0;
       result.traffic[size_t(decoder_node(host))].sent_bytes += kAckBytes;
       result.traffic[size_t(splitter_node(next_s))].recv_bytes += kAckBytes;
+      result.traffic_matrix.add(decoder_node(host), splitter_node(next_s),
+                                uint64_t(kAckBytes));
 
       // Serve: extraction CPU plus NIC time for outgoing exchange messages.
       double tx = 0.0;
@@ -275,10 +312,14 @@ SimResult simulate_cluster(const std::vector<PictureTrace>& traces,
             bytes + kMsgHeader;
         result.traffic[size_t(decoder_node(dh))].recv_bytes +=
             bytes + kMsgHeader;
+        result.traffic_matrix.add(decoder_node(host), decoder_node(dh),
+                                  uint64_t(bytes + kMsgHeader));
       }
       const double serve = tr.serve_s[size_t(t)] * scale + tx;
       bd.serve += serve;
       serve_end[size_t(t)] = st + link.ack_cpu_s + serve;
+      span(obs::span::kServeSp, decoder_node(host), t, st + link.ack_cpu_s,
+           serve_end[size_t(t)], uint32_t(i));
     }
 
     // Phase 2 — wait for remote macroblocks, then decode. The adopted tile
@@ -295,7 +336,11 @@ SimResult simulate_cluster(const std::vector<PictureTrace>& traces,
         ready = std::max(ready, serve_end[size_t(src)] + link.latency_s);
       }
       bd.wait_remote += std::max(0.0, ready - serve_end[size_t(t)]);
+      span(obs::span::kWaitHalo, decoder_node(host), t, serve_end[size_t(t)],
+           ready, uint32_t(i));
       const double decode_end = ready + tr.decode_s[size_t(t)] * scale;
+      span(obs::span::kDecodeSp, decoder_node(host), t, ready, decode_end,
+           uint32_t(i));
       bd.work += tr.decode_s[size_t(t)] * scale;
       decoder_free[size_t(host)] = decode_end;
       if (host != t) decoder_free[size_t(t)] = decode_end;

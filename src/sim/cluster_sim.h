@@ -21,10 +21,17 @@
 
 #include <vector>
 
+#include "common/traffic_matrix.h"
 #include "core/lockstep.h"
 #include "wall/geometry.h"
 
 namespace pdw::sim {
+
+// Chrome-trace pid offset for simulated nodes: the DES emits its virtual-time
+// spans as pid = kSimTracePidBase + node so the modeled cluster shows up as a
+// separate process group next to any real (threaded-engine) spans in the same
+// trace file.
+inline constexpr int kSimTracePidBase = 10000;
 
 struct LinkModel {
   double bandwidth_bps = 160e6 * 8;  // Myrinet-class: ~160 MB/s per link
@@ -122,6 +129,9 @@ struct SimResult {
   int first_decoder_node = 0;
   std::vector<DecoderBreakdown> decoders;   // per tile
   std::vector<NodeTraffic> traffic;         // per node, bytes over the run
+  // Same bytes as `traffic`, attributed per (src, dst) link — the Fig. 9
+  // node x node matrix (TrafficMatrix::to_table pretty-prints it).
+  TrafficMatrix traffic_matrix;
   std::vector<double> splitter_busy_s;      // per second-level splitter
 
   // Fault-schedule outcomes (empty / zero on a clean run).

@@ -14,6 +14,7 @@
 #include "core/pipeline.h"
 #include "enc/encoder.h"
 #include "mpeg2/decoder.h"
+#include "obs/metrics.h"
 #include "video/generator.h"
 #include "wall/assembler.h"
 
@@ -286,6 +287,57 @@ TEST(ProtocolEquivalence, ThreadedMatchesLockstepWireForWire) {
   EXPECT_GT(serial.counts.at(proto::MsgType::kSubPicture), 0u);
   EXPECT_GT(serial.counts.at(proto::MsgType::kExchange), 0u);
   EXPECT_GT(serial.counts.at(proto::MsgType::kGoAheadAck), 0u);
+}
+
+// Both engines mirror their protocol progress into the telemetry registry
+// through the same obs:: instrument bundles, so a fault-free run must report
+// identical totals for every engine-deterministic metric family, per node.
+// (Heartbeat / control / retransmit families are wall-clock driven and
+// excluded by design — see obs/metrics.h.)
+TEST(ProtocolEquivalence, ThreadedMatchesLockstepMetricTotals) {
+  const int w = 256, h = 192, k = 2;
+  const auto es = make_stream(w, h, SceneKind::kMovingObjects, 8);
+  wall::TileGeometry geo(w, h, 2, 2, 0);
+
+  obs::MetricsRegistry serial_reg;
+  LockstepPipeline lockstep(geo, k, es, &serial_reg);
+  lockstep.run(nullptr, nullptr);
+
+  obs::MetricsRegistry threaded_reg;
+  core::FtOptions ft;
+  ft.metrics = &threaded_reg;
+  core::ClusterPipeline threaded(geo, k, es, ft);
+  threaded.run(nullptr);
+
+  const obs::MetricsSnapshot a = serial_reg.snapshot();
+  const obs::MetricsSnapshot b = threaded_reg.snapshot();
+
+  const char* const families[] = {
+      obs::family::kPicturesDispatched, obs::family::kPicturesSplit,
+      obs::family::kPicturesDecoded,    obs::family::kPicturesSkipped,
+      obs::family::kSpBytesSent,        obs::family::kExchangeBytesSent,
+      obs::family::kExchangeBytesRecv,  obs::family::kGoAheadsSeen,
+      obs::family::kAcksSent,           obs::family::kAcksRecv,
+      obs::family::kConcealedMbs,
+  };
+  const proto::Topology topo{k, geo.tiles()};
+  for (const char* family : families) {
+    for (int node = 0; node < topo.nodes(); ++node) {
+      const obs::Labels l{node, 0};
+      EXPECT_EQ(a.counter_value(family, l), b.counter_value(family, l))
+          << family << " node " << node;
+    }
+    EXPECT_EQ(a.counter_total(family), b.counter_total(family)) << family;
+  }
+
+  // And the totals are real work, not two zeros agreeing with each other.
+  EXPECT_EQ(a.counter_total(obs::family::kPicturesDispatched), 8u);
+  EXPECT_EQ(a.counter_total(obs::family::kPicturesDecoded),
+            8u * uint64_t(geo.tiles()));
+  EXPECT_GT(a.counter_total(obs::family::kSpBytesSent), 0u);
+  EXPECT_GT(a.counter_total(obs::family::kExchangeBytesSent), 0u);
+  EXPECT_EQ(a.counter_total(obs::family::kExchangeBytesSent),
+            a.counter_total(obs::family::kExchangeBytesRecv));
 }
 
 }  // namespace
