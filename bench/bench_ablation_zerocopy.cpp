@@ -1,101 +1,236 @@
-// Ablation (paper §4.4): zero-copy posted-receive transfers vs copy-through
-// messaging.
+// Ablation (paper §4.4): zero-copy pooled buffers vs copy-through messaging,
+// measured on the real threaded pipeline — not modeled.
 //
 // With GM's posted receive buffers and the two-buffer ack protocol, neither
-// sender nor receiver copies message payloads. A conventional messaging
-// layer copies at least once on each side. This bench measures this host's
-// memcpy bandwidth and charges the copy time to the nodes' critical paths,
-// then compares simulated frame rates.
+// sender nor receiver copies message payloads. This codebase's analog is the
+// mem::Bytes subsystem: one pooled allocation per picture body, with the
+// splitter's sub-picture payloads, the packed SpMsg bodies and the decoder's
+// run payloads all refcounted views over pooled blocks. The "static" leg
+// disables pooling AND degrades every view to a deep copy (every wire body
+// is a fresh heap malloc, every hop re-copies its payload — the
+// copy-through era's dataflow); the "pooled" leg runs the same protocol
+// with pooling and block-sharing views on. Both legs run the full threaded
+// ClusterPipeline after warm-up passes, interleaved so host-load drift
+// lands on both sides, so the fps delta is real copy/alloc elimination.
+//
+// The pooled leg also reports the PR's acceptance gate: steady-state pool
+// misses per picture (each miss is one hot-path malloc) — must be 0.
+#include <algorithm>
 #include <cstdio>
-#include <cstring>
+#include <map>
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "common/timing.h"
 #include "common/text_table.h"
-#include "core/config.h"
+#include "core/pipeline.h"
+#include "mem/pool.h"
+#include "obs/metrics.h"
 
 using namespace pdw;
 
 namespace {
 
-// Measured memcpy bandwidth (bytes/second) for message-sized buffers.
-double memcpy_bandwidth() {
-  std::vector<uint8_t> src(4 << 20, 0xAB), dst(4 << 20);
-  WallTimer t;
-  size_t total = 0;
-  while (t.seconds() < 0.2) {
-    std::memcpy(dst.data(), src.data(), src.size());
-    total += src.size();
+struct Leg {
+  double fps = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  int pictures = 0;
+  double allocs_per_pic = 0;
+  uint64_t p99_split_ns = 0;
+  uint64_t p99_decode_ns = 0;
+};
+
+struct Pair {
+  Leg stat, pool;
+};
+
+// Histogram bucket totals (lower bound -> count) for one family, summed
+// across all node labels. Differences of two collections give a per-leg
+// latency distribution at the registry's log2 bucket resolution.
+using Buckets = std::map<uint64_t, uint64_t>;
+
+Buckets family_buckets(const char* family) {
+  Buckets out;
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+  for (const obs::MetricValue& v : snap.values)
+    if (v.kind == obs::MetricKind::kHistogram && v.family == family)
+      for (const auto& [lo, n] : v.buckets) out[lo] += n;
+  return out;
+}
+
+void add_delta(const Buckets& before, const Buckets& after, Buckets* into) {
+  for (const auto& [lo, n] : after) {
+    const auto it = before.find(lo);
+    const uint64_t prev = it == before.end() ? 0 : it->second;
+    if (n > prev) (*into)[lo] += n - prev;
   }
-  return double(total) / t.seconds();
+}
+
+uint64_t p99_of(const Buckets& buckets) {
+  uint64_t total = 0;
+  for (const auto& [lo, n] : buckets) total += n;
+  if (total == 0) return 0;
+  const uint64_t target = (total * 99 + 99) / 100;
+  uint64_t seen = 0;
+  for (const auto& [lo, n] : buckets) {
+    seen += n;
+    if (seen >= target) return lo;
+  }
+  return buckets.rbegin()->first;
+}
+
+double timed_run(const std::vector<uint8_t>& es, const wall::TileGeometry& geo,
+                 int k, int* pictures) {
+  core::ClusterPipeline pipeline(geo, k, es);
+  const core::ClusterStats stats = pipeline.run(nullptr);
+  if (pictures) *pictures += stats.pictures;
+  return stats.fps;
+}
+
+Pair run_pair(const std::vector<uint8_t>& es, const wall::TileGeometry& geo,
+              int k) {
+  // Interleaved best-of-N: single threaded-pipeline runs jitter by double
+  // digits on a shared host, and back-to-back legs let slow load drift
+  // land entirely on one side. Alternating static/pooled runs exposes both
+  // legs to the same drift; best-of-N then picks each leg's least-perturbed
+  // run. The miss gate spans ALL pooled timed runs — every steady-state
+  // pass must be alloc-free, not just the fastest.
+  constexpr int kReps = 5;
+  Pair pair;
+  Buckets stat_split, stat_decode, pool_split, pool_decode;
+
+  // One warm-up pass per mode: the pooled pass mints the working set, the
+  // static pass just pages everything in so both legs measure warm.
+  mem::set_pooling_enabled(false);
+  mem::set_copy_through(true);
+  timed_run(es, geo, k, nullptr);
+  mem::set_copy_through(false);
+  mem::set_pooling_enabled(true);
+  timed_run(es, geo, k, nullptr);
+
+  const auto run_one = [&](Leg* leg, Buckets* split, Buckets* decode) {
+    const uint64_t miss0 = mem::BufferPool::wire().stats().misses +
+                           mem::SurfacePool::global().stats().misses;
+    const uint64_t hit0 = mem::BufferPool::wire().stats().hits +
+                          mem::SurfacePool::global().stats().hits;
+    const Buckets split0 = family_buckets(obs::family::kSplitNs);
+    const Buckets decode0 = family_buckets(obs::family::kDecodeNs);
+    leg->fps = std::max(leg->fps, timed_run(es, geo, k, &leg->pictures));
+    leg->misses += mem::BufferPool::wire().stats().misses +
+                   mem::SurfacePool::global().stats().misses - miss0;
+    leg->hits += mem::BufferPool::wire().stats().hits +
+                 mem::SurfacePool::global().stats().hits - hit0;
+    add_delta(split0, family_buckets(obs::family::kSplitNs), split);
+    add_delta(decode0, family_buckets(obs::family::kDecodeNs), decode);
+  };
+
+  for (int rep = 0; rep < kReps; ++rep) {
+    // Static leg: with pooling off every alloc is a heap miss by design
+    // (and every copy-through view copy allocates too), so its miss count
+    // is the per-picture alloc-stall count of the copy era. Snapshotting
+    // per leg keeps it out of the pooled leg's gate counters.
+    mem::set_pooling_enabled(false);
+    mem::set_copy_through(true);
+    run_one(&pair.stat, &stat_split, &stat_decode);
+    mem::set_copy_through(false);
+
+    mem::set_pooling_enabled(true);
+    run_one(&pair.pool, &pool_split, &pool_decode);
+  }
+  pair.stat.allocs_per_pic =
+      double(pair.stat.misses) / double(pair.stat.pictures);
+  pair.pool.allocs_per_pic =
+      double(pair.pool.misses) / double(pair.pool.pictures);
+  pair.stat.p99_split_ns = p99_of(stat_split);
+  pair.stat.p99_decode_ns = p99_of(stat_decode);
+  pair.pool.p99_split_ns = p99_of(pool_split);
+  pair.pool.p99_decode_ns = p99_of(pool_decode);
+  return pair;
 }
 
 }  // namespace
 
 int main() {
   benchutil::print_banner(
-      "Ablation — zero-copy transfers vs copy-through messaging",
+      "Ablation — pooled zero-copy buffers vs per-message heap allocation",
       "IPDPS'02 paper, Section 4.4 / Figure 5",
-      "posted receive buffers remove per-message memcpy from splitter and "
-      "decoder critical paths");
+      "posted receive buffers remove per-message copies; pooled refcounted "
+      "bodies remove per-message mallocs — steady state runs alloc-free");
 
-  const double bw_host = memcpy_bandwidth();
-  std::printf("host memcpy bandwidth: %.1f GB/s\n", bw_host / 1e9);
-
-  TextTable table({"stream", "config", "memcpy GB/s", "fps zero-copy",
-                   "fps copy-through", "slowdown"});
-  // Evaluate with this host's memcpy and with a 2001-era PC's (~0.3 GB/s,
-  // PC133 SDRAM) — the environment the paper designed for.
-  for (double bw : {bw_host, 0.3e9})
-  for (int id : {8, 16}) {
+  TextTable table({"stream", "config", "fps static", "fps pooled", "speedup",
+                   "hit rate", "steady miss/pic"});
+  TextTable stalls({"stream", "allocs/pic static", "allocs/pic pooled",
+                    "p99 split static", "p99 split pooled", "p99 decode static",
+                    "p99 decode pooled"});
+  for (int id : {10, 16}) {  // nbc @ 2x2, orion4 @ 4x4
     const video::StreamSpec& spec = video::stream_by_id(id);
     const auto es = benchutil::stream(id);
     wall::TileGeometry geo(spec.width, spec.height, spec.tiles_m, spec.tiles_n,
                            benchutil::kOverlap);
-    auto traces = benchutil::collect_traces(es, geo);
-    const auto costs = sim::measure_costs(traces);
-    sim::SimParams p;
-    p.two_level = true;
-    p.k = core::choose_k(costs.t_split, costs.t_decode);
-    p.link = benchutil::default_link();
-    const auto r_zero = sim::simulate_cluster(traces, geo, p);
+    const int k = 2;
 
-    // Copy-through: each message is copied once at the sender and once at
-    // the receiver. Charge the splitter for picture-in + SPs-out, and each
-    // decoder for its SP-in + exchanges in/out.
-    auto traces_copy = traces;
-    const int T = geo.tiles();
-    for (auto& tr : traces_copy) {
-      double sp_total = 0;
-      for (size_t t = 0; t < tr.sp_msg_bytes.size(); ++t)
-        sp_total += double(tr.sp_msg_bytes[t]);
-      tr.split_s += (2.0 * tr.picture_bytes + sp_total) / bw;
-      tr.copy_s += tr.picture_bytes / bw;  // root-side extra copy
-      for (int t = 0; t < T; ++t) {
-        double exch = 0;
-        for (int d = 0; d < T; ++d)
-          exch += double(tr.exchange_bytes.at(t, d)) +
-                  double(tr.exchange_bytes.at(d, t));
-        tr.decode_s[size_t(t)] +=
-            (double(tr.sp_msg_bytes[size_t(t)]) + exch) / bw;
-      }
-    }
-    const auto r_copy = sim::simulate_cluster(traces_copy, geo, p);
+    const Pair pair = run_pair(es, geo, k);
+    const Leg& stat = pair.stat;
+    const Leg& pool = pair.pool;
+    const double hit_rate =
+        pool.hits + pool.misses
+            ? double(pool.hits) / double(pool.hits + pool.misses)
+            : 0.0;
+
     table.add_row({spec.name,
-                   benchutil::config_name(p.k, spec.tiles_m, spec.tiles_n,
-                                          true),
-                   format("%.1f", bw / 1e9),
-                   format("%.1f", r_zero.fps), format("%.1f", r_copy.fps),
-                   format("%.2fx", r_zero.fps / r_copy.fps)});
+                   benchutil::config_name(k, spec.tiles_m, spec.tiles_n, true),
+                   format("%.2f", stat.fps), format("%.2f", pool.fps),
+                   format("%.2fx", pool.fps / stat.fps),
+                   format("%.1f%%", hit_rate * 100),
+                   format("%.2f", pool.allocs_per_pic)});
+    stalls.add_row({spec.name, format("%.1f", stat.allocs_per_pic),
+                    format("%.2f", pool.allocs_per_pic),
+                    format("%.1f ms", double(stat.p99_split_ns) / 1e6),
+                    format("%.1f ms", double(pool.p99_split_ns) / 1e6),
+                    format("%.1f ms", double(stat.p99_decode_ns) / 1e6),
+                    format("%.1f ms", double(pool.p99_decode_ns) / 1e6)});
+    benchutil::json_metric(
+        format("ablation_zerocopy_%s_fps_static", spec.name.c_str()), stat.fps,
+        "fps");
+    benchutil::json_metric(
+        format("ablation_zerocopy_%s_fps_pooled", spec.name.c_str()), pool.fps,
+        "fps");
     benchutil::json_metric(
         format("ablation_zerocopy_%s_speedup", spec.name.c_str()),
-        r_zero.fps / r_copy.fps, "x");
+        pool.fps / stat.fps, "x");
+    benchutil::json_metric(
+        format("ablation_zerocopy_%s_pool_hit_rate", spec.name.c_str()),
+        hit_rate, "ratio");
+    benchutil::json_metric(
+        format("ablation_zerocopy_%s_steady_misses_per_pic",
+               spec.name.c_str()),
+        pool.allocs_per_pic, "allocs/pic");
+    benchutil::json_metric(
+        format("ablation_zerocopy_%s_allocs_per_pic_static",
+               spec.name.c_str()),
+        stat.allocs_per_pic, "allocs/pic");
+    benchutil::json_metric(
+        format("ablation_zerocopy_%s_p99_decode_ms_static", spec.name.c_str()),
+        double(stat.p99_decode_ns) / 1e6, "ms");
+    benchutil::json_metric(
+        format("ablation_zerocopy_%s_p99_decode_ms_pooled", spec.name.c_str()),
+        double(pool.p99_decode_ns) / 1e6, "ms");
+    benchutil::json_metric(
+        format("ablation_zerocopy_%s_p99_split_ms_static", spec.name.c_str()),
+        double(stat.p99_split_ns) / 1e6, "ms");
+    benchutil::json_metric(
+        format("ablation_zerocopy_%s_p99_split_ms_pooled", spec.name.c_str()),
+        double(pool.p99_split_ns) / 1e6, "ms");
   }
   table.print(stdout);
   std::printf(
-      "\n(Zero-copy barely matters at modern memcpy bandwidth; at the "
-      "paper's ~0.3 GB/s it is a real win — its motivation.)\n");
+      "\n(The static leg re-copies every payload at every hop and "
+      "heap-allocates every wire body; the pooled leg serves the steady "
+      "state entirely from freelists — the miss/pic column is the "
+      "machine-checked \"zero hot-path mallocs\" gate.)\n");
+  std::printf("\nAlloc stalls & tail latency (p99 at log2 bucket "
+              "resolution):\n");
+  stalls.print(stdout);
   std::printf("\nCSV:\n");
   table.print_csv(stdout);
   return 0;

@@ -100,6 +100,33 @@ void draw(const obs::MetricsSnapshot& snap, int k, int tiles, bool ansi,
                    retr});
   }
   table.print(stdout);
+
+  // Buffer pools (process-wide: every node's wire bodies and picture planes
+  // come from these). Hit rate below 100% after warm-up means the hot path
+  // is malloc'ing; in-flight is the live pooled working set.
+  const auto pool_row = [&](TextTable* t, const char* name, const char* hits_f,
+                            const char* miss_f, const char* rec_f,
+                            const char* flight_f) {
+    const uint64_t hits = snap.counter_total(hits_f);
+    const uint64_t misses = snap.counter_total(miss_f);
+    const double rate =
+        hits + misses ? 100.0 * double(hits) / double(hits + misses) : 0.0;
+    t->add_row({name, format("%llu", (unsigned long long)hits),
+                format("%llu", (unsigned long long)misses),
+                format("%.1f%%", rate),
+                format("%llu", (unsigned long long)snap.counter_total(rec_f)),
+                format("%.1f", double(gauge_value(snap, flight_f, {})) /
+                                   (1024.0 * 1024.0))});
+  };
+  TextTable pools({"pool", "hits", "misses", "hit rate", "recycles",
+                   "in-flight MiB"});
+  pool_row(&pools, "wire", obs::family::kPoolHits, obs::family::kPoolMisses,
+           obs::family::kPoolRecycles, obs::family::kPoolBytesInFlight);
+  pool_row(&pools, "surface", obs::family::kSurfacePoolHits,
+           obs::family::kSurfacePoolMisses, obs::family::kSurfacePoolRecycles,
+           obs::family::kSurfacePoolBytesInFlight);
+  std::printf("\n");
+  pools.print(stdout);
   std::fflush(stdout);
 }
 

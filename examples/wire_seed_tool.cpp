@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
   proto::SpMsg sp;
   sp.pic_index = 5;
   sp.tile = 2;
-  sp.subpicture.assign(64, 0xA5);
+  sp.subpicture = mem::Bytes::filled(64, 0xA5);
   core::MeiInstruction send;
   send.op = core::MeiOp::kSend;
   send.mb_x = 3;

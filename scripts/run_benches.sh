@@ -114,6 +114,21 @@ with open(path, 'w') as f:
     json.dump(out, f, indent=1)
     f.write('\n')
 print(f'wrote {path}: {len(metrics)} metrics @ {out["git_sha"][:12]}')
+
+# Alloc gate: the zero-copy ablation reports steady-state pool misses per
+# picture (hot-path mallocs after warm-up). The pooled pipeline must run
+# alloc-free — any nonzero value is a regression and fails the whole run.
+gate = [m for m in metrics if m['name'].endswith('steady_misses_per_pic')]
+if not gate:
+    sys.exit('alloc gate: no steady_misses_per_pic metrics found '
+             '(bench_ablation_zerocopy missing from the run?)')
+bad = [m for m in gate if m['value'] > 0]
+for m in bad:
+    print(f"alloc gate FAILED: {m['name']} = {m['value']} allocs/pic",
+          file=sys.stderr)
+if bad:
+    sys.exit(1)
+print(f'alloc gate OK: {len(gate)} configs at 0 hot-path mallocs/picture')
 PY
 
 echo "done: results in $results"

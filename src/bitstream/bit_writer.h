@@ -1,10 +1,14 @@
 // MSB-first bit writer appending to an owned byte vector.
 //
 // Used by the MPEG-2 encoder and by unit tests that synthesize bitstream
-// fragments. Unlike the reader this is not on the parallel-decoder critical
-// path, so it favours clarity over micro-optimization.
+// fragments. The encoder emits one bit at a time for hundreds of thousands
+// of macroblocks per picture, so growth matters: the buffer grows in
+// power-of-two size classes from a non-trivial floor instead of whatever
+// small steps the std::vector implementation picks, and callers that know
+// the output size can reserve() it up front.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -24,7 +28,7 @@ class BitWriter {
   void put_bit(uint32_t bit) {
     cur_ = uint8_t((cur_ << 1) | (bit & 1u));
     if (++nbits_ == 8) {
-      bytes_.push_back(cur_);
+      push_byte(cur_);
       cur_ = 0;
       nbits_ = 0;
     }
@@ -38,10 +42,18 @@ class BitWriter {
   // MPEG-2 start code: align, then 00 00 01 <code>.
   void put_start_code(uint8_t code) {
     align_to_byte();
+    grow_for(4);
     bytes_.push_back(0x00);
     bytes_.push_back(0x00);
     bytes_.push_back(0x01);
     bytes_.push_back(code);
+  }
+
+  // Pre-size the buffer for ~`n` total bytes of output (rounded up to a
+  // power-of-two size class). Call before a large encode to skip the
+  // doubling ladder entirely.
+  void reserve(size_t n) {
+    if (n > bytes_.capacity()) bytes_.reserve(std::bit_ceil(n));
   }
 
   size_t bit_pos() const { return bytes_.size() * 8 + size_t(nbits_); }
@@ -59,6 +71,19 @@ class BitWriter {
   const std::vector<uint8_t>& bytes() const { return bytes_; }
 
  private:
+  static constexpr size_t kMinCapacity = 256;
+
+  void grow_for(size_t n) {
+    const size_t need = bytes_.size() + n;
+    if (need > bytes_.capacity())
+      bytes_.reserve(std::max(kMinCapacity, std::bit_ceil(need)));
+  }
+
+  void push_byte(uint8_t b) {
+    grow_for(1);
+    bytes_.push_back(b);
+  }
+
   std::vector<uint8_t> bytes_;
   uint8_t cur_ = 0;
   int nbits_ = 0;

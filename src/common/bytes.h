@@ -11,11 +11,15 @@
 
 namespace pdw {
 
+// Two modes: append to a growable vector, or write into a fixed-capacity
+// raw buffer (the pooled-serialization path, where the caller sized the
+// buffer exactly via the *_wire_bytes() helpers and overflow is a bug).
 class ByteWriter {
  public:
   explicit ByteWriter(std::vector<uint8_t>* out) : out_(out) {}
+  ByteWriter(uint8_t* buf, size_t capacity) : buf_(buf), cap_(capacity) {}
 
-  void u8(uint8_t v) { out_->push_back(v); }
+  void u8(uint8_t v) { append(&v, 1); }
   void u16(uint16_t v) { append(&v, 2); }
   void u32(uint32_t v) { append(&v, 4); }
   void u64(uint64_t v) { append(&v, 8); }
@@ -24,17 +28,28 @@ class ByteWriter {
   void f64(double v) { append(&v, 8); }
 
   void bytes(std::span<const uint8_t> data) {
-    out_->insert(out_->end(), data.begin(), data.end());
+    append(data.data(), data.size());
   }
 
-  size_t size() const { return out_->size(); }
+  size_t size() const { return out_ ? out_->size() : pos_; }
 
  private:
   void append(const void* p, size_t n) {
+    if (n == 0) return;
     const auto* b = static_cast<const uint8_t*>(p);
-    out_->insert(out_->end(), b, b + n);  // host is little-endian (x86/ARM LE)
+    if (out_) {
+      out_->insert(out_->end(), b, b + n);  // host is little-endian (x86/ARM LE)
+    } else {
+      PDW_CHECK_LE(pos_ + n, cap_);
+      std::memcpy(buf_ + pos_, b, n);
+      pos_ += n;
+    }
   }
-  std::vector<uint8_t>* out_;
+
+  std::vector<uint8_t>* out_ = nullptr;
+  uint8_t* buf_ = nullptr;
+  size_t cap_ = 0;
+  size_t pos_ = 0;
 };
 
 class ByteReader {
@@ -56,6 +71,7 @@ class ByteReader {
     return s;
   }
 
+  size_t pos() const { return pos_; }
   size_t remaining() const { return data_.size() - pos_; }
   bool done() const { return pos_ == data_.size(); }
 

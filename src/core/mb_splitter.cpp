@@ -29,9 +29,14 @@ void MacroblockSplitter::set_stream_info(const StreamInfo& info) {
 // decoder scans the slice.
 struct MacroblockSplitter::SliceSplitter final : public MbSink {
   SliceSplitter(const wall::TileGeometry& geo, const PictureContext& ctx,
-                std::span<const uint8_t> span, ConcealPlanner* planner,
+                const mem::Bytes& picture, ConcealPlanner* planner,
                 SplitResult* result)
-      : geo_(geo), ctx_(ctx), span_(span), planner_(planner), result_(result) {
+      : geo_(geo),
+        ctx_(ctx),
+        picture_(&picture),
+        span_(picture.span()),
+        planner_(planner),
+        result_(result) {
     builders_.resize(size_t(geo.tiles()));
     result_->stats.mbs_per_tile.assign(size_t(geo.tiles()), 0);
   }
@@ -136,9 +141,9 @@ struct MacroblockSplitter::SliceSplitter final : public MbSink {
         const size_t byte0 = rb.first_bit / 8;
         const size_t byte1 = (rb.last_bit_end + 7) / 8;
         PDW_CHECK_LE(byte1, span_.size());
-        // Verbatim copy — no bit realignment (paper §4.3 / Figure 4).
-        run.payload.assign(span_.begin() + std::ptrdiff_t(byte0),
-                           span_.begin() + std::ptrdiff_t(byte1));
+        // Verbatim bytes — no bit realignment (paper §4.3 / Figure 4) and
+        // no copy: the run views the picture's pooled block directly.
+        run.payload = picture_->view(byte0, byte1 - byte0);
       }
       result_->subpictures[size_t(t)].runs.push_back(std::move(run));
       rb = RunBuilder{};
@@ -162,6 +167,7 @@ struct MacroblockSplitter::SliceSplitter final : public MbSink {
 
   const wall::TileGeometry& geo_;
   const PictureContext& ctx_;
+  const mem::Bytes* picture_;
   std::span<const uint8_t> span_;
   ConcealPlanner* planner_;
   SplitResult* result_;
@@ -172,6 +178,12 @@ struct MacroblockSplitter::SliceSplitter final : public MbSink {
 
 SplitResult MacroblockSplitter::split(std::span<const uint8_t> picture_span,
                                       uint32_t pic_index) {
+  return split(mem::Bytes::copy_of(picture_span), pic_index);
+}
+
+SplitResult MacroblockSplitter::split(const mem::Bytes& picture,
+                                      uint32_t pic_index) {
+  const std::span<const uint8_t> picture_span = picture.span();
   SplitResult result;
   result.stats.input_bytes = picture_span.size();
 
@@ -207,13 +219,19 @@ SplitResult MacroblockSplitter::split(std::span<const uint8_t> picture_span,
   result.info = PicInfo::from(pic_index, headers.ph, headers.pce);
   result.subpictures.resize(size_t(geo_.tiles()));
   result.mei.resize(size_t(geo_.tiles()));
-  for (int t = 0; t < geo_.tiles(); ++t)
+  for (int t = 0; t < geo_.tiles(); ++t) {
     result.subpictures[size_t(t)].info = result.info;
+    // One run per slice the tile intersects; slices are per macroblock row,
+    // so the tile's MB-row count is the expected run count — reserving it
+    // keeps the runs vector from reallocating mid-split.
+    const wall::MbRect& mbs = geo_.tile_mbs(t);
+    result.subpictures[size_t(t)].runs.reserve(size_t(mbs.y1 - mbs.y0));
+  }
 
   MbSyntaxDecoder syntax(ctx, ParseMode::kScan);
   ConcealPlanner planner;
   planner.begin(seq_.mb_width(), seq_.mb_height(), ctx.pce);
-  SliceSplitter sink(geo_, ctx, picture_span, &planner, &result);
+  SliceSplitter sink(geo_, ctx, picture, &planner, &result);
 
   size_t pos = headers.first_slice_offset;
   while (true) {

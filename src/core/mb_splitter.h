@@ -58,7 +58,12 @@ class MacroblockSplitter {
   // mismatched configuration is a deployment bug, not stream damage.
   void set_stream_info(const StreamInfo& info);
 
-  // Split one picture-sized span (picture headers + slices).
+  // Split one coded picture (picture headers + slices). Run payloads in the
+  // result are zero-copy *views* into `picture`'s block — the sub-pictures
+  // stay valid as long as they live, pinning the picture buffer.
+  SplitResult split(const mem::Bytes& picture, uint32_t pic_index);
+  // Span flavour: copies the span into a pooled buffer first (callers that
+  // do not already hold the picture as Bytes).
   SplitResult split(std::span<const uint8_t> picture_span, uint32_t pic_index);
 
   const mpeg2::SequenceHeader& sequence() const { return seq_; }

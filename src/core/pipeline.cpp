@@ -1,5 +1,6 @@
 #include "core/pipeline.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <map>
@@ -12,6 +13,7 @@
 
 #include "common/timing.h"
 #include "core/mb_splitter.h"
+#include "mem/pool.h"
 #include "core/root_splitter.h"
 #include "obs/instruments.h"
 #include "obs/trace.h"
@@ -143,14 +145,9 @@ struct RootHost {
   }
 
   void run() {
-    std::vector<uint8_t> send_buffer;
     while (!node.stream_done()) {
       const uint32_t pic = node.cursor();
       const auto span = root.picture(int(pic));
-      {
-        PDW_TRACE_SPAN(obs::span::kCopyPic, topo.root(), pic);
-        send_buffer.assign(span.begin(), span.end());  // "Copy P to send buf"
-      }
       {
         PDW_TRACE_SPAN(obs::span::kGoAheadWait, topo.root(), pic);
         WallTimer wait;
@@ -158,7 +155,14 @@ struct RootHost {
         if (inst.go_ahead_wait_ns)
           inst.go_ahead_wait_ns->observe(uint64_t(wait.seconds() * 1e9));
       }
-      emit(ep, shared, topo.root(), node.dispatch(send_buffer));
+      Outgoing out;
+      {
+        // "Copy P to send buf" — the one copy: the ES span is packed straight
+        // into a pooled wire body that the splitter's sub-pictures then view.
+        PDW_TRACE_SPAN(obs::span::kCopyPic, topo.root(), pic);
+        out = node.dispatch(span);
+      }
+      emit(ep, shared, topo.root(), std::move(out));
       apply(node.on_tick(timer.seconds()));
     }
     for (Outgoing& o : node.end_of_stream())
@@ -260,16 +264,14 @@ struct SplitterHost {
       }
       PDW_TRACE_SPAN(obs::span::kRouteSp, self(), i);
       for (const proto::SplitterNode::SpRoute& rt : node.routes(i)) {
-        proto::SpMsg sp;
-        sp.pic_index = i;
-        sp.tile = uint16_t(rt.tile);
-        result.subpictures[size_t(rt.tile)].serialize(&sp.subpicture);
-        sp.mei = std::move(result.mei[size_t(rt.tile)]);
-        if (inst.sp_bytes_sent)
-          inst.sp_bytes_sent->add(
-              proto::sp_msg_wire_bytes(sp.subpicture.size(), sp.mei.size()));
-        emit(ep, shared, self(),
-             Outgoing{rt.dst_node, true, proto::pack(sp)});
+        // Serialize the sub-picture straight into the pooled wire body — no
+        // intermediate SpMsg byte vector.
+        proto::Packed p =
+            proto::pack_sp(i, uint16_t(rt.tile), /*stream=*/0,
+                           result.subpictures[size_t(rt.tile)],
+                           result.mei[size_t(rt.tile)]);
+        if (inst.sp_bytes_sent) inst.sp_bytes_sent->add(p.body.size());
+        emit(ep, shared, self(), Outgoing{rt.dst_node, true, std::move(p)});
       }
     }
 
@@ -571,8 +573,21 @@ ClusterStats ClusterPipeline::run(const TileDisplayFn& on_display) {
 
   WallTimer timer;
 
-  // Setup: every bulk receiver posts its two receive buffers before the
-  // stream starts (in GM this happens during connection establishment).
+  // Setup: prewarm the wire pool (the GM analog of pre-posting buffers) —
+  // mint every size class up to twice the largest coded picture so the
+  // steady state never misses, whatever peaks thread scheduling produces.
+  // The count covers the sub-picture classes, whose peak concurrency
+  // scales with tiles (every in-flight picture fans out one body per
+  // tile); prewarm itself caps the picture-sized classes by bytes.
+  {
+    size_t max_pic = 0;
+    for (int i = 0; i < total_pictures; ++i)
+      max_pic = std::max(max_pic, root.picture(i).size());
+    mem::BufferPool::wire().prewarm(max_pic * 2, 2 * nodes() + tiles + 8);
+  }
+
+  // Every bulk receiver posts its two receive buffers before the stream
+  // starts (in GM this happens during connection establishment).
   for (int s = 0; s < k_; ++s) {
     fabric.post_receive(splitter_node(s));
     fabric.post_receive(splitter_node(s));

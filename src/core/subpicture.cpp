@@ -93,11 +93,12 @@ size_t SubPicture::payload_bytes() const {
   return n;
 }
 
-void SubPicture::serialize(std::vector<uint8_t>* out) const {
-  ByteWriter w(out);
-  write_pic_info(w, info);
-  w.u32(uint32_t(runs.size()));
-  for (const SpRun& run : runs) {
+void SubPicture::serialize_into(ByteWriter* out) const {
+  ByteWriter& w = *out;
+  const SubPicture& sp = *this;
+  write_pic_info(w, sp.info);
+  w.u32(uint32_t(sp.runs.size()));
+  for (const SpRun& run : sp.runs) {
     write_state(w, run.state);
     w.u8(run.skip_bits);
     w.u32(run.first_coded_addr);
@@ -111,7 +112,12 @@ void SubPicture::serialize(std::vector<uint8_t>* out) const {
   }
 }
 
-SubPicture SubPicture::deserialize(std::span<const uint8_t> data) {
+namespace {
+
+// `parent` non-null: run payloads become views into its block (zero-copy);
+// null: payloads are pooled copies of the spans.
+SubPicture deserialize_impl(std::span<const uint8_t> data,
+                            const mem::Bytes* parent) {
   ByteReader r(data);
   SubPicture sp;
   sp.info = read_pic_info(r);
@@ -127,11 +133,37 @@ SubPicture SubPicture::deserialize(std::span<const uint8_t> data) {
     run.trail_skip_addr = r.u32();
     run.trail_skip_count = r.u16();
     const uint32_t len = r.u32();
+    const size_t off = r.pos();
     auto payload = r.bytes(len);
-    run.payload.assign(payload.begin(), payload.end());
+    run.payload = parent ? parent->view(off, len)
+                         : mem::Bytes::copy_of(payload);
   }
   PDW_CHECK(r.done()) << "trailing bytes in sub-picture";
   return sp;
+}
+
+}  // namespace
+
+void SubPicture::serialize(std::vector<uint8_t>* out) const {
+  ByteWriter w(out);
+  serialize_into(&w);
+}
+
+mem::Bytes SubPicture::serialize_pooled() const {
+  const size_t n = wire_bytes();
+  mem::Bytes out = mem::Bytes::alloc(n);
+  ByteWriter w(out.mutable_data(), n);
+  serialize_into(&w);
+  PDW_CHECK_EQ(w.size(), n);
+  return out;
+}
+
+SubPicture SubPicture::deserialize(std::span<const uint8_t> data) {
+  return deserialize_impl(data, nullptr);
+}
+
+SubPicture SubPicture::deserialize(const mem::Bytes& data) {
+  return deserialize_impl(data.span(), &data);
 }
 
 void StreamInfo::serialize(std::vector<uint8_t>* out) const {

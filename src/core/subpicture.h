@@ -20,7 +20,12 @@
 #include <span>
 #include <vector>
 
+#include "mem/bytes.h"
 #include "mpeg2/types.h"
+
+namespace pdw {
+class ByteWriter;
+}
 
 namespace pdw::core {
 
@@ -52,8 +57,10 @@ struct SpRun {
   uint16_t lead_skip_count = 0;   // skips synthesized before the payload
   uint32_t trail_skip_addr = 0;
   uint16_t trail_skip_count = 0;  // skips synthesized after the payload
-  // Payload: verbatim bytes of the partial slice ------------------------------
-  std::vector<uint8_t> payload;
+  // Payload: verbatim bytes of the partial slice. On the split path this is
+  // a *view* into the coded picture's pooled buffer; on the decode path a
+  // view into the SpMsg body — never a per-run copy.
+  mem::Bytes payload;
 
   int macroblocks() const {
     return num_coded + lead_skip_count + trail_skip_count;
@@ -70,7 +77,17 @@ struct SubPicture {
   size_t payload_bytes() const;  // raw slice bytes only (no SPH overhead)
 
   void serialize(std::vector<uint8_t>* out) const;
+  // Exact-size pooled serialization (wire_bytes() sizes the buffer up
+  // front; no growth reallocations).
+  mem::Bytes serialize_pooled() const;
+  // Append the wire encoding to an existing writer (proto::pack_sp encodes
+  // straight into a pooled SpMsg body this way).
+  void serialize_into(ByteWriter* w) const;
+  // Span flavour copies payloads; the Bytes flavour makes each run payload
+  // a view into `data`'s block (the transport buffer stays pinned until the
+  // last run dies).
   static SubPicture deserialize(std::span<const uint8_t> data);
+  static SubPicture deserialize(const mem::Bytes& data);
 };
 
 // Sequence-level information distributed once by the root splitter.

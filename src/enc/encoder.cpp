@@ -578,6 +578,12 @@ std::vector<uint8_t> Mpeg2Encoder::encode(int num_frames,
                                           EncodeStats* stats) {
   PDW_CHECK_GE(num_frames, 1);
   BitWriter w;
+  // Rate control targets target_bpp bits/pixel; reserve the whole stream's
+  // expected size (plus headroom for headers and rate-control overshoot) so
+  // the writer never reallocates mid-encode.
+  w.reserve(size_t(double(config_.width) * config_.height * num_frames *
+                   config_.target_bpp / 8.0 * 1.5) +
+            4096);
   RateControl rc(config_.width * config_.height, config_.target_bpp,
                  config_.gop_size, config_.b_frames);
 

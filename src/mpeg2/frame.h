@@ -12,18 +12,55 @@
 
 #include <cstdint>
 #include <cstring>
-#include <vector>
+#include <span>
+#include <utility>
 
 #include "common/check.h"
+#include "mem/bytes.h"
 
 namespace pdw::mpeg2 {
 
 // A single 8-bit plane with row-major storage (stride == width).
+//
+// Storage comes from the geometry-keyed surface pool (mem/pool.h): a wall
+// run allocates the same plane sizes every picture, so after warm-up a
+// fresh Plane is a freelist pop, not a malloc. Value semantics are
+// preserved — copies are deep — and copy-assignment reuses the existing
+// block when the geometry matches (the per-emission `last_shown_` refresh
+// in the tile decoder becomes a memcpy into recycled storage).
 class Plane {
  public:
   Plane() = default;
   Plane(int width, int height, uint8_t fill = 0)
-      : width_(width), height_(height), data_(size_t(width) * height, fill) {}
+      : width_(width),
+        height_(height),
+        data_(mem::Bytes::surface(size_t(width) * height, fill)) {}
+
+  Plane(const Plane& o)
+      : width_(o.width_),
+        height_(o.height_),
+        data_(mem::Bytes::surface_copy(o.data_.span())) {}
+  Plane& operator=(const Plane& o) {
+    if (this == &o) return *this;
+    width_ = o.width_;
+    height_ = o.height_;
+    if (data_.size() == o.data_.size() && data_.unique() && !data_.empty()) {
+      std::memcpy(data_.mutable_data(), o.data_.data(), o.data_.size());
+    } else {
+      data_ = mem::Bytes::surface_copy(o.data_.span());
+    }
+    return *this;
+  }
+  Plane(Plane&& o) noexcept
+      : width_(std::exchange(o.width_, 0)),
+        height_(std::exchange(o.height_, 0)),
+        data_(std::move(o.data_)) {}
+  Plane& operator=(Plane&& o) noexcept {
+    width_ = std::exchange(o.width_, 0);
+    height_ = std::exchange(o.height_, 0);
+    data_ = std::move(o.data_);
+    return *this;
+  }
 
   int width() const { return width_; }
   int height() const { return height_; }
@@ -31,7 +68,7 @@ class Plane {
   uint8_t* row(int y) {
     PDW_CHECK_GE(y, 0);
     PDW_CHECK_LT(y, height_);
-    return data_.data() + size_t(y) * width_;
+    return data_.mutable_data() + size_t(y) * width_;
   }
   const uint8_t* row(int y) const {
     PDW_CHECK_GE(y, 0);
@@ -42,17 +79,22 @@ class Plane {
   uint8_t at(int x, int y) const { return row(y)[x]; }
   void set(int x, int y, uint8_t v) { row(y)[x] = v; }
 
-  void fill(uint8_t v) { std::memset(data_.data(), v, data_.size()); }
+  void fill(uint8_t v) {
+    if (!data_.empty()) std::memset(data_.mutable_data(), v, data_.size());
+  }
 
-  const std::vector<uint8_t>& data() const { return data_; }
-  std::vector<uint8_t>& data() { return data_; }
+  std::span<const uint8_t> data() const { return data_.span(); }
+  std::span<uint8_t> data() { return data_.mutable_span(); }
 
-  friend bool operator==(const Plane&, const Plane&) = default;
+  friend bool operator==(const Plane& a, const Plane& b) {
+    return a.width_ == b.width_ && a.height_ == b.height_ &&
+           a.data_ == b.data_;
+  }
 
  private:
   int width_ = 0;
   int height_ = 0;
-  std::vector<uint8_t> data_;
+  mem::Bytes data_;  // owning, size == width * height
 };
 
 // Full-picture YUV 4:2:0 frame. Luma is width x height; chroma planes are

@@ -82,8 +82,14 @@ SendStatus Fabric::send(int src, int dst, Message msg) {
       ++mb.counters.dropped_messages;
       return SendStatus::kOk;
     }
-    if (fate.corrupt && injector_)
-      injector_->corrupt_payload(src, dst, link_ordinal, msg.payload);
+    if (fate.corrupt && injector_) {
+      // Copy-on-write before flipping bytes: the sender's retransmit queue
+      // pins the same block, and a retransmission must resend the *original*
+      // bytes, not the corrupted ones.
+      msg.payload.make_unique();
+      injector_->corrupt_payload(src, dst, link_ordinal,
+                                 msg.payload.mutable_span());
+    }
 
     // Flow control: a bulk message needs a posted buffer *now*. This is the
     // typed replacement for the old hard CHECK — the reliable layer retries.

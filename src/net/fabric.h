@@ -34,6 +34,7 @@
 
 #include "common/check.h"
 #include "common/traffic_matrix.h"
+#include "mem/bytes.h"
 #include "net/fault.h"
 
 namespace pdw::net {
@@ -46,7 +47,10 @@ struct Message {
   bool bulk = false;   // true: consumes a posted receive buffer
   uint32_t tseq = 0;   // transport sequence number (stamped by ReliableEndpoint)
   uint32_t crc = 0;    // payload CRC-32 (stamped by ReliableEndpoint)
-  std::vector<uint8_t> payload;
+  // Refcounted view of the pooled wire body: copying a Message (send,
+  // retransmit-queue pin, duplicate fault) bumps a refcount instead of
+  // copying payload bytes.
+  mem::Bytes payload;
 
   // Wire size. The 16-byte header models GM's small-message header and is
   // kept unchanged from the reliable-fabric era: seq/crc framing replaces

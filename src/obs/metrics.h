@@ -217,6 +217,19 @@ inline constexpr char kControlBytes[] = "control_bytes";
 inline constexpr char kRetransmits[] = "retransmits";
 inline constexpr char kAbandonedSends[] = "abandoned_sends";
 inline constexpr char kCrcDrops[] = "crc_drops";
+// Buffer-pool telemetry (src/mem). Misses are exactly the hot-path mallocs
+// the pools exist to eliminate: the steady-state acceptance gate asserts the
+// miss delta over a warmed-up run is zero. Global-registry only (pool state
+// is process-wide), so engine-local registries stay engine-deterministic.
+inline constexpr char kPoolHits[] = "pool_hits";
+inline constexpr char kPoolMisses[] = "pool_misses";
+inline constexpr char kPoolRecycles[] = "pool_recycles";
+inline constexpr char kPoolBytesInFlight[] = "pool_bytes_in_flight";  // gauge
+inline constexpr char kSurfacePoolHits[] = "surface_pool_hits";
+inline constexpr char kSurfacePoolMisses[] = "surface_pool_misses";
+inline constexpr char kSurfacePoolRecycles[] = "surface_pool_recycles";
+inline constexpr char kSurfacePoolBytesInFlight[] =
+    "surface_pool_bytes_in_flight";  // gauge
 inline constexpr char kSplitNs[] = "split_ns";              // histogram
 inline constexpr char kDecodeNs[] = "decode_ns";            // histogram
 inline constexpr char kServeNs[] = "serve_ns";              // histogram

@@ -107,18 +107,18 @@ bool RootNode::may_dispatch() const {
   return acks_seen_ >= int64_t(cursor_);
 }
 
-Outgoing RootNode::dispatch(std::vector<uint8_t> coded) {
+Outgoing RootNode::dispatch(std::span<const uint8_t> coded) {
   PDW_CHECK(may_dispatch());
   PDW_CHECK_LT(cursor_, total_pictures());
-  PictureMsg m;
-  m.pic_index = cursor_;
-  m.nsid = topo_.nsid(cursor_);
-  m.stream = opts_.stream;
-  m.coded = std::move(coded);
+  // The coded span (typically a view into the resident elementary stream)
+  // is packed straight into the pooled body — the one copy this picture
+  // makes on its way to the splitter.
+  Packed p =
+      pack_picture(cursor_, topo_.nsid(cursor_), opts_.stream, coded);
   const int dst = topo_.splitter(topo_.splitter_for_picture(cursor_));
   ++cursor_;
   if (m_dispatched_) m_dispatched_->add();
-  return Outgoing{dst, true, pack(m)};
+  return Outgoing{dst, true, std::move(p)};
 }
 
 std::vector<Outgoing> RootNode::end_of_stream() const {

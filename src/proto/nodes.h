@@ -208,9 +208,10 @@ class RootNode {
   bool may_dispatch() const;
   uint32_t cursor() const { return cursor_; }
   bool stream_done() const { return cursor_ >= total_pictures(); }
-  // Dispatch the picture at cursor() (the host provides its coded bytes);
+  // Dispatch the picture at cursor() (the host provides its coded bytes;
+  // the span is packed into a pooled body and may die after the call);
   // advances the cursor.
-  Outgoing dispatch(std::vector<uint8_t> coded);
+  Outgoing dispatch(std::span<const uint8_t> coded);
   // End-of-stream notices for every splitter.
   std::vector<Outgoing> end_of_stream() const;
 

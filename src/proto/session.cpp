@@ -132,17 +132,17 @@ void SerialStream::step(const DisplayFn& on_display, const TraceFn& on_trace) {
   tr.picture_bytes = span.size();
   tr.has_gop_header = root_.span(int(i)).has_gop_header;
 
-  // Root: copy the picture into the (zero-copy posted) send buffer, then
-  // dispatch it to the round-robin splitter.
-  std::vector<uint8_t> copy_buffer;
+  // Root: the one copy — the ES span is packed straight into a pooled wire
+  // body; everything downstream (splitter, sub-pictures) views that block.
+  PDW_CHECK(root_node_->may_dispatch());
+  Outgoing dispatched;
   {
     PDW_TRACE_SPAN(obs::span::kCopyPic, topo_.root(), i);
     WallTimer t;
-    copy_buffer.assign(span.begin(), span.end());
+    dispatched = root_node_->dispatch(span);
     tr.copy_s = t.seconds();
   }
-  PDW_CHECK(root_node_->may_dispatch());
-  deliver(topo_.root(), root_node_->dispatch(std::move(copy_buffer)));
+  deliver(topo_.root(), dispatched);
 
   // Splitter: dequeue (go-ahead back to the root), split, gate on the
   // ANID-redirected acks of picture i-1, route the sub-pictures.
@@ -168,7 +168,7 @@ void SerialStream::step(const DisplayFn& on_display, const TraceFn& on_trace) {
         m.pic_index = i;
         m.tile = uint16_t(d);
         m.stream = stream_id_;
-        result.subpictures[size_t(d)].serialize(&m.subpicture);
+        m.subpicture = result.subpictures[size_t(d)].serialize_pooled();
         m.mei = std::move(result.mei[size_t(d)]);
         tr.sp_msg_bytes[size_t(d)] =
             sp_msg_wire_bytes(m.subpicture.size(), m.mei.size());

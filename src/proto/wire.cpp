@@ -3,10 +3,31 @@
 #include <cstring>
 
 #include "common/bytes.h"
+#include "core/subpicture.h"
 
 namespace pdw::proto {
 
 namespace {
+
+// Fixed body sizes of the non-bulk messages: [version][type][stream] + fields.
+constexpr size_t kGoAheadBodyBytes = 3 + 4;
+constexpr size_t kEndOfStreamBodyBytes = 3;
+constexpr size_t kHeartbeatBodyBytes = 3 + 2;
+constexpr size_t kFinishedBodyBytes = 3 + 2;
+constexpr size_t kDeathNoticeBodyBytes = 3 + 2 + 2 + 4;
+constexpr size_t kSkipBroadcastBodyBytes = 3 + 4 + 2;
+
+// Allocate the exact-size pooled body and return a writer over it. The
+// PDW_CHECK in finish_body catches any drift between the size helpers and
+// the actual encoding.
+ByteWriter body_writer(Packed* p, size_t body_bytes) {
+  p->body = mem::Bytes::alloc(body_bytes);
+  return ByteWriter(p->body.mutable_data(), body_bytes);
+}
+
+void finish_body(const Packed& p, const ByteWriter& w) {
+  PDW_CHECK_EQ(w.size(), p.body.size());
+}
 
 // Defensive little-endian reader: every accessor reports failure instead of
 // CHECK-crashing, so decode() survives arbitrary bytes (fuzz_wire.cpp).
@@ -25,6 +46,7 @@ class TryReader {
     return true;
   }
 
+  size_t pos() const { return pos_; }
   size_t remaining() const { return data_.size() - pos_; }
   bool done() const { return pos_ == data_.size(); }
 
@@ -104,70 +126,130 @@ const char* msg_type_name(MsgType t) {
 
 // --- PictureMsg ------------------------------------------------------------
 
-Packed pack(const PictureMsg& m) {
+Packed pack_picture(uint32_t pic_index, uint16_t nsid, uint8_t stream,
+                    std::span<const uint8_t> coded) {
   Packed p;
   p.type = MsgType::kPicture;
-  p.stream = m.stream;
-  p.seq = m.pic_index;
-  p.aux = m.nsid;
+  p.stream = stream;
+  p.seq = pic_index;
+  p.aux = nsid;
   p.bulk = true;
-  ByteWriter w(&p.body);
-  put_prefix(&w, MsgType::kPicture, m.stream);
-  w.u32(m.pic_index);
-  w.u16(m.nsid);
-  w.u32(uint32_t(m.coded.size()));
-  w.bytes(m.coded);
+  ByteWriter w = body_writer(&p, picture_msg_wire_bytes(coded.size()));
+  put_prefix(&w, MsgType::kPicture, stream);
+  w.u32(pic_index);
+  w.u16(nsid);
+  w.u32(uint32_t(coded.size()));
+  w.bytes(coded);
+  finish_body(p, w);
   return p;
 }
 
-bool decode(std::span<const uint8_t> data, PictureMsg* out) {
+Packed pack(const PictureMsg& m) {
+  return pack_picture(m.pic_index, m.nsid, m.stream, m.coded);
+}
+
+namespace {
+
+bool decode_picture(std::span<const uint8_t> data, const mem::Bytes* parent,
+                    PictureMsg* out) {
   TryReader r(data);
   uint32_t len = 0;
   std::span<const uint8_t> coded;
   if (!take_prefix(&r, MsgType::kPicture, &out->stream) ||
       !r.u32(&out->pic_index) || !r.u16(&out->nsid) || !r.u32(&len) ||
-      len != r.remaining() || !r.bytes(len, &coded))
+      len != r.remaining())
     return false;
-  out->coded.assign(coded.begin(), coded.end());
+  const size_t off = r.pos();
+  if (!r.bytes(len, &coded)) return false;
+  out->coded = parent ? parent->view(off, len) : mem::Bytes::copy_of(coded);
   return r.done();
+}
+
+}  // namespace
+
+bool decode(std::span<const uint8_t> data, PictureMsg* out) {
+  return decode_picture(data, nullptr, out);
+}
+
+bool decode(const mem::Bytes& data, PictureMsg* out) {
+  return decode_picture(data.span(), &data, out);
 }
 
 // --- SpMsg -----------------------------------------------------------------
 
-Packed pack(const SpMsg& m) {
+namespace {
+
+void put_mei_list(ByteWriter* w, const std::vector<core::MeiInstruction>& mei) {
+  w->u32(uint32_t(mei.size()));
+  for (const core::MeiInstruction& i : mei) {
+    w->u8(uint8_t(i.op));
+    w->u8(i.ref);
+    w->u16(i.mb_x);
+    w->u16(i.mb_y);
+    w->u16(i.peer);
+  }
+}
+
+void put_sp_header(ByteWriter* w, uint32_t pic_index, uint16_t tile,
+                   uint8_t stream, size_t sp_len) {
+  put_prefix(w, MsgType::kSubPicture, stream);
+  w->u32(pic_index);
+  w->u16(tile);
+  w->u32(uint32_t(sp_len));
+}
+
+Packed sp_envelope(uint32_t pic_index, uint16_t tile, uint8_t stream) {
   Packed p;
   p.type = MsgType::kSubPicture;
-  p.stream = m.stream;
-  p.seq = m.pic_index;
-  p.aux = m.tile;
+  p.stream = stream;
+  p.seq = pic_index;
+  p.aux = tile;
   p.bulk = true;
-  ByteWriter w(&p.body);
-  put_prefix(&w, MsgType::kSubPicture, m.stream);
-  w.u32(m.pic_index);
-  w.u16(m.tile);
-  w.u32(uint32_t(m.subpicture.size()));
-  w.bytes(m.subpicture);
-  w.u32(uint32_t(m.mei.size()));
-  for (const core::MeiInstruction& i : m.mei) {
-    w.u8(uint8_t(i.op));
-    w.u8(i.ref);
-    w.u16(i.mb_x);
-    w.u16(i.mb_y);
-    w.u16(i.peer);
-  }
   return p;
 }
 
-bool decode(std::span<const uint8_t> data, SpMsg* out) {
+}  // namespace
+
+Packed pack(const SpMsg& m) {
+  Packed p = sp_envelope(m.pic_index, m.tile, m.stream);
+  ByteWriter w =
+      body_writer(&p, sp_msg_wire_bytes(m.subpicture.size(), m.mei.size()));
+  put_sp_header(&w, m.pic_index, m.tile, m.stream, m.subpicture.size());
+  w.bytes(m.subpicture);
+  put_mei_list(&w, m.mei);
+  finish_body(p, w);
+  return p;
+}
+
+Packed pack_sp(uint32_t pic_index, uint16_t tile, uint8_t stream,
+               const core::SubPicture& sp,
+               const std::vector<core::MeiInstruction>& mei) {
+  Packed p = sp_envelope(pic_index, tile, stream);
+  const size_t sp_len = sp.wire_bytes();
+  ByteWriter w = body_writer(&p, sp_msg_wire_bytes(sp_len, mei.size()));
+  put_sp_header(&w, pic_index, tile, stream, sp_len);
+  sp.serialize_into(&w);
+  put_mei_list(&w, mei);
+  finish_body(p, w);
+  return p;
+}
+
+namespace {
+
+bool decode_sp(std::span<const uint8_t> data, const mem::Bytes* parent,
+               SpMsg* out) {
   TryReader r(data);
   uint32_t sp_len = 0, mei_count = 0;
   std::span<const uint8_t> sp;
   if (!take_prefix(&r, MsgType::kSubPicture, &out->stream) ||
-      !r.u32(&out->pic_index) || !r.u16(&out->tile) || !r.u32(&sp_len) ||
-      !r.bytes(sp_len, &sp) || !r.u32(&mei_count) ||
+      !r.u32(&out->pic_index) || !r.u16(&out->tile) || !r.u32(&sp_len))
+    return false;
+  const size_t off = r.pos();
+  if (!r.bytes(sp_len, &sp) || !r.u32(&mei_count) ||
       size_t(mei_count) * core::kMeiWireBytes != r.remaining())
     return false;
-  out->subpicture.assign(sp.begin(), sp.end());
+  out->subpicture =
+      parent ? parent->view(off, sp_len) : mem::Bytes::copy_of(sp);
   out->mei.resize(mei_count);
   for (core::MeiInstruction& i : out->mei) {
     uint8_t op = 0;
@@ -177,6 +259,16 @@ bool decode(std::span<const uint8_t> data, SpMsg* out) {
       return false;
   }
   return r.done();
+}
+
+}  // namespace
+
+bool decode(std::span<const uint8_t> data, SpMsg* out) {
+  return decode_sp(data, nullptr, out);
+}
+
+bool decode(const mem::Bytes& data, SpMsg* out) {
+  return decode_sp(data.span(), &data, out);
 }
 
 size_t sp_msg_wire_bytes(size_t subpicture_bytes, size_t mei_count) {
@@ -200,9 +292,10 @@ Packed pack(const GoAheadAck& m) {
   p.type = MsgType::kGoAheadAck;
   p.stream = m.stream;
   p.seq = m.pic_index;
-  ByteWriter w(&p.body);
+  ByteWriter w = body_writer(&p, kGoAheadBodyBytes);
   put_prefix(&w, MsgType::kGoAheadAck, m.stream);
   w.u32(m.pic_index);
+  finish_body(p, w);
   return p;
 }
 
@@ -220,13 +313,14 @@ Packed pack(const ExchangeMsg& m) {
   p.stream = m.stream;
   p.seq = m.pic_index;
   p.aux = m.src_tile;
-  ByteWriter w(&p.body);
+  ByteWriter w = body_writer(&p, exchange_msg_wire_bytes(m.entries.size()));
   put_prefix(&w, MsgType::kExchange, m.stream);
   w.u32(m.pic_index);
   w.u16(m.src_tile);
   w.u16(m.dst_tile);
   w.u32(uint32_t(m.entries.size()));
   for (const ExchangeEntry& e : m.entries) put_entry(&w, e);
+  finish_body(p, w);
   return p;
 }
 
@@ -250,8 +344,9 @@ Packed pack(const EndOfStream& m) {
   Packed p;
   p.type = MsgType::kEndOfStream;
   p.stream = m.stream;
-  ByteWriter w(&p.body);
+  ByteWriter w = body_writer(&p, kEndOfStreamBodyBytes);
   put_prefix(&w, MsgType::kEndOfStream, m.stream);
+  finish_body(p, w);
   return p;
 }
 
@@ -267,9 +362,10 @@ Packed pack(const Heartbeat& m) {
   p.type = MsgType::kHeartbeat;
   p.stream = m.stream;
   p.aux = m.tile;
-  ByteWriter w(&p.body);
+  ByteWriter w = body_writer(&p, kHeartbeatBodyBytes);
   put_prefix(&w, MsgType::kHeartbeat, m.stream);
   w.u16(m.tile);
+  finish_body(p, w);
   return p;
 }
 
@@ -286,9 +382,10 @@ Packed pack(const Finished& m) {
   p.type = MsgType::kFinished;
   p.stream = m.stream;
   p.aux = m.tile;
-  ByteWriter w(&p.body);
+  ByteWriter w = body_writer(&p, kFinishedBodyBytes);
   put_prefix(&w, MsgType::kFinished, m.stream);
   w.u16(m.tile);
+  finish_body(p, w);
   return p;
 }
 
@@ -306,11 +403,12 @@ Packed pack(const DeathNotice& m) {
   p.stream = m.stream;
   p.seq = m.resync_pic;
   p.aux = m.dead_tile;
-  ByteWriter w(&p.body);
+  ByteWriter w = body_writer(&p, kDeathNoticeBodyBytes);
   put_prefix(&w, MsgType::kDeathNotice, m.stream);
   w.u16(m.dead_tile);
   w.u16(m.adopter_tile);
   w.u32(m.resync_pic);
+  finish_body(p, w);
   return p;
 }
 
@@ -329,10 +427,11 @@ Packed pack(const SkipBroadcast& m) {
   p.stream = m.stream;
   p.seq = m.pic_index;
   p.aux = m.tile;
-  ByteWriter w(&p.body);
+  ByteWriter w = body_writer(&p, kSkipBroadcastBodyBytes);
   put_prefix(&w, MsgType::kSkipBroadcast, m.stream);
   w.u32(m.pic_index);
   w.u16(m.tile);
+  finish_body(p, w);
   return p;
 }
 
@@ -363,6 +462,26 @@ std::optional<AnyMsg> decode_any(std::span<const uint8_t> data) {
     case MsgType::kSkipBroadcast: return try_decode(SkipBroadcast{});
   }
   return std::nullopt;
+}
+
+std::optional<AnyMsg> decode_any(const mem::Bytes& data) {
+  if (data.size() < 2) return std::nullopt;
+  // Only the two bulk types carry payloads worth viewing; everything else
+  // takes the span path.
+  switch (MsgType(data[1])) {
+    case MsgType::kPicture: {
+      PictureMsg m;
+      if (!decode(data, &m)) return std::nullopt;
+      return AnyMsg(std::move(m));
+    }
+    case MsgType::kSubPicture: {
+      SpMsg m;
+      if (!decode(data, &m)) return std::nullopt;
+      return AnyMsg(std::move(m));
+    }
+    default:
+      return decode_any(data.span());
+  }
 }
 
 }  // namespace pdw::proto

@@ -26,7 +26,12 @@
 #include <vector>
 
 #include "core/mei.h"
+#include "mem/bytes.h"
 #include "mpeg2/frame.h"
+
+namespace pdw::core {
+struct SubPicture;
+}
 
 namespace pdw::proto {
 
@@ -57,7 +62,9 @@ struct PictureMsg {
   uint32_t pic_index = 0;
   uint16_t nsid = 0;  // (pic_index + 1) % k
   uint8_t stream = 0;
-  std::vector<uint8_t> coded;  // verbatim picture span from the ES
+  // Verbatim picture span from the ES. Decoding a Packed body with the
+  // Bytes overload makes this a view into the transport buffer.
+  mem::Bytes coded;
 
   friend bool operator==(const PictureMsg&, const PictureMsg&) = default;
 };
@@ -69,7 +76,7 @@ struct SpMsg {
   uint32_t pic_index = 0;
   uint16_t tile = 0;
   uint8_t stream = 0;
-  std::vector<uint8_t> subpicture;  // core::SubPicture::serialize bytes
+  mem::Bytes subpicture;  // core::SubPicture::serialize bytes (view on decode)
   std::vector<core::MeiInstruction> mei;
 
   friend bool operator==(const SpMsg&, const SpMsg&) = default;
@@ -166,7 +173,9 @@ struct Packed {
   uint32_t seq = 0;   // picture index (0 when not applicable)
   uint16_t aux = 0;   // tile / NSID (0 when not applicable)
   bool bulk = false;  // consumes a posted receive buffer
-  std::vector<uint8_t> body;
+  // Pooled, exact-size buffer: pack() knows every body size up front (the
+  // *_wire_bytes() helpers), so encoding is a single pool pop + fill.
+  mem::Bytes body;
 
   size_t wire_bytes() const { return body.size() + kEnvelopeBytes; }
   // Models GM's small-message header (same figure net::Message uses).
@@ -175,6 +184,14 @@ struct Packed {
 
 Packed pack(const PictureMsg& m);
 Packed pack(const SpMsg& m);
+// Zero-copy variants that serialize straight into the pooled body, skipping
+// the intermediate PictureMsg::coded / SpMsg::subpicture buffer entirely —
+// the hosts' hot-path encode.
+Packed pack_picture(uint32_t pic_index, uint16_t nsid, uint8_t stream,
+                    std::span<const uint8_t> coded);
+Packed pack_sp(uint32_t pic_index, uint16_t tile, uint8_t stream,
+               const core::SubPicture& sp,
+               const std::vector<core::MeiInstruction>& mei);
 Packed pack(const GoAheadAck& m);
 Packed pack(const ExchangeMsg& m);
 Packed pack(const EndOfStream& m);
@@ -195,12 +212,20 @@ bool decode(std::span<const uint8_t> data, Finished* out);
 bool decode(std::span<const uint8_t> data, DeathNotice* out);
 bool decode(std::span<const uint8_t> data, SkipBroadcast* out);
 
+// Zero-copy decode: bulk fields (PictureMsg::coded, SpMsg::subpicture)
+// become views sharing `data`'s block instead of copies. The span overloads
+// above still copy (fuzzers and tests hand in unpooled storage).
+bool decode(const mem::Bytes& data, PictureMsg* out);
+bool decode(const mem::Bytes& data, SpMsg* out);
+
 using AnyMsg =
     std::variant<PictureMsg, SpMsg, GoAheadAck, ExchangeMsg, EndOfStream,
                  Heartbeat, Finished, DeathNotice, SkipBroadcast>;
 
 // Dispatch on the body's type byte. nullopt on malformed input.
 std::optional<AnyMsg> decode_any(std::span<const uint8_t> data);
+// Bytes overload: bulk payload fields decode as views into `data`.
+std::optional<AnyMsg> decode_any(const mem::Bytes& data);
 
 // Accounting constants shared with the lockstep trace / DES cost model: the
 // per-entry wire cost of a halo macroblock exchange (pixels + the 8-byte MEI

@@ -9,7 +9,7 @@
 namespace pdw::net {
 namespace {
 
-Message bulk_msg(int type, std::vector<uint8_t> payload) {
+Message bulk_msg(int type, mem::Bytes payload) {
   Message m;
   m.type = type;
   m.bulk = true;
@@ -70,7 +70,7 @@ TEST(Fabric, TwoBufferFlowControl) {
 TEST(Fabric, CountersTrackBothDirections) {
   Fabric f(3);
   f.post_receive(2);
-  f.send(1, 2, bulk_msg(1, std::vector<uint8_t>(100)));
+  f.send(1, 2, bulk_msg(1, mem::Bytes::filled(100, 0)));
   const NodeCounters sender = f.counters(1);
   const NodeCounters receiver = f.counters(2);
   EXPECT_EQ(sender.sent_bytes, 100 + Message::kHeaderBytes);
@@ -83,7 +83,7 @@ TEST(Fabric, CountersTrackBothDirections) {
 TEST(Fabric, TrafficMatrix) {
   Fabric f(3);
   Message m;
-  m.payload.resize(84);  // 100 bytes on the wire
+  m.payload = mem::Bytes::filled(84, 0);  // 100 bytes on the wire
   f.send(0, 2, std::move(m));
   const auto traffic = f.traffic_matrix();
   EXPECT_EQ(traffic.at(0, 2), 100u);
@@ -94,7 +94,7 @@ TEST(Fabric, ConservationOfBytes) {
   Fabric f(4);
   for (int i = 0; i < 20; ++i) {
     Message m;
-    m.payload.resize(size_t(i * 13 % 50));
+    m.payload = mem::Bytes::filled(size_t(i * 13 % 50), 0);
     f.send(i % 4, (i + 1) % 4, std::move(m));
   }
   uint64_t sent = 0, recv = 0;

@@ -11,8 +11,11 @@
 #include <map>
 
 #include "core/lockstep.h"
+#include "core/mb_splitter.h"
 #include "core/pipeline.h"
+#include "core/root_splitter.h"
 #include "enc/encoder.h"
+#include "mem/bytes.h"
 #include "mpeg2/decoder.h"
 #include "obs/metrics.h"
 #include "video/generator.h"
@@ -287,6 +290,77 @@ TEST(ProtocolEquivalence, ThreadedMatchesLockstepWireForWire) {
   EXPECT_GT(serial.counts.at(proto::MsgType::kSubPicture), 0u);
   EXPECT_GT(serial.counts.at(proto::MsgType::kExchange), 0u);
   EXPECT_GT(serial.counts.at(proto::MsgType::kGoAheadAck), 0u);
+}
+
+// The pooled buffer subsystem must be invisible on the wire: with pooling
+// disabled (every allocation a plain heap malloc/free) the protocol must
+// produce byte-identical messages, identical per-node traffic matrices and
+// identical decoded frames. Anything else means a pooled buffer was reused
+// while still referenced, or a view aliased bytes it did not own.
+TEST(ProtocolEquivalence, PooledMatchesUnpooledWireForWire) {
+  const int w = 256, h = 192, k = 2;
+  const auto es = make_stream(w, h, SceneKind::kMovingObjects, 8);
+  wall::TileGeometry geo(w, h, 2, 2, 0);
+
+  // Byte-for-byte: the same split sub-picture serialized through the legacy
+  // vector path and the pooled path, then packed through pack() and the
+  // direct-into-body pack_sp().
+  core::RootSplitter root(es);
+  core::MacroblockSplitter splitter(geo);
+  splitter.set_stream_info(root.stream_info());
+  core::SplitResult sr =
+      splitter.split(mem::Bytes::copy_of(root.picture(0)), 0);
+  ASSERT_TRUE(sr.status.ok());
+  for (int t = 0; t < geo.tiles(); ++t) {
+    const core::SubPicture& sub = sr.subpictures[size_t(t)];
+    std::vector<uint8_t> vec;
+    sub.serialize(&vec);
+    const mem::Bytes pooled = sub.serialize_pooled();
+    EXPECT_EQ(pooled, mem::Bytes::borrow(vec)) << "tile " << t;
+
+    proto::SpMsg m;
+    m.pic_index = 0;
+    m.tile = uint16_t(t);
+    m.subpicture = pooled;
+    m.mei = sr.mei[size_t(t)];
+    const proto::Packed a = proto::pack(m);
+    const proto::Packed b =
+        proto::pack_sp(0, uint16_t(t), 0, sub, sr.mei[size_t(t)]);
+    EXPECT_EQ(a.body, b.body) << "tile " << t;
+  }
+
+  // Full-run equivalence, pooling on vs off: identical message counts,
+  // node x node traffic, per-picture exchange matrices and output frames.
+  struct PoolingOff {
+    PoolingOff() { mem::set_pooling_enabled(false); }
+    ~PoolingOff() { mem::set_pooling_enabled(true); }
+  };
+  proto::WireAccounting unpooled_acct;
+  std::vector<Frame> unpooled_frames;
+  {
+    PoolingOff off;
+    LockstepPipeline lockstep(geo, k, es);
+    lockstep.run(nullptr, nullptr);
+    unpooled_acct = lockstep.accounting();
+    unpooled_frames = parallel_decode(es, geo, k);
+  }
+  LockstepPipeline lockstep(geo, k, es);
+  lockstep.run(nullptr, nullptr);
+  const proto::WireAccounting& pooled_acct = lockstep.accounting();
+  const std::vector<Frame> pooled_frames = parallel_decode(es, geo, k);
+
+  ASSERT_EQ(pooled_acct.counts.size(), unpooled_acct.counts.size());
+  for (const auto& [type, n] : unpooled_acct.counts)
+    EXPECT_EQ(pooled_acct.counts.at(type), n) << proto::msg_type_name(type);
+  EXPECT_TRUE(pooled_acct.traffic == unpooled_acct.traffic);
+  EXPECT_TRUE(pooled_acct.exchange_by_picture ==
+              unpooled_acct.exchange_by_picture);
+  ASSERT_EQ(pooled_frames.size(), unpooled_frames.size());
+  for (size_t i = 0; i < pooled_frames.size(); ++i) {
+    EXPECT_EQ(pooled_frames[i].y, unpooled_frames[i].y) << "frame " << i;
+    EXPECT_EQ(pooled_frames[i].cb, unpooled_frames[i].cb) << "frame " << i;
+    EXPECT_EQ(pooled_frames[i].cr, unpooled_frames[i].cr) << "frame " << i;
+  }
 }
 
 // Both engines mirror their protocol progress into the telemetry registry

@@ -23,7 +23,9 @@ SpRun sample_run(int seed) {
   run.lead_skip_count = 3;
   run.trail_skip_addr = 1290;
   run.trail_skip_count = 2;
-  for (int i = 0; i < 100 + seed; ++i) run.payload.push_back(uint8_t(i * 7));
+  std::vector<uint8_t> payload;
+  for (int i = 0; i < 100 + seed; ++i) payload.push_back(uint8_t(i * 7));
+  run.payload = mem::Bytes::copy_of(payload);
   return run;
 }
 

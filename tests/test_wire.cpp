@@ -177,15 +177,16 @@ TEST(WireReject, EmptyAndTruncated) {
 }
 
 TEST(WireReject, TrailingGarbage) {
-  Packed p = pack(GoAheadAck{1, 0});
-  p.body.push_back(0xEE);
+  const Packed p = pack(GoAheadAck{1, 0});
+  std::vector<uint8_t> grown(p.body.span().begin(), p.body.span().end());
+  grown.push_back(0xEE);
   GoAheadAck out;
-  EXPECT_FALSE(decode(p.body, &out));
+  EXPECT_FALSE(decode(grown, &out));
 }
 
 TEST(WireReject, VersionSkew) {
   Packed p = pack(sample_sp());
-  p.body[0] = uint8_t(kWireVersion + 1);
+  p.body.mutable_data()[0] = uint8_t(kWireVersion + 1);
   SpMsg out;
   EXPECT_FALSE(decode(p.body, &out));
   EXPECT_FALSE(decode_any(p.body).has_value());
@@ -204,7 +205,7 @@ TEST(WireReject, WrongTypeByte) {
 
 TEST(WireReject, UnknownTypeByte) {
   Packed p = pack(Heartbeat{1, 0});
-  p.body[1] = 0xFE;
+  p.body.mutable_data()[1] = 0xFE;
   EXPECT_FALSE(decode_any(p.body).has_value());
 }
 
@@ -217,7 +218,8 @@ TEST(WireReject, ExchangeCountOverflow) {
   // The count field lives in the fixed prelude; force it huge.
   for (size_t i = 2; i + 4 <= p.body.size() && i < 16; ++i) {
     Packed corrupt = p;
-    corrupt.body[i] = 0xFF;
+    corrupt.body.make_unique();  // copy-on-write: don't scribble on p's block
+    corrupt.body.mutable_data()[i] = 0xFF;
     // Either rejected or decoded to something self-consistent — never a
     // crash or an out-of-bounds read (ASan-checked in CI).
     ExchangeMsg dummy;
