@@ -62,6 +62,7 @@ void emit(net::ReliableEndpoint& ep, Shared& shared, int src, Outgoing o) {
   m.type = int(o.msg.type);
   m.seq = o.msg.seq;
   m.aux = o.msg.aux;
+  m.stream = o.msg.stream;
   m.bulk = o.msg.bulk;
   m.payload = std::move(o.msg.body);
   if (o.reliable)
@@ -83,6 +84,7 @@ void emit_exchange(net::ReliableEndpoint& ep, Shared& shared, int src,
   m.type = int(p.type);
   m.seq = p.seq;
   m.aux = p.aux;
+  m.stream = p.stream;
   m.bulk = p.bulk;
   m.payload = std::move(p.body);
   ep.send(dst, std::move(m));

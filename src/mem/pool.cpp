@@ -45,11 +45,13 @@ struct StatsCore {
   std::atomic<uint64_t> hits{0}, misses{0}, recycles{0}, steals{0};
   std::atomic<int64_t> bytes_in_flight{0};
   std::atomic<uint64_t> pooled_bytes{0};
+  std::atomic<uint64_t> budget_fallbacks{0};
 
   obs::Counter* obs_hits = nullptr;
   obs::Counter* obs_misses = nullptr;
   obs::Counter* obs_recycles = nullptr;
   obs::Gauge* obs_in_flight = nullptr;
+  obs::Counter* obs_budget_fallbacks = nullptr;
 
   void resolve(const PoolObsFamilies& fams) {
     auto& reg = obs::MetricsRegistry::global();
@@ -57,6 +59,8 @@ struct StatsCore {
     if (fams.misses) obs_misses = &reg.counter(fams.misses);
     if (fams.recycles) obs_recycles = &reg.counter(fams.recycles);
     if (fams.bytes_in_flight) obs_in_flight = &reg.gauge(fams.bytes_in_flight);
+    if (fams.budget_fallbacks)
+      obs_budget_fallbacks = &reg.counter(fams.budget_fallbacks);
   }
 
   void on_hit(size_t cap, bool stolen) {
@@ -71,6 +75,10 @@ struct StatsCore {
     bytes_in_flight.fetch_add(int64_t(cap), std::memory_order_relaxed);
     if (obs_misses) obs_misses->add(1);
     if (obs_in_flight) obs_in_flight->add(int64_t(cap));
+  }
+  void on_budget_fallback() {
+    budget_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    if (obs_budget_fallbacks) obs_budget_fallbacks->add(1);
   }
   void on_release(size_t cap, bool recycled) {
     bytes_in_flight.fetch_sub(int64_t(cap), std::memory_order_relaxed);
@@ -87,13 +95,29 @@ struct StatsCore {
     s.steals = steals.load(std::memory_order_relaxed);
     s.bytes_in_flight = bytes_in_flight.load(std::memory_order_relaxed);
     s.pooled_bytes = pooled_bytes.load(std::memory_order_relaxed);
+    s.budget_fallbacks = budget_fallbacks.load(std::memory_order_relaxed);
     return s;
+  }
+
+  PoolPressure pressure(size_t budget) const {
+    PoolPressure p;
+    if (budget)
+      p.fullness = double(pooled_bytes.load(std::memory_order_relaxed)) /
+                   double(budget);
+    p.budget_fallbacks = budget_fallbacks.load(std::memory_order_relaxed);
+    return p;
   }
 };
 
-// Heap-fallback allocation: a block no pool will ever recycle.
-Bytes heap_bytes(size_t n, StatsCore& stats) {
+// Heap-fallback allocation: a block no pool will ever recycle. It still
+// carries the core pointer, because the miss was counted into
+// bytes_in_flight and the release must unwind it — a core-less block would
+// leak in-flight accounting forever (the chaos harness' drain invariant
+// caught exactly that).
+Bytes heap_bytes(size_t n, PoolCore* core, StatsCore& stats) {
   BlockHeader* b = detail::new_heap_block(n);
+  b->core = core;
+  core->ref();
   stats.on_miss(n);
   return detail::adopt_block(b, n);
 }
@@ -128,7 +152,7 @@ class BufferPool::Core : public PoolCore {
 
   Bytes alloc(size_t n) {
     const int cls = class_for(n);
-    if (cls < 0 || !pooling_enabled()) return heap_bytes(n, stats_);
+    if (cls < 0 || !pooling_enabled()) return heap_bytes(n, this, stats_);
 
     const size_t cap = class_bytes(cls);
     const int home = this_thread_shard(kShards);
@@ -155,7 +179,8 @@ class BufferPool::Core : public PoolCore {
         stats_.pooled_bytes.fetch_add(cap, std::memory_order_relaxed);
     if (minted + cap > max_pool_bytes_) {
       stats_.pooled_bytes.fetch_sub(cap, std::memory_order_relaxed);
-      return heap_bytes(n, stats_);
+      stats_.on_budget_fallback();
+      return heap_bytes(n, this, stats_);
     }
     BlockHeader* b = detail::new_heap_block(cap);
     b->size_class = uint32_t(cls);
@@ -166,8 +191,13 @@ class BufferPool::Core : public PoolCore {
   }
 
   void recycle(BlockHeader* b) override {
-    if (!active_.load(std::memory_order_acquire) || !pooling_enabled() ||
-        b->size_class == BlockHeader::kHeapClass) {
+    if (b->size_class == BlockHeader::kHeapClass) {
+      // Heap fallback: never entered the pool budget, only unwind in-flight.
+      stats_.on_release(b->capacity, /*recycled=*/false);
+      detail::delete_block(b);
+      return;
+    }
+    if (!active_.load(std::memory_order_acquire) || !pooling_enabled()) {
       stats_.on_release(b->capacity, /*recycled=*/false);
       stats_.pooled_bytes.fetch_sub(b->capacity, std::memory_order_relaxed);
       detail::delete_block(b);
@@ -196,6 +226,7 @@ class BufferPool::Core : public PoolCore {
   }
 
   PoolStats stats() const { return stats_.snapshot(); }
+  PoolPressure pressure() const { return stats_.pressure(max_pool_bytes_); }
 
  private:
   struct Shard {
@@ -246,6 +277,8 @@ void BufferPool::prewarm(size_t max_bytes, int count) {
 
 PoolStats BufferPool::stats() const { return core_->stats(); }
 
+PoolPressure BufferPool::pressure() const { return core_->pressure(); }
+
 int BufferPool::class_for(size_t n) {
   if (n > kMaxClassBytes) return -1;
   const size_t clamped = n < kMinClassBytes ? kMinClassBytes : n;
@@ -260,6 +293,8 @@ BufferPool& BufferPool::wire() {
                              .misses = obs::family::kPoolMisses,
                              .recycles = obs::family::kPoolRecycles,
                              .bytes_in_flight = obs::family::kPoolBytesInFlight,
+                             .budget_fallbacks =
+                                 obs::family::kPoolBudgetFallbacks,
                          });
   return pool;
 }
@@ -274,7 +309,7 @@ class SurfacePool::Core : public PoolCore {
   }
 
   Bytes alloc(size_t n) {
-    if (!pooling_enabled()) return heap_bytes(n, stats_);
+    if (!pooling_enabled()) return heap_bytes(n, this, stats_);
     {
       std::lock_guard<std::mutex> lk(mu_);
       auto it = free_.find(n);
@@ -292,7 +327,8 @@ class SurfacePool::Core : public PoolCore {
         stats_.pooled_bytes.fetch_add(n, std::memory_order_relaxed);
     if (minted + n > max_pool_bytes_) {
       stats_.pooled_bytes.fetch_sub(n, std::memory_order_relaxed);
-      return heap_bytes(n, stats_);
+      stats_.on_budget_fallback();
+      return heap_bytes(n, this, stats_);
     }
     BlockHeader* b = detail::new_heap_block(n);
     b->size_class = kSurfaceClass;
@@ -303,8 +339,13 @@ class SurfacePool::Core : public PoolCore {
   }
 
   void recycle(BlockHeader* b) override {
-    if (!active_.load(std::memory_order_acquire) || !pooling_enabled() ||
-        b->size_class == BlockHeader::kHeapClass) {
+    if (b->size_class == BlockHeader::kHeapClass) {
+      // Heap fallback: never entered the pool budget, only unwind in-flight.
+      stats_.on_release(b->capacity, /*recycled=*/false);
+      detail::delete_block(b);
+      return;
+    }
+    if (!active_.load(std::memory_order_acquire) || !pooling_enabled()) {
       stats_.on_release(b->capacity, /*recycled=*/false);
       stats_.pooled_bytes.fetch_sub(b->capacity, std::memory_order_relaxed);
       detail::delete_block(b);
@@ -331,6 +372,7 @@ class SurfacePool::Core : public PoolCore {
   }
 
   PoolStats stats() const { return stats_.snapshot(); }
+  PoolPressure pressure() const { return stats_.pressure(max_pool_bytes_); }
 
  private:
   static constexpr uint32_t kSurfaceClass = 0xFFFFFFFEu;
@@ -356,6 +398,8 @@ Bytes SurfacePool::alloc(size_t n) {
 
 PoolStats SurfacePool::stats() const { return core_->stats(); }
 
+PoolPressure SurfacePool::pressure() const { return core_->pressure(); }
+
 SurfacePool& SurfacePool::global() {
   static SurfacePool pool(size_t(512) << 20,
                           PoolObsFamilies{
@@ -364,6 +408,8 @@ SurfacePool& SurfacePool::global() {
                               .recycles = obs::family::kSurfacePoolRecycles,
                               .bytes_in_flight =
                                   obs::family::kSurfacePoolBytesInFlight,
+                              .budget_fallbacks =
+                                  obs::family::kSurfacePoolBudgetFallbacks,
                           });
   return pool;
 }

@@ -230,6 +230,24 @@ inline constexpr char kSurfacePoolMisses[] = "surface_pool_misses";
 inline constexpr char kSurfacePoolRecycles[] = "surface_pool_recycles";
 inline constexpr char kSurfacePoolBytesInFlight[] =
     "surface_pool_bytes_in_flight";  // gauge
+// Allocations that fell back to plain heap blocks because the pool byte
+// budget was spent — the memory leg of the overload/backpressure signal
+// (a growing value means current demand exceeds the configured budget).
+inline constexpr char kPoolBudgetFallbacks[] = "pool_budget_fallbacks";
+inline constexpr char kSurfacePoolBudgetFallbacks[] =
+    "surface_pool_budget_fallbacks";
+// Multi-tenant admission & QoS (src/proto/admission.h). Admission counters
+// are unlabeled totals; the per-tenant families are labeled {stream} and
+// feed wall_top's tenant table.
+inline constexpr char kAdmissionAccepted[] = "admission_accepted";
+inline constexpr char kAdmissionRejected[] = "admission_rejected";
+inline constexpr char kAdmissionRenegotiated[] = "admission_renegotiated";
+inline constexpr char kTenantAdmitted[] = "tenant_admitted";        // gauge
+inline constexpr char kTenantPriorityClass[] = "tenant_priority";   // gauge
+inline constexpr char kTenantDegradeLevel[] = "tenant_degrade";     // gauge
+inline constexpr char kTenantPicturesShed[] = "tenant_pictures_shed";
+inline constexpr char kTenantDeadlineMisses[] = "tenant_deadline_misses";
+inline constexpr char kTenantDeadlineChecks[] = "tenant_deadline_checks";
 inline constexpr char kSplitNs[] = "split_ns";              // histogram
 inline constexpr char kDecodeNs[] = "decode_ns";            // histogram
 inline constexpr char kServeNs[] = "serve_ns";              // histogram

@@ -1,7 +1,10 @@
 #include "proto/session.h"
 
+#include <algorithm>
 #include <map>
 #include <utility>
+
+#include "mem/pool.h"
 
 #include "common/check.h"
 #include "common/timing.h"
@@ -73,6 +76,16 @@ SerialStream::~SerialStream() = default;
 
 int SerialStream::picture_count() const { return root_.picture_count(); }
 
+mpeg2::PicType SerialStream::next_picture_type() const {
+  PDW_CHECK(!done());
+  return root_.picture_type(int(cursor_));
+}
+
+bool SerialStream::next_gop_start() const {
+  PDW_CHECK(!done());
+  return root_.span(int(cursor_)).has_gop_header;
+}
+
 void SerialStream::deliver(int src, const Outgoing& o) {
   acct_.record(src, o.dst, o.msg.type, o.msg.body.size());
   std::optional<AnyMsg> msg = decode_any(o.msg.body);
@@ -114,7 +127,8 @@ void SerialStream::dispatch(int src, int dst, AnyMsg msg) {
   for (const Outgoing& o : step.send) deliver(dst, o);
 }
 
-void SerialStream::step(const DisplayFn& on_display, const TraceFn& on_trace) {
+void SerialStream::step(const DisplayFn& on_display, const TraceFn& on_trace,
+                        bool shed) {
   PDW_CHECK(!finished_);
   PDW_CHECK(!done());
   const int tiles = topo_.tiles;
@@ -157,31 +171,44 @@ void SerialStream::step(const DisplayFn& on_display, const TraceFn& on_trace) {
 
   core::SplitResult result;
   std::vector<SpMsg> sp_msgs(static_cast<size_t>(tiles));
-  {
-    PDW_TRACE_SPAN(obs::span::kSplitPic, topo_.splitter(s), i);
-    WallTimer t;
-    result = splitters_[size_t(s)]->split(pic.coded, i);
-    if (result.status.ok()) {
-      // Serializing SPs and MEIs into wire messages is splitter work.
-      for (int d = 0; d < tiles; ++d) {
-        SpMsg& m = sp_msgs[size_t(d)];
-        m.pic_index = i;
-        m.tile = uint16_t(d);
-        m.stream = stream_id_;
-        m.subpicture = result.subpictures[size_t(d)].serialize_pooled();
-        m.mei = std::move(result.mei[size_t(d)]);
-        tr.sp_msg_bytes[size_t(d)] =
-            sp_msg_wire_bytes(m.subpicture.size(), m.mei.size());
+  if (shed) {
+    // QoS shed: the picture costs no split work at all — the start-code
+    // scan's peeked type stands in for the parse, and the failure status
+    // routes the step down the same skip-broadcast path an undecodable
+    // picture takes.
+    ++pictures_shed_;
+    result.status = DecodeStatus::error(DecodeErr::kUnsupported,
+                                        DecodeSeverity::kPicture, 0);
+    result.info.type = root_.picture_type(int(i));
+    tr.type = result.info.type;
+    tr.split_stats = result.stats;
+  } else {
+    {
+      PDW_TRACE_SPAN(obs::span::kSplitPic, topo_.splitter(s), i);
+      WallTimer t;
+      result = splitters_[size_t(s)]->split(pic.coded, i);
+      if (result.status.ok()) {
+        // Serializing SPs and MEIs into wire messages is splitter work.
+        for (int d = 0; d < tiles; ++d) {
+          SpMsg& m = sp_msgs[size_t(d)];
+          m.pic_index = i;
+          m.tile = uint16_t(d);
+          m.stream = stream_id_;
+          m.subpicture = result.subpictures[size_t(d)].serialize_pooled();
+          m.mei = std::move(result.mei[size_t(d)]);
+          tr.sp_msg_bytes[size_t(d)] =
+              sp_msg_wire_bytes(m.subpicture.size(), m.mei.size());
+        }
       }
+      tr.split_s = t.seconds();
     }
-    tr.split_s = t.seconds();
+    tr.type = result.info.type;
+    tr.split_stats = result.stats;
+    if (result.status.ok() && sm_[size_t(s)].pictures_split)
+      sm_[size_t(s)].pictures_split->add();
+    if (sm_[size_t(s)].split_ns)
+      sm_[size_t(s)].split_ns->observe(uint64_t(tr.split_s * 1e9));
   }
-  tr.type = result.info.type;
-  tr.split_stats = result.stats;
-  if (result.status.ok() && sm_[size_t(s)].pictures_split)
-    sm_[size_t(s)].pictures_split->add();
-  if (sm_[size_t(s)].split_ns)
-    sm_[size_t(s)].split_ns->observe(uint64_t(tr.split_s * 1e9));
 
   PDW_CHECK(sn.prev_acked(i));
   if (!result.status.ok()) {
@@ -318,38 +345,93 @@ StreamSession::StreamSession(const wall::TileGeometry& geo, int k)
 StreamSession::~StreamSession() = default;
 
 int StreamSession::add_stream(std::span<const uint8_t> es) {
-  PDW_CHECK_LT(int(streams_.size()), 256);  // the wire `stream` tag is a byte
-  const int id = int(streams_.size());
-  streams_.push_back(std::make_unique<SerialStream>(geo_, k_, es, uint8_t(id)));
+  const int id = streams_.empty() ? 0 : streams_.rbegin()->first + 1;
+  PDW_CHECK_LT(id, 256);  // the wire `stream` tag is a byte
+  Slot& slot = streams_[id];
+  slot.ss = std::make_unique<SerialStream>(geo_, k_, es, uint8_t(id));
   return id;
+}
+
+void StreamSession::enable_admission(AdmissionController::Config cfg) {
+  PDW_CHECK(streams_.empty());  // gate before anything attaches
+  adm_ = std::make_unique<AdmissionController>(cfg);
+}
+
+StreamReply StreamSession::attach_stream(int stream_id,
+                                         std::span<const uint8_t> es,
+                                         const TenantSpec& spec) {
+  PDW_CHECK(adm_ != nullptr);
+  StreamReply rep;
+  rep.verdict = AdmissionVerdict::kReject;
+  rep.level = DegradeLevel::kFreeze;
+  if (stream_id < 0 || stream_id > 255) return rep;
+  rep.stream = uint8_t(stream_id);
+  if (streams_.count(stream_id)) return rep;  // duplicate attach
+  rep = adm_->offer(to_request(spec, uint8_t(stream_id)));
+  if (rep.verdict == AdmissionVerdict::kReject) return rep;
+  Slot& slot = streams_[stream_id];
+  slot.ss = std::make_unique<SerialStream>(geo_, k_, es, uint8_t(stream_id));
+  slot.spec = spec;
+  slot.gated = true;
+  return rep;
 }
 
 StreamSession::Result StreamSession::run(const DisplayFn& on_display) {
   Result r;
   r.streams = streams();
-  r.stream_pictures.assign(streams_.size(), 0);
+  const int max_id = streams_.empty() ? -1 : streams_.rbegin()->first;
+  r.stream_pictures.assign(size_t(max_id + 1), 0);
   WallTimer timer;
+  // Pool-pressure baseline: only fallbacks that happen *during* this run
+  // count as backpressure (the process-global pool carries history).
+  uint64_t pool_fallbacks =
+      adm_ ? mem::BufferPool::wire().pressure().budget_fallbacks : 0;
   bool progressed = true;
   while (progressed) {
     progressed = false;
-    for (size_t sidx = 0; sidx < streams_.size(); ++sidx) {
-      SerialStream& ss = *streams_[sidx];
+    for (auto& [id, slot] : streams_) {
+      SerialStream& ss = *slot.ss;
       if (ss.done()) continue;
+      bool shed = false;
+      if (adm_ && slot.gated)
+        shed = adm_->should_shed(uint8_t(id), ss.next_picture_type(),
+                                 ss.next_gop_start());
+      WallTimer step_timer;
       ss.step(
-          [&](int tile, const mpeg2::TileFrame& tf,
-              const core::TileDisplayInfo& info) {
-            if (on_display) on_display(int(sidx), tile, tf, info);
+          [&, id = id](int tile, const mpeg2::TileFrame& tf,
+                       const core::TileDisplayInfo& info) {
+            if (on_display) on_display(id, tile, tf, info);
           },
-          /*on_trace=*/nullptr);
-      ++r.stream_pictures[sidx];
+          /*on_trace=*/nullptr, shed);
+      if (adm_ && slot.gated && slot.spec.fps > 0)
+        adm_->deadline_check(
+            uint8_t(id), step_timer.seconds() > 1.0 / double(slot.spec.fps));
+      if (shed) ++r.shed;
+      ++r.stream_pictures[size_t(id)];
       ++r.pictures;
       progressed = true;
+      // A tenant's budget frees the moment its stream ends — mid-GOP or
+      // not — so later rounds admit/revert against the true load.
+      if (ss.done() && adm_ && slot.gated) adm_->release(uint8_t(id));
+    }
+    if (adm_ && progressed) {
+      // One backpressure reading per round (bounding ladder movement to one
+      // step per round). Base signal: committed load against *raw* capacity,
+      // so a merely-full wall sits in the dead band. A wire-pool budget
+      // fallback during the round means memory demand outran the budget —
+      // that forces the signal to the degrade threshold.
+      double signal = adm_->committed_load() / adm_->config().capacity.mb_per_s;
+      const mem::PoolPressure bp = mem::BufferPool::wire().pressure();
+      if (bp.budget_fallbacks > pool_fallbacks)
+        signal = std::max(signal, adm_->config().degrade_at);
+      pool_fallbacks = bp.budget_fallbacks;
+      adm_->on_pressure(signal);
     }
   }
-  for (size_t sidx = 0; sidx < streams_.size(); ++sidx)
-    streams_[sidx]->finish([&](int tile, const mpeg2::TileFrame& tf,
-                               const core::TileDisplayInfo& info) {
-      if (on_display) on_display(int(sidx), tile, tf, info);
+  for (auto& [id, slot] : streams_)
+    slot.ss->finish([&, id = id](int tile, const mpeg2::TileFrame& tf,
+                                 const core::TileDisplayInfo& info) {
+      if (on_display) on_display(id, tile, tf, info);
     });
   r.wall_seconds = timer.seconds();
   r.aggregate_fps =

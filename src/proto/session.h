@@ -19,6 +19,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <span>
 
@@ -26,6 +27,7 @@
 #include "core/root_splitter.h"
 #include "core/tile_decoder.h"
 #include "obs/instruments.h"
+#include "proto/admission.h"
 #include "proto/nodes.h"
 #include "wall/geometry.h"
 
@@ -70,9 +72,19 @@ class SerialStream {
   uint32_t next_picture() const { return cursor_; }
   bool done() const { return int(cursor_) >= picture_count(); }
 
+  // Coding type / closed-GOP flag of the next picture, peeked from the
+  // start-code scan — what the QoS ladder needs *before* any split work.
+  mpeg2::PicType next_picture_type() const;
+  bool next_gop_start() const;
+  uint64_t pictures_shed() const { return pictures_shed_; }
+
   // Advance one picture end to end: dispatch -> split -> serve/exchange ->
-  // decode -> ack. Either callback may be null.
-  void step(const DisplayFn& on_display, const TraceFn& on_trace);
+  // decode -> ack. Either callback may be null. With `shed` the picture is
+  // dispatched but never split: the splitter broadcasts a skip and every
+  // tile emits a frozen frame — the QoS degradation path, riding the same
+  // machinery as an undecodable picture.
+  void step(const DisplayFn& on_display, const TraceFn& on_trace,
+            bool shed = false);
 
   // End-of-stream protocol: flush every tile decoder and run the
   // finished-notice handshake. Call once, after the last step().
@@ -99,6 +111,7 @@ class SerialStream {
   std::vector<std::unique_ptr<SplitterNode>> splitter_nodes_;
   WireAccounting acct_;
   uint32_t cursor_ = 0;
+  uint64_t pictures_shed_ = 0;
   bool finished_ = false;
 
   // Cached telemetry instruments, resolved once at construction.
@@ -107,15 +120,28 @@ class SerialStream {
 };
 
 // N independent elementary streams through one wall, one picture per stream
-// per round.
+// per round. Optionally admission-gated: with enable_admission() every
+// attach goes through the AdmissionController and the per-round scheduler
+// consults its degradation ladder before stepping each stream.
 class StreamSession {
  public:
   StreamSession(const wall::TileGeometry& geo, int k);
   ~StreamSession();
 
   // Returns the stream id (also the wire `stream` tag). `es` is borrowed.
+  // Ungated legacy attach — always admitted, never shed.
   int add_stream(std::span<const uint8_t> es);
   int streams() const { return int(streams_.size()); }
+
+  // Turn on multi-tenant admission. Must precede attach_stream().
+  void enable_admission(AdmissionController::Config cfg);
+  AdmissionController* admission() { return adm_.get(); }
+
+  // Admission-gated attach at an explicit stream id. Creates the stream only
+  // on accept/renegotiate; a duplicate id (live or already attached) or an
+  // out-of-range id gets a typed kReject and changes nothing.
+  StreamReply attach_stream(int stream_id, std::span<const uint8_t> es,
+                            const TenantSpec& spec);
 
   using DisplayFn =
       std::function<void(int stream, int tile, const mpeg2::TileFrame&,
@@ -123,19 +149,30 @@ class StreamSession {
 
   struct Result {
     int streams = 0;
-    uint64_t pictures = 0;  // total across streams
+    uint64_t pictures = 0;  // total across streams (shed ones included)
+    uint64_t shed = 0;      // pictures shed by the QoS ladder
     double wall_seconds = 0;
     double aggregate_fps = 0;  // pictures / wall_seconds
-    std::vector<uint64_t> stream_pictures;
+    std::vector<uint64_t> stream_pictures;  // indexed by stream id
   };
 
   // Decode every stream to completion, interleaving pictures round-robin.
+  // Streams may finish in any order relative to attach order; a stream that
+  // ends mid-GOP simply stops stepping while the others continue. Admitted
+  // tenants are released from the controller as they finish.
   Result run(const DisplayFn& on_display);
 
  private:
+  struct Slot {
+    std::unique_ptr<SerialStream> ss;
+    TenantSpec spec;
+    bool gated = false;  // attached through admission
+  };
+
   const wall::TileGeometry& geo_;
   int k_;
-  std::vector<std::unique_ptr<SerialStream>> streams_;
+  std::map<int, Slot> streams_;  // keyed by stream id
+  std::unique_ptr<AdmissionController> adm_;
 };
 
 }  // namespace pdw::proto

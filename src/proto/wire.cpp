@@ -16,6 +16,8 @@ constexpr size_t kHeartbeatBodyBytes = 3 + 2;
 constexpr size_t kFinishedBodyBytes = 3 + 2;
 constexpr size_t kDeathNoticeBodyBytes = 3 + 2 + 2 + 4;
 constexpr size_t kSkipBroadcastBodyBytes = 3 + 4 + 2;
+constexpr size_t kStreamRequestBodyBytes = 3 + 2 + 2 + 2 + 1;
+constexpr size_t kStreamReplyBodyBytes = 3 + 1 + 1;
 
 // Allocate the exact-size pooled body and return a writer over it. The
 // PDW_CHECK in finish_body catches any drift between the size helpers and
@@ -120,6 +122,36 @@ const char* msg_type_name(MsgType t) {
     case MsgType::kFinished: return "finished";
     case MsgType::kDeathNotice: return "death-notice";
     case MsgType::kSkipBroadcast: return "skip";
+    case MsgType::kStreamRequest: return "stream-request";
+    case MsgType::kStreamReply: return "stream-reply";
+  }
+  return "unknown";
+}
+
+const char* priority_class_name(PriorityClass c) {
+  switch (c) {
+    case PriorityClass::kBackground: return "background";
+    case PriorityClass::kStandard: return "standard";
+    case PriorityClass::kPremium: return "premium";
+  }
+  return "unknown";
+}
+
+const char* degrade_level_name(DegradeLevel l) {
+  switch (l) {
+    case DegradeLevel::kNone: return "full";
+    case DegradeLevel::kSkipB: return "skip-B";
+    case DegradeLevel::kSkipP: return "skip-P";
+    case DegradeLevel::kFreeze: return "freeze";
+  }
+  return "unknown";
+}
+
+const char* admission_verdict_name(AdmissionVerdict v) {
+  switch (v) {
+    case AdmissionVerdict::kAccept: return "accept";
+    case AdmissionVerdict::kReject: return "reject";
+    case AdmissionVerdict::kRenegotiate: return "renegotiate";
   }
   return "unknown";
 }
@@ -441,6 +473,64 @@ bool decode(std::span<const uint8_t> data, SkipBroadcast* out) {
          r.u32(&out->pic_index) && r.u16(&out->tile) && r.done();
 }
 
+// --- StreamRequest ---------------------------------------------------------
+
+Packed pack(const StreamRequest& m) {
+  Packed p;
+  p.type = MsgType::kStreamRequest;
+  p.stream = m.stream;
+  p.aux = uint16_t(m.priority);
+  ByteWriter w = body_writer(&p, kStreamRequestBodyBytes);
+  put_prefix(&w, MsgType::kStreamRequest, m.stream);
+  w.u16(m.width_mb);
+  w.u16(m.height_mb);
+  w.u16(m.fps);
+  w.u8(uint8_t(m.priority));
+  finish_body(p, w);
+  return p;
+}
+
+bool decode(std::span<const uint8_t> data, StreamRequest* out) {
+  TryReader r(data);
+  uint8_t priority = 0;
+  if (!take_prefix(&r, MsgType::kStreamRequest, &out->stream) ||
+      !r.u16(&out->width_mb) || !r.u16(&out->height_mb) || !r.u16(&out->fps) ||
+      !r.u8(&priority) || !r.done())
+    return false;
+  if (priority > uint8_t(PriorityClass::kPremium)) return false;
+  out->priority = PriorityClass(priority);
+  return true;
+}
+
+// --- StreamReply -----------------------------------------------------------
+
+Packed pack(const StreamReply& m) {
+  Packed p;
+  p.type = MsgType::kStreamReply;
+  p.stream = m.stream;
+  p.aux = uint16_t(m.verdict);
+  ByteWriter w = body_writer(&p, kStreamReplyBodyBytes);
+  put_prefix(&w, MsgType::kStreamReply, m.stream);
+  w.u8(uint8_t(m.verdict));
+  w.u8(uint8_t(m.level));
+  finish_body(p, w);
+  return p;
+}
+
+bool decode(std::span<const uint8_t> data, StreamReply* out) {
+  TryReader r(data);
+  uint8_t verdict = 0, level = 0;
+  if (!take_prefix(&r, MsgType::kStreamReply, &out->stream) ||
+      !r.u8(&verdict) || !r.u8(&level) || !r.done())
+    return false;
+  if (verdict > uint8_t(AdmissionVerdict::kRenegotiate) ||
+      level > uint8_t(DegradeLevel::kFreeze))
+    return false;
+  out->verdict = AdmissionVerdict(verdict);
+  out->level = DegradeLevel(level);
+  return true;
+}
+
 // --- decode_any ------------------------------------------------------------
 
 std::optional<AnyMsg> decode_any(std::span<const uint8_t> data) {
@@ -460,6 +550,8 @@ std::optional<AnyMsg> decode_any(std::span<const uint8_t> data) {
     case MsgType::kFinished: return try_decode(Finished{});
     case MsgType::kDeathNotice: return try_decode(DeathNotice{});
     case MsgType::kSkipBroadcast: return try_decode(SkipBroadcast{});
+    case MsgType::kStreamRequest: return try_decode(StreamRequest{});
+    case MsgType::kStreamReply: return try_decode(StreamReply{});
   }
   return std::nullopt;
 }

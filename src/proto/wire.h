@@ -50,6 +50,8 @@ enum class MsgType : uint8_t {
   kFinished = 7,       // decoder -> root: stream done, stop monitoring me
   kDeathNotice = 8,    // root -> everyone (dead tile, adopter, resync)
   kSkipBroadcast = 9,  // splitter -> decoders: picture (tile, seq) is lost
+  kStreamRequest = 10,  // tenant -> root: admit this stream (declared cost)
+  kStreamReply = 11,    // root -> tenant: accept / reject / renegotiate
 };
 
 const char* msg_type_name(MsgType t);
@@ -162,6 +164,65 @@ struct SkipBroadcast {
   friend bool operator==(const SkipBroadcast&, const SkipBroadcast&) = default;
 };
 
+// --- Admission handshake (multi-tenant serving) ----------------------------
+
+// QoS class of a tenant's stream. Lower classes degrade and shed first; the
+// admission controller never degrades class N while class N+1 still has
+// headroom to give up.
+enum class PriorityClass : uint8_t {
+  kBackground = 0,  // best-effort (preview walls, transcode feeds)
+  kStandard = 1,    // normal interactive viewing
+  kPremium = 2,     // contractual QoS: protected until everything else is shed
+};
+
+// Degradation ladder, in the order overload applies it. Skipping B pictures
+// is free of drift (nothing references a B picture); kSkipP decodes only I
+// pictures (a P picture's references would be stale); kFreeze holds the last
+// displayed frame. Reverting is only bit-exact at a closed-GOP I picture, so
+// the controller *raises* a stream's level immediately but *lowers* it
+// lazily, at the next picture whose span carries a GOP header.
+enum class DegradeLevel : uint8_t {
+  kNone = 0,
+  kSkipB = 1,
+  kSkipP = 2,
+  kFreeze = 3,
+};
+
+enum class AdmissionVerdict : uint8_t {
+  kAccept = 0,
+  kReject = 1,       // no capacity at any degrade level
+  kRenegotiate = 2,  // admitted, but only at the granted degrade level
+};
+
+const char* priority_class_name(PriorityClass c);
+const char* degrade_level_name(DegradeLevel l);
+const char* admission_verdict_name(AdmissionVerdict v);
+
+// Tenant -> root: admit stream `stream` with this declared cost. The root
+// answers with a StreamReply naming the verdict; attach before an accept is
+// a protocol error.
+struct StreamRequest {
+  uint16_t width_mb = 0;   // declared picture geometry, in macroblocks
+  uint16_t height_mb = 0;
+  uint16_t fps = 0;        // declared picture rate (deadline source)
+  PriorityClass priority = PriorityClass::kStandard;
+  uint8_t stream = 0;
+
+  friend bool operator==(const StreamRequest&, const StreamRequest&) = default;
+};
+
+// Root -> tenant: the admission verdict. On kRenegotiate, `level` is the
+// degrade level the stream is granted at (the tenant may attach at that
+// level or walk away); on kAccept it is kNone; on kReject it is kFreeze
+// (nothing would be decoded anyway).
+struct StreamReply {
+  AdmissionVerdict verdict = AdmissionVerdict::kReject;
+  DegradeLevel level = DegradeLevel::kNone;
+  uint8_t stream = 0;
+
+  friend bool operator==(const StreamReply&, const StreamReply&) = default;
+};
+
 // --- Packing ---------------------------------------------------------------
 
 // An encoded protocol message plus the envelope fields transports key on.
@@ -199,6 +260,8 @@ Packed pack(const Heartbeat& m);
 Packed pack(const Finished& m);
 Packed pack(const DeathNotice& m);
 Packed pack(const SkipBroadcast& m);
+Packed pack(const StreamRequest& m);
+Packed pack(const StreamReply& m);
 
 // Strict typed decode: false on malformed input, never crashes. `data` is
 // the body produced by pack() (including the version/type prefix).
@@ -211,6 +274,8 @@ bool decode(std::span<const uint8_t> data, Heartbeat* out);
 bool decode(std::span<const uint8_t> data, Finished* out);
 bool decode(std::span<const uint8_t> data, DeathNotice* out);
 bool decode(std::span<const uint8_t> data, SkipBroadcast* out);
+bool decode(std::span<const uint8_t> data, StreamRequest* out);
+bool decode(std::span<const uint8_t> data, StreamReply* out);
 
 // Zero-copy decode: bulk fields (PictureMsg::coded, SpMsg::subpicture)
 // become views sharing `data`'s block instead of copies. The span overloads
@@ -220,7 +285,8 @@ bool decode(const mem::Bytes& data, SpMsg* out);
 
 using AnyMsg =
     std::variant<PictureMsg, SpMsg, GoAheadAck, ExchangeMsg, EndOfStream,
-                 Heartbeat, Finished, DeathNotice, SkipBroadcast>;
+                 Heartbeat, Finished, DeathNotice, SkipBroadcast, StreamRequest,
+                 StreamReply>;
 
 // Dispatch on the body's type byte. nullopt on malformed input.
 std::optional<AnyMsg> decode_any(std::span<const uint8_t> data);

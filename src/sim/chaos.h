@@ -1,0 +1,104 @@
+// Chaos/soak harness: composed fault + overload + memory-pressure schedules
+// with an explicit invariant suite.
+//
+// Each prior robustness layer was tested in isolation: the fault injector
+// against the reliable transport (PR 2), the pools against their budget,
+// admission against synthetic load. Outages come from *composition* — a
+// lossy fabric while the wall is oversubscribed while the pool budget runs
+// dry. One chaos run drives four legs from a single seed and asserts the
+// system-level invariants on each:
+//
+//   overload  — DES Zipf traffic at `overload`x capacity through the
+//               admission ladder. Invariants: the admission ledger balances
+//               (every offer answered once, every admitted session
+//               released, committed load drained), premium tenants hold
+//               their deadline-miss budget, and shedding lands in strict
+//               priority order (premium sheds no more than standard, which
+//               sheds no more than background).
+//   faults    — the threaded pipeline over a fabric injecting seeded drop /
+//               duplicate / corrupt / delay rates. Invariants: the run
+//               completes (no deadlock under chaos — completion within the
+//               CI wall-clock bound IS the liveness check), and every tile
+//               emits exactly one frame per display slot.
+//   pool      — a budget-squeezed BufferPool hammered by concurrent
+//               threads. Invariants: allocation never fails (it degrades to
+//               heap fallbacks, which must be observed > 0), and every byte
+//               handed out comes back (bytes_in_flight drains to zero).
+//   shedding  — an admission-gated serial StreamSession over real streams
+//               with capacity for fewer tenants than attach. Invariants:
+//               the one-emission-per-slot display invariant holds for every
+//               stream (shed pictures emit frozen frames, never holes) and
+//               the ladder actually engaged.
+//
+// Deterministic per seed: re-running a failed schedule reproduces it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "net/fault.h"
+#include "wall/geometry.h"
+
+namespace pdw::sim {
+
+struct ChaosSchedule {
+  uint64_t seed = 1;
+
+  // Overload leg.
+  double overload = 2.0;           // offered load, multiple of capacity
+  double capacity_mb_s = 4.0e6;    // modeled wall capacity
+  double sim_seconds = 60.0;
+  double premium_miss_budget = 0.01;  // acceptance: premium miss rate < 1%
+
+  // Fault leg (threaded pipeline). `es`/`geo` are borrowed.
+  std::span<const uint8_t> es;
+  const wall::TileGeometry* geo = nullptr;
+  int k = 2;
+  net::FaultRates rates{.drop = 0.02, .dup = 0.01, .corrupt = 0.01,
+                        .delay = 0.02, .delay_hold = 2};
+
+  // Pool leg.
+  size_t pool_budget_bytes = size_t(1) << 20;
+  int pool_threads = 4;
+  int pool_allocs_per_thread = 2000;
+
+  // Shedding leg: tenants attached vs. capacity for roughly this many at
+  // full rate.
+  int shed_tenants = 3;
+  double shed_capacity_tenants = 1.5;
+};
+
+struct ChaosReport {
+  // Overload leg.
+  bool overload_accounting_ok = false;
+  bool overload_priority_order_ok = false;
+  bool premium_miss_rate_ok = false;
+  double premium_miss_rate = 0;
+  double background_shed_rate = 0;
+  uint64_t degrades = 0;
+
+  // Fault leg.
+  bool fault_completed = false;
+  bool fault_display_invariant_ok = false;
+  int fault_pictures = 0;
+
+  // Pool leg.
+  bool pool_drained = false;
+  uint64_t pool_budget_fallbacks = 0;
+
+  // Shedding leg.
+  bool shed_display_invariant_ok = false;
+  uint64_t shed_pictures = 0;
+
+  bool ok() const {
+    return overload_accounting_ok && overload_priority_order_ok &&
+           premium_miss_rate_ok && fault_completed &&
+           fault_display_invariant_ok && pool_drained &&
+           pool_budget_fallbacks > 0 && shed_display_invariant_ok &&
+           shed_pictures > 0;
+  }
+};
+
+ChaosReport run_chaos(const ChaosSchedule& sched);
+
+}  // namespace pdw::sim

@@ -3,6 +3,8 @@
 // performs zero hot-path pool misses (= hot-path mallocs) per picture.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <barrier>
 #include <cstring>
 #include <thread>
 #include <vector>
@@ -121,6 +123,79 @@ TEST(BufferPool, BudgetExhaustionDegradesToHeap) {
   b.reset();  // heap fallback block: freed silently
   Bytes c = pool.alloc(64);  // the pooled block is back on the freelist
   EXPECT_EQ(pool.stats().hits, 1u);
+}
+
+TEST(BufferPool, PressureSignalDistinguishesBudgetExhaustion) {
+  // `fullness` alone is not overload: a pool can be 100% minted and healthy.
+  // Only budget_fallbacks growing means demand exceeds the budget.
+  BufferPool pool(/*max_pool_bytes=*/256);
+  EXPECT_DOUBLE_EQ(pool.pressure().fullness, 0.0);
+  EXPECT_EQ(pool.pressure().budget_fallbacks, 0u);
+
+  Bytes a = pool.alloc(128);
+  Bytes b = pool.alloc(128);  // budget fully minted, nothing degraded yet
+  EXPECT_DOUBLE_EQ(pool.pressure().fullness, 1.0);
+  EXPECT_EQ(pool.pressure().budget_fallbacks, 0u);
+
+  Bytes c = pool.alloc(128);  // third concurrent block: heap fallback
+  EXPECT_EQ(pool.pressure().budget_fallbacks, 1u);
+  EXPECT_EQ(c.size(), 128u);  // degraded, not failed
+
+  a.reset();
+  b.reset();
+  c.reset();
+  Bytes d = pool.alloc(128);  // recycle, not a fallback
+  EXPECT_EQ(pool.pressure().budget_fallbacks, 1u);
+  EXPECT_EQ(pool.stats().budget_fallbacks, 1u);  // stats carry the counter too
+}
+
+TEST(SurfacePool, BudgetEdgeUnderConcurrentStreams) {
+  // The production surface pool runs a 512 MiB budget; this is the same
+  // scenario scaled for CI: N concurrent streams each holding picture
+  // surfaces against a budget sized for N-1 of them. At the budget edge
+  // allocation must degrade to heap fallbacks (never fail, never corrupt),
+  // the pressure signal must report the squeeze, and every byte must come
+  // back when the streams detach.
+  constexpr int kStreams = 4;
+  constexpr size_t kSurface = 64 * 1024;         // one "plane" per picture
+  constexpr int kSurfacesPerStream = 4;          // reference window
+  SurfacePool pool(kSurface * kSurfacesPerStream * (kStreams - 1));
+
+  std::atomic<bool> failed{false};
+  std::barrier sync(kStreams);
+  std::vector<std::thread> streams;
+  for (int s = 0; s < kStreams; ++s) {
+    streams.emplace_back([&, s] {
+      std::vector<Bytes> window;
+      for (int i = 0; i < kSurfacesPerStream; ++i) {
+        Bytes plane = pool.alloc(kSurface);
+        if (plane.size() != kSurface) failed.store(true);
+        plane.mutable_data()[0] = uint8_t(s);
+        plane.mutable_data()[kSurface - 1] = uint8_t(i);
+        window.push_back(std::move(plane));
+      }
+      // All streams hold their full window at once: guaranteed one window
+      // over budget, whatever the thread schedule.
+      sync.arrive_and_wait();
+      window.clear();
+      // Post-squeeze churn: the minted blocks recycle for everyone.
+      for (int pic = 0; pic < 20; ++pic) {
+        Bytes plane = pool.alloc(kSurface);
+        if (plane.size() != kSurface) failed.store(true);
+        plane.mutable_data()[0] = uint8_t(pic);
+      }
+    });
+  }
+  for (std::thread& t : streams) t.join();
+
+  EXPECT_FALSE(failed.load());
+  const PoolPressure pressure = pool.pressure();
+  EXPECT_DOUBLE_EQ(pressure.fullness, 1.0);   // budget fully minted...
+  EXPECT_GT(pressure.budget_fallbacks, 0u);   // ...and demand exceeded it
+  const PoolStats st = pool.stats();
+  EXPECT_EQ(st.bytes_in_flight, 0);           // everything drained
+  EXPECT_EQ(st.budget_fallbacks, pressure.budget_fallbacks);
+  EXPECT_LE(st.pooled_bytes, kSurface * kSurfacesPerStream * (kStreams - 1));
 }
 
 TEST(BufferPool, CrossThreadFreeThenAlloc) {

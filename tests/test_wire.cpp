@@ -143,6 +143,50 @@ TEST(WireRoundtrip, ControlMessages) {
   EXPECT_EQ(pack(sk).seq, sk.pic_index);
 }
 
+TEST(WireRoundtrip, AdmissionMessages) {
+  StreamRequest req;
+  req.width_mb = 120;
+  req.height_mb = 68;
+  req.fps = 30;
+  req.priority = PriorityClass::kPremium;
+  req.stream = 9;
+  EXPECT_EQ(roundtrip(req), req);
+  const Packed p = pack(req);
+  EXPECT_EQ(p.type, MsgType::kStreamRequest);
+  EXPECT_EQ(p.aux, uint16_t(req.priority));
+  EXPECT_EQ(p.stream, req.stream);
+  EXPECT_FALSE(p.bulk);
+
+  StreamReply rep;
+  rep.verdict = AdmissionVerdict::kRenegotiate;
+  rep.level = DegradeLevel::kSkipP;
+  rep.stream = 9;
+  EXPECT_EQ(roundtrip(rep), rep);
+  const Packed pr = pack(rep);
+  EXPECT_EQ(pr.type, MsgType::kStreamReply);
+  EXPECT_EQ(pr.aux, uint16_t(rep.verdict));
+}
+
+TEST(WireReject, AdmissionEnumRanges) {
+  // Out-of-range enum bytes in otherwise well-formed bodies must be
+  // rejected, not reinterpreted.
+  Packed p = pack(StreamRequest{45, 30, 24, PriorityClass::kStandard, 1});
+  StreamRequest req;
+  ASSERT_TRUE(decode(p.body, &req));
+  p.body.mutable_data()[p.body.size() - 1] = 3;  // priority byte past kPremium
+  EXPECT_FALSE(decode(p.body, &req));
+
+  Packed pr = pack(StreamReply{AdmissionVerdict::kAccept,
+                               DegradeLevel::kNone, 1});
+  StreamReply rep;
+  ASSERT_TRUE(decode(pr.body, &rep));
+  pr.body.mutable_data()[pr.body.size() - 2] = 7;  // verdict byte
+  EXPECT_FALSE(decode(pr.body, &rep));
+  pr = pack(StreamReply{AdmissionVerdict::kAccept, DegradeLevel::kNone, 1});
+  pr.body.mutable_data()[pr.body.size() - 1] = 9;  // level byte past kFreeze
+  EXPECT_FALSE(decode(pr.body, &rep));
+}
+
 TEST(WireRoundtrip, DecodeAnyDispatchesEveryType) {
   const auto check = [](const auto& msg) {
     const auto any = decode_any(pack(msg).body);
@@ -161,6 +205,8 @@ TEST(WireRoundtrip, DecodeAnyDispatchesEveryType) {
   check(Finished{1, 2});
   check(DeathNotice{2, 0, 30, 0});
   check(SkipBroadcast{5, 3, 0});
+  check(StreamRequest{80, 45, 30, PriorityClass::kBackground, 7});
+  check(StreamReply{AdmissionVerdict::kReject, DegradeLevel::kFreeze, 7});
 }
 
 TEST(WireReject, EmptyAndTruncated) {
