@@ -41,6 +41,7 @@ benches=(
   bench_fault_recovery
   bench_overload
   bench_chaos_soak
+  bench_socket_wall
 )
 
 for name in "${benches[@]}"; do

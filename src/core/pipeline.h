@@ -33,6 +33,7 @@
 #include <span>
 
 #include "common/traffic_matrix.h"
+#include "core/hosts.h"
 #include "core/tile_decoder.h"
 #include "net/fabric.h"
 #include "obs/metrics.h"
@@ -41,15 +42,6 @@
 #include "wall/geometry.h"
 
 namespace pdw::core {
-
-// One node-death recovery, as observed by the runtime.
-struct RecoveryEvent {
-  double detect_time_s = 0;  // root declared the node dead (since run start)
-  int dead_tile = -1;
-  int adopter_tile = -1;     // -1: degraded mode (tile frozen, not adopted)
-  uint32_t resync_pic = 0;   // first closed-GOP I not yet dispatched
-  double resync_time_s = 0;  // adopter decoded resync_pic (0 if never)
-};
 
 struct FtStats {
   net::ReliableStats transport;   // aggregated over every node's endpoint
@@ -102,8 +94,7 @@ class ClusterPipeline {
                   std::span<const uint8_t> es, FtOptions ft = {});
 
   // Thread-safe display callback (called with an internal mutex held).
-  using TileDisplayFn = std::function<void(
-      int tile, const mpeg2::TileFrame&, const TileDisplayInfo&)>;
+  using TileDisplayFn = core::TileDisplayFn;
 
   ClusterStats run(const TileDisplayFn& on_display);
 

@@ -1,0 +1,40 @@
+// The wall over real UDP sockets, in one process: one thread per node, each
+// with its *own* SocketFabric, discovered through a genuine UDP rendezvous —
+// exactly the multi-process deployment shape (examples/wall_node.cpp) minus
+// fork/exec, so tests and CI can exercise the socket transport, the
+// rendezvous flow and real loopback loss without process management.
+//
+// Loss/delay/duplication are applied by the deterministic UDP impairment
+// proxy (net/impair.h) when configured — the datagrams really do vanish on
+// the socket path, unlike the in-process fabric's injected faults.
+#pragma once
+
+#include <span>
+
+#include "core/pipeline.h"
+#include "net/impair.h"
+
+namespace pdw::core {
+
+struct SocketWallOptions {
+  ProtocolConfig protocol;
+  RecoveryPolicy recovery = RecoveryPolicy::kAdopt;
+  // Also record per-picture tile x tile exchange matrices in stats.wire.
+  bool per_picture_exchange = false;
+  obs::MetricsRegistry* metrics = nullptr;
+  // Route every datagram through the impairment proxy with this schedule.
+  bool impair = false;
+  net::ImpairConfig impair_cfg;
+  double rendezvous_timeout_s = 20.0;
+};
+
+// Run the full wall over per-node UDP socket fabrics on loopback. The
+// returned stats are shaped exactly like ClusterPipeline::run()'s —
+// stats.wire is directly comparable against the threaded and lockstep
+// engines (ProtocolEquivalence proves it equal).
+ClusterStats run_socket_wall(const wall::TileGeometry& geo, int k,
+                             std::span<const uint8_t> es,
+                             const TileDisplayFn& on_display,
+                             SocketWallOptions opts = {});
+
+}  // namespace pdw::core

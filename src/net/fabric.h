@@ -82,11 +82,61 @@ enum class RecvStatus {
   kDead,      // this node was killed
 };
 
-class Fabric {
+// The transport surface every fabric backend provides. Two implementations:
+//   * Fabric       — the in-process GM-like fabric below (one instance shared
+//                    by every node thread; the fast, deterministic test path);
+//   * SocketFabric — net/socket_fabric.h, real nonblocking UDP datagrams (one
+//                    instance per node; loss, reordering and peer death are
+//                    physical phenomena, not injected ones).
+// ReliableEndpoint and the core/ node hosts are written against this
+// interface, which is what lets the same protocol machines run in one
+// process or across many.
+class FabricBackend {
+ public:
+  virtual ~FabricBackend() = default;
+
+  virtual int nodes() const = 0;
+
+  // Post one receive buffer at `node` (a credit for one bulk message).
+  virtual void post_receive(int node) = 0;
+
+  // Deliver a message to `dst`. Bulk messages consume a posted buffer;
+  // kNoCredit means the message was not delivered (in-process backend only:
+  // a socket sender cannot see the receiver's credit state, so there the
+  // overrun is a receiver-side drop covered by retransmission).
+  virtual SendStatus send(int src, int dst, Message msg) = 0;
+
+  // Timed receive at `node`.
+  virtual RecvStatus receive_for(int node, double timeout_s, Message* out) = 0;
+
+  // Fence a node off the fabric. For the in-process backend this kills the
+  // mailbox; a socket backend fences locally (drop its traffic both ways).
+  virtual void kill(int node) = 0;
+  virtual bool is_dead(int node) const = 0;
+
+  // Per-node traffic counters and the pairwise traffic matrix (a socket
+  // backend reports its local view: its own sends and receives).
+  virtual NodeCounters counters(int node) const = 0;
+  virtual TrafficMatrix traffic_matrix() const = 0;
+
+  // True when nothing is queued locally — every delivered message consumed.
+  virtual bool quiescent() const = 0;
+
+  // Unblock all receivers (end of stream).
+  virtual void shutdown() = 0;
+
+  // Nodes for which the transport observed a hard peer error (ICMP port
+  // unreachable — the socket analog of a crashed process) since the last
+  // call. The in-process fabric never reports any; the root host feeds
+  // these into the protocol's death detection.
+  virtual std::vector<int> take_peer_errors() { return {}; }
+};
+
+class Fabric final : public FabricBackend {
  public:
   explicit Fabric(int nodes);
 
-  int nodes() const { return int(mailboxes_.size()); }
+  int nodes() const override { return int(mailboxes_.size()); }
 
   // Attach a fault injector (borrowed; must outlive the fabric). Call before
   // concurrent use.
@@ -95,11 +145,11 @@ class Fabric {
   }
 
   // Post one receive buffer at `node` (a credit for one bulk message).
-  void post_receive(int node);
+  void post_receive(int node) override;
 
   // Deliver a message to `dst`. Bulk messages consume a posted buffer;
   // returns kNoCredit (message not delivered) if none is available.
-  SendStatus send(int src, int dst, Message msg);
+  SendStatus send(int src, int dst, Message msg) override;
 
   // Blocking receive at `node`. Returns false if the fabric was shut down
   // (and the queue drained) or the node was killed.
@@ -107,24 +157,24 @@ class Fabric {
 
   // Timed receive. On kTimeout, any fault-delayed messages parked at this
   // node are released (they arrive "late"), so a later call will see them.
-  RecvStatus receive_for(int node, double timeout_s, Message* out);
+  RecvStatus receive_for(int node, double timeout_s, Message* out) override;
 
   // Kill a node: its queue is lost, receives at it return kDead, sends to it
   // vanish silently. Idempotent.
-  void kill(int node);
-  bool is_dead(int node) const;
+  void kill(int node) override;
+  bool is_dead(int node) const override;
 
   // Per-node traffic counters and the pairwise traffic matrix.
-  NodeCounters counters(int node) const;
-  TrafficMatrix traffic_matrix() const;
+  NodeCounters counters(int node) const override;
+  TrafficMatrix traffic_matrix() const override;
 
   // True when no live node has queued or fault-delayed messages — i.e. every
   // sent message has been consumed. Lets an orderly teardown wait for the
   // last in-flight acks before shutdown() discards whatever remains.
-  bool quiescent() const;
+  bool quiescent() const override;
 
   // Unblock all receivers (end of stream).
-  void shutdown();
+  void shutdown() override;
 
  private:
   struct Delayed {

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 namespace pdw::net {
@@ -43,15 +44,21 @@ struct FaultRates {
 // is what makes a schedule reproducible under multi-stream sessions: stream
 // A's n-th message on a link meets the same fate no matter how many other
 // streams' messages interleave with it.
+// Construct with designated initializers only ({.kind = ..., .dst = ...});
+// positional initialization is not supported, so fields may be inserted or
+// reordered here without silently shifting the meaning of call sites.
 struct FaultEvent {
   enum class Kind { kDrop, kDuplicate, kCorrupt, kDelay, kCrash, kStall };
   Kind kind = Kind::kDrop;
   int src = -1;             // -1 = any sender (ignored by kCrash/kStall)
   int dst = -1;             // message destination / node to crash or stall
+  int stream = -1;          // -1 = any stream (ignored by kCrash/kStall)
   uint64_t at_ordinal = 0;  // trigger ordinal (see above)
   int param = 0;            // kDelay: hold count; kStall: window length
-  int stream = -1;          // -1 = any stream (ignored by kCrash/kStall)
 };
+// Designated initializers require an aggregate; keeping FaultEvent one is
+// what lets every field carry its own default above.
+static_assert(std::is_aggregate_v<FaultEvent>);
 
 // The fate of one transmission.
 struct FaultDecision {

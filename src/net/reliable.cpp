@@ -1,6 +1,7 @@
 #include "net/reliable.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "obs/trace.h"
@@ -13,28 +14,75 @@ uint64_t pending_key(int dst, uint32_t tseq) {
 }
 }  // namespace
 
-ReliableEndpoint::ReliableEndpoint(Fabric* fabric, int self, ReliableConfig cfg)
+double derive_hole_timeout(const ReliableConfig& cfg) {
+  // Sender's worst-case retransmission span: only after that long can a
+  // missing tseq be presumed abandoned rather than still in flight. Under
+  // adaptive RTO the first transmission timeout can already sit at the
+  // clamp (srtt + 4 * rttvar <= rto_max_s), so the doubling series starts
+  // there instead of at rto_initial_s.
+  double span = 0;
+  double rto = cfg.adaptive_rto ? cfg.rto_max_s : cfg.rto_initial_s;
+  for (int i = 0; i <= cfg.max_retries; ++i) {
+    span += rto;
+    rto = std::min(rto * 2, cfg.rto_max_s);
+  }
+  return 4 * span + 0.1;
+}
+
+ReliableEndpoint::ReliableEndpoint(FabricBackend* fabric, int self,
+                                   ReliableConfig cfg)
     : fabric_(fabric),
       self_(self),
       cfg_(cfg),
       epoch_(std::chrono::steady_clock::now()),
       next_tx_(size_t(fabric->nodes()), 0),
-      rx_(size_t(fabric->nodes())) {
-  if (cfg_.hole_timeout_s <= 0) {
-    // Sender's worst-case retransmission span: only after that long can a
-    // missing tseq be presumed abandoned rather than still in flight.
-    double span = 0, rto = cfg_.rto_initial_s;
-    for (int i = 0; i <= cfg_.max_retries; ++i) {
-      span += rto;
-      rto = std::min(rto * 2, cfg_.rto_max_s);
-    }
-    cfg_.hole_timeout_s = 4 * span + 0.1;
-  }
+      rx_(size_t(fabric->nodes())),
+      tx_peer_(size_t(fabric->nodes())) {
+  if (cfg_.hole_timeout_s <= 0) cfg_.hole_timeout_s = derive_hole_timeout(cfg_);
+  if (cfg_.rto_min_s <= 0) cfg_.rto_min_s = cfg_.rto_initial_s;
   obs::MetricsRegistry& reg = obs::registry_or_global(cfg_.metrics);
   const obs::Labels l{self_, -1};
   m_retransmits_ = &reg.counter(obs::family::kRetransmits, l);
   m_abandoned_ = &reg.counter(obs::family::kAbandonedSends, l);
   m_crc_drops_ = &reg.counter(obs::family::kCrcDrops, l);
+  m_rtt_ns_ = &reg.histogram(obs::family::kRttNs, l);
+  m_rtt_jitter_ns_ = &reg.histogram(obs::family::kRttJitterNs, l);
+}
+
+double ReliableEndpoint::srtt_s(int dst) const {
+  const TxPeer& tp = tx_peer_[size_t(dst)];
+  return tp.srtt < 0 ? 0 : tp.srtt;
+}
+
+double ReliableEndpoint::rto_s(int dst) const {
+  const TxPeer& tp = tx_peer_[size_t(dst)];
+  return tp.rto > 0 ? tp.rto : cfg_.rto_initial_s;
+}
+
+void ReliableEndpoint::on_ack(int src, uint32_t tseq) {
+  auto it = pending_.find(pending_key(src, tseq));
+  if (it == pending_.end()) return;
+  const Pending& p = it->second;
+  // Karn's rule: an acked message that was ever retransmitted is ambiguous
+  // (which copy does the ack answer?) and contributes no RTT sample.
+  if (cfg_.adaptive_rto && !p.retransmitted && p.first_tx > 0) {
+    const double rtt = now() - p.first_tx;
+    TxPeer& tp = tx_peer_[size_t(src)];
+    if (tp.srtt < 0) {
+      tp.srtt = rtt;
+      tp.rttvar = rtt / 2;
+    } else {
+      // Jacobson/Karels: alpha = 1/8, beta = 1/4.
+      const double err = rtt - tp.srtt;
+      m_rtt_jitter_ns_->observe(uint64_t(std::abs(err) * 1e9));
+      tp.rttvar += 0.25 * (std::abs(err) - tp.rttvar);
+      tp.srtt += 0.125 * err;
+    }
+    tp.rto = std::clamp(tp.srtt + 4 * tp.rttvar, cfg_.rto_min_s, cfg_.rto_max_s);
+    m_rtt_ns_->observe(uint64_t(rtt * 1e9));
+    ++stats_.rtt_samples;
+  }
+  pending_.erase(it);
 }
 
 double ReliableEndpoint::now() const {
@@ -67,7 +115,8 @@ void ReliableEndpoint::send(int dst, Message msg) {
   msg.crc = crc32(msg.payload);
   Pending p;
   p.dst = dst;
-  p.rto = cfg_.rto_initial_s;
+  p.rto = rto_s(dst);
+  p.first_tx = now();
   p.msg = std::move(msg);
   ++stats_.sent;
   transmit(p);
@@ -102,6 +151,7 @@ double ReliableEndpoint::service_deadlines() {
     if (p.tries > 0) {
       ++stats_.retransmits;
       m_retransmits_->add();
+      p.retransmitted = true;
       PDW_TRACE_INSTANT(obs::span::kRetransmit, self_, p.msg.seq);
     }
     transmit(p);
@@ -113,7 +163,7 @@ double ReliableEndpoint::service_deadlines() {
 
 bool ReliableEndpoint::handle(Message msg) {
   if (msg.type == kTransportAck) {
-    pending_.erase(pending_key(msg.src, msg.seq));
+    on_ack(msg.src, msg.seq);
     return false;
   }
   if (msg.tseq == kUnreliableSeq) {
@@ -199,6 +249,7 @@ ReliableEndpoint::Status ReliableEndpoint::recv(Message* out,
     if (!ready_.empty()) {
       *out = std::move(ready_.front());
       ready_.pop_front();
+      ++stats_.delivered;
       return Status::kMessage;
     }
     const double next_retx = service_deadlines();

@@ -35,21 +35,45 @@ inline constexpr int kTransportAck = -1;
 inline constexpr uint32_t kUnreliableSeq = 0xFFFFFFFFu;
 
 struct ReliableConfig {
-  double rto_initial_s = 0.004;  // first retransmit timeout
+  double rto_initial_s = 0.004;  // RTO before the first RTT sample
   double rto_max_s = 0.064;      // backoff cap
   int max_retries = 12;          // then abandon + report suspect
+  // Jacobson/Karels adaptive retransmission timeout: every ack of a
+  // never-retransmitted message samples the link RTT (Karn's rule keeps
+  // ambiguous retransmitted samples out), maintains per-destination
+  // srtt/rttvar, and sets rto = srtt + 4 * rttvar clamped to
+  // [rto_min_s, rto_max_s]. On a real network this tracks the actual link
+  // instead of a compile-time guess; retransmission backoff still doubles
+  // from the adaptive value up to rto_max_s.
+  bool adaptive_rto = true;
+  // Adaptive-RTO floor; 0 derives rto_initial_s (so the in-process fabric
+  // behaves exactly as the fixed-RTO era unless a socket config lowers it).
+  double rto_min_s = 0;
   // An abandoned send punches a permanent hole in the sender's tseq space;
   // later messages on that link would wait in the receiver's reorder buffer
   // forever. If the buffer head has been blocked this long, the receiver
   // concedes the missing tseq was abandoned and advances past the hole.
   // Must exceed the sender's worst-case retransmission span (sum of backed-
   // off rtos), or a merely slow message gets declared dead and lost — 0
-  // (default) derives a safe value from the three fields above.
+  // (default) derives a safe value via derive_hole_timeout() below.
   double hole_timeout_s = 0;
   // Registry the endpoint mirrors its retransmit / abandon / CRC-drop
-  // counters into (nullptr: the process-global one).
+  // counters and RTT/jitter histograms into (nullptr: the process-global
+  // one).
   obs::MetricsRegistry* metrics = nullptr;
 };
+
+// The documented hole-timeout derivation, exposed so tests can pin it
+// against the worst-case retransmission span:
+//   span = sum of the max_retries + 1 transmission timeouts, each double
+//          the previous capped at rto_max_s. The series starts at
+//          rto_initial_s with a fixed RTO; with adaptive_rto the first
+//          timeout can already be as large as rto_max_s (srtt + 4 * rttvar
+//          is clamped there), so the series starts at the cap.
+//   hole_timeout = 4 * span + 0.1   (scheduling slack)
+// Only after 4x the worst-case span can a missing tseq be presumed
+// abandoned rather than still in flight.
+double derive_hole_timeout(const ReliableConfig& cfg);
 
 struct ReliableStats {
   uint64_t sent = 0;
@@ -60,6 +84,8 @@ struct ReliableStats {
   uint64_t abandoned = 0;   // messages given up on after max_retries
   uint64_t no_credit = 0;   // sends deferred by flow control
   uint64_t holes = 0;       // abandoned-sender holes skipped on receive
+  uint64_t delivered = 0;   // in-order app messages handed to the caller
+  uint64_t rtt_samples = 0; // acks that produced a clean RTT sample
 };
 
 // A reliable message the sender gave up on (retries exhausted). The
@@ -74,9 +100,17 @@ struct AbandonedSend {
 
 class ReliableEndpoint {
  public:
-  ReliableEndpoint(Fabric* fabric, int self, ReliableConfig cfg = {});
+  ReliableEndpoint(FabricBackend* fabric, int self, ReliableConfig cfg = {});
 
   int self() const { return self_; }
+  // The effective (possibly derived) hole timeout / RTO floor.
+  double hole_timeout_s() const { return cfg_.hole_timeout_s; }
+  double rto_min_s() const { return cfg_.rto_min_s; }
+
+  // Adaptive-RTO state for `dst`: smoothed RTT (0 before the first sample)
+  // and the RTO the next fresh send to `dst` would use.
+  double srtt_s(int dst) const;
+  double rto_s(int dst) const;
 
   // Queue a reliable send (retransmitted until acked or abandoned).
   void send(int dst, Message msg);
@@ -109,6 +143,15 @@ class ReliableEndpoint {
     double rto = 0;
     int tries = 0;
     int nc_tries = 0;  // flow-control (no-credit) retries
+    double first_tx = 0;        // when the initial transmission left
+    bool retransmitted = false; // Karn: ambiguous ack, no RTT sample
+  };
+
+  // Per-destination Jacobson/Karels RTT estimator.
+  struct TxPeer {
+    double srtt = -1;  // < 0: no sample yet
+    double rttvar = 0;
+    double rto = 0;    // next fresh-send RTO (0: use rto_initial_s)
   };
 
   struct PeerRx {
@@ -119,6 +162,9 @@ class ReliableEndpoint {
 
   double now() const;
   void transmit(Pending& p);
+  // Consume one transport ack: erase the pending entry and, when the ack is
+  // unambiguous (never retransmitted), feed the RTT sample to the estimator.
+  void on_ack(int src, uint32_t tseq);
   // Retransmit everything past deadline; returns the next deadline (or
   // +inf). Abandons messages whose retry budget is exhausted.
   double service_deadlines();
@@ -128,7 +174,7 @@ class ReliableEndpoint {
   // application message became deliverable (pushed onto ready_).
   bool handle(Message msg);
 
-  Fabric* fabric_;
+  FabricBackend* fabric_;
   int self_;
   ReliableConfig cfg_;
   std::chrono::steady_clock::time_point epoch_;
@@ -136,6 +182,7 @@ class ReliableEndpoint {
   std::vector<uint32_t> next_tx_;          // per-dst transport seq
   std::map<uint64_t, Pending> pending_;    // (dst<<32)|tseq -> in-flight
   std::vector<PeerRx> rx_;                 // per-src receive state
+  std::vector<TxPeer> tx_peer_;            // per-dst RTT estimator
   std::deque<Message> ready_;              // in-order app messages
   std::vector<AbandonedSend> abandoned_;
   ReliableStats stats_;
@@ -144,6 +191,8 @@ class ReliableEndpoint {
   obs::Counter* m_retransmits_ = nullptr;
   obs::Counter* m_abandoned_ = nullptr;
   obs::Counter* m_crc_drops_ = nullptr;
+  obs::Histogram* m_rtt_ns_ = nullptr;
+  obs::Histogram* m_rtt_jitter_ns_ = nullptr;
 };
 
 }  // namespace pdw::net

@@ -248,6 +248,15 @@ inline constexpr char kTenantDegradeLevel[] = "tenant_degrade";     // gauge
 inline constexpr char kTenantPicturesShed[] = "tenant_pictures_shed";
 inline constexpr char kTenantDeadlineMisses[] = "tenant_deadline_misses";
 inline constexpr char kTenantDeadlineChecks[] = "tenant_deadline_checks";
+// Socket-transport families (src/net/socket_fabric.h + adaptive RTO in
+// src/net/reliable.h). Labeled {node = self}; wall-clock / link driven, so
+// excluded from engine-equivalence comparisons by design.
+inline constexpr char kRttNs[] = "rtt_ns";                  // histogram
+inline constexpr char kRttJitterNs[] = "rtt_jitter_ns";     // histogram
+inline constexpr char kSocketDatagramsTx[] = "socket_datagrams_tx";
+inline constexpr char kSocketDatagramsRx[] = "socket_datagrams_rx";
+inline constexpr char kSocketRxDrops[] = "socket_rx_drops";
+inline constexpr char kSocketPeerUnreachable[] = "socket_peer_unreachable";
 inline constexpr char kSplitNs[] = "split_ns";              // histogram
 inline constexpr char kDecodeNs[] = "decode_ns";            // histogram
 inline constexpr char kServeNs[] = "serve_ns";              // histogram

@@ -74,6 +74,19 @@ RootNode::Step RootNode::on_tick(double now) {
   return step;
 }
 
+RootNode::Step RootNode::on_transport_suspect(int node, double now) {
+  (void)now;
+  Step step;
+  if (dead_nodes_.count(node) || finished_nodes_.count(node)) return step;
+  bool is_decoder = false;
+  for (int t = 0; t < topo_.tiles; ++t)
+    if (topo_.decoder(t) == node) is_decoder = true;
+  if (!is_decoder) return step;
+  if (++suspects_[node] >= kTransportSuspectThreshold)
+    declare_dead(node, &step);
+  return step;
+}
+
 void RootNode::declare_dead(int node, Step* step) {
   if (dead_nodes_.count(node)) return;
   dead_nodes_.insert(node);

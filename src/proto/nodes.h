@@ -203,6 +203,15 @@ class RootNode {
   // Health-monitor sweep; call at every pump.
   Step on_tick(double now);
 
+  // A transport-level hard peer error against `node` (the socket backend's
+  // ICMP port-unreachable — the network telling us the process is gone).
+  // After kTransportSuspectThreshold reports a live decoder node is
+  // declared dead immediately, feeding the same adopt-or-freeze recovery
+  // path as a heartbeat timeout but without waiting the timeout out.
+  // Non-decoder nodes are ignored (splitter recovery is not modeled).
+  Step on_transport_suspect(int node, double now);
+  static constexpr int kTransportSuspectThreshold = 3;
+
   // One-picture-ahead gating: picture `cursor()` may be dispatched once the
   // go-ahead for every earlier picture arrived.
   bool may_dispatch() const;
@@ -228,6 +237,7 @@ class RootNode {
   Options opts_;
   std::vector<PictureMeta> pictures_;
   std::vector<double> last_hb_;   // by tile
+  std::map<int, int> suspects_;   // node -> transport hard-error count
   std::set<int> dead_nodes_, finished_nodes_;
   std::vector<int> owner_;        // tile -> node now serving it
   int64_t acks_seen_ = 0;         // go-aheads from splitters

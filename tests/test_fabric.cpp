@@ -165,7 +165,8 @@ TEST(Fabric, KilledNodeLosesQueueAndGoesSilent) {
 
 TEST(Fabric, InjectedDropIsCountedAndInvisibleToSender) {
   FaultInjector inj;
-  inj.add_event({FaultEvent::Kind::kDrop, 0, 1, 0, 0});  // first msg 0->1
+  inj.add_event(
+      {.kind = FaultEvent::Kind::kDrop, .src = 0, .dst = 1, .at_ordinal = 0});
   Fabric f(2);
   f.set_fault_injector(&inj);
   Message a;
@@ -183,7 +184,11 @@ TEST(Fabric, InjectedDropIsCountedAndInvisibleToSender) {
 
 TEST(Fabric, DelayedMessageReleasedByTimeout) {
   FaultInjector inj;
-  inj.add_event({FaultEvent::Kind::kDelay, 0, 1, 0, 100});  // hold ~forever
+  inj.add_event({.kind = FaultEvent::Kind::kDelay,
+                 .src = 0,
+                 .dst = 1,
+                 .at_ordinal = 0,
+                 .param = 100});  // hold ~forever
   Fabric f(2);
   f.set_fault_injector(&inj);
   Message a;
@@ -298,8 +303,10 @@ TEST(Reliable, AbandonedHoleIsSkippedAfterTimeout) {
   // sender abandons it, then check the receiver eventually concedes the
   // hole and delivers B.
   FaultInjector inj;
-  inj.add_event({FaultEvent::Kind::kDrop, 0, 1, 0, 0});
-  inj.add_event({FaultEvent::Kind::kDrop, 0, 1, 2, 0});
+  inj.add_event(
+      {.kind = FaultEvent::Kind::kDrop, .src = 0, .dst = 1, .at_ordinal = 0});
+  inj.add_event(
+      {.kind = FaultEvent::Kind::kDrop, .src = 0, .dst = 1, .at_ordinal = 2});
   Fabric f(2);
   f.set_fault_injector(&inj);
   ReliableConfig cfg;

@@ -13,6 +13,7 @@
 #include "core/lockstep.h"
 #include "core/mb_splitter.h"
 #include "core/pipeline.h"
+#include "core/socket_wall.h"
 #include "core/root_splitter.h"
 #include "enc/encoder.h"
 #include "mem/bytes.h"
@@ -290,6 +291,92 @@ TEST(ProtocolEquivalence, ThreadedMatchesLockstepWireForWire) {
   EXPECT_GT(serial.counts.at(proto::MsgType::kSubPicture), 0u);
   EXPECT_GT(serial.counts.at(proto::MsgType::kExchange), 0u);
   EXPECT_GT(serial.counts.at(proto::MsgType::kGoAheadAck), 0u);
+}
+
+// The real-socket transport must be invisible to the protocol: the same
+// wall run over per-node UDP socket fabrics (rendezvous discovery, datagram
+// framing, receiver-side flow control) produces exactly the message counts
+// and node x node protocol bytes of the threaded in-process engine. Wire
+// accounting is recorded at emit, so retransmissions cannot perturb it —
+// any difference means the socket backend dropped, duplicated or invented
+// a protocol message.
+TEST(ProtocolEquivalence, SocketMatchesThreadedWireForWire) {
+  const int w = 256, h = 192, k = 2;
+  const auto es = make_stream(w, h, SceneKind::kMovingObjects, 8);
+  wall::TileGeometry geo(w, h, 2, 2, 0);
+
+  core::FtOptions ft;
+  ft.per_picture_exchange = true;
+  core::ClusterPipeline threaded(geo, k, es, ft);
+  const core::ClusterStats tstats = threaded.run(nullptr);
+
+  core::SocketWallOptions so;
+  so.per_picture_exchange = true;
+  const core::ClusterStats sstats = core::run_socket_wall(geo, k, es, nullptr, so);
+
+  ASSERT_EQ(sstats.wire.counts.size(), tstats.wire.counts.size());
+  for (const auto& [type, n] : tstats.wire.counts) {
+    const auto it = sstats.wire.counts.find(type);
+    ASSERT_NE(it, sstats.wire.counts.end()) << proto::msg_type_name(type);
+    EXPECT_EQ(it->second, n) << proto::msg_type_name(type);
+  }
+  EXPECT_TRUE(sstats.wire.traffic == tstats.wire.traffic);
+  EXPECT_TRUE(sstats.wire.exchange_by_picture ==
+              tstats.wire.exchange_by_picture);
+  // Clean loopback: nothing abandoned, nothing degraded.
+  EXPECT_EQ(sstats.ft.transport.abandoned, 0u);
+  EXPECT_EQ(sstats.ft.degraded_frames, 0u);
+}
+
+// Datagrams really lost on the socket path (5% loss, plus duplication and
+// delay, via the deterministic impairment proxy) must change nothing about
+// the output: retransmission recovers every message and the assembled wall
+// stays bit-exact with the serial reference decoder.
+TEST(ProtocolEquivalence, SocketWallBitExactUnderRealLoss) {
+  const int w = 192, h = 128, k = 2;
+  const auto es = make_stream(w, h, SceneKind::kMovingObjects, 8);
+  wall::TileGeometry geo(w, h, 2, 2, 0);
+
+  core::SocketWallOptions so;
+  so.impair = true;
+  so.impair_cfg.seed = 11;
+  so.impair_cfg.loss = 0.05;
+  so.impair_cfg.dup = 0.02;
+  so.impair_cfg.delay = 0.05;
+  so.impair_cfg.delay_s = 0.002;
+
+  std::map<int, std::unique_ptr<wall::WallAssembler>> pending;
+  std::map<int, int> tiles_seen;
+  std::map<int, Frame> finished;
+  const core::ClusterStats stats = core::run_socket_wall(
+      geo, k, es,
+      [&](int tile, const mpeg2::TileFrame& tf, const TileDisplayInfo& info) {
+        auto& asmb = pending[info.display_index];
+        if (!asmb) asmb = std::make_unique<wall::WallAssembler>(geo);
+        asmb->add_tile(tile, tf);
+        if (++tiles_seen[info.display_index] == geo.tiles()) {
+          asmb->check_coverage();
+          finished.emplace(info.display_index, asmb->frame());
+          pending.erase(info.display_index);
+        }
+      },
+      so);
+
+  // Enough datagrams crossed the proxy that a silent no-loss run is
+  // statistically impossible; losses surface as retransmissions.
+  EXPECT_GT(stats.ft.transport.retransmits, 0u);
+  EXPECT_EQ(stats.ft.transport.abandoned, 0u);
+  EXPECT_EQ(stats.ft.degraded_frames, 0u);
+
+  const std::vector<Frame> serial = serial_decode(es);
+  ASSERT_EQ(finished.size(), serial.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_TRUE(finished.count(int(i))) << "missing display index " << i;
+    const Frame a = wall::crop_frame(serial[i], geo.width(), geo.height());
+    const Frame b =
+        wall::crop_frame(finished.at(int(i)), geo.width(), geo.height());
+    EXPECT_TRUE(a == b) << "frame " << i << " not bit-exact";
+  }
 }
 
 // The pooled buffer subsystem must be invisible on the wire: with pooling
