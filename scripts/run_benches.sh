@@ -38,6 +38,7 @@ benches=(
   bench_ablation_sph
   bench_ablation_zerocopy
   bench_ablation_dynamic
+  bench_ablation_adaptive
   bench_fault_recovery
   bench_overload
   bench_chaos_soak

@@ -132,14 +132,15 @@ void RootHost::run() {
       if (inst.go_ahead_wait_ns)
         inst.go_ahead_wait_ns->observe(uint64_t(wait.seconds() * 1e9));
     }
-    Outgoing out;
+    std::vector<Outgoing> out;
     {
       // "Copy P to send buf" — the one copy: the ES span is packed straight
       // into a pooled wire body that the splitter's sub-pictures then view.
+      // A rebalance decided here prepends its PartitionUpdate broadcast.
       PDW_TRACE_SPAN(obs::span::kCopyPic, topo.root(), pic);
       out = node.dispatch(span);
     }
-    emit(ep, shared, topo.root(), std::move(out));
+    for (Outgoing& o : out) emit(ep, shared, topo.root(), std::move(o));
     apply(node.on_tick(timer.seconds()));
   }
   for (Outgoing& o : node.end_of_stream())
@@ -159,14 +160,17 @@ SplitterHost::SplitterHost(net::FabricBackend* f, HostShared* sh,
                            const net::ReliableConfig& rc,
                            const wall::TileGeometry& geo,
                            const StreamInfo& info,
-                           obs::MetricsRegistry* metrics)
+                           obs::MetricsRegistry* metrics,
+                           bool adaptive_enabled)
     : fabric(*f),
       shared(*sh),
       topo(tp),
       index(s),
       ep(f, tp.splitter(s), with_metrics(rc, metrics)),
       node(tp, s),
-      splitter(geo) {
+      splitter(geo),
+      table(geo),
+      adaptive(adaptive_enabled) {
   splitter.set_stream_info(info);
   node.set_metrics(metrics);
   obs::MetricsRegistry& r = obs::registry_or_global(metrics);
@@ -181,6 +185,10 @@ void SplitterHost::post_initial_credits() {
 
 void SplitterHost::apply(proto::SplitterNode::Step step) {
   for (int n : step.forget) ep.forget_peer(n);
+  if (step.partition)
+    table.install_wire(step.partition->epoch, step.partition->apply_from_pic,
+                       step.partition->col_cuts_mb,
+                       step.partition->row_cuts_mb);
   for (Outgoing& o : step.send) emit(ep, shared, self(), std::move(o));
 }
 
@@ -208,15 +216,31 @@ void SplitterHost::run() {
     emit(ep, shared, self(), std::move(go_ahead));
     const uint32_t i = pic.pic_index;
 
+    // The picture is split against its stamped epoch's geometry. The update
+    // installing that epoch was broadcast before the picture on the same
+    // in-order link, so the table always already has it.
+    PDW_CHECK(table.has_epoch(pic.epoch))
+        << "picture " << i << " stamped with unknown epoch " << pic.epoch;
     SplitResult result;
     {
       PDW_TRACE_SPAN(obs::span::kSplitPic, self(), i);
       WallTimer split_timer;
-      result = splitter.split(pic.coded, i);
+      result = splitter.split(pic.coded, i, table.geometry(pic.epoch));
       if (inst.split_ns)
         inst.split_ns->observe(uint64_t(split_timer.seconds() * 1e9));
     }
     if (result.status.ok() && inst.pictures_split) inst.pictures_split->add();
+
+    // Cost report for the planner — one per popped picture, empty vectors
+    // when the split failed, so the root's completeness count holds.
+    if (adaptive) {
+      proto::CostReportMsg cr;
+      cr.pic_index = i;
+      cr.col_cost = result.stats.cost_col;
+      cr.row_cost = result.stats.cost_row;
+      emit(ep, shared, self(),
+           Outgoing{topo.root(), true, proto::pack(cr)});
+    }
 
     // ANID gating: wait for the previous picture's ack from every live
     // decoder (redirection made them land here).
@@ -237,7 +261,7 @@ void SplitterHost::run() {
       proto::Packed p =
           proto::pack_sp(i, uint16_t(rt.tile), /*stream=*/0,
                          result.subpictures[size_t(rt.tile)],
-                         result.mei[size_t(rt.tile)]);
+                         result.mei[size_t(rt.tile)], pic.epoch);
       if (inst.sp_bytes_sent) inst.sp_bytes_sent->add(p.body.size());
       emit(ep, shared, self(), Outgoing{rt.dst_node, true, std::move(p)});
     }
@@ -278,7 +302,8 @@ DecoderHost::DecoderHost(net::FabricBackend* f, HostShared* sh,
       display_mu(*dmu),
       heartbeat_interval_s(dopts.heartbeat_interval_s),
       ep(f, tp.decoder(tile), with_metrics(rc, metrics)),
-      node(tp, tile, dopts) {
+      node(tp, tile, dopts),
+      table(g) {
   node.set_metrics(metrics);
   obs::MetricsRegistry& r = obs::registry_or_global(metrics);
   inst.resolve(r, self(), 0);
@@ -310,6 +335,10 @@ TileDecoder& DecoderHost::dec(int tile) {
 
 void DecoderHost::apply(proto::DecoderNode::Step step) {
   for (int n : step.forget) ep.forget_peer(n);
+  if (step.partition)
+    table.install_wire(step.partition->epoch, step.partition->apply_from_pic,
+                       step.partition->col_cuts_mb,
+                       step.partition->row_cuts_mb);
   if (step.adopt_tile.has_value()) {
     // Headroom for the adopted tile's second sub-picture stream.
     fabric.post_receive(self());
@@ -352,6 +381,10 @@ void DecoderHost::serve(const proto::DecoderNode::OwnedTile& ot, uint32_t i) {
   WallTimer serve_timer;
   TileDecoder& d = dec(ot.tile);
   const proto::SpMsg& sp = node.sp(ot.tile);
+  // poll_sp held the sub-picture until its epoch's update arrived, so the
+  // geometry is guaranteed present. Rebase before any staging or halo
+  // delivery touches the decoder — rebase drops staged per-picture state.
+  if (d.epoch() != sp.epoch) d.rebase(table.geometry(sp.epoch));
   subs[ot.tile] = SubPicture::deserialize(sp.subpicture);
   const PicInfo& pic_info = subs[ot.tile].info;
 
@@ -386,6 +419,9 @@ void DecoderHost::serve(const proto::DecoderNode::OwnedTile& ot, uint32_t i) {
         for (const proto::DecoderNode::OwnedTile& ot2 : node.owned()) {
           if (ot2.tile != peer || !node.tile_active(ot2, i)) continue;
           TileDecoder& d2 = dec(ot2.tile);
+          // Same picture => same epoch: rebase the co-hosted tile *before*
+          // handing it halos (its own serve would otherwise drop them).
+          if (d2.epoch() != sp.epoch) d2.rebase(table.geometry(sp.epoch));
           for (const proto::ExchangeEntry& e : m.entries)
             d2.add_halo_mb(e.instr, e.px, e.tainted);
         }

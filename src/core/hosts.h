@@ -33,6 +33,7 @@
 #include "obs/instruments.h"
 #include "proto/nodes.h"
 #include "wall/geometry.h"
+#include "wall/partition.h"
 
 namespace pdw::core {
 
@@ -121,6 +122,8 @@ struct SplitterHost {
   net::ReliableEndpoint ep;
   proto::SplitterNode node;
   MacroblockSplitter splitter;
+  wall::PartitionTable table;  // epochs learned from the root's updates
+  bool adaptive = false;       // emit a cost report after every split
 
   obs::SplitterInstruments inst;
   obs::Gauge* queue_depth = nullptr;
@@ -128,7 +131,8 @@ struct SplitterHost {
   SplitterHost(net::FabricBackend* f, HostShared* sh,
                const proto::Topology& tp, int s,
                const net::ReliableConfig& rc, const wall::TileGeometry& geo,
-               const StreamInfo& info, obs::MetricsRegistry* metrics);
+               const StreamInfo& info, obs::MetricsRegistry* metrics,
+               bool adaptive_enabled = false);
 
   int self() const { return topo.splitter(index); }
 
@@ -158,6 +162,7 @@ struct DecoderHost {
   double heartbeat_interval_s;
   net::ReliableEndpoint ep;
   proto::DecoderNode node;
+  wall::PartitionTable table;  // epochs learned from the root's updates
   std::map<int, std::unique_ptr<TileDecoder>> decs;  // by tile
   std::map<int, SubPicture> subs;  // current picture's sub-picture, by tile
   bool gone = false;  // killed (or fabric torn down) — exit silently

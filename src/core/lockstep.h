@@ -35,7 +35,8 @@ class LockstepPipeline {
   // one).
   LockstepPipeline(const wall::TileGeometry& geo, int k,
                    std::span<const uint8_t> es,
-                   obs::MetricsRegistry* metrics = nullptr);
+                   obs::MetricsRegistry* metrics = nullptr,
+                   proto::RootNode::AdaptivePartition adaptive = {});
   ~LockstepPipeline();
 
   using TileDisplayFn = proto::SerialStream::DisplayFn;
@@ -61,11 +62,17 @@ class LockstepPipeline {
     return stream_->accounting();
   }
 
+  // Partition epochs of the last run (epoch 0 alone on a static wall).
+  const wall::PartitionTable& partitions() const {
+    return stream_->partitions();
+  }
+
  private:
   const wall::TileGeometry& geo_;
   int k_;
   std::span<const uint8_t> es_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  proto::RootNode::AdaptivePartition adaptive_;
   std::unique_ptr<proto::SerialStream> stream_;
   bool ran_ = false;
 };

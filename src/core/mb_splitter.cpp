@@ -12,6 +12,17 @@ namespace pdw::core {
 
 using namespace mpeg2;
 
+namespace {
+
+// Decode-cost model weights (arbitrary units alongside coded bits). Chosen so
+// a motion-compensated macroblock with few coded bits still prices the
+// interpolation work it causes; the planner only needs relative weight, and
+// determinism matters more than calibration.
+constexpr uint32_t kMbBaseCost = 32;  // recon/dequant floor, every macroblock
+constexpr uint32_t kMcCost = 24;      // per used prediction direction
+
+}  // namespace
+
 MacroblockSplitter::MacroblockSplitter(const wall::TileGeometry& geo)
     : geo_(geo) {}
 MacroblockSplitter::~MacroblockSplitter() = default;
@@ -39,6 +50,8 @@ struct MacroblockSplitter::SliceSplitter final : public MbSink {
         result_(result) {
     builders_.resize(size_t(geo.tiles()));
     result_->stats.mbs_per_tile.assign(size_t(geo.tiles()), 0);
+    result_->stats.cost_col.assign(size_t(geo.mb_width()), 0);
+    result_->stats.cost_row.assign(size_t(geo.mb_height()), 0);
   }
 
   void on_macroblock(const Macroblock& mb, const MbState& before,
@@ -49,6 +62,20 @@ struct MacroblockSplitter::SliceSplitter final : public MbSink {
     ++result_->stats.macroblocks;
     if (!mb.skipped) ++result_->stats.coded_macroblocks;
     planner_->mark(mb.addr);
+
+    // --- Cost model ---------------------------------------------------------
+    // Price this macroblock for the planner: its coded bits plus fixed
+    // weights for the reconstruction and motion-compensation work it causes.
+    {
+      uint32_t cost =
+          kMbBaseCost + (mb.skipped ? 0 : uint32_t(bit_end - bit_begin));
+      if (!mb.intra() && ctx_.ph.type != PicType::I) {
+        if (mb.has_fwd() || ctx_.ph.type == PicType::P) cost += kMcCost;
+        if (mb.has_bwd()) cost += kMcCost;
+      }
+      result_->stats.cost_col[size_t(mbx)] += cost;
+      result_->stats.cost_row[size_t(mby)] += cost;
+    }
 
     geo_.tiles_of_mb(mbx, mby, &tiles_scratch_);
 
@@ -183,6 +210,12 @@ SplitResult MacroblockSplitter::split(std::span<const uint8_t> picture_span,
 
 SplitResult MacroblockSplitter::split(const mem::Bytes& picture,
                                       uint32_t pic_index) {
+  return split(picture, pic_index, geo_);
+}
+
+SplitResult MacroblockSplitter::split(const mem::Bytes& picture,
+                                      uint32_t pic_index,
+                                      const wall::TileGeometry& geo) {
   const std::span<const uint8_t> picture_span = picture.span();
   SplitResult result;
   result.stats.input_bytes = picture_span.size();
@@ -196,8 +229,8 @@ SplitResult MacroblockSplitter::split(const mem::Bytes& picture,
   ParsedPictureHeaders headers;
   DecodeStatus hs =
       parse_picture_headers(picture_span, &seq_, &have_seq_, &headers);
-  if (hs.ok() && (seq_.mb_width() != geo_.mb_width() ||
-                  seq_.mb_height() != geo_.mb_height())) {
+  if (hs.ok() && (seq_.mb_width() != geo.mb_width() ||
+                  seq_.mb_height() != geo.mb_height())) {
     // The span's embedded sequence header disagrees with the wall geometry:
     // either stream damage or a mid-stream dimension change, and a fixed
     // m*n wall can render neither. Drop the picture.
@@ -217,21 +250,21 @@ SplitResult MacroblockSplitter::split(const mem::Bytes& picture,
   ctx.pce = headers.pce;
 
   result.info = PicInfo::from(pic_index, headers.ph, headers.pce);
-  result.subpictures.resize(size_t(geo_.tiles()));
-  result.mei.resize(size_t(geo_.tiles()));
-  for (int t = 0; t < geo_.tiles(); ++t) {
+  result.subpictures.resize(size_t(geo.tiles()));
+  result.mei.resize(size_t(geo.tiles()));
+  for (int t = 0; t < geo.tiles(); ++t) {
     result.subpictures[size_t(t)].info = result.info;
     // One run per slice the tile intersects; slices are per macroblock row,
     // so the tile's MB-row count is the expected run count — reserving it
     // keeps the runs vector from reallocating mid-split.
-    const wall::MbRect& mbs = geo_.tile_mbs(t);
+    const wall::MbRect& mbs = geo.tile_mbs(t);
     result.subpictures[size_t(t)].runs.reserve(size_t(mbs.y1 - mbs.y0));
   }
 
   MbSyntaxDecoder syntax(ctx, ParseMode::kScan);
   ConcealPlanner planner;
   planner.begin(seq_.mb_width(), seq_.mb_height(), ctx.pce);
-  SliceSplitter sink(geo_, ctx, picture, &planner, &result);
+  SliceSplitter sink(geo, ctx, picture, &planner, &result);
 
   size_t pos = headers.first_slice_offset;
   while (true) {
@@ -267,7 +300,7 @@ SplitResult MacroblockSplitter::split(const mem::Bytes& picture,
   if (planner.covered_count() < planner.total()) {
     std::vector<int> tiles_of_mb;
     for (const ConcealSpec& spec : planner.finish()) {
-      geo_.tiles_of_mb(spec.mb_x, spec.mb_y, &tiles_of_mb);
+      geo.tiles_of_mb(spec.mb_x, spec.mb_y, &tiles_of_mb);
       for (int t : tiles_of_mb)
         result.mei[size_t(t)].push_back(make_conceal(
             spec.mb_x, spec.mb_y, spec.fill_y, spec.fill_cb, spec.fill_cr));
@@ -275,7 +308,7 @@ SplitResult MacroblockSplitter::split(const mem::Bytes& picture,
     }
   }
 
-  for (int t = 0; t < geo_.tiles(); ++t) {
+  for (int t = 0; t < geo.tiles(); ++t) {
     result.stats.output_bytes += result.subpictures[size_t(t)].wire_bytes();
     result.stats.output_bytes +=
         4 + result.mei[size_t(t)].size() * kMeiWireBytes;

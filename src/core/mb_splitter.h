@@ -31,6 +31,10 @@ struct SplitStats {
   size_t input_bytes = 0;       // coded picture size
   size_t output_bytes = 0;      // sum of sub-picture + MEI wire bytes
   std::vector<int> mbs_per_tile;
+  // Per-MB-column / per-MB-row decode-cost model for the partition planner:
+  // coded bits plus fixed recon/MC weights, deterministic per bitstream.
+  std::vector<uint32_t> cost_col;
+  std::vector<uint32_t> cost_row;
 };
 
 struct SplitResult {
@@ -65,6 +69,13 @@ class MacroblockSplitter {
   // Span flavour: copies the span into a pooled buffer first (callers that
   // do not already hold the picture as Bytes).
   SplitResult split(std::span<const uint8_t> picture_span, uint32_t pic_index);
+
+  // Per-call geometry flavour: split against an explicit (epoch) geometry
+  // instead of the wall's base grid. Adaptive engines pass the geometry of
+  // the picture's partition epoch; tile rects, MEI owner maps and the
+  // sub-picture fan-out all follow the given cuts.
+  SplitResult split(const mem::Bytes& picture, uint32_t pic_index,
+                    const wall::TileGeometry& geo);
 
   const mpeg2::SequenceHeader& sequence() const { return seq_; }
 

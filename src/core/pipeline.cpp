@@ -65,6 +65,8 @@ ClusterStats ClusterPipeline::run(const TileDisplayFn& on_display) {
     proto::RootNode::Options ro;
     ro.heartbeat_timeout_s = cfg.heartbeat_timeout_s;
     ro.recovery = ft_.recovery;
+    ro.adaptive = ft_.adaptive;
+    ro.adaptive.geo = &geo_;
     RootHost host(&fabric, &shared, &timer, &root, topo_, cfg.reliable, ro,
                   std::move(metas), ft_.metrics);
     host.run();
@@ -74,7 +76,8 @@ ClusterStats ClusterPipeline::run(const TileDisplayFn& on_display) {
   for (int s = 0; s < k_; ++s) {
     splitter_threads.emplace_back([&, s] {
       SplitterHost host(&fabric, &shared, topo_, s, cfg.reliable, geo_,
-                        root.stream_info(), ft_.metrics);
+                        root.stream_info(), ft_.metrics,
+                        ft_.adaptive.enabled);
       host.run();
     });
   }

@@ -86,6 +86,8 @@ struct FtOptions {
   bool per_picture_exchange = false;
   // Registry telemetry lands in (nullptr: the process-global one).
   obs::MetricsRegistry* metrics = nullptr;
+  // Adaptive per-GOP tile rebalancing. The engine fills in `geo` itself.
+  proto::RootNode::AdaptivePartition adaptive;
 };
 
 class ClusterPipeline {

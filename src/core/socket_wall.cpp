@@ -96,6 +96,8 @@ ClusterStats run_socket_wall(const wall::TileGeometry& geo, int k,
     proto::RootNode::Options ro;
     ro.heartbeat_timeout_s = cfg.heartbeat_timeout_s;
     ro.recovery = opts.recovery;
+    ro.adaptive = opts.adaptive;
+    ro.adaptive.geo = &geo;
     RootHost host(fabrics[size_t(topo.root())].get(), &shared, &timer, &root,
                   topo, cfg.reliable, ro, metas, opts.metrics);
     host.run();
@@ -107,7 +109,7 @@ ClusterStats run_socket_wall(const wall::TileGeometry& geo, int k,
       join_and_wire(topo.splitter(s));
       SplitterHost host(fabrics[size_t(topo.splitter(s))].get(), &shared,
                         topo, s, cfg.reliable, geo, root.stream_info(),
-                        opts.metrics);
+                        opts.metrics, opts.adaptive.enabled);
       host.run();
     });
   }

@@ -26,6 +26,8 @@ struct SocketWallOptions {
   bool impair = false;
   net::ImpairConfig impair_cfg;
   double rendezvous_timeout_s = 20.0;
+  // Adaptive per-GOP tile rebalancing. The engine fills in `geo` itself.
+  proto::RootNode::AdaptivePartition adaptive;
 };
 
 // Run the full wall over per-node UDP socket fabrics on loopback. The

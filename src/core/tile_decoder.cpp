@@ -167,16 +167,32 @@ class TileReconSink final : public MbSink {
 
 TileDecoder::TileDecoder(const wall::TileGeometry& geo, int tile,
                          const StreamInfo& info, HaloPolicy policy)
-    : geo_(geo),
+    : geo_(&geo),
       tile_(tile),
       seq_(info.seq),
       rect_(geo.tile_mbs(tile)),
+      epoch_(geo.epoch()),
       policy_(policy) {
   PDW_CHECK_EQ(seq_.mb_width(), geo.mb_width());
   PDW_CHECK_EQ(seq_.mb_height(), geo.mb_height());
 }
 
 TileDecoder::~TileDecoder() = default;
+
+void TileDecoder::rebase(const wall::TileGeometry& geo) {
+  PDW_CHECK_EQ(seq_.mb_width(), geo.mb_width());
+  PDW_CHECK_EQ(seq_.mb_height(), geo.mb_height());
+  geo_ = &geo;
+  rect_ = geo.tile_mbs(tile_);
+  epoch_ = geo.epoch();
+  // The scratch frame (if any) has the old rect; drop it so the next decode
+  // allocates in the new one. Reference frames stay — each carries its own
+  // rect, and the pending one still owes the wall a display emission.
+  cur_.reset();
+  halo_[0].clear();
+  halo_[1].clear();
+  staged_conceals_.clear();
+}
 
 MacroblockPixels TileDecoder::extract_for_send(
     const PicInfo& pic, const MeiInstruction& instr) const {
@@ -235,6 +251,7 @@ void TileDecoder::emit(const TileFrame& frame, const TileDisplayInfo& info,
     last_shown_ = std::make_unique<TileFrame>(frame);
   else
     *last_shown_ = frame;
+  last_shown_epoch_ = info.epoch;
   if (display) display(frame, info);
 }
 
@@ -247,12 +264,14 @@ void TileDecoder::emit_frozen(int slot, const DisplayFn& display) {
     last_shown_->y().fill(128);
     last_shown_->cb().fill(128);
     last_shown_->cr().fill(128);
+    last_shown_epoch_ = epoch_;
   }
   TileDisplayInfo info;
   info.pic_index = uint32_t(slot + 1);
   info.display_index = slot;
   info.type = PicType::P;
   info.degraded = true;
+  info.epoch = last_shown_epoch_;  // the frozen frame's rect, not today's
   if (display) display(*last_shown_, info);
 }
 
@@ -263,6 +282,11 @@ void TileDecoder::decode(const SubPicture& sp, const DisplayFn& display) {
   ctx.ph.temporal_reference = sp.info.temporal_reference;
   ctx.pce = sp.info.to_pce();
 
+  // The reference rotation below recycles retired frames as scratch; after a
+  // rebase a recycled frame still carries the previous epoch's rect.
+  if (cur_ && (cur_->mb_x0() != rect_.x0 || cur_->mb_y0() != rect_.y0 ||
+               cur_->mb_x1() != rect_.x1 || cur_->mb_y1() != rect_.y1))
+    cur_.reset();
   if (!cur_)
     cur_ = std::make_unique<TileFrame>(rect_.x0, rect_.y0, rect_.x1, rect_.y1);
 
@@ -365,6 +389,7 @@ void TileDecoder::decode(const SubPicture& sp, const DisplayFn& display) {
   info.pic_index = sp.info.pic_index;
   info.type = sp.info.type;
   info.degraded = tainted;
+  info.epoch = epoch_;
   if (sp.info.type == PicType::B) {
     info.display_index = slot;
     emit(*cur_, info, display);

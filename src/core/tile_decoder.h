@@ -70,6 +70,10 @@ struct TileDisplayInfo {
   int display_index = 0;    // display slot (global, not per-tile)
   mpeg2::PicType type = mpeg2::PicType::I;
   bool degraded = false;    // concealed/frozen content; bit-exact iff false
+  // Partition epoch whose geometry the frame was decoded under (0 on a
+  // static wall). The assembler must place the frame with that epoch's
+  // tile rect — reorder delay means it can trail the decoder's current one.
+  uint32_t epoch = 0;
 };
 
 class TileDecoder {
@@ -79,6 +83,14 @@ class TileDecoder {
   ~TileDecoder();
 
   int tile() const { return tile_; }
+
+  // Adopt a new partition epoch's geometry: the tile keeps its index and its
+  // reference frames (their own rects ride along — the pending reference
+  // still displays, and closed GOPs guarantee no post-switch picture reads a
+  // pre-switch reference), but all *future* reconstruction happens in the
+  // new rect. Call only between pictures, at a closed-GOP boundary.
+  void rebase(const wall::TileGeometry& geo);
+  uint32_t epoch() const { return epoch_; }
 
   // SEND execution: extract the requested reference macroblock from this
   // decoder's local reference frames (instr.ref: 0 = forward reference of
@@ -142,10 +154,11 @@ class TileDecoder {
             const DisplayFn& display);
   void emit_frozen(int slot, const DisplayFn& display);
 
-  const wall::TileGeometry& geo_;
+  const wall::TileGeometry* geo_;
   int tile_;
   mpeg2::SequenceHeader seq_;
   wall::MbRect rect_;
+  uint32_t epoch_ = 0;
   HaloPolicy policy_;
 
   std::unique_ptr<mpeg2::TileFrame> cur_, ref_old_, ref_new_;
@@ -162,6 +175,7 @@ class TileDecoder {
                                // frame to keep one-emission-per-slot
   int64_t last_pic_index_ = -1;
   std::unique_ptr<mpeg2::TileFrame> last_shown_;
+  uint32_t last_shown_epoch_ = 0;
   int last_mb_count_ = 0;
   size_t last_halo_count_ = 0;
 };

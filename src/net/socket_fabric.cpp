@@ -41,8 +41,10 @@ namespace {
 //   48   payload fragment...
 constexpr uint32_t kMagic = 0x50445746u;  // 'PDWF'
 constexpr size_t kDgramHeaderBytes = 48;
-// Fragment payload per datagram: comfortably under the 64 KiB UDP limit.
-constexpr size_t kFragBytes = 56 * 1024;
+// Largest fragment payload per datagram (= kMaxFragmentBytes): comfortably
+// under the 64 KiB UDP limit. Receive buffers are sized for this maximum
+// whatever this node's configured send-side fragment size is.
+constexpr size_t kFragBytes = size_t(kMaxFragmentBytes);
 
 void put_u32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, 4); }
 void put_u16(uint8_t* p, uint16_t v) { std::memcpy(p, &v, 2); }
@@ -81,6 +83,8 @@ SocketFabric::SocketFabric(int self, int nodes, SocketFabricConfig cfg)
       counters_(size_t(nodes)) {
   PDW_CHECK_GE(self, 0);
   PDW_CHECK_LT(self, nodes);
+  frag_bytes_ = size_t(
+      std::clamp(cfg_.fragment_bytes, kMinFragmentBytes, kMaxFragmentBytes));
   fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
   PDW_CHECK_GE(fd_, 0);
   int one = 1;
@@ -140,7 +144,7 @@ SendStatus SocketFabric::send(int src, int dst, Message msg) {
   const uint32_t msg_id = next_msg_id_++;
   const size_t total = msg.payload.size();
   const uint16_t frag_count =
-      uint16_t(total == 0 ? 1 : (total + kFragBytes - 1) / kFragBytes);
+      uint16_t(total == 0 ? 1 : (total + frag_bytes_ - 1) / frag_bytes_);
   sockaddr_in sa = to_sockaddr(peers_[size_t(dst)]);
 
   uint8_t dgram[kDgramHeaderBytes + kFragBytes];
@@ -158,8 +162,8 @@ SendStatus SocketFabric::send(int src, int dst, Message msg) {
   put_u32(dgram + 36, uint32_t(total));
 
   for (uint16_t i = 0; i < frag_count; ++i) {
-    const size_t off = size_t(i) * kFragBytes;
-    const size_t n = std::min(kFragBytes, total - off);
+    const size_t off = size_t(i) * frag_bytes_;
+    const size_t n = std::min(frag_bytes_, total - off);
     put_u16(dgram + 32, i);
     put_u32(dgram + 40, uint32_t(off));
     put_u32(dgram + 44,

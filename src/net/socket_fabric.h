@@ -50,11 +50,23 @@ struct Endpoint {
 
 inline constexpr uint32_t kLoopbackIp = 0x7f000001u;
 
+// Bounds on SocketFabricConfig::fragment_bytes. The upper bound keeps
+// header + payload comfortably under the 64 KiB UDP datagram limit; the
+// lower bound keeps fragment counts (u16 on the wire) sane for the largest
+// coded pictures.
+inline constexpr int kMinFragmentBytes = 4096;
+inline constexpr int kMaxFragmentBytes = 56 * 1024;
+
 struct SocketFabricConfig {
   // Socket buffer depth requested via SO_RCVBUF/SO_SNDBUF. Loopback bursts
   // (a whole picture fans out as dozens of 56 KiB fragments) overflow the
   // kernel default and look like network loss; 4 MiB absorbs them.
   int socket_buffer_bytes = 4 << 20;
+  // Fragment payload bytes per datagram, clamped to
+  // [kMinFragmentBytes, kMaxFragmentBytes]. Receivers reassemble from the
+  // per-datagram framing fields, so nodes with different settings still
+  // interoperate; smaller fragments model smaller-MTU fabrics.
+  int fragment_bytes = kMaxFragmentBytes;
   // Registry for the datagram-level counters (nullptr: process-global).
   obs::MetricsRegistry* metrics = nullptr;
 };
@@ -71,6 +83,8 @@ class SocketFabric final : public FabricBackend {
 
   int self() const { return self_; }
   Endpoint local_endpoint() const { return local_; }
+  // The clamped per-datagram fragment payload size in effect.
+  size_t fragment_bytes() const { return frag_bytes_; }
 
   // Install the node -> endpoint map (from rendezvous, or an impairment
   // proxy's front addresses). Must be called before send().
@@ -123,6 +137,7 @@ class SocketFabric final : public FabricBackend {
   const int self_;
   const int nodes_;
   SocketFabricConfig cfg_;
+  size_t frag_bytes_ = size_t(kMaxFragmentBytes);
   int fd_ = -1;
   Endpoint local_;
   std::chrono::steady_clock::time_point epoch_;

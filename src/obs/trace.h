@@ -173,6 +173,7 @@ inline constexpr char kRetransmit[] = "retransmit";     // transport instant
 inline constexpr char kAbandon[] = "abandon";           // transport instant
 inline constexpr char kDeath[] = "death_declared";      // root instant
 inline constexpr char kAdopt[] = "adopt_tile";          // decoder instant
+inline constexpr char kRebalance[] = "rebalance";       // root instant
 }  // namespace span
 
 }  // namespace pdw::obs

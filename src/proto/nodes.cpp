@@ -1,5 +1,6 @@
 #include "proto/nodes.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.h"
@@ -37,6 +38,13 @@ RootNode::RootNode(const Topology& topo, const Options& opts,
       last_hb_(size_t(topo.tiles), now),
       owner_(size_t(topo.tiles), -1) {
   for (int t = 0; t < topo_.tiles; ++t) owner_[size_t(t)] = topo_.decoder(t);
+  if (opts_.adaptive.enabled) {
+    PDW_CHECK(opts_.adaptive.geo != nullptr);
+    PDW_CHECK_EQ(opts_.adaptive.geo->tiles(), topo_.tiles);
+    table_ = std::make_unique<wall::PartitionTable>(*opts_.adaptive.geo);
+    window_cost_.col.assign(size_t(opts_.adaptive.geo->mb_width()), 0);
+    window_cost_.row.assign(size_t(opts_.adaptive.geo->mb_height()), 0);
+  }
 }
 
 void RootNode::set_metrics(obs::MetricsRegistry* reg) {
@@ -59,6 +67,16 @@ RootNode::Step RootNode::on_message(int src, const AnyMsg& msg, double now) {
     if (m_hb_recv_) m_hb_recv_->add();
   } else if (const auto* fin = std::get_if<Finished>(&msg)) {
     finished_nodes_.insert(topo_.decoder(int(fin->tile)));
+  } else if (const auto* cr = std::get_if<CostReportMsg>(&msg)) {
+    if (table_) {
+      ++cost_reports_seen_;
+      const size_t nc =
+          std::min(window_cost_.col.size(), cr->col_cost.size());
+      const size_t nr =
+          std::min(window_cost_.row.size(), cr->row_cost.size());
+      for (size_t i = 0; i < nc; ++i) window_cost_.col[i] += cr->col_cost[i];
+      for (size_t i = 0; i < nr; ++i) window_cost_.row[i] += cr->row_cost[i];
+    }
   }
   return step;
 }
@@ -90,6 +108,9 @@ RootNode::Step RootNode::on_transport_suspect(int node, double now) {
 void RootNode::declare_dead(int node, Step* step) {
   if (dead_nodes_.count(node)) return;
   dead_nodes_.insert(node);
+  // Recovery resyncs interleaved with rebalances is a state space nobody
+  // needs: the partition in force stays in force for the rest of the run.
+  partition_frozen_ = true;
   if (m_deaths_) m_deaths_->add();
   PDW_TRACE_INSTANT(obs::span::kDeath, topo_.root());
   const uint32_t resync = pick_resync_picture(pictures_, int(cursor_));
@@ -117,21 +138,64 @@ void RootNode::declare_dead(int node, Step* step) {
 }
 
 bool RootNode::may_dispatch() const {
-  return acks_seen_ >= int64_t(cursor_);
+  if (acks_seen_ < int64_t(cursor_)) return false;
+  if (!rebalance_pending()) return true;
+  // Closed-GOP boundary with rebalancing live: wait until every dispatched
+  // picture's cost report landed, so the planner sees the complete window.
+  return cost_reports_seen_ >= int64_t(cursor_);
 }
 
-Outgoing RootNode::dispatch(std::span<const uint8_t> coded) {
+bool RootNode::rebalance_pending() const {
+  return table_ && !partition_frozen_ && cursor_ > 0 &&
+         cursor_ < total_pictures() &&
+         pictures_[size_t(cursor_)].has_gop_header;
+}
+
+std::vector<Outgoing> RootNode::dispatch(std::span<const uint8_t> coded) {
   PDW_CHECK(may_dispatch());
   PDW_CHECK_LT(cursor_, total_pictures());
+  std::vector<Outgoing> out;
+  if (rebalance_pending()) {
+    // Plan over the just-finished GOP window; the decision is a pure
+    // function of the bitstream, so every engine lands on the same cuts.
+    wall::PlannerConfig cfg;
+    cfg.gain_threshold = opts_.adaptive.gain_threshold;
+    cfg.min_band_mbs = opts_.adaptive.min_band_mbs;
+    cfg.overlap_px = opts_.adaptive.geo->overlap();
+    const std::optional<wall::Partition> next = wall::plan_partition(
+        table_->partition(table_->latest_epoch()), window_cost_, cfg);
+    if (next) {
+      table_->install(*next, cursor_);
+      PartitionUpdateMsg pu;
+      pu.epoch = next->epoch;
+      pu.apply_from_pic = cursor_;
+      pu.stream = opts_.stream;
+      for (int c : next->col_cuts_mb) pu.col_cuts_mb.push_back(uint16_t(c));
+      for (int r : next->row_cuts_mb) pu.row_cuts_mb.push_back(uint16_t(r));
+      const Packed packed = pack(pu);
+      for (int s = 0; s < topo_.k; ++s)
+        out.push_back(Outgoing{topo_.splitter(s), true, packed});
+      for (int t = 0; t < topo_.tiles; ++t) {
+        const int n = topo_.decoder(t);
+        if (!dead_nodes_.count(n) && !finished_nodes_.count(n))
+          out.push_back(Outgoing{n, true, packed});
+      }
+      PDW_TRACE_INSTANT(obs::span::kRebalance, topo_.root(), cursor_);
+    }
+    std::fill(window_cost_.col.begin(), window_cost_.col.end(), 0);
+    std::fill(window_cost_.row.begin(), window_cost_.row.end(), 0);
+  }
   // The coded span (typically a view into the resident elementary stream)
   // is packed straight into the pooled body — the one copy this picture
   // makes on its way to the splitter.
-  Packed p =
-      pack_picture(cursor_, topo_.nsid(cursor_), opts_.stream, coded);
+  const uint32_t epoch = table_ ? table_->epoch_for(cursor_) : 0;
+  Packed p = pack_picture(cursor_, topo_.nsid(cursor_), opts_.stream, coded,
+                          epoch);
   const int dst = topo_.splitter(topo_.splitter_for_picture(cursor_));
   ++cursor_;
   if (m_dispatched_) m_dispatched_->add();
-  return Outgoing{dst, true, std::move(p)};
+  out.push_back(Outgoing{dst, true, std::move(p)});
+  return out;
 }
 
 std::vector<Outgoing> RootNode::end_of_stream() const {
@@ -187,6 +251,8 @@ SplitterNode::Step SplitterNode::on_message(int src, AnyMsg msg, double now) {
               dn->resync_pic};
   } else if (std::holds_alternative<EndOfStream>(msg)) {
     ended_ = true;
+  } else if (auto* pu = std::get_if<PartitionUpdateMsg>(&msg)) {
+    step.partition = std::move(*pu);
   }
   return step;
 }
@@ -306,6 +372,9 @@ DecoderNode::Step DecoderNode::on_message(int src, AnyMsg msg, double now) {
       if (m_adoptions_) m_adoptions_->add();
       PDW_TRACE_INSTANT(obs::span::kAdopt, self_, dn->resync_pic);
     }
+  } else if (auto* pu = std::get_if<PartitionUpdateMsg>(&msg)) {
+    latest_epoch_ = std::max(latest_epoch_, pu->epoch);
+    step.partition = std::move(*pu);
   }
   return step;
 }
@@ -337,6 +406,9 @@ DecoderNode::SpState DecoderNode::poll_sp(int tile, uint32_t pic) {
   if (sc.skip) return SpState::kSkipped;
   const uint64_t k = key(tile, pic);
   if (const auto it = sps_.find(k); it != sps_.end()) {
+    // Its epoch's geometry may not have reached this node yet (the update
+    // rides the root link, the sub-picture a splitter link): hold it.
+    if (it->second.epoch > latest_epoch_) return SpState::kPending;
     sc.sp = std::move(it->second);
     sps_.erase(it);
     sc.have_sp = true;

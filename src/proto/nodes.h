@@ -31,6 +31,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <vector>
@@ -38,6 +39,8 @@
 #include "common/traffic_matrix.h"
 #include "obs/metrics.h"
 #include "proto/wire.h"
+#include "wall/partition.h"
+#include "wall/planner.h"
 
 namespace pdw::proto {
 
@@ -172,10 +175,26 @@ int pick_adopter_tile(const std::vector<int>& tile_owner_node,
 
 class RootNode {
  public:
+  // Adaptive tile partitioning (ROADMAP item 2). When enabled, splitters
+  // report per-axis cost profiles after every split; at each closed-GOP I
+  // picture the root stalls dispatch until every report for the preceding
+  // pictures arrived, runs the balanced-cut planner over the last window,
+  // and — when hysteresis approves — broadcasts a PartitionUpdate before
+  // dispatching the first picture of the new epoch. The decision is a pure
+  // function of the bitstream, so every engine rebalances identically.
+  struct AdaptivePartition {
+    bool enabled = false;
+    double gain_threshold = 0.05;
+    int min_band_mbs = 2;
+    // Base wall geometry (epoch 0). Required when enabled.
+    const wall::TileGeometry* geo = nullptr;
+  };
+
   struct Options {
     double heartbeat_timeout_s = 1e9;
     RecoveryPolicy recovery = RecoveryPolicy::kAdopt;
     uint8_t stream = 0;
+    AdaptivePartition adaptive;
   };
 
   // One tile death decided by the health monitor. The host must fence the
@@ -213,14 +232,26 @@ class RootNode {
   static constexpr int kTransportSuspectThreshold = 3;
 
   // One-picture-ahead gating: picture `cursor()` may be dispatched once the
-  // go-ahead for every earlier picture arrived.
+  // go-ahead for every earlier picture arrived. With adaptive partitioning,
+  // a closed-GOP boundary additionally waits for every outstanding cost
+  // report, so the planner always decides on the complete previous window.
   bool may_dispatch() const;
   uint32_t cursor() const { return cursor_; }
   bool stream_done() const { return cursor_ >= total_pictures(); }
   // Dispatch the picture at cursor() (the host provides its coded bytes;
   // the span is packed into a pooled body and may die after the call);
-  // advances the cursor.
-  Outgoing dispatch(std::span<const uint8_t> coded);
+  // advances the cursor. With adaptive partitioning a rebalance decided at
+  // this picture prepends a PartitionUpdate broadcast (all splitters, all
+  // live decoders) — those sends MUST reach the transport before the
+  // picture itself.
+  std::vector<Outgoing> dispatch(std::span<const uint8_t> coded);
+
+  // The partition table (epoch 0 + every installed rebalance). Null unless
+  // adaptive partitioning is enabled.
+  const wall::PartitionTable* partitions() const { return table_.get(); }
+  // Partition epochs stop moving once any death occurred (recovery resync
+  // and rebalance interleaving is not worth the state space).
+  bool partition_frozen() const { return partition_frozen_; }
   // End-of-stream notices for every splitter.
   std::vector<Outgoing> end_of_stream() const;
 
@@ -232,6 +263,9 @@ class RootNode {
  private:
   uint32_t total_pictures() const { return uint32_t(pictures_.size()); }
   void declare_dead(int node, Step* step);
+  // True when the picture at cursor() is a closed-GOP boundary at which the
+  // planner may still move the partition.
+  bool rebalance_pending() const;
 
   Topology topo_;
   Options opts_;
@@ -242,6 +276,12 @@ class RootNode {
   std::vector<int> owner_;        // tile -> node now serving it
   int64_t acks_seen_ = 0;         // go-aheads from splitters
   uint32_t cursor_ = 0;           // next picture index to dispatch
+
+  // Adaptive partitioning state (table_ null when disabled).
+  std::unique_ptr<wall::PartitionTable> table_;
+  wall::CostProfile window_cost_;  // accumulated since the last GOP decision
+  int64_t cost_reports_seen_ = 0;  // one per dispatched picture, eventually
+  bool partition_frozen_ = false;
 
   obs::Counter* m_dispatched_ = nullptr;
   obs::Counter* m_go_aheads_ = nullptr;
@@ -256,6 +296,11 @@ class SplitterNode {
   struct Step {
     std::vector<Outgoing> send;
     std::vector<int> forget;  // dead nodes the transport should drop
+    // A partition rebalance announced by the root. The host must install
+    // the epoch's geometry before splitting any picture stamped with it
+    // (the root broadcasts the update ahead of such pictures, and links
+    // deliver in order, so it is already here when they arrive).
+    std::optional<PartitionUpdateMsg> partition;
   };
 
   SplitterNode(const Topology& topo, int index, uint8_t stream = 0);
@@ -327,6 +372,9 @@ class DecoderNode {
     std::vector<Outgoing> send;
     std::vector<int> forget;        // dead nodes the transport should drop
     std::optional<int> adopt_tile;  // host: create decode state, add credits
+    // A partition rebalance announced by the root; the host installs the
+    // epoch's geometry into its table (see latest_epoch()).
+    std::optional<PartitionUpdateMsg> partition;
   };
 
   DecoderNode(const Topology& topo, int home_tile, const Options& opts);
@@ -351,8 +399,15 @@ class DecoderNode {
   // Phase-1 entry for (tile, pic): resolve the sub-picture. kReady moves the
   // typed message into the tile's scratch (read it back via sp(tile)) and
   // registers the MEI RECV expectations, minus tiles co-hosted here.
+  // A sub-picture stamped with an epoch this node has not yet learned from
+  // the root stays kPending: sub-pictures travel splitter -> decoder while
+  // PartitionUpdates travel root -> decoder, so the two can cross.
   enum class SpState { kPending, kReady, kSkipped };
   SpState poll_sp(int tile, uint32_t pic);
+  // Highest partition epoch announced by the root so far (0 on a static
+  // wall). Every sub-picture handed out by poll_sp satisfies
+  // sp.epoch <= latest_epoch().
+  uint32_t latest_epoch() const { return latest_epoch_; }
   // Sub-pictures buffered and not yet consumed (the queue_depth gauge).
   int pending_sps() const { return int(sps_.size()); }
   const SpMsg& sp(int tile) const;
@@ -417,6 +472,7 @@ class DecoderNode {
   std::map<int, DeadTileInfo> dead_tiles_;
   std::vector<int> owner_;  // tile -> node now serving it
   std::map<int, Scratch> scratch_;  // by tile
+  uint32_t latest_epoch_ = 0;
   double last_hb_ = -1e9;
 
   obs::Counter* m_hb_sent_ = nullptr;

@@ -26,15 +26,21 @@ struct SerialStream::DecoderHost {
   core::TileDecoder& dec(int tile, const wall::TileGeometry& geo,
                          const core::StreamInfo& info) {
     auto& slot = decs[tile];
-    if (!slot) slot = std::make_unique<core::TileDecoder>(geo, tile, info);
+    if (!slot)
+      slot = std::make_unique<core::TileDecoder>(geo, tile, info);
+    else if (slot->epoch() != geo.epoch())
+      slot->rebase(geo);
     return *slot;
   }
 };
 
 SerialStream::SerialStream(const wall::TileGeometry& geo, int k,
                            std::span<const uint8_t> es, uint8_t stream_id,
-                           obs::MetricsRegistry* metrics)
+                           obs::MetricsRegistry* metrics,
+                           RootNode::AdaptivePartition adaptive)
     : geo_(geo),
+      table_(geo),
+      adaptive_(adaptive.enabled),
       topo_{k, geo.tiles()},
       stream_id_(stream_id),
       root_(es) {
@@ -64,6 +70,8 @@ SerialStream::SerialStream(const wall::TileGeometry& geo, int k,
     metas[size_t(i)].has_gop_header = root_.span(i).has_gop_header;
   RootNode::Options ropts;
   ropts.stream = stream_id;
+  ropts.adaptive = adaptive;
+  ropts.adaptive.geo = &geo_;
   root_node_ =
       std::make_unique<RootNode>(topo_, ropts, std::move(metas), /*now=*/0.0);
   root_node_->set_metrics(metrics);
@@ -117,6 +125,7 @@ void SerialStream::dispatch(int src, int dst, AnyMsg msg) {
     SplitterNode::Step step =
         splitter_nodes_[size_t(dst - 1)]->on_message(src, std::move(msg), 0.0);
     PDW_CHECK(step.forget.empty());
+    if (step.partition) install_partition(*step.partition);
     for (const Outgoing& o : step.send) deliver(dst, o);
     return;
   }
@@ -124,7 +133,16 @@ void SerialStream::dispatch(int src, int dst, AnyMsg msg) {
                                .on_message(src, std::move(msg), 0.0);
   PDW_CHECK(step.forget.empty());
   PDW_CHECK(!step.adopt_tile.has_value());
+  if (step.partition) install_partition(*step.partition);
   for (const Outgoing& o : step.send) deliver(dst, o);
+}
+
+void SerialStream::install_partition(const PartitionUpdateMsg& pu) {
+  // The root broadcasts one update to every splitter and decoder; the
+  // serial engine hosts them all over one shared table, so only the first
+  // arrival installs.
+  table_.install_wire(pu.epoch, pu.apply_from_pic, pu.col_cuts_mb,
+                      pu.row_cuts_mb);
 }
 
 void SerialStream::step(const DisplayFn& on_display, const TraceFn& on_trace,
@@ -149,14 +167,16 @@ void SerialStream::step(const DisplayFn& on_display, const TraceFn& on_trace,
   // Root: the one copy — the ES span is packed straight into a pooled wire
   // body; everything downstream (splitter, sub-pictures) views that block.
   PDW_CHECK(root_node_->may_dispatch());
-  Outgoing dispatched;
+  std::vector<Outgoing> dispatched;
   {
     PDW_TRACE_SPAN(obs::span::kCopyPic, topo_.root(), i);
     WallTimer t;
     dispatched = root_node_->dispatch(span);
     tr.copy_s = t.seconds();
   }
-  deliver(topo_.root(), dispatched);
+  // A rebalance decided at this picture rides ahead of it: the partition
+  // update lands (and installs into the shared table) before the picture.
+  for (const Outgoing& o : dispatched) deliver(topo_.root(), o);
 
   // Splitter: dequeue (go-ahead back to the root), split, gate on the
   // ANID-redirected acks of picture i-1, route the sub-pictures.
@@ -168,6 +188,9 @@ void SerialStream::step(const DisplayFn& on_display, const TraceFn& on_trace,
   PictureMsg pic = sn.pop_picture(&go_ahead);
   PDW_CHECK_EQ(pic.pic_index, i);
   deliver(topo_.splitter(s), go_ahead);
+  tr.epoch = pic.epoch;
+  PDW_CHECK(table_.has_epoch(pic.epoch));
+  const wall::TileGeometry& egeo = table_.geometry(pic.epoch);
 
   core::SplitResult result;
   std::vector<SpMsg> sp_msgs(static_cast<size_t>(tiles));
@@ -186,7 +209,7 @@ void SerialStream::step(const DisplayFn& on_display, const TraceFn& on_trace,
     {
       PDW_TRACE_SPAN(obs::span::kSplitPic, topo_.splitter(s), i);
       WallTimer t;
-      result = splitters_[size_t(s)]->split(pic.coded, i);
+      result = splitters_[size_t(s)]->split(pic.coded, i, egeo);
       if (result.status.ok()) {
         // Serializing SPs and MEIs into wire messages is splitter work.
         for (int d = 0; d < tiles; ++d) {
@@ -194,6 +217,7 @@ void SerialStream::step(const DisplayFn& on_display, const TraceFn& on_trace,
           m.pic_index = i;
           m.tile = uint16_t(d);
           m.stream = stream_id_;
+          m.epoch = pic.epoch;
           m.subpicture = result.subpictures[size_t(d)].serialize_pooled();
           m.mei = std::move(result.mei[size_t(d)]);
           tr.sp_msg_bytes[size_t(d)] =
@@ -208,6 +232,17 @@ void SerialStream::step(const DisplayFn& on_display, const TraceFn& on_trace,
       sm_[size_t(s)].pictures_split->add();
     if (sm_[size_t(s)].split_ns)
       sm_[size_t(s)].split_ns->observe(uint64_t(tr.split_s * 1e9));
+  }
+
+  // Cost report for the planner — one per picture, empty vectors when the
+  // picture was shed or undecodable, so the root's completeness count holds.
+  if (adaptive_) {
+    CostReportMsg cr;
+    cr.pic_index = i;
+    cr.stream = stream_id_;
+    cr.col_cost = result.stats.cost_col;
+    cr.row_cost = result.stats.cost_row;
+    deliver(topo_.splitter(s), Outgoing{topo_.root(), true, pack(cr)});
   }
 
   PDW_CHECK(sn.prev_acked(i));
@@ -233,7 +268,7 @@ void SerialStream::step(const DisplayFn& on_display, const TraceFn& on_trace,
     const DecoderNode::SpState st = h.node.poll_sp(d, i);
     if (st == DecoderNode::SpState::kSkipped) continue;
     PDW_CHECK(st == DecoderNode::SpState::kReady);  // the bus never lags
-    core::TileDecoder& dec = h.dec(d, geo_, root_.stream_info());
+    core::TileDecoder& dec = h.dec(d, egeo, root_.stream_info());
     const SpMsg& sp = h.node.sp(d);
     std::map<int, ExchangeMsg> out;  // by destination tile
     PDW_TRACE_SPAN(obs::span::kServeSp, topo_.decoder(d), i);
@@ -276,7 +311,7 @@ void SerialStream::step(const DisplayFn& on_display, const TraceFn& on_trace,
   // Decode phase.
   for (int d = 0; d < tiles; ++d) {
     DecoderHost& h = *decoders_[size_t(d)];
-    core::TileDecoder& dec = h.dec(d, geo_, root_.stream_info());
+    core::TileDecoder& dec = h.dec(d, egeo, root_.stream_info());
     const auto display = [&](const mpeg2::TileFrame& tf,
                              const core::TileDisplayInfo& info) {
       if (on_display) on_display(d, tf, info);
@@ -328,7 +363,7 @@ void SerialStream::finish(const DisplayFn& on_display) {
     deliver(topo_.root(), o);
   for (int d = 0; d < topo_.tiles; ++d) {
     DecoderHost& h = *decoders_[size_t(d)];
-    h.dec(d, geo_, root_.stream_info())
+    h.dec(d, table_.geometry(table_.latest_epoch()), root_.stream_info())
         .flush([&](const mpeg2::TileFrame& tf,
                    const core::TileDisplayInfo& info) {
           if (on_display) on_display(d, tf, info);

@@ -39,6 +39,7 @@ struct PictureTrace {
   uint32_t pic_index = 0;
   mpeg2::PicType type = mpeg2::PicType::I;
   bool has_gop_header = false;  // picture starts a (closed) GOP — resync point
+  uint32_t epoch = 0;           // partition epoch the picture was split under
   size_t picture_bytes = 0;  // root -> splitter message size
   double copy_s = 0;         // root: copy picture into the send buffer
   double split_s = 0;        // second-level: parse + build SPs and MEIs
@@ -63,9 +64,12 @@ class SerialStream {
   // `es` is borrowed and must outlive the stream. `stream_id` tags every
   // wire message (0 for single-stream engines). `metrics` selects the
   // registry telemetry lands in (nullptr: the process-global one).
+  // `adaptive` turns on per-GOP partition rebalancing (the engine supplies
+  // the base geometry itself; any `geo` set by the caller is ignored).
   SerialStream(const wall::TileGeometry& geo, int k,
                std::span<const uint8_t> es, uint8_t stream_id = 0,
-               obs::MetricsRegistry* metrics = nullptr);
+               obs::MetricsRegistry* metrics = nullptr,
+               RootNode::AdaptivePartition adaptive = {});
   ~SerialStream();
 
   int picture_count() const;
@@ -92,6 +96,8 @@ class SerialStream {
 
   const core::RootSplitter& root() const { return root_; }
   const WireAccounting& accounting() const { return acct_; }
+  // Partition epochs this run installed (epoch 0 alone on a static wall).
+  const wall::PartitionTable& partitions() const { return table_; }
 
  private:
   struct DecoderHost;
@@ -100,8 +106,11 @@ class SerialStream {
   void deliver_sp(int src, int dst, SpMsg msg);
   void deliver_exchange(int src, int dst, ExchangeMsg msg);
   void dispatch(int src, int dst, AnyMsg msg);
+  void install_partition(const PartitionUpdateMsg& pu);
 
   const wall::TileGeometry& geo_;
+  wall::PartitionTable table_;
+  bool adaptive_ = false;
   Topology topo_;
   uint8_t stream_id_;
   core::RootSplitter root_;

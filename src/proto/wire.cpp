@@ -124,6 +124,8 @@ const char* msg_type_name(MsgType t) {
     case MsgType::kSkipBroadcast: return "skip";
     case MsgType::kStreamRequest: return "stream-request";
     case MsgType::kStreamReply: return "stream-reply";
+    case MsgType::kPartitionUpdate: return "partition-update";
+    case MsgType::kCostReport: return "cost-report";
   }
   return "unknown";
 }
@@ -159,7 +161,7 @@ const char* admission_verdict_name(AdmissionVerdict v) {
 // --- PictureMsg ------------------------------------------------------------
 
 Packed pack_picture(uint32_t pic_index, uint16_t nsid, uint8_t stream,
-                    std::span<const uint8_t> coded) {
+                    std::span<const uint8_t> coded, uint32_t epoch) {
   Packed p;
   p.type = MsgType::kPicture;
   p.stream = stream;
@@ -170,6 +172,7 @@ Packed pack_picture(uint32_t pic_index, uint16_t nsid, uint8_t stream,
   put_prefix(&w, MsgType::kPicture, stream);
   w.u32(pic_index);
   w.u16(nsid);
+  w.u32(epoch);
   w.u32(uint32_t(coded.size()));
   w.bytes(coded);
   finish_body(p, w);
@@ -177,7 +180,7 @@ Packed pack_picture(uint32_t pic_index, uint16_t nsid, uint8_t stream,
 }
 
 Packed pack(const PictureMsg& m) {
-  return pack_picture(m.pic_index, m.nsid, m.stream, m.coded);
+  return pack_picture(m.pic_index, m.nsid, m.stream, m.coded, m.epoch);
 }
 
 namespace {
@@ -188,8 +191,8 @@ bool decode_picture(std::span<const uint8_t> data, const mem::Bytes* parent,
   uint32_t len = 0;
   std::span<const uint8_t> coded;
   if (!take_prefix(&r, MsgType::kPicture, &out->stream) ||
-      !r.u32(&out->pic_index) || !r.u16(&out->nsid) || !r.u32(&len) ||
-      len != r.remaining())
+      !r.u32(&out->pic_index) || !r.u16(&out->nsid) || !r.u32(&out->epoch) ||
+      !r.u32(&len) || len != r.remaining())
     return false;
   const size_t off = r.pos();
   if (!r.bytes(len, &coded)) return false;
@@ -223,10 +226,11 @@ void put_mei_list(ByteWriter* w, const std::vector<core::MeiInstruction>& mei) {
 }
 
 void put_sp_header(ByteWriter* w, uint32_t pic_index, uint16_t tile,
-                   uint8_t stream, size_t sp_len) {
+                   uint8_t stream, uint32_t epoch, size_t sp_len) {
   put_prefix(w, MsgType::kSubPicture, stream);
   w->u32(pic_index);
   w->u16(tile);
+  w->u32(epoch);
   w->u32(uint32_t(sp_len));
 }
 
@@ -246,7 +250,8 @@ Packed pack(const SpMsg& m) {
   Packed p = sp_envelope(m.pic_index, m.tile, m.stream);
   ByteWriter w =
       body_writer(&p, sp_msg_wire_bytes(m.subpicture.size(), m.mei.size()));
-  put_sp_header(&w, m.pic_index, m.tile, m.stream, m.subpicture.size());
+  put_sp_header(&w, m.pic_index, m.tile, m.stream, m.epoch,
+                m.subpicture.size());
   w.bytes(m.subpicture);
   put_mei_list(&w, m.mei);
   finish_body(p, w);
@@ -255,11 +260,11 @@ Packed pack(const SpMsg& m) {
 
 Packed pack_sp(uint32_t pic_index, uint16_t tile, uint8_t stream,
                const core::SubPicture& sp,
-               const std::vector<core::MeiInstruction>& mei) {
+               const std::vector<core::MeiInstruction>& mei, uint32_t epoch) {
   Packed p = sp_envelope(pic_index, tile, stream);
   const size_t sp_len = sp.wire_bytes();
   ByteWriter w = body_writer(&p, sp_msg_wire_bytes(sp_len, mei.size()));
-  put_sp_header(&w, pic_index, tile, stream, sp_len);
+  put_sp_header(&w, pic_index, tile, stream, epoch, sp_len);
   sp.serialize_into(&w);
   put_mei_list(&w, mei);
   finish_body(p, w);
@@ -274,7 +279,8 @@ bool decode_sp(std::span<const uint8_t> data, const mem::Bytes* parent,
   uint32_t sp_len = 0, mei_count = 0;
   std::span<const uint8_t> sp;
   if (!take_prefix(&r, MsgType::kSubPicture, &out->stream) ||
-      !r.u32(&out->pic_index) || !r.u16(&out->tile) || !r.u32(&sp_len))
+      !r.u32(&out->pic_index) || !r.u16(&out->tile) || !r.u32(&out->epoch) ||
+      !r.u32(&sp_len))
     return false;
   const size_t off = r.pos();
   if (!r.bytes(sp_len, &sp) || !r.u32(&mei_count) ||
@@ -304,17 +310,26 @@ bool decode(const mem::Bytes& data, SpMsg* out) {
 }
 
 size_t sp_msg_wire_bytes(size_t subpicture_bytes, size_t mei_count) {
-  return 3 /*prefix*/ + 4 /*pic*/ + 2 /*tile*/ + 4 + subpicture_bytes + 4 +
-         mei_count * core::kMeiWireBytes;
+  return 3 /*prefix*/ + 4 /*pic*/ + 2 /*tile*/ + 4 /*epoch*/ + 4 +
+         subpicture_bytes + 4 + mei_count * core::kMeiWireBytes;
 }
 
 size_t picture_msg_wire_bytes(size_t coded_bytes) {
-  return 3 /*prefix*/ + 4 /*pic*/ + 2 /*nsid*/ + 4 + coded_bytes;
+  return 3 /*prefix*/ + 4 /*pic*/ + 2 /*nsid*/ + 4 /*epoch*/ + 4 + coded_bytes;
 }
 
 size_t exchange_msg_wire_bytes(size_t entry_count) {
   return 3 /*prefix*/ + 4 /*pic*/ + 2 /*src*/ + 2 /*dst*/ + 4 +
          entry_count * kExchangeEntryWireBytes;
+}
+
+size_t partition_update_wire_bytes(size_t col_cuts, size_t row_cuts) {
+  return 3 /*prefix*/ + 4 /*epoch*/ + 4 /*apply_from*/ + 2 + 2 +
+         (col_cuts + row_cuts) * 2;
+}
+
+size_t cost_report_wire_bytes(size_t cols, size_t rows) {
+  return 3 /*prefix*/ + 4 /*pic*/ + 2 + 2 + (cols + rows) * 4;
 }
 
 // --- GoAheadAck ------------------------------------------------------------
@@ -531,6 +546,86 @@ bool decode(std::span<const uint8_t> data, StreamReply* out) {
   return true;
 }
 
+// --- PartitionUpdateMsg ----------------------------------------------------
+
+Packed pack(const PartitionUpdateMsg& m) {
+  Packed p;
+  p.type = MsgType::kPartitionUpdate;
+  p.stream = m.stream;
+  p.seq = m.apply_from_pic;
+  p.aux = uint16_t(m.epoch);
+  ByteWriter w = body_writer(
+      &p, partition_update_wire_bytes(m.col_cuts_mb.size(), m.row_cuts_mb.size()));
+  put_prefix(&w, MsgType::kPartitionUpdate, m.stream);
+  w.u32(m.epoch);
+  w.u32(m.apply_from_pic);
+  w.u16(uint16_t(m.col_cuts_mb.size()));
+  w.u16(uint16_t(m.row_cuts_mb.size()));
+  for (uint16_t c : m.col_cuts_mb) w.u16(c);
+  for (uint16_t c : m.row_cuts_mb) w.u16(c);
+  finish_body(p, w);
+  return p;
+}
+
+bool decode(std::span<const uint8_t> data, PartitionUpdateMsg* out) {
+  TryReader r(data);
+  uint16_t cols = 0, rows = 0;
+  if (!take_prefix(&r, MsgType::kPartitionUpdate, &out->stream) ||
+      !r.u32(&out->epoch) || !r.u32(&out->apply_from_pic) || !r.u16(&cols) ||
+      !r.u16(&rows) || (size_t(cols) + rows) * 2 != r.remaining())
+    return false;
+  out->col_cuts_mb.resize(cols);
+  out->row_cuts_mb.resize(rows);
+  for (uint16_t& c : out->col_cuts_mb)
+    if (!r.u16(&c)) return false;
+  for (uint16_t& c : out->row_cuts_mb)
+    if (!r.u16(&c)) return false;
+  // Cut lines must strictly increase from a nonzero start: reject malformed
+  // partitions here so state machines never install an invalid geometry.
+  const auto increasing = [](const std::vector<uint16_t>& v) {
+    for (size_t i = 0; i < v.size(); ++i)
+      if (v[i] == 0 || (i > 0 && v[i] <= v[i - 1])) return false;
+    return true;
+  };
+  return increasing(out->col_cuts_mb) && increasing(out->row_cuts_mb) &&
+         r.done();
+}
+
+// --- CostReportMsg ---------------------------------------------------------
+
+Packed pack(const CostReportMsg& m) {
+  Packed p;
+  p.type = MsgType::kCostReport;
+  p.stream = m.stream;
+  p.seq = m.pic_index;
+  ByteWriter w = body_writer(
+      &p, cost_report_wire_bytes(m.col_cost.size(), m.row_cost.size()));
+  put_prefix(&w, MsgType::kCostReport, m.stream);
+  w.u32(m.pic_index);
+  w.u16(uint16_t(m.col_cost.size()));
+  w.u16(uint16_t(m.row_cost.size()));
+  for (uint32_t c : m.col_cost) w.u32(c);
+  for (uint32_t c : m.row_cost) w.u32(c);
+  finish_body(p, w);
+  return p;
+}
+
+bool decode(std::span<const uint8_t> data, CostReportMsg* out) {
+  TryReader r(data);
+  uint16_t cols = 0, rows = 0;
+  if (!take_prefix(&r, MsgType::kCostReport, &out->stream) ||
+      !r.u32(&out->pic_index) || !r.u16(&cols) || !r.u16(&rows) ||
+      (size_t(cols) + rows) * 4 != r.remaining())
+    return false;
+  out->col_cost.resize(cols);
+  out->row_cost.resize(rows);
+  for (uint32_t& c : out->col_cost)
+    if (!r.u32(&c)) return false;
+  for (uint32_t& c : out->row_cost)
+    if (!r.u32(&c)) return false;
+  return r.done();
+}
+
 // --- decode_any ------------------------------------------------------------
 
 std::optional<AnyMsg> decode_any(std::span<const uint8_t> data) {
@@ -552,6 +647,8 @@ std::optional<AnyMsg> decode_any(std::span<const uint8_t> data) {
     case MsgType::kSkipBroadcast: return try_decode(SkipBroadcast{});
     case MsgType::kStreamRequest: return try_decode(StreamRequest{});
     case MsgType::kStreamReply: return try_decode(StreamReply{});
+    case MsgType::kPartitionUpdate: return try_decode(PartitionUpdateMsg{});
+    case MsgType::kCostReport: return try_decode(CostReportMsg{});
   }
   return std::nullopt;
 }

@@ -35,7 +35,7 @@ struct SubPicture;
 
 namespace pdw::proto {
 
-inline constexpr uint8_t kWireVersion = 1;
+inline constexpr uint8_t kWireVersion = 2;
 
 // Tile field value meaning "no tile" (e.g. a death notice with no adopter).
 inline constexpr uint16_t kNoTile = 0xFFFF;
@@ -52,6 +52,8 @@ enum class MsgType : uint8_t {
   kSkipBroadcast = 9,  // splitter -> decoders: picture (tile, seq) is lost
   kStreamRequest = 10,  // tenant -> root: admit this stream (declared cost)
   kStreamReply = 11,    // root -> tenant: accept / reject / renegotiate
+  kPartitionUpdate = 12,  // root -> everyone: new partition epoch's cut lines
+  kCostReport = 13,       // splitter -> root: per-axis cost of one picture
 };
 
 const char* msg_type_name(MsgType t);
@@ -64,6 +66,10 @@ struct PictureMsg {
   uint32_t pic_index = 0;
   uint16_t nsid = 0;  // (pic_index + 1) % k
   uint8_t stream = 0;
+  // Partition epoch in force for this picture (0 on a static wall). The
+  // splitter cuts the picture against this epoch's geometry, never its own
+  // racing notion of "latest".
+  uint32_t epoch = 0;
   // Verbatim picture span from the ES. Decoding a Packed body with the
   // Bytes overload makes this a view into the transport buffer.
   mem::Bytes coded;
@@ -78,6 +84,9 @@ struct SpMsg {
   uint32_t pic_index = 0;
   uint16_t tile = 0;
   uint8_t stream = 0;
+  // Partition epoch the sub-picture was cut against: the receiving decoder
+  // resolves tile rects and MEI peers in *this* epoch's owner map.
+  uint32_t epoch = 0;
   mem::Bytes subpicture;  // core::SubPicture::serialize bytes (view on decode)
   std::vector<core::MeiInstruction> mei;
 
@@ -162,6 +171,37 @@ struct SkipBroadcast {
   uint8_t stream = 0;
 
   friend bool operator==(const SkipBroadcast&, const SkipBroadcast&) = default;
+};
+
+// --- Adaptive partitioning -------------------------------------------------
+
+// Root -> everyone: partition epoch `epoch` (cut lines on the macroblock
+// grid, wall/partition.h) applies from picture `apply_from_pic` onward.
+// Epochs are dense per stream; the root only ever rebalances at closed-GOP I
+// pictures, so no picture >= apply_from_pic references a frame cut under an
+// older epoch.
+struct PartitionUpdateMsg {
+  uint32_t epoch = 0;
+  uint32_t apply_from_pic = 0;
+  uint8_t stream = 0;
+  std::vector<uint16_t> col_cuts_mb;  // m-1 strictly increasing interior cuts
+  std::vector<uint16_t> row_cuts_mb;  // n-1 likewise
+
+  friend bool operator==(const PartitionUpdateMsg&,
+                         const PartitionUpdateMsg&) = default;
+};
+
+// Splitter -> root: the per-axis decode-cost profile of one split picture
+// (core::SplitStats.cost_col/cost_row). Only sent when adaptive partitioning
+// is enabled; the root accumulates profiles and runs the planner at GOP
+// boundaries.
+struct CostReportMsg {
+  uint32_t pic_index = 0;
+  uint8_t stream = 0;
+  std::vector<uint32_t> col_cost;  // one entry per MB column
+  std::vector<uint32_t> row_cost;  // one entry per MB row
+
+  friend bool operator==(const CostReportMsg&, const CostReportMsg&) = default;
 };
 
 // --- Admission handshake (multi-tenant serving) ----------------------------
@@ -249,10 +289,11 @@ Packed pack(const SpMsg& m);
 // the intermediate PictureMsg::coded / SpMsg::subpicture buffer entirely —
 // the hosts' hot-path encode.
 Packed pack_picture(uint32_t pic_index, uint16_t nsid, uint8_t stream,
-                    std::span<const uint8_t> coded);
+                    std::span<const uint8_t> coded, uint32_t epoch = 0);
 Packed pack_sp(uint32_t pic_index, uint16_t tile, uint8_t stream,
                const core::SubPicture& sp,
-               const std::vector<core::MeiInstruction>& mei);
+               const std::vector<core::MeiInstruction>& mei,
+               uint32_t epoch = 0);
 Packed pack(const GoAheadAck& m);
 Packed pack(const ExchangeMsg& m);
 Packed pack(const EndOfStream& m);
@@ -262,6 +303,8 @@ Packed pack(const DeathNotice& m);
 Packed pack(const SkipBroadcast& m);
 Packed pack(const StreamRequest& m);
 Packed pack(const StreamReply& m);
+Packed pack(const PartitionUpdateMsg& m);
+Packed pack(const CostReportMsg& m);
 
 // Strict typed decode: false on malformed input, never crashes. `data` is
 // the body produced by pack() (including the version/type prefix).
@@ -276,6 +319,8 @@ bool decode(std::span<const uint8_t> data, DeathNotice* out);
 bool decode(std::span<const uint8_t> data, SkipBroadcast* out);
 bool decode(std::span<const uint8_t> data, StreamRequest* out);
 bool decode(std::span<const uint8_t> data, StreamReply* out);
+bool decode(std::span<const uint8_t> data, PartitionUpdateMsg* out);
+bool decode(std::span<const uint8_t> data, CostReportMsg* out);
 
 // Zero-copy decode: bulk fields (PictureMsg::coded, SpMsg::subpicture)
 // become views sharing `data`'s block instead of copies. The span overloads
@@ -286,7 +331,7 @@ bool decode(const mem::Bytes& data, SpMsg* out);
 using AnyMsg =
     std::variant<PictureMsg, SpMsg, GoAheadAck, ExchangeMsg, EndOfStream,
                  Heartbeat, Finished, DeathNotice, SkipBroadcast, StreamRequest,
-                 StreamReply>;
+                 StreamReply, PartitionUpdateMsg, CostReportMsg>;
 
 // Dispatch on the body's type byte. nullopt on malformed input.
 std::optional<AnyMsg> decode_any(std::span<const uint8_t> data);
@@ -304,5 +349,7 @@ inline constexpr size_t kExchangeEntryWireBytes =
 size_t sp_msg_wire_bytes(size_t subpicture_bytes, size_t mei_count);
 size_t picture_msg_wire_bytes(size_t coded_bytes);
 size_t exchange_msg_wire_bytes(size_t entry_count);
+size_t partition_update_wire_bytes(size_t col_cuts, size_t row_cuts);
+size_t cost_report_wire_bytes(size_t cols, size_t rows);
 
 }  // namespace pdw::proto

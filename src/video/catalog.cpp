@@ -64,6 +64,23 @@ const StreamSpec& stream_by_id(int id) {
   return cat[size_t(id - 1)];
 }
 
+StreamSpec skewed_stream_spec(int variant, int width, int height) {
+  PDW_CHECK_GE(variant, 0);
+  StreamSpec spec;
+  spec.id = 100 + variant;
+  spec.name = "skew" + std::to_string(variant);
+  spec.width = width;
+  spec.height = height;
+  spec.fps = 30;
+  spec.target_bpp = 0.30;
+  spec.scene = SceneKind::kLocalizedDetail;
+  spec.note = "seeded hot-region orion-style skew";
+  spec.scene_seed = 0x5EED'0000'0000'0000ull + uint64_t(variant);
+  spec.custom_hot = true;
+  spec.hot = HotRegion::seeded(spec.scene_seed);
+  return spec;
+}
+
 int default_frame_count() {
   if (const char* env = std::getenv("PDW_FRAMES")) {
     const int n = std::atoi(env);
@@ -92,9 +109,15 @@ std::vector<uint8_t> load_stream(const StreamSpec& spec, int frames) {
   const fs::path dir = cache_dir();
   std::error_code ec;
   fs::create_directories(dir, ec);
-  char key[128];
-  std::snprintf(key, sizeof(key), "s%02d_%s_%dx%d_f%d_v5.m2v", spec.id,
-                spec.name.c_str(), spec.width, spec.height, frames);
+  char key[160];
+  if (spec.scene_seed || spec.custom_hot) {
+    std::snprintf(key, sizeof(key), "s%02d_%s_%dx%d_f%d_h%016llx_v6.m2v",
+                  spec.id, spec.name.c_str(), spec.width, spec.height, frames,
+                  static_cast<unsigned long long>(spec.scene_seed));
+  } else {
+    std::snprintf(key, sizeof(key), "s%02d_%s_%dx%d_f%d_v6.m2v", spec.id,
+                  spec.name.c_str(), spec.width, spec.height, frames);
+  }
   const fs::path file = dir / key;
 
   if (fs::exists(file, ec)) {
@@ -111,8 +134,12 @@ std::vector<uint8_t> load_stream(const StreamSpec& spec, int frames) {
   cfg.frame_rate_code = frame_rate_code_for(spec.fps);
   cfg.gop_size = 12;
   cfg.b_frames = 2;
+  const uint64_t seed =
+      spec.scene_seed ? spec.scene_seed : 0xC0FFEE00u + uint64_t(spec.id);
   const auto scene =
-      make_scene(spec.scene, spec.width, spec.height, 0xC0FFEE00u + spec.id);
+      spec.custom_hot
+          ? make_localized_scene(spec.width, spec.height, seed, spec.hot)
+          : make_scene(spec.scene, spec.width, spec.height, seed);
   enc::Mpeg2Encoder encoder(cfg);
   std::vector<uint8_t> es = encoder.encode(
       frames,

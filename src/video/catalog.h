@@ -26,12 +26,26 @@ struct StreamSpec {
   int tiles_n = 1;
   std::string note;         // what the original content was
 
+  // Skewed-family extensions (zero/false for the Table 4 streams): an
+  // explicit scene seed and a custom hot-region layout for
+  // kLocalizedDetail scenes.
+  uint64_t scene_seed = 0;  // 0: derived from id, as always
+  bool custom_hot = false;  // render with `hot` instead of the classic layout
+  HotRegion hot;
+
   int pixels() const { return width * height; }
 };
 
 // All 16 streams in Table 4 order.
 const std::vector<StreamSpec>& stream_catalog();
 const StreamSpec& stream_by_id(int id);
+
+// Orion-style skewed-load family (beyond Table 4): localized-detail scenes
+// whose hot-region position, size and drift are seeded parameters, built to
+// concentrate coded bits in a minority of tiles of an m x n wall. Every
+// `variant` is a different deterministic layout; the same variant always
+// regenerates the same stream.
+StreamSpec skewed_stream_spec(int variant, int width, int height);
 
 // Number of frames used by default for generated streams. Defaults to 48
 // (the paper trims each sequence to 240); override with PDW_FRAMES.

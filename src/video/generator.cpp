@@ -323,32 +323,36 @@ class AnimationScene final : public SceneGenerator {
 
 class LocalizedDetailScene final : public SceneGenerator {
  public:
-  LocalizedDetailScene(int w, int h, uint64_t seed)
+  LocalizedDetailScene(int w, int h, uint64_t seed, const HotRegion& hot)
       : w_(w),
         h_(h),
+        hot_(hot),
         detail_(512, 6, seed),
         smooth_(256, 3, seed ^ 0xBEEF),
         chroma_(256, 3, seed ^ 0xD00D) {}
 
   void render(int frame_index, Frame* out) const override {
-    // The "nebula" occupies roughly the left 40% x top 60% of the frame and
-    // slowly zooms; the rest is a near-black smooth background. Bit-rate
-    // therefore concentrates on a subset of tiles — the imbalance the paper
-    // observes on the Orion streams.
+    // The "nebula" occupies the hot region (default: roughly the left 40% x
+    // top 60% of the frame) and slowly zooms; the rest is a near-black
+    // smooth background. Bit-rate therefore concentrates on a subset of
+    // tiles — the imbalance the paper observes on the Orion streams — and a
+    // non-zero drift walks that concentration across tile boundaries.
     const float t = float(frame_index);
     const float zoom = 1.0f + 0.004f * t;
     const float ox = 3.1f * t;
     const float oy = 1.2f * t;
-    const float rx = 0.40f * w_;
-    const float ry = 0.60f * h_;
+    const float rx = hot_.rx * w_;
+    const float ry = hot_.ry * h_;
+    const float cx = hot_.cx * w_ + hot_.drift_x * t;
+    const float cy = hot_.cy * h_ + hot_.drift_y * t;
     for (int y = 0; y < h_; ++y) {
       uint8_t* row = out->y.row(y);
       for (int x = 0; x < w_; ++x) {
         const float base =
             12.f + 10.f * smooth_.sample(x * 0.02f, y * 0.02f + 0.1f * t);
         // Elliptical falloff of the detailed region.
-        const float dx = (x - rx * 0.8f) / rx;
-        const float dy = (y - ry * 0.6f) / ry;
+        const float dx = (x - cx) / rx;
+        const float dy = (y - cy) / ry;
         const float mask = std::max(0.f, 1.0f - (dx * dx + dy * dy));
         float v = base;
         int g = grain(uint32_t(x), uint32_t(y), uint32_t(frame_index), 2);
@@ -374,10 +378,23 @@ class LocalizedDetailScene final : public SceneGenerator {
 
  private:
   int w_, h_;
+  HotRegion hot_;
   NoiseTexture detail_, smooth_, chroma_;
 };
 
 }  // namespace
+
+HotRegion HotRegion::seeded(uint64_t seed) {
+  SplitMix64 rng(seed ^ 0x0810'0907'0605'0403ull);
+  HotRegion h;
+  h.cx = 0.20f + 0.60f * float(rng.next_double());
+  h.cy = 0.20f + 0.60f * float(rng.next_double());
+  h.rx = 0.22f + 0.14f * float(rng.next_double());
+  h.ry = 0.26f + 0.16f * float(rng.next_double());
+  h.drift_x = float(rng.next_double() - 0.5) * 3.0f;
+  h.drift_y = float(rng.next_double() - 0.5) * 2.0f;
+  return h;
+}
 
 std::unique_ptr<SceneGenerator> make_scene(SceneKind kind, int width,
                                            int height, uint64_t seed) {
@@ -391,10 +408,19 @@ std::unique_ptr<SceneGenerator> make_scene(SceneKind kind, int width,
     case SceneKind::kAnimation:
       return std::make_unique<AnimationScene>(width, height, seed);
     case SceneKind::kLocalizedDetail:
-      return std::make_unique<LocalizedDetailScene>(width, height, seed);
+      return std::make_unique<LocalizedDetailScene>(width, height, seed,
+                                                    HotRegion{});
   }
   PDW_CHECK(false);
   __builtin_unreachable();
+}
+
+std::unique_ptr<SceneGenerator> make_localized_scene(int width, int height,
+                                                     uint64_t seed,
+                                                     const HotRegion& hot) {
+  PDW_CHECK_EQ(width % 16, 0);
+  PDW_CHECK_EQ(height % 16, 0);
+  return std::make_unique<LocalizedDetailScene>(width, height, seed, hot);
 }
 
 }  // namespace pdw::video

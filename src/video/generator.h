@@ -25,6 +25,24 @@ enum class SceneKind {
 
 const char* scene_kind_name(SceneKind kind);
 
+// Placement of the detailed ("nebula") region of a localized-detail scene,
+// as fractions of the frame plus a per-frame pixel drift. The default is the
+// classic Orion-stand-in layout: a large ellipse anchored near the top-left.
+// The drift lets the hot region wander across tile boundaries over a clip,
+// which is what makes a static partition progressively worse.
+struct HotRegion {
+  float cx = 0.32f;      // ellipse center, fraction of width
+  float cy = 0.36f;      // ellipse center, fraction of height
+  float rx = 0.40f;      // radius, fraction of width
+  float ry = 0.60f;      // radius, fraction of height
+  float drift_x = 0.f;   // center drift, pixels per frame
+  float drift_y = 0.f;
+
+  // Deterministic seeded layout: center anywhere in the middle of the frame,
+  // compact radii, and a slow drift — every seed is a different skew.
+  static HotRegion seeded(uint64_t seed);
+};
+
 class SceneGenerator {
  public:
   virtual ~SceneGenerator() = default;
@@ -38,5 +56,11 @@ class SceneGenerator {
 // randomness in the scene layout.
 std::unique_ptr<SceneGenerator> make_scene(SceneKind kind, int width,
                                            int height, uint64_t seed);
+
+// A localized-detail scene with an explicit hot-region layout (make_scene
+// uses the default HotRegion{}).
+std::unique_ptr<SceneGenerator> make_localized_scene(int width, int height,
+                                                     uint64_t seed,
+                                                     const HotRegion& hot);
 
 }  // namespace pdw::video

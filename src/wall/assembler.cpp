@@ -20,7 +20,14 @@ void WallAssembler::reset() {
 }
 
 void WallAssembler::add_tile(int t, const TileFrame& tile, bool exact) {
-  const PixelRect& r = geo_.tile_pixels(t);
+  add_tile(t, tile, geo_, exact);
+}
+
+void WallAssembler::add_tile(int t, const TileFrame& tile,
+                             const TileGeometry& epoch_geo, bool exact) {
+  PDW_CHECK_EQ(epoch_geo.width(), geo_.width());
+  PDW_CHECK_EQ(epoch_geo.height(), geo_.height());
+  const PixelRect& r = epoch_geo.tile_pixels(t);
   PDW_CHECK_GE(r.x0, tile.px0());
   PDW_CHECK_GE(r.y0, tile.py0());
   PDW_CHECK_LE(std::min(r.x1, geo_.width()), tile.px1());

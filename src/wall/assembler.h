@@ -31,6 +31,13 @@ class WallAssembler {
   // equality check.
   void add_tile(int t, const mpeg2::TileFrame& tile, bool exact = true);
 
+  // Epoch-aware flavour: the frame was decoded under `epoch_geo` (a
+  // rebalanced partition of the same wall), so its display rect comes from
+  // that geometry while the wall frame itself never moves. Pass the
+  // geometry matching TileDisplayInfo::epoch.
+  void add_tile(int t, const mpeg2::TileFrame& tile,
+                const TileGeometry& epoch_geo, bool exact);
+
   // The composed picture (crop of the macroblock-aligned decode to the
   // display size happens here).
   const mpeg2::Frame& frame() const { return frame_; }

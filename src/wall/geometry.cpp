@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "wall/partition.h"
+
 namespace pdw::wall {
 
 TileGeometry::TileGeometry(int width, int height, int m, int n, int overlap)
@@ -22,19 +24,62 @@ TileGeometry::TileGeometry(int width, int height, int m, int n, int overlap)
   PDW_CHECK_GT(height / n, overlap) << "overlap too large for tile height";
 
   // Home grid: uniform partition (last tile absorbs the remainder).
-  auto home_edge = [](int size, int count, int i) {
-    return i >= count ? size : (size * i) / count;
-  };
+  std::vector<int> col_edges(size_t(m) + 1), row_edges(size_t(n) + 1);
+  for (int i = 0; i <= m; ++i) col_edges[size_t(i)] = (width * i) / m;
+  for (int i = 0; i <= n; ++i) row_edges[size_t(i)] = (height * i) / n;
+  init(col_edges, row_edges);
+}
 
+TileGeometry::TileGeometry(int width, int height, const Partition& p,
+                           int overlap)
+    : width_(width),
+      height_(height),
+      m_(p.m()),
+      n_(p.n()),
+      overlap_(overlap),
+      mb_width_((width + 15) / 16),
+      mb_height_((height + 15) / 16),
+      epoch_(p.epoch) {
+  PDW_CHECK_GE(overlap, 0);
+  PDW_CHECK_GT(width, 0);
+  PDW_CHECK_GT(height, 0);
+
+  // Cut lines live strictly inside the macroblock grid and each band must
+  // stay wider than the overlap it absorbs (and at least one macroblock).
+  auto edges_from_cuts = [&](const std::vector<int>& cuts_mb, int size,
+                             int mb_size) {
+    std::vector<int> edges;
+    edges.reserve(cuts_mb.size() + 2);
+    edges.push_back(0);
+    int prev_mb = 0;
+    for (int cut : cuts_mb) {
+      PDW_CHECK_GT(cut, prev_mb) << "partition cuts must strictly increase";
+      PDW_CHECK_LT(cut, mb_size) << "partition cut past the picture edge";
+      edges.push_back(cut * 16);
+      prev_mb = cut;
+    }
+    edges.push_back(size);
+    for (size_t i = 0; i + 1 < edges.size(); ++i)
+      PDW_CHECK_GT(edges[i + 1] - edges[i], overlap)
+          << "overlap too large for partition band";
+    return edges;
+  };
+  init(edges_from_cuts(p.col_cuts_mb, width, mb_width_),
+       edges_from_cuts(p.row_cuts_mb, height, mb_height_));
+}
+
+void TileGeometry::init(const std::vector<int>& col_edges,
+                        const std::vector<int>& row_edges) {
+  const int m = m_, n = n_, overlap = overlap_;
   pixels_.resize(size_t(m) * n);
   mbs_.resize(size_t(m) * n);
   for (int ty = 0; ty < n; ++ty) {
     for (int tx = 0; tx < m; ++tx) {
       PixelRect r;
-      r.x0 = home_edge(width, m, tx);
-      r.x1 = home_edge(width, m, tx + 1);
-      r.y0 = home_edge(height, n, ty);
-      r.y1 = home_edge(height, n, ty + 1);
+      r.x0 = col_edges[size_t(tx)];
+      r.x1 = col_edges[size_t(tx) + 1];
+      r.y0 = row_edges[size_t(ty)];
+      r.y1 = row_edges[size_t(ty) + 1];
       // Widen interior edges by half the projector overlap each way.
       if (tx > 0) r.x0 -= overlap / 2;
       if (tx < m - 1) r.x1 += overlap - overlap / 2;
@@ -57,10 +102,10 @@ TileGeometry::TileGeometry(int width, int height, int m, int n, int overlap)
   col_home_.resize(size_t(width_));
   row_home_.resize(size_t(height_));
   for (int tx = 0; tx < m; ++tx)
-    for (int x = home_edge(width, m, tx); x < home_edge(width, m, tx + 1); ++x)
+    for (int x = col_edges[size_t(tx)]; x < col_edges[size_t(tx) + 1]; ++x)
       col_home_[size_t(x)] = tx;
   for (int ty = 0; ty < n; ++ty)
-    for (int y = home_edge(height, n, ty); y < home_edge(height, n, ty + 1); ++y)
+    for (int y = row_edges[size_t(ty)]; y < row_edges[size_t(ty) + 1]; ++y)
       row_home_[size_t(y)] = ty;
 }
 

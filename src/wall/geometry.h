@@ -5,13 +5,23 @@
 // macroblock near a tile boundary may belong to several tiles and is sent to
 // each of their decoders (the duplication overhead the paper notes for
 // low-resolution streams).
+//
+// Tile boundaries come in two flavours: the classic uniform grid (epoch 0 of
+// every wall), and an arbitrary non-uniform partition with cut lines on the
+// macroblock grid (wall/partition.h), produced by the load-balancing planner.
+// Both share all the derived machinery — overlap widening, macroblock rects,
+// the home-cell owner map — so splitters and decoders answer owner_of_mb
+// identically regardless of which epoch a geometry describes.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/check.h"
 
 namespace pdw::wall {
+
+struct Partition;
 
 struct PixelRect {
   int x0 = 0, y0 = 0, x1 = 0, y1 = 0;  // half-open
@@ -28,6 +38,8 @@ struct MbRect {
     return mbx >= x0 && mbx < x1 && mby >= y0 && mby < y1;
   }
   int count() const { return (x1 - x0) * (y1 - y0); }
+
+  friend bool operator==(const MbRect&, const MbRect&) = default;
 };
 
 class TileGeometry {
@@ -35,8 +47,13 @@ class TileGeometry {
   // Partition a width x height picture across an m x n wall with `overlap`
   // blending pixels between adjacent tiles. Tile boundaries land on the
   // uniform grid; each tile's pixel rect is then widened by overlap/2 on
-  // interior edges.
+  // interior edges. This is epoch 0 of every wall.
   TileGeometry(int width, int height, int m, int n, int overlap = 0);
+
+  // Non-uniform wall: tile boundaries at the partition's macroblock cut
+  // lines (pixel edge = cut * 16), same overlap widening. Carries the
+  // partition's epoch stamp.
+  TileGeometry(int width, int height, const Partition& p, int overlap = 0);
 
   int m() const { return m_; }
   int n() const { return n_; }
@@ -46,6 +63,9 @@ class TileGeometry {
   int mb_width() const { return mb_width_; }
   int mb_height() const { return mb_height_; }
   int overlap() const { return overlap_; }
+
+  // Which partition epoch this geometry realizes (0 for the uniform ctor).
+  uint32_t epoch() const { return epoch_; }
 
   int tile_index(int tx, int ty) const { return ty * m_ + tx; }
 
@@ -69,8 +89,13 @@ class TileGeometry {
   }
 
  private:
+  // Shared ctor body: home pixel edges per axis (m_+1 / n_+1 entries,
+  // first 0, last width/height).
+  void init(const std::vector<int>& col_edges, const std::vector<int>& row_edges);
+
   int width_, height_, m_, n_, overlap_;
   int mb_width_, mb_height_;
+  uint32_t epoch_ = 0;
   std::vector<PixelRect> pixels_;
   std::vector<MbRect> mbs_;
   std::vector<int> col_home_;  // pixel column -> home tile column

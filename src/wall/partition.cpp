@@ -1,0 +1,80 @@
+#include "wall/partition.h"
+
+namespace pdw::wall {
+
+Partition Partition::uniform(int width, int height, int m, int n) {
+  PDW_CHECK_GT(m, 0);
+  PDW_CHECK_GT(n, 0);
+  Partition p;
+  p.col_cuts_mb.reserve(size_t(m) - 1);
+  p.row_cuts_mb.reserve(size_t(n) - 1);
+  // Nearest macroblock boundary to each uniform pixel edge.
+  for (int i = 1; i < m; ++i)
+    p.col_cuts_mb.push_back(((width * i) / m + 8) / 16);
+  for (int i = 1; i < n; ++i)
+    p.row_cuts_mb.push_back(((height * i) / n + 8) / 16);
+  return p;
+}
+
+PartitionTable::PartitionTable(const TileGeometry& base) : base_(base) {
+  Entry e;
+  e.partition =
+      Partition::uniform(base.width(), base.height(), base.m(), base.n());
+  e.partition.epoch = 0;
+  e.apply_from_pic = 0;
+  entries_.push_back(std::move(e));
+}
+
+const TileGeometry& PartitionTable::install(const Partition& p,
+                                            uint32_t apply_from_pic) {
+  PDW_CHECK_EQ(p.epoch, latest_epoch() + 1) << "partition epochs must be dense";
+  PDW_CHECK_EQ(p.m(), base_.m()) << "partition changes tile-grid shape";
+  PDW_CHECK_EQ(p.n(), base_.n()) << "partition changes tile-grid shape";
+  PDW_CHECK_GE(apply_from_pic, entries_.back().apply_from_pic);
+  Entry e;
+  e.partition = p;
+  e.apply_from_pic = apply_from_pic;
+  e.geometry = std::make_unique<TileGeometry>(base_.width(), base_.height(), p,
+                                              base_.overlap());
+  entries_.push_back(std::move(e));
+  return *entries_.back().geometry;
+}
+
+bool PartitionTable::install_wire(uint32_t epoch, uint32_t apply_from_pic,
+                                  const std::vector<uint16_t>& col_cuts_mb,
+                                  const std::vector<uint16_t>& row_cuts_mb) {
+  if (has_epoch(epoch)) return false;
+  Partition p;
+  p.epoch = epoch;
+  p.col_cuts_mb.reserve(col_cuts_mb.size());
+  p.row_cuts_mb.reserve(row_cuts_mb.size());
+  for (uint16_t c : col_cuts_mb) p.col_cuts_mb.push_back(int(c));
+  for (uint16_t r : row_cuts_mb) p.row_cuts_mb.push_back(int(r));
+  install(p, apply_from_pic);
+  return true;
+}
+
+const TileGeometry& PartitionTable::geometry(uint32_t epoch) const {
+  PDW_CHECK(has_epoch(epoch)) << "unknown partition epoch " << epoch;
+  return epoch == 0 ? base_ : *entries_[size_t(epoch)].geometry;
+}
+
+const Partition& PartitionTable::partition(uint32_t epoch) const {
+  PDW_CHECK(has_epoch(epoch));
+  return entries_[size_t(epoch)].partition;
+}
+
+uint32_t PartitionTable::apply_from(uint32_t epoch) const {
+  PDW_CHECK(has_epoch(epoch));
+  return entries_[size_t(epoch)].apply_from_pic;
+}
+
+uint32_t PartitionTable::epoch_for(uint32_t pic) const {
+  // Entries are sorted by apply_from_pic; the newest epoch whose apply point
+  // is <= pic wins.
+  for (size_t i = entries_.size(); i-- > 1;)
+    if (pic >= entries_[i].apply_from_pic) return uint32_t(i);
+  return 0;
+}
+
+}  // namespace pdw::wall

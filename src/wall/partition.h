@@ -1,0 +1,88 @@
+// Versioned, epoch-stamped wall partitions.
+//
+// The wall stays an m x n grid of rectangular tiles, but the column/row cut
+// lines may sit on any macroblock boundary instead of the uniform grid. Each
+// distinct set of cut lines is one *epoch*: epoch 0 is the geometry the wall
+// was built with, and every rebalance (decided by the planner at a closed-GOP
+// I picture) installs epoch e+1 applying from a known picture index. All
+// nodes — splitter, decoders, assembler — resolve a picture's geometry
+// through the same PartitionTable, so "which tile owns macroblock (x,y)" is
+// always answered against the *sending* epoch, never a racing local notion.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "wall/geometry.h"
+
+namespace pdw::wall {
+
+// Cut lines on the macroblock grid for one epoch. `col_cuts_mb` holds the
+// m-1 interior column cuts in macroblocks (strictly increasing, exclusive of
+// 0 and mb_width); band i spans [cut[i-1], cut[i]). Rows likewise.
+struct Partition {
+  uint32_t epoch = 0;
+  std::vector<int> col_cuts_mb;
+  std::vector<int> row_cuts_mb;
+
+  int m() const { return int(col_cuts_mb.size()) + 1; }
+  int n() const { return int(row_cuts_mb.size()) + 1; }
+
+  // The uniform partition equivalent: cuts at the MB column/row containing
+  // each uniform pixel edge. This is epoch 0's *shape* when adaptive mode
+  // starts from a uniform wall (the pixel edges themselves may differ from
+  // the uniform TileGeometry by sub-MB amounts; owner maps still agree
+  // because both round through the same home-cell lookup).
+  static Partition uniform(int width, int height, int m, int n);
+
+  friend bool operator==(const Partition&, const Partition&) = default;
+};
+
+// Epoch -> geometry resolution for one wall. Epochs are dense (0, 1, 2, ...)
+// and each applies from a picture index that is non-decreasing in epoch; the
+// table answers both "the geometry of epoch e" (for serving a message stamped
+// with e) and "the epoch in effect at picture p" (for deciding how to split
+// or decode p). Geometries are heap-allocated once and never move, so
+// references handed out stay valid across install().
+class PartitionTable {
+ public:
+  // Epoch 0 is the wall's base geometry (shared, not copied).
+  explicit PartitionTable(const TileGeometry& base);
+
+  // Install epoch `p.epoch` (must be latest_epoch() + 1) applying from
+  // `apply_from_pic` (must be >= the previous epoch's apply point).
+  const TileGeometry& install(const Partition& p, uint32_t apply_from_pic);
+
+  // Install from a wire partition-update's fields. Idempotent against the
+  // root's broadcast fan-out (a host co-hosting several machines sees the
+  // same update once per machine): an epoch already present is a no-op.
+  // Returns true when the epoch was newly installed.
+  bool install_wire(uint32_t epoch, uint32_t apply_from_pic,
+                    const std::vector<uint16_t>& col_cuts_mb,
+                    const std::vector<uint16_t>& row_cuts_mb);
+
+  uint32_t latest_epoch() const { return uint32_t(entries_.size()) - 1; }
+  bool has_epoch(uint32_t epoch) const { return epoch < entries_.size(); }
+
+  const TileGeometry& geometry(uint32_t epoch) const;
+  const Partition& partition(uint32_t epoch) const;
+  uint32_t apply_from(uint32_t epoch) const;
+
+  // The epoch in effect when picture `pic` is split/decoded.
+  uint32_t epoch_for(uint32_t pic) const;
+
+  const TileGeometry& base() const { return base_; }
+
+ private:
+  struct Entry {
+    Partition partition;
+    uint32_t apply_from_pic = 0;
+    std::unique_ptr<TileGeometry> geometry;  // null for epoch 0 (= base_)
+  };
+
+  const TileGeometry& base_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace pdw::wall

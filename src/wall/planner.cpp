@@ -1,0 +1,117 @@
+#include "wall/planner.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace pdw::wall {
+
+void CostProfile::add(const CostProfile& o) {
+  if (o.col.size() > col.size()) col.resize(o.col.size(), 0);
+  if (o.row.size() > row.size()) row.resize(o.row.size(), 0);
+  for (size_t i = 0; i < o.col.size(); ++i) col[i] += o.col[i];
+  for (size_t i = 0; i < o.row.size(); ++i) row[i] += o.row[i];
+}
+
+uint64_t CostProfile::total() const {
+  return std::accumulate(col.begin(), col.end(), uint64_t(0));
+}
+
+std::vector<int> balanced_cuts(const std::vector<uint64_t>& cost, int bands,
+                               int min_band_mbs) {
+  PDW_CHECK_GT(bands, 0);
+  PDW_CHECK_GT(min_band_mbs, 0);
+  const int size = int(cost.size());
+  if (bands == 1) return {};
+  if (int64_t(bands) * min_band_mbs > size) return {};  // cannot fit
+
+  std::vector<uint64_t> prefix(size_t(size) + 1, 0);
+  for (int i = 0; i < size; ++i)
+    prefix[size_t(i) + 1] = prefix[size_t(i)] + cost[size_t(i)];
+  const uint64_t total = prefix[size_t(size)];
+
+  std::vector<int> cuts;
+  cuts.reserve(size_t(bands) - 1);
+  int prev = 0;
+  for (int b = 1; b < bands; ++b) {
+    // Greedy prefix walk: the cut nearest the ideal b/bands share, then
+    // clamped so this band and all remaining bands keep their minimum width.
+    const uint64_t ideal = uint64_t((__uint128_t(total) * b) / bands);
+    int c = int(std::lower_bound(prefix.begin(), prefix.end(), ideal) -
+                prefix.begin());
+    if (c > 0 && ideal - prefix[size_t(c - 1)] < prefix[size_t(c)] - ideal)
+      --c;  // the previous boundary is closer to the ideal share
+    c = std::max(c, prev + min_band_mbs);
+    c = std::min(c, size - (bands - b) * min_band_mbs);
+    cuts.push_back(c);
+    prev = c;
+  }
+  return cuts;
+}
+
+namespace {
+
+// Per-band sums for one axis; cuts partition [0, cost.size()).
+std::vector<uint64_t> band_sums(const std::vector<uint64_t>& cost,
+                                const std::vector<int>& cuts) {
+  std::vector<uint64_t> sums;
+  sums.reserve(cuts.size() + 1);
+  int prev = 0;
+  for (size_t b = 0; b <= cuts.size(); ++b) {
+    const int end = b < cuts.size() ? cuts[b] : int(cost.size());
+    uint64_t s = 0;
+    for (int i = prev; i < end; ++i) s += cost[size_t(i)];
+    sums.push_back(s);
+    prev = end;
+  }
+  return sums;
+}
+
+uint64_t max_of(const std::vector<uint64_t>& v) {
+  return *std::max_element(v.begin(), v.end());
+}
+
+}  // namespace
+
+double predicted_max_tile_cost(const Partition& p, const CostProfile& cost) {
+  const uint64_t total = cost.total();
+  if (total == 0) return 0;
+  const uint64_t cmax = max_of(band_sums(cost.col, p.col_cuts_mb));
+  const uint64_t rmax = max_of(band_sums(cost.row, p.row_cuts_mb));
+  return double(cmax) * double(rmax) / double(total);
+}
+
+double predicted_work_share(const Partition& p, const CostProfile& cost) {
+  const double mx = predicted_max_tile_cost(p, cost);
+  if (mx <= 0) return 1.0;
+  return double(cost.total()) / (double(p.m() * p.n()) * mx);
+}
+
+std::optional<Partition> plan_partition(const Partition& cur,
+                                        const CostProfile& cost,
+                                        const PlannerConfig& cfg) {
+  if (cost.empty() || cost.total() == 0) return std::nullopt;
+  // A band of w macroblocks is at least 16*w - 15 pixels wide (the last band
+  // can lose up to 15 px to picture-edge rounding); require that to clear
+  // the projector overlap so the geometry ctor's band check always holds.
+  const int min_band =
+      std::max(cfg.min_band_mbs, (cfg.overlap_px + 15) / 16 + 1);
+
+  Partition next;
+  next.epoch = cur.epoch + 1;
+  next.col_cuts_mb = balanced_cuts(cost.col, cur.m(), min_band);
+  next.row_cuts_mb = balanced_cuts(cost.row, cur.n(), min_band);
+  if (cur.m() > 1 && next.col_cuts_mb.empty()) return std::nullopt;
+  if (cur.n() > 1 && next.row_cuts_mb.empty()) return std::nullopt;
+  if (next.col_cuts_mb == cur.col_cuts_mb &&
+      next.row_cuts_mb == cur.row_cuts_mb)
+    return std::nullopt;
+
+  const double cur_max = predicted_max_tile_cost(cur, cost);
+  const double new_max = predicted_max_tile_cost(next, cost);
+  if (new_max >= cur_max * (1.0 - cfg.gain_threshold)) return std::nullopt;
+  return next;
+}
+
+}  // namespace pdw::wall

@@ -1,0 +1,67 @@
+// Greedy balanced-cut partition planner (sans-io, deterministic).
+//
+// The macroblock splitter parses every MB anyway, so it can price each MB
+// column and row (coded bits + motion-compensation weights) for free. The
+// planner turns those per-axis cost profiles into new cut lines that equalize
+// predicted per-tile decode cost, under a separable model:
+//
+//     cost(tile i,j) ~= colband_i * rowband_j / total
+//
+// which is exact when the cost surface is a product of a column and a row
+// profile, and a good proxy for the hot-region skew the Orion streams show
+// (a bright band in both axes). Hysteresis keeps the wall from thrashing:
+// cuts move only when the predicted max-tile cost improves by at least
+// `gain_threshold` over keeping the current cuts.
+//
+// Everything here is pure: same profiles in, same partition out, on every
+// engine — the root's rebalance decision is a deterministic function of the
+// bitstream.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "wall/partition.h"
+
+namespace pdw::wall {
+
+// Accumulated per-axis decode-cost profile (one entry per MB column / row).
+struct CostProfile {
+  std::vector<uint64_t> col;
+  std::vector<uint64_t> row;
+
+  // Elementwise accumulate (resizes to the larger profile).
+  void add(const CostProfile& o);
+  bool empty() const { return col.empty() || row.empty(); }
+  uint64_t total() const;  // sum over col (== sum over row by construction)
+};
+
+struct PlannerConfig {
+  // Rebalance only when predicted max-tile cost improves by this fraction.
+  double gain_threshold = 0.05;
+  // Narrowest band the planner will cut, in macroblocks.
+  int min_band_mbs = 2;
+  // Projector overlap in pixels; bands must stay wider than this.
+  int overlap_px = 0;
+};
+
+// Choose `bands`-1 interior cuts over `cost` so per-band sums are as equal as
+// the greedy prefix walk allows. Each band spans >= min_band_mbs entries.
+// Empty result when the constraints cannot be met (too many bands).
+std::vector<int> balanced_cuts(const std::vector<uint64_t>& cost, int bands,
+                               int min_band_mbs);
+
+// Predicted max-tile cost of `p` under the separable model, and the wall's
+// work share (total / (tiles * max_tile), the Fig. 7 metric) for reporting.
+double predicted_max_tile_cost(const Partition& p, const CostProfile& cost);
+double predicted_work_share(const Partition& p, const CostProfile& cost);
+
+// The planner: given the cuts currently in force and a cost profile for the
+// pictures since the last decision, either return the next epoch's partition
+// (epoch = cur.epoch + 1) or nullopt when hysteresis says stay put.
+std::optional<Partition> plan_partition(const Partition& cur,
+                                        const CostProfile& cost,
+                                        const PlannerConfig& cfg);
+
+}  // namespace pdw::wall

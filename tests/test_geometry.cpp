@@ -1,7 +1,10 @@
 // Tile geometry tests: partitioning, overlap handling, macroblock ownership.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "wall/geometry.h"
+#include "wall/partition.h"
 
 namespace pdw::wall {
 namespace {
@@ -108,6 +111,94 @@ TEST(TileGeometry, PaperConfigurations) {
     for (int t = 0; t < g.tiles(); ++t)
       EXPECT_GT(g.tile_mbs(t).count(), 0);
   }
+}
+
+TEST(TileGeometry, SingleRowAndSingleColumnWalls) {
+  // 1xN and Mx1 walls: degenerate grids every layer must survive.
+  for (int overlap : {0, 16}) {
+    TileGeometry row_wall(1280, 720, 4, 1, overlap);
+    TileGeometry col_wall(1280, 720, 1, 4, overlap);
+    EXPECT_EQ(row_wall.tiles(), 4);
+    EXPECT_EQ(col_wall.tiles(), 4);
+    std::vector<int> tiles;
+    for (const TileGeometry* g : {&row_wall, &col_wall}) {
+      for (int mby = 0; mby < g->mb_height(); ++mby) {
+        for (int mbx = 0; mbx < g->mb_width(); ++mbx) {
+          const int owner = g->owner_of_mb(mbx, mby);
+          ASSERT_TRUE(g->tile_has_mb(owner, mbx, mby));
+          g->tiles_of_mb(mbx, mby, &tiles);
+          ASSERT_TRUE(std::find(tiles.begin(), tiles.end(), owner) !=
+                      tiles.end());
+        }
+      }
+    }
+    // The single cross axis spans the full picture.
+    EXPECT_EQ(row_wall.tile_pixels(0).y1, 720);
+    EXPECT_EQ(col_wall.tile_pixels(0).x1, 1280);
+  }
+}
+
+TEST(TileGeometry, PartitionRejectsBandNarrowerThanOverlap) {
+  // A 2-MB band is 32px wide; overlap 40 swallows it whole.
+  Partition p;
+  p.col_cuts_mb = {2};
+  EXPECT_THROW(TileGeometry(640, 480, p, 40), CheckError);
+  // The same cuts clear a smaller overlap.
+  TileGeometry ok(640, 480, p, 24);
+  EXPECT_EQ(ok.tiles(), 2);
+}
+
+TEST(TileGeometry, PartitionRejectsDegenerateCuts) {
+  Partition dup;
+  dup.col_cuts_mb = {5, 5};  // zero-width band (tile narrower than one MB)
+  EXPECT_THROW(TileGeometry(640, 480, dup, 0), CheckError);
+
+  Partition backwards;
+  backwards.col_cuts_mb = {20, 10};
+  EXPECT_THROW(TileGeometry(640, 480, backwards, 0), CheckError);
+
+  Partition past_edge;
+  past_edge.row_cuts_mb = {30};  // mb_height(480) == 30; cut must be interior
+  EXPECT_THROW(TileGeometry(640, 480, past_edge, 0), CheckError);
+
+  Partition at_zero;
+  at_zero.col_cuts_mb = {0};
+  EXPECT_THROW(TileGeometry(640, 480, at_zero, 0), CheckError);
+}
+
+TEST(TileGeometry, PartitionOwnerMapAgreesAcrossOverlapSettings) {
+  // The splitter builds its geometry with overlap 0, the wall with the
+  // projector overlap; MB ownership must agree or MEIs go to the wrong tile.
+  Partition p;
+  p.epoch = 3;
+  p.col_cuts_mb = {11, 19, 31};
+  p.row_cuts_mb = {9, 17};
+  TileGeometry splitter_view(640, 480, p, 0);
+  TileGeometry wall_view(640, 480, p, 32);
+  EXPECT_EQ(wall_view.epoch(), 3u);
+  std::vector<int> tiles;
+  for (int mby = 0; mby < wall_view.mb_height(); ++mby) {
+    for (int mbx = 0; mbx < wall_view.mb_width(); ++mbx) {
+      const int owner = wall_view.owner_of_mb(mbx, mby);
+      ASSERT_EQ(owner, splitter_view.owner_of_mb(mbx, mby));
+      ASSERT_TRUE(wall_view.tile_has_mb(owner, mbx, mby));
+      wall_view.tiles_of_mb(mbx, mby, &tiles);
+      ASSERT_TRUE(std::find(tiles.begin(), tiles.end(), owner) != tiles.end());
+    }
+  }
+}
+
+TEST(TileGeometry, UniformPartitionOwnerMapMatchesUniformGeometry) {
+  // Epoch 0 of an adaptive wall is the uniform grid: a Partition built by
+  // Partition::uniform must route every MB exactly like the classic ctor.
+  const int w = 1000, h = 700;  // non-MB-aligned on purpose
+  TileGeometry classic(w, h, 3, 2, 24);
+  TileGeometry from_partition(w, h, Partition::uniform(w, h, 3, 2), 24);
+  for (int mby = 0; mby < classic.mb_height(); ++mby)
+    for (int mbx = 0; mbx < classic.mb_width(); ++mbx)
+      ASSERT_EQ(classic.owner_of_mb(mbx, mby),
+                from_partition.owner_of_mb(mbx, mby))
+          << mbx << "," << mby;
 }
 
 }  // namespace

@@ -1,0 +1,271 @@
+// Partition table and balanced-cut planner tests: epoch resolution, install
+// ordering rules, wire idempotency, cut placement, hysteresis.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "wall/geometry.h"
+#include "wall/partition.h"
+#include "wall/planner.h"
+
+namespace pdw::wall {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Partition / PartitionTable
+
+TEST(Partition, UniformMatchesGridShape) {
+  const Partition p = Partition::uniform(640, 480, 2, 2);
+  EXPECT_EQ(p.epoch, 0u);
+  EXPECT_EQ(p.m(), 2);
+  EXPECT_EQ(p.n(), 2);
+  ASSERT_EQ(p.col_cuts_mb.size(), 1u);
+  ASSERT_EQ(p.row_cuts_mb.size(), 1u);
+  // Cuts sit on the MB boundary nearest each uniform pixel edge.
+  EXPECT_EQ(p.col_cuts_mb[0], ((640 / 2) + 8) / 16);
+  EXPECT_EQ(p.row_cuts_mb[0], ((480 / 2) + 8) / 16);
+}
+
+TEST(PartitionTable, EpochZeroIsTheBaseGeometry) {
+  TileGeometry base(640, 480, 2, 2, 0);
+  PartitionTable table(base);
+  EXPECT_EQ(table.latest_epoch(), 0u);
+  EXPECT_TRUE(table.has_epoch(0));
+  EXPECT_FALSE(table.has_epoch(1));
+  EXPECT_EQ(&table.geometry(0), &base);
+  EXPECT_EQ(table.epoch_for(0), 0u);
+  EXPECT_EQ(table.epoch_for(100000), 0u);
+}
+
+TEST(PartitionTable, EpochForResolvesApplyPoints) {
+  TileGeometry base(640, 480, 2, 2, 0);
+  PartitionTable table(base);
+
+  Partition p1 = Partition::uniform(640, 480, 2, 2);
+  p1.epoch = 1;
+  p1.col_cuts_mb = {12};
+  table.install(p1, 6);
+  Partition p2 = p1;
+  p2.epoch = 2;
+  p2.col_cuts_mb = {26};
+  table.install(p2, 12);
+
+  EXPECT_EQ(table.latest_epoch(), 2u);
+  EXPECT_EQ(table.epoch_for(0), 0u);
+  EXPECT_EQ(table.epoch_for(5), 0u);
+  EXPECT_EQ(table.epoch_for(6), 1u);
+  EXPECT_EQ(table.epoch_for(11), 1u);
+  EXPECT_EQ(table.epoch_for(12), 2u);
+  EXPECT_EQ(table.epoch_for(99), 2u);
+  EXPECT_EQ(table.apply_from(1), 6u);
+  EXPECT_EQ(table.apply_from(2), 12u);
+  EXPECT_EQ(table.partition(1), p1);
+  EXPECT_EQ(table.geometry(1).epoch(), 1u);
+  EXPECT_EQ(table.geometry(2).epoch(), 2u);
+}
+
+TEST(PartitionTable, InstallEnforcesDenseEpochsAndOrderedApplyPoints) {
+  TileGeometry base(640, 480, 2, 2, 0);
+  PartitionTable table(base);
+
+  Partition skip = Partition::uniform(640, 480, 2, 2);
+  skip.epoch = 2;  // next must be 1
+  EXPECT_THROW(table.install(skip, 6), CheckError);
+
+  Partition p1 = Partition::uniform(640, 480, 2, 2);
+  p1.epoch = 1;
+  table.install(p1, 10);
+  Partition p2 = p1;
+  p2.epoch = 2;
+  EXPECT_THROW(table.install(p2, 4), CheckError);  // apply point regresses
+  table.install(p2, 10);                           // equal is fine
+  EXPECT_EQ(table.latest_epoch(), 2u);
+}
+
+TEST(PartitionTable, InstallRejectsShapeChange) {
+  TileGeometry base(640, 480, 2, 2, 0);
+  PartitionTable table(base);
+  Partition wide = Partition::uniform(640, 480, 4, 2);  // 4x2 on a 2x2 wall
+  wide.epoch = 1;
+  EXPECT_THROW(table.install(wide, 6), CheckError);
+}
+
+TEST(PartitionTable, InstallWireIsIdempotentAcrossBroadcastFanout) {
+  TileGeometry base(640, 480, 2, 2, 0);
+  PartitionTable table(base);
+  const std::vector<uint16_t> col = {14};
+  const std::vector<uint16_t> row = {16};
+  EXPECT_TRUE(table.install_wire(1, 8, col, row));
+  // A co-hosted node sees the same broadcast once per machine: no-op.
+  EXPECT_FALSE(table.install_wire(1, 8, col, row));
+  EXPECT_EQ(table.latest_epoch(), 1u);
+  EXPECT_EQ(table.partition(1).col_cuts_mb, std::vector<int>{14});
+  EXPECT_EQ(table.partition(1).row_cuts_mb, std::vector<int>{16});
+}
+
+TEST(PartitionTable, GeometryReferencesSurviveLaterInstalls) {
+  TileGeometry base(640, 480, 2, 2, 0);
+  PartitionTable table(base);
+  Partition p1 = Partition::uniform(640, 480, 2, 2);
+  p1.epoch = 1;
+  p1.col_cuts_mb = {10};
+  const TileGeometry* g1 = &table.install(p1, 6);
+  for (uint32_t e = 2; e < 10; ++e) {
+    Partition p = p1;
+    p.epoch = e;
+    p.col_cuts_mb = {10 + int(e)};
+    table.install(p, 6 * e);
+  }
+  // Heap-allocated, pointer-stable: serving an old epoch stays valid.
+  EXPECT_EQ(g1, &table.geometry(1));
+  EXPECT_EQ(g1->tile_pixels(0).x1, 10 * 16);
+}
+
+// ---------------------------------------------------------------------------
+// balanced_cuts
+
+TEST(BalancedCuts, EqualCostSplitsEvenly) {
+  const std::vector<uint64_t> cost(16, 7);
+  EXPECT_EQ(balanced_cuts(cost, 4, 2), (std::vector<int>{4, 8, 12}));
+  EXPECT_EQ(balanced_cuts(cost, 2, 2), (std::vector<int>{8}));
+}
+
+TEST(BalancedCuts, IsDeterministic) {
+  std::vector<uint64_t> cost(40);
+  for (size_t i = 0; i < cost.size(); ++i)
+    cost[i] = (i * 2654435761u) % 997 + 1;
+  const auto a = balanced_cuts(cost, 5, 2);
+  const auto b = balanced_cuts(cost, 5, 2);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.size(), 4u);
+}
+
+TEST(BalancedCuts, SkewNarrowsTheHotBand) {
+  // All the work in the first quarter: the first band should shrink well
+  // below the uniform cut to offload the hot columns.
+  std::vector<uint64_t> cost(20, 1);
+  for (int i = 0; i < 5; ++i) cost[size_t(i)] = 100;
+  const auto cuts = balanced_cuts(cost, 2, 2);
+  ASSERT_EQ(cuts.size(), 1u);
+  EXPECT_LT(cuts[0], 10);
+  EXPECT_GE(cuts[0], 2);
+}
+
+TEST(BalancedCuts, RespectsMinBandEvenUnderExtremeSkew) {
+  std::vector<uint64_t> cost(12, 0);
+  cost[0] = 1000000;  // everything in column 0
+  const auto cuts = balanced_cuts(cost, 3, 3);
+  ASSERT_EQ(cuts.size(), 2u);
+  int prev = 0;
+  for (int c : cuts) {
+    EXPECT_GE(c - prev, 3);
+    prev = c;
+  }
+  EXPECT_GE(int(cost.size()) - prev, 3);
+}
+
+TEST(BalancedCuts, EmptyWhenInfeasible) {
+  const std::vector<uint64_t> cost(5, 1);
+  EXPECT_TRUE(balanced_cuts(cost, 3, 2).empty());  // 3 bands * 2 mbs > 5
+  EXPECT_TRUE(balanced_cuts(std::vector<uint64_t>{}, 2, 1).empty());
+}
+
+// ---------------------------------------------------------------------------
+// predicted_work_share / plan_partition
+
+CostProfile skewed_profile(int cols, int rows) {
+  CostProfile c;
+  c.col.assign(size_t(cols), 10);
+  c.row.assign(size_t(rows), 10);
+  // Hot upper-left region, Orion style. Keep the axis totals equal, as the
+  // splitter's per-picture accumulation guarantees by construction.
+  for (int i = 0; i < cols / 4; ++i) c.col[size_t(i)] = 200;
+  uint64_t col_total = 0, row_total = 0;
+  for (auto v : c.col) col_total += v;
+  for (auto v : c.row) row_total += v;
+  c.row[0] += col_total - row_total;
+  return c;
+}
+
+TEST(Planner, UniformCostOnUniformPartitionHasFullWorkShare) {
+  CostProfile c;
+  c.col.assign(40, 3);  // axis totals match (120 each), as the splitter's
+  c.row.assign(30, 4);  // per-picture accumulation guarantees
+  const Partition p = Partition::uniform(640, 480, 2, 2);
+  EXPECT_NEAR(predicted_work_share(p, c), 1.0, 0.08);
+  EXPECT_EQ(predicted_work_share(p, CostProfile{}), 1.0);
+}
+
+TEST(Planner, PlanImprovesSkewedWorkShare) {
+  const Partition cur = Partition::uniform(640, 480, 2, 2);
+  const CostProfile cost = skewed_profile(40, 30);
+  PlannerConfig cfg;
+  cfg.gain_threshold = 0.01;
+  const auto next = plan_partition(cur, cost, cfg);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->epoch, cur.epoch + 1);
+  EXPECT_EQ(next->m(), cur.m());
+  EXPECT_EQ(next->n(), cur.n());
+  EXPECT_LT(predicted_max_tile_cost(*next, cost),
+            predicted_max_tile_cost(cur, cost));
+  EXPECT_GT(predicted_work_share(*next, cost),
+            predicted_work_share(cur, cost));
+}
+
+TEST(Planner, HysteresisKeepsCurrentCutsOnSmallGain) {
+  const Partition cur = Partition::uniform(640, 480, 2, 2);
+  const CostProfile cost = skewed_profile(40, 30);
+  PlannerConfig cfg;
+  cfg.gain_threshold = 0.99;  // demand a near-free wall before moving
+  EXPECT_FALSE(plan_partition(cur, cost, cfg).has_value());
+}
+
+TEST(Planner, BalancedCostYieldsNoNewEpoch) {
+  const Partition cur = Partition::uniform(640, 480, 2, 2);
+  CostProfile cost;
+  cost.col.assign(40, 3);
+  cost.row.assign(30, 4);
+  PlannerConfig cfg;
+  cfg.gain_threshold = 0.0;
+  // balanced_cuts lands on (or within hysteresis of) the uniform cuts.
+  EXPECT_FALSE(plan_partition(cur, cost, cfg).has_value());
+}
+
+TEST(Planner, NoPlanFromEmptyProfile) {
+  const Partition cur = Partition::uniform(640, 480, 2, 2);
+  EXPECT_FALSE(plan_partition(cur, CostProfile{}, PlannerConfig{}).has_value());
+}
+
+TEST(Planner, OverlapWidensMinimumBand) {
+  const Partition cur = Partition::uniform(640, 480, 2, 2);
+  const CostProfile cost = skewed_profile(40, 30);
+  PlannerConfig cfg;
+  cfg.gain_threshold = 0.0;
+  cfg.min_band_mbs = 2;
+  cfg.overlap_px = 40;  // effective min band: (40+15)/16 + 1 = 4 MBs
+  const auto next = plan_partition(cur, cost, cfg);
+  if (next) {
+    int prev = 0;
+    for (int c : next->col_cuts_mb) {
+      EXPECT_GE(c - prev, 4);
+      prev = c;
+    }
+    EXPECT_GE(40 - prev, 4);
+  }
+}
+
+TEST(Planner, CostProfileAddAccumulates) {
+  CostProfile a, b;
+  a.col = {1, 2};
+  a.row = {3};
+  b.col = {10, 10, 10};
+  b.row = {20, 10};
+  a.add(b);
+  EXPECT_EQ(a.col, (std::vector<uint64_t>{11, 12, 10}));
+  EXPECT_EQ(a.row, (std::vector<uint64_t>{23, 10}));
+  EXPECT_EQ(a.total(), 33u);
+}
+
+}  // namespace
+}  // namespace pdw::wall

@@ -16,6 +16,7 @@ PictureMsg sample_picture() {
   m.pic_index = 41;
   m.nsid = 2;
   m.stream = 3;
+  m.epoch = 4;
   m.coded = {0x00, 0x00, 0x01, 0x00, 0xAB, 0xCD};
   return m;
 }
@@ -25,6 +26,7 @@ SpMsg sample_sp() {
   m.pic_index = 7;
   m.tile = 5;
   m.stream = 1;
+  m.epoch = 2;
   m.subpicture = {1, 2, 3, 4, 5};
   core::MeiInstruction send;
   send.op = core::MeiOp::kSend;
@@ -167,6 +169,72 @@ TEST(WireRoundtrip, AdmissionMessages) {
   EXPECT_EQ(pr.aux, uint16_t(rep.verdict));
 }
 
+PartitionUpdateMsg sample_partition_update() {
+  PartitionUpdateMsg m;
+  m.epoch = 3;
+  m.apply_from_pic = 24;
+  m.stream = 1;
+  m.col_cuts_mb = {30, 61, 95};
+  m.row_cuts_mb = {40, 77};
+  return m;
+}
+
+CostReportMsg sample_cost_report() {
+  CostReportMsg m;
+  m.pic_index = 17;
+  m.stream = 1;
+  m.col_cost = {10, 900, 3, 0, 77};
+  m.row_cost = {5, 5, 1200};
+  return m;
+}
+
+TEST(WireRoundtrip, PartitionUpdate) {
+  const PartitionUpdateMsg m = sample_partition_update();
+  EXPECT_EQ(roundtrip(m), m);
+  const Packed p = pack(m);
+  EXPECT_EQ(p.type, MsgType::kPartitionUpdate);
+  EXPECT_EQ(p.seq, m.apply_from_pic);
+  EXPECT_EQ(p.aux, uint16_t(m.epoch));
+  EXPECT_EQ(p.stream, m.stream);
+  EXPECT_FALSE(p.bulk);
+  EXPECT_EQ(p.body.size(), partition_update_wire_bytes(m.col_cuts_mb.size(),
+                                                       m.row_cuts_mb.size()));
+
+  // Empty cut lists (a 1x1 "wall") round-trip too.
+  PartitionUpdateMsg flat;
+  flat.epoch = 1;
+  EXPECT_EQ(roundtrip(flat), flat);
+}
+
+TEST(WireRoundtrip, CostReport) {
+  const CostReportMsg m = sample_cost_report();
+  EXPECT_EQ(roundtrip(m), m);
+  const Packed p = pack(m);
+  EXPECT_EQ(p.type, MsgType::kCostReport);
+  EXPECT_EQ(p.seq, m.pic_index);
+  EXPECT_FALSE(p.bulk);
+  EXPECT_EQ(p.body.size(),
+            cost_report_wire_bytes(m.col_cost.size(), m.row_cost.size()));
+}
+
+TEST(WireReject, PartitionUpdateCutsMustStrictlyIncrease) {
+  // Non-increasing or zero cut lines are malformed: a decoder must never
+  // build a geometry from them.
+  PartitionUpdateMsg m = sample_partition_update();
+  m.col_cuts_mb = {30, 30};  // equal
+  Packed p = pack(m);
+  PartitionUpdateMsg out;
+  EXPECT_FALSE(decode(p.body, &out));
+
+  m.col_cuts_mb = {40, 20};  // decreasing
+  p = pack(m);
+  EXPECT_FALSE(decode(p.body, &out));
+
+  m.col_cuts_mb = {0, 20};  // zero cut (empty first band)
+  p = pack(m);
+  EXPECT_FALSE(decode(p.body, &out));
+}
+
 TEST(WireReject, AdmissionEnumRanges) {
   // Out-of-range enum bytes in otherwise well-formed bodies must be
   // rejected, not reinterpreted.
@@ -207,6 +275,8 @@ TEST(WireRoundtrip, DecodeAnyDispatchesEveryType) {
   check(SkipBroadcast{5, 3, 0});
   check(StreamRequest{80, 45, 30, PriorityClass::kBackground, 7});
   check(StreamReply{AdmissionVerdict::kReject, DegradeLevel::kFreeze, 7});
+  check(sample_partition_update());
+  check(sample_cost_report());
 }
 
 TEST(WireReject, EmptyAndTruncated) {
