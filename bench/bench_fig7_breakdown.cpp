@@ -43,7 +43,7 @@ void run_config(const std::vector<uint8_t>& es,
   tracer.disable();
   const auto shares = obs::fig7_breakdown(
       tracer, sim::kSimTracePidBase + r.first_decoder_node,
-      sim::kSimTracePidBase + r.nodes - 1);
+      sim::kSimTracePidBase + r.nodes - 1, sim::kSimTracePidBase);
 
   std::printf("\n--- %s, stream %d (%s): per-decoder runtime breakdown "
               "(traced) ---\n",
@@ -54,7 +54,7 @@ void run_config(const std::vector<uint8_t>& es,
   obs::StageShare avg;
   const int N = r.pictures;
   for (const auto& [pid, sh] : shares) {
-    const int d = pid - sim::kSimTracePidBase - r.first_decoder_node;
+    const int d = pid - r.first_decoder_node;
     table.add_row({format("D%d", d), format("%.1f", 100 * sh.work),
                    format("%.1f", 100 * sh.serve),
                    format("%.1f", 100 * sh.receive),

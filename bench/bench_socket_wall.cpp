@@ -10,18 +10,21 @@
 #include <string>
 
 #include "bench/bench_util.h"
+#include "common/check.h"
 #include "common/text_table.h"
 #include "core/pipeline.h"
 #include "core/socket_wall.h"
+#include "obs/collector.h"
 #include "obs/metrics.h"
 
 using namespace pdw;
 
 namespace {
 
-void merge_rtt(obs::MetricsRegistry& reg, int nodes, obs::Histogram* into) {
+void merge_hist(obs::MetricsRegistry& reg, const char* family, int nodes,
+                obs::Histogram* into) {
   for (int n = 0; n < nodes; ++n)
-    into->merge(reg.histogram(obs::family::kRttNs, obs::Labels{n, -1}));
+    into->merge(reg.histogram(family, obs::Labels{n, -1}));
 }
 
 }  // namespace
@@ -46,8 +49,9 @@ int main() {
   core::SocketWallOptions so;
   so.metrics = &clean_reg;
   const core::ClusterStats s = core::run_socket_wall(geo, k, es, nullptr, so);
-  obs::Histogram rtt;
-  merge_rtt(clean_reg, nodes, &rtt);
+  obs::Histogram rtt, jitter;
+  merge_hist(clean_reg, obs::family::kRttNs, nodes, &rtt);
+  merge_hist(clean_reg, obs::family::kRttJitterNs, nodes, &jitter);
 
   obs::MetricsRegistry lossy_reg;
   core::SocketWallOptions lo;
@@ -58,6 +62,23 @@ int main() {
   lo.impair_cfg.delay = 0.05;
   lo.impair_cfg.delay_s = 0.001;
   const core::ClusterStats l = core::run_socket_wall(geo, k, es, nullptr, lo);
+
+  // Telemetry overhead: the same wall streaming its metric/span sideband to
+  // an in-process collector. The acceptance gate is sideband bytes < 1% of
+  // the decode wire bytes — observability must be noise next to the video.
+  obs::Collector collector;
+  PDW_CHECK(collector.ok());
+  collector.start();
+  obs::MetricsRegistry tele_reg;
+  core::SocketWallOptions to;
+  to.metrics = &tele_reg;
+  to.telemetry_port = collector.endpoint().port;
+  to.telemetry_interval_s = 0.25;
+  const core::ClusterStats tl = core::run_socket_wall(geo, k, es, nullptr, to);
+  collector.stop();
+  const uint64_t wire_bytes = tl.wire.traffic.total();
+  const double overhead_pct =
+      100.0 * double(collector.bytes_received()) / double(wire_bytes);
 
   TextTable table({"engine", "fps", "retransmits", "rtt p50 us", "rtt p95 us"});
   table.add_row({"threaded (in-process)", format("%.1f", t.fps),
@@ -70,7 +91,15 @@ int main() {
   table.add_row({"socket + 2% loss", format("%.1f", l.fps),
                  format("%llu", (unsigned long long)l.ft.transport.retransmits),
                  "-", "-"});
+  table.add_row({"socket + telemetry", format("%.1f", tl.fps),
+                 format("%llu",
+                        (unsigned long long)tl.ft.transport.retransmits),
+                 "-", "-"});
   table.print(stdout);
+  std::printf("\ntelemetry sideband: %llu bytes vs %llu wire bytes "
+              "(%.3f%% overhead)\n",
+              (unsigned long long)collector.bytes_received(),
+              (unsigned long long)wire_bytes, overhead_pct);
 
   std::printf("\ncsv: engine,fps,retransmits\n");
   std::printf("csv: threaded,%.3f,%llu\n", t.fps,
@@ -87,7 +116,21 @@ int main() {
                          "us");
   benchutil::json_metric("socket_wall_rtt_p95_us", double(rtt.p95()) / 1e3,
                          "us");
+  benchutil::json_metric("socket_wall_rtt_p99_us", double(rtt.p99()) / 1e3,
+                         "us");
+  benchutil::json_metric("socket_wall_jitter_p50_us",
+                         double(jitter.p50()) / 1e3, "us");
+  benchutil::json_metric("socket_wall_jitter_p95_us",
+                         double(jitter.p95()) / 1e3, "us");
+  benchutil::json_metric("socket_wall_jitter_p99_us",
+                         double(jitter.p99()) / 1e3, "us");
   benchutil::json_metric("socket_wall_lossy_retransmits",
                          double(l.ft.transport.retransmits), "count");
+  benchutil::json_metric("socket_wall_telemetry_bytes",
+                         double(collector.bytes_received()), "bytes");
+  benchutil::json_metric("socket_wall_telemetry_overhead_pct", overhead_pct,
+                         "%");
+  PDW_CHECK_LT(overhead_pct, 1.0)
+      << " telemetry sideband exceeded 1% of decode wire bytes";
   return 0;
 }

@@ -25,6 +25,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -45,6 +46,9 @@
 #include "net/impair.h"
 #include "net/rendezvous.h"
 #include "net/socket_fabric.h"
+#include "obs/flight.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "video/generator.h"
 #include "wall/geometry.h"
 
@@ -67,6 +71,14 @@ struct Options {
   uint64_t impair_seed = 1;
   double timeout_s = 30;
   double linger_s = 1.0;
+  uint16_t telemetry_port = 0;  // 0: sideband off
+  double telemetry_interval_s = 0.2;
+  std::string flight_dir;   // non-empty: per-node flight recorder on
+  double hb_timeout_s = 0;  // 0: protocol default (effectively infinite)
+  // Chaos hook: raise SIGTERM after this many displayed tile-pictures
+  // (decoders only; 0 = never). Deterministic "node killed mid-run" for the
+  // obs-smoke flight-recorder leg.
+  int die_after = 0;
 };
 
 int usage() {
@@ -77,6 +89,8 @@ int usage() {
       "          --rv-port P --report FILE\n"
       "          [--loss p --dup p --delay p --delay-s s --impair-seed X]\n"
       "          [--timeout s --linger s]\n"
+      "          [--telemetry-port P --telemetry-interval s]\n"
+      "          [--flight-dir DIR --hb-timeout s --die-after N]\n"
       "wall_node --check --k K --m M --n N [...stream args]\n"
       "          --reports FILE...\n");
   return 2;
@@ -115,6 +129,13 @@ bool parse(int argc, char** argv, Options* o) {
       else if (a == "--impair-seed") o->impair_seed = uint64_t(std::atoll(v));
       else if (a == "--timeout") o->timeout_s = std::atof(v);
       else if (a == "--linger") o->linger_s = std::atof(v);
+      else if (a == "--telemetry-port")
+        o->telemetry_port = uint16_t(std::atoi(v));
+      else if (a == "--telemetry-interval")
+        o->telemetry_interval_s = std::atof(v);
+      else if (a == "--flight-dir") o->flight_dir = v;
+      else if (a == "--hb-timeout") o->hb_timeout_s = std::atof(v);
+      else if (a == "--die-after") o->die_after = std::atoi(v);
       else return false;
     }
   }
@@ -341,6 +362,31 @@ int run_node(const Options& o) {
   if (o.node < 0 || o.node >= nodes || o.report.empty() || o.rv_port == 0)
     return usage();
 
+  // Observability sideband, all off by default. The tracer is global and the
+  // hosts stamp spans with their node id, so a single-node process's spans
+  // carry exactly this node's pid in the merged trace.
+  if (o.telemetry_port != 0 && !pdw::obs::Tracer::global().enabled())
+    pdw::obs::Tracer::global().enable(size_t(1) << 15);
+  if (!o.flight_dir.empty()) {
+    pdw::obs::FlightRecorder::Config fc;
+    fc.dir = o.flight_dir;
+    fc.node = o.node;
+    pdw::obs::FlightRecorder::global().configure(fc);
+    pdw::obs::FlightRecorder::install_signal_handlers();
+  }
+  std::unique_ptr<pdw::obs::TelemetryExporter> telemetry;
+  if (o.telemetry_port != 0) {
+    pdw::obs::TelemetryExporterConfig tc;
+    tc.collector = {pdw::obs::kTelemetryLoopbackIp, o.telemetry_port};
+    tc.interval_s = o.telemetry_interval_s;
+    tc.k = uint16_t(o.k);
+    tc.tiles = uint16_t(geo.tiles());
+    tc.nodes = uint16_t(nodes);
+    tc.hosted = {uint16_t(o.node)};
+    telemetry = std::make_unique<pdw::obs::TelemetryExporter>(tc);
+    telemetry->start();
+  }
+
   const std::vector<uint8_t> es = make_stream(o);
   pdw::core::RootSplitter root(es);
   const int total_pictures = root.picture_count();
@@ -417,7 +463,8 @@ int run_node(const Options& o) {
       return 3;
     }
     pdw::proto::RootNode::Options ro;
-    ro.heartbeat_timeout_s = cfg.heartbeat_timeout_s;
+    ro.heartbeat_timeout_s =
+        o.hb_timeout_s > 0 ? o.hb_timeout_s : cfg.heartbeat_timeout_s;
     // No coordinator process: the root leaves as soon as every decoder
     // reported (root_stop raised up front).
     shared.root_stop.store(true);
@@ -450,10 +497,15 @@ int run_node(const Options& o) {
     final_stats = shared.ep_stats[size_t(o.node)];
   } else {
     const int tile = topo.tile_of(o.node);
+    int displayed = 0;
     pdw::core::TileDisplayFn on_display =
         [&](int t, const pdw::mpeg2::TileFrame& tf,
             const TileDisplayInfo& info) {
           digests[{t, info.display_index}] = digest_tile(tf);
+          // Chaos hook: die mid-run via the real fatal-signal path, so the
+          // flight recorder's handler writes the post-mortem dump.
+          if (o.die_after > 0 && ++displayed >= o.die_after)
+            std::raise(SIGTERM);
         };
     std::thread th([&] {
       pdw::proto::DecoderNode::Options dopts;
@@ -475,6 +527,7 @@ int run_node(const Options& o) {
 
   fabric.shutdown();
   if (proxy) proxy->stop();
+  if (telemetry) telemetry->stop();  // final flush + Bye, after all spans
   write_report(o.report, o.node, nodes, shared, final_stats, digests);
   std::printf("node %d done: %llu sent, %llu retransmits, %.2fs\n", o.node,
               (unsigned long long)final_stats.sent,

@@ -113,9 +113,9 @@ int main(int argc, char** argv) {
     // Fig. 7 from the traced spans of the simulated decoders.
     const auto shares = obs::fig7_breakdown(
         tracer, sim::kSimTracePidBase + r.first_decoder_node,
-        sim::kSimTracePidBase + r.nodes - 1);
+        sim::kSimTracePidBase + r.nodes - 1, sim::kSimTracePidBase);
     std::printf("\ntraced Fig. 7 stage shares (simulated decoders):\n");
-    obs::print_fig7(shares, stdout, sim::kSimTracePidBase);
+    obs::print_fig7(shares, stdout);
 
     // Fig. 9: node x node byte matrix of the simulated cluster.
     auto node_name = [&](int nid) {

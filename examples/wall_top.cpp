@@ -15,9 +15,24 @@
 // registry: priority class, admitted/released state, the ladder's current
 // degrade level, pictures shed, and the deadline-miss rate.
 //
+// With --remote the dashboard hosts the cluster telemetry Collector
+// (obs/collector.h) instead of running anything itself: every wall_node
+// process started with --telemetry-port streams its metric deltas, spans and
+// clock probes here, the table renders the *merged* cross-process snapshot
+// plus a per-process sideband health table (clock offset, min RTT, sideband
+// loss), and at exit the collector writes one merged Perfetto trace of the
+// whole multi-process wall.
+//
+// With --partitions the dashboard runs the adaptive per-GOP rebalancer on a
+// hot-region stream and renders the live wall::PartitionTable state straight
+// from the registry gauges: current epoch and the column/row cut lines.
+//
 // Usage:
 //   wall_top [m] [n] [k] [frames] [refresh_ms]
 //   wall_top --tenants [count] [refresh_ms]
+//   wall_top --remote PORT [--expect N] [--duration S] [--trace FILE]
+//            [--refresh MS]
+//   wall_top --partitions [frames] [refresh_ms]
 #include <unistd.h>
 
 #include <atomic>
@@ -31,9 +46,11 @@
 #include "common/text_table.h"
 #include "core/pipeline.h"
 #include "enc/encoder.h"
+#include "obs/collector.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "proto/session.h"
+#include "video/catalog.h"
 #include "video/generator.h"
 
 using namespace pdw;
@@ -256,9 +273,189 @@ int run_tenant_mode(int tenants, int refresh_ms) {
   return 0;
 }
 
+// --remote: host the telemetry collector; the wall runs elsewhere (other
+// processes, other machines) and streams itself here.
+int run_remote_mode(int argc, char** argv) {
+  uint16_t port = 0;
+  int expect = 0;
+  double duration_s = 120.0;
+  int refresh_ms = 200;
+  std::string trace_path;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (i == 2 && a[0] != '-') {
+      port = uint16_t(std::atoi(a.c_str()));
+    } else if (a == "--expect") {
+      if (const char* v = next()) expect = std::atoi(v);
+    } else if (a == "--duration") {
+      if (const char* v = next()) duration_s = std::atof(v);
+    } else if (a == "--trace") {
+      if (const char* v = next()) trace_path = v;
+    } else if (a == "--refresh") {
+      if (const char* v = next()) refresh_ms = std::atoi(v);
+    } else {
+      std::fprintf(stderr, "wall_top --remote PORT [--expect N] "
+                           "[--duration S] [--trace FILE] [--refresh MS]\n");
+      return 2;
+    }
+  }
+  obs::CollectorConfig ccfg;
+  ccfg.port = port;
+  obs::Collector collector(ccfg);
+  if (!collector.ok()) {
+    std::fprintf(stderr, "wall_top: cannot bind collector port %u\n",
+                 unsigned(port));
+    return 1;
+  }
+  collector.start();
+  std::printf("wall_top --remote: collecting on UDP port %u\n",
+              unsigned(collector.endpoint().port));
+
+  const bool ansi = isatty(fileno(stdout)) != 0;
+  double elapsed = 0;
+  bool complete = false;
+  while (elapsed < duration_s) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(refresh_ms));
+    elapsed += double(refresh_ms) / 1e3;
+    const int k = collector.k(), tiles = collector.tiles();
+    if (k > 0 && tiles > 0)
+      draw(collector.merged_metrics(), k, tiles, ansi, elapsed);
+    else if (ansi)
+      std::printf("\x1b[H\x1b[Jwall_top --remote — %.1fs — waiting for the "
+                  "first Hello...\n",
+                  elapsed);
+
+    TextTable procs({"token", "pid", "nodes", "offset us", "min-rtt us",
+                     "dgrams", "bytes", "gaps", "state"});
+    for (const obs::Collector::ProcessInfo& p : collector.processes()) {
+      std::string nodes;
+      for (size_t i = 0; i < p.nodes.size(); ++i)
+        nodes += format("%s%d", i ? "," : "", p.nodes[i]);
+      procs.add_row(
+          {format("%08llx", (unsigned long long)(p.token & 0xFFFFFFFFull)),
+           format("%u", p.os_pid), nodes,
+           p.offset_valid ? format("%.1f", double(p.offset_ns) / 1e3)
+                          : std::string("-"),
+           p.offset_valid ? format("%.1f", double(p.min_rtt_ns) / 1e3)
+                          : std::string("-"),
+           format("%llu", (unsigned long long)p.datagrams),
+           format("%llu", (unsigned long long)p.bytes),
+           format("%llu", (unsigned long long)p.seq_gaps),
+           p.bye ? "bye" : "live"});
+    }
+    std::printf("\n");
+    procs.print(stdout);
+    std::fflush(stdout);
+
+    const int seen = int(collector.nodes_seen().size());
+    const bool enough =
+        expect > 0 ? seen >= expect : collector.all_nodes_seen();
+    if (enough && collector.all_bye() && !collector.processes().empty()) {
+      complete = true;
+      break;
+    }
+  }
+  collector.stop();
+
+  const int seen = int(collector.nodes_seen().size());
+  std::printf("\ncollector: %d nodes seen, %zu processes, %llu datagrams "
+              "(%llu bytes), complete=%s\n",
+              seen, collector.processes().size(),
+              (unsigned long long)collector.datagrams_received(),
+              (unsigned long long)collector.bytes_received(),
+              complete ? "yes" : "no");
+  if (!trace_path.empty()) {
+    if (!collector.write_merged_trace(trace_path)) {
+      std::fprintf(stderr, "wall_top: cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("merged trace written to %s\n", trace_path.c_str());
+  }
+  return complete ? 0 : 1;
+}
+
+void draw_partitions(const obs::MetricsSnapshot& snap, int m, int n, int k,
+                     int tiles, bool ansi, double elapsed_s) {
+  if (ansi) std::printf("\x1b[H\x1b[J");
+  const int64_t epoch =
+      gauge_value(snap, obs::family::kPartitionEpoch, obs::Labels{-1, 0});
+  std::printf("pdw wall_top — partitions — %.1fs — epoch %lld, %llu "
+              "tile-pictures decoded\n\n",
+              elapsed_s, (long long)epoch,
+              (unsigned long long)
+                  snap.counter_total(obs::family::kPicturesDecoded));
+  TextTable cuts({"axis", "cut", "mb"});
+  for (int i = 0; i < m - 1; ++i)
+    cuts.add_row({"col", format("%d", i),
+                  format("%lld", (long long)gauge_value(
+                                     snap, obs::family::kPartitionColCutMb,
+                                     obs::Labels{i, 0}))});
+  for (int i = 0; i < n - 1; ++i)
+    cuts.add_row({"row", format("%d", i),
+                  format("%lld", (long long)gauge_value(
+                                     snap, obs::family::kPartitionRowCutMb,
+                                     obs::Labels{i, 0}))});
+  cuts.print(stdout);
+  std::printf("\n");
+  draw(snap, k, tiles, /*ansi=*/false, elapsed_s);
+}
+
+// --partitions: adaptive rebalancing on a hot-region stream, with the live
+// PartitionTable epoch and cut lines rendered from the registry gauges.
+int run_partition_mode(int frames, int refresh_ms) {
+  const int m = 4, n = 4, k = 2;
+  const video::StreamSpec spec = video::skewed_stream_spec(0, 640, 480);
+  const std::vector<uint8_t> es = video::load_stream(spec, frames);
+  std::printf("stream: %s %dx%d, %d frames (hot region cx=%.2f cy=%.2f)\n",
+              spec.name.c_str(), spec.width, spec.height, frames,
+              double(spec.hot.cx), double(spec.hot.cy));
+
+  wall::TileGeometry geo(spec.width, spec.height, m, n, /*overlap=*/40);
+  core::FtOptions ft;
+  ft.adaptive.enabled = true;
+  ft.adaptive.gain_threshold = 0.02;
+  core::ClusterPipeline pipeline(geo, k, es, ft);
+
+  std::atomic<bool> done{false};
+  core::ClusterStats stats;
+  std::thread runner([&] {
+    stats = pipeline.run(nullptr);
+    done.store(true);
+  });
+
+  const bool ansi = isatty(fileno(stdout)) != 0;
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  double elapsed = 0;
+  while (!done.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(refresh_ms));
+    elapsed += double(refresh_ms) / 1e3;
+    draw_partitions(reg.snapshot(), m, n, k, geo.tiles(), ansi, elapsed);
+  }
+  runner.join();
+
+  draw_partitions(reg.snapshot(), m, n, k, geo.tiles(), ansi, elapsed);
+  std::printf("\nrun finished: %d pictures, %.2f s, %.1f fps, final epoch "
+              "%lld\n",
+              stats.pictures, stats.wall_seconds, stats.fps,
+              (long long)gauge_value(reg.snapshot(),
+                                     obs::family::kPartitionEpoch,
+                                     obs::Labels{-1, 0}));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--remote") == 0)
+    return run_remote_mode(argc, argv);
+  if (argc > 1 && std::strcmp(argv[1], "--partitions") == 0) {
+    const int frames = argc > 2 ? std::atoi(argv[2]) : 96;
+    const int refresh_ms = argc > 3 ? std::atoi(argv[3]) : 200;
+    return run_partition_mode(frames, refresh_ms);
+  }
   if (argc > 1 && std::strcmp(argv[1], "--tenants") == 0) {
     const int tenants = argc > 2 ? std::atoi(argv[2]) : 4;
     const int refresh_ms = argc > 3 ? std::atoi(argv[3]) : 200;

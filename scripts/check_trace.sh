@@ -4,11 +4,35 @@
 # scripts/trace_schema.jq and require a non-empty metrics snapshot.
 #
 # Usage: scripts/check_trace.sh [build_dir] [out_dir]
+#        scripts/check_trace.sh --merged TRACE [min_pids]
+#
+# --merged validates an already-written merged multi-process trace (from the
+# telemetry collector) instead of running wall_player: the per-stage schema
+# plus the multi-pid extensions — at least min_pids distinct pids (default
+# 2), cross-process flow events paired by id, and globally non-decreasing
+# rebased timestamps.
 set -euo pipefail
+
+here="$(cd "$(dirname "$0")" && pwd)"
+
+if [[ "${1:-}" == "--merged" ]]; then
+  trace="${2:?usage: check_trace.sh --merged TRACE [min_pids]}"
+  min_pids="${3:-2}"
+  test -s "$trace" || { echo "FAIL: $trace missing or empty" >&2; exit 1; }
+  jq -e --arg min_pids "$min_pids" --arg require_flows 1 \
+    --arg check_sorted 1 -f "$here/trace_schema.jq" "$trace" > /dev/null \
+    || { echo "FAIL: $trace violates trace_schema.jq (merged mode)" >&2
+         exit 1; }
+  pids="$(jq '[.traceEvents[] | select(.ph == "X" or .ph == "i") | .pid] | unique | length' "$trace")"
+  flows="$(jq '[.traceEvents[] | select(.ph == "s")] | length' "$trace")"
+  echo "merged trace ok: $trace" \
+    "($(jq '.traceEvents | length' "$trace") events, $pids pids," \
+    "$flows flows)"
+  exit 0
+fi
 
 build="$(cd "${1:-build}" && pwd)"
 out="${2:-trace_smoke}"
-here="$(cd "$(dirname "$0")" && pwd)"
 mkdir -p "$out"
 
 trace="$out/wall_2x2.json"

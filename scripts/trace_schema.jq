@@ -8,7 +8,20 @@
 #   * every complete span has a non-negative dur;
 #   * every protocol stage emits at least one span — an engine change that
 #     silently stops tracing a stage fails here, not in a viewer later.
+#
+# Optional named arguments extend the gate for merged multi-process traces
+# (all off by default, so existing call sites are unchanged):
+#   --arg min_pids N       span/instant events span at least N distinct pids
+#   --arg require_flows 1  flow-start ('s') and flow-finish ('f') events are
+#                          present, paired by id, and every finish binds to
+#                          the enclosing slice ("bp":"e")
+#   --arg check_sorted 1   timestamped events appear in non-decreasing ts
+#                          order (the collector stable-sorts after rebasing
+#                          every process into its own clock domain)
 def spans: [.traceEvents[] | select(.ph == "X") | .name] | unique;
+def min_pids: ($ARGS.named.min_pids // "0") | tonumber;
+def require_flows: ($ARGS.named.require_flows // "") != "";
+def check_sorted: ($ARGS.named.check_sorted // "") != "";
 
 (.traceEvents | type == "array" and length > 0)
 and ([.traceEvents[] | has("name") and has("ph") and has("pid")] | all)
@@ -17,3 +30,19 @@ and ([.traceEvents[] | select(.ph == "X" or .ph == "i")
 and ([.traceEvents[] | select(.ph == "X") | .dur >= 0] | all)
 and ((["copy_pic", "split_pic", "route_sp", "recv_sp", "serve_sp",
        "wait_halo", "decode_sp", "ack_pic"] - spans) == [])
+and (min_pids == 0
+     or ([.traceEvents[] | select(.ph == "X" or .ph == "i") | .pid]
+         | unique | length) >= min_pids)
+and ((require_flows | not)
+     or (([.traceEvents[] | select(.ph == "s") | .id] | unique) as $starts
+         | ([.traceEvents[] | select(.ph == "f") | .id] | unique) as $ends
+         | ($starts | length) > 0
+           and ($ends | length) > 0
+           and (($ends - $starts) == [])
+           and ([.traceEvents[] | select(.ph == "f") | .bp == "e"] | all)
+           and ([.traceEvents[] | select(.ph == "s" or .ph == "f")
+                 | has("id") and has("ts")] | all)))
+and ((check_sorted | not)
+     or ([.traceEvents[] | select(has("ts")) | .ts] as $ts
+         | [range(1; $ts | length) | select($ts[.] < $ts[. - 1])]
+           | length == 0))

@@ -3,6 +3,7 @@
 #include <optional>
 #include <utility>
 
+#include "obs/flight.h"
 #include "obs/trace.h"
 #include "proto/wire.h"
 
@@ -30,6 +31,9 @@ void emit(net::ReliableEndpoint& ep, HostShared& shared, int src, Outgoing o) {
     std::lock_guard<std::mutex> lock(shared.acct_mu);
     shared.acct.record(src, o.dst, o.msg.type, o.msg.body.size());
   }
+  obs::FlightRecorder::global().note_wire(true, src, o.dst, int(o.msg.type),
+                                          o.msg.seq, o.msg.aux,
+                                          o.msg.body.size());
   net::Message m;
   m.type = int(o.msg.type);
   m.seq = o.msg.seq;
@@ -50,6 +54,8 @@ void emit_exchange(net::ReliableEndpoint& ep, HostShared& shared, int src,
     shared.acct.record_exchange(src, dst, msg);
   }
   proto::Packed p = proto::pack(msg);
+  obs::FlightRecorder::global().note_wire(true, src, dst, int(p.type), p.seq,
+                                          p.aux, p.body.size());
   net::Message m;
   m.type = int(p.type);
   m.seq = p.seq;
@@ -105,13 +111,18 @@ void RootHost::apply(proto::RootNode::Step step) {
     shared.recoveries.push_back(RecoveryEvent{
         timer.seconds(), d.dead_tile, d.adopter_tile, d.resync_pic, 0});
   }
+  if (!step.deaths.empty())
+    obs::FlightRecorder::global().dump("death_declared");
   for (Outgoing& o : step.send) emit(ep, shared, topo.root(), std::move(o));
 }
 
 void RootHost::pump(double timeout) {
   net::Message m;
-  if (ep.recv(&m, timeout) == net::ReliableEndpoint::Status::kMessage)
+  if (ep.recv(&m, timeout) == net::ReliableEndpoint::Status::kMessage) {
+    obs::FlightRecorder::global().note_wire(false, topo.root(), m.src, m.type,
+                                            m.seq, m.aux, m.payload.size());
     apply(node.on_message(m.src, decode_trusted(m), timer.seconds()));
+  }
   ep.take_abandoned();  // sends to nodes that died mid-broadcast
   // Hard transport errors (socket backend: ICMP port-unreachable — the
   // network telling us a peer process is gone). The in-process fabric never
@@ -185,6 +196,8 @@ void SplitterHost::post_initial_credits() {
 
 void SplitterHost::apply(proto::SplitterNode::Step step) {
   for (int n : step.forget) ep.forget_peer(n);
+  if (!step.forget.empty())
+    obs::FlightRecorder::global().dump("death_notice");
   if (step.partition)
     table.install_wire(step.partition->epoch, step.partition->apply_from_pic,
                        step.partition->col_cuts_mb,
@@ -194,6 +207,8 @@ void SplitterHost::apply(proto::SplitterNode::Step step) {
 
 void SplitterHost::handle(net::Message& m) {
   if (m.bulk) fabric.post_receive(self());  // recycle the receive buffer
+  obs::FlightRecorder::global().note_wire(false, self(), m.src, m.type, m.seq,
+                                          m.aux, m.payload.size());
   apply(node.on_message(m.src, decode_trusted(m), 0.0));
 }
 
@@ -335,6 +350,8 @@ TileDecoder& DecoderHost::dec(int tile) {
 
 void DecoderHost::apply(proto::DecoderNode::Step step) {
   for (int n : step.forget) ep.forget_peer(n);
+  if (!step.forget.empty())
+    obs::FlightRecorder::global().dump("death_notice");
   if (step.partition)
     table.install_wire(step.partition->epoch, step.partition->apply_from_pic,
                        step.partition->col_cuts_mb,
@@ -358,6 +375,8 @@ bool DecoderHost::pump(double timeout) {
       break;
     case net::ReliableEndpoint::Status::kMessage:
       if (m.bulk) fabric.post_receive(self());  // recycle the buffer
+      obs::FlightRecorder::global().note_wire(false, self(), m.src, m.type,
+                                              m.seq, m.aux, m.payload.size());
       apply(node.on_message(m.src, decode_trusted(m), timer.seconds()));
       break;
   }

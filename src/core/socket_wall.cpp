@@ -13,6 +13,7 @@
 #include "mem/pool.h"
 #include "net/rendezvous.h"
 #include "net/socket_fabric.h"
+#include "obs/telemetry.h"
 
 namespace pdw::core {
 
@@ -44,6 +45,23 @@ ClusterStats run_socket_wall(const wall::TileGeometry& geo, int k,
   std::vector<proto::PictureMeta> metas(static_cast<size_t>(total_pictures));
   for (int i = 0; i < total_pictures; ++i)
     metas[size_t(i)].has_gop_header = root.span(i).has_gop_header;
+
+  // Telemetry sideband: this process hosts every node, so one exporter
+  // announces them all and ships the shared registry + tracer.
+  std::unique_ptr<obs::TelemetryExporter> telemetry;
+  if (opts.telemetry_port != 0) {
+    obs::TelemetryExporterConfig tcfg;
+    tcfg.collector = {obs::kTelemetryLoopbackIp, opts.telemetry_port};
+    tcfg.interval_s = opts.telemetry_interval_s;
+    tcfg.metrics = opts.metrics;
+    tcfg.k = uint16_t(k);
+    tcfg.tiles = uint16_t(tiles);
+    tcfg.nodes = uint16_t(n);
+    for (int node = 0; node < n; ++node)
+      tcfg.hosted.push_back(uint16_t(node));
+    telemetry = std::make_unique<obs::TelemetryExporter>(tcfg);
+    telemetry->start();
+  }
 
   // Every node gets its own socket fabric; the rendezvous listener hands
   // out the endpoint map exactly as it would across machines.
@@ -159,6 +177,7 @@ ClusterStats run_socket_wall(const wall::TileGeometry& geo, int k,
   for (auto& f : fabrics) f->shutdown();
   for (auto& th : node_threads) th.join();
   if (proxy) proxy->stop();
+  if (telemetry) telemetry->stop();  // final flush + Bye, after all spans
 
   ClusterStats stats;
   stats.pictures = total_pictures;

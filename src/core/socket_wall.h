@@ -28,6 +28,10 @@ struct SocketWallOptions {
   double rendezvous_timeout_s = 20.0;
   // Adaptive per-GOP tile rebalancing. The engine fills in `geo` itself.
   proto::RootNode::AdaptivePartition adaptive;
+  // Telemetry sideband: when telemetry_port != 0, one process-wide exporter
+  // streams metric/span deltas to a collector at 127.0.0.1:telemetry_port.
+  uint16_t telemetry_port = 0;
+  double telemetry_interval_s = 0.2;
 };
 
 // Run the full wall over per-node UDP socket fabrics on loopback. The

@@ -1,0 +1,488 @@
+#include "obs/collector.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace pdw::obs {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (uint8_t(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Percentile over merged (bucket index -> count), same definition as
+// Histogram::percentile: lower edge of the bucket holding the
+// ceil(p/100 * n)-th sample.
+uint64_t bucket_percentile(const std::map<int, uint64_t>& buckets, uint64_t n,
+                           double p) {
+  if (n == 0) return 0;
+  const double clamped = std::min(std::max(p, 0.0), 100.0);
+  const uint64_t rank =
+      std::max<uint64_t>(1, uint64_t(std::ceil(clamped / 100.0 * double(n))));
+  uint64_t cum = 0;
+  for (const auto& [idx, c] : buckets) {
+    cum += c;
+    if (cum >= rank) return Histogram::bucket_lower(idx);
+  }
+  return Histogram::bucket_lower(Histogram::kBuckets - 1);
+}
+
+}  // namespace
+
+Collector::Collector(CollectorConfig cfg)
+    : cfg_(cfg), epoch_(std::chrono::steady_clock::now()) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) return;
+  int reuse = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(cfg_.port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return;
+  }
+  // Short receive timeout: the loop stays responsive to probes (RTT
+  // accuracy) and still notices stop_ promptly.
+  timeval tv{};
+  tv.tv_usec = 20 * 1000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  sockaddr_in bound{};
+  socklen_t blen = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &blen) == 0)
+    local_ = TelemetryEndpoint{kTelemetryLoopbackIp, ntohs(bound.sin_port)};
+}
+
+Collector::~Collector() {
+  stop();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+uint64_t Collector::now_ns() const {
+  return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - epoch_)
+                      .count());
+}
+
+void Collector::start() {
+  if (started_ || fd_ < 0) return;
+  started_ = true;
+  stop_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { run_loop(); });
+}
+
+void Collector::stop() {
+  if (!started_) return;
+  stop_.store(true, std::memory_order_relaxed);
+  thread_.join();
+  started_ = false;
+}
+
+void Collector::run_loop() {
+  uint8_t buf[64 * 1024];
+  while (!stop_.load(std::memory_order_relaxed)) {
+    sockaddr_in src{};
+    socklen_t slen = sizeof(src);
+    const ssize_t n = ::recvfrom(fd_, buf, sizeof(buf), 0,
+                                 reinterpret_cast<sockaddr*>(&src), &slen);
+    if (n <= 0) continue;  // timeout or spurious error
+    handle_datagram(buf, size_t(n), ntohl(src.sin_addr.s_addr),
+                    ntohs(src.sin_port));
+  }
+}
+
+void Collector::poll() {
+  if (fd_ < 0) return;
+  uint8_t buf[64 * 1024];
+  for (;;) {
+    sockaddr_in src{};
+    socklen_t slen = sizeof(src);
+    const ssize_t n =
+        ::recvfrom(fd_, buf, sizeof(buf), MSG_DONTWAIT,
+                   reinterpret_cast<sockaddr*>(&src), &slen);
+    if (n <= 0) break;
+    handle_datagram(buf, size_t(n), ntohl(src.sin_addr.s_addr),
+                    ntohs(src.sin_port));
+  }
+}
+
+void Collector::handle_datagram(const uint8_t* data, size_t len,
+                                uint32_t src_ip, uint16_t src_port) {
+  const uint64_t t_recv = now_ns();
+  TelemetryFrame f;
+  if (!decode_frame(data, len, &f)) return;
+
+  // Answer clock probes before touching any state: t2 should trail t1 by as
+  // little as possible.
+  for (const ClockProbeRecord& p : f.probes) {
+    TelemetryFrame reply;
+    reply.token = 0;
+    reply.replies.push_back(
+        ClockReplyRecord{p.seq, p.t0, t_recv, now_ns()});
+    const std::vector<uint8_t> wire = encode_frame(reply);
+    const TelemetryEndpoint to =
+        p.reply_to.port != 0 ? p.reply_to
+                             : TelemetryEndpoint{src_ip, src_port};
+    sockaddr_in dst{};
+    dst.sin_family = AF_INET;
+    dst.sin_addr.s_addr = htonl(to.ip);
+    dst.sin_port = htons(to.port);
+    ::sendto(fd_, wire.data(), wire.size(), 0,
+             reinterpret_cast<sockaddr*>(&dst), sizeof(dst));
+  }
+  if (f.token == 0) return;  // probe-only senders carry no state
+
+  std::lock_guard<std::mutex> lock(mu_);
+  datagrams_ += 1;
+  bytes_ += len;
+  Proc& proc = procs_[f.token];
+  proc.info.token = f.token;
+  proc.info.datagrams += 1;
+  proc.info.bytes += len;
+  proc.info.last_seen_ns = t_recv;
+  bool stale = false;  // out-of-order frame: spans still append, absolutes skip
+  if (proc.seq_seen) {
+    if (f.seq > proc.last_seq + 1)
+      proc.info.seq_gaps += f.seq - proc.last_seq - 1;
+    stale = f.seq <= proc.last_seq;
+  }
+  if (!stale) {
+    proc.last_seq = f.seq;
+    proc.seq_seen = true;
+  }
+  if (f.hello) {
+    proc.info.os_pid = f.hello->os_pid;
+    proc.info.nodes.clear();
+    for (uint16_t n : f.hello->hosted) proc.info.nodes.push_back(int(n));
+    if (f.hello->nodes) {
+      k_ = f.hello->k;
+      tiles_ = f.hello->tiles;
+      nodes_expected_ = f.hello->nodes;
+    }
+  }
+  if (f.offset && !stale) {
+    proc.info.offset_valid = f.offset->valid != 0;
+    proc.info.offset_ns = f.offset->offset_ns;
+    proc.info.min_rtt_ns = f.offset->min_rtt_ns;
+    proc.info.clock_samples = f.offset->samples;
+  }
+  if (f.bye) proc.info.bye = true;
+  if (!stale)
+    for (MetricRecord& m : f.metrics) {
+      const auto key = std::make_tuple(m.family, int(m.node), int(m.stream),
+                                       int(m.kind));
+      proc.metrics[key] = std::move(m);
+    }
+  for (SpanRecord& s : f.spans) {
+    if (proc.spans.size() >= cfg_.max_spans_per_process)
+      proc.spans.erase(proc.spans.begin(),
+                       proc.spans.begin() +
+                           long(cfg_.max_spans_per_process / 4));
+    proc.info.span_events += 1;
+    proc.spans.push_back(std::move(s));
+  }
+}
+
+std::vector<Collector::ProcessInfo> Collector::processes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ProcessInfo> out;
+  out.reserve(procs_.size());
+  for (const auto& [token, p] : procs_) out.push_back(p.info);
+  return out;
+}
+
+int Collector::k() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return k_;
+}
+int Collector::tiles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tiles_;
+}
+int Collector::nodes_expected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return nodes_expected_;
+}
+
+std::vector<int> Collector::nodes_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> out;
+  for (const auto& [token, p] : procs_)
+    out.insert(out.end(), p.info.nodes.begin(), p.info.nodes.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool Collector::all_nodes_seen() const {
+  const int expected = nodes_expected();
+  if (expected == 0) return false;
+  const std::vector<int> seen = nodes_seen();
+  if (int(seen.size()) < expected) return false;
+  for (int n = 0; n < expected; ++n)
+    if (!std::binary_search(seen.begin(), seen.end(), n)) return false;
+  return true;
+}
+
+bool Collector::all_bye() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (procs_.empty()) return false;
+  for (const auto& [token, p] : procs_)
+    if (!p.info.bye) return false;
+  return true;
+}
+
+MetricsSnapshot Collector::merged_metrics() const {
+  struct Merged {
+    MetricKind kind = MetricKind::kCounter;
+    uint64_t count = 0;
+    int64_t gauge = 0;
+    uint64_t sum = 0;
+    std::map<int, uint64_t> buckets;
+  };
+  std::map<std::tuple<std::string, int, int, int>, Merged> merged;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [token, p] : procs_)
+      for (const auto& [key, m] : p.metrics) {
+        Merged& g = merged[key];
+        g.kind = m.kind;
+        g.count += m.count;
+        g.gauge += m.gauge;
+        g.sum += m.sum;
+        for (const auto& [idx, c] : m.buckets) g.buckets[idx] += c;
+      }
+  }
+  MetricsSnapshot snap;
+  for (const auto& [key, g] : merged) {
+    MetricValue v;
+    v.family = std::get<0>(key);
+    v.labels = Labels{std::get<1>(key), std::get<2>(key)};
+    v.kind = g.kind;
+    v.count = g.count;
+    v.gauge = g.gauge;
+    v.sum = g.sum;
+    if (g.kind == MetricKind::kHistogram) {
+      v.p50 = bucket_percentile(g.buckets, g.count, 50);
+      v.p95 = bucket_percentile(g.buckets, g.count, 95);
+      v.p99 = bucket_percentile(g.buckets, g.count, 99);
+      for (const auto& [idx, c] : g.buckets)
+        v.buckets.emplace_back(Histogram::bucket_lower(idx), c);
+    }
+    snap.values.push_back(std::move(v));
+  }
+  std::sort(snap.values.begin(), snap.values.end(),
+            [](const MetricValue& a, const MetricValue& b) {
+              if (a.family != b.family) return a.family < b.family;
+              return a.labels < b.labels;
+            });
+  return snap;
+}
+
+uint64_t Collector::datagrams_received() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return datagrams_;
+}
+
+uint64_t Collector::bytes_received() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+bool Collector::write_merged_trace(const std::string& path) const {
+  struct Ev {
+    std::string name;
+    char ph;
+    int32_t pid, tid;
+    uint64_t ts_ns, dur_ns;
+    uint32_t pic;
+    uint64_t flow_id;  // s/f events only
+  };
+  std::vector<Ev> evs;
+  std::vector<ProcessInfo> infos;
+  int k = 0, tiles = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    k = k_;
+    tiles = tiles_;
+    for (const auto& [token, p] : procs_) {
+      infos.push_back(p.info);
+      // Rebase each process's span timestamps into the collector clock
+      // domain with its estimated offset (0 until the first probe lands —
+      // the trace is still loadable, just unaligned for that process).
+      const int64_t off = p.info.offset_valid ? p.info.offset_ns : 0;
+      for (const SpanRecord& s : p.spans) {
+        const int64_t ts = int64_t(s.ts_ns) + off;
+        evs.push_back(Ev{s.name, s.ph, s.pid, s.tid,
+                         ts > 0 ? uint64_t(ts) : 0, s.dur_ns, s.pic, 0});
+      }
+    }
+  }
+
+  // Synthesize cross-process flows from the picture tags: for each picture,
+  // root copy_pic -> every splitter split_pic, and each splitter split_pic
+  // -> the decode_sp of the decoders it plausibly feeds (contiguous tile
+  // ranges — the collector cannot recover exact SP routing from spans, and
+  // the flow is a navigation aid, not accounting). Flow anchors sit at the
+  // midpoint of their span so Perfetto binds them to the right slice.
+  struct PicSpans {
+    const Ev* copy = nullptr;
+    std::map<int32_t, const Ev*> splits;   // pid -> split_pic
+    std::map<int32_t, const Ev*> decodes;  // pid -> decode_sp
+  };
+  std::map<uint32_t, PicSpans> by_pic;
+  for (const Ev& e : evs) {
+    if (e.ph != 'X' || e.pic == 0xFFFFFFFFu) continue;
+    PicSpans& ps = by_pic[e.pic];
+    if (e.name == "copy_pic" && e.pid == 0)
+      ps.copy = &e;
+    else if (e.name == "split_pic")
+      ps.splits[e.pid] = &e;
+    else if (e.name == "decode_sp")
+      ps.decodes[e.pid] = &e;
+  }
+  std::vector<Ev> flows;
+  uint64_t next_flow = 1;
+  auto link = [&](const Ev& src, const Ev& dst) {
+    const uint64_t id = next_flow++;
+    flows.push_back(Ev{"pic_flow", 's', src.pid, src.tid,
+                       src.ts_ns + src.dur_ns / 2, 0, src.pic, id});
+    flows.push_back(Ev{"pic_flow", 'f', dst.pid, dst.tid,
+                       dst.ts_ns + dst.dur_ns / 2, 0, dst.pic, id});
+  };
+  for (const auto& [pic, ps] : by_pic) {
+    for (const auto& [spid, split] : ps.splits)
+      if (ps.copy) link(*ps.copy, *split);
+    if (ps.splits.empty()) continue;
+    std::vector<const Ev*> splits;
+    for (const auto& [spid, split] : ps.splits) splits.push_back(split);
+    size_t di = 0;
+    const size_t per =
+        (ps.decodes.size() + splits.size() - 1) / splits.size();
+    for (const auto& [dpid, dec] : ps.decodes) {
+      link(*splits[std::min(di / std::max<size_t>(per, 1),
+                            splits.size() - 1)],
+           *dec);
+      ++di;
+    }
+  }
+  for (Ev& e : flows) evs.push_back(std::move(e));
+
+  std::stable_sort(evs.begin(), evs.end(),
+                   [](const Ev& a, const Ev& b) { return a.ts_ns < b.ts_ns; });
+
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (!out) return false;
+  std::fprintf(out, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+  bool first = true;
+  auto comma = [&] {
+    if (!first) std::fprintf(out, ",\n");
+    first = false;
+  };
+  // Process-name metadata: role from the announced wall shape.
+  std::map<int32_t, std::string> names;
+  for (const Ev& e : evs) {
+    if (names.count(e.pid)) continue;
+    char buf[64];
+    if (e.pid == 0)
+      std::snprintf(buf, sizeof(buf), "root 0");
+    else if (k > 0 && e.pid <= k)
+      std::snprintf(buf, sizeof(buf), "splitter %d", e.pid);
+    else if (k > 0 && tiles > 0 && e.pid <= k + tiles)
+      std::snprintf(buf, sizeof(buf), "decoder %d (tile %d)", e.pid,
+                    e.pid - k - 1);
+    else
+      std::snprintf(buf, sizeof(buf), "node %d", e.pid);
+    names[e.pid] = buf;
+  }
+  for (const auto& [pid, name] : names) {
+    comma();
+    std::fprintf(out,
+                 "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+                 "\"tid\":0,\"args\":{\"name\":\"%s\"}}",
+                 pid, json_escape(name).c_str());
+  }
+  for (const Ev& e : evs) {
+    comma();
+    const double ts_us = double(e.ts_ns) / 1000.0;
+    if (e.ph == 'X') {
+      std::fprintf(out,
+                   "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":%d,\"tid\":%d,"
+                   "\"ts\":%.3f,\"dur\":%.3f",
+                   json_escape(e.name).c_str(), e.pid, e.tid, ts_us,
+                   double(e.dur_ns) / 1000.0);
+    } else if (e.ph == 'i') {
+      std::fprintf(out,
+                   "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,"
+                   "\"tid\":%d,\"ts\":%.3f",
+                   json_escape(e.name).c_str(), e.pid, e.tid, ts_us);
+    } else {  // 's' / 'f'
+      std::fprintf(out,
+                   "{\"name\":\"%s\",\"cat\":\"pic\",\"ph\":\"%c\",%s"
+                   "\"id\":%llu,\"pid\":%d,\"tid\":%d,\"ts\":%.3f",
+                   json_escape(e.name).c_str(), e.ph,
+                   e.ph == 'f' ? "\"bp\":\"e\"," : "",
+                   static_cast<unsigned long long>(e.flow_id), e.pid, e.tid,
+                   ts_us);
+    }
+    if (e.pic != 0xFFFFFFFFu && (e.ph == 'X' || e.ph == 'i'))
+      std::fprintf(out, ",\"args\":{\"pic\":%u}", e.pic);
+    std::fprintf(out, "}");
+  }
+  std::fprintf(out, "\n],\n\"otherData\":{\"processes\":%zu", infos.size());
+  uint64_t gaps = 0;
+  for (const ProcessInfo& p : infos) gaps += p.seq_gaps;
+  std::fprintf(out, ",\"sidebandSeqGaps\":%llu",
+               static_cast<unsigned long long>(gaps));
+  std::fprintf(out, ",\"clockOffsets\":[");
+  for (size_t i = 0; i < infos.size(); ++i) {
+    std::fprintf(
+        out, "%s{\"pid\":%u,\"valid\":%s,\"offsetNs\":%lld,\"minRttNs\":%llu}",
+        i ? "," : "", infos[i].os_pid, infos[i].offset_valid ? "true" : "false",
+        static_cast<long long>(infos[i].offset_ns),
+        static_cast<unsigned long long>(infos[i].min_rtt_ns));
+  }
+  std::fprintf(out, "]}}\n");
+  const bool ok2 = std::fflush(out) == 0;
+  std::fclose(out);
+  return ok2;
+}
+
+}  // namespace pdw::obs

@@ -153,12 +153,12 @@ void metrics_report(const MetricsSnapshot& snap, std::FILE* out) {
 }
 
 std::map<int, StageShare> fig7_breakdown(const Tracer& tracer, int pid_min,
-                                         int pid_max) {
+                                         int pid_max, int pid_offset) {
   std::map<int, StageShare> shares;
   for (const auto& [key, agg] : tracer.aggregate()) {
     const auto& [name, pid] = key;
     if (pid < pid_min || pid > pid_max) continue;
-    StageShare& s = shares[pid];
+    StageShare& s = shares[pid - pid_offset];
     double* slot = nullptr;
     if (name == span::kDecodeSp)
       slot = &s.work;
@@ -186,12 +186,11 @@ std::map<int, StageShare> fig7_breakdown(const Tracer& tracer, int pid_min,
   return shares;
 }
 
-void print_fig7(const std::map<int, StageShare>& shares, std::FILE* out,
-                int pid_offset) {
+void print_fig7(const std::map<int, StageShare>& shares, std::FILE* out) {
   TextTable t({"node", "Work%", "Serve%", "Receive%", "Wait%", "Ack%",
                "total_ms"});
   for (const auto& [pid, s] : shares)
-    t.add_row({format("%d", pid - pid_offset), format("%.1f", 100 * s.work),
+    t.add_row({format("%d", pid), format("%.1f", 100 * s.work),
                format("%.1f", 100 * s.serve), format("%.1f", 100 * s.receive),
                format("%.1f", 100 * s.wait), format("%.1f", 100 * s.ack),
                format("%.2f", double(s.total_ns) / 1e6)});

@@ -37,16 +37,17 @@ void metrics_report(const MetricsSnapshot& snap, std::FILE* out);
 // Fraction of a decoder's traced time spent in each Fig. 7 category, per pid
 // in [pid_min, pid_max]. Shares are of the per-pid traced total, so they sum
 // to ~1 for a decoder that only emits the five canonical decoder spans.
+// `pid_offset` is subtracted from the returned map keys, so callers tracing
+// under shifted pid lanes (sim::kSimTracePidBase) get proto node ids back
+// instead of carrying the shift into every consumer.
 struct StageShare {
   double work = 0, serve = 0, receive = 0, wait = 0, ack = 0;
   uint64_t total_ns = 0;
 };
 std::map<int, StageShare> fig7_breakdown(const Tracer& tracer, int pid_min,
-                                         int pid_max);
+                                         int pid_max, int pid_offset = 0);
 
-// Print the Fig. 7 table; `pid_offset` is subtracted from pids for display
-// (e.g. sim::kSimTracePidBase so modeled nodes print with proto node ids).
-void print_fig7(const std::map<int, StageShare>& shares, std::FILE* out,
-                int pid_offset = 0);
+// Print the Fig. 7 table (keys are node ids — see fig7_breakdown).
+void print_fig7(const std::map<int, StageShare>& shares, std::FILE* out);
 
 }  // namespace pdw::obs

@@ -1,0 +1,131 @@
+#include "obs/flight.h"
+
+#include <csignal>
+#include <cstdio>
+
+#include "obs/export.h"
+
+namespace pdw::obs {
+
+void FlightRecorder::configure(const Config& cfg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cfg_ = cfg;
+  wire_.assign(std::max<size_t>(cfg.max_wire, 16), WireEvent{});
+  wire_written_ = 0;
+  dumps_ = 0;
+  const bool on = !cfg.dir.empty();
+  if (on && !tracer().enabled()) tracer().enable(size_t(1) << 14);
+  enabled_.store(on, std::memory_order_relaxed);
+}
+
+Tracer& FlightRecorder::tracer() const {
+  return cfg_.tracer ? *cfg_.tracer : Tracer::global();
+}
+
+void FlightRecorder::note_wire_slow(bool tx, int self, int peer, int msg_type,
+                                    uint32_t seq, uint32_t aux, size_t bytes) {
+  WireEvent e;
+  e.t_ns = tracer().now_ns();
+  e.seq = seq;
+  e.aux = aux;
+  e.bytes = uint32_t(bytes);
+  e.self = int16_t(self);
+  e.peer = int16_t(peer);
+  e.msg_type = uint8_t(msg_type);
+  e.tx = tx;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wire_.empty()) return;
+  wire_[size_t(wire_written_ % wire_.size())] = e;
+  ++wire_written_;
+}
+
+std::string FlightRecorder::dump(const std::string& reason) {
+  if (!enabled()) return {};
+  Config cfg;
+  std::vector<WireEvent> wire;
+  uint64_t dump_seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (dumps_ >= cfg_.max_dumps) return {};
+    dump_seq = dumps_++;
+    cfg = cfg_;
+    const size_t n = size_t(std::min<uint64_t>(wire_written_, wire_.size()));
+    const size_t first =
+        wire_written_ > wire_.size() ? size_t(wire_written_ % wire_.size()) : 0;
+    wire.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+      wire.push_back(wire_[(first + i) % wire_.size()]);
+  }
+
+  std::vector<TraceEvent> spans = tracer().collect();
+  if (spans.size() > cfg.max_spans)
+    spans.erase(spans.begin(), spans.end() - long(cfg.max_spans));
+
+  char path[512];
+  std::snprintf(path, sizeof(path), "%s/flight_node%d_%llu.json",
+                cfg.dir.c_str(), cfg.node,
+                static_cast<unsigned long long>(dump_seq));
+  std::FILE* out = std::fopen(path, "w");
+  if (!out) return {};
+  std::fprintf(out, "{\"node\":%d,\"reason\":\"%s\",\"t_ns\":%llu,\n",
+               cfg.node, reason.c_str(),
+               static_cast<unsigned long long>(tracer().now_ns()));
+  std::fprintf(out, "\"spans\":[");
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const TraceEvent& e = spans[i];
+    std::fprintf(out,
+                 "%s\n{\"name\":\"%s\",\"ph\":\"%c\",\"pid\":%d,\"tid\":%d,"
+                 "\"ts_ns\":%llu,\"dur_ns\":%llu,\"pic\":%lld}",
+                 i ? "," : "", e.name ? e.name : "", e.ph, e.pid, e.tid,
+                 static_cast<unsigned long long>(e.ts_ns),
+                 static_cast<unsigned long long>(e.dur_ns),
+                 e.arg_pic == Tracer::kNoPic ? -1LL : (long long)e.arg_pic);
+  }
+  std::fprintf(out, "],\n\"wire\":[");
+  for (size_t i = 0; i < wire.size(); ++i) {
+    const WireEvent& w = wire[i];
+    std::fprintf(out,
+                 "%s\n{\"t_ns\":%llu,\"dir\":\"%s\",\"self\":%d,\"peer\":%d,"
+                 "\"type\":%u,\"seq\":%u,\"aux\":%u,\"bytes\":%u}",
+                 i ? "," : "", static_cast<unsigned long long>(w.t_ns),
+                 w.tx ? "tx" : "rx", w.self, w.peer, unsigned(w.msg_type),
+                 w.seq, w.aux, w.bytes);
+  }
+  std::fprintf(out, "],\n\"metrics\":\n");
+  const std::string metrics =
+      metrics_json(registry_or_global(cfg.metrics).snapshot());
+  std::fwrite(metrics.data(), 1, metrics.size(), out);
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  registry_or_global(cfg.metrics).counter(family::kFlightDumps).add(1);
+  return path;
+}
+
+uint64_t FlightRecorder::dumps_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dumps_;
+}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder* rec = new FlightRecorder();  // never destroyed
+  return *rec;
+}
+
+namespace {
+
+void flight_signal_handler(int sig) {
+  char reason[32];
+  std::snprintf(reason, sizeof(reason), "signal:%d", sig);
+  FlightRecorder::global().dump(reason);
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+}  // namespace
+
+void FlightRecorder::install_signal_handlers() {
+  for (int sig : {SIGTERM, SIGINT, SIGSEGV, SIGABRT})
+    std::signal(sig, flight_signal_handler);
+}
+
+}  // namespace pdw::obs

@@ -261,6 +261,14 @@ inline constexpr char kSplitNs[] = "split_ns";              // histogram
 inline constexpr char kDecodeNs[] = "decode_ns";            // histogram
 inline constexpr char kServeNs[] = "serve_ns";              // histogram
 inline constexpr char kGoAheadWaitNs[] = "go_ahead_wait_ns";  // histogram
+// Adaptive-partition dashboard mirror (src/proto/nodes.cpp publishes these
+// on every install, wall_top --partitions and --remote read them). Cut
+// gauges are labeled {node = cut index} on the m×n grid.
+inline constexpr char kPartitionEpoch[] = "partition_epoch";          // gauge
+inline constexpr char kPartitionColCutMb[] = "partition_col_cut_mb";  // gauge
+inline constexpr char kPartitionRowCutMb[] = "partition_row_cut_mb";  // gauge
+// Flight recorder (src/obs/flight.h): post-mortem dumps written so far.
+inline constexpr char kFlightDumps[] = "flight_dumps";
 }  // namespace family
 
 }  // namespace pdw::obs

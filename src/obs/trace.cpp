@@ -15,9 +15,10 @@ void Tracer::enable(size_t capacity_per_thread) {
   capacity_ = std::max<size_t>(capacity_per_thread, 16);
   for (auto& r : rings_) {
     r->events.assign(capacity_, TraceEvent{});
-    r->written = 0;
+    r->written.store(0, std::memory_order_release);
   }
   epoch_ = std::chrono::steady_clock::now();
+  epoch_offset_ns_.store(0, std::memory_order_relaxed);
   enabled_.store(true, std::memory_order_relaxed);
 }
 
@@ -65,8 +66,7 @@ void Tracer::record(const char* name, int pid, uint64_t start_ns,
   e.ph = 'X';
   Ring& r = ring();
   e.tid = r.tid;
-  r.events[size_t(r.written % r.events.size())] = e;
-  ++r.written;
+  append(r, e);
 }
 
 void Tracer::instant(const char* name, int pid, uint32_t pic) {
@@ -79,8 +79,7 @@ void Tracer::instant(const char* name, int pid, uint32_t pic) {
   e.ph = 'i';
   Ring& r = ring();
   e.tid = r.tid;
-  r.events[size_t(r.written % r.events.size())] = e;
-  ++r.written;
+  append(r, e);
 }
 
 void Tracer::add_complete(const char* name, int pid, int tid, double start_s,
@@ -95,8 +94,7 @@ void Tracer::add_complete(const char* name, int pid, int tid, double start_s,
   e.arg_pic = pic;
   e.ph = 'X';
   Ring& r = ring();
-  r.events[size_t(r.written % r.events.size())] = e;
-  ++r.written;
+  append(r, e);
 }
 
 std::vector<TraceEvent> Tracer::collect() const {
@@ -104,8 +102,9 @@ std::vector<TraceEvent> Tracer::collect() const {
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& r : rings_) {
     const size_t cap = r->events.size();
-    const size_t n = size_t(std::min<uint64_t>(r->written, cap));
-    const size_t first = r->written > cap ? size_t(r->written % cap) : 0;
+    const uint64_t w = r->written.load(std::memory_order_acquire);
+    const size_t n = size_t(std::min<uint64_t>(w, cap));
+    const size_t first = w > cap ? size_t(w % cap) : 0;
     for (size_t i = 0; i < n; ++i)
       out.push_back(r->events[(first + i) % cap]);
   }
@@ -119,9 +118,27 @@ std::vector<TraceEvent> Tracer::collect() const {
 uint64_t Tracer::dropped() const {
   uint64_t dropped = 0;
   std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& r : rings_)
-    if (r->written > r->events.size()) dropped += r->written - r->events.size();
+  for (const auto& r : rings_) {
+    const uint64_t w = r->written.load(std::memory_order_acquire);
+    if (w > r->events.size()) dropped += w - r->events.size();
+  }
   return dropped;
+}
+
+void Tracer::drain_new(std::vector<uint64_t>* cursors,
+                       std::vector<TraceEvent>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cursors->size() < rings_.size()) cursors->resize(rings_.size(), 0);
+  for (size_t i = 0; i < rings_.size(); ++i) {
+    const Ring& r = *rings_[i];
+    const size_t cap = r.events.size();
+    const uint64_t w = r.written.load(std::memory_order_acquire);
+    uint64_t cur = (*cursors)[i];
+    if (cur > w) cur = w;             // ring was reset by enable()
+    if (w - cur > cap) cur = w - cap;  // lapped: oldest survivors only
+    for (; cur < w; ++cur) out->push_back(r.events[size_t(cur % cap)]);
+    (*cursors)[i] = cur;
+  }
 }
 
 std::map<std::pair<std::string, int>, Tracer::Agg> Tracer::aggregate() const {

@@ -54,11 +54,28 @@ class Tracer {
   void disable() { enabled_.store(false, std::memory_order_relaxed); }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
-  // ns since the tracer epoch (real-time clock domain).
+  // ns since the tracer epoch (real-time clock domain), shifted by the
+  // configured epoch offset.
   uint64_t now_ns() const {
-    return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                        std::chrono::steady_clock::now() - epoch_)
-                        .count());
+    const int64_t raw =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count();
+    const int64_t shifted =
+        raw + epoch_offset_ns_.load(std::memory_order_relaxed);
+    return shifted > 0 ? uint64_t(shifted) : 0;
+  }
+
+  // Rebase this tracer's real-time clock domain: every subsequent now_ns()
+  // (and therefore every span/instant timestamp) is shifted by `off`. The
+  // telemetry layer uses this to slide a process's trace domain onto a
+  // collector's (obs/telemetry.h estimates the offset); tests use it to
+  // model a skewed node clock.
+  void set_epoch_offset_ns(int64_t off) {
+    epoch_offset_ns_.store(off, std::memory_order_relaxed);
+  }
+  int64_t epoch_offset_ns() const {
+    return epoch_offset_ns_.load(std::memory_order_relaxed);
   }
 
   // Record a completed real-time span (what ~Span calls).
@@ -76,6 +93,17 @@ class Tracer {
   // run finished (live tools poll the metrics registry instead).
   std::vector<TraceEvent> collect() const;
 
+  // Incremental, non-destructive drain for the telemetry exporter: append
+  // every event recorded since the cursors were last advanced to `out`
+  // (unsorted) and advance the cursors. `cursors` must be reused across
+  // calls on the same tracer (it grows as threads register rings). Events
+  // lost to ring wrap between drains are skipped. Each ring's write cursor
+  // is released by the recording thread, so fully drained events are safe
+  // to read; a ring being lapped mid-drain can still tear — the exporter
+  // runs while the wall decodes and accepts that the sideband is lossy.
+  void drain_new(std::vector<uint64_t>* cursors,
+                 std::vector<TraceEvent>* out) const;
+
   // Total events lost to ring wrap-around across all threads.
   uint64_t dropped() const;
 
@@ -91,15 +119,18 @@ class Tracer {
  private:
   struct Ring {
     std::vector<TraceEvent> events;  // fixed capacity
-    uint64_t written = 0;            // total appended (wraps the ring)
+    // Total appended (wraps the ring). Written only by the owning thread;
+    // the release store publishes the event just written so drain_new() can
+    // read fully written slots with an acquire load.
+    std::atomic<uint64_t> written{0};
     int tid = 0;
   };
 
   Ring& ring();  // this thread's ring (registers on first use)
-  void append(const TraceEvent& e) {
-    Ring& r = ring();
-    r.events[size_t(r.written % r.events.size())] = e;
-    ++r.written;
+  void append(Ring& r, const TraceEvent& e) {
+    const uint64_t w = r.written.load(std::memory_order_relaxed);
+    r.events[size_t(w % r.events.size())] = e;
+    r.written.store(w + 1, std::memory_order_release);
   }
 
   std::atomic<bool> enabled_{false};
@@ -109,6 +140,7 @@ class Tracer {
   const uint64_t id_;
   std::chrono::steady_clock::time_point epoch_ =
       std::chrono::steady_clock::now();
+  std::atomic<int64_t> epoch_offset_ns_{0};
 
   mutable std::mutex mu_;  // guards rings_ registration and collect()
   std::vector<std::unique_ptr<Ring>> rings_;

@@ -1,6 +1,7 @@
 #include "proto/admission.h"
 
 #include "common/check.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 
 namespace pdw::proto {
@@ -269,6 +270,22 @@ void AdmissionController::push(Action::Kind kind, uint8_t stream,
   a.verdict = verdict;
   a.level = level;
   log_.push_back(a);
+  // Ladder transitions are flight-recorder triggers: a degrade (or its
+  // revert) is exactly the moment a post-mortem wants the preceding wire
+  // and span history for.
+  switch (kind) {
+    case Action::Kind::kDegrade:
+      obs::FlightRecorder::global().dump("ladder_degrade");
+      break;
+    case Action::Kind::kArmRevert:
+      obs::FlightRecorder::global().dump("ladder_arm_revert");
+      break;
+    case Action::Kind::kRevert:
+      obs::FlightRecorder::global().dump("ladder_revert");
+      break;
+    default:
+      break;
+  }
 }
 
 void AdmissionController::mirror_tenant(uint8_t stream) {

@@ -49,11 +49,30 @@ RootNode::RootNode(const Topology& topo, const Options& opts,
 
 void RootNode::set_metrics(obs::MetricsRegistry* reg) {
   obs::MetricsRegistry& r = obs::registry_or_global(reg);
+  metrics_reg_ = &r;
   const obs::Labels l{topo_.root(), int(opts_.stream)};
   m_dispatched_ = &r.counter(obs::family::kPicturesDispatched, l);
   m_go_aheads_ = &r.counter(obs::family::kGoAheadsSeen, l);
   m_hb_recv_ = &r.counter(obs::family::kHeartbeatsRecv, l);
   m_deaths_ = &r.counter(obs::family::kDeathsDeclared, l);
+  publish_partition_gauges();  // epoch 0, so dashboards start populated
+}
+
+void RootNode::publish_partition_gauges() {
+  if (!metrics_reg_ || !table_) return;
+  const int stream = int(opts_.stream);
+  const wall::Partition& p = table_->partition(table_->latest_epoch());
+  metrics_reg_->gauge(obs::family::kPartitionEpoch, obs::Labels{-1, stream})
+      .set(int64_t(p.epoch));
+  // Cut gauges are labeled {node = cut index}: m-1 column cuts, n-1 rows.
+  for (size_t i = 0; i < p.col_cuts_mb.size(); ++i)
+    metrics_reg_
+        ->gauge(obs::family::kPartitionColCutMb, obs::Labels{int(i), stream})
+        .set(p.col_cuts_mb[i]);
+  for (size_t i = 0; i < p.row_cuts_mb.size(); ++i)
+    metrics_reg_
+        ->gauge(obs::family::kPartitionRowCutMb, obs::Labels{int(i), stream})
+        .set(p.row_cuts_mb[i]);
 }
 
 RootNode::Step RootNode::on_message(int src, const AnyMsg& msg, double now) {
@@ -166,6 +185,7 @@ std::vector<Outgoing> RootNode::dispatch(std::span<const uint8_t> coded) {
         table_->partition(table_->latest_epoch()), window_cost_, cfg);
     if (next) {
       table_->install(*next, cursor_);
+      publish_partition_gauges();
       PartitionUpdateMsg pu;
       pu.epoch = next->epoch;
       pu.apply_from_pic = cursor_;

@@ -263,6 +263,9 @@ class RootNode {
  private:
   uint32_t total_pictures() const { return uint32_t(pictures_.size()); }
   void declare_dead(int node, Step* step);
+  // Mirror the current partition (epoch + cut lines) into gauges so live
+  // dashboards — local wall_top and the remote collector — can render it.
+  void publish_partition_gauges();
   // True when the picture at cursor() is a closed-GOP boundary at which the
   // planner may still move the partition.
   bool rebalance_pending() const;
@@ -287,6 +290,7 @@ class RootNode {
   obs::Counter* m_go_aheads_ = nullptr;
   obs::Counter* m_hb_recv_ = nullptr;
   obs::Counter* m_deaths_ = nullptr;
+  obs::MetricsRegistry* metrics_reg_ = nullptr;  // for partition gauges
 };
 
 // --- SplitterNode ----------------------------------------------------------
